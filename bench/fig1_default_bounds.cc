@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 1 reproduction: "Cost of default bounds checking strategies in a
+ * WebAssembly runtime".
+ *
+ * The paper runs PolyBench/C and SPEC on V8-TurboFan with the default
+ * mprotect-based bounds checking and with bounds checking disabled, and
+ * plots per-benchmark execution time normalized to the no-checks build.
+ * Here: jit-base (the V8 analogue) with strategy=mprotect vs strategy=
+ * none, single-threaded, per-kernel medians.
+ *
+ * Expected shape (paper §1.1): about half of PolyBench unaffected; the
+ * rest between +20% (cholesky) and +220% (gemm); SPEC between +10% and
+ * +80%. Note that for guard-page strategies the *check* itself is free;
+ * the overhead comes from reserved registers / addressing constraints and
+ * memory-management work, so on our substrate the none-vs-mprotect gap is
+ * small by design and the software-check columns show the large costs —
+ * see EXPERIMENTS.md for the mapping discussion.
+ */
+#include "bench/bench_common.h"
+
+using namespace lnb;
+using namespace lnb::bench;
+
+int
+main()
+{
+    harness::printBanner("fig1: cost of default bounds checking",
+                         "paper Figure 1 (V8-TurboFan, x86_64)");
+
+    int scale = harness::benchScale();
+    double target = harness::quickMode() ? 0.08 : 0.25;
+
+    Table table({"benchmark", "suite", "none(ms)", "mprotect(ms)",
+                 "overhead", "trap(ms)", "trap-overhead"});
+    for (const Kernel& kernel : kernels::allKernels()) {
+        BenchResult none = runConfig(kernel, EngineKind::jit_base,
+                                     BoundsStrategy::none, scale, 1,
+                                     target);
+        BenchResult mprot = runConfig(kernel, EngineKind::jit_base,
+                                      BoundsStrategy::mprotect, scale, 1,
+                                      target);
+        BenchResult trap = runConfig(kernel, EngineKind::jit_base,
+                                     BoundsStrategy::trap, scale, 1,
+                                     target);
+        if (!none.ok || !mprot.ok || !trap.ok) {
+            std::fprintf(stderr, "%s failed: %s\n", kernel.name.c_str(),
+                         (none.error + mprot.error + trap.error).c_str());
+            continue;
+        }
+        double base = none.medianIterationSeconds;
+        table.addRow({kernel.name, kernel.suite,
+                      cell("%.2f", base * 1e3),
+                      cell("%.2f", mprot.medianIterationSeconds * 1e3),
+                      cell("%+.1f%%",
+                           100.0 * (mprot.medianIterationSeconds / base -
+                                    1.0)),
+                      cell("%.2f", trap.medianIterationSeconds * 1e3),
+                      cell("%+.1f%%",
+                           100.0 * (trap.medianIterationSeconds / base -
+                                    1.0))});
+    }
+    std::fputs(table.toString().c_str(), stdout);
+    table.maybeWriteCsv("fig1_default_bounds");
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Figure 2a reproduction: "Geometric mean of per-benchmark execution time
+ * medians divided by the native Clang time medians" — every engine ×
+ * every bounds-checking strategy, split by suite (PolyBench vs
+ * SPEC-proxy), single threaded.
+ *
+ * Expected shape (paper §4.1): jit-opt (WAVM analogue) fastest, jit-base
+ * (Wasmtime/V8 analogue) close behind, interpreters an order of magnitude
+ * slower; `none` fastest, mprotect/uffd within a couple of points of it,
+ * software clamp/trap significantly slower. Figures 2b/2c (Armv8,
+ * RISC-V) are out of scope on this host (DESIGN.md substitution 6).
+ */
+#include "bench/bench_common.h"
+
+#include "support/stats.h"
+
+using namespace lnb;
+using namespace lnb::bench;
+
+int
+main()
+{
+    harness::printBanner(
+        "fig2: engine x strategy geomean vs native",
+        "paper Figure 2a (x86_64; 2b/2c out of scope, DESIGN.md sub. 6)");
+
+    // Interpreters are ~10-60x slower than the JIT; shrink datasets so the
+    // full matrix completes. Ratios compare like against like (the native
+    // baseline runs at the same scale).
+    int scale = std::max(harness::benchScale(), 2);
+    double target = harness::quickMode() ? 0.05 : 0.12;
+
+    for (const char* suite : {"polybench", "specproxy"}) {
+        std::vector<const Kernel*> suite_kernels =
+            kernels::suiteKernels(suite);
+
+        // Native baseline medians per kernel.
+        std::vector<double> native_medians;
+        for (const Kernel* kernel : suite_kernels) {
+            BenchResult native = runNative(*kernel, scale, 1, target);
+            native_medians.push_back(native.medianIterationSeconds);
+        }
+
+        Table table({"engine", "none", "clamp", "trap", "mprotect",
+                     "uffd"});
+        for (EngineKind engine : allEngines()) {
+            std::vector<std::string> row = {engineKindName(engine)};
+            for (BoundsStrategy strategy : allStrategies()) {
+                std::vector<double> wasm_medians;
+                bool all_ok = true;
+                for (const Kernel* kernel : suite_kernels) {
+                    BenchResult result = runConfig(
+                        *kernel, engine, strategy, scale, 1, target);
+                    if (!result.ok) {
+                        all_ok = false;
+                        break;
+                    }
+                    wasm_medians.push_back(
+                        result.medianIterationSeconds);
+                }
+                if (!all_ok) {
+                    row.push_back("fail");
+                    continue;
+                }
+                double geomean_ratio =
+                    geomeanOfRatios(wasm_medians, native_medians);
+                row.push_back(cell("%.2fx", geomean_ratio));
+            }
+            table.addRow(std::move(row));
+        }
+        std::printf("[%s suite, relative to native, lower is better]\n",
+                    suite);
+        std::fputs(table.toString().c_str(), stdout);
+        std::printf("\n");
+        table.maybeWriteCsv(std::string("fig2_") + suite);
+    }
+    return 0;
+}

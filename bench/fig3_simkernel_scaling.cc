@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Figure 3/4/5 reproduction (simulated-kernel part): multithreaded
+ * scaling of the bounds-checking strategies at the paper's thread counts
+ * (1/4/16) and beyond, on the modelled Linux memory-management subsystem
+ * (DESIGN.md substitution 5).
+ *
+ * Expected shape: mprotect throughput saturates as threads grow (the
+ * exclusive mmap lock serializes every resize, and TLB shootdowns grow
+ * with active CPUs, paper §4.2.1), and its CPU utilization tops out ~25%
+ * below the others on short tasks; uffd scales near-linearly because the
+ * grow path is an atomic bounds-word update.
+ */
+#include "bench/bench_common.h"
+
+#include "simkernel/mm_sim.h"
+
+using namespace lnb;
+using namespace lnb::bench;
+
+int
+main()
+{
+    harness::printBanner(
+        "fig3/4/5 (simkernel): VMA-lock contention model",
+        "paper Figures 3-5 at 16 threads (2-core host -> simulated)");
+
+    simk::SimConfig base;
+    base.numCpus = 16; // the paper's Xeon 6230R configuration
+    base.iterations = harness::quickMode() ? 400 : 2000;
+    base.computeNsPerIteration = 200000; // short PolyBench-like task
+    base.arenaPages = 64;
+
+    Table table({"strategy", "threads", "throughput(iters/s)",
+                 "speedup-vs-1T", "cpu-util", "ctx-switch/s",
+                 "lock-wait", "contended-acqs"});
+    for (BoundsStrategy strategy :
+         {BoundsStrategy::mprotect, BoundsStrategy::uffd,
+          BoundsStrategy::trap, BoundsStrategy::none}) {
+        double single_thread_throughput = 0;
+        for (int threads : {1, 4, 16, 32, 64}) {
+            simk::SimConfig config = base;
+            config.strategy = strategy;
+            config.numThreads = threads;
+            simk::SimResult result = simk::simulateContention(config);
+            if (threads == 1)
+                single_thread_throughput = result.throughputPerSec;
+            table.addRow(
+                {boundsStrategyName(strategy), cell("%d", threads),
+                 cell("%.0f", result.throughputPerSec),
+                 cell("%.2fx",
+                      result.throughputPerSec /
+                          single_thread_throughput),
+                 cell("%.0f%%", result.cpuUtilizationPercent),
+                 cell("%.0f", result.contextSwitchesPerSec),
+                 cell("%.1f%%", 100.0 * result.lockWaitFraction),
+                 cell("%lu",
+                      (unsigned long)result.contendedAcquisitions)});
+        }
+    }
+    std::fputs(table.toString().c_str(), stdout);
+    table.maybeWriteCsv("fig3_simkernel_scaling");
+
+    // Ablation: the paper's userspace mitigation relies on arena pooling;
+    // without it even uffd pays mmap/munmap serialization.
+    Table ablation({"strategy", "pooled-arenas", "threads",
+                    "throughput(iters/s)", "lock-wait"});
+    for (bool pooled : {true, false}) {
+        for (BoundsStrategy strategy :
+             {BoundsStrategy::mprotect, BoundsStrategy::uffd}) {
+            simk::SimConfig config = base;
+            config.strategy = strategy;
+            config.numThreads = 16;
+            config.poolArenas = pooled;
+            simk::SimResult result = simk::simulateContention(config);
+            ablation.addRow({boundsStrategyName(strategy),
+                             pooled ? "yes" : "no", "16",
+                             cell("%.0f", result.throughputPerSec),
+                             cell("%.1f%%",
+                                  100.0 * result.lockWaitFraction)});
+        }
+    }
+    std::printf("\n[ablation: hazard-pointer-style arena pooling, "
+                "paper SS4.2.1]\n");
+    std::fputs(ablation.toString().c_str(), stdout);
+    ablation.maybeWriteCsv("fig3_simkernel_pooling_ablation");
+
+    // Task-length sweep: the paper observes the locking effect is
+    // "significantly more visible in short-running benchmarks" (SS4.2.1)
+    // and recommends uffd for short-lived serverless tasks. Sweep the
+    // per-iteration compute time at 16 threads to find the crossover.
+    Table sweep({"task-length", "mprotect util", "uffd util",
+                 "mprotect speedup@16T", "uffd speedup@16T"});
+    for (double task_us : {20.0, 50.0, 200.0, 1000.0, 5000.0, 20000.0}) {
+        double speedups[2], utils[2];
+        int idx = 0;
+        for (BoundsStrategy strategy :
+             {BoundsStrategy::mprotect, BoundsStrategy::uffd}) {
+            simk::SimConfig one = base;
+            one.strategy = strategy;
+            one.numThreads = 1;
+            one.computeNsPerIteration = task_us * 1000.0;
+            simk::SimConfig sixteen = one;
+            sixteen.numThreads = 16;
+            double single =
+                simk::simulateContention(one).throughputPerSec;
+            simk::SimResult many = simk::simulateContention(sixteen);
+            speedups[idx] = many.throughputPerSec / single;
+            utils[idx] = many.cpuUtilizationPercent;
+            idx++;
+        }
+        sweep.addRow({cell("%.0f us", task_us),
+                      cell("%.0f%%", utils[0]), cell("%.0f%%", utils[1]),
+                      cell("%.1fx", speedups[0]),
+                      cell("%.1fx", speedups[1])});
+    }
+    std::printf("\n[ablation: task length vs contention at 16 threads "
+                "(paper: short-lived serverless tasks suffer most)]\n");
+    std::fputs(sweep.toString().c_str(), stdout);
+    sweep.maybeWriteCsv("fig3_simkernel_tasklength_ablation");
+    return 0;
+}

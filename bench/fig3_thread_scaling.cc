@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Figure 3 reproduction (real-host part): "Performance scaling with
+ * increased number of threads".
+ *
+ * The paper runs 1/4/16 benchmark copies pinned to cores and shows that
+ * mprotect-based memory management scales worst, because short-running
+ * benchmarks allocate and free memory frequently and every resize
+ * serializes on the kernel's VMA lock. This binary reproduces the
+ * experiment with per-iteration instance churn on short kernels for 1, 2
+ * and 4 threads (the host has 2 cores; 4 = oversubscribed). The
+ * 16-thread shape is reproduced by fig3_simkernel_scaling.
+ */
+#include "bench/bench_common.h"
+
+#include "support/stats.h"
+
+using namespace lnb;
+using namespace lnb::bench;
+
+int
+main()
+{
+    harness::printBanner("fig3: thread scaling (real host)",
+                         "paper Figure 3a (PolyBench, short tasks)");
+
+    int scale = std::max(harness::benchScale(), 2);
+    double target = harness::quickMode() ? 0.06 : 0.2;
+    std::vector<int> thread_counts = {1, 2, 4};
+    std::vector<const Kernel*> workload = shortKernels();
+
+    Table table({"strategy", "threads", "median-iter(ms)",
+                 "throughput(iters/s)", "resize-syscalls", "faults",
+                 "cpu-util"});
+    for (BoundsStrategy strategy : allStrategies()) {
+        for (int threads : thread_counts) {
+            // Aggregate across the short-kernel workload.
+            double total_iters_per_sec = 0;
+            std::vector<double> medians;
+            uint64_t resizes = 0, faults = 0;
+            double util = 0;
+            bool ok = true;
+            for (const Kernel* kernel : workload) {
+                BenchResult result =
+                    runConfig(*kernel, EngineKind::jit_base, strategy,
+                              scale, threads, target,
+                              /*fresh_instance=*/true);
+                if (!result.ok) {
+                    ok = false;
+                    break;
+                }
+                size_t iters = 0;
+                for (const auto& t : result.threads)
+                    iters += t.iterationSeconds.size();
+                total_iters_per_sec +=
+                    double(iters) / result.wallSeconds;
+                medians.push_back(result.medianIterationSeconds);
+                resizes += result.resizeSyscalls;
+                faults += result.faultsHandled;
+                util += result.cpuUtilizationPercent;
+            }
+            if (!ok) {
+                table.addRow({boundsStrategyName(strategy),
+                              cell("%d", threads), "fail", "", "", "",
+                              ""});
+                continue;
+            }
+            table.addRow(
+                {boundsStrategyName(strategy), cell("%d", threads),
+                 cell("%.3f", median(medians) * 1e3),
+                 cell("%.0f", total_iters_per_sec),
+                 cell("%lu", (unsigned long)resizes),
+                 cell("%lu", (unsigned long)faults),
+                 cell("%.0f%%", util / double(workload.size()))});
+        }
+    }
+    std::fputs(table.toString().c_str(), stdout);
+    table.maybeWriteCsv("fig3_thread_scaling");
+    std::printf("\nNote: run fig3_simkernel_scaling for the paper's "
+                "16-thread regime (this host has %d cores).\n",
+                onlineCpuCount());
+    return 0;
+}

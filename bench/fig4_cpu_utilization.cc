@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Figure 4 reproduction: "Average CPU load during benchmark execution",
+ * 100% = one fully busy core.
+ *
+ * Expected shape (paper §4.2.1): in the single-threaded configuration all
+ * runtimes saturate one core; in the all-cores configuration every
+ * strategy except mprotect reaches full saturation, while mprotect loses
+ * up to ~25% on short-running benchmarks to kernel-lock blocking. On
+ * this host the CPU-time provider is CLOCK_THREAD_CPUTIME_ID (DESIGN.md
+ * substitution 7); the 16-thread regime is covered by the simkernel
+ * bench.
+ */
+#include "bench/bench_common.h"
+
+using namespace lnb;
+using namespace lnb::bench;
+
+int
+main()
+{
+    harness::printBanner("fig4: CPU utilization",
+                         "paper Figure 4a/4c (x86_64, 100%=1 core)");
+
+    int scale = std::max(harness::benchScale(), 2);
+    double target = harness::quickMode() ? 0.06 : 0.2;
+    int max_threads = onlineCpuCount();
+    std::vector<const Kernel*> workload = shortKernels();
+
+    Table table({"engine", "strategy", "1-thread",
+                 cell("%d-thread", max_threads).c_str()});
+    for (EngineKind engine :
+         {EngineKind::jit_base, EngineKind::jit_opt,
+          EngineKind::interp_threaded}) {
+        for (BoundsStrategy strategy : allStrategies()) {
+            double util1 = 0, util_max = 0;
+            bool ok = true;
+            for (const Kernel* kernel : workload) {
+                BenchResult single =
+                    runConfig(*kernel, engine, strategy, scale, 1,
+                              target, /*fresh_instance=*/true);
+                BenchResult full =
+                    runConfig(*kernel, engine, strategy, scale,
+                              max_threads, target, /*fresh_instance=*/true);
+                if (!single.ok || !full.ok) {
+                    ok = false;
+                    break;
+                }
+                util1 += single.cpuUtilizationPercent;
+                util_max += full.cpuUtilizationPercent;
+            }
+            if (!ok) {
+                table.addRow({engineKindName(engine),
+                              boundsStrategyName(strategy), "fail", ""});
+                continue;
+            }
+            table.addRow({engineKindName(engine),
+                          boundsStrategyName(strategy),
+                          cell("%.0f%%", util1 / double(workload.size())),
+                          cell("%.0f%%",
+                               util_max / double(workload.size()))});
+        }
+    }
+    std::fputs(table.toString().c_str(), stdout);
+    table.maybeWriteCsv("fig4_cpu_utilization");
+    return 0;
+}

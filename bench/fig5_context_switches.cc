@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Figure 5 reproduction: "Number of context switches during benchmark
+ * execution".
+ *
+ * The kernel's ctxt counter is zeroed under this sandbox (gVisor), so the
+ * real-host columns report runtime blocking events per second (memory
+ * resizes, lock-taking host calls — the operations that *cause* kernel
+ * context switches), and the simulated-kernel columns report exact
+ * context-switch counts for the paper's 16-thread regime (DESIGN.md
+ * substitution 7).
+ *
+ * Expected shape: mprotect shows an order of magnitude more blocking
+ * events/context switches than uffd when threads scale; software checks
+ * show almost none.
+ */
+#include "bench/bench_common.h"
+
+#include "simkernel/mm_sim.h"
+
+using namespace lnb;
+using namespace lnb::bench;
+
+int
+main()
+{
+    harness::printBanner("fig5: context switches",
+                         "paper Figure 5a/5b (blocking-event provider)");
+
+    int scale = std::max(harness::benchScale(), 2);
+    double target = harness::quickMode() ? 0.06 : 0.2;
+    int max_threads = onlineCpuCount();
+    std::vector<const Kernel*> workload = shortKernels();
+
+    Table table({"strategy", "threads", "mm-blocking-ops/s(real)",
+                 "ctx-switches/s(simkernel@16T)"});
+    for (BoundsStrategy strategy : allStrategies()) {
+        for (int threads : {1, max_threads}) {
+            double events_per_sec = 0;
+            bool ok = true;
+            for (const Kernel* kernel : workload) {
+                BenchResult result =
+                    runConfig(*kernel, EngineKind::jit_base, strategy,
+                              scale, threads, target,
+                              /*fresh_instance=*/true);
+                if (!result.ok) {
+                    ok = false;
+                    break;
+                }
+                // Kernel-lock-taking memory-management operations: grow
+                // path syscalls plus runtime blocking events. These are
+                // the operations that cause involuntary context switches
+                // under contention.
+                events_per_sec += result.blockingEventsPerSec;
+                events_per_sec +=
+                    double(result.resizeSyscalls) / result.wallSeconds;
+            }
+            std::string sim_cell = "-";
+            if (threads != 1) {
+                simk::SimConfig config;
+                config.strategy = strategy;
+                config.numThreads = 16;
+                config.numCpus = 16;
+                config.iterations = harness::quickMode() ? 400 : 2000;
+                simk::SimResult sim = simk::simulateContention(config);
+                sim_cell = cell("%.0f", sim.contextSwitchesPerSec);
+            }
+            table.addRow({boundsStrategyName(strategy),
+                          cell("%d", threads),
+                          ok ? cell("%.0f", events_per_sec) : "fail",
+                          sim_cell});
+        }
+    }
+    std::fputs(table.toString().c_str(), stdout);
+    table.maybeWriteCsv("fig5_context_switches");
+    return 0;
+}

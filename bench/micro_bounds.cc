@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) isolating the strategy costs the
+ * figure-level benches aggregate (paper §2.3 / §6 ablations):
+ *
+ *  - per-access cost of each check shape in generated code,
+ *  - the memory.grow path (mprotect syscall vs atomic bounds bump),
+ *  - instance creation/teardown churn,
+ *  - raw mprotect(2) cost on an 8 GiB reservation and page-fault
+ *    population cost (calibrates simkernel's MmCostModel).
+ */
+#include <benchmark/benchmark.h>
+
+#include <sys/mman.h>
+
+#include "kernels/dsl.h"
+#include "kernels/kernel.h"
+#include "runtime/engine.h"
+#include "runtime/instance.h"
+
+namespace {
+
+using namespace lnb;
+using kernels::Kb;
+using kernels::KernelModule;
+using mem::BoundsStrategy;
+using rt::EngineKind;
+using wasm::Op;
+using wasm::ValType;
+
+/** Tight load/store loop: out[i] = in[i] + in[i^1], 64K elements. */
+wasm::Module
+loadStoreModule()
+{
+    constexpr int kCount = 1 << 16;
+    KernelModule km(uint64_t(kCount) * 8 * 2);
+    Kb kb(*km.fb);
+    auto& f = kb.f;
+    uint32_t i = kb.i32(), acc = kb.f64();
+    uint32_t in_base = 0, out_base = kCount * 8;
+
+    kb.forRange(i, 0, kCount, [&] {
+        kb.stF64(in_base, [&] { f.localGet(i); }, [&] {
+            f.localGet(i);
+            f.emit(Op::f64_convert_i32_s);
+        });
+    });
+    kb.forRange(i, 0, kCount, [&] {
+        kb.stF64(out_base, [&] { f.localGet(i); }, [&] {
+            kb.ldF64(in_base, [&] { f.localGet(i); });
+            kb.ldF64(in_base, [&] {
+                f.localGet(i);
+                f.i32Const(1);
+                f.emit(Op::i32_xor);
+            });
+            f.emit(Op::f64_add);
+        });
+    });
+    kb.sumArrayF64(acc, i, out_base, 1024);
+    f.localGet(acc);
+    return km.finish();
+}
+
+std::unique_ptr<rt::Instance>
+makeInstance(EngineKind kind, BoundsStrategy strategy, wasm::Module module)
+{
+    rt::EngineConfig config;
+    config.kind = kind;
+    config.strategy = strategy;
+    rt::Engine engine(config);
+    auto compiled = engine.compile(std::move(module));
+    if (!compiled.isOk())
+        return nullptr;
+    auto inst = rt::Instance::create(compiled.takeValue());
+    return inst.isOk() ? inst.takeValue() : nullptr;
+}
+
+void
+BM_JitLoadStore(benchmark::State& state)
+{
+    auto strategy = BoundsStrategy(state.range(0));
+    auto inst = makeInstance(EngineKind::jit_base, strategy,
+                             loadStoreModule());
+    if (!inst) {
+        state.SkipWithError("instance creation failed");
+        return;
+    }
+    for (auto _ : state) {
+        rt::CallOutcome out = inst->callExport("run", {});
+        benchmark::DoNotOptimize(out.results);
+    }
+    state.SetLabel(boundsStrategyName(strategy));
+    state.SetItemsProcessed(int64_t(state.iterations()) * (3 << 16));
+}
+BENCHMARK(BM_JitLoadStore)->DenseRange(0, 4)->Unit(benchmark::kMicrosecond);
+
+void
+BM_JitOptLoadStore(benchmark::State& state)
+{
+    auto strategy = BoundsStrategy(state.range(0));
+    auto inst = makeInstance(EngineKind::jit_opt, strategy,
+                             loadStoreModule());
+    if (!inst) {
+        state.SkipWithError("instance creation failed");
+        return;
+    }
+    for (auto _ : state) {
+        rt::CallOutcome out = inst->callExport("run", {});
+        benchmark::DoNotOptimize(out.results);
+    }
+    state.SetLabel(boundsStrategyName(strategy));
+}
+BENCHMARK(BM_JitOptLoadStore)
+    ->DenseRange(0, 4)
+    ->Unit(benchmark::kMicrosecond);
+
+/** memory.grow of one page per call (the paper's contended path). */
+void
+BM_MemoryGrow(benchmark::State& state)
+{
+    auto strategy = BoundsStrategy(state.range(0));
+    mem::MemoryConfig config;
+    config.strategy = strategy;
+    std::unique_ptr<mem::LinearMemory> memory;
+    uint32_t grown = 0;
+    for (auto _ : state) {
+        if (!memory || grown >= 1024) {
+            state.PauseTiming();
+            auto result =
+                mem::LinearMemory::create(wasm::Limits{1, 2048}, config);
+            memory = result.isOk() ? result.takeValue() : nullptr;
+            grown = 0;
+            state.ResumeTiming();
+            if (!memory) {
+                state.SkipWithError("memory creation failed");
+                return;
+            }
+        }
+        benchmark::DoNotOptimize(memory->grow(1));
+        grown++;
+    }
+    state.SetLabel(boundsStrategyName(strategy));
+}
+BENCHMARK(BM_MemoryGrow)->DenseRange(0, 4);
+
+/** Full instance churn: create, run nothing, destroy. */
+void
+BM_InstanceChurn(benchmark::State& state)
+{
+    auto strategy = BoundsStrategy(state.range(0));
+    rt::EngineConfig config;
+    config.kind = EngineKind::jit_base;
+    config.strategy = strategy;
+    rt::Engine engine(config);
+
+    wasm::ModuleBuilder mb;
+    mb.addMemory(16, 256);
+    uint32_t t = mb.addType({}, {ValType::i32});
+    auto& f = mb.addFunction(t);
+    f.i32Const(7);
+    uint32_t idx = f.finish();
+    mb.exportFunc("run", idx);
+    auto compiled = engine.compile(mb.build());
+    if (!compiled.isOk()) {
+        state.SkipWithError("compile failed");
+        return;
+    }
+    auto module = compiled.takeValue();
+
+    for (auto _ : state) {
+        auto inst = rt::Instance::create(module);
+        benchmark::DoNotOptimize(inst.isOk());
+    }
+    state.SetLabel(boundsStrategyName(strategy));
+}
+BENCHMARK(BM_InstanceChurn)->DenseRange(0, 4)->Unit(benchmark::kMicrosecond);
+
+/** Raw mprotect on a large reservation (simkernel calibration). */
+void
+BM_RawMprotectToggle(benchmark::State& state)
+{
+    size_t pages = size_t(state.range(0));
+    size_t reserve = 1ull << 32;
+    void* p = mmap(nullptr, reserve, PROT_NONE,
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+    if (p == MAP_FAILED) {
+        state.SkipWithError("mmap failed");
+        return;
+    }
+    bool rw = false;
+    for (auto _ : state) {
+        mprotect(p, pages * 4096,
+                 rw ? PROT_NONE : (PROT_READ | PROT_WRITE));
+        rw = !rw;
+    }
+    munmap(p, reserve);
+    state.SetLabel(std::to_string(pages) + " pages");
+}
+BENCHMARK(BM_RawMprotectToggle)->Arg(1)->Arg(16)->Arg(256);
+
+/** Page-fault population cost in the uffd-emulation path. */
+void
+BM_UffdEmuFault(benchmark::State& state)
+{
+    mem::MemoryConfig config;
+    config.strategy = BoundsStrategy::uffd;
+    config.forceUffdEmulation = true;
+    std::unique_ptr<mem::LinearMemory> memory;
+    uint64_t offset = 0;
+    for (auto _ : state) {
+        if (!memory || offset + 4096 > memory->sizeBytes()) {
+            state.PauseTiming();
+            auto result = mem::LinearMemory::create(
+                wasm::Limits{1024, 1024}, config);
+            memory = result.isOk() ? result.takeValue() : nullptr;
+            offset = 0;
+            state.ResumeTiming();
+            if (!memory) {
+                state.SkipWithError("memory creation failed");
+                return;
+            }
+        }
+        // First touch of each page takes the SIGSEGV->populate path.
+        memory->base()[offset] = 1;
+        offset += 4096;
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_UffdEmuFault);
+
+} // namespace
+
+BENCHMARK_MAIN();

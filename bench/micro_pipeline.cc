@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Compilation-pipeline microbenchmarks (google-benchmark): decode,
+ * validate, lower and JIT-compile throughput on a representative module
+ * (gemm). The paper's runtimes trade compile speed for run speed
+ * (§2.2 interpreters vs JIT vs AOT); these numbers quantify our tiers.
+ */
+#include <benchmark/benchmark.h>
+
+#include "jit/compiler.h"
+#include "kernels/kernel.h"
+#include "wasm/decoder.h"
+#include "wasm/encoder.h"
+#include "wasm/lower.h"
+#include "wasm/validator.h"
+
+namespace {
+
+using namespace lnb;
+
+const std::vector<uint8_t>&
+gemmBytes()
+{
+    static const std::vector<uint8_t> bytes = [] {
+        const kernels::Kernel* kernel = kernels::findKernel("gemm");
+        return wasm::encodeModule(kernel->buildModule(1));
+    }();
+    return bytes;
+}
+
+void
+BM_Decode(benchmark::State& state)
+{
+    for (auto _ : state) {
+        auto module = wasm::decodeModule(gemmBytes());
+        benchmark::DoNotOptimize(module.isOk());
+    }
+    state.SetBytesProcessed(int64_t(state.iterations()) *
+                            int64_t(gemmBytes().size()));
+}
+BENCHMARK(BM_Decode);
+
+void
+BM_Validate(benchmark::State& state)
+{
+    auto module = wasm::decodeModule(gemmBytes()).takeValue();
+    for (auto _ : state) {
+        Status status = wasm::validateModule(module);
+        benchmark::DoNotOptimize(status.isOk());
+    }
+}
+BENCHMARK(BM_Validate);
+
+void
+BM_Lower(benchmark::State& state)
+{
+    auto module = wasm::decodeModule(gemmBytes()).takeValue();
+    for (auto _ : state) {
+        wasm::Module copy = module;
+        auto lowered = wasm::lowerModule(std::move(copy));
+        benchmark::DoNotOptimize(lowered.isOk());
+    }
+}
+BENCHMARK(BM_Lower);
+
+void
+BM_JitCompile(benchmark::State& state)
+{
+    auto module = wasm::decodeModule(gemmBytes()).takeValue();
+    auto lowered = wasm::lowerModule(std::move(module)).takeValue();
+    jit::JitOptions options;
+    options.optimize = state.range(0) != 0;
+    size_t code_bytes = 0;
+    for (auto _ : state) {
+        auto code = jit::compileModule(lowered, options);
+        if (code.isOk())
+            code_bytes = code.value()->codeBytes();
+        benchmark::DoNotOptimize(code.isOk());
+    }
+    state.SetLabel(options.optimize ? "jit-opt" : "jit-base");
+    state.counters["code_bytes"] = double(code_bytes);
+}
+BENCHMARK(BM_JitCompile)->Arg(0)->Arg(1);
+
+} // namespace
+
+BENCHMARK_MAIN();

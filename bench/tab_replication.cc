@@ -1,0 +1,113 @@
+/**
+ * @file
+ * §4.4 reproduction: "Replicating previous results".
+ *
+ *  - Titzer 2022: wasm3 ~10x slower than V8-TurboFan on PolyBench; the
+ *    paper measures 6-11x. Here: interp-threaded vs jit-base.
+ *  - Rossberg et al. 2017: "seven benchmarks within 10% of native and
+ *    nearly all of them within 2x of native" on PolyBench/V8. Here:
+ *    per-kernel jit-base/native ratios bucketed the same way.
+ *  - Jangda et al. 2019: 1.55x geomean SPEC slowdown on V8 vs native
+ *    (paper measures 1.69x on x86_64). Here: specproxy suite geomean for
+ *    jit-base.
+ */
+#include "bench/bench_common.h"
+
+#include "support/stats.h"
+
+using namespace lnb;
+using namespace lnb::bench;
+
+int
+main()
+{
+    harness::printBanner("tab: replication of prior results",
+                         "paper SS4.4 (Titzer / Rossberg / Jangda)");
+
+    int scale = std::max(harness::benchScale(), 2);
+    double target = harness::quickMode() ? 0.05 : 0.12;
+
+    // ----- Titzer: interpreter vs optimizing JIT on PolyBench -----
+    std::vector<double> interp_times, jit_times, opt_times, native_times;
+    std::vector<double> per_kernel_ratio_vs_native;
+    auto polybench = kernels::suiteKernels("polybench");
+    for (const Kernel* kernel : polybench) {
+        BenchResult interp =
+            runConfig(*kernel, EngineKind::interp_threaded,
+                      BoundsStrategy::mprotect, scale, 1, target);
+        BenchResult jit = runConfig(*kernel, EngineKind::jit_base,
+                                    BoundsStrategy::mprotect, scale, 1,
+                                    target);
+        BenchResult opt = runConfig(*kernel, EngineKind::jit_opt,
+                                    BoundsStrategy::mprotect, scale, 1,
+                                    target);
+        BenchResult native = runNative(*kernel, scale, 1, target);
+        if (!interp.ok || !jit.ok || !opt.ok)
+            continue;
+        interp_times.push_back(interp.medianIterationSeconds);
+        jit_times.push_back(jit.medianIterationSeconds);
+        opt_times.push_back(opt.medianIterationSeconds);
+        native_times.push_back(native.medianIterationSeconds);
+        per_kernel_ratio_vs_native.push_back(
+            jit.medianIterationSeconds / native.medianIterationSeconds);
+    }
+
+    double interp_vs_jit = geomeanOfRatios(interp_times, jit_times);
+    std::printf("[Titzer 2022] threaded interpreter vs jit-base on "
+                "PolyBench: %.1fx (paper: 6-11x, Titzer: ~10x)\n",
+                interp_vs_jit);
+
+    int within_10pct = 0, within_2x = 0;
+    for (double ratio : per_kernel_ratio_vs_native) {
+        if (ratio <= 1.10)
+            within_10pct++;
+        if (ratio <= 2.0)
+            within_2x++;
+    }
+    std::printf("[engine ladder] PolyBench geomeans vs native: "
+                "jit-opt %.2fx, jit-base %.2fx, interp-threaded %.2fx\n"
+                "(our tiers are single-pass baseline compilers; the "
+                "paper's WAVM/V8 sit at 1.1-1.7x with LLVM/TurboFan "
+                "backends — see EXPERIMENTS.md)\n",
+                geomeanOfRatios(opt_times, native_times),
+                geomeanOfRatios(jit_times, native_times),
+                geomeanOfRatios(interp_times, native_times));
+    std::printf("[Rossberg 2017] jit-base vs native on PolyBench: %d/%zu "
+                "within 10%%, %d/%zu within 2x "
+                "(paper: 7 within 10%%, nearly all within 2x)\n",
+                within_10pct, per_kernel_ratio_vs_native.size(),
+                within_2x, per_kernel_ratio_vs_native.size());
+
+    // ----- Jangda: SPEC geomean slowdown -----
+    std::vector<double> spec_wasm, spec_native;
+    for (const Kernel* kernel : kernels::suiteKernels("specproxy")) {
+        BenchResult jit = runConfig(*kernel, EngineKind::jit_base,
+                                    BoundsStrategy::mprotect, scale, 1,
+                                    target);
+        BenchResult native = runNative(*kernel, scale, 1, target);
+        if (!jit.ok)
+            continue;
+        spec_wasm.push_back(jit.medianIterationSeconds);
+        spec_native.push_back(native.medianIterationSeconds);
+    }
+    std::printf("[Jangda 2019] jit-base vs native on SPEC-proxy: %.2fx "
+                "geomean slowdown (Jangda: 1.55x, paper: 1.69x on "
+                "x86_64)\n",
+                geomeanOfRatios(spec_wasm, spec_native));
+
+    // Per-kernel detail table.
+    Table table({"kernel", "native(ms)", "jit-base(ms)", "ratio",
+                 "interp-threaded(ms)"});
+    for (size_t i = 0; i < polybench.size() && i < jit_times.size();
+         i++) {
+        table.addRow({polybench[i]->name,
+                      cell("%.2f", native_times[i] * 1e3),
+                      cell("%.2f", jit_times[i] * 1e3),
+                      cell("%.2fx", per_kernel_ratio_vs_native[i]),
+                      cell("%.2f", interp_times[i] * 1e3)});
+    }
+    std::printf("\n");
+    std::fputs(table.toString().c_str(), stdout);
+    table.maybeWriteCsv("tab_replication");
+    return 0;
+}

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Kernel explorer: run any registered workload on any engine and bounds
+ * strategy, validate against native, and optionally dump the module
+ * listing or lowered IR — the tool used when studying where a strategy's
+ * cycles go.
+ *
+ *   $ ./examples/kernel_explorer                      # list kernels
+ *   $ ./examples/kernel_explorer gemm                 # all engines
+ *   $ ./examples/kernel_explorer gemm jit-opt uffd    # one config
+ *   $ ./examples/kernel_explorer gemm --dump          # WAT + lowered IR
+ */
+#include <cstdio>
+#include <cstring>
+
+#include "kernels/kernel.h"
+#include "runtime/engine.h"
+#include "runtime/instance.h"
+#include "support/clock.h"
+#include "wasm/disasm.h"
+
+using namespace lnb;
+
+namespace {
+
+double
+timeOnce(rt::Instance& instance)
+{
+    uint64_t t0 = monotonicNanos();
+    rt::CallOutcome out = instance.callExport("run", {});
+    double dt = double(monotonicNanos() - t0) * 1e-9;
+    return out.ok() ? dt : -1;
+}
+
+int
+runConfig(const kernels::Kernel& kernel, rt::EngineKind kind,
+          mem::BoundsStrategy strategy, int scale, double native_seconds)
+{
+    rt::EngineConfig config;
+    config.kind = kind;
+    config.strategy = strategy;
+    rt::Engine engine(config);
+    auto compiled = engine.compile(kernel.buildModule(scale));
+    if (!compiled.isOk()) {
+        std::fprintf(stderr, "  compile failed: %s\n",
+                     compiled.status().toString().c_str());
+        return 1;
+    }
+    auto instance = rt::Instance::create(compiled.takeValue());
+    if (!instance.isOk()) {
+        std::fprintf(stderr, "  instantiate failed: %s\n",
+                     instance.status().toString().c_str());
+        return 1;
+    }
+    // Warm up, then take the best of three.
+    timeOnce(*instance.value());
+    double best = 1e100;
+    for (int i = 0; i < 3; i++)
+        best = std::min(best, timeOnce(*instance.value()));
+
+    rt::CallOutcome out = instance.value()->callExport("run", {});
+    double native_checksum = kernel.native(scale);
+    bool matches =
+        out.ok() && out.results[0].f64 == native_checksum;
+    std::printf("  %-16s %-9s %9.3f ms  %6.2fx native  checksum %s\n",
+                engineKindName(kind), boundsStrategyName(strategy),
+                best * 1e3, best / native_seconds,
+                matches ? "OK" : "MISMATCH");
+    return matches ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc < 2) {
+        std::printf("registered kernels:\n");
+        for (const kernels::Kernel& kernel : kernels::allKernels()) {
+            std::printf("  %-18s %-10s %s\n", kernel.name.c_str(),
+                        kernel.suite.c_str(),
+                        kernel.description.c_str());
+        }
+        std::printf("\nusage: %s <kernel> [engine] [strategy] [--dump]\n",
+                    argv[0]);
+        return 0;
+    }
+
+    const kernels::Kernel* kernel = kernels::findKernel(argv[1]);
+    if (kernel == nullptr) {
+        std::fprintf(stderr, "unknown kernel %s\n", argv[1]);
+        return 1;
+    }
+    int scale = 2;
+
+    if (argc > 2 && std::strcmp(argv[2], "--dump") == 0) {
+        wasm::Module module = kernel->buildModule(8);
+        std::printf("%s\n", wasm::moduleToString(module).c_str());
+        auto lowered = wasm::lowerModule(std::move(module));
+        for (const wasm::LoweredFunc& func : lowered.value().funcs)
+            std::printf("%s\n",
+                        wasm::loweredFuncToString(func).c_str());
+        return 0;
+    }
+
+    // Native baseline.
+    double native_best = 1e100;
+    kernel->native(scale);
+    for (int i = 0; i < 3; i++) {
+        uint64_t t0 = monotonicNanos();
+        kernel->native(scale);
+        native_best = std::min(
+            native_best, double(monotonicNanos() - t0) * 1e-9);
+    }
+    std::printf("%s (scale %d): native %.3f ms\n", kernel->name.c_str(),
+                scale, native_best * 1e3);
+
+    if (argc >= 4) {
+        rt::EngineKind kind;
+        mem::BoundsStrategy strategy;
+        if (!engineKindFromName(argv[2], kind) ||
+            !boundsStrategyFromName(argv[3], strategy)) {
+            std::fprintf(stderr, "unknown engine or strategy\n");
+            return 1;
+        }
+        return runConfig(*kernel, kind, strategy, scale, native_best);
+    }
+
+    int failures = 0;
+    for (auto kind : {rt::EngineKind::interp_threaded,
+                      rt::EngineKind::jit_base, rt::EngineKind::jit_opt}) {
+        for (auto strategy :
+             {mem::BoundsStrategy::none, mem::BoundsStrategy::trap,
+              mem::BoundsStrategy::mprotect, mem::BoundsStrategy::uffd}) {
+            failures +=
+                runConfig(*kernel, kind, strategy, scale, native_best);
+        }
+    }
+    return failures == 0 ? 0 : 1;
+}

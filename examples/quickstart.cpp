@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Quickstart: build a WebAssembly module programmatically, compile it
+ * with the JIT, instantiate it, and call an export — the minimal
+ * embedding flow of the leapsnbounds public API.
+ *
+ *   $ ./examples/quickstart
+ */
+#include <cstdio>
+
+#include "runtime/engine.h"
+#include "runtime/instance.h"
+#include "wasm/builder.h"
+#include "wasm/disasm.h"
+
+using namespace lnb;
+
+int
+main()
+{
+    // 1. Build a module: exp(base, n) by repeated squaring on i64.
+    wasm::ModuleBuilder mb;
+    uint32_t type =
+        mb.addType({wasm::ValType::i64, wasm::ValType::i64},
+                   {wasm::ValType::i64});
+    auto& f = mb.addFunction(type);
+    uint32_t result = f.addLocal(wasm::ValType::i64);
+    f.i64Const(1);
+    f.localSet(result);
+    auto done = f.block();
+    auto loop = f.loop();
+    // while (n != 0)
+    f.localGet(1);
+    f.emit(wasm::Op::i64_eqz);
+    f.brIf(done);
+    // if (n & 1) result *= base;
+    f.localGet(1);
+    f.i64Const(1);
+    f.emit(wasm::Op::i64_and);
+    f.emit(wasm::Op::i64_eqz);
+    f.emit(wasm::Op::i32_eqz);
+    f.ifElse();
+    f.localGet(result);
+    f.localGet(0);
+    f.emit(wasm::Op::i64_mul);
+    f.localSet(result);
+    f.end();
+    // base *= base; n >>= 1;
+    f.localGet(0);
+    f.localGet(0);
+    f.emit(wasm::Op::i64_mul);
+    f.localSet(0);
+    f.localGet(1);
+    f.i64Const(1);
+    f.emit(wasm::Op::i64_shr_u);
+    f.localSet(1);
+    f.br(loop);
+    f.end();
+    f.end();
+    f.localGet(result);
+    uint32_t func_idx = f.finish();
+    mb.exportFunc("ipow", func_idx);
+    wasm::Module module = mb.build();
+
+    std::printf("--- module (WAT-flavoured) ---\n%s\n",
+                wasm::moduleToString(module).c_str());
+
+    // 2. Pick an engine + bounds-checking strategy and compile.
+    rt::EngineConfig config;
+    config.kind = rt::EngineKind::jit_opt;
+    config.strategy = mem::BoundsStrategy::uffd;
+    rt::Engine engine(config);
+    auto compiled = engine.compile(std::move(module));
+    if (!compiled.isOk()) {
+        std::fprintf(stderr, "compile failed: %s\n",
+                     compiled.status().toString().c_str());
+        return 1;
+    }
+
+    // 3. Instantiate and call.
+    auto instance = rt::Instance::create(compiled.takeValue());
+    if (!instance.isOk()) {
+        std::fprintf(stderr, "instantiation failed: %s\n",
+                     instance.status().toString().c_str());
+        return 1;
+    }
+    rt::CallOutcome out = instance.value()->callExport(
+        "ipow",
+        {wasm::Value::fromI64(3), wasm::Value::fromI64(13)});
+    if (!out.ok()) {
+        std::fprintf(stderr, "trap: %s\n", trapKindName(out.trap));
+        return 1;
+    }
+    std::printf("3^13 = %lu (engine %s, strategy %s)\n",
+                (unsigned long)out.results[0].i64,
+                engineKindName(config.kind),
+                boundsStrategyName(config.strategy));
+    return out.results[0].i64 == 1594323 ? 0 : 1;
+}

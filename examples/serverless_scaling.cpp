@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The paper's motivating scenario (§1/§7): a serverless host that scales
+ * up many short-lived WebAssembly tenants as threads of one process —
+ * "quickly scale up serverless instances for a single function without
+ * the overhead of spawning new processes".
+ *
+ * One module is compiled once; N worker threads each handle a stream of
+ * "requests", instantiating a fresh isolate (fresh linear memory!) per
+ * request. The demo compares mprotect- vs uffd-backed memories and prints
+ * requests/second and the memory-management work each strategy performed.
+ *
+ *   $ ./examples/serverless_scaling [threads] [requests-per-thread]
+ */
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "kernels/kernel.h"
+#include "runtime/engine.h"
+#include "runtime/instance.h"
+#include "support/clock.h"
+#include "support/sysinfo.h"
+
+using namespace lnb;
+
+namespace {
+
+struct Outcome
+{
+    double seconds = 0;
+    uint64_t resizeSyscalls = 0;
+    uint64_t faultsHandled = 0;
+    bool ok = true;
+};
+
+Outcome
+serveRequests(mem::BoundsStrategy strategy, int num_threads,
+              int requests_per_thread)
+{
+    // The "function" our tenants run: a small PolyBench kernel.
+    const kernels::Kernel* kernel = kernels::findKernel("trisolv");
+    rt::EngineConfig config;
+    config.kind = rt::EngineKind::jit_opt;
+    config.strategy = strategy;
+    rt::Engine engine(config);
+    auto compiled = engine.compile(kernel->buildModule(8)).takeValue();
+
+    Outcome outcome;
+    std::atomic<uint64_t> resizes{0}, faults{0};
+    std::atomic<bool> ok{true};
+
+    uint64_t t0 = monotonicNanos();
+    std::vector<std::thread> workers;
+    for (int tid = 0; tid < num_threads; tid++) {
+        workers.emplace_back([&, tid] {
+            pinThreadToCpu(tid);
+            for (int r = 0; r < requests_per_thread; r++) {
+                // One isolate per request: fresh linear memory, shared
+                // code — the instance churn whose memory-management cost
+                // the strategies differ on.
+                auto inst = rt::Instance::create(compiled);
+                if (!inst.isOk() ||
+                    !inst.value()->callExport("run", {}).ok()) {
+                    ok = false;
+                    return;
+                }
+                if (auto* memory = inst.value()->memory()) {
+                    resizes += memory->resizeSyscalls();
+                    faults += memory->faultsHandled();
+                }
+            }
+        });
+    }
+    for (auto& worker : workers)
+        worker.join();
+
+    outcome.seconds = double(monotonicNanos() - t0) * 1e-9;
+    outcome.resizeSyscalls = resizes.load();
+    outcome.faultsHandled = faults.load();
+    outcome.ok = ok.load();
+    return outcome;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    int threads = argc > 1 ? std::atoi(argv[1]) : onlineCpuCount();
+    int requests = argc > 2 ? std::atoi(argv[2]) : 400;
+
+    std::printf("serverless demo: %d worker threads x %d requests, "
+                "isolate-per-request\n\n",
+                threads, requests);
+    std::printf("%-10s %12s %14s %16s %10s\n", "strategy", "seconds",
+                "requests/s", "resize-syscalls", "faults");
+
+    for (auto strategy :
+         {mem::BoundsStrategy::mprotect, mem::BoundsStrategy::uffd,
+          mem::BoundsStrategy::trap}) {
+        Outcome outcome = serveRequests(strategy, threads, requests);
+        if (!outcome.ok) {
+            std::printf("%-10s FAILED\n", boundsStrategyName(strategy));
+            continue;
+        }
+        std::printf("%-10s %12.3f %14.0f %16lu %10lu\n",
+                    boundsStrategyName(strategy), outcome.seconds,
+                    double(threads) * requests / outcome.seconds,
+                    (unsigned long)outcome.resizeSyscalls,
+                    (unsigned long)outcome.faultsHandled);
+    }
+    std::printf("\nmprotect pays a VMA-lock-serialized syscall per grow; "
+                "uffd's grow path is an atomic store\n(paper SS4.2.1; see "
+                "bench/fig3_simkernel_scaling for the 16-core regime).\n");
+    return 0;
+}

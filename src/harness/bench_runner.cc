@@ -1,0 +1,258 @@
+#include "harness/bench_runner.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <functional>
+#include <thread>
+
+#include "support/clock.h"
+#include "support/stats.h"
+#include "support/sysinfo.h"
+
+namespace lnb::harness {
+
+namespace {
+
+/** One iteration's outcome: the measured execution time covers only the
+ * module run, not instance setup/teardown (paper SS3.5). */
+struct IterSample
+{
+    double seconds = 0;
+    double checksum = 0;
+};
+
+/**
+ * Generic multithreaded timed-loop driver. @p iteration runs one
+ * iteration for a given thread id, timing the execution phase itself.
+ * Implements warm-up, adaptive rep counts and the cool-down overlap.
+ */
+BenchResult
+driveThreads(const BenchSpec& spec,
+             const std::function<IterSample(int thread_id)>& iteration,
+             const std::function<uint64_t(int thread_id)>& blocking_events)
+{
+    BenchResult result;
+    int num_threads = spec.numThreads;
+    result.threads.resize(size_t(num_threads));
+
+    std::atomic<int> still_measuring{num_threads};
+    std::atomic<bool> failed{false};
+    std::atomic<uint64_t> rss_peak{0};
+
+    // Memory sampler (paper Fig. 6): poll RSS during the run phase.
+    std::atomic<bool> sampling{true};
+    std::thread sampler([&] {
+        while (sampling.load(std::memory_order_relaxed)) {
+            uint64_t rss = readOwnRssBytes();
+            uint64_t prev = rss_peak.load(std::memory_order_relaxed);
+            while (rss > prev &&
+                   !rss_peak.compare_exchange_weak(prev, rss)) {
+            }
+            sleepNanos(20'000'000);
+        }
+    });
+
+    uint64_t wall_start = monotonicNanos();
+    std::vector<std::thread> workers;
+    workers.reserve(size_t(num_threads));
+    for (int tid = 0; tid < num_threads; tid++) {
+        workers.emplace_back([&, tid] {
+            if (spec.pinThreads)
+                pinThreadToCpu(tid);
+            ThreadStats& stats = result.threads[size_t(tid)];
+            uint64_t cpu_start = threadCpuNanos();
+
+            // Warm-up.
+            for (int w = 0; w < spec.warmupIterations; w++)
+                stats.checksum = iteration(tid).checksum;
+
+            // Measured iterations.
+            int reps = spec.iterations;
+            double measured = 0;
+            int done = 0;
+            while (true) {
+                if (failed.load(std::memory_order_relaxed))
+                    break;
+                IterSample sample = iteration(tid);
+                stats.checksum = sample.checksum;
+                stats.iterationSeconds.push_back(sample.seconds);
+                measured += sample.seconds;
+                done++;
+                if (reps > 0) {
+                    if (done >= reps)
+                        break;
+                } else if ((measured >= spec.targetSeconds &&
+                            done >= spec.minIterations) ||
+                           done >= spec.maxIterations) {
+                    break;
+                }
+            }
+
+            stats.cpuSeconds =
+                double(threadCpuNanos() - cpu_start) * 1e-9;
+            stats.blockingEvents = blocking_events(tid);
+
+            // Cool-down: keep the core busy until everyone finished
+            // measuring (paper §3.5).
+            still_measuring.fetch_sub(1, std::memory_order_acq_rel);
+            while (still_measuring.load(std::memory_order_acquire) > 0 &&
+                   !failed.load(std::memory_order_relaxed)) {
+                iteration(tid);
+            }
+        });
+    }
+    for (std::thread& worker : workers)
+        worker.join();
+    result.wallSeconds = double(monotonicNanos() - wall_start) * 1e-9;
+
+    sampling.store(false, std::memory_order_relaxed);
+    sampler.join();
+    result.rssPeakBytes = rss_peak.load(std::memory_order_relaxed);
+
+    // Aggregates.
+    std::vector<double> all_iterations;
+    double cpu_total = 0;
+    uint64_t blocking_total = 0;
+    for (const ThreadStats& stats : result.threads) {
+        all_iterations.insert(all_iterations.end(),
+                              stats.iterationSeconds.begin(),
+                              stats.iterationSeconds.end());
+        cpu_total += stats.cpuSeconds;
+        blocking_total += stats.blockingEvents;
+    }
+    result.medianIterationSeconds = median(std::move(all_iterations));
+    result.cpuUtilizationPercent =
+        100.0 * cpu_total / std::max(result.wallSeconds, 1e-9);
+    result.blockingEventsPerSec =
+        double(blocking_total) / std::max(result.wallSeconds, 1e-9);
+    result.ok = !failed.load();
+    return result;
+}
+
+} // namespace
+
+BenchResult
+runBenchmark(const BenchSpec& spec)
+{
+    BenchResult failure;
+    if (spec.kernel == nullptr) {
+        failure.error = "no kernel";
+        return failure;
+    }
+
+    // Compile once; all instances share the artifact (paper §3.5: "the
+    // wasm code is fully loaded into the runtime and compiled" first).
+    rt::Engine engine(spec.engineConfig);
+    double compile_seconds = 0;
+    std::shared_ptr<const rt::CompiledModule> compiled;
+    {
+        ScopedTimer timer(compile_seconds);
+        auto result = engine.compile(spec.kernel->buildModule(spec.scale));
+        if (!result.isOk()) {
+            failure.error = result.status().toString();
+            return failure;
+        }
+        compiled = result.takeValue();
+    }
+
+    struct PerThread
+    {
+        std::unique_ptr<rt::Instance> instance;
+        uint64_t resizeSyscalls = 0;
+        uint64_t faultsHandled = 0;
+        uint64_t blockingEvents = 0;
+    };
+    std::vector<PerThread> per_thread(size_t(spec.numThreads));
+
+    auto iteration = [&](int tid) -> IterSample {
+        PerThread& slot = per_thread[size_t(tid)];
+        // Instance setup/teardown is NOT part of the reported time
+        // (paper SS3.5) — but it is what stresses the kernel MM path,
+        // so it still happens between measured runs.
+        if (spec.freshInstancePerIteration || !slot.instance) {
+            // Account the outgoing instance's counters before dropping it.
+            if (slot.instance) {
+                slot.resizeSyscalls +=
+                    slot.instance->memory()
+                        ? slot.instance->memory()->resizeSyscalls()
+                        : 0;
+                slot.faultsHandled +=
+                    slot.instance->memory()
+                        ? slot.instance->memory()->faultsHandled()
+                        : 0;
+                slot.blockingEvents += slot.instance->blockingEvents();
+                slot.instance.reset();
+            }
+            auto inst = rt::Instance::create(compiled);
+            if (!inst.isOk())
+                return {0, -1};
+            slot.instance = inst.takeValue();
+        }
+        IterSample sample;
+        uint64_t t0 = monotonicNanos();
+        rt::CallOutcome out = slot.instance->callExport("run", {});
+        sample.seconds = double(monotonicNanos() - t0) * 1e-9;
+        sample.checksum = out.ok() ? out.results[0].f64 : -1;
+        return sample;
+    };
+    auto blocking = [&](int tid) -> uint64_t {
+        PerThread& slot = per_thread[size_t(tid)];
+        uint64_t events = slot.blockingEvents;
+        if (slot.instance)
+            events += slot.instance->blockingEvents();
+        return events;
+    };
+
+    BenchResult result = driveThreads(spec, iteration, blocking);
+    result.compileSeconds = compile_seconds;
+    for (PerThread& slot : per_thread) {
+        result.resizeSyscalls += slot.resizeSyscalls;
+        result.faultsHandled += slot.faultsHandled;
+        if (slot.instance && slot.instance->memory()) {
+            result.resizeSyscalls +=
+                slot.instance->memory()->resizeSyscalls();
+            result.faultsHandled +=
+                slot.instance->memory()->faultsHandled();
+        }
+    }
+    return result;
+}
+
+BenchResult
+runNativeBaseline(const kernels::Kernel& kernel, int scale,
+                  int num_threads, const BenchSpec& protocol)
+{
+    BenchSpec spec = protocol;
+    spec.numThreads = num_threads;
+    spec.scale = scale;
+    auto iteration = [&](int) -> IterSample {
+        IterSample sample;
+        uint64_t t0 = monotonicNanos();
+        sample.checksum = kernel.native(scale);
+        sample.seconds = double(monotonicNanos() - t0) * 1e-9;
+        return sample;
+    };
+    auto blocking = [](int) -> uint64_t { return 0; };
+    return driveThreads(spec, iteration, blocking);
+}
+
+bool
+quickMode()
+{
+    const char* env = std::getenv("LNB_QUICK");
+    return env != nullptr && env[0] != '0';
+}
+
+int
+benchScale()
+{
+    const char* env = std::getenv("LNB_SCALE");
+    if (env != nullptr) {
+        int v = std::atoi(env);
+        if (v >= 1)
+            return v;
+    }
+    return quickMode() ? 4 : 1;
+}
+
+} // namespace lnb::harness

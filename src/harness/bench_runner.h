@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The benchmarking harness, reproducing the protocol of paper §3.5:
+ *
+ *  - the module is compiled once; each worker thread gets its own
+ *    Instance (the runtimes "spawn one instance of the runtime for each
+ *    benchmark instance, all contained within the same process in
+ *    isolated threads");
+ *  - worker threads are pinned to CPU cores;
+ *  - a warm-up phase runs before timing starts;
+ *  - only module execution is timed; per-iteration instance setup and
+ *    tear-down is excluded from the reported time (but is what stresses
+ *    the memory-management path);
+ *  - after finishing its measured iterations each thread keeps running
+ *    cool-down iterations until every thread has finished measuring, so
+ *    late measurements are not flattered by idle cores.
+ *
+ * The native baseline runs the same protocol calling the kernel's C++
+ * implementation (substitution for the paper's vfork+fexecve runner,
+ * which spawns a process per iteration; ours is strictly faster, making
+ * the baseline conservative).
+ */
+#ifndef LNB_HARNESS_BENCH_RUNNER_H
+#define LNB_HARNESS_BENCH_RUNNER_H
+
+#include <string>
+#include <vector>
+
+#include "kernels/kernel.h"
+#include "runtime/engine.h"
+#include "runtime/instance.h"
+
+namespace lnb::harness {
+
+/** One benchmark configuration. */
+struct BenchSpec
+{
+    const kernels::Kernel* kernel = nullptr;
+    rt::EngineConfig engineConfig;
+    int scale = 1;
+    int numThreads = 1;
+    /** Measured iterations per thread; 0 = adaptive (run until
+     * targetSeconds of measured time, at least minIterations). */
+    int iterations = 0;
+    int minIterations = 3;
+    int maxIterations = 2000;
+    double targetSeconds = 0.4;
+    int warmupIterations = 1;
+    bool pinThreads = true;
+    /**
+     * Create a fresh Instance (fresh linear memory) per iteration — the
+     * per-task isolation pattern of the paper's serverless scenario that
+     * drives the mprotect-vs-uffd scaling difference. When false, one
+     * instance is reused per thread.
+     */
+    bool freshInstancePerIteration = true;
+};
+
+/** Per-thread measurements. */
+struct ThreadStats
+{
+    std::vector<double> iterationSeconds;
+    double cpuSeconds = 0;      ///< thread CPU time over the run phase
+    uint64_t blockingEvents = 0;
+    double checksum = 0;        ///< kernel result, for validation
+};
+
+/** Aggregate result of one benchmark run. */
+struct BenchResult
+{
+    bool ok = false;
+    std::string error;
+
+    std::vector<ThreadStats> threads;
+    double wallSeconds = 0;     ///< run-phase wall time
+    double compileSeconds = 0;
+
+    /** Median of all measured iteration times (paper's per-benchmark
+     * statistic). */
+    double medianIterationSeconds = 0;
+    /** Total CPU utilization during the run phase; 100% = one core
+     * (paper Fig. 4 quantity, portable provider). */
+    double cpuUtilizationPercent = 0;
+    /** Peak resident set during the run (paper Fig. 6 quantity). */
+    uint64_t rssPeakBytes = 0;
+    /** Virtual-memory syscalls issued on grow paths (all instances). */
+    uint64_t resizeSyscalls = 0;
+    /** Lazily populated pages (uffd strategies). */
+    uint64_t faultsHandled = 0;
+    /** Runtime blocking events per second (paper Fig. 5 substitute). */
+    double blockingEventsPerSec = 0;
+};
+
+/** Run a wasm benchmark under the given spec. */
+BenchResult runBenchmark(const BenchSpec& spec);
+
+/** Run the native baseline with the same protocol. */
+BenchResult runNativeBaseline(const kernels::Kernel& kernel, int scale,
+                              int num_threads, const BenchSpec& protocol);
+
+/** True if the LNB_QUICK environment variable requests a fast pass. */
+bool quickMode();
+
+/** Scale factor for benches: 1 normally, larger under LNB_QUICK. */
+int benchScale();
+
+} // namespace lnb::harness
+
+#endif // LNB_HARNESS_BENCH_RUNNER_H

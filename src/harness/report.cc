@@ -1,0 +1,94 @@
+#include "harness/report.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "harness/bench_runner.h"
+#include "mem/linear_memory.h"
+#include "support/sysinfo.h"
+
+namespace lnb::harness {
+
+Table::Table(std::vector<std::string> header)
+{
+    rows_.push_back(std::move(header));
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::toString() const
+{
+    std::vector<size_t> widths;
+    for (const auto& row : rows_) {
+        if (widths.size() < row.size())
+            widths.resize(row.size(), 0);
+        for (size_t i = 0; i < row.size(); i++)
+            widths[i] = std::max(widths[i], row[i].size());
+    }
+    std::string out;
+    for (size_t r = 0; r < rows_.size(); r++) {
+        for (size_t i = 0; i < rows_[r].size(); i++) {
+            const std::string& value = rows_[r][i];
+            out += value;
+            if (i + 1 < rows_[r].size())
+                out.append(widths[i] - value.size() + 2, ' ');
+        }
+        out += '\n';
+        if (r == 0) {
+            size_t total = 0;
+            for (size_t i = 0; i < widths.size(); i++)
+                total += widths[i] + (i + 1 < widths.size() ? 2 : 0);
+            out.append(total, '-');
+            out += '\n';
+        }
+    }
+    return out;
+}
+
+void
+Table::maybeWriteCsv(const std::string& name) const
+{
+    const char* dir = std::getenv("LNB_CSV_DIR");
+    if (dir == nullptr)
+        return;
+    std::ofstream file(std::string(dir) + "/" + name + ".csv");
+    for (const auto& row : rows_) {
+        for (size_t i = 0; i < row.size(); i++) {
+            file << row[i];
+            if (i + 1 < row.size())
+                file << ',';
+        }
+        file << '\n';
+    }
+}
+
+std::string
+cell(const char* fmt, ...)
+{
+    char buf[128];
+    va_list ap;
+    va_start(ap, fmt);
+    vsnprintf(buf, sizeof buf, fmt, ap);
+    va_end(ap);
+    return buf;
+}
+
+void
+printBanner(const std::string& title, const std::string& paper_ref)
+{
+    std::printf("== %s ==\n", title.c_str());
+    std::printf("reproduces: %s\n", paper_ref.c_str());
+    std::printf("host: %s, %d cpus | uffd: %s | scale: %d%s\n\n",
+                cpuModelName().c_str(), onlineCpuCount(),
+                mem::realUffdAvailable() ? "kernel" : "emulated",
+                benchScale(), quickMode() ? " (LNB_QUICK)" : "");
+}
+
+} // namespace lnb::harness

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Table/CSV reporters for the bench binaries: fixed-width terminal tables
+ * that mirror the paper's figures, plus optional CSV files (set
+ * LNB_CSV_DIR) for replotting.
+ */
+#ifndef LNB_HARNESS_REPORT_H
+#define LNB_HARNESS_REPORT_H
+
+#include <string>
+#include <vector>
+
+namespace lnb::harness {
+
+/** A simple column-aligned table accumulating rows of strings. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with aligned columns and a separator under the header. */
+    std::string toString() const;
+
+    /** Write as CSV into $LNB_CSV_DIR/<name>.csv if the env var is set. */
+    void maybeWriteCsv(const std::string& name) const;
+
+  private:
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** printf-style cell formatting helper. */
+std::string cell(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a standard bench banner with host info and mode flags. */
+void printBanner(const std::string& title, const std::string& paper_ref);
+
+} // namespace lnb::harness
+
+#endif // LNB_HARNESS_REPORT_H

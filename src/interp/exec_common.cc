@@ -1,0 +1,73 @@
+#include <algorithm>
+#include <cstring>
+#include "interp/exec_common.h"
+
+#include "mem/signals.h"
+
+namespace lnb::exec {
+
+int32_t
+execMemoryGrow(InstanceContext* ctx, uint32_t delta_pages)
+{
+    ctx->blockingEvents++;
+    int64_t old_pages = ctx->memory->grow(delta_pages);
+    if (old_pages < 0)
+        return -1;
+    // Refresh the context mirrors generated code reads.
+    ctx->memBase = ctx->memory->base();
+    ctx->memSize = ctx->memory->sizeBytes();
+    return int32_t(old_pages);
+}
+
+uint32_t
+execMemorySize(InstanceContext* ctx)
+{
+    return uint32_t(ctx->memSize / wasm::kPageSize);
+}
+
+extern "C" void
+lnbJitHostCall(InstanceContext* ctx, wasm::Value* args, uint32_t import_idx)
+{
+    if (import_idx >= ctx->numHostFuncs ||
+        ctx->hostFuncs[import_idx].fn == nullptr) {
+        mem::TrapManager::raiseTrap(wasm::TrapKind::host_error);
+    }
+    ctx->blockingEvents++;
+    HostFuncBinding& binding = ctx->hostFuncs[import_idx];
+    // Mark the value stack in use up to the argument area so re-entrant
+    // calls allocate their frames above the caller's.
+    wasm::Value* saved_top = ctx->vstackTop;
+    size_t arg_cells = std::max(binding.type->params.size(),
+                                binding.type->results.size());
+    ctx->vstackTop = args + arg_cells;
+    binding.fn(ctx, args, binding.user);
+    ctx->vstackTop = saved_top;
+}
+
+extern "C" int32_t
+lnbJitMemoryGrow(InstanceContext* ctx, uint32_t delta_pages)
+{
+    return execMemoryGrow(ctx, delta_pages);
+}
+
+extern "C" void
+lnbJitMemoryCopy(InstanceContext* ctx, uint32_t dst, uint32_t src,
+                 uint32_t len)
+{
+    if (uint64_t(dst) + len > ctx->memSize ||
+        uint64_t(src) + len > ctx->memSize) {
+        mem::TrapManager::raiseTrap(wasm::TrapKind::out_of_bounds_memory);
+    }
+    std::memmove(ctx->memBase + dst, ctx->memBase + src, len);
+}
+
+extern "C" void
+lnbJitMemoryFill(InstanceContext* ctx, uint32_t dst, uint32_t value,
+                 uint32_t len)
+{
+    if (uint64_t(dst) + len > ctx->memSize)
+        mem::TrapManager::raiseTrap(wasm::TrapKind::out_of_bounds_memory);
+    std::memset(ctx->memBase + dst, int(uint8_t(value)), len);
+}
+
+} // namespace lnb::exec

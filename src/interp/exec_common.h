@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Execution state shared by every executor (both interpreters and the JIT)
+ * plus the helper entry points generated code calls back into.
+ *
+ * InstanceContext is deliberately a plain struct with a frozen layout: the
+ * JIT addresses its hot fields with fixed offsets (offsetof) from a pinned
+ * register. Cold bookkeeping lives behind the hot fields.
+ */
+#ifndef LNB_INTERP_EXEC_COMMON_H
+#define LNB_INTERP_EXEC_COMMON_H
+
+#include <cstdint>
+
+#include "mem/linear_memory.h"
+#include "wasm/lower.h"
+#include "wasm/types.h"
+
+namespace lnb::exec {
+
+struct InstanceContext;
+
+/**
+ * A host (imported) function. Arguments arrive in `args[0..n)`; results are
+ * written back to `args[0..m)` (the overlapping-frame convention used for
+ * wasm-to-wasm calls as well).
+ */
+using HostFn = void (*)(InstanceContext* ctx, wasm::Value* args, void* user);
+
+/** One bound import. */
+struct HostFuncBinding
+{
+    HostFn fn = nullptr;
+    void* user = nullptr;
+    const wasm::FuncType* type = nullptr;
+};
+
+/**
+ * One funcref table element. Fixed 32-byte layout: the JIT indexes the
+ * table with `idx * 32`.
+ */
+struct TableEntry
+{
+    /** Entry point of the compiled function (JIT engines) or null. */
+    const void* code = nullptr;
+    uint64_t typeIdx = 0;   ///< module-level type index for the type check
+    uint64_t funcIdx = 0;   ///< function index (interpreters dispatch on it)
+    uint64_t initialized = 0;
+};
+
+static_assert(sizeof(TableEntry) == 32, "JIT indexes the table by *32");
+
+/**
+ * All state one executing instance needs. Hot fields first; the JIT reads
+ * them via offsetof from its context register.
+ */
+struct InstanceContext
+{
+    // ----- hot: read by generated code -----
+    uint8_t* memBase = nullptr;
+    uint64_t memSize = 0;      ///< current linear-memory size in bytes
+    uint64_t clampOffset = 0;  ///< red-zone offset for the clamp strategy
+    wasm::Value* vstack = nullptr;
+    wasm::Value* vstackEnd = nullptr;
+    wasm::Value* globals = nullptr;
+    TableEntry* table = nullptr;
+    uint64_t tableSize = 0;
+    /** Per defined function: JIT entry points (JIT engines only). */
+    const void* const* jitEntries = nullptr;
+    /**
+     * Lowest native stack address generated code may still use; the JIT
+     * prologue compares rsp against this (the "stack overflow check" cost
+     * the paper lists among wasm's safety mechanisms).
+     */
+    uint64_t nativeStackLimit = 0;
+
+    // ----- cold: runtime bookkeeping -----
+    /**
+     * First free cell of the value stack for a new top-level activation.
+     * Equals `vstack` when idle; host-call glue advances it past the
+     * argument area so a host function re-entering the instance cannot
+     * clobber the outer activation's frames.
+     */
+    wasm::Value* vstackTop = nullptr;
+    mem::LinearMemory* memory = nullptr;
+    const wasm::LoweredModule* lowered = nullptr;
+    HostFuncBinding* hostFuncs = nullptr;
+    uint32_t numHostFuncs = 0;
+    uint32_t callDepth = 0;
+    uint32_t maxCallDepth = 8192;
+    /** Runtime blocking-event counter (paper Fig. 5 substitute): grows,
+     * host calls that may block, trap recoveries. */
+    uint64_t blockingEvents = 0;
+};
+
+/** Bounds-check flavours executors specialize on. */
+enum class CheckMode : uint8_t {
+    raw,   ///< no inline checks (none / mprotect / uffd strategies)
+    clamp, ///< clamp out-of-bounds addresses to the red zone
+    trap,  ///< explicit compare and trap
+};
+
+/** Map a strategy to the executor check mode. */
+inline CheckMode
+checkModeFor(mem::BoundsStrategy strategy)
+{
+    switch (strategy) {
+      case mem::BoundsStrategy::clamp: return CheckMode::clamp;
+      case mem::BoundsStrategy::trap: return CheckMode::trap;
+      default: return CheckMode::raw;
+    }
+}
+
+/**
+ * memory.grow entry point shared by all executors: grows the backing
+ * memory, refreshes the context mirrors, and returns the old page count or
+ * -1. Never traps.
+ */
+int32_t execMemoryGrow(InstanceContext* ctx, uint32_t delta_pages);
+
+/** memory.size entry point. */
+uint32_t execMemorySize(InstanceContext* ctx);
+
+/**
+ * Host-call glue used by the JIT (and the interpreters): dispatches import
+ * @p import_idx with the argument area at @p args. Traps on missing
+ * binding.
+ */
+extern "C" void lnbJitHostCall(InstanceContext* ctx, wasm::Value* args,
+                               uint32_t import_idx);
+
+/** memory.grow glue with the JIT's calling shape. */
+extern "C" int32_t lnbJitMemoryGrow(InstanceContext* ctx,
+                                    uint32_t delta_pages);
+
+/** memory.copy glue: bounds-checked memmove; traps on OOB. */
+extern "C" void lnbJitMemoryCopy(InstanceContext* ctx, uint32_t dst,
+                                 uint32_t src, uint32_t len);
+
+/** memory.fill glue: bounds-checked memset; traps on OOB. */
+extern "C" void lnbJitMemoryFill(InstanceContext* ctx, uint32_t dst,
+                                 uint32_t value, uint32_t len);
+
+} // namespace lnb::exec
+
+#endif // LNB_INTERP_EXEC_COMMON_H

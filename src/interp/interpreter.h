@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Interpreter entry points. Two dispatch techniques over the same lowered
+ * IR and the same semantic functions:
+ *
+ *  - switch_loop: a portable for(;;)+switch loop (the naive lower bound);
+ *  - threaded:    computed-goto token threading, one handler and one
+ *                 indirect dispatch branch per opcode (the wasm3 analogue,
+ *                 paper §2.2).
+ *
+ * Both are specialized per CheckMode so that, e.g., the `none` strategy
+ * really executes no bounds-check instructions (not even a well-predicted
+ * branch).
+ */
+#ifndef LNB_INTERP_INTERPRETER_H
+#define LNB_INTERP_INTERPRETER_H
+
+#include <cstring>
+
+#include "interp/exec_common.h"
+#include "mem/signals.h"
+
+namespace lnb::exec {
+
+/** Interpreter dispatch technique. */
+enum class DispatchKind : uint8_t { switch_loop, threaded };
+
+/**
+ * Signature of an interpreter entry: runs one defined function whose frame
+ * (with arguments preloaded at cells 0..numParams) starts at @p frame.
+ * Must be invoked under TrapManager::protect; traps longjmp out.
+ */
+using InterpFn = void (*)(InstanceContext* ctx,
+                          const wasm::LoweredFunc& func,
+                          wasm::Value* frame);
+
+/** Entry point of the switch interpreter for @p mode. */
+InterpFn switchInterpEntry(CheckMode mode);
+
+/** Entry point of the threaded interpreter for @p mode. */
+InterpFn threadedInterpEntry(CheckMode mode);
+
+/** Entry for a dispatch kind + mode pair. */
+inline InterpFn
+interpEntry(DispatchKind kind, CheckMode mode)
+{
+    return kind == DispatchKind::switch_loop ? switchInterpEntry(mode)
+                                             : threadedInterpEntry(mode);
+}
+
+namespace detail {
+
+/**
+ * Common per-call prologue: stack-limit and depth checks plus zeroing of
+ * non-parameter locals. Returns the frame pointer for convenience.
+ */
+inline wasm::Value*
+enterFrame(InstanceContext* ctx, const wasm::LoweredFunc& func,
+           wasm::Value* frame)
+{
+    if (frame + func.numCells > ctx->vstackEnd ||
+        ctx->callDepth >= ctx->maxCallDepth) {
+        mem::TrapManager::raiseTrap(wasm::TrapKind::stack_overflow);
+    }
+    ctx->callDepth++;
+    if (func.numLocalCells > func.numParams) {
+        std::memset(frame + func.numParams, 0,
+                    size_t(func.numLocalCells - func.numParams) *
+                        sizeof(wasm::Value));
+    }
+    return frame;
+}
+
+/** Resolved call_indirect target. */
+struct IndirectTarget
+{
+    uint32_t funcIdx = 0;
+    wasm::Value* argBase = nullptr;
+    bool isHost = false;
+};
+
+/** Perform the call_indirect checks (paper §1: "indirect call checks"). */
+inline IndirectTarget
+resolveIndirect(InstanceContext* ctx, const wasm::LInst& inst,
+                wasm::Value* frame)
+{
+    uint32_t idx = frame[inst.b].i32;
+    if (idx >= ctx->tableSize)
+        mem::TrapManager::raiseTrap(wasm::TrapKind::out_of_bounds_table);
+    const TableEntry& entry = ctx->table[idx];
+    if (!entry.initialized)
+        mem::TrapManager::raiseTrap(wasm::TrapKind::uninitialized_element);
+    if (entry.typeIdx != inst.imm)
+        mem::TrapManager::raiseTrap(
+            wasm::TrapKind::indirect_type_mismatch);
+
+    const wasm::FuncType& sig = ctx->lowered->module.types[inst.a];
+    IndirectTarget target;
+    target.funcIdx = uint32_t(entry.funcIdx);
+    target.argBase = frame + inst.b - sig.params.size();
+    target.isHost = ctx->lowered->module.isImportedFunc(target.funcIdx);
+    return target;
+}
+
+} // namespace detail
+
+} // namespace lnb::exec
+
+#endif // LNB_INTERP_INTERPRETER_H

@@ -1,0 +1,704 @@
+/**
+ * @file
+ * Inline semantics of every lowered wasm instruction, shared by the switch
+ * and threaded interpreters so the two agree bit-exactly. Each sem_<op>
+ * function reads/writes frame cells per the LInst operand conventions
+ * (see wasm/lower.h) and raises wasm traps via TrapManager.
+ *
+ * Numeric semantics follow the WebAssembly core spec: shift counts are
+ * masked, integer division traps on zero and INT_MIN/-1, float min/max
+ * propagate NaN and order -0 < +0, checked truncations trap on NaN and
+ * out-of-range inputs, saturating truncations clamp.
+ *
+ * Every lowered wasm instruction gets its own inline function so the
+ * threaded interpreter can give every opcode an independent handler (and
+ * therefore an independently predicted dispatch branch, the property that
+ * makes threaded interpreters fast — paper §2.2). The switch interpreter
+ * reuses the same functions through an X-macro-generated switch, so the
+ * two dispatch techniques share identical semantics.
+ */
+#ifndef LNB_INTERP_OPS_INLINE_H
+#define LNB_INTERP_OPS_INLINE_H
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "interp/exec_common.h"
+#include "mem/signals.h"
+
+namespace lnb::exec::sem {
+
+using wasm::LInst;
+using wasm::TrapKind;
+using wasm::Value;
+
+[[noreturn]] inline void
+trap(TrapKind kind)
+{
+    mem::TrapManager::raiseTrap(kind);
+}
+
+// ---------------------------------------------------------------------
+// Memory access
+// ---------------------------------------------------------------------
+
+/**
+ * Resolve the effective address of an access of @p size bytes at linear
+ * address cell-value + offset, applying the executor check mode.
+ */
+template <CheckMode M>
+inline uint8_t*
+memAddr(InstanceContext* ctx, uint32_t addr, uint64_t offset, unsigned size)
+{
+    uint64_t ea = uint64_t(addr) + offset;
+    if constexpr (M == CheckMode::clamp) {
+        if (ea + size > ctx->memSize)
+            ea = ctx->clampOffset;
+    } else if constexpr (M == CheckMode::trap) {
+        if (ea + size > ctx->memSize)
+            trap(TrapKind::out_of_bounds_memory);
+    }
+    // CheckMode::raw: the guard pages (or the flat mapping) police this.
+    return ctx->memBase + ea;
+}
+
+template <CheckMode M, typename MemT, typename CellT>
+inline void
+loadOp(InstanceContext* ctx, Value* f, const LInst& inst)
+{
+    MemT raw;
+    std::memcpy(&raw, memAddr<M>(ctx, f[inst.a].i32, inst.imm, sizeof(MemT)),
+                sizeof(MemT));
+    CellT widened = CellT(raw);
+    if constexpr (sizeof(CellT) == 4) {
+        f[inst.a].i32 = uint32_t(widened);
+    } else {
+        f[inst.a].i64 = uint64_t(widened);
+    }
+}
+
+template <CheckMode M>
+inline void
+loadF32(InstanceContext* ctx, Value* f, const LInst& inst)
+{
+    std::memcpy(&f[inst.a].f32, memAddr<M>(ctx, f[inst.a].i32, inst.imm, 4),
+                4);
+}
+
+template <CheckMode M>
+inline void
+loadF64(InstanceContext* ctx, Value* f, const LInst& inst)
+{
+    std::memcpy(&f[inst.a].f64, memAddr<M>(ctx, f[inst.a].i32, inst.imm, 8),
+                8);
+}
+
+template <CheckMode M, typename MemT>
+inline void
+storeOp(InstanceContext* ctx, Value* f, const LInst& inst, uint64_t bits)
+{
+    MemT narrow = MemT(bits);
+    std::memcpy(memAddr<M>(ctx, f[inst.a].i32, inst.imm, sizeof(MemT)),
+                &narrow, sizeof(MemT));
+}
+
+// ---------------------------------------------------------------------
+// Integer helpers
+// ---------------------------------------------------------------------
+
+inline uint32_t
+idiv32s(uint32_t lhs, uint32_t rhs)
+{
+    auto a = int32_t(lhs), b = int32_t(rhs);
+    if (b == 0)
+        trap(TrapKind::integer_divide_by_zero);
+    if (a == INT32_MIN && b == -1)
+        trap(TrapKind::integer_overflow);
+    return uint32_t(a / b);
+}
+
+inline uint32_t
+irem32s(uint32_t lhs, uint32_t rhs)
+{
+    auto a = int32_t(lhs), b = int32_t(rhs);
+    if (b == 0)
+        trap(TrapKind::integer_divide_by_zero);
+    if (b == -1)
+        return 0; // INT_MIN % -1 == 0, no trap
+    return uint32_t(a % b);
+}
+
+inline uint32_t
+idiv32u(uint32_t a, uint32_t b)
+{
+    if (b == 0)
+        trap(TrapKind::integer_divide_by_zero);
+    return a / b;
+}
+
+inline uint32_t
+irem32u(uint32_t a, uint32_t b)
+{
+    if (b == 0)
+        trap(TrapKind::integer_divide_by_zero);
+    return a % b;
+}
+
+inline uint64_t
+idiv64s(uint64_t lhs, uint64_t rhs)
+{
+    auto a = int64_t(lhs), b = int64_t(rhs);
+    if (b == 0)
+        trap(TrapKind::integer_divide_by_zero);
+    if (a == INT64_MIN && b == -1)
+        trap(TrapKind::integer_overflow);
+    return uint64_t(a / b);
+}
+
+inline uint64_t
+irem64s(uint64_t lhs, uint64_t rhs)
+{
+    auto a = int64_t(lhs), b = int64_t(rhs);
+    if (b == 0)
+        trap(TrapKind::integer_divide_by_zero);
+    if (b == -1)
+        return 0;
+    return uint64_t(a % b);
+}
+
+inline uint64_t
+idiv64u(uint64_t a, uint64_t b)
+{
+    if (b == 0)
+        trap(TrapKind::integer_divide_by_zero);
+    return a / b;
+}
+
+inline uint64_t
+irem64u(uint64_t a, uint64_t b)
+{
+    if (b == 0)
+        trap(TrapKind::integer_divide_by_zero);
+    return a % b;
+}
+
+inline uint32_t clz32(uint32_t v) { return v ? uint32_t(__builtin_clz(v)) : 32; }
+inline uint32_t ctz32(uint32_t v) { return v ? uint32_t(__builtin_ctz(v)) : 32; }
+inline uint64_t clz64(uint64_t v) { return v ? uint64_t(__builtin_clzll(v)) : 64; }
+inline uint64_t ctz64(uint64_t v) { return v ? uint64_t(__builtin_ctzll(v)) : 64; }
+
+inline uint32_t
+rotl32(uint32_t v, uint32_t n)
+{
+    n &= 31;
+    return n == 0 ? v : (v << n) | (v >> (32 - n));
+}
+inline uint32_t
+rotr32(uint32_t v, uint32_t n)
+{
+    n &= 31;
+    return n == 0 ? v : (v >> n) | (v << (32 - n));
+}
+inline uint64_t
+rotl64(uint64_t v, uint64_t n)
+{
+    n &= 63;
+    return n == 0 ? v : (v << n) | (v >> (64 - n));
+}
+inline uint64_t
+rotr64(uint64_t v, uint64_t n)
+{
+    n &= 63;
+    return n == 0 ? v : (v >> n) | (v << (64 - n));
+}
+
+// ---------------------------------------------------------------------
+// Float helpers (wasm min/max/nearest semantics)
+// ---------------------------------------------------------------------
+
+template <typename T>
+inline T
+fminWasm(T a, T b)
+{
+    if (std::isnan(a) || std::isnan(b))
+        return std::numeric_limits<T>::quiet_NaN();
+    if (a < b)
+        return a;
+    if (b < a)
+        return b;
+    // Equal (covers +0/-0): -0 wins for min.
+    return std::signbit(a) ? a : b;
+}
+
+template <typename T>
+inline T
+fmaxWasm(T a, T b)
+{
+    if (std::isnan(a) || std::isnan(b))
+        return std::numeric_limits<T>::quiet_NaN();
+    if (a > b)
+        return a;
+    if (b > a)
+        return b;
+    // Equal: +0 wins for max.
+    return std::signbit(a) ? b : a;
+}
+
+/** Round to nearest, ties to even (the default FP environment mode). */
+inline float fnearest(float v) { return std::nearbyintf(v); }
+inline double fnearest(double v) { return std::nearbyint(v); }
+
+// ---------------------------------------------------------------------
+// Checked truncations (trap variants)
+// ---------------------------------------------------------------------
+
+template <typename F>
+[[noreturn]] inline void
+truncTrap(F v)
+{
+    trap(std::isnan(v) ? TrapKind::invalid_conversion
+                       : TrapKind::integer_overflow);
+}
+
+inline uint32_t
+truncF32ToI32s(float v)
+{
+    if (!(v >= -2147483648.0f && v < 2147483648.0f))
+        truncTrap(v);
+    return uint32_t(int32_t(v));
+}
+inline uint32_t
+truncF32ToI32u(float v)
+{
+    if (!(v > -1.0f && v < 4294967296.0f))
+        truncTrap(v);
+    return v <= 0.0f ? 0u : uint32_t(v);
+}
+inline uint32_t
+truncF64ToI32s(double v)
+{
+    if (!(v > -2147483649.0 && v < 2147483648.0))
+        truncTrap(v);
+    return uint32_t(int32_t(v));
+}
+inline uint32_t
+truncF64ToI32u(double v)
+{
+    if (!(v > -1.0 && v < 4294967296.0))
+        truncTrap(v);
+    return v <= 0.0 ? 0u : uint32_t(v);
+}
+inline uint64_t
+truncF32ToI64s(float v)
+{
+    if (!(v >= -9223372036854775808.0f && v < 9223372036854775808.0f))
+        truncTrap(v);
+    return uint64_t(int64_t(v));
+}
+inline uint64_t
+truncF32ToI64u(float v)
+{
+    if (!(v > -1.0f && v < 18446744073709551616.0f))
+        truncTrap(v);
+    return v <= 0.0f ? 0ull : uint64_t(v);
+}
+inline uint64_t
+truncF64ToI64s(double v)
+{
+    if (!(v >= -9223372036854775808.0 && v < 9223372036854775808.0))
+        truncTrap(v);
+    return uint64_t(int64_t(v));
+}
+inline uint64_t
+truncF64ToI64u(double v)
+{
+    if (!(v > -1.0 && v < 18446744073709551616.0))
+        truncTrap(v);
+    return v <= 0.0 ? 0ull : uint64_t(v);
+}
+
+// ---------------------------------------------------------------------
+// Saturating truncations
+// ---------------------------------------------------------------------
+
+inline uint32_t
+satF32ToI32s(float v)
+{
+    if (std::isnan(v)) return 0;
+    if (v <= -2147483648.0f) return uint32_t(INT32_MIN);
+    if (v >= 2147483648.0f) return uint32_t(INT32_MAX);
+    return uint32_t(int32_t(v));
+}
+inline uint32_t
+satF32ToI32u(float v)
+{
+    if (std::isnan(v) || v <= -1.0f) return 0;
+    if (v >= 4294967296.0f) return UINT32_MAX;
+    return v <= 0.0f ? 0u : uint32_t(v);
+}
+inline uint32_t
+satF64ToI32s(double v)
+{
+    if (std::isnan(v)) return 0;
+    if (v <= -2147483649.0) return uint32_t(INT32_MIN);
+    if (v >= 2147483648.0) return uint32_t(INT32_MAX);
+    return uint32_t(int32_t(v));
+}
+inline uint32_t
+satF64ToI32u(double v)
+{
+    if (std::isnan(v) || v <= -1.0) return 0;
+    if (v >= 4294967296.0) return UINT32_MAX;
+    return v <= 0.0 ? 0u : uint32_t(v);
+}
+inline uint64_t
+satF32ToI64s(float v)
+{
+    if (std::isnan(v)) return 0;
+    if (v <= -9223372036854775808.0f) return uint64_t(INT64_MIN);
+    if (v >= 9223372036854775808.0f) return uint64_t(INT64_MAX);
+    return uint64_t(int64_t(v));
+}
+inline uint64_t
+satF32ToI64u(float v)
+{
+    if (std::isnan(v) || v <= -1.0f) return 0;
+    if (v >= 18446744073709551616.0f) return UINT64_MAX;
+    return v <= 0.0f ? 0ull : uint64_t(v);
+}
+inline uint64_t
+satF64ToI64s(double v)
+{
+    if (std::isnan(v)) return 0;
+    if (v <= -9223372036854775808.0) return uint64_t(INT64_MIN);
+    if (v >= 9223372036854775808.0) return uint64_t(INT64_MAX);
+    return uint64_t(int64_t(v));
+}
+inline uint64_t
+satF64ToI64u(double v)
+{
+    if (std::isnan(v) || v <= -1.0) return 0;
+    if (v >= 18446744073709551616.0) return UINT64_MAX;
+    return v <= 0.0 ? 0ull : uint64_t(v);
+}
+
+// ---------------------------------------------------------------------
+// Bulk memory
+// ---------------------------------------------------------------------
+
+template <CheckMode M>
+inline void
+memoryCopyImpl(InstanceContext* ctx, Value* f, const LInst& inst)
+{
+    uint64_t d = f[inst.a].i32;
+    uint64_t s = f[inst.a + 1].i32;
+    uint64_t n = f[inst.a + 2].i32;
+    // Bulk ops always bounds-check per spec, regardless of strategy: guard
+    // pages would catch them too, but memmove would partially copy first.
+    if (d + n > ctx->memSize || s + n > ctx->memSize)
+        trap(TrapKind::out_of_bounds_memory);
+    std::memmove(ctx->memBase + d, ctx->memBase + s, n);
+}
+
+template <CheckMode M>
+inline void
+memoryFillImpl(InstanceContext* ctx, Value* f, const LInst& inst)
+{
+    uint64_t d = f[inst.a].i32;
+    uint8_t v = uint8_t(f[inst.a + 1].i32);
+    uint64_t n = f[inst.a + 2].i32;
+    if (d + n > ctx->memSize)
+        trap(TrapKind::out_of_bounds_memory);
+    std::memset(ctx->memBase + d, v, n);
+}
+
+// ---------------------------------------------------------------------
+// Per-opcode semantic functions
+// ---------------------------------------------------------------------
+
+#define LNB_SEM(name, ...)                                                   \
+    template <CheckMode M>                                                   \
+    inline void sem_##name(InstanceContext* ctx, Value* f,                   \
+                           const LInst& inst)                                \
+    {                                                                        \
+        (void)ctx;                                                           \
+        (void)f;                                                             \
+        (void)inst;                                                          \
+        __VA_ARGS__                                                          \
+    }
+
+/** Control/variable ops never survive lowering; their handlers are
+ * unreachable for validated modules. */
+#define LNB_SEM_ABSENT(name) LNB_SEM(name, trap(TrapKind::host_error);)
+
+LNB_SEM_ABSENT(unreachable)
+LNB_SEM_ABSENT(nop)
+LNB_SEM_ABSENT(block)
+LNB_SEM_ABSENT(loop)
+LNB_SEM_ABSENT(if_)
+LNB_SEM_ABSENT(else_)
+LNB_SEM_ABSENT(end)
+LNB_SEM_ABSENT(br)
+LNB_SEM_ABSENT(br_if)
+LNB_SEM_ABSENT(br_table)
+LNB_SEM_ABSENT(return_)
+LNB_SEM_ABSENT(call)
+LNB_SEM_ABSENT(call_indirect)
+LNB_SEM_ABSENT(drop)
+LNB_SEM_ABSENT(local_get)
+LNB_SEM_ABSENT(local_set)
+LNB_SEM_ABSENT(local_tee)
+
+// ----- loads -----
+LNB_SEM(i32_load, (loadOp<M, uint32_t, uint32_t>(ctx, f, inst));)
+LNB_SEM(i64_load, (loadOp<M, uint64_t, uint64_t>(ctx, f, inst));)
+LNB_SEM(f32_load, loadF32<M>(ctx, f, inst);)
+LNB_SEM(f64_load, loadF64<M>(ctx, f, inst);)
+LNB_SEM(i32_load8_s, (loadOp<M, int8_t, int32_t>(ctx, f, inst));)
+LNB_SEM(i32_load8_u, (loadOp<M, uint8_t, uint32_t>(ctx, f, inst));)
+LNB_SEM(i32_load16_s, (loadOp<M, int16_t, int32_t>(ctx, f, inst));)
+LNB_SEM(i32_load16_u, (loadOp<M, uint16_t, uint32_t>(ctx, f, inst));)
+LNB_SEM(i64_load8_s, (loadOp<M, int8_t, int64_t>(ctx, f, inst));)
+LNB_SEM(i64_load8_u, (loadOp<M, uint8_t, uint64_t>(ctx, f, inst));)
+LNB_SEM(i64_load16_s, (loadOp<M, int16_t, int64_t>(ctx, f, inst));)
+LNB_SEM(i64_load16_u, (loadOp<M, uint16_t, uint64_t>(ctx, f, inst));)
+LNB_SEM(i64_load32_s, (loadOp<M, int32_t, int64_t>(ctx, f, inst));)
+LNB_SEM(i64_load32_u, (loadOp<M, uint32_t, uint64_t>(ctx, f, inst));)
+
+// ----- stores -----
+LNB_SEM(i32_store, (storeOp<M, uint32_t>(ctx, f, inst, f[inst.b].i32));)
+LNB_SEM(i64_store, (storeOp<M, uint64_t>(ctx, f, inst, f[inst.b].i64));)
+LNB_SEM(f32_store, (storeOp<M, uint32_t>(ctx, f, inst, f[inst.b].i32));)
+LNB_SEM(f64_store, (storeOp<M, uint64_t>(ctx, f, inst, f[inst.b].i64));)
+LNB_SEM(i32_store8, (storeOp<M, uint8_t>(ctx, f, inst, f[inst.b].i32));)
+LNB_SEM(i32_store16, (storeOp<M, uint16_t>(ctx, f, inst, f[inst.b].i32));)
+LNB_SEM(i64_store8, (storeOp<M, uint8_t>(ctx, f, inst, f[inst.b].i64));)
+LNB_SEM(i64_store16, (storeOp<M, uint16_t>(ctx, f, inst, f[inst.b].i64));)
+LNB_SEM(i64_store32, (storeOp<M, uint32_t>(ctx, f, inst, f[inst.b].i64));)
+
+// ----- memory management -----
+LNB_SEM(memory_size, f[inst.a].i64 = 0; f[inst.a].i32 = execMemorySize(ctx);)
+LNB_SEM(memory_grow,
+        f[inst.a].i32 = uint32_t(execMemoryGrow(ctx, f[inst.a].i32));)
+LNB_SEM(memory_copy, memoryCopyImpl<M>(ctx, f, inst);)
+LNB_SEM(memory_fill, memoryFillImpl<M>(ctx, f, inst);)
+
+// ----- constants -----
+LNB_SEM(i32_const, f[inst.a].i64 = inst.imm;)
+LNB_SEM(i64_const, f[inst.a].i64 = inst.imm;)
+LNB_SEM(f32_const, f[inst.a].i64 = inst.imm;)
+LNB_SEM(f64_const, f[inst.a].i64 = inst.imm;)
+
+// ----- i32 compare -----
+LNB_SEM(i32_eqz, f[inst.a].i32 = f[inst.a].i32 == 0;)
+LNB_SEM(i32_eq, f[inst.a].i32 = f[inst.a].i32 == f[inst.b].i32;)
+LNB_SEM(i32_ne, f[inst.a].i32 = f[inst.a].i32 != f[inst.b].i32;)
+LNB_SEM(i32_lt_s,
+        f[inst.a].i32 = int32_t(f[inst.a].i32) < int32_t(f[inst.b].i32);)
+LNB_SEM(i32_lt_u, f[inst.a].i32 = f[inst.a].i32 < f[inst.b].i32;)
+LNB_SEM(i32_gt_s,
+        f[inst.a].i32 = int32_t(f[inst.a].i32) > int32_t(f[inst.b].i32);)
+LNB_SEM(i32_gt_u, f[inst.a].i32 = f[inst.a].i32 > f[inst.b].i32;)
+LNB_SEM(i32_le_s,
+        f[inst.a].i32 = int32_t(f[inst.a].i32) <= int32_t(f[inst.b].i32);)
+LNB_SEM(i32_le_u, f[inst.a].i32 = f[inst.a].i32 <= f[inst.b].i32;)
+LNB_SEM(i32_ge_s,
+        f[inst.a].i32 = int32_t(f[inst.a].i32) >= int32_t(f[inst.b].i32);)
+LNB_SEM(i32_ge_u, f[inst.a].i32 = f[inst.a].i32 >= f[inst.b].i32;)
+
+// ----- i64 compare -----
+LNB_SEM(i64_eqz, f[inst.a].i32 = f[inst.a].i64 == 0;)
+LNB_SEM(i64_eq, f[inst.a].i32 = f[inst.a].i64 == f[inst.b].i64;)
+LNB_SEM(i64_ne, f[inst.a].i32 = f[inst.a].i64 != f[inst.b].i64;)
+LNB_SEM(i64_lt_s,
+        f[inst.a].i32 = int64_t(f[inst.a].i64) < int64_t(f[inst.b].i64);)
+LNB_SEM(i64_lt_u, f[inst.a].i32 = f[inst.a].i64 < f[inst.b].i64;)
+LNB_SEM(i64_gt_s,
+        f[inst.a].i32 = int64_t(f[inst.a].i64) > int64_t(f[inst.b].i64);)
+LNB_SEM(i64_gt_u, f[inst.a].i32 = f[inst.a].i64 > f[inst.b].i64;)
+LNB_SEM(i64_le_s,
+        f[inst.a].i32 = int64_t(f[inst.a].i64) <= int64_t(f[inst.b].i64);)
+LNB_SEM(i64_le_u, f[inst.a].i32 = f[inst.a].i64 <= f[inst.b].i64;)
+LNB_SEM(i64_ge_s,
+        f[inst.a].i32 = int64_t(f[inst.a].i64) >= int64_t(f[inst.b].i64);)
+LNB_SEM(i64_ge_u, f[inst.a].i32 = f[inst.a].i64 >= f[inst.b].i64;)
+
+// ----- float compare -----
+LNB_SEM(f32_eq, f[inst.a].i32 = f[inst.a].f32 == f[inst.b].f32;)
+LNB_SEM(f32_ne, f[inst.a].i32 = f[inst.a].f32 != f[inst.b].f32;)
+LNB_SEM(f32_lt, f[inst.a].i32 = f[inst.a].f32 < f[inst.b].f32;)
+LNB_SEM(f32_gt, f[inst.a].i32 = f[inst.a].f32 > f[inst.b].f32;)
+LNB_SEM(f32_le, f[inst.a].i32 = f[inst.a].f32 <= f[inst.b].f32;)
+LNB_SEM(f32_ge, f[inst.a].i32 = f[inst.a].f32 >= f[inst.b].f32;)
+LNB_SEM(f64_eq, f[inst.a].i32 = f[inst.a].f64 == f[inst.b].f64;)
+LNB_SEM(f64_ne, f[inst.a].i32 = f[inst.a].f64 != f[inst.b].f64;)
+LNB_SEM(f64_lt, f[inst.a].i32 = f[inst.a].f64 < f[inst.b].f64;)
+LNB_SEM(f64_gt, f[inst.a].i32 = f[inst.a].f64 > f[inst.b].f64;)
+LNB_SEM(f64_le, f[inst.a].i32 = f[inst.a].f64 <= f[inst.b].f64;)
+LNB_SEM(f64_ge, f[inst.a].i32 = f[inst.a].f64 >= f[inst.b].f64;)
+
+// ----- i32 arithmetic -----
+LNB_SEM(i32_clz, f[inst.a].i32 = clz32(f[inst.a].i32);)
+LNB_SEM(i32_ctz, f[inst.a].i32 = ctz32(f[inst.a].i32);)
+LNB_SEM(i32_popcnt,
+        f[inst.a].i32 = uint32_t(__builtin_popcount(f[inst.a].i32));)
+LNB_SEM(i32_add, f[inst.a].i32 += f[inst.b].i32;)
+LNB_SEM(i32_sub, f[inst.a].i32 -= f[inst.b].i32;)
+LNB_SEM(i32_mul, f[inst.a].i32 *= f[inst.b].i32;)
+LNB_SEM(i32_div_s, f[inst.a].i32 = idiv32s(f[inst.a].i32, f[inst.b].i32);)
+LNB_SEM(i32_div_u, f[inst.a].i32 = idiv32u(f[inst.a].i32, f[inst.b].i32);)
+LNB_SEM(i32_rem_s, f[inst.a].i32 = irem32s(f[inst.a].i32, f[inst.b].i32);)
+LNB_SEM(i32_rem_u, f[inst.a].i32 = irem32u(f[inst.a].i32, f[inst.b].i32);)
+LNB_SEM(i32_and, f[inst.a].i32 &= f[inst.b].i32;)
+LNB_SEM(i32_or, f[inst.a].i32 |= f[inst.b].i32;)
+LNB_SEM(i32_xor, f[inst.a].i32 ^= f[inst.b].i32;)
+LNB_SEM(i32_shl, f[inst.a].i32 <<= (f[inst.b].i32 & 31);)
+LNB_SEM(i32_shr_s,
+        f[inst.a].i32 =
+            uint32_t(int32_t(f[inst.a].i32) >> (f[inst.b].i32 & 31));)
+LNB_SEM(i32_shr_u, f[inst.a].i32 >>= (f[inst.b].i32 & 31);)
+LNB_SEM(i32_rotl, f[inst.a].i32 = rotl32(f[inst.a].i32, f[inst.b].i32);)
+LNB_SEM(i32_rotr, f[inst.a].i32 = rotr32(f[inst.a].i32, f[inst.b].i32);)
+
+// ----- i64 arithmetic -----
+LNB_SEM(i64_clz, f[inst.a].i64 = clz64(f[inst.a].i64);)
+LNB_SEM(i64_ctz, f[inst.a].i64 = ctz64(f[inst.a].i64);)
+LNB_SEM(i64_popcnt,
+        f[inst.a].i64 = uint64_t(__builtin_popcountll(f[inst.a].i64));)
+LNB_SEM(i64_add, f[inst.a].i64 += f[inst.b].i64;)
+LNB_SEM(i64_sub, f[inst.a].i64 -= f[inst.b].i64;)
+LNB_SEM(i64_mul, f[inst.a].i64 *= f[inst.b].i64;)
+LNB_SEM(i64_div_s, f[inst.a].i64 = idiv64s(f[inst.a].i64, f[inst.b].i64);)
+LNB_SEM(i64_div_u, f[inst.a].i64 = idiv64u(f[inst.a].i64, f[inst.b].i64);)
+LNB_SEM(i64_rem_s, f[inst.a].i64 = irem64s(f[inst.a].i64, f[inst.b].i64);)
+LNB_SEM(i64_rem_u, f[inst.a].i64 = irem64u(f[inst.a].i64, f[inst.b].i64);)
+LNB_SEM(i64_and, f[inst.a].i64 &= f[inst.b].i64;)
+LNB_SEM(i64_or, f[inst.a].i64 |= f[inst.b].i64;)
+LNB_SEM(i64_xor, f[inst.a].i64 ^= f[inst.b].i64;)
+LNB_SEM(i64_shl, f[inst.a].i64 <<= (f[inst.b].i64 & 63);)
+LNB_SEM(i64_shr_s,
+        f[inst.a].i64 =
+            uint64_t(int64_t(f[inst.a].i64) >> (f[inst.b].i64 & 63));)
+LNB_SEM(i64_shr_u, f[inst.a].i64 >>= (f[inst.b].i64 & 63);)
+LNB_SEM(i64_rotl, f[inst.a].i64 = rotl64(f[inst.a].i64, f[inst.b].i64);)
+LNB_SEM(i64_rotr, f[inst.a].i64 = rotr64(f[inst.a].i64, f[inst.b].i64);)
+
+// ----- f32 arithmetic -----
+LNB_SEM(f32_abs, f[inst.a].f32 = std::fabs(f[inst.a].f32);)
+LNB_SEM(f32_neg, f[inst.a].f32 = -f[inst.a].f32;)
+LNB_SEM(f32_ceil, f[inst.a].f32 = std::ceil(f[inst.a].f32);)
+LNB_SEM(f32_floor, f[inst.a].f32 = std::floor(f[inst.a].f32);)
+LNB_SEM(f32_trunc, f[inst.a].f32 = std::trunc(f[inst.a].f32);)
+LNB_SEM(f32_nearest, f[inst.a].f32 = fnearest(f[inst.a].f32);)
+LNB_SEM(f32_sqrt, f[inst.a].f32 = std::sqrt(f[inst.a].f32);)
+LNB_SEM(f32_add, f[inst.a].f32 += f[inst.b].f32;)
+LNB_SEM(f32_sub, f[inst.a].f32 -= f[inst.b].f32;)
+LNB_SEM(f32_mul, f[inst.a].f32 *= f[inst.b].f32;)
+LNB_SEM(f32_div, f[inst.a].f32 /= f[inst.b].f32;)
+LNB_SEM(f32_min, f[inst.a].f32 = fminWasm(f[inst.a].f32, f[inst.b].f32);)
+LNB_SEM(f32_max, f[inst.a].f32 = fmaxWasm(f[inst.a].f32, f[inst.b].f32);)
+LNB_SEM(f32_copysign,
+        f[inst.a].f32 = std::copysign(f[inst.a].f32, f[inst.b].f32);)
+
+// ----- f64 arithmetic -----
+LNB_SEM(f64_abs, f[inst.a].f64 = std::fabs(f[inst.a].f64);)
+LNB_SEM(f64_neg, f[inst.a].f64 = -f[inst.a].f64;)
+LNB_SEM(f64_ceil, f[inst.a].f64 = std::ceil(f[inst.a].f64);)
+LNB_SEM(f64_floor, f[inst.a].f64 = std::floor(f[inst.a].f64);)
+LNB_SEM(f64_trunc, f[inst.a].f64 = std::trunc(f[inst.a].f64);)
+LNB_SEM(f64_nearest, f[inst.a].f64 = fnearest(f[inst.a].f64);)
+LNB_SEM(f64_sqrt, f[inst.a].f64 = std::sqrt(f[inst.a].f64);)
+LNB_SEM(f64_add, f[inst.a].f64 += f[inst.b].f64;)
+LNB_SEM(f64_sub, f[inst.a].f64 -= f[inst.b].f64;)
+LNB_SEM(f64_mul, f[inst.a].f64 *= f[inst.b].f64;)
+LNB_SEM(f64_div, f[inst.a].f64 /= f[inst.b].f64;)
+LNB_SEM(f64_min, f[inst.a].f64 = fminWasm(f[inst.a].f64, f[inst.b].f64);)
+LNB_SEM(f64_max, f[inst.a].f64 = fmaxWasm(f[inst.a].f64, f[inst.b].f64);)
+LNB_SEM(f64_copysign,
+        f[inst.a].f64 = std::copysign(f[inst.a].f64, f[inst.b].f64);)
+
+// ----- conversions -----
+LNB_SEM(i32_wrap_i64, f[inst.a].i32 = uint32_t(f[inst.a].i64);)
+LNB_SEM(i32_trunc_f32_s, f[inst.a].i32 = truncF32ToI32s(f[inst.a].f32);)
+LNB_SEM(i32_trunc_f32_u, f[inst.a].i32 = truncF32ToI32u(f[inst.a].f32);)
+LNB_SEM(i32_trunc_f64_s, f[inst.a].i32 = truncF64ToI32s(f[inst.a].f64);)
+LNB_SEM(i32_trunc_f64_u, f[inst.a].i32 = truncF64ToI32u(f[inst.a].f64);)
+LNB_SEM(i64_extend_i32_s,
+        f[inst.a].i64 = uint64_t(int64_t(int32_t(f[inst.a].i32)));)
+LNB_SEM(i64_extend_i32_u, f[inst.a].i64 = f[inst.a].i32;)
+LNB_SEM(i64_trunc_f32_s, f[inst.a].i64 = truncF32ToI64s(f[inst.a].f32);)
+LNB_SEM(i64_trunc_f32_u, f[inst.a].i64 = truncF32ToI64u(f[inst.a].f32);)
+LNB_SEM(i64_trunc_f64_s, f[inst.a].i64 = truncF64ToI64s(f[inst.a].f64);)
+LNB_SEM(i64_trunc_f64_u, f[inst.a].i64 = truncF64ToI64u(f[inst.a].f64);)
+LNB_SEM(f32_convert_i32_s, f[inst.a].f32 = float(int32_t(f[inst.a].i32));)
+LNB_SEM(f32_convert_i32_u, f[inst.a].f32 = float(f[inst.a].i32);)
+LNB_SEM(f32_convert_i64_s, f[inst.a].f32 = float(int64_t(f[inst.a].i64));)
+LNB_SEM(f32_convert_i64_u, f[inst.a].f32 = float(f[inst.a].i64);)
+LNB_SEM(f32_demote_f64, f[inst.a].f32 = float(f[inst.a].f64);)
+LNB_SEM(f64_convert_i32_s, f[inst.a].f64 = double(int32_t(f[inst.a].i32));)
+LNB_SEM(f64_convert_i32_u, f[inst.a].f64 = double(f[inst.a].i32);)
+LNB_SEM(f64_convert_i64_s, f[inst.a].f64 = double(int64_t(f[inst.a].i64));)
+LNB_SEM(f64_convert_i64_u, f[inst.a].f64 = double(f[inst.a].i64);)
+LNB_SEM(f64_promote_f32, f[inst.a].f64 = double(f[inst.a].f32);)
+// Reinterpret casts: the bit pattern is already in the cell.
+LNB_SEM(i32_reinterpret_f32, ;)
+LNB_SEM(i64_reinterpret_f64, ;)
+LNB_SEM(f32_reinterpret_i32, ;)
+LNB_SEM(f64_reinterpret_i64, ;)
+
+// ----- sign extension -----
+LNB_SEM(i32_extend8_s,
+        f[inst.a].i32 = uint32_t(int32_t(int8_t(f[inst.a].i32)));)
+LNB_SEM(i32_extend16_s,
+        f[inst.a].i32 = uint32_t(int32_t(int16_t(f[inst.a].i32)));)
+LNB_SEM(i64_extend8_s,
+        f[inst.a].i64 = uint64_t(int64_t(int8_t(f[inst.a].i64)));)
+LNB_SEM(i64_extend16_s,
+        f[inst.a].i64 = uint64_t(int64_t(int16_t(f[inst.a].i64)));)
+LNB_SEM(i64_extend32_s,
+        f[inst.a].i64 = uint64_t(int64_t(int32_t(f[inst.a].i64)));)
+
+// ----- saturating truncations -----
+LNB_SEM(i32_trunc_sat_f32_s, f[inst.a].i32 = satF32ToI32s(f[inst.a].f32);)
+LNB_SEM(i32_trunc_sat_f32_u, f[inst.a].i32 = satF32ToI32u(f[inst.a].f32);)
+LNB_SEM(i32_trunc_sat_f64_s, f[inst.a].i32 = satF64ToI32s(f[inst.a].f64);)
+LNB_SEM(i32_trunc_sat_f64_u, f[inst.a].i32 = satF64ToI32u(f[inst.a].f64);)
+LNB_SEM(i64_trunc_sat_f32_s, f[inst.a].i64 = satF32ToI64s(f[inst.a].f32);)
+LNB_SEM(i64_trunc_sat_f32_u, f[inst.a].i64 = satF32ToI64u(f[inst.a].f32);)
+LNB_SEM(i64_trunc_sat_f64_s, f[inst.a].i64 = satF64ToI64s(f[inst.a].f64);)
+LNB_SEM(i64_trunc_sat_f64_u, f[inst.a].i64 = satF64ToI64u(f[inst.a].f64);)
+
+// ----- parametric / variable ops that survive lowering -----
+LNB_SEM(select, if (f[inst.a + 2].i32 == 0) f[inst.a] = f[inst.a + 1];)
+LNB_SEM(global_get, f[inst.a] = ctx->globals[inst.b];)
+LNB_SEM(global_set, ctx->globals[inst.b] = f[inst.a];)
+
+#undef LNB_SEM_ABSENT
+#undef LNB_SEM
+
+/**
+ * Switch-dispatched execution of one lowered wasm instruction (used by the
+ * switch interpreter and as a slow path elsewhere). Control pseudo-ops
+ * (LOp) are handled by the interpreter loops themselves.
+ */
+template <CheckMode M>
+inline void
+execWasmOp(InstanceContext* ctx, Value* f, const LInst& inst)
+{
+    using wasm::Op;
+    switch (Op(inst.op)) {
+#define V(id, name, enc, imm, sig)                                           \
+      case Op::id:                                                           \
+        sem_##id<M>(ctx, f, inst);                                           \
+        break;
+        LNB_FOREACH_OPCODE(V)
+#undef V
+      default:
+        trap(TrapKind::host_error);
+    }
+}
+
+} // namespace lnb::exec::sem
+
+#endif // LNB_INTERP_OPS_INLINE_H

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The switch-dispatch interpreter: a portable fetch/execute loop over the
+ * lowered IR. Serves as the naive performance lower bound among the
+ * engines (paper §2.2's "relatively slow, but simple interpreters").
+ */
+#include "interp/interpreter.h"
+#include "interp/ops_inline.h"
+
+namespace lnb::exec {
+
+namespace {
+
+using wasm::LInst;
+using wasm::LOp;
+using wasm::LoweredFunc;
+using wasm::TrapKind;
+using wasm::Value;
+
+template <CheckMode M>
+void
+runSwitch(InstanceContext* ctx, const LoweredFunc& func, Value* frame)
+{
+    detail::enterFrame(ctx, func, frame);
+
+    const LInst* code = func.code.data();
+    const uint32_t* table_pool = func.tablePool.data();
+    uint32_t pc = 0;
+
+    for (;;) {
+        const LInst& inst = code[pc];
+        switch (LOp(inst.op)) {
+          case LOp::jump:
+            pc = inst.a;
+            continue;
+
+          case LOp::jump_if:
+            if (frame[inst.b].i32 != 0) {
+                pc = inst.a;
+                continue;
+            }
+            break;
+
+          case LOp::jump_if_zero:
+            if (frame[inst.b].i32 == 0) {
+                pc = inst.a;
+                continue;
+            }
+            break;
+
+          case LOp::jump_table: {
+            uint32_t idx = frame[inst.b].i32;
+            if (idx > inst.aux)
+                idx = inst.aux; // default case
+            pc = table_pool[inst.a + idx];
+            continue;
+          }
+
+          case LOp::copy:
+            frame[inst.b] = frame[inst.a];
+            break;
+
+          case LOp::ret:
+            if (inst.aux != 0)
+                frame[0] = frame[inst.a];
+            ctx->callDepth--;
+            return;
+
+          case LOp::callf:
+            runSwitch<M>(ctx, ctx->lowered->funcByIndex(inst.a),
+                         frame + inst.b);
+            break;
+
+          case LOp::call_host:
+            lnbJitHostCall(ctx, frame + inst.b, inst.a);
+            break;
+
+          case LOp::calli: {
+            detail::IndirectTarget target =
+                detail::resolveIndirect(ctx, inst, frame);
+            if (target.isHost) {
+                lnbJitHostCall(ctx, target.argBase, target.funcIdx);
+            } else {
+                runSwitch<M>(ctx, ctx->lowered->funcByIndex(target.funcIdx),
+                             target.argBase);
+            }
+            break;
+          }
+
+          case LOp::trap:
+            mem::TrapManager::raiseTrap(TrapKind(inst.aux));
+
+          default:
+            sem::execWasmOp<M>(ctx, frame, inst);
+            break;
+        }
+        pc++;
+    }
+}
+
+} // namespace
+
+InterpFn
+switchInterpEntry(CheckMode mode)
+{
+    switch (mode) {
+      case CheckMode::raw: return &runSwitch<CheckMode::raw>;
+      case CheckMode::clamp: return &runSwitch<CheckMode::clamp>;
+      case CheckMode::trap: return &runSwitch<CheckMode::trap>;
+    }
+    return nullptr;
+}
+
+} // namespace lnb::exec

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The token-threaded interpreter: computed-goto dispatch with one handler
+ * per opcode, so each instruction's dispatch is an independent indirect
+ * branch with its own predictor entry (Bell, "Threaded Code", CACM 1973 —
+ * the technique behind wasm3, paper §2.2).
+ */
+#include "interp/interpreter.h"
+#include "interp/ops_inline.h"
+
+namespace lnb::exec {
+
+namespace {
+
+using wasm::LInst;
+using wasm::LoweredFunc;
+using wasm::TrapKind;
+using wasm::Value;
+
+template <CheckMode M>
+void
+runThreaded(InstanceContext* ctx, const LoweredFunc& func, Value* frame)
+{
+    // Handler table indexed by LInst::op. Wasm opcodes first (in table
+    // order, matching the Op enumeration), then the lowered pseudo-ops in
+    // LOp declaration order.
+    static const void* const kLabels[] = {
+#define V(id, name, enc, imm, sig) &&L_##id,
+        LNB_FOREACH_OPCODE(V)
+#undef V
+        &&L_jump,      &&L_jump_if, &&L_jump_if_zero, &&L_jump_table,
+        &&L_copy,      &&L_ret,     &&L_callf,        &&L_call_host,
+        &&L_calli,     &&L_trap,
+    };
+    static_assert(sizeof(kLabels) / sizeof(kLabels[0]) == wasm::kLOpCount,
+                  "handler table must cover every lowered opcode");
+
+    detail::enterFrame(ctx, func, frame);
+
+    const LInst* code = func.code.data();
+    const uint32_t* table_pool = func.tablePool.data();
+    const LInst* inst = code;
+
+#define NEXT()                                                               \
+    do {                                                                     \
+        inst++;                                                              \
+        goto* kLabels[inst->op];                                             \
+    } while (0)
+#define JUMP_TO(target)                                                      \
+    do {                                                                     \
+        inst = code + (target);                                              \
+        goto* kLabels[inst->op];                                             \
+    } while (0)
+
+    goto* kLabels[inst->op];
+
+    // One handler per wasm opcode, inlining its semantic function.
+#define V(id, name, enc, imm, sig)                                           \
+    L_##id:                                                                  \
+    sem::sem_##id<M>(ctx, frame, *inst);                                     \
+    NEXT();
+    LNB_FOREACH_OPCODE(V)
+#undef V
+
+L_jump:
+    JUMP_TO(inst->a);
+
+L_jump_if:
+    if (frame[inst->b].i32 != 0)
+        JUMP_TO(inst->a);
+    NEXT();
+
+L_jump_if_zero:
+    if (frame[inst->b].i32 == 0)
+        JUMP_TO(inst->a);
+    NEXT();
+
+L_jump_table: {
+    uint32_t idx = frame[inst->b].i32;
+    if (idx > inst->aux)
+        idx = inst->aux;
+    JUMP_TO(table_pool[inst->a + idx]);
+}
+
+L_copy:
+    frame[inst->b] = frame[inst->a];
+    NEXT();
+
+L_ret:
+    if (inst->aux != 0)
+        frame[0] = frame[inst->a];
+    ctx->callDepth--;
+    return;
+
+L_callf:
+    runThreaded<M>(ctx, ctx->lowered->funcByIndex(inst->a),
+                   frame + inst->b);
+    NEXT();
+
+L_call_host:
+    lnbJitHostCall(ctx, frame + inst->b, inst->a);
+    NEXT();
+
+L_calli: {
+    detail::IndirectTarget target =
+        detail::resolveIndirect(ctx, *inst, frame);
+    if (target.isHost) {
+        lnbJitHostCall(ctx, target.argBase, target.funcIdx);
+    } else {
+        runThreaded<M>(ctx, ctx->lowered->funcByIndex(target.funcIdx),
+                       target.argBase);
+    }
+    NEXT();
+}
+
+L_trap:
+    mem::TrapManager::raiseTrap(TrapKind(inst->aux));
+
+#undef NEXT
+#undef JUMP_TO
+}
+
+} // namespace
+
+InterpFn
+threadedInterpEntry(CheckMode mode)
+{
+    switch (mode) {
+      case CheckMode::raw: return &runThreaded<CheckMode::raw>;
+      case CheckMode::clamp: return &runThreaded<CheckMode::clamp>;
+      case CheckMode::trap: return &runThreaded<CheckMode::trap>;
+    }
+    return nullptr;
+}
+
+} // namespace lnb::exec

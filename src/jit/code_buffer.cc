@@ -1,0 +1,42 @@
+#include "jit/code_buffer.h"
+
+#include <sys/mman.h>
+
+namespace lnb::jit {
+
+Result<std::unique_ptr<CodeBuffer>>
+CodeBuffer::allocate(size_t capacity)
+{
+    // Round to whole pages.
+    capacity = (capacity + 4095) & ~size_t(4095);
+    void* p = mmap(nullptr, capacity, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (p == MAP_FAILED)
+        return errResource("mmap for JIT code failed");
+    auto buf = std::unique_ptr<CodeBuffer>(new CodeBuffer());
+    buf->base_ = static_cast<uint8_t*>(p);
+    buf->capacity_ = capacity;
+    return buf;
+}
+
+CodeBuffer::~CodeBuffer()
+{
+    if (region_ != nullptr)
+        mem::CodeRegionRegistry::remove(region_);
+    if (base_ != nullptr)
+        munmap(base_, capacity_);
+}
+
+Status
+CodeBuffer::finalize(size_t used)
+{
+    used_ = used;
+    if (mprotect(base_, capacity_, PROT_READ | PROT_EXEC) != 0)
+        return errResource("mprotect(RX) for JIT code failed");
+    region_ = mem::CodeRegionRegistry::add(base_, capacity_);
+    if (region_ == nullptr)
+        return errResource("code region registry full");
+    return Status::ok();
+}
+
+} // namespace lnb::jit

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Executable memory for generated code: allocated read-write, flipped to
+ * read-execute once compilation finishes (W^X), and registered with the
+ * CodeRegionRegistry so signal handlers can attribute SIGILL/SIGFPE inside
+ * it to wasm traps.
+ */
+#ifndef LNB_JIT_CODE_BUFFER_H
+#define LNB_JIT_CODE_BUFFER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "mem/code_registry.h"
+#include "support/status.h"
+
+namespace lnb::jit {
+
+class CodeBuffer
+{
+  public:
+    /** Allocate @p capacity bytes of RW memory for code emission. */
+    static Result<std::unique_ptr<CodeBuffer>> allocate(size_t capacity);
+
+    ~CodeBuffer();
+    CodeBuffer(const CodeBuffer&) = delete;
+    CodeBuffer& operator=(const CodeBuffer&) = delete;
+
+    uint8_t* data() const { return base_; }
+    size_t capacity() const { return capacity_; }
+    size_t used() const { return used_; }
+
+    /** Flip to RX and register as a code region. Call exactly once. */
+    Status finalize(size_t used);
+
+  private:
+    CodeBuffer() = default;
+
+    uint8_t* base_ = nullptr;
+    size_t capacity_ = 0;
+    size_t used_ = 0;
+    mem::CodeRegionRegistry::Region* region_ = nullptr;
+};
+
+} // namespace lnb::jit
+
+#endif // LNB_JIT_CODE_BUFFER_H

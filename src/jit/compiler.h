@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Public interface of the x86-64 JIT.
+ *
+ * The JIT compiles a LoweredModule into native code with the same frame
+ * convention as the interpreters (args preloaded at cells 0..numParams of a
+ * frame inside the instance's value stack; results left at cell 0), so the
+ * runtime can call any engine's output through one entry signature.
+ *
+ * Bounds-check emission is a compile-time strategy:
+ *   none / mprotect / uffd -> no inline checks (guard-page reliance)
+ *   clamp                  -> compare + cmov to the red-zone offset
+ *   trap                   -> compare + branch to a ud2 island
+ */
+#ifndef LNB_JIT_COMPILER_H
+#define LNB_JIT_COMPILER_H
+
+#include <memory>
+#include <string>
+
+#include "interp/exec_common.h"
+#include "mem/linear_memory.h"
+#include "support/status.h"
+#include "wasm/lower.h"
+
+namespace lnb::jit {
+
+/** Codegen options. */
+struct JitOptions
+{
+    mem::BoundsStrategy strategy = mem::BoundsStrategy::mprotect;
+    /**
+     * Enable the optimizing tier (the WAVM analogue): constant folding
+     * into addressing modes, redundant bounds-check elimination, and
+     * memory-base caching. Off = baseline single-pass tier (the
+     * V8-Liftoff/Cranelift analogue).
+     */
+    bool optimize = false;
+    /** Emit the function-entry value-stack overflow check (paper §1 lists
+     * stack checks among the safety costs; disable for ablation only). */
+    bool stackChecks = true;
+};
+
+/** The executable artifact for one module. Immutable and thread-shareable:
+ * many instances on many threads run the same code. */
+class CompiledCode
+{
+  public:
+    /** Entry signature shared with the interpreters' frame convention. */
+    using EntryFn = void (*)(exec::InstanceContext* ctx,
+                             wasm::Value* frame);
+
+    virtual ~CompiledCode() = default;
+
+    /** Entry point of defined function index @p func_idx (module-wide
+     * function index space). */
+    virtual EntryFn entry(uint32_t func_idx) const = 0;
+
+    /**
+     * Code address for a funcref table slot: the function's entry for
+     * defined functions, a generated host-call thunk for imports.
+     */
+    virtual const void* tableCode(uint32_t func_idx) const = 0;
+
+    /** Total bytes of generated machine code. */
+    virtual size_t codeBytes() const = 0;
+
+    /** Hex dump of one function's code (debugging aid). */
+    virtual std::string dumpFunction(uint32_t func_idx) const = 0;
+};
+
+/** Compile every defined function of @p module. */
+Result<std::unique_ptr<CompiledCode>>
+compileModule(const wasm::LoweredModule& module, const JitOptions& options);
+
+/** True if this CPU supports the instruction set the JIT emits
+ * (x86-64 with SSE4.1). */
+bool jitSupported();
+
+} // namespace lnb::jit
+
+#endif // LNB_JIT_COMPILER_H

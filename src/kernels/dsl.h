@@ -1,0 +1,288 @@
+/**
+ * @file
+ * A small emission DSL on top of FunctionBuilder for writing loop-nest
+ * kernels compactly. Index expressions are C++ lambdas that push an i32
+ * element index; array accesses scale it to a byte address and carry the
+ * array's base as the wasm static offset — exactly the address pattern a
+ * C compiler produces for `A[i][j]` on linear memory, so the bounds-check
+ * density matches compiled C code.
+ */
+#ifndef LNB_KERNELS_DSL_H
+#define LNB_KERNELS_DSL_H
+
+#include <cstdint>
+
+#include "wasm/builder.h"
+
+namespace lnb::kernels {
+
+using wasm::FunctionBuilder;
+using wasm::ModuleBuilder;
+using wasm::Op;
+using wasm::ValType;
+
+/**
+ * Wraps a FunctionBuilder with loop/array helpers. The wrapped function
+ * must have type () -> f64 (the checksum convention).
+ */
+class Kb
+{
+  public:
+    explicit Kb(FunctionBuilder& f) : f(f) {}
+
+    FunctionBuilder& f;
+
+    uint32_t i32() { return f.addLocal(ValType::i32); }
+    uint32_t f64() { return f.addLocal(ValType::f64); }
+
+    // ----- small expression helpers (each pushes one value) -----
+    void getI(uint32_t local) { f.localGet(local); }
+    void constI(int32_t v) { f.i32Const(v); }
+    void constF(double v) { f.f64Const(v); }
+
+    /** Push i*stride + j from locals. */
+    void
+    idx2(uint32_t i, int32_t stride, uint32_t j)
+    {
+        f.localGet(i);
+        f.i32Const(stride);
+        f.emit(Op::i32_mul);
+        f.localGet(j);
+        f.emit(Op::i32_add);
+    }
+
+    /** Push i*s1 + j*s2 + k. */
+    void
+    idx3(uint32_t i, int32_t s1, uint32_t j, int32_t s2, uint32_t k)
+    {
+        f.localGet(i);
+        f.i32Const(s1);
+        f.emit(Op::i32_mul);
+        f.localGet(j);
+        f.i32Const(s2);
+        f.emit(Op::i32_mul);
+        f.emit(Op::i32_add);
+        f.localGet(k);
+        f.emit(Op::i32_add);
+    }
+
+    // ----- f64 array access (element index on stack -> value) -----
+    /** idx() pushes an element index; loads the f64 at base + idx*8. */
+    template <typename IdxFn>
+    void
+    ldF64(uint32_t byte_base, IdxFn&& idx)
+    {
+        idx();
+        f.i32Const(3);
+        f.emit(Op::i32_shl);
+        f.memOp(Op::f64_load, byte_base);
+    }
+
+    /** Store: idx() pushes the element index, value() pushes the f64. */
+    template <typename IdxFn, typename ValFn>
+    void
+    stF64(uint32_t byte_base, IdxFn&& idx, ValFn&& value)
+    {
+        idx();
+        f.i32Const(3);
+        f.emit(Op::i32_shl);
+        value();
+        f.memOp(Op::f64_store, byte_base);
+    }
+
+    // ----- i32 array access -----
+    template <typename IdxFn>
+    void
+    ldI32(uint32_t byte_base, IdxFn&& idx)
+    {
+        idx();
+        f.i32Const(2);
+        f.emit(Op::i32_shl);
+        f.memOp(Op::i32_load, byte_base);
+    }
+
+    template <typename IdxFn, typename ValFn>
+    void
+    stI32(uint32_t byte_base, IdxFn&& idx, ValFn&& value)
+    {
+        idx();
+        f.i32Const(2);
+        f.emit(Op::i32_shl);
+        value();
+        f.memOp(Op::i32_store, byte_base);
+    }
+
+    // ----- byte array access -----
+    template <typename IdxFn>
+    void
+    ldU8(uint32_t byte_base, IdxFn&& idx)
+    {
+        idx();
+        f.memOp(Op::i32_load8_u, byte_base);
+    }
+
+    template <typename IdxFn, typename ValFn>
+    void
+    stU8(uint32_t byte_base, IdxFn&& idx, ValFn&& value)
+    {
+        idx();
+        value();
+        f.memOp(Op::i32_store8, byte_base);
+    }
+
+    // ----- control -----
+    /** for (var = lo; var < hi; var++) body(); */
+    template <typename BodyFn>
+    void
+    forRange(uint32_t var, int32_t lo, int32_t hi, BodyFn&& body)
+    {
+        f.i32Const(lo);
+        f.localSet(var);
+        auto exit = f.block();
+        auto head = f.loop();
+        f.localGet(var);
+        f.i32Const(hi);
+        f.emit(Op::i32_ge_s);
+        f.brIf(exit);
+        body();
+        f.localGet(var);
+        f.i32Const(1);
+        f.emit(Op::i32_add);
+        f.localSet(var);
+        f.br(head);
+        f.end();
+        f.end();
+    }
+
+    /** for (var = loVar; var < hi; var++) — lower bound from a local. */
+    template <typename BodyFn>
+    void
+    forRangeFrom(uint32_t var, uint32_t lo_var, int32_t hi, BodyFn&& body)
+    {
+        f.localGet(lo_var);
+        f.localSet(var);
+        auto exit = f.block();
+        auto head = f.loop();
+        f.localGet(var);
+        f.i32Const(hi);
+        f.emit(Op::i32_ge_s);
+        f.brIf(exit);
+        body();
+        f.localGet(var);
+        f.i32Const(1);
+        f.emit(Op::i32_add);
+        f.localSet(var);
+        f.br(head);
+        f.end();
+        f.end();
+    }
+
+    /** for (var = loVar + 1; var < hi; var++). */
+    template <typename BodyFn>
+    void
+    forRangeAfter(uint32_t var, uint32_t lo_var, int32_t hi, BodyFn&& body)
+    {
+        f.localGet(lo_var);
+        f.i32Const(1);
+        f.emit(Op::i32_add);
+        f.localSet(var);
+        auto exit = f.block();
+        auto head = f.loop();
+        f.localGet(var);
+        f.i32Const(hi);
+        f.emit(Op::i32_ge_s);
+        f.brIf(exit);
+        body();
+        f.localGet(var);
+        f.i32Const(1);
+        f.emit(Op::i32_add);
+        f.localSet(var);
+        f.br(head);
+        f.end();
+        f.end();
+    }
+
+    /** for (var = loVar; var <= hiVar; var++) with local bounds. */
+    template <typename BodyFn>
+    void
+    forUpToVar(uint32_t var, uint32_t lo_var, uint32_t hi_var,
+               BodyFn&& body)
+    {
+        f.localGet(lo_var);
+        f.localSet(var);
+        auto exit = f.block();
+        auto head = f.loop();
+        f.localGet(var);
+        f.localGet(hi_var);
+        f.emit(Op::i32_gt_s);
+        f.brIf(exit);
+        body();
+        f.localGet(var);
+        f.i32Const(1);
+        f.emit(Op::i32_add);
+        f.localSet(var);
+        f.br(head);
+        f.end();
+        f.end();
+    }
+
+    /** acc += expr(), where acc is an f64 local. */
+    template <typename ExprFn>
+    void
+    accumF64(uint32_t acc, ExprFn&& expr)
+    {
+        f.localGet(acc);
+        expr();
+        f.emit(Op::f64_add);
+        f.localSet(acc);
+    }
+
+    /**
+     * Checksum loop: sum the f64 array [base, base + count*8) into @p acc.
+     */
+    void
+    sumArrayF64(uint32_t acc, uint32_t idx_var, uint32_t byte_base,
+                int32_t count)
+    {
+        forRange(idx_var, 0, count, [&] {
+            accumF64(acc, [&] {
+                ldF64(byte_base, [&] { f.localGet(idx_var); });
+            });
+        });
+    }
+};
+
+/**
+ * Shared scaffolding for a kernel module: one memory sized for
+ * @p memory_bytes, one () -> f64 function under construction, exported as
+ * "run" when finished.
+ */
+struct KernelModule
+{
+    ModuleBuilder mb;
+    FunctionBuilder* fb = nullptr;
+
+    explicit KernelModule(uint64_t memory_bytes)
+    {
+        uint32_t pages =
+            uint32_t((memory_bytes + wasm::kPageSize - 1) /
+                     wasm::kPageSize) +
+            1;
+        mb.addMemory(pages, pages + 16);
+        uint32_t t = mb.addType({}, {ValType::f64});
+        fb = &mb.addFunction(t);
+    }
+
+    wasm::Module
+    finish()
+    {
+        uint32_t idx = fb->finish();
+        mb.exportFunc("run", idx);
+        mb.exportMemory("memory");
+        return mb.build();
+    }
+};
+
+} // namespace lnb::kernels
+
+#endif // LNB_KERNELS_DSL_H

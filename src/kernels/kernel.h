@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The workload registry: every benchmark kernel exists twice — as native
+ * C++ and as a WebAssembly module emitted through ModuleBuilder — and both
+ * compute the same checksum, so every engine/strategy combination can be
+ * validated against native execution (DESIGN.md substitutions 2 and 3).
+ *
+ * Suites:
+ *   "polybench" — PolyBench/C kernels at their MEDIUM dataset sizes
+ *                 (Pouchet & Yuki), the suite the paper uses to compare
+ *                 with earlier work;
+ *   "specproxy" — open stand-ins for the SPEC CPU 2017 subset the paper
+ *                 ran (505.mcf, 508.namd, 519.lbm, 525.x264,
+ *                 531.deepsjeng, 544.nab, 557.xz), reproducing each
+ *                 benchmark's dominant computational pattern.
+ *
+ * Every kernel accepts a `scale` divisor so tests can run the same code
+ * paths on small datasets (dims are divided by scale, floored at 4).
+ */
+#ifndef LNB_KERNELS_KERNEL_H
+#define LNB_KERNELS_KERNEL_H
+
+#include <string>
+#include <vector>
+
+#include "wasm/module.h"
+
+namespace lnb::kernels {
+
+/** One registered workload. */
+struct Kernel
+{
+    std::string name;
+    std::string suite; ///< "polybench" or "specproxy"
+    std::string description;
+    /** Run natively at the given scale; returns the checksum. */
+    double (*native)(int scale);
+    /** Emit the wasm module; it exports "run" with type () -> f64
+     * returning the same checksum. */
+    wasm::Module (*buildModule)(int scale);
+};
+
+/** All registered kernels, suite-grouped, stable order. */
+const std::vector<Kernel>& allKernels();
+
+/** Find by name; null if unknown. */
+const Kernel* findKernel(const std::string& name);
+
+/** All kernels of one suite. */
+std::vector<const Kernel*> suiteKernels(const std::string& suite);
+
+/** Scale a dataset dimension: max(4, dim / scale). */
+inline int
+scaled(int dim, int scale)
+{
+    int v = dim / (scale < 1 ? 1 : scale);
+    return v < 4 ? 4 : v;
+}
+
+} // namespace lnb::kernels
+
+#endif // LNB_KERNELS_KERNEL_H

@@ -1,0 +1,881 @@
+/**
+ * @file
+ * PolyBench/C BLAS-style kernels (MEDIUM dataset): gemm, 2mm, 3mm, syrk,
+ * syr2k, trmm. Each exists as native C++ and as an equivalent wasm module;
+ * initialization follows the PolyBench init functions so results are
+ * comparable with the original suite, and the checksum is the sum of the
+ * output array computed in the same order by both versions.
+ */
+#include <vector>
+
+#include "kernels/dsl.h"
+#include "kernels/kernel.h"
+
+namespace lnb::kernels {
+
+namespace {
+
+constexpr double kAlpha = 1.5;
+constexpr double kBeta = 1.2;
+
+// =====================================================================
+// gemm: C = alpha*A*B + beta*C          (NI=200 NJ=220 NK=240 MEDIUM)
+// =====================================================================
+
+double
+gemmNative(int scale)
+{
+    int ni = scaled(200, scale), nj = scaled(220, scale),
+        nk = scaled(240, scale);
+    std::vector<double> a(size_t(ni) * nk), b(size_t(nk) * nj),
+        c(size_t(ni) * nj);
+    for (int i = 0; i < ni; i++)
+        for (int j = 0; j < nj; j++)
+            c[size_t(i) * nj + j] = double((i * j + 1) % ni) / ni;
+    for (int i = 0; i < ni; i++)
+        for (int k = 0; k < nk; k++)
+            a[size_t(i) * nk + k] = double(i * (k + 1) % nk) / nk;
+    for (int k = 0; k < nk; k++)
+        for (int j = 0; j < nj; j++)
+            b[size_t(k) * nj + j] = double(k * (j + 2) % nj) / nj;
+
+    for (int i = 0; i < ni; i++) {
+        for (int j = 0; j < nj; j++)
+            c[size_t(i) * nj + j] *= kBeta;
+        for (int k = 0; k < nk; k++) {
+            for (int j = 0; j < nj; j++) {
+                c[size_t(i) * nj + j] +=
+                    kAlpha * a[size_t(i) * nk + k] * b[size_t(k) * nj + j];
+            }
+        }
+    }
+
+    double sum = 0;
+    for (double v : c)
+        sum += v;
+    return sum;
+}
+
+wasm::Module
+gemmModule(int scale)
+{
+    int ni = scaled(200, scale), nj = scaled(220, scale),
+        nk = scaled(240, scale);
+    uint32_t a_base = 0;
+    uint32_t b_base = a_base + uint32_t(ni) * nk * 8;
+    uint32_t c_base = b_base + uint32_t(nk) * nj * 8;
+    uint64_t total = c_base + uint64_t(ni) * nj * 8;
+
+    KernelModule km(total);
+    Kb kb(*km.fb);
+    auto& f = kb.f;
+    uint32_t i = kb.i32(), j = kb.i32(), k = kb.i32();
+    uint32_t acc = kb.f64();
+
+    // init C[i][j] = ((i*j+1) % ni) / ni
+    kb.forRange(i, 0, ni, [&] {
+        kb.forRange(j, 0, nj, [&] {
+            kb.stF64(c_base, [&] { kb.idx2(i, nj, j); }, [&] {
+                f.localGet(i);
+                f.localGet(j);
+                f.emit(Op::i32_mul);
+                f.i32Const(1);
+                f.emit(Op::i32_add);
+                f.i32Const(ni);
+                f.emit(Op::i32_rem_s);
+                f.emit(Op::f64_convert_i32_s);
+                f.f64Const(ni);
+                f.emit(Op::f64_div);
+            });
+        });
+    });
+    // init A[i][k] = (i*(k+1) % nk) / nk
+    kb.forRange(i, 0, ni, [&] {
+        kb.forRange(k, 0, nk, [&] {
+            kb.stF64(a_base, [&] { kb.idx2(i, nk, k); }, [&] {
+                f.localGet(i);
+                f.localGet(k);
+                f.i32Const(1);
+                f.emit(Op::i32_add);
+                f.emit(Op::i32_mul);
+                f.i32Const(nk);
+                f.emit(Op::i32_rem_s);
+                f.emit(Op::f64_convert_i32_s);
+                f.f64Const(nk);
+                f.emit(Op::f64_div);
+            });
+        });
+    });
+    // init B[k][j] = (k*(j+2) % nj) / nj
+    kb.forRange(k, 0, nk, [&] {
+        kb.forRange(j, 0, nj, [&] {
+            kb.stF64(b_base, [&] { kb.idx2(k, nj, j); }, [&] {
+                f.localGet(k);
+                f.localGet(j);
+                f.i32Const(2);
+                f.emit(Op::i32_add);
+                f.emit(Op::i32_mul);
+                f.i32Const(nj);
+                f.emit(Op::i32_rem_s);
+                f.emit(Op::f64_convert_i32_s);
+                f.f64Const(nj);
+                f.emit(Op::f64_div);
+            });
+        });
+    });
+
+    // kernel
+    kb.forRange(i, 0, ni, [&] {
+        kb.forRange(j, 0, nj, [&] {
+            kb.stF64(c_base, [&] { kb.idx2(i, nj, j); }, [&] {
+                kb.ldF64(c_base, [&] { kb.idx2(i, nj, j); });
+                f.f64Const(kBeta);
+                f.emit(Op::f64_mul);
+            });
+        });
+        kb.forRange(k, 0, nk, [&] {
+            kb.forRange(j, 0, nj, [&] {
+                kb.stF64(c_base, [&] { kb.idx2(i, nj, j); }, [&] {
+                    kb.ldF64(c_base, [&] { kb.idx2(i, nj, j); });
+                    f.f64Const(kAlpha);
+                    kb.ldF64(a_base, [&] { kb.idx2(i, nk, k); });
+                    f.emit(Op::f64_mul);
+                    kb.ldF64(b_base, [&] { kb.idx2(k, nj, j); });
+                    f.emit(Op::f64_mul);
+                    f.emit(Op::f64_add);
+                });
+            });
+        });
+    });
+
+    kb.sumArrayF64(acc, i, c_base, ni * nj);
+    f.localGet(acc);
+    return km.finish();
+}
+
+// =====================================================================
+// 2mm: D = beta*D + (alpha*A*B)*C       (NI=180 NJ=190 NK=210 NL=220)
+// =====================================================================
+
+double
+twoMmNative(int scale)
+{
+    int ni = scaled(180, scale), nj = scaled(190, scale),
+        nk = scaled(210, scale), nl = scaled(220, scale);
+    std::vector<double> a(size_t(ni) * nk), b(size_t(nk) * nj),
+        c(size_t(nj) * nl), d(size_t(ni) * nl), tmp(size_t(ni) * nj);
+    for (int i = 0; i < ni; i++)
+        for (int k = 0; k < nk; k++)
+            a[size_t(i) * nk + k] = double((i * k + 1) % ni) / ni;
+    for (int k = 0; k < nk; k++)
+        for (int j = 0; j < nj; j++)
+            b[size_t(k) * nj + j] = double(k * (j + 1) % nj) / nj;
+    for (int j = 0; j < nj; j++)
+        for (int l = 0; l < nl; l++)
+            c[size_t(j) * nl + l] = double((j * (l + 3) + 1) % nl) / nl;
+    for (int i = 0; i < ni; i++)
+        for (int l = 0; l < nl; l++)
+            d[size_t(i) * nl + l] = double(i * (l + 2) % nk) / nk;
+
+    for (int i = 0; i < ni; i++) {
+        for (int j = 0; j < nj; j++) {
+            double t = 0;
+            for (int k = 0; k < nk; k++)
+                t += kAlpha * a[size_t(i) * nk + k] *
+                     b[size_t(k) * nj + j];
+            tmp[size_t(i) * nj + j] = t;
+        }
+    }
+    for (int i = 0; i < ni; i++) {
+        for (int l = 0; l < nl; l++) {
+            double t = d[size_t(i) * nl + l] * kBeta;
+            for (int j = 0; j < nj; j++)
+                t += tmp[size_t(i) * nj + j] * c[size_t(j) * nl + l];
+            d[size_t(i) * nl + l] = t;
+        }
+    }
+
+    double sum = 0;
+    for (double v : d)
+        sum += v;
+    return sum;
+}
+
+wasm::Module
+twoMmModule(int scale)
+{
+    int ni = scaled(180, scale), nj = scaled(190, scale),
+        nk = scaled(210, scale), nl = scaled(220, scale);
+    uint32_t a_base = 0;
+    uint32_t b_base = a_base + uint32_t(ni) * nk * 8;
+    uint32_t c_base = b_base + uint32_t(nk) * nj * 8;
+    uint32_t d_base = c_base + uint32_t(nj) * nl * 8;
+    uint32_t tmp_base = d_base + uint32_t(ni) * nl * 8;
+    uint64_t total = tmp_base + uint64_t(ni) * nj * 8;
+
+    KernelModule km(total);
+    Kb kb(*km.fb);
+    auto& f = kb.f;
+    uint32_t i = kb.i32(), j = kb.i32(), k = kb.i32(), l = kb.i32();
+    uint32_t t = kb.f64(), acc = kb.f64();
+
+    auto initArray = [&](uint32_t base, uint32_t r, int rows, uint32_t cc,
+                         int cols, auto&& value) {
+        kb.forRange(r, 0, rows, [&] {
+            kb.forRange(cc, 0, cols, [&] {
+                kb.stF64(base, [&] { kb.idx2(r, cols, cc); }, value);
+            });
+        });
+    };
+
+    initArray(a_base, i, ni, k, nk, [&] {
+        f.localGet(i);
+        f.localGet(k);
+        f.emit(Op::i32_mul);
+        f.i32Const(1);
+        f.emit(Op::i32_add);
+        f.i32Const(ni);
+        f.emit(Op::i32_rem_s);
+        f.emit(Op::f64_convert_i32_s);
+        f.f64Const(ni);
+        f.emit(Op::f64_div);
+    });
+    initArray(b_base, k, nk, j, nj, [&] {
+        f.localGet(k);
+        f.localGet(j);
+        f.i32Const(1);
+        f.emit(Op::i32_add);
+        f.emit(Op::i32_mul);
+        f.i32Const(nj);
+        f.emit(Op::i32_rem_s);
+        f.emit(Op::f64_convert_i32_s);
+        f.f64Const(nj);
+        f.emit(Op::f64_div);
+    });
+    initArray(c_base, j, nj, l, nl, [&] {
+        f.localGet(j);
+        f.localGet(l);
+        f.i32Const(3);
+        f.emit(Op::i32_add);
+        f.emit(Op::i32_mul);
+        f.i32Const(1);
+        f.emit(Op::i32_add);
+        f.i32Const(nl);
+        f.emit(Op::i32_rem_s);
+        f.emit(Op::f64_convert_i32_s);
+        f.f64Const(nl);
+        f.emit(Op::f64_div);
+    });
+    initArray(d_base, i, ni, l, nl, [&] {
+        f.localGet(i);
+        f.localGet(l);
+        f.i32Const(2);
+        f.emit(Op::i32_add);
+        f.emit(Op::i32_mul);
+        f.i32Const(nk);
+        f.emit(Op::i32_rem_s);
+        f.emit(Op::f64_convert_i32_s);
+        f.f64Const(nk);
+        f.emit(Op::f64_div);
+    });
+
+    // tmp = alpha*A*B
+    kb.forRange(i, 0, ni, [&] {
+        kb.forRange(j, 0, nj, [&] {
+            f.f64Const(0);
+            f.localSet(t);
+            kb.forRange(k, 0, nk, [&] {
+                kb.accumF64(t, [&] {
+                    f.f64Const(kAlpha);
+                    kb.ldF64(a_base, [&] { kb.idx2(i, nk, k); });
+                    f.emit(Op::f64_mul);
+                    kb.ldF64(b_base, [&] { kb.idx2(k, nj, j); });
+                    f.emit(Op::f64_mul);
+                });
+            });
+            kb.stF64(tmp_base, [&] { kb.idx2(i, nj, j); },
+                     [&] { f.localGet(t); });
+        });
+    });
+    // D = beta*D + tmp*C
+    kb.forRange(i, 0, ni, [&] {
+        kb.forRange(l, 0, nl, [&] {
+            kb.ldF64(d_base, [&] { kb.idx2(i, nl, l); });
+            f.f64Const(kBeta);
+            f.emit(Op::f64_mul);
+            f.localSet(t);
+            kb.forRange(j, 0, nj, [&] {
+                kb.accumF64(t, [&] {
+                    kb.ldF64(tmp_base, [&] { kb.idx2(i, nj, j); });
+                    kb.ldF64(c_base, [&] { kb.idx2(j, nl, l); });
+                    f.emit(Op::f64_mul);
+                });
+            });
+            kb.stF64(d_base, [&] { kb.idx2(i, nl, l); },
+                     [&] { f.localGet(t); });
+        });
+    });
+
+    kb.sumArrayF64(acc, i, d_base, ni * nl);
+    f.localGet(acc);
+    return km.finish();
+}
+
+// =====================================================================
+// 3mm: G = (A*B)*(C*D)       (NI=180 NJ=190 NK=200 NL=210 NM=220)
+// =====================================================================
+
+double
+threeMmNative(int scale)
+{
+    int ni = scaled(180, scale), nj = scaled(190, scale),
+        nk = scaled(200, scale), nl = scaled(210, scale),
+        nm = scaled(220, scale);
+    std::vector<double> a(size_t(ni) * nk), b(size_t(nk) * nj),
+        c(size_t(nj) * nm), d(size_t(nm) * nl), e(size_t(ni) * nj),
+        ff(size_t(nj) * nl), g(size_t(ni) * nl);
+    for (int i = 0; i < ni; i++)
+        for (int k = 0; k < nk; k++)
+            a[size_t(i) * nk + k] = double((i * k + 1) % ni) / (5 * ni);
+    for (int k = 0; k < nk; k++)
+        for (int j = 0; j < nj; j++)
+            b[size_t(k) * nj + j] =
+                double((k * (j + 1) + 2) % nj) / (5 * nj);
+    for (int j = 0; j < nj; j++)
+        for (int m = 0; m < nm; m++)
+            c[size_t(j) * nm + m] = double(j * (m + 3) % nl) / (5 * nl);
+    for (int m = 0; m < nm; m++)
+        for (int l = 0; l < nl; l++)
+            d[size_t(m) * nl + l] =
+                double((m * (l + 2) + 2) % nk) / (5 * nk);
+
+    for (int i = 0; i < ni; i++)
+        for (int j = 0; j < nj; j++) {
+            double t = 0;
+            for (int k = 0; k < nk; k++)
+                t += a[size_t(i) * nk + k] * b[size_t(k) * nj + j];
+            e[size_t(i) * nj + j] = t;
+        }
+    for (int j = 0; j < nj; j++)
+        for (int l = 0; l < nl; l++) {
+            double t = 0;
+            for (int m = 0; m < nm; m++)
+                t += c[size_t(j) * nm + m] * d[size_t(m) * nl + l];
+            ff[size_t(j) * nl + l] = t;
+        }
+    for (int i = 0; i < ni; i++)
+        for (int l = 0; l < nl; l++) {
+            double t = 0;
+            for (int j = 0; j < nj; j++)
+                t += e[size_t(i) * nj + j] * ff[size_t(j) * nl + l];
+            g[size_t(i) * nl + l] = t;
+        }
+
+    double sum = 0;
+    for (double v : g)
+        sum += v;
+    return sum;
+}
+
+wasm::Module
+threeMmModule(int scale)
+{
+    int ni = scaled(180, scale), nj = scaled(190, scale),
+        nk = scaled(200, scale), nl = scaled(210, scale),
+        nm = scaled(220, scale);
+    uint32_t a_base = 0;
+    uint32_t b_base = a_base + uint32_t(ni) * nk * 8;
+    uint32_t c_base = b_base + uint32_t(nk) * nj * 8;
+    uint32_t d_base = c_base + uint32_t(nj) * nm * 8;
+    uint32_t e_base = d_base + uint32_t(nm) * nl * 8;
+    uint32_t f_base = e_base + uint32_t(ni) * nj * 8;
+    uint32_t g_base = f_base + uint32_t(nj) * nl * 8;
+    uint64_t total = g_base + uint64_t(ni) * nl * 8;
+
+    KernelModule km(total);
+    Kb kb(*km.fb);
+    auto& f = kb.f;
+    uint32_t i = kb.i32(), j = kb.i32(), k = kb.i32(), l = kb.i32(),
+             m = kb.i32();
+    uint32_t t = kb.f64(), acc = kb.f64();
+
+    auto initExpr = [&](uint32_t r, uint32_t cc, int add_c, int add_k,
+                        int mod, int div) {
+        f.localGet(r);
+        f.localGet(cc);
+        f.i32Const(add_c);
+        f.emit(Op::i32_add);
+        f.emit(Op::i32_mul);
+        f.i32Const(add_k);
+        f.emit(Op::i32_add);
+        f.i32Const(mod);
+        f.emit(Op::i32_rem_s);
+        f.emit(Op::f64_convert_i32_s);
+        f.f64Const(div);
+        f.emit(Op::f64_div);
+    };
+
+    kb.forRange(i, 0, ni, [&] {
+        kb.forRange(k, 0, nk, [&] {
+            kb.stF64(a_base, [&] { kb.idx2(i, nk, k); },
+                     [&] { initExpr(i, k, 0, 1, ni, 5 * ni); });
+        });
+    });
+    kb.forRange(k, 0, nk, [&] {
+        kb.forRange(j, 0, nj, [&] {
+            kb.stF64(b_base, [&] { kb.idx2(k, nj, j); },
+                     [&] { initExpr(k, j, 1, 2, nj, 5 * nj); });
+        });
+    });
+    kb.forRange(j, 0, nj, [&] {
+        kb.forRange(m, 0, nm, [&] {
+            kb.stF64(c_base, [&] { kb.idx2(j, nm, m); },
+                     [&] { initExpr(j, m, 3, 0, nl, 5 * nl); });
+        });
+    });
+    kb.forRange(m, 0, nm, [&] {
+        kb.forRange(l, 0, nl, [&] {
+            kb.stF64(d_base, [&] { kb.idx2(m, nl, l); },
+                     [&] { initExpr(m, l, 2, 2, nk, 5 * nk); });
+        });
+    });
+
+    auto matmul = [&](uint32_t out, uint32_t lhs, uint32_t rhs,
+                      uint32_t r, int rows, uint32_t cc, int cols,
+                      uint32_t kk, int inner) {
+        kb.forRange(r, 0, rows, [&] {
+            kb.forRange(cc, 0, cols, [&] {
+                f.f64Const(0);
+                f.localSet(t);
+                kb.forRange(kk, 0, inner, [&] {
+                    kb.accumF64(t, [&] {
+                        kb.ldF64(lhs, [&] { kb.idx2(r, inner, kk); });
+                        kb.ldF64(rhs, [&] { kb.idx2(kk, cols, cc); });
+                        f.emit(Op::f64_mul);
+                    });
+                });
+                kb.stF64(out, [&] { kb.idx2(r, cols, cc); },
+                         [&] { f.localGet(t); });
+            });
+        });
+    };
+
+    matmul(e_base, a_base, b_base, i, ni, j, nj, k, nk);
+    matmul(f_base, c_base, d_base, j, nj, l, nl, m, nm);
+    matmul(g_base, e_base, f_base, i, ni, l, nl, j, nj);
+
+    kb.sumArrayF64(acc, i, g_base, ni * nl);
+    f.localGet(acc);
+    return km.finish();
+}
+
+// =====================================================================
+// syrk: C = alpha*A*A^T + beta*C (lower triangular)   (M=200 N=240)
+// =====================================================================
+
+double
+syrkNative(int scale)
+{
+    int m = scaled(200, scale), n = scaled(240, scale);
+    std::vector<double> a(size_t(n) * m), c(size_t(n) * n);
+    for (int i = 0; i < n; i++)
+        for (int j = 0; j < m; j++)
+            a[size_t(i) * m + j] = double((i * j + 1) % n) / n;
+    for (int i = 0; i < n; i++)
+        for (int j = 0; j < n; j++)
+            c[size_t(i) * n + j] = double((i * j + 2) % m) / m;
+
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j <= i; j++)
+            c[size_t(i) * n + j] *= kBeta;
+        for (int k = 0; k < m; k++)
+            for (int j = 0; j <= i; j++)
+                c[size_t(i) * n + j] +=
+                    kAlpha * a[size_t(i) * m + k] * a[size_t(j) * m + k];
+    }
+
+    double sum = 0;
+    for (double v : c)
+        sum += v;
+    return sum;
+}
+
+wasm::Module
+syrkModule(int scale)
+{
+    int m = scaled(200, scale), n = scaled(240, scale);
+    uint32_t a_base = 0;
+    uint32_t c_base = a_base + uint32_t(n) * m * 8;
+    uint64_t total = c_base + uint64_t(n) * n * 8;
+
+    KernelModule km(total);
+    Kb kb(*km.fb);
+    auto& f = kb.f;
+    uint32_t i = kb.i32(), j = kb.i32(), k = kb.i32();
+    uint32_t acc = kb.f64(), iplus = kb.i32();
+
+    kb.forRange(i, 0, n, [&] {
+        kb.forRange(j, 0, m, [&] {
+            kb.stF64(a_base, [&] { kb.idx2(i, m, j); }, [&] {
+                f.localGet(i);
+                f.localGet(j);
+                f.emit(Op::i32_mul);
+                f.i32Const(1);
+                f.emit(Op::i32_add);
+                f.i32Const(n);
+                f.emit(Op::i32_rem_s);
+                f.emit(Op::f64_convert_i32_s);
+                f.f64Const(n);
+                f.emit(Op::f64_div);
+            });
+        });
+    });
+    kb.forRange(i, 0, n, [&] {
+        kb.forRange(j, 0, n, [&] {
+            kb.stF64(c_base, [&] { kb.idx2(i, n, j); }, [&] {
+                f.localGet(i);
+                f.localGet(j);
+                f.emit(Op::i32_mul);
+                f.i32Const(2);
+                f.emit(Op::i32_add);
+                f.i32Const(m);
+                f.emit(Op::i32_rem_s);
+                f.emit(Op::f64_convert_i32_s);
+                f.f64Const(m);
+                f.emit(Op::f64_div);
+            });
+        });
+    });
+
+    kb.forRange(i, 0, n, [&] {
+        // iplus = i + 1 (loop bound j <= i)
+        f.localGet(i);
+        f.i32Const(1);
+        f.emit(Op::i32_add);
+        f.localSet(iplus);
+        // j loop: 0..i inclusive
+        f.i32Const(0);
+        f.localSet(j);
+        {
+            auto exit = f.block();
+            auto head = f.loop();
+            f.localGet(j);
+            f.localGet(iplus);
+            f.emit(Op::i32_ge_s);
+            f.brIf(exit);
+            kb.stF64(c_base, [&] { kb.idx2(i, n, j); }, [&] {
+                kb.ldF64(c_base, [&] { kb.idx2(i, n, j); });
+                f.f64Const(kBeta);
+                f.emit(Op::f64_mul);
+            });
+            f.localGet(j);
+            f.i32Const(1);
+            f.emit(Op::i32_add);
+            f.localSet(j);
+            f.br(head);
+            f.end();
+            f.end();
+        }
+        kb.forRange(k, 0, m, [&] {
+            f.i32Const(0);
+            f.localSet(j);
+            auto exit = f.block();
+            auto head = f.loop();
+            f.localGet(j);
+            f.localGet(iplus);
+            f.emit(Op::i32_ge_s);
+            f.brIf(exit);
+            kb.stF64(c_base, [&] { kb.idx2(i, n, j); }, [&] {
+                kb.ldF64(c_base, [&] { kb.idx2(i, n, j); });
+                f.f64Const(kAlpha);
+                kb.ldF64(a_base, [&] { kb.idx2(i, m, k); });
+                f.emit(Op::f64_mul);
+                kb.ldF64(a_base, [&] { kb.idx2(j, m, k); });
+                f.emit(Op::f64_mul);
+                f.emit(Op::f64_add);
+            });
+            f.localGet(j);
+            f.i32Const(1);
+            f.emit(Op::i32_add);
+            f.localSet(j);
+            f.br(head);
+            f.end();
+            f.end();
+        });
+    });
+
+    kb.sumArrayF64(acc, i, c_base, n * n);
+    f.localGet(acc);
+    return km.finish();
+}
+
+// =====================================================================
+// syr2k: C = alpha*(A*B^T + B*A^T) + beta*C   (M=200 N=240)
+// =====================================================================
+
+double
+syr2kNative(int scale)
+{
+    int m = scaled(200, scale), n = scaled(240, scale);
+    std::vector<double> a(size_t(n) * m), b(size_t(n) * m),
+        c(size_t(n) * n);
+    for (int i = 0; i < n; i++)
+        for (int j = 0; j < m; j++) {
+            a[size_t(i) * m + j] = double((i * j + 1) % n) / n;
+            b[size_t(i) * m + j] = double((i * j + 2) % m) / m;
+        }
+    for (int i = 0; i < n; i++)
+        for (int j = 0; j < n; j++)
+            c[size_t(i) * n + j] = double((i * j + 3) % n) / m;
+
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j <= i; j++)
+            c[size_t(i) * n + j] *= kBeta;
+        for (int k = 0; k < m; k++)
+            for (int j = 0; j <= i; j++)
+                c[size_t(i) * n + j] +=
+                    a[size_t(j) * m + k] * kAlpha * b[size_t(i) * m + k] +
+                    b[size_t(j) * m + k] * kAlpha * a[size_t(i) * m + k];
+    }
+
+    double sum = 0;
+    for (double v : c)
+        sum += v;
+    return sum;
+}
+
+wasm::Module
+syr2kModule(int scale)
+{
+    int m = scaled(200, scale), n = scaled(240, scale);
+    uint32_t a_base = 0;
+    uint32_t b_base = a_base + uint32_t(n) * m * 8;
+    uint32_t c_base = b_base + uint32_t(n) * m * 8;
+    uint64_t total = c_base + uint64_t(n) * n * 8;
+
+    KernelModule km(total);
+    Kb kb(*km.fb);
+    auto& f = kb.f;
+    uint32_t i = kb.i32(), j = kb.i32(), k = kb.i32();
+    uint32_t acc = kb.f64(), iplus = kb.i32();
+
+    auto initMod = [&](uint32_t base, int add, int mod, int div) {
+        kb.stF64(base, [&] { kb.idx2(i, base == c_base ? n : m, j); },
+                 [&] {
+                     f.localGet(i);
+                     f.localGet(j);
+                     f.emit(Op::i32_mul);
+                     f.i32Const(add);
+                     f.emit(Op::i32_add);
+                     f.i32Const(mod);
+                     f.emit(Op::i32_rem_s);
+                     f.emit(Op::f64_convert_i32_s);
+                     f.f64Const(div);
+                     f.emit(Op::f64_div);
+                 });
+    };
+
+    kb.forRange(i, 0, n, [&] {
+        kb.forRange(j, 0, m, [&] {
+            initMod(a_base, 1, n, n);
+            initMod(b_base, 2, m, m);
+        });
+    });
+    kb.forRange(i, 0, n, [&] {
+        kb.forRange(j, 0, n, [&] { initMod(c_base, 3, n, m); });
+    });
+
+    auto forJUpToI = [&](auto&& body) {
+        f.i32Const(0);
+        f.localSet(j);
+        auto exit = f.block();
+        auto head = f.loop();
+        f.localGet(j);
+        f.localGet(iplus);
+        f.emit(Op::i32_ge_s);
+        f.brIf(exit);
+        body();
+        f.localGet(j);
+        f.i32Const(1);
+        f.emit(Op::i32_add);
+        f.localSet(j);
+        f.br(head);
+        f.end();
+        f.end();
+    };
+
+    kb.forRange(i, 0, n, [&] {
+        f.localGet(i);
+        f.i32Const(1);
+        f.emit(Op::i32_add);
+        f.localSet(iplus);
+        forJUpToI([&] {
+            kb.stF64(c_base, [&] { kb.idx2(i, n, j); }, [&] {
+                kb.ldF64(c_base, [&] { kb.idx2(i, n, j); });
+                f.f64Const(kBeta);
+                f.emit(Op::f64_mul);
+            });
+        });
+        kb.forRange(k, 0, m, [&] {
+            forJUpToI([&] {
+                // c + (t1 + t2), matching the native association order.
+                kb.stF64(c_base, [&] { kb.idx2(i, n, j); }, [&] {
+                    kb.ldF64(c_base, [&] { kb.idx2(i, n, j); });
+                    kb.ldF64(a_base, [&] { kb.idx2(j, m, k); });
+                    f.f64Const(kAlpha);
+                    f.emit(Op::f64_mul);
+                    kb.ldF64(b_base, [&] { kb.idx2(i, m, k); });
+                    f.emit(Op::f64_mul);
+                    kb.ldF64(b_base, [&] { kb.idx2(j, m, k); });
+                    f.f64Const(kAlpha);
+                    f.emit(Op::f64_mul);
+                    kb.ldF64(a_base, [&] { kb.idx2(i, m, k); });
+                    f.emit(Op::f64_mul);
+                    f.emit(Op::f64_add);
+                    f.emit(Op::f64_add);
+                });
+            });
+        });
+    });
+
+    kb.sumArrayF64(acc, i, c_base, n * n);
+    f.localGet(acc);
+    return km.finish();
+}
+
+// =====================================================================
+// trmm: B = alpha * A^T * B, A unit lower triangular   (M=200 N=240)
+// =====================================================================
+
+double
+trmmNative(int scale)
+{
+    int m = scaled(200, scale), n = scaled(240, scale);
+    std::vector<double> a(size_t(m) * m), b(size_t(m) * n);
+    for (int i = 0; i < m; i++) {
+        for (int j = 0; j < i; j++)
+            a[size_t(i) * m + j] = double((i + j) % m) / m;
+        a[size_t(i) * m + i] = 1.0;
+        for (int j = 0; j < n; j++)
+            b[size_t(i) * n + j] = double((n + (i - j)) % n) / n;
+    }
+
+    for (int i = 0; i < m; i++)
+        for (int j = 0; j < n; j++) {
+            double t = b[size_t(i) * n + j];
+            for (int k = i + 1; k < m; k++)
+                t += a[size_t(k) * m + i] * b[size_t(k) * n + j];
+            b[size_t(i) * n + j] = kAlpha * t;
+        }
+
+    double sum = 0;
+    for (double v : b)
+        sum += v;
+    return sum;
+}
+
+wasm::Module
+trmmModule(int scale)
+{
+    int m = scaled(200, scale), n = scaled(240, scale);
+    uint32_t a_base = 0;
+    uint32_t b_base = a_base + uint32_t(m) * m * 8;
+    uint64_t total = b_base + uint64_t(m) * n * 8;
+
+    KernelModule km(total);
+    Kb kb(*km.fb);
+    auto& f = kb.f;
+    uint32_t i = kb.i32(), j = kb.i32(), k = kb.i32();
+    uint32_t t = kb.f64(), acc = kb.f64();
+
+    kb.forRange(i, 0, m, [&] {
+        // A[i][j] for j < i
+        f.i32Const(0);
+        f.localSet(j);
+        {
+            auto exit = f.block();
+            auto head = f.loop();
+            f.localGet(j);
+            f.localGet(i);
+            f.emit(Op::i32_ge_s);
+            f.brIf(exit);
+            kb.stF64(a_base, [&] { kb.idx2(i, m, j); }, [&] {
+                f.localGet(i);
+                f.localGet(j);
+                f.emit(Op::i32_add);
+                f.i32Const(m);
+                f.emit(Op::i32_rem_s);
+                f.emit(Op::f64_convert_i32_s);
+                f.f64Const(m);
+                f.emit(Op::f64_div);
+            });
+            f.localGet(j);
+            f.i32Const(1);
+            f.emit(Op::i32_add);
+            f.localSet(j);
+            f.br(head);
+            f.end();
+            f.end();
+        }
+        kb.stF64(a_base, [&] { kb.idx2(i, m, i); },
+                 [&] { f.f64Const(1.0); });
+        kb.forRange(j, 0, n, [&] {
+            kb.stF64(b_base, [&] { kb.idx2(i, n, j); }, [&] {
+                f.i32Const(n);
+                f.localGet(i);
+                f.emit(Op::i32_add);
+                f.localGet(j);
+                f.emit(Op::i32_sub);
+                f.i32Const(n);
+                f.emit(Op::i32_rem_s);
+                f.emit(Op::f64_convert_i32_s);
+                f.f64Const(n);
+                f.emit(Op::f64_div);
+            });
+        });
+    });
+
+    kb.forRange(i, 0, m, [&] {
+        kb.forRange(j, 0, n, [&] {
+            kb.ldF64(b_base, [&] { kb.idx2(i, n, j); });
+            f.localSet(t);
+            kb.forRangeAfter(k, i, m, [&] {
+                kb.accumF64(t, [&] {
+                    kb.ldF64(a_base, [&] { kb.idx2(k, m, i); });
+                    kb.ldF64(b_base, [&] { kb.idx2(k, n, j); });
+                    f.emit(Op::f64_mul);
+                });
+            });
+            kb.stF64(b_base, [&] { kb.idx2(i, n, j); }, [&] {
+                f.f64Const(kAlpha);
+                f.localGet(t);
+                f.emit(Op::f64_mul);
+            });
+        });
+    });
+
+    kb.sumArrayF64(acc, i, b_base, m * n);
+    f.localGet(acc);
+    return km.finish();
+}
+
+} // namespace
+
+void
+registerPolybenchBlas(std::vector<Kernel>& out)
+{
+    out.push_back({"gemm", "polybench", "C = alpha*A*B + beta*C",
+                   &gemmNative, &gemmModule});
+    out.push_back({"2mm", "polybench", "D = beta*D + alpha*A*B*C",
+                   &twoMmNative, &twoMmModule});
+    out.push_back({"3mm", "polybench", "G = (A*B)*(C*D)", &threeMmNative,
+                   &threeMmModule});
+    out.push_back({"syrk", "polybench", "symmetric rank-k update",
+                   &syrkNative, &syrkModule});
+    out.push_back({"syr2k", "polybench", "symmetric rank-2k update",
+                   &syr2kNative, &syr2kModule});
+    out.push_back({"trmm", "polybench", "triangular matrix multiply",
+                   &trmmNative, &trmmModule});
+}
+
+} // namespace lnb::kernels

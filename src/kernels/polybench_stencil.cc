@@ -1,0 +1,974 @@
+/**
+ * @file
+ * PolyBench/C stencil and linear-algebra solver kernels (MEDIUM dataset):
+ * jacobi-1d, jacobi-2d, seidel-2d, fdtd-2d, cholesky, lu,
+ * floyd-warshall.
+ */
+#include <cmath>
+#include <vector>
+
+#include "kernels/dsl.h"
+#include "kernels/kernel.h"
+
+namespace lnb::kernels {
+
+namespace {
+
+// =====================================================================
+// jacobi-1d: three-point stencil    (TSTEPS=100 N=400)
+// =====================================================================
+
+double
+jacobi1dNative(int scale)
+{
+    int tsteps = scaled(100, scale), n = scaled(400, scale);
+    std::vector<double> a(size_t(n), 0.0), b(size_t(n), 0.0);
+    for (int i = 0; i < n; i++) {
+        a[size_t(i)] = (double(i) + 2) / n;
+        b[size_t(i)] = (double(i) + 3) / n;
+    }
+    for (int t = 0; t < tsteps; t++) {
+        for (int i = 1; i < n - 1; i++)
+            b[size_t(i)] = 0.33333 * (a[size_t(i - 1)] + a[size_t(i)] +
+                                      a[size_t(i + 1)]);
+        for (int i = 1; i < n - 1; i++)
+            a[size_t(i)] = 0.33333 * (b[size_t(i - 1)] + b[size_t(i)] +
+                                      b[size_t(i + 1)]);
+    }
+    double sum = 0;
+    for (double v : a)
+        sum += v;
+    return sum;
+}
+
+wasm::Module
+jacobi1dModule(int scale)
+{
+    int tsteps = scaled(100, scale), n = scaled(400, scale);
+    uint32_t a_base = 0;
+    uint32_t b_base = a_base + uint32_t(n) * 8;
+    uint64_t total = b_base + uint64_t(n) * 8;
+
+    KernelModule km(total);
+    Kb kb(*km.fb);
+    auto& f = kb.f;
+    uint32_t i = kb.i32(), t = kb.i32();
+    uint32_t acc = kb.f64();
+
+    kb.forRange(i, 0, n, [&] {
+        kb.stF64(a_base, [&] { f.localGet(i); }, [&] {
+            f.localGet(i);
+            f.emit(Op::f64_convert_i32_s);
+            f.f64Const(2.0);
+            f.emit(Op::f64_add);
+            f.f64Const(n);
+            f.emit(Op::f64_div);
+        });
+        kb.stF64(b_base, [&] { f.localGet(i); }, [&] {
+            f.localGet(i);
+            f.emit(Op::f64_convert_i32_s);
+            f.f64Const(3.0);
+            f.emit(Op::f64_add);
+            f.f64Const(n);
+            f.emit(Op::f64_div);
+        });
+    });
+
+    auto sweep = [&](uint32_t dst, uint32_t src) {
+        kb.forRange(i, 1, n - 1, [&] {
+            kb.stF64(dst, [&] { f.localGet(i); }, [&] {
+                f.f64Const(0.33333);
+                kb.ldF64(src, [&] {
+                    f.localGet(i);
+                    f.i32Const(1);
+                    f.emit(Op::i32_sub);
+                });
+                kb.ldF64(src, [&] { f.localGet(i); });
+                f.emit(Op::f64_add);
+                kb.ldF64(src, [&] {
+                    f.localGet(i);
+                    f.i32Const(1);
+                    f.emit(Op::i32_add);
+                });
+                f.emit(Op::f64_add);
+                f.emit(Op::f64_mul);
+            });
+        });
+    };
+
+    kb.forRange(t, 0, tsteps, [&] {
+        sweep(b_base, a_base);
+        sweep(a_base, b_base);
+    });
+
+    kb.sumArrayF64(acc, i, a_base, n);
+    f.localGet(acc);
+    return km.finish();
+}
+
+// =====================================================================
+// jacobi-2d: five-point stencil    (TSTEPS=100 N=250)
+// =====================================================================
+
+double
+jacobi2dNative(int scale)
+{
+    int tsteps = scaled(100, scale), n = scaled(250, scale);
+    std::vector<double> a(size_t(n) * n), b(size_t(n) * n);
+    for (int i = 0; i < n; i++)
+        for (int j = 0; j < n; j++) {
+            a[size_t(i) * n + j] = double(i) * (j + 2) / n;
+            b[size_t(i) * n + j] = double(i) * (j + 3) / n;
+        }
+    for (int t = 0; t < tsteps; t++) {
+        for (int i = 1; i < n - 1; i++)
+            for (int j = 1; j < n - 1; j++)
+                b[size_t(i) * n + j] =
+                    0.2 * (a[size_t(i) * n + j] + a[size_t(i) * n + j - 1] +
+                           a[size_t(i) * n + j + 1] +
+                           a[size_t(i + 1) * n + j] +
+                           a[size_t(i - 1) * n + j]);
+        for (int i = 1; i < n - 1; i++)
+            for (int j = 1; j < n - 1; j++)
+                a[size_t(i) * n + j] =
+                    0.2 * (b[size_t(i) * n + j] + b[size_t(i) * n + j - 1] +
+                           b[size_t(i) * n + j + 1] +
+                           b[size_t(i + 1) * n + j] +
+                           b[size_t(i - 1) * n + j]);
+    }
+    double sum = 0;
+    for (double v : a)
+        sum += v;
+    return sum;
+}
+
+wasm::Module
+jacobi2dModule(int scale)
+{
+    int tsteps = scaled(100, scale), n = scaled(250, scale);
+    uint32_t a_base = 0;
+    uint32_t b_base = a_base + uint32_t(n) * n * 8;
+    uint64_t total = b_base + uint64_t(n) * n * 8;
+
+    KernelModule km(total);
+    Kb kb(*km.fb);
+    auto& f = kb.f;
+    uint32_t i = kb.i32(), j = kb.i32(), t = kb.i32();
+    uint32_t acc = kb.f64();
+
+    kb.forRange(i, 0, n, [&] {
+        kb.forRange(j, 0, n, [&] {
+            auto initOne = [&](uint32_t base, int add) {
+                kb.stF64(base, [&] { kb.idx2(i, n, j); }, [&] {
+                    f.localGet(i);
+                    f.emit(Op::f64_convert_i32_s);
+                    f.localGet(j);
+                    f.i32Const(add);
+                    f.emit(Op::i32_add);
+                    f.emit(Op::f64_convert_i32_s);
+                    f.emit(Op::f64_mul);
+                    f.f64Const(n);
+                    f.emit(Op::f64_div);
+                });
+            };
+            initOne(a_base, 2);
+            initOne(b_base, 3);
+        });
+    });
+
+    auto sweep = [&](uint32_t dst, uint32_t src) {
+        kb.forRange(i, 1, n - 1, [&] {
+            kb.forRange(j, 1, n - 1, [&] {
+                kb.stF64(dst, [&] { kb.idx2(i, n, j); }, [&] {
+                    f.f64Const(0.2);
+                    kb.ldF64(src, [&] { kb.idx2(i, n, j); });
+                    kb.ldF64(src, [&] {
+                        kb.idx2(i, n, j);
+                        f.i32Const(1);
+                        f.emit(Op::i32_sub);
+                    });
+                    f.emit(Op::f64_add);
+                    kb.ldF64(src, [&] {
+                        kb.idx2(i, n, j);
+                        f.i32Const(1);
+                        f.emit(Op::i32_add);
+                    });
+                    f.emit(Op::f64_add);
+                    kb.ldF64(src, [&] {
+                        kb.idx2(i, n, j);
+                        f.i32Const(n);
+                        f.emit(Op::i32_add);
+                    });
+                    f.emit(Op::f64_add);
+                    kb.ldF64(src, [&] {
+                        kb.idx2(i, n, j);
+                        f.i32Const(n);
+                        f.emit(Op::i32_sub);
+                    });
+                    f.emit(Op::f64_add);
+                    f.emit(Op::f64_mul);
+                });
+            });
+        });
+    };
+
+    kb.forRange(t, 0, tsteps, [&] {
+        sweep(b_base, a_base);
+        sweep(a_base, b_base);
+    });
+
+    kb.sumArrayF64(acc, i, a_base, n * n);
+    f.localGet(acc);
+    return km.finish();
+}
+
+// =====================================================================
+// seidel-2d: in-place nine-point Gauss-Seidel   (TSTEPS=100 N=400)
+// =====================================================================
+
+double
+seidel2dNative(int scale)
+{
+    int tsteps = scaled(100, scale), n = scaled(400, scale);
+    std::vector<double> a(size_t(n) * n);
+    for (int i = 0; i < n; i++)
+        for (int j = 0; j < n; j++)
+            a[size_t(i) * n + j] = (double(i) * (j + 2) + 2) / n;
+    for (int t = 0; t < tsteps; t++)
+        for (int i = 1; i < n - 1; i++)
+            for (int j = 1; j < n - 1; j++)
+                a[size_t(i) * n + j] =
+                    (a[size_t(i - 1) * n + j - 1] +
+                     a[size_t(i - 1) * n + j] +
+                     a[size_t(i - 1) * n + j + 1] +
+                     a[size_t(i) * n + j - 1] + a[size_t(i) * n + j] +
+                     a[size_t(i) * n + j + 1] +
+                     a[size_t(i + 1) * n + j - 1] +
+                     a[size_t(i + 1) * n + j] +
+                     a[size_t(i + 1) * n + j + 1]) /
+                    9.0;
+    double sum = 0;
+    for (double v : a)
+        sum += v;
+    return sum;
+}
+
+wasm::Module
+seidel2dModule(int scale)
+{
+    int tsteps = scaled(100, scale), n = scaled(400, scale);
+    uint32_t a_base = 0;
+    uint64_t total = uint64_t(n) * n * 8;
+
+    KernelModule km(total);
+    Kb kb(*km.fb);
+    auto& f = kb.f;
+    uint32_t i = kb.i32(), j = kb.i32(), t = kb.i32();
+    uint32_t acc = kb.f64();
+
+    kb.forRange(i, 0, n, [&] {
+        kb.forRange(j, 0, n, [&] {
+            kb.stF64(a_base, [&] { kb.idx2(i, n, j); }, [&] {
+                f.localGet(i);
+                f.emit(Op::f64_convert_i32_s);
+                f.localGet(j);
+                f.i32Const(2);
+                f.emit(Op::i32_add);
+                f.emit(Op::f64_convert_i32_s);
+                f.emit(Op::f64_mul);
+                f.f64Const(2.0);
+                f.emit(Op::f64_add);
+                f.f64Const(n);
+                f.emit(Op::f64_div);
+            });
+        });
+    });
+
+    kb.forRange(t, 0, tsteps, [&] {
+        kb.forRange(i, 1, n - 1, [&] {
+            kb.forRange(j, 1, n - 1, [&] {
+                kb.stF64(a_base, [&] { kb.idx2(i, n, j); }, [&] {
+                    auto at = [&](int di, int dj) {
+                        kb.ldF64(a_base, [&] {
+                            kb.idx2(i, n, j);
+                            f.i32Const(di * n + dj);
+                            f.emit(Op::i32_add);
+                        });
+                    };
+                    at(-1, -1);
+                    at(-1, 0);
+                    f.emit(Op::f64_add);
+                    at(-1, 1);
+                    f.emit(Op::f64_add);
+                    at(0, -1);
+                    f.emit(Op::f64_add);
+                    at(0, 0);
+                    f.emit(Op::f64_add);
+                    at(0, 1);
+                    f.emit(Op::f64_add);
+                    at(1, -1);
+                    f.emit(Op::f64_add);
+                    at(1, 0);
+                    f.emit(Op::f64_add);
+                    at(1, 1);
+                    f.emit(Op::f64_add);
+                    f.f64Const(9.0);
+                    f.emit(Op::f64_div);
+                });
+            });
+        });
+    });
+
+    kb.sumArrayF64(acc, i, a_base, n * n);
+    f.localGet(acc);
+    return km.finish();
+}
+
+// =====================================================================
+// fdtd-2d: 2-D finite-difference time domain   (TMAX=100 NX=200 NY=240)
+// =====================================================================
+
+double
+fdtd2dNative(int scale)
+{
+    int tmax = scaled(100, scale), nx = scaled(200, scale),
+        ny = scaled(240, scale);
+    std::vector<double> ex(size_t(nx) * ny), ey(size_t(nx) * ny),
+        hz(size_t(nx) * ny), fict(size_t(tmax), 0.0);
+    for (int t = 0; t < tmax; t++)
+        fict[size_t(t)] = t;
+    for (int i = 0; i < nx; i++)
+        for (int j = 0; j < ny; j++) {
+            ex[size_t(i) * ny + j] = double(i) * (j + 1) / nx;
+            ey[size_t(i) * ny + j] = double(i) * (j + 2) / ny;
+            hz[size_t(i) * ny + j] = double(i) * (j + 3) / nx;
+        }
+
+    for (int t = 0; t < tmax; t++) {
+        for (int j = 0; j < ny; j++)
+            ey[size_t(0) * ny + j] = fict[size_t(t)];
+        for (int i = 1; i < nx; i++)
+            for (int j = 0; j < ny; j++)
+                ey[size_t(i) * ny + j] -=
+                    0.5 * (hz[size_t(i) * ny + j] -
+                           hz[size_t(i - 1) * ny + j]);
+        for (int i = 0; i < nx; i++)
+            for (int j = 1; j < ny; j++)
+                ex[size_t(i) * ny + j] -=
+                    0.5 * (hz[size_t(i) * ny + j] -
+                           hz[size_t(i) * ny + j - 1]);
+        for (int i = 0; i < nx - 1; i++)
+            for (int j = 0; j < ny - 1; j++)
+                hz[size_t(i) * ny + j] -=
+                    0.7 * (ex[size_t(i) * ny + j + 1] -
+                           ex[size_t(i) * ny + j] +
+                           ey[size_t(i + 1) * ny + j] -
+                           ey[size_t(i) * ny + j]);
+    }
+
+    double sum = 0;
+    for (double v : hz)
+        sum += v;
+    return sum;
+}
+
+wasm::Module
+fdtd2dModule(int scale)
+{
+    int tmax = scaled(100, scale), nx = scaled(200, scale),
+        ny = scaled(240, scale);
+    uint32_t ex_base = 0;
+    uint32_t ey_base = ex_base + uint32_t(nx) * ny * 8;
+    uint32_t hz_base = ey_base + uint32_t(nx) * ny * 8;
+    uint32_t fict_base = hz_base + uint32_t(nx) * ny * 8;
+    uint64_t total = fict_base + uint64_t(tmax) * 8;
+
+    KernelModule km(total);
+    Kb kb(*km.fb);
+    auto& f = kb.f;
+    uint32_t i = kb.i32(), j = kb.i32(), t = kb.i32();
+    uint32_t acc = kb.f64();
+
+    kb.forRange(t, 0, tmax, [&] {
+        kb.stF64(fict_base, [&] { f.localGet(t); }, [&] {
+            f.localGet(t);
+            f.emit(Op::f64_convert_i32_s);
+        });
+    });
+    kb.forRange(i, 0, nx, [&] {
+        kb.forRange(j, 0, ny, [&] {
+            auto initOne = [&](uint32_t base, int add, int div) {
+                kb.stF64(base, [&] { kb.idx2(i, ny, j); }, [&] {
+                    f.localGet(i);
+                    f.emit(Op::f64_convert_i32_s);
+                    f.localGet(j);
+                    f.i32Const(add);
+                    f.emit(Op::i32_add);
+                    f.emit(Op::f64_convert_i32_s);
+                    f.emit(Op::f64_mul);
+                    f.f64Const(div);
+                    f.emit(Op::f64_div);
+                });
+            };
+            initOne(ex_base, 1, nx);
+            initOne(ey_base, 2, ny);
+            initOne(hz_base, 3, nx);
+        });
+    });
+
+    kb.forRange(t, 0, tmax, [&] {
+        kb.forRange(j, 0, ny, [&] {
+            kb.stF64(ey_base, [&] { f.localGet(j); },
+                     [&] { kb.ldF64(fict_base, [&] { f.localGet(t); }); });
+        });
+        kb.forRange(i, 1, nx, [&] {
+            kb.forRange(j, 0, ny, [&] {
+                kb.stF64(ey_base, [&] { kb.idx2(i, ny, j); }, [&] {
+                    kb.ldF64(ey_base, [&] { kb.idx2(i, ny, j); });
+                    f.f64Const(0.5);
+                    kb.ldF64(hz_base, [&] { kb.idx2(i, ny, j); });
+                    kb.ldF64(hz_base, [&] {
+                        kb.idx2(i, ny, j);
+                        f.i32Const(ny);
+                        f.emit(Op::i32_sub);
+                    });
+                    f.emit(Op::f64_sub);
+                    f.emit(Op::f64_mul);
+                    f.emit(Op::f64_sub);
+                });
+            });
+        });
+        kb.forRange(i, 0, nx, [&] {
+            kb.forRange(j, 1, ny, [&] {
+                kb.stF64(ex_base, [&] { kb.idx2(i, ny, j); }, [&] {
+                    kb.ldF64(ex_base, [&] { kb.idx2(i, ny, j); });
+                    f.f64Const(0.5);
+                    kb.ldF64(hz_base, [&] { kb.idx2(i, ny, j); });
+                    kb.ldF64(hz_base, [&] {
+                        kb.idx2(i, ny, j);
+                        f.i32Const(1);
+                        f.emit(Op::i32_sub);
+                    });
+                    f.emit(Op::f64_sub);
+                    f.emit(Op::f64_mul);
+                    f.emit(Op::f64_sub);
+                });
+            });
+        });
+        kb.forRange(i, 0, nx - 1, [&] {
+            kb.forRange(j, 0, ny - 1, [&] {
+                kb.stF64(hz_base, [&] { kb.idx2(i, ny, j); }, [&] {
+                    kb.ldF64(hz_base, [&] { kb.idx2(i, ny, j); });
+                    f.f64Const(0.7);
+                    kb.ldF64(ex_base, [&] {
+                        kb.idx2(i, ny, j);
+                        f.i32Const(1);
+                        f.emit(Op::i32_add);
+                    });
+                    kb.ldF64(ex_base, [&] { kb.idx2(i, ny, j); });
+                    f.emit(Op::f64_sub);
+                    kb.ldF64(ey_base, [&] {
+                        kb.idx2(i, ny, j);
+                        f.i32Const(ny);
+                        f.emit(Op::i32_add);
+                    });
+                    f.emit(Op::f64_add);
+                    kb.ldF64(ey_base, [&] { kb.idx2(i, ny, j); });
+                    f.emit(Op::f64_sub);
+                    f.emit(Op::f64_mul);
+                    f.emit(Op::f64_sub);
+                });
+            });
+        });
+    });
+
+    kb.sumArrayF64(acc, i, hz_base, nx * ny);
+    f.localGet(acc);
+    return km.finish();
+}
+
+// =====================================================================
+// cholesky: in-place Cholesky of an SPD matrix     (N=400)
+// =====================================================================
+
+double
+choleskyNative(int scale)
+{
+    int n = scaled(400, scale);
+    std::vector<double> a(size_t(n) * n), b(size_t(n) * n);
+    // PolyBench init: lower triangle pattern, identity diagonal, then
+    // A = B*B^T to make it positive definite.
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j <= i; j++)
+            a[size_t(i) * n + j] = double(-j % n) / n + 1;
+        for (int j = i + 1; j < n; j++)
+            a[size_t(i) * n + j] = 0;
+        a[size_t(i) * n + i] = 1;
+    }
+    for (int t = 0; t < n; t++)
+        for (int r = 0; r < n; r++) {
+            double s = 0;
+            for (int ss = 0; ss < n; ss++)
+                s += a[size_t(t) * n + ss] * a[size_t(r) * n + ss];
+            b[size_t(t) * n + r] = s;
+        }
+    a = b;
+
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j < i; j++) {
+            for (int k = 0; k < j; k++)
+                a[size_t(i) * n + j] -=
+                    a[size_t(i) * n + k] * a[size_t(j) * n + k];
+            a[size_t(i) * n + j] /= a[size_t(j) * n + j];
+        }
+        for (int k = 0; k < i; k++)
+            a[size_t(i) * n + i] -=
+                a[size_t(i) * n + k] * a[size_t(i) * n + k];
+        a[size_t(i) * n + i] = std::sqrt(a[size_t(i) * n + i]);
+    }
+
+    double sum = 0;
+    for (int i = 0; i < n; i++)
+        for (int j = 0; j <= i; j++)
+            sum += a[size_t(i) * n + j];
+    return sum;
+}
+
+wasm::Module
+choleskyModule(int scale)
+{
+    int n = scaled(400, scale);
+    uint32_t a_base = 0;
+    uint32_t b_base = a_base + uint32_t(n) * n * 8;
+    uint64_t total = b_base + uint64_t(n) * n * 8;
+
+    KernelModule km(total);
+    Kb kb(*km.fb);
+    auto& f = kb.f;
+    uint32_t i = kb.i32(), j = kb.i32(), k = kb.i32();
+    uint32_t s = kb.f64(), acc = kb.f64();
+
+    // init pattern
+    kb.forRange(i, 0, n, [&] {
+        kb.forRange(j, 0, n, [&] {
+            // j <= i ? (-j % n)/n + 1 : 0 ; diagonal overwritten below
+            f.localGet(j);
+            f.localGet(i);
+            f.emit(Op::i32_le_s);
+            f.ifElse();
+            kb.stF64(a_base, [&] { kb.idx2(i, n, j); }, [&] {
+                f.i32Const(0);
+                f.localGet(j);
+                f.emit(Op::i32_sub);
+                f.i32Const(n);
+                f.emit(Op::i32_rem_s);
+                f.emit(Op::f64_convert_i32_s);
+                f.f64Const(n);
+                f.emit(Op::f64_div);
+                f.f64Const(1.0);
+                f.emit(Op::f64_add);
+            });
+            f.elseBranch();
+            kb.stF64(a_base, [&] { kb.idx2(i, n, j); },
+                     [&] { f.f64Const(0.0); });
+            f.end();
+        });
+        kb.stF64(a_base, [&] { kb.idx2(i, n, i); },
+                 [&] { f.f64Const(1.0); });
+    });
+    // B = A * A^T, then copy back
+    kb.forRange(i, 0, n, [&] {
+        kb.forRange(j, 0, n, [&] {
+            f.f64Const(0);
+            f.localSet(s);
+            kb.forRange(k, 0, n, [&] {
+                kb.accumF64(s, [&] {
+                    kb.ldF64(a_base, [&] { kb.idx2(i, n, k); });
+                    kb.ldF64(a_base, [&] { kb.idx2(j, n, k); });
+                    f.emit(Op::f64_mul);
+                });
+            });
+            kb.stF64(b_base, [&] { kb.idx2(i, n, j); },
+                     [&] { f.localGet(s); });
+        });
+    });
+    kb.forRange(i, 0, n, [&] {
+        kb.forRange(j, 0, n, [&] {
+            kb.stF64(a_base, [&] { kb.idx2(i, n, j); },
+                     [&] { kb.ldF64(b_base, [&] { kb.idx2(i, n, j); }); });
+        });
+    });
+
+    auto forUpTo = [&](uint32_t var, uint32_t bound, auto&& body) {
+        // for (var = 0; var < bound; var++) with a local bound
+        f.i32Const(0);
+        f.localSet(var);
+        auto exit = f.block();
+        auto head = f.loop();
+        f.localGet(var);
+        f.localGet(bound);
+        f.emit(Op::i32_ge_s);
+        f.brIf(exit);
+        body();
+        f.localGet(var);
+        f.i32Const(1);
+        f.emit(Op::i32_add);
+        f.localSet(var);
+        f.br(head);
+        f.end();
+        f.end();
+    };
+
+    // Cholesky kernel
+    kb.forRange(i, 0, n, [&] {
+        forUpTo(j, i, [&] {
+            forUpTo(k, j, [&] {
+                kb.stF64(a_base, [&] { kb.idx2(i, n, j); }, [&] {
+                    kb.ldF64(a_base, [&] { kb.idx2(i, n, j); });
+                    kb.ldF64(a_base, [&] { kb.idx2(i, n, k); });
+                    kb.ldF64(a_base, [&] { kb.idx2(j, n, k); });
+                    f.emit(Op::f64_mul);
+                    f.emit(Op::f64_sub);
+                });
+            });
+            kb.stF64(a_base, [&] { kb.idx2(i, n, j); }, [&] {
+                kb.ldF64(a_base, [&] { kb.idx2(i, n, j); });
+                kb.ldF64(a_base, [&] { kb.idx2(j, n, j); });
+                f.emit(Op::f64_div);
+            });
+        });
+        forUpTo(k, i, [&] {
+            kb.stF64(a_base, [&] { kb.idx2(i, n, i); }, [&] {
+                kb.ldF64(a_base, [&] { kb.idx2(i, n, i); });
+                kb.ldF64(a_base, [&] { kb.idx2(i, n, k); });
+                kb.ldF64(a_base, [&] { kb.idx2(i, n, k); });
+                f.emit(Op::f64_mul);
+                f.emit(Op::f64_sub);
+            });
+        });
+        kb.stF64(a_base, [&] { kb.idx2(i, n, i); }, [&] {
+            kb.ldF64(a_base, [&] { kb.idx2(i, n, i); });
+            f.emit(Op::f64_sqrt);
+        });
+    });
+
+    // checksum over the lower triangle
+    f.f64Const(0);
+    f.localSet(acc);
+    kb.forRange(i, 0, n, [&] {
+        f.i32Const(0);
+        f.localSet(j);
+        auto exit = f.block();
+        auto head = f.loop();
+        f.localGet(j);
+        f.localGet(i);
+        f.emit(Op::i32_gt_s);
+        f.brIf(exit);
+        kb.accumF64(acc,
+                    [&] { kb.ldF64(a_base, [&] { kb.idx2(i, n, j); }); });
+        f.localGet(j);
+        f.i32Const(1);
+        f.emit(Op::i32_add);
+        f.localSet(j);
+        f.br(head);
+        f.end();
+        f.end();
+    });
+    f.localGet(acc);
+    return km.finish();
+}
+
+// =====================================================================
+// lu: in-place LU decomposition of an SPD matrix     (N=400)
+// =====================================================================
+
+double
+luNative(int scale)
+{
+    int n = scaled(400, scale);
+    std::vector<double> a(size_t(n) * n), b(size_t(n) * n);
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j <= i; j++)
+            a[size_t(i) * n + j] = double(-j % n) / n + 1;
+        for (int j = i + 1; j < n; j++)
+            a[size_t(i) * n + j] = 0;
+        a[size_t(i) * n + i] = 1;
+    }
+    for (int t = 0; t < n; t++)
+        for (int r = 0; r < n; r++) {
+            double s = 0;
+            for (int ss = 0; ss < n; ss++)
+                s += a[size_t(t) * n + ss] * a[size_t(r) * n + ss];
+            b[size_t(t) * n + r] = s;
+        }
+    a = b;
+
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j < i; j++) {
+            for (int k = 0; k < j; k++)
+                a[size_t(i) * n + j] -=
+                    a[size_t(i) * n + k] * a[size_t(k) * n + j];
+            a[size_t(i) * n + j] /= a[size_t(j) * n + j];
+        }
+        for (int j = i; j < n; j++)
+            for (int k = 0; k < i; k++)
+                a[size_t(i) * n + j] -=
+                    a[size_t(i) * n + k] * a[size_t(k) * n + j];
+    }
+
+    double sum = 0;
+    for (double v : a)
+        sum += v;
+    return sum;
+}
+
+wasm::Module
+luModule(int scale)
+{
+    int n = scaled(400, scale);
+    uint32_t a_base = 0;
+    uint32_t b_base = a_base + uint32_t(n) * n * 8;
+    uint64_t total = b_base + uint64_t(n) * n * 8;
+
+    KernelModule km(total);
+    Kb kb(*km.fb);
+    auto& f = kb.f;
+    uint32_t i = kb.i32(), j = kb.i32(), k = kb.i32();
+    uint32_t s = kb.f64(), acc = kb.f64();
+
+    // Same SPD init as cholesky.
+    kb.forRange(i, 0, n, [&] {
+        kb.forRange(j, 0, n, [&] {
+            f.localGet(j);
+            f.localGet(i);
+            f.emit(Op::i32_le_s);
+            f.ifElse();
+            kb.stF64(a_base, [&] { kb.idx2(i, n, j); }, [&] {
+                f.i32Const(0);
+                f.localGet(j);
+                f.emit(Op::i32_sub);
+                f.i32Const(n);
+                f.emit(Op::i32_rem_s);
+                f.emit(Op::f64_convert_i32_s);
+                f.f64Const(n);
+                f.emit(Op::f64_div);
+                f.f64Const(1.0);
+                f.emit(Op::f64_add);
+            });
+            f.elseBranch();
+            kb.stF64(a_base, [&] { kb.idx2(i, n, j); },
+                     [&] { f.f64Const(0.0); });
+            f.end();
+        });
+        kb.stF64(a_base, [&] { kb.idx2(i, n, i); },
+                 [&] { f.f64Const(1.0); });
+    });
+    kb.forRange(i, 0, n, [&] {
+        kb.forRange(j, 0, n, [&] {
+            f.f64Const(0);
+            f.localSet(s);
+            kb.forRange(k, 0, n, [&] {
+                kb.accumF64(s, [&] {
+                    kb.ldF64(a_base, [&] { kb.idx2(i, n, k); });
+                    kb.ldF64(a_base, [&] { kb.idx2(j, n, k); });
+                    f.emit(Op::f64_mul);
+                });
+            });
+            kb.stF64(b_base, [&] { kb.idx2(i, n, j); },
+                     [&] { f.localGet(s); });
+        });
+    });
+    kb.forRange(i, 0, n, [&] {
+        kb.forRange(j, 0, n, [&] {
+            kb.stF64(a_base, [&] { kb.idx2(i, n, j); },
+                     [&] { kb.ldF64(b_base, [&] { kb.idx2(i, n, j); }); });
+        });
+    });
+
+    auto forUpToLocal = [&](uint32_t var, uint32_t bound, auto&& body) {
+        f.i32Const(0);
+        f.localSet(var);
+        auto exit = f.block();
+        auto head = f.loop();
+        f.localGet(var);
+        f.localGet(bound);
+        f.emit(Op::i32_ge_s);
+        f.brIf(exit);
+        body();
+        f.localGet(var);
+        f.i32Const(1);
+        f.emit(Op::i32_add);
+        f.localSet(var);
+        f.br(head);
+        f.end();
+        f.end();
+    };
+
+    kb.forRange(i, 0, n, [&] {
+        forUpToLocal(j, i, [&] {
+            forUpToLocal(k, j, [&] {
+                kb.stF64(a_base, [&] { kb.idx2(i, n, j); }, [&] {
+                    kb.ldF64(a_base, [&] { kb.idx2(i, n, j); });
+                    kb.ldF64(a_base, [&] { kb.idx2(i, n, k); });
+                    kb.ldF64(a_base, [&] { kb.idx2(k, n, j); });
+                    f.emit(Op::f64_mul);
+                    f.emit(Op::f64_sub);
+                });
+            });
+            kb.stF64(a_base, [&] { kb.idx2(i, n, j); }, [&] {
+                kb.ldF64(a_base, [&] { kb.idx2(i, n, j); });
+                kb.ldF64(a_base, [&] { kb.idx2(j, n, j); });
+                f.emit(Op::f64_div);
+            });
+        });
+        kb.forRangeFrom(j, i, n, [&] {
+            forUpToLocal(k, i, [&] {
+                kb.stF64(a_base, [&] { kb.idx2(i, n, j); }, [&] {
+                    kb.ldF64(a_base, [&] { kb.idx2(i, n, j); });
+                    kb.ldF64(a_base, [&] { kb.idx2(i, n, k); });
+                    kb.ldF64(a_base, [&] { kb.idx2(k, n, j); });
+                    f.emit(Op::f64_mul);
+                    f.emit(Op::f64_sub);
+                });
+            });
+        });
+    });
+
+    kb.sumArrayF64(acc, i, a_base, n * n);
+    f.localGet(acc);
+    return km.finish();
+}
+
+// =====================================================================
+// floyd-warshall: all-pairs shortest paths (integer)   (N=500)
+// =====================================================================
+
+double
+floydNative(int scale)
+{
+    int n = scaled(500, scale);
+    std::vector<int32_t> path(size_t(n) * n);
+    for (int i = 0; i < n; i++)
+        for (int j = 0; j < n; j++) {
+            int32_t v = i * j % 7 + 1;
+            if ((i + j) % 13 == 0 || (i + j) % 7 == 0 ||
+                (i + j) % 11 == 0)
+                v = 999;
+            path[size_t(i) * n + j] = v;
+        }
+
+    for (int k = 0; k < n; k++)
+        for (int i = 0; i < n; i++)
+            for (int j = 0; j < n; j++) {
+                int32_t through =
+                    path[size_t(i) * n + k] + path[size_t(k) * n + j];
+                if (through < path[size_t(i) * n + j])
+                    path[size_t(i) * n + j] = through;
+            }
+
+    double sum = 0;
+    for (int32_t v : path)
+        sum += double(v);
+    return sum;
+}
+
+wasm::Module
+floydModule(int scale)
+{
+    int n = scaled(500, scale);
+    uint32_t p_base = 0;
+    uint64_t total = uint64_t(n) * n * 4;
+
+    KernelModule km(total);
+    Kb kb(*km.fb);
+    auto& f = kb.f;
+    uint32_t i = kb.i32(), j = kb.i32(), k = kb.i32();
+    uint32_t through = kb.i32(), acc = kb.f64();
+
+    kb.forRange(i, 0, n, [&] {
+        kb.forRange(j, 0, n, [&] {
+            // v = i*j%7+1, with 999 on the special diagonals
+            f.localGet(i);
+            f.localGet(j);
+            f.emit(Op::i32_mul);
+            f.i32Const(7);
+            f.emit(Op::i32_rem_s);
+            f.i32Const(1);
+            f.emit(Op::i32_add);
+            f.localSet(through);
+            auto checkMod = [&](int mod) {
+                f.localGet(i);
+                f.localGet(j);
+                f.emit(Op::i32_add);
+                f.i32Const(mod);
+                f.emit(Op::i32_rem_s);
+                f.emit(Op::i32_eqz);
+            };
+            checkMod(13);
+            checkMod(7);
+            f.emit(Op::i32_or);
+            checkMod(11);
+            f.emit(Op::i32_or);
+            f.ifElse();
+            f.i32Const(999);
+            f.localSet(through);
+            f.end();
+            kb.stI32(p_base, [&] { kb.idx2(i, n, j); },
+                     [&] { f.localGet(through); });
+        });
+    });
+
+    kb.forRange(k, 0, n, [&] {
+        kb.forRange(i, 0, n, [&] {
+            kb.forRange(j, 0, n, [&] {
+                kb.ldI32(p_base, [&] { kb.idx2(i, n, k); });
+                kb.ldI32(p_base, [&] { kb.idx2(k, n, j); });
+                f.emit(Op::i32_add);
+                f.localSet(through);
+                f.localGet(through);
+                kb.ldI32(p_base, [&] { kb.idx2(i, n, j); });
+                f.emit(Op::i32_lt_s);
+                f.ifElse();
+                kb.stI32(p_base, [&] { kb.idx2(i, n, j); },
+                         [&] { f.localGet(through); });
+                f.end();
+            });
+        });
+    });
+
+    // checksum: sum of all path entries as f64
+    f.f64Const(0);
+    f.localSet(acc);
+    kb.forRange(i, 0, n * n, [&] {
+        kb.accumF64(acc, [&] {
+            kb.ldI32(p_base, [&] { f.localGet(i); });
+            f.emit(Op::f64_convert_i32_s);
+        });
+    });
+    f.localGet(acc);
+    return km.finish();
+}
+
+} // namespace
+
+void
+registerPolybenchStencil(std::vector<Kernel>& out)
+{
+    out.push_back({"jacobi-1d", "polybench", "1-D Jacobi stencil",
+                   &jacobi1dNative, &jacobi1dModule});
+    out.push_back({"jacobi-2d", "polybench", "2-D Jacobi stencil",
+                   &jacobi2dNative, &jacobi2dModule});
+    out.push_back({"seidel-2d", "polybench", "2-D Gauss-Seidel stencil",
+                   &seidel2dNative, &seidel2dModule});
+    out.push_back({"fdtd-2d", "polybench", "2-D finite-difference",
+                   &fdtd2dNative, &fdtd2dModule});
+    out.push_back({"cholesky", "polybench", "Cholesky decomposition",
+                   &choleskyNative, &choleskyModule});
+    out.push_back({"lu", "polybench", "LU decomposition", &luNative,
+                   &luModule});
+    out.push_back({"floyd-warshall", "polybench",
+                   "all-pairs shortest paths", &floydNative,
+                   &floydModule});
+}
+
+} // namespace lnb::kernels

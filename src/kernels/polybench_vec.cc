@@ -1,0 +1,1056 @@
+/**
+ * @file
+ * PolyBench/C vector and small-solver kernels (MEDIUM dataset): atax,
+ * bicg, mvt, gesummv, gemver, trisolv, durbin, doitgen.
+ */
+#include <vector>
+
+#include "kernels/dsl.h"
+#include "kernels/kernel.h"
+
+namespace lnb::kernels {
+
+namespace {
+
+constexpr double kAlpha = 1.5;
+constexpr double kBeta = 1.2;
+
+// =====================================================================
+// atax: y = A^T (A x)           (M=390 N=410)
+// =====================================================================
+
+double
+ataxNative(int scale)
+{
+    int m = scaled(390, scale), n = scaled(410, scale);
+    std::vector<double> a(size_t(m) * n), x(size_t(n), 0.0), y(size_t(n), 0.0),
+        tmp(size_t(m), 0.0);
+    double fn = double(n);
+    for (int i = 0; i < n; i++)
+        x[size_t(i)] = 1 + (double(i) / fn);
+    for (int i = 0; i < m; i++)
+        for (int j = 0; j < n; j++)
+            a[size_t(i) * n + j] = double((i + j) % n) / (5 * m);
+
+    for (int i = 0; i < m; i++) {
+        double t = 0;
+        for (int j = 0; j < n; j++)
+            t += a[size_t(i) * n + j] * x[size_t(j)];
+        tmp[size_t(i)] = t;
+        for (int j = 0; j < n; j++)
+            y[size_t(j)] += a[size_t(i) * n + j] * t;
+    }
+
+    double sum = 0;
+    for (double v : y)
+        sum += v;
+    return sum;
+}
+
+wasm::Module
+ataxModule(int scale)
+{
+    int m = scaled(390, scale), n = scaled(410, scale);
+    uint32_t a_base = 0;
+    uint32_t x_base = a_base + uint32_t(m) * n * 8;
+    uint32_t y_base = x_base + uint32_t(n) * 8;
+    uint64_t total = y_base + uint64_t(n) * 8;
+
+    KernelModule km(total);
+    Kb kb(*km.fb);
+    auto& f = kb.f;
+    uint32_t i = kb.i32(), j = kb.i32();
+    uint32_t t = kb.f64(), acc = kb.f64();
+
+    kb.forRange(i, 0, n, [&] {
+        kb.stF64(x_base, [&] { f.localGet(i); }, [&] {
+            f.f64Const(1.0);
+            f.localGet(i);
+            f.emit(Op::f64_convert_i32_s);
+            f.f64Const(n);
+            f.emit(Op::f64_div);
+            f.emit(Op::f64_add);
+        });
+        kb.stF64(y_base, [&] { f.localGet(i); },
+                 [&] { f.f64Const(0.0); });
+    });
+    kb.forRange(i, 0, m, [&] {
+        kb.forRange(j, 0, n, [&] {
+            kb.stF64(a_base, [&] { kb.idx2(i, n, j); }, [&] {
+                f.localGet(i);
+                f.localGet(j);
+                f.emit(Op::i32_add);
+                f.i32Const(n);
+                f.emit(Op::i32_rem_s);
+                f.emit(Op::f64_convert_i32_s);
+                f.f64Const(5.0 * m);
+                f.emit(Op::f64_div);
+            });
+        });
+    });
+
+    kb.forRange(i, 0, m, [&] {
+        f.f64Const(0);
+        f.localSet(t);
+        kb.forRange(j, 0, n, [&] {
+            kb.accumF64(t, [&] {
+                kb.ldF64(a_base, [&] { kb.idx2(i, n, j); });
+                kb.ldF64(x_base, [&] { f.localGet(j); });
+                f.emit(Op::f64_mul);
+            });
+        });
+        kb.forRange(j, 0, n, [&] {
+            kb.stF64(y_base, [&] { f.localGet(j); }, [&] {
+                kb.ldF64(y_base, [&] { f.localGet(j); });
+                kb.ldF64(a_base, [&] { kb.idx2(i, n, j); });
+                f.localGet(t);
+                f.emit(Op::f64_mul);
+                f.emit(Op::f64_add);
+            });
+        });
+    });
+
+    kb.sumArrayF64(acc, i, y_base, n);
+    f.localGet(acc);
+    return km.finish();
+}
+
+// =====================================================================
+// bicg: s = A^T r;  q = A p           (M=390 N=410)
+// =====================================================================
+
+double
+bicgNative(int scale)
+{
+    int m = scaled(390, scale), n = scaled(410, scale);
+    std::vector<double> a(size_t(n) * m), s(size_t(m), 0.0), q(size_t(n), 0.0),
+        p(size_t(m), 0.0), r(size_t(n), 0.0);
+    for (int i = 0; i < m; i++)
+        p[size_t(i)] = double(i % m) / m;
+    for (int i = 0; i < n; i++) {
+        r[size_t(i)] = double(i % n) / n;
+        for (int j = 0; j < m; j++)
+            a[size_t(i) * m + j] = double(i * (j + 1) % n) / n;
+    }
+
+    for (int i = 0; i < n; i++) {
+        q[size_t(i)] = 0;
+        for (int j = 0; j < m; j++) {
+            s[size_t(j)] += r[size_t(i)] * a[size_t(i) * m + j];
+            q[size_t(i)] += a[size_t(i) * m + j] * p[size_t(j)];
+        }
+    }
+
+    double sum = 0;
+    for (double v : s)
+        sum += v;
+    for (double v : q)
+        sum += v;
+    return sum;
+}
+
+wasm::Module
+bicgModule(int scale)
+{
+    int m = scaled(390, scale), n = scaled(410, scale);
+    uint32_t a_base = 0;
+    uint32_t s_base = a_base + uint32_t(n) * m * 8;
+    uint32_t q_base = s_base + uint32_t(m) * 8;
+    uint32_t p_base = q_base + uint32_t(n) * 8;
+    uint32_t r_base = p_base + uint32_t(m) * 8;
+    uint64_t total = r_base + uint64_t(n) * 8;
+
+    KernelModule km(total);
+    Kb kb(*km.fb);
+    auto& f = kb.f;
+    uint32_t i = kb.i32(), j = kb.i32();
+    uint32_t acc = kb.f64();
+
+    kb.forRange(i, 0, m, [&] {
+        kb.stF64(p_base, [&] { f.localGet(i); }, [&] {
+            f.localGet(i);
+            f.i32Const(m);
+            f.emit(Op::i32_rem_s);
+            f.emit(Op::f64_convert_i32_s);
+            f.f64Const(m);
+            f.emit(Op::f64_div);
+        });
+        kb.stF64(s_base, [&] { f.localGet(i); },
+                 [&] { f.f64Const(0.0); });
+    });
+    kb.forRange(i, 0, n, [&] {
+        kb.stF64(r_base, [&] { f.localGet(i); }, [&] {
+            f.localGet(i);
+            f.i32Const(n);
+            f.emit(Op::i32_rem_s);
+            f.emit(Op::f64_convert_i32_s);
+            f.f64Const(n);
+            f.emit(Op::f64_div);
+        });
+        kb.forRange(j, 0, m, [&] {
+            kb.stF64(a_base, [&] { kb.idx2(i, m, j); }, [&] {
+                f.localGet(i);
+                f.localGet(j);
+                f.i32Const(1);
+                f.emit(Op::i32_add);
+                f.emit(Op::i32_mul);
+                f.i32Const(n);
+                f.emit(Op::i32_rem_s);
+                f.emit(Op::f64_convert_i32_s);
+                f.f64Const(n);
+                f.emit(Op::f64_div);
+            });
+        });
+    });
+
+    kb.forRange(i, 0, n, [&] {
+        kb.stF64(q_base, [&] { f.localGet(i); },
+                 [&] { f.f64Const(0.0); });
+        kb.forRange(j, 0, m, [&] {
+            kb.stF64(s_base, [&] { f.localGet(j); }, [&] {
+                kb.ldF64(s_base, [&] { f.localGet(j); });
+                kb.ldF64(r_base, [&] { f.localGet(i); });
+                kb.ldF64(a_base, [&] { kb.idx2(i, m, j); });
+                f.emit(Op::f64_mul);
+                f.emit(Op::f64_add);
+            });
+            kb.stF64(q_base, [&] { f.localGet(i); }, [&] {
+                kb.ldF64(q_base, [&] { f.localGet(i); });
+                kb.ldF64(a_base, [&] { kb.idx2(i, m, j); });
+                kb.ldF64(p_base, [&] { f.localGet(j); });
+                f.emit(Op::f64_mul);
+                f.emit(Op::f64_add);
+            });
+        });
+    });
+
+    kb.sumArrayF64(acc, i, s_base, m);
+    kb.sumArrayF64(acc, i, q_base, n);
+    f.localGet(acc);
+    return km.finish();
+}
+
+// =====================================================================
+// mvt: x1 += A y1;  x2 += A^T y2       (N=400)
+// =====================================================================
+
+double
+mvtNative(int scale)
+{
+    int n = scaled(400, scale);
+    std::vector<double> a(size_t(n) * n), x1(size_t(n), 0.0), x2(size_t(n), 0.0),
+        y1(size_t(n), 0.0), y2(size_t(n), 0.0);
+    for (int i = 0; i < n; i++) {
+        x1[size_t(i)] = double(i % n) / n;
+        x2[size_t(i)] = double((i + 1) % n) / (2.0 * n);
+        y1[size_t(i)] = double((i + 3) % n) / n;
+        y2[size_t(i)] = double((i + 4) % n) / (2.0 * n);
+        for (int j = 0; j < n; j++)
+            a[size_t(i) * n + j] = double(i * j % n) / n;
+    }
+
+    for (int i = 0; i < n; i++)
+        for (int j = 0; j < n; j++)
+            x1[size_t(i)] += a[size_t(i) * n + j] * y1[size_t(j)];
+    for (int i = 0; i < n; i++)
+        for (int j = 0; j < n; j++)
+            x2[size_t(i)] += a[size_t(j) * n + i] * y2[size_t(j)];
+
+    double sum = 0;
+    for (double v : x1)
+        sum += v;
+    for (double v : x2)
+        sum += v;
+    return sum;
+}
+
+wasm::Module
+mvtModule(int scale)
+{
+    int n = scaled(400, scale);
+    uint32_t a_base = 0;
+    uint32_t x1_base = a_base + uint32_t(n) * n * 8;
+    uint32_t x2_base = x1_base + uint32_t(n) * 8;
+    uint32_t y1_base = x2_base + uint32_t(n) * 8;
+    uint32_t y2_base = y1_base + uint32_t(n) * 8;
+    uint64_t total = y2_base + uint64_t(n) * 8;
+
+    KernelModule km(total);
+    Kb kb(*km.fb);
+    auto& f = kb.f;
+    uint32_t i = kb.i32(), j = kb.i32();
+    uint32_t acc = kb.f64();
+
+    auto modDiv = [&](int add, double div) {
+        f.localGet(i);
+        f.i32Const(add);
+        f.emit(Op::i32_add);
+        f.i32Const(n);
+        f.emit(Op::i32_rem_s);
+        f.emit(Op::f64_convert_i32_s);
+        f.f64Const(div);
+        f.emit(Op::f64_div);
+    };
+
+    kb.forRange(i, 0, n, [&] {
+        kb.stF64(x1_base, [&] { f.localGet(i); }, [&] { modDiv(0, n); });
+        kb.stF64(x2_base, [&] { f.localGet(i); },
+                 [&] { modDiv(1, 2.0 * n); });
+        kb.stF64(y1_base, [&] { f.localGet(i); }, [&] { modDiv(3, n); });
+        kb.stF64(y2_base, [&] { f.localGet(i); },
+                 [&] { modDiv(4, 2.0 * n); });
+        kb.forRange(j, 0, n, [&] {
+            kb.stF64(a_base, [&] { kb.idx2(i, n, j); }, [&] {
+                f.localGet(i);
+                f.localGet(j);
+                f.emit(Op::i32_mul);
+                f.i32Const(n);
+                f.emit(Op::i32_rem_s);
+                f.emit(Op::f64_convert_i32_s);
+                f.f64Const(n);
+                f.emit(Op::f64_div);
+            });
+        });
+    });
+
+    kb.forRange(i, 0, n, [&] {
+        kb.forRange(j, 0, n, [&] {
+            kb.stF64(x1_base, [&] { f.localGet(i); }, [&] {
+                kb.ldF64(x1_base, [&] { f.localGet(i); });
+                kb.ldF64(a_base, [&] { kb.idx2(i, n, j); });
+                kb.ldF64(y1_base, [&] { f.localGet(j); });
+                f.emit(Op::f64_mul);
+                f.emit(Op::f64_add);
+            });
+        });
+    });
+    kb.forRange(i, 0, n, [&] {
+        kb.forRange(j, 0, n, [&] {
+            kb.stF64(x2_base, [&] { f.localGet(i); }, [&] {
+                kb.ldF64(x2_base, [&] { f.localGet(i); });
+                kb.ldF64(a_base, [&] { kb.idx2(j, n, i); });
+                kb.ldF64(y2_base, [&] { f.localGet(j); });
+                f.emit(Op::f64_mul);
+                f.emit(Op::f64_add);
+            });
+        });
+    });
+
+    kb.sumArrayF64(acc, i, x1_base, n);
+    kb.sumArrayF64(acc, i, x2_base, n);
+    f.localGet(acc);
+    return km.finish();
+}
+
+// =====================================================================
+// gesummv: y = alpha*A*x + beta*B*x      (N=250)
+// =====================================================================
+
+double
+gesummvNative(int scale)
+{
+    int n = scaled(250, scale);
+    std::vector<double> a(size_t(n) * n), b(size_t(n) * n), x(size_t(n), 0.0),
+        y(size_t(n), 0.0);
+    for (int i = 0; i < n; i++) {
+        x[size_t(i)] = double(i % n) / n;
+        for (int j = 0; j < n; j++) {
+            a[size_t(i) * n + j] = double((i * j + 1) % n) / n;
+            b[size_t(i) * n + j] = double((i * j + 2) % n) / n;
+        }
+    }
+
+    for (int i = 0; i < n; i++) {
+        double ta = 0, tb = 0;
+        for (int j = 0; j < n; j++) {
+            ta += a[size_t(i) * n + j] * x[size_t(j)];
+            tb += b[size_t(i) * n + j] * x[size_t(j)];
+        }
+        y[size_t(i)] = kAlpha * ta + kBeta * tb;
+    }
+
+    double sum = 0;
+    for (double v : y)
+        sum += v;
+    return sum;
+}
+
+wasm::Module
+gesummvModule(int scale)
+{
+    int n = scaled(250, scale);
+    uint32_t a_base = 0;
+    uint32_t b_base = a_base + uint32_t(n) * n * 8;
+    uint32_t x_base = b_base + uint32_t(n) * n * 8;
+    uint32_t y_base = x_base + uint32_t(n) * 8;
+    uint64_t total = y_base + uint64_t(n) * 8;
+
+    KernelModule km(total);
+    Kb kb(*km.fb);
+    auto& f = kb.f;
+    uint32_t i = kb.i32(), j = kb.i32();
+    uint32_t ta = kb.f64(), tb = kb.f64(), acc = kb.f64();
+
+    kb.forRange(i, 0, n, [&] {
+        kb.stF64(x_base, [&] { f.localGet(i); }, [&] {
+            f.localGet(i);
+            f.i32Const(n);
+            f.emit(Op::i32_rem_s);
+            f.emit(Op::f64_convert_i32_s);
+            f.f64Const(n);
+            f.emit(Op::f64_div);
+        });
+        kb.forRange(j, 0, n, [&] {
+            auto initMat = [&](uint32_t base, int add) {
+                kb.stF64(base, [&] { kb.idx2(i, n, j); }, [&] {
+                    f.localGet(i);
+                    f.localGet(j);
+                    f.emit(Op::i32_mul);
+                    f.i32Const(add);
+                    f.emit(Op::i32_add);
+                    f.i32Const(n);
+                    f.emit(Op::i32_rem_s);
+                    f.emit(Op::f64_convert_i32_s);
+                    f.f64Const(n);
+                    f.emit(Op::f64_div);
+                });
+            };
+            initMat(a_base, 1);
+            initMat(b_base, 2);
+        });
+    });
+
+    kb.forRange(i, 0, n, [&] {
+        f.f64Const(0);
+        f.localSet(ta);
+        f.f64Const(0);
+        f.localSet(tb);
+        kb.forRange(j, 0, n, [&] {
+            kb.accumF64(ta, [&] {
+                kb.ldF64(a_base, [&] { kb.idx2(i, n, j); });
+                kb.ldF64(x_base, [&] { f.localGet(j); });
+                f.emit(Op::f64_mul);
+            });
+            kb.accumF64(tb, [&] {
+                kb.ldF64(b_base, [&] { kb.idx2(i, n, j); });
+                kb.ldF64(x_base, [&] { f.localGet(j); });
+                f.emit(Op::f64_mul);
+            });
+        });
+        kb.stF64(y_base, [&] { f.localGet(i); }, [&] {
+            f.f64Const(kAlpha);
+            f.localGet(ta);
+            f.emit(Op::f64_mul);
+            f.f64Const(kBeta);
+            f.localGet(tb);
+            f.emit(Op::f64_mul);
+            f.emit(Op::f64_add);
+        });
+    });
+
+    kb.sumArrayF64(acc, i, y_base, n);
+    f.localGet(acc);
+    return km.finish();
+}
+
+// =====================================================================
+// gemver: A += u1 v1' + u2 v2'; x = beta A' y + z; w = alpha A x  (N=400)
+// =====================================================================
+
+double
+gemverNative(int scale)
+{
+    int n = scaled(400, scale);
+    double fn = double(n);
+    std::vector<double> a(size_t(n) * n), u1(size_t(n), 0.0), v1(size_t(n), 0.0),
+        u2(size_t(n), 0.0), v2(size_t(n), 0.0), w(size_t(n), 0.0), x(size_t(n), 0.0),
+        y(size_t(n), 0.0), z(size_t(n), 0.0);
+    for (int i = 0; i < n; i++) {
+        u1[size_t(i)] = i;
+        u2[size_t(i)] = ((i + 1) / fn) / 2.0;
+        v1[size_t(i)] = ((i + 1) / fn) / 4.0;
+        v2[size_t(i)] = ((i + 1) / fn) / 6.0;
+        y[size_t(i)] = ((i + 1) / fn) / 8.0;
+        z[size_t(i)] = ((i + 1) / fn) / 9.0;
+        for (int j = 0; j < n; j++)
+            a[size_t(i) * n + j] = double(i * j % n) / n;
+    }
+
+    for (int i = 0; i < n; i++)
+        for (int j = 0; j < n; j++)
+            a[size_t(i) * n + j] += u1[size_t(i)] * v1[size_t(j)] +
+                                    u2[size_t(i)] * v2[size_t(j)];
+    for (int i = 0; i < n; i++)
+        for (int j = 0; j < n; j++)
+            x[size_t(i)] += kBeta * a[size_t(j) * n + i] * y[size_t(j)];
+    for (int i = 0; i < n; i++)
+        x[size_t(i)] += z[size_t(i)];
+    for (int i = 0; i < n; i++)
+        for (int j = 0; j < n; j++)
+            w[size_t(i)] += kAlpha * a[size_t(i) * n + j] * x[size_t(j)];
+
+    double sum = 0;
+    for (double v : w)
+        sum += v;
+    return sum;
+}
+
+wasm::Module
+gemverModule(int scale)
+{
+    int n = scaled(400, scale);
+    uint32_t a_base = 0;
+    uint32_t u1_base = a_base + uint32_t(n) * n * 8;
+    uint32_t v1_base = u1_base + uint32_t(n) * 8;
+    uint32_t u2_base = v1_base + uint32_t(n) * 8;
+    uint32_t v2_base = u2_base + uint32_t(n) * 8;
+    uint32_t w_base = v2_base + uint32_t(n) * 8;
+    uint32_t x_base = w_base + uint32_t(n) * 8;
+    uint32_t y_base = x_base + uint32_t(n) * 8;
+    uint32_t z_base = y_base + uint32_t(n) * 8;
+    uint64_t total = z_base + uint64_t(n) * 8;
+
+    KernelModule km(total);
+    Kb kb(*km.fb);
+    auto& f = kb.f;
+    uint32_t i = kb.i32(), j = kb.i32();
+    uint32_t acc = kb.f64();
+
+    auto ip1OverFn = [&](double div) {
+        f.localGet(i);
+        f.i32Const(1);
+        f.emit(Op::i32_add);
+        f.emit(Op::f64_convert_i32_s);
+        f.f64Const(n);
+        f.emit(Op::f64_div);
+        f.f64Const(div);
+        f.emit(Op::f64_div);
+    };
+
+    kb.forRange(i, 0, n, [&] {
+        kb.stF64(u1_base, [&] { f.localGet(i); }, [&] {
+            f.localGet(i);
+            f.emit(Op::f64_convert_i32_s);
+        });
+        kb.stF64(u2_base, [&] { f.localGet(i); },
+                 [&] { ip1OverFn(2.0); });
+        kb.stF64(v1_base, [&] { f.localGet(i); },
+                 [&] { ip1OverFn(4.0); });
+        kb.stF64(v2_base, [&] { f.localGet(i); },
+                 [&] { ip1OverFn(6.0); });
+        kb.stF64(y_base, [&] { f.localGet(i); }, [&] { ip1OverFn(8.0); });
+        kb.stF64(z_base, [&] { f.localGet(i); }, [&] { ip1OverFn(9.0); });
+        kb.stF64(w_base, [&] { f.localGet(i); }, [&] { f.f64Const(0); });
+        kb.stF64(x_base, [&] { f.localGet(i); }, [&] { f.f64Const(0); });
+        kb.forRange(j, 0, n, [&] {
+            kb.stF64(a_base, [&] { kb.idx2(i, n, j); }, [&] {
+                f.localGet(i);
+                f.localGet(j);
+                f.emit(Op::i32_mul);
+                f.i32Const(n);
+                f.emit(Op::i32_rem_s);
+                f.emit(Op::f64_convert_i32_s);
+                f.f64Const(n);
+                f.emit(Op::f64_div);
+            });
+        });
+    });
+
+    kb.forRange(i, 0, n, [&] {
+        kb.forRange(j, 0, n, [&] {
+            kb.stF64(a_base, [&] { kb.idx2(i, n, j); }, [&] {
+                kb.ldF64(a_base, [&] { kb.idx2(i, n, j); });
+                kb.ldF64(u1_base, [&] { f.localGet(i); });
+                kb.ldF64(v1_base, [&] { f.localGet(j); });
+                f.emit(Op::f64_mul);
+                f.emit(Op::f64_add);
+                kb.ldF64(u2_base, [&] { f.localGet(i); });
+                kb.ldF64(v2_base, [&] { f.localGet(j); });
+                f.emit(Op::f64_mul);
+                f.emit(Op::f64_add);
+            });
+        });
+    });
+    kb.forRange(i, 0, n, [&] {
+        kb.forRange(j, 0, n, [&] {
+            kb.stF64(x_base, [&] { f.localGet(i); }, [&] {
+                kb.ldF64(x_base, [&] { f.localGet(i); });
+                f.f64Const(kBeta);
+                kb.ldF64(a_base, [&] { kb.idx2(j, n, i); });
+                f.emit(Op::f64_mul);
+                kb.ldF64(y_base, [&] { f.localGet(j); });
+                f.emit(Op::f64_mul);
+                f.emit(Op::f64_add);
+            });
+        });
+    });
+    kb.forRange(i, 0, n, [&] {
+        kb.stF64(x_base, [&] { f.localGet(i); }, [&] {
+            kb.ldF64(x_base, [&] { f.localGet(i); });
+            kb.ldF64(z_base, [&] { f.localGet(i); });
+            f.emit(Op::f64_add);
+        });
+    });
+    kb.forRange(i, 0, n, [&] {
+        kb.forRange(j, 0, n, [&] {
+            kb.stF64(w_base, [&] { f.localGet(i); }, [&] {
+                kb.ldF64(w_base, [&] { f.localGet(i); });
+                f.f64Const(kAlpha);
+                kb.ldF64(a_base, [&] { kb.idx2(i, n, j); });
+                f.emit(Op::f64_mul);
+                kb.ldF64(x_base, [&] { f.localGet(j); });
+                f.emit(Op::f64_mul);
+                f.emit(Op::f64_add);
+            });
+        });
+    });
+
+    kb.sumArrayF64(acc, i, w_base, n);
+    f.localGet(acc);
+    return km.finish();
+}
+
+// =====================================================================
+// trisolv: forward substitution L x = b      (N=400)
+// =====================================================================
+
+double
+trisolvNative(int scale)
+{
+    int n = scaled(400, scale);
+    std::vector<double> l(size_t(n) * n), x(size_t(n), 0.0), b(size_t(n), 0.0);
+    for (int i = 0; i < n; i++) {
+        x[size_t(i)] = -999;
+        b[size_t(i)] = i;
+        for (int j = 0; j <= i; j++)
+            l[size_t(i) * n + j] =
+                double(i + n - j + 1) * 2.0 / n;
+    }
+
+    for (int i = 0; i < n; i++) {
+        double t = b[size_t(i)];
+        for (int j = 0; j < i; j++)
+            t -= l[size_t(i) * n + j] * x[size_t(j)];
+        x[size_t(i)] = t / l[size_t(i) * n + i];
+    }
+
+    double sum = 0;
+    for (double v : x)
+        sum += v;
+    return sum;
+}
+
+wasm::Module
+trisolvModule(int scale)
+{
+    int n = scaled(400, scale);
+    uint32_t l_base = 0;
+    uint32_t x_base = l_base + uint32_t(n) * n * 8;
+    uint32_t b_base = x_base + uint32_t(n) * 8;
+    uint64_t total = b_base + uint64_t(n) * 8;
+
+    KernelModule km(total);
+    Kb kb(*km.fb);
+    auto& f = kb.f;
+    uint32_t i = kb.i32(), j = kb.i32();
+    uint32_t t = kb.f64(), acc = kb.f64();
+
+    kb.forRange(i, 0, n, [&] {
+        kb.stF64(x_base, [&] { f.localGet(i); },
+                 [&] { f.f64Const(-999.0); });
+        kb.stF64(b_base, [&] { f.localGet(i); }, [&] {
+            f.localGet(i);
+            f.emit(Op::f64_convert_i32_s);
+        });
+        // for j in 0..=i
+        f.i32Const(0);
+        f.localSet(j);
+        auto exit = f.block();
+        auto head = f.loop();
+        f.localGet(j);
+        f.localGet(i);
+        f.emit(Op::i32_gt_s);
+        f.brIf(exit);
+        kb.stF64(l_base, [&] { kb.idx2(i, n, j); }, [&] {
+            f.localGet(i);
+            f.i32Const(n);
+            f.emit(Op::i32_add);
+            f.localGet(j);
+            f.emit(Op::i32_sub);
+            f.i32Const(1);
+            f.emit(Op::i32_add);
+            f.emit(Op::f64_convert_i32_s);
+            f.f64Const(2.0);
+            f.emit(Op::f64_mul);
+            f.f64Const(n);
+            f.emit(Op::f64_div);
+        });
+        f.localGet(j);
+        f.i32Const(1);
+        f.emit(Op::i32_add);
+        f.localSet(j);
+        f.br(head);
+        f.end();
+        f.end();
+    });
+
+    kb.forRange(i, 0, n, [&] {
+        kb.ldF64(b_base, [&] { f.localGet(i); });
+        f.localSet(t);
+        // for j in 0..i
+        f.i32Const(0);
+        f.localSet(j);
+        {
+            auto exit = f.block();
+            auto head = f.loop();
+            f.localGet(j);
+            f.localGet(i);
+            f.emit(Op::i32_ge_s);
+            f.brIf(exit);
+            f.localGet(t);
+            kb.ldF64(l_base, [&] { kb.idx2(i, n, j); });
+            kb.ldF64(x_base, [&] { f.localGet(j); });
+            f.emit(Op::f64_mul);
+            f.emit(Op::f64_sub);
+            f.localSet(t);
+            f.localGet(j);
+            f.i32Const(1);
+            f.emit(Op::i32_add);
+            f.localSet(j);
+            f.br(head);
+            f.end();
+            f.end();
+        }
+        kb.stF64(x_base, [&] { f.localGet(i); }, [&] {
+            f.localGet(t);
+            kb.ldF64(l_base, [&] { kb.idx2(i, n, i); });
+            f.emit(Op::f64_div);
+        });
+    });
+
+    kb.sumArrayF64(acc, i, x_base, n);
+    f.localGet(acc);
+    return km.finish();
+}
+
+// =====================================================================
+// durbin: Levinson-Durbin recursion        (N=400)
+// =====================================================================
+
+double
+durbinNative(int scale)
+{
+    int n = scaled(400, scale);
+    std::vector<double> r(size_t(n), 0.0), y(size_t(n), 0.0), z(size_t(n), 0.0);
+    for (int i = 0; i < n; i++)
+        r[size_t(i)] = double(n + 1 - i);
+
+    y[0] = -r[0];
+    double beta = 1.0, alpha = -r[0];
+    for (int k = 1; k < n; k++) {
+        beta = (1 - alpha * alpha) * beta;
+        double s = 0;
+        for (int i = 0; i < k; i++)
+            s += r[size_t(k - i - 1)] * y[size_t(i)];
+        alpha = -(r[size_t(k)] + s) / beta;
+        for (int i = 0; i < k; i++)
+            z[size_t(i)] = y[size_t(i)] + alpha * y[size_t(k - i - 1)];
+        for (int i = 0; i < k; i++)
+            y[size_t(i)] = z[size_t(i)];
+        y[size_t(k)] = alpha;
+    }
+
+    double sum = 0;
+    for (double v : y)
+        sum += v;
+    return sum;
+}
+
+wasm::Module
+durbinModule(int scale)
+{
+    int n = scaled(400, scale);
+    uint32_t r_base = 0;
+    uint32_t y_base = r_base + uint32_t(n) * 8;
+    uint32_t z_base = y_base + uint32_t(n) * 8;
+    uint64_t total = z_base + uint64_t(n) * 8;
+
+    KernelModule km(total);
+    Kb kb(*km.fb);
+    auto& f = kb.f;
+    uint32_t i = kb.i32(), k = kb.i32();
+    uint32_t alpha = kb.f64(), beta = kb.f64(), s = kb.f64(),
+             acc = kb.f64();
+
+    kb.forRange(i, 0, n, [&] {
+        kb.stF64(r_base, [&] { f.localGet(i); }, [&] {
+            f.i32Const(n + 1);
+            f.localGet(i);
+            f.emit(Op::i32_sub);
+            f.emit(Op::f64_convert_i32_s);
+        });
+    });
+
+    // y[0] = -r[0]; beta = 1; alpha = -r[0];
+    kb.stF64(y_base, [&] { f.i32Const(0); }, [&] {
+        kb.ldF64(r_base, [&] { f.i32Const(0); });
+        f.emit(Op::f64_neg);
+    });
+    f.f64Const(1.0);
+    f.localSet(beta);
+    kb.ldF64(r_base, [&] { f.i32Const(0); });
+    f.emit(Op::f64_neg);
+    f.localSet(alpha);
+
+    kb.forRange(k, 1, n, [&] {
+        // beta = (1 - alpha^2) * beta
+        f.f64Const(1.0);
+        f.localGet(alpha);
+        f.localGet(alpha);
+        f.emit(Op::f64_mul);
+        f.emit(Op::f64_sub);
+        f.localGet(beta);
+        f.emit(Op::f64_mul);
+        f.localSet(beta);
+        // s = sum r[k-i-1] * y[i]
+        f.f64Const(0);
+        f.localSet(s);
+        f.i32Const(0);
+        f.localSet(i);
+        {
+            auto exit = f.block();
+            auto head = f.loop();
+            f.localGet(i);
+            f.localGet(k);
+            f.emit(Op::i32_ge_s);
+            f.brIf(exit);
+            kb.accumF64(s, [&] {
+                kb.ldF64(r_base, [&] {
+                    f.localGet(k);
+                    f.localGet(i);
+                    f.emit(Op::i32_sub);
+                    f.i32Const(1);
+                    f.emit(Op::i32_sub);
+                });
+                kb.ldF64(y_base, [&] { f.localGet(i); });
+                f.emit(Op::f64_mul);
+            });
+            f.localGet(i);
+            f.i32Const(1);
+            f.emit(Op::i32_add);
+            f.localSet(i);
+            f.br(head);
+            f.end();
+            f.end();
+        }
+        // alpha = -(r[k] + s) / beta
+        kb.ldF64(r_base, [&] { f.localGet(k); });
+        f.localGet(s);
+        f.emit(Op::f64_add);
+        f.emit(Op::f64_neg);
+        f.localGet(beta);
+        f.emit(Op::f64_div);
+        f.localSet(alpha);
+        // z[i] = y[i] + alpha*y[k-i-1]; y[i] = z[i]
+        f.i32Const(0);
+        f.localSet(i);
+        {
+            auto exit = f.block();
+            auto head = f.loop();
+            f.localGet(i);
+            f.localGet(k);
+            f.emit(Op::i32_ge_s);
+            f.brIf(exit);
+            kb.stF64(z_base, [&] { f.localGet(i); }, [&] {
+                kb.ldF64(y_base, [&] { f.localGet(i); });
+                f.localGet(alpha);
+                kb.ldF64(y_base, [&] {
+                    f.localGet(k);
+                    f.localGet(i);
+                    f.emit(Op::i32_sub);
+                    f.i32Const(1);
+                    f.emit(Op::i32_sub);
+                });
+                f.emit(Op::f64_mul);
+                f.emit(Op::f64_add);
+            });
+            f.localGet(i);
+            f.i32Const(1);
+            f.emit(Op::i32_add);
+            f.localSet(i);
+            f.br(head);
+            f.end();
+            f.end();
+        }
+        f.i32Const(0);
+        f.localSet(i);
+        {
+            auto exit = f.block();
+            auto head = f.loop();
+            f.localGet(i);
+            f.localGet(k);
+            f.emit(Op::i32_ge_s);
+            f.brIf(exit);
+            kb.stF64(y_base, [&] { f.localGet(i); },
+                     [&] { kb.ldF64(z_base, [&] { f.localGet(i); }); });
+            f.localGet(i);
+            f.i32Const(1);
+            f.emit(Op::i32_add);
+            f.localSet(i);
+            f.br(head);
+            f.end();
+            f.end();
+        }
+        kb.stF64(y_base, [&] { f.localGet(k); },
+                 [&] { f.localGet(alpha); });
+    });
+
+    kb.sumArrayF64(acc, i, y_base, n);
+    f.localGet(acc);
+    return km.finish();
+}
+
+// =====================================================================
+// doitgen: A[r][q][*] = A[r][q][*] . C4        (NQ=140 NR=150 NP=160)
+// =====================================================================
+
+double
+doitgenNative(int scale)
+{
+    int nq = scaled(140, scale), nr = scaled(150, scale),
+        np = scaled(160, scale);
+    std::vector<double> a(size_t(nr) * nq * np), c4(size_t(np) * np),
+        sum(size_t(np), 0.0);
+    for (int r = 0; r < nr; r++)
+        for (int q = 0; q < nq; q++)
+            for (int p = 0; p < np; p++)
+                a[(size_t(r) * nq + q) * np + p] =
+                    double((r * q + p) % np) / np;
+    for (int i = 0; i < np; i++)
+        for (int j = 0; j < np; j++)
+            c4[size_t(i) * np + j] = double(i * j % np) / np;
+
+    for (int r = 0; r < nr; r++) {
+        for (int q = 0; q < nq; q++) {
+            for (int p = 0; p < np; p++) {
+                double t = 0;
+                for (int ss = 0; ss < np; ss++)
+                    t += a[(size_t(r) * nq + q) * np + ss] *
+                         c4[size_t(ss) * np + p];
+                sum[size_t(p)] = t;
+            }
+            for (int p = 0; p < np; p++)
+                a[(size_t(r) * nq + q) * np + p] = sum[size_t(p)];
+        }
+    }
+
+    double out = 0;
+    for (double v : a)
+        out += v;
+    return out;
+}
+
+wasm::Module
+doitgenModule(int scale)
+{
+    int nq = scaled(140, scale), nr = scaled(150, scale),
+        np = scaled(160, scale);
+    uint32_t a_base = 0;
+    uint32_t c4_base = a_base + uint32_t(nr) * nq * np * 8;
+    uint32_t sum_base = c4_base + uint32_t(np) * np * 8;
+    uint64_t total = sum_base + uint64_t(np) * 8;
+
+    KernelModule km(total);
+    Kb kb(*km.fb);
+    auto& f = kb.f;
+    uint32_t r = kb.i32(), q = kb.i32(), p = kb.i32(), ss = kb.i32();
+    uint32_t t = kb.f64(), acc = kb.f64();
+
+    kb.forRange(r, 0, nr, [&] {
+        kb.forRange(q, 0, nq, [&] {
+            kb.forRange(p, 0, np, [&] {
+                kb.stF64(a_base,
+                         [&] { kb.idx3(r, nq * np, q, np, p); }, [&] {
+                             f.localGet(r);
+                             f.localGet(q);
+                             f.emit(Op::i32_mul);
+                             f.localGet(p);
+                             f.emit(Op::i32_add);
+                             f.i32Const(np);
+                             f.emit(Op::i32_rem_s);
+                             f.emit(Op::f64_convert_i32_s);
+                             f.f64Const(np);
+                             f.emit(Op::f64_div);
+                         });
+            });
+        });
+    });
+    kb.forRange(r, 0, np, [&] {
+        kb.forRange(q, 0, np, [&] {
+            kb.stF64(c4_base, [&] { kb.idx2(r, np, q); }, [&] {
+                f.localGet(r);
+                f.localGet(q);
+                f.emit(Op::i32_mul);
+                f.i32Const(np);
+                f.emit(Op::i32_rem_s);
+                f.emit(Op::f64_convert_i32_s);
+                f.f64Const(np);
+                f.emit(Op::f64_div);
+            });
+        });
+    });
+
+    kb.forRange(r, 0, nr, [&] {
+        kb.forRange(q, 0, nq, [&] {
+            kb.forRange(p, 0, np, [&] {
+                f.f64Const(0);
+                f.localSet(t);
+                kb.forRange(ss, 0, np, [&] {
+                    kb.accumF64(t, [&] {
+                        kb.ldF64(a_base,
+                                 [&] { kb.idx3(r, nq * np, q, np, ss); });
+                        kb.ldF64(c4_base, [&] { kb.idx2(ss, np, p); });
+                        f.emit(Op::f64_mul);
+                    });
+                });
+                kb.stF64(sum_base, [&] { f.localGet(p); },
+                         [&] { f.localGet(t); });
+            });
+            kb.forRange(p, 0, np, [&] {
+                kb.stF64(a_base, [&] { kb.idx3(r, nq * np, q, np, p); },
+                         [&] {
+                             kb.ldF64(sum_base, [&] { f.localGet(p); });
+                         });
+            });
+        });
+    });
+
+    kb.sumArrayF64(acc, r, a_base, nr * nq * np);
+    f.localGet(acc);
+    return km.finish();
+}
+
+} // namespace
+
+void
+registerPolybenchVec(std::vector<Kernel>& out)
+{
+    out.push_back({"atax", "polybench", "y = A'(Ax)", &ataxNative,
+                   &ataxModule});
+    out.push_back({"bicg", "polybench", "BiCG sub-kernel", &bicgNative,
+                   &bicgModule});
+    out.push_back({"mvt", "polybench", "matrix-vector product twice",
+                   &mvtNative, &mvtModule});
+    out.push_back({"gesummv", "polybench", "summed matrix-vector",
+                   &gesummvNative, &gesummvModule});
+    out.push_back({"gemver", "polybench", "vector mult. and matrix add.",
+                   &gemverNative, &gemverModule});
+    out.push_back({"trisolv", "polybench", "triangular solver",
+                   &trisolvNative, &trisolvModule});
+    out.push_back({"durbin", "polybench", "Levinson-Durbin recursion",
+                   &durbinNative, &durbinModule});
+    out.push_back({"doitgen", "polybench", "multiresolution analysis",
+                   &doitgenNative, &doitgenModule});
+}
+
+} // namespace lnb::kernels

@@ -1,0 +1,47 @@
+#include "kernels/kernel.h"
+
+namespace lnb::kernels {
+
+void registerPolybenchBlas(std::vector<Kernel>& out);
+void registerPolybenchVec(std::vector<Kernel>& out);
+void registerPolybenchStencil(std::vector<Kernel>& out);
+void registerSpecproxyNum(std::vector<Kernel>& out);
+void registerSpecproxyBits(std::vector<Kernel>& out);
+
+const std::vector<Kernel>&
+allKernels()
+{
+    static const std::vector<Kernel> kernels = [] {
+        std::vector<Kernel> out;
+        registerPolybenchBlas(out);
+        registerPolybenchVec(out);
+        registerPolybenchStencil(out);
+        registerSpecproxyNum(out);
+        registerSpecproxyBits(out);
+        return out;
+    }();
+    return kernels;
+}
+
+const Kernel*
+findKernel(const std::string& name)
+{
+    for (const Kernel& kernel : allKernels()) {
+        if (kernel.name == name)
+            return &kernel;
+    }
+    return nullptr;
+}
+
+std::vector<const Kernel*>
+suiteKernels(const std::string& suite)
+{
+    std::vector<const Kernel*> out;
+    for (const Kernel& kernel : allKernels()) {
+        if (kernel.suite == suite)
+            out.push_back(&kernel);
+    }
+    return out;
+}
+
+} // namespace lnb::kernels

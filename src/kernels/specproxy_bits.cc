@@ -1,0 +1,794 @@
+/**
+ * @file
+ * SPEC CPU 2017 proxy kernels, integer/search group:
+ *
+ *   x264_r      -> SAD block-matching motion search over synthetic frames
+ *                  (dense 8-bit loads, abs-difference reduction)
+ *   deepsjeng_r -> fixed-depth negamax alpha-beta over a synthetic game
+ *                  tree (recursion through wasm calls, branchy integers)
+ *   xz_r        -> LZSS match finder with hash chains + rolling checksum
+ *                  (hash tables, byte scans, data-dependent branches)
+ */
+#include <vector>
+
+#include "kernels/dsl.h"
+#include "kernels/kernel.h"
+
+namespace lnb::kernels {
+
+namespace {
+
+inline uint32_t
+lcgNext(uint32_t& state)
+{
+    state = state * 1103515245u + 12345u;
+    return (state >> 16) & 0x7fff;
+}
+
+void
+emitLcg(Kb& kb, uint32_t state_local)
+{
+    auto& f = kb.f;
+    f.localGet(state_local);
+    f.i32Const(int32_t(1103515245));
+    f.emit(Op::i32_mul);
+    f.i32Const(12345);
+    f.emit(Op::i32_add);
+    f.localTee(state_local);
+    f.i32Const(16);
+    f.emit(Op::i32_shr_u);
+    f.i32Const(0x7fff);
+    f.emit(Op::i32_and);
+}
+
+// =====================================================================
+// x264 proxy: 16x16 SAD motion search, +-8 window    (W=320 H=176)
+// =====================================================================
+
+double
+x264Native(int scale)
+{
+    int w = (scaled(320, scale) / 16) * 16;
+    int h = (scaled(176, scale) / 16) * 16;
+    std::vector<uint8_t> cur(size_t(w) * h), ref(size_t(w) * h);
+    uint32_t seed = 5;
+    // Smooth-ish frames: new byte mixes the previous one.
+    uint8_t prev = 0;
+    for (int i = 0; i < w * h; i++) {
+        prev = uint8_t((prev + lcgNext(seed)) >> 1);
+        ref[size_t(i)] = prev;
+    }
+    // Current frame: the reference shifted by (3, 2) plus noise.
+    for (int y = 0; y < h; y++)
+        for (int x = 0; x < w; x++) {
+            int sx = (x + 3) % w, sy = (y + 2) % h;
+            cur[size_t(y) * w + x] = uint8_t(
+                ref[size_t(sy) * w + sx] + (lcgNext(seed) & 3));
+        }
+
+    uint64_t total_sad = 0;
+    for (int by = 0; by + 16 <= h; by += 16) {
+        for (int bx = 0; bx + 16 <= w; bx += 16) {
+            uint32_t best = UINT32_MAX;
+            for (int dy = -8; dy <= 8; dy++) {
+                for (int dx = -8; dx <= 8; dx++) {
+                    int ox = bx + dx, oy = by + dy;
+                    if (ox < 0 || oy < 0 || ox + 16 > w || oy + 16 > h)
+                        continue;
+                    uint32_t sad = 0;
+                    for (int y = 0; y < 16; y++)
+                        for (int x = 0; x < 16; x++) {
+                            int a = cur[size_t(by + y) * w + bx + x];
+                            int b = ref[size_t(oy + y) * w + ox + x];
+                            sad += uint32_t(a > b ? a - b : b - a);
+                        }
+                    if (sad < best)
+                        best = sad;
+                }
+            }
+            total_sad += best;
+        }
+    }
+    return double(total_sad);
+}
+
+wasm::Module
+x264Module(int scale)
+{
+    int w = (scaled(320, scale) / 16) * 16;
+    int h = (scaled(176, scale) / 16) * 16;
+    uint32_t cur_base = 0;
+    uint32_t ref_base = cur_base + uint32_t(w) * h;
+    uint64_t total = ref_base + uint64_t(w) * h;
+
+    KernelModule km(total);
+    Kb kb(*km.fb);
+    auto& f = kb.f;
+    uint32_t i = kb.i32(), x = kb.i32(), y = kb.i32(), seed = kb.i32(),
+             prev = kb.i32();
+    uint32_t bx = kb.i32(), by = kb.i32(), dx = kb.i32(), dy = kb.i32();
+    uint32_t ox = kb.i32(), oy = kb.i32(), sad = kb.i32(),
+             best = kb.i32(), a = kb.i32(), b = kb.i32();
+    uint32_t acc = kb.f64();
+
+    f.i32Const(5);
+    f.localSet(seed);
+    f.i32Const(0);
+    f.localSet(prev);
+    kb.forRange(i, 0, w * h, [&] {
+        // prev = (prev + lcg) >> 1 (as u8)
+        f.localGet(prev);
+        emitLcg(kb, seed);
+        f.emit(Op::i32_add);
+        f.i32Const(1);
+        f.emit(Op::i32_shr_u);
+        f.i32Const(0xFF);
+        f.emit(Op::i32_and);
+        f.localSet(prev);
+        kb.stU8(ref_base, [&] { f.localGet(i); },
+                [&] { f.localGet(prev); });
+    });
+    kb.forRange(y, 0, h, [&] {
+        kb.forRange(x, 0, w, [&] {
+            kb.stU8(cur_base, [&] { kb.idx2(y, w, x); }, [&] {
+                kb.ldU8(ref_base, [&] {
+                    // sy*w + sx with sx=(x+3)%w, sy=(y+2)%h
+                    f.localGet(y);
+                    f.i32Const(2);
+                    f.emit(Op::i32_add);
+                    f.i32Const(h);
+                    f.emit(Op::i32_rem_s);
+                    f.i32Const(w);
+                    f.emit(Op::i32_mul);
+                    f.localGet(x);
+                    f.i32Const(3);
+                    f.emit(Op::i32_add);
+                    f.i32Const(w);
+                    f.emit(Op::i32_rem_s);
+                    f.emit(Op::i32_add);
+                });
+                emitLcg(kb, seed);
+                f.i32Const(3);
+                f.emit(Op::i32_and);
+                f.emit(Op::i32_add);
+            });
+        });
+    });
+
+    f.f64Const(0);
+    f.localSet(acc);
+    // block loops with step 16
+    f.i32Const(0);
+    f.localSet(by);
+    auto by_exit = f.block();
+    auto by_head = f.loop();
+    f.localGet(by);
+    f.i32Const(16);
+    f.emit(Op::i32_add);
+    f.i32Const(h);
+    f.emit(Op::i32_gt_s);
+    f.brIf(by_exit);
+    {
+        f.i32Const(0);
+        f.localSet(bx);
+        auto bx_exit = f.block();
+        auto bx_head = f.loop();
+        f.localGet(bx);
+        f.i32Const(16);
+        f.emit(Op::i32_add);
+        f.i32Const(w);
+        f.emit(Op::i32_gt_s);
+        f.brIf(bx_exit);
+        {
+            f.i32Const(-1); // UINT32_MAX
+            f.localSet(best);
+            kb.forRange(dy, -8, 9, [&] {
+                kb.forRange(dx, -8, 9, [&] {
+                    f.localGet(bx);
+                    f.localGet(dx);
+                    f.emit(Op::i32_add);
+                    f.localSet(ox);
+                    f.localGet(by);
+                    f.localGet(dy);
+                    f.emit(Op::i32_add);
+                    f.localSet(oy);
+                    // bounds check for the candidate
+                    f.localGet(ox);
+                    f.i32Const(0);
+                    f.emit(Op::i32_lt_s);
+                    f.localGet(oy);
+                    f.i32Const(0);
+                    f.emit(Op::i32_lt_s);
+                    f.emit(Op::i32_or);
+                    f.localGet(ox);
+                    f.i32Const(16);
+                    f.emit(Op::i32_add);
+                    f.i32Const(w);
+                    f.emit(Op::i32_gt_s);
+                    f.emit(Op::i32_or);
+                    f.localGet(oy);
+                    f.i32Const(16);
+                    f.emit(Op::i32_add);
+                    f.i32Const(h);
+                    f.emit(Op::i32_gt_s);
+                    f.emit(Op::i32_or);
+                    f.emit(Op::i32_eqz);
+                    f.ifElse();
+                    {
+                        f.i32Const(0);
+                        f.localSet(sad);
+                        kb.forRange(y, 0, 16, [&] {
+                            kb.forRange(x, 0, 16, [&] {
+                                kb.ldU8(cur_base, [&] {
+                                    f.localGet(by);
+                                    f.localGet(y);
+                                    f.emit(Op::i32_add);
+                                    f.i32Const(w);
+                                    f.emit(Op::i32_mul);
+                                    f.localGet(bx);
+                                    f.emit(Op::i32_add);
+                                    f.localGet(x);
+                                    f.emit(Op::i32_add);
+                                });
+                                f.localSet(a);
+                                kb.ldU8(ref_base, [&] {
+                                    f.localGet(oy);
+                                    f.localGet(y);
+                                    f.emit(Op::i32_add);
+                                    f.i32Const(w);
+                                    f.emit(Op::i32_mul);
+                                    f.localGet(ox);
+                                    f.emit(Op::i32_add);
+                                    f.localGet(x);
+                                    f.emit(Op::i32_add);
+                                });
+                                f.localSet(b);
+                                // sad += |a-b| via select
+                                f.localGet(sad);
+                                f.localGet(a);
+                                f.localGet(b);
+                                f.emit(Op::i32_sub);
+                                f.localGet(b);
+                                f.localGet(a);
+                                f.emit(Op::i32_sub);
+                                f.localGet(a);
+                                f.localGet(b);
+                                f.emit(Op::i32_gt_s);
+                                f.select();
+                                f.emit(Op::i32_add);
+                                f.localSet(sad);
+                            });
+                        });
+                        // best = min(best, sad) unsigned
+                        f.localGet(sad);
+                        f.localGet(best);
+                        f.emit(Op::i32_lt_u);
+                        f.ifElse();
+                        f.localGet(sad);
+                        f.localSet(best);
+                        f.end();
+                    }
+                    f.end();
+                });
+            });
+            kb.accumF64(acc, [&] {
+                f.localGet(best);
+                f.emit(Op::f64_convert_i32_u);
+            });
+        }
+        f.localGet(bx);
+        f.i32Const(16);
+        f.emit(Op::i32_add);
+        f.localSet(bx);
+        f.br(bx_head);
+        f.end();
+        f.end();
+    }
+    f.localGet(by);
+    f.i32Const(16);
+    f.emit(Op::i32_add);
+    f.localSet(by);
+    f.br(by_head);
+    f.end();
+    f.end();
+
+    f.localGet(acc);
+    return km.finish();
+}
+
+// =====================================================================
+// deepsjeng proxy: negamax alpha-beta over a synthetic tree
+// (depth=7, branching=6)
+// =====================================================================
+
+int32_t
+sjengEval(uint32_t hash)
+{
+    return int32_t((hash >> 8) % 2001u) - 1000;
+}
+
+int32_t
+sjengNegamax(uint32_t hash, int depth, int32_t alpha, int32_t beta,
+             uint64_t& nodes)
+{
+    nodes++;
+    if (depth == 0)
+        return sjengEval(hash);
+    int32_t best = -30000;
+    for (uint32_t move = 0; move < 6; move++) {
+        uint32_t child = hash * 2654435761u + move * 2246822519u + 1u;
+        int32_t score =
+            -sjengNegamax(child, depth - 1, -beta, -alpha, nodes);
+        if (score > best)
+            best = score;
+        if (best > alpha)
+            alpha = best;
+        if (alpha >= beta)
+            break;
+    }
+    return best;
+}
+
+double
+sjengNative(int scale)
+{
+    int depth = 7;
+    if (scale >= 2)
+        depth = 5;
+    if (scale >= 8)
+        depth = 4;
+    uint64_t nodes = 0;
+    int32_t value = sjengNegamax(0xC0FFEEu, depth, -30000, 30000, nodes);
+    return double(value) + double(nodes) / 1024.0;
+}
+
+wasm::Module
+sjengModule(int scale)
+{
+    int depth = 7;
+    if (scale >= 2)
+        depth = 5;
+    if (scale >= 8)
+        depth = 4;
+
+    KernelModule km(wasm::kPageSize);
+    auto& mb = km.mb;
+
+    // negamax(hash, depth, alpha, beta) -> i32; node count at mem[0] (i64)
+    uint32_t nm_type = mb.addType(
+        {ValType::i32, ValType::i32, ValType::i32, ValType::i32},
+        {ValType::i32});
+    auto& nm = mb.addFunction(nm_type);
+    uint32_t nm_idx = mb.numFuncs() - 1;
+    {
+        auto& f = nm;
+        uint32_t best = f.addLocal(ValType::i32);
+        uint32_t move = f.addLocal(ValType::i32);
+        uint32_t score = f.addLocal(ValType::i32);
+        uint32_t child = f.addLocal(ValType::i32);
+        // nodes++
+        f.i32Const(0);
+        f.i32Const(0);
+        f.memOp(Op::i64_load, 0);
+        f.i64Const(1);
+        f.emit(Op::i64_add);
+        f.memOp(Op::i64_store, 0);
+        // if (depth == 0) return eval(hash)
+        f.localGet(1);
+        f.emit(Op::i32_eqz);
+        f.ifElse();
+        f.localGet(0);
+        f.i32Const(8);
+        f.emit(Op::i32_shr_u);
+        f.i32Const(2001);
+        f.emit(Op::i32_rem_u);
+        f.i32Const(1000);
+        f.emit(Op::i32_sub);
+        f.ret();
+        f.end();
+        // best = -30000
+        f.i32Const(-30000);
+        f.localSet(best);
+        auto brk = f.block();
+        auto loop = f.loop();
+        f.localGet(move);
+        f.i32Const(6);
+        f.emit(Op::i32_ge_s);
+        f.brIf(brk);
+        // child = hash*2654435761 + move*2246822519 + 1
+        f.localGet(0);
+        f.i32Const(int32_t(2654435761u));
+        f.emit(Op::i32_mul);
+        f.localGet(move);
+        f.i32Const(int32_t(2246822519u));
+        f.emit(Op::i32_mul);
+        f.emit(Op::i32_add);
+        f.i32Const(1);
+        f.emit(Op::i32_add);
+        f.localSet(child);
+        // score = -negamax(child, depth-1, -beta, -alpha)
+        f.localGet(child);
+        f.localGet(1);
+        f.i32Const(1);
+        f.emit(Op::i32_sub);
+        f.i32Const(0);
+        f.localGet(3);
+        f.emit(Op::i32_sub);
+        f.i32Const(0);
+        f.localGet(2);
+        f.emit(Op::i32_sub);
+        f.call(nm_idx);
+        f.i32Const(0);
+        f.emit(Op::i32_sub);
+        f.i32Const(-1);
+        f.emit(Op::i32_mul);
+        f.localSet(score);
+        // if (score > best) best = score
+        f.localGet(score);
+        f.localGet(best);
+        f.emit(Op::i32_gt_s);
+        f.ifElse();
+        f.localGet(score);
+        f.localSet(best);
+        f.end();
+        // if (best > alpha) alpha = best
+        f.localGet(best);
+        f.localGet(2);
+        f.emit(Op::i32_gt_s);
+        f.ifElse();
+        f.localGet(best);
+        f.localSet(2);
+        f.end();
+        // if (alpha >= beta) break
+        f.localGet(2);
+        f.localGet(3);
+        f.emit(Op::i32_ge_s);
+        f.brIf(brk);
+        f.localGet(move);
+        f.i32Const(1);
+        f.emit(Op::i32_add);
+        f.localSet(move);
+        f.br(loop);
+        f.end(); // loop
+        f.end(); // brk
+        f.localGet(best);
+        f.finish();
+    }
+
+    // run(): zero the node counter, search, combine the checksum.
+    {
+        Kb kb(*km.fb);
+        auto& f = kb.f;
+        f.i32Const(0);
+        f.i64Const(0);
+        f.memOp(Op::i64_store, 0);
+        f.i32Const(int32_t(0xC0FFEE));
+        f.i32Const(depth);
+        f.i32Const(-30000);
+        f.i32Const(30000);
+        f.call(nm_idx);
+        f.emit(Op::f64_convert_i32_s);
+        f.i32Const(0);
+        f.memOp(Op::i64_load, 0);
+        f.emit(Op::f64_convert_i64_u);
+        f.f64Const(1024.0);
+        f.emit(Op::f64_div);
+        f.emit(Op::f64_add);
+    }
+    return km.finish();
+}
+
+// =====================================================================
+// xz proxy: LZSS match finder with hash chains       (256 KiB input)
+// =====================================================================
+
+double
+xzNative(int scale)
+{
+    int n = scaled(262144, scale);
+    constexpr int kHashBits = 15;
+    constexpr int kHashSize = 1 << kHashBits;
+    constexpr int kMaxChain = 16;
+    constexpr int kMaxLen = 255;
+    std::vector<uint8_t> buf(size_t(n), 0);
+    std::vector<int32_t> head(size_t(kHashSize), -1),
+        prev(size_t(n), -1);
+    uint32_t seed = 31;
+    for (int i = 0; i < n; i++) {
+        uint32_t r = lcgNext(seed);
+        if (i >= 64 && (r & 7) != 0)
+            buf[size_t(i)] = buf[size_t(i - 64)];
+        else
+            buf[size_t(i)] = uint8_t(r);
+    }
+
+    auto hash4 = [&](int pos) {
+        uint32_t v = uint32_t(buf[size_t(pos)]) |
+                     (uint32_t(buf[size_t(pos + 1)]) << 8) |
+                     (uint32_t(buf[size_t(pos + 2)]) << 16) |
+                     (uint32_t(buf[size_t(pos + 3)]) << 24);
+        return int32_t((v * 2654435761u) >> (32 - kHashBits));
+    };
+
+    uint64_t literals = 0, matches = 0, match_bytes = 0;
+    uint32_t check = 1;
+    int pos = 0;
+    while (pos + 4 < n) {
+        int32_t h = hash4(pos);
+        int best_len = 0;
+        int32_t cand = head[size_t(h)];
+        for (int c = 0; c < kMaxChain && cand >= 0; c++) {
+            int len = 0;
+            int limit = n - pos < kMaxLen ? n - pos : kMaxLen;
+            while (len < limit &&
+                   buf[size_t(cand + len)] == buf[size_t(pos + len)])
+                len++;
+            if (len > best_len)
+                best_len = len;
+            cand = prev[size_t(cand)];
+        }
+        // Insert the current position into the chain.
+        prev[size_t(pos)] = head[size_t(h)];
+        head[size_t(h)] = pos;
+        if (best_len >= 4) {
+            matches++;
+            match_bytes += uint64_t(best_len);
+            check = check * 65521u + uint32_t(best_len);
+            pos += best_len;
+        } else {
+            literals++;
+            check = check * 65521u + buf[size_t(pos)];
+            pos++;
+        }
+    }
+    return double(literals) + double(matches) * 1000.0 +
+           double(match_bytes) * 7.0 + double(check % 100000u);
+}
+
+wasm::Module
+xzModule(int scale)
+{
+    int n = scaled(262144, scale);
+    constexpr int kHashBits = 15;
+    constexpr int kHashSize = 1 << kHashBits;
+    constexpr int kMaxChain = 16;
+    constexpr int kMaxLen = 255;
+    uint32_t buf_base = 0;
+    uint32_t head_base = buf_base + uint32_t(n);
+    uint32_t prev_base = head_base + uint32_t(kHashSize) * 4;
+    uint64_t total = prev_base + uint64_t(n) * 4;
+
+    KernelModule km(total);
+    Kb kb(*km.fb);
+    auto& f = kb.f;
+    uint32_t i = kb.i32(), seed = kb.i32(), pos = kb.i32(), h = kb.i32();
+    uint32_t best_len = kb.i32(), cand = kb.i32(), c = kb.i32(),
+             len = kb.i32(), limit = kb.i32(), r = kb.i32();
+    uint32_t literals = kb.i32(), matches = kb.i32(), check = kb.i32();
+    uint32_t match_bytes = kb.i32();
+
+    f.i32Const(31);
+    f.localSet(seed);
+    kb.forRange(i, 0, n, [&] {
+        emitLcg(kb, seed);
+        f.localSet(r);
+        f.localGet(i);
+        f.i32Const(64);
+        f.emit(Op::i32_ge_s);
+        f.localGet(r);
+        f.i32Const(7);
+        f.emit(Op::i32_and);
+        f.i32Const(0);
+        f.emit(Op::i32_ne);
+        f.emit(Op::i32_and);
+        f.ifElse();
+        kb.stU8(buf_base, [&] { f.localGet(i); }, [&] {
+            kb.ldU8(buf_base, [&] {
+                f.localGet(i);
+                f.i32Const(64);
+                f.emit(Op::i32_sub);
+            });
+        });
+        f.elseBranch();
+        kb.stU8(buf_base, [&] { f.localGet(i); },
+                [&] { f.localGet(r); });
+        f.end();
+    });
+    kb.forRange(i, 0, kHashSize, [&] {
+        kb.stI32(head_base, [&] { f.localGet(i); },
+                 [&] { f.i32Const(-1); });
+    });
+    kb.forRange(i, 0, n, [&] {
+        kb.stI32(prev_base, [&] { f.localGet(i); },
+                 [&] { f.i32Const(-1); });
+    });
+
+    f.i32Const(0);
+    f.localSet(pos);
+    f.i32Const(1);
+    f.localSet(check);
+
+    auto main_exit = f.block();
+    auto main_head = f.loop();
+    f.localGet(pos);
+    f.i32Const(4);
+    f.emit(Op::i32_add);
+    f.i32Const(n);
+    f.emit(Op::i32_ge_s);
+    f.brIf(main_exit);
+    {
+        // h = (le32(buf+pos) * 2654435761) >> (32 - kHashBits)
+        f.localGet(pos);
+        f.memOp(Op::i32_load, buf_base); // unaligned le32 load
+        f.i32Const(int32_t(2654435761u));
+        f.emit(Op::i32_mul);
+        f.i32Const(32 - kHashBits);
+        f.emit(Op::i32_shr_u);
+        f.localSet(h);
+
+        f.i32Const(0);
+        f.localSet(best_len);
+        kb.ldI32(head_base, [&] { f.localGet(h); });
+        f.localSet(cand);
+        // limit = min(n - pos, kMaxLen)
+        f.i32Const(n);
+        f.localGet(pos);
+        f.emit(Op::i32_sub);
+        f.i32Const(kMaxLen);
+        f.localGet(pos);
+        f.i32Const(n - kMaxLen);
+        f.emit(Op::i32_gt_s);
+        f.select();
+        f.localSet(limit);
+
+        f.i32Const(0);
+        f.localSet(c);
+        auto chain_exit = f.block();
+        auto chain_head = f.loop();
+        f.localGet(c);
+        f.i32Const(kMaxChain);
+        f.emit(Op::i32_ge_s);
+        f.brIf(chain_exit);
+        f.localGet(cand);
+        f.i32Const(0);
+        f.emit(Op::i32_lt_s);
+        f.brIf(chain_exit);
+        {
+            f.i32Const(0);
+            f.localSet(len);
+            auto len_exit = f.block();
+            auto len_head = f.loop();
+            f.localGet(len);
+            f.localGet(limit);
+            f.emit(Op::i32_ge_s);
+            f.brIf(len_exit);
+            kb.ldU8(buf_base, [&] {
+                f.localGet(cand);
+                f.localGet(len);
+                f.emit(Op::i32_add);
+            });
+            kb.ldU8(buf_base, [&] {
+                f.localGet(pos);
+                f.localGet(len);
+                f.emit(Op::i32_add);
+            });
+            f.emit(Op::i32_ne);
+            f.brIf(len_exit);
+            f.localGet(len);
+            f.i32Const(1);
+            f.emit(Op::i32_add);
+            f.localSet(len);
+            f.br(len_head);
+            f.end();
+            f.end();
+            // if (len > best_len) best_len = len
+            f.localGet(len);
+            f.localGet(best_len);
+            f.emit(Op::i32_gt_s);
+            f.ifElse();
+            f.localGet(len);
+            f.localSet(best_len);
+            f.end();
+            kb.ldI32(prev_base, [&] { f.localGet(cand); });
+            f.localSet(cand);
+        }
+        f.localGet(c);
+        f.i32Const(1);
+        f.emit(Op::i32_add);
+        f.localSet(c);
+        f.br(chain_head);
+        f.end();
+        f.end();
+
+        // insert pos into the chain
+        kb.stI32(prev_base, [&] { f.localGet(pos); },
+                 [&] { kb.ldI32(head_base, [&] { f.localGet(h); }); });
+        kb.stI32(head_base, [&] { f.localGet(h); },
+                 [&] { f.localGet(pos); });
+
+        // emit token
+        f.localGet(best_len);
+        f.i32Const(4);
+        f.emit(Op::i32_ge_s);
+        f.ifElse();
+        {
+            f.localGet(matches);
+            f.i32Const(1);
+            f.emit(Op::i32_add);
+            f.localSet(matches);
+            f.localGet(match_bytes);
+            f.localGet(best_len);
+            f.emit(Op::i32_add);
+            f.localSet(match_bytes);
+            f.localGet(check);
+            f.i32Const(65521);
+            f.emit(Op::i32_mul);
+            f.localGet(best_len);
+            f.emit(Op::i32_add);
+            f.localSet(check);
+            f.localGet(pos);
+            f.localGet(best_len);
+            f.emit(Op::i32_add);
+            f.localSet(pos);
+        }
+        f.elseBranch();
+        {
+            f.localGet(literals);
+            f.i32Const(1);
+            f.emit(Op::i32_add);
+            f.localSet(literals);
+            f.localGet(check);
+            f.i32Const(65521);
+            f.emit(Op::i32_mul);
+            kb.ldU8(buf_base, [&] { f.localGet(pos); });
+            f.emit(Op::i32_add);
+            f.localSet(check);
+            f.localGet(pos);
+            f.i32Const(1);
+            f.emit(Op::i32_add);
+            f.localSet(pos);
+        }
+        f.end();
+    }
+    f.br(main_head);
+    f.end();
+    f.end();
+
+    // checksum = literals + matches*1000 + match_bytes*7 + check%100000
+    f.localGet(literals);
+    f.emit(Op::f64_convert_i32_u);
+    f.localGet(matches);
+    f.emit(Op::f64_convert_i32_u);
+    f.f64Const(1000.0);
+    f.emit(Op::f64_mul);
+    f.emit(Op::f64_add);
+    f.localGet(match_bytes);
+    f.emit(Op::f64_convert_i32_u);
+    f.f64Const(7.0);
+    f.emit(Op::f64_mul);
+    f.emit(Op::f64_add);
+    f.localGet(check);
+    f.i32Const(100000);
+    f.emit(Op::i32_rem_u);
+    f.emit(Op::f64_convert_i32_u);
+    f.emit(Op::f64_add);
+    return km.finish();
+}
+
+} // namespace
+
+void
+registerSpecproxyBits(std::vector<Kernel>& out)
+{
+    out.push_back({"x264_proxy", "specproxy",
+                   "SAD motion search (525.x264_r analogue)", &x264Native,
+                   &x264Module});
+    out.push_back({"deepsjeng_proxy", "specproxy",
+                   "negamax game-tree search (531.deepsjeng_r analogue)",
+                   &sjengNative, &sjengModule});
+    out.push_back({"xz_proxy", "specproxy",
+                   "LZSS match finder (557.xz_r analogue)", &xzNative,
+                   &xzModule});
+}
+
+} // namespace lnb::kernels

@@ -1,0 +1,803 @@
+/**
+ * @file
+ * SPEC CPU 2017 proxy kernels, numeric group (DESIGN.md substitution 3):
+ *
+ *   mcf_r       -> Bellman-Ford relaxation over a synthetic CSR graph
+ *                  (pointer-chasing integer loads, branchy updates)
+ *   namd_r      -> cutoff Lennard-Jones pairwise forces (f64 mul/div/sqrt)
+ *   lbm_r       -> D2Q9 lattice-Boltzmann stream+collide (f64 stencil)
+ *   nab_r       -> nonbonded electrostatic + vdW energy (f64, rsqrt-ish)
+ *
+ * Synthetic inputs come from a 32-bit LCG computed identically in the
+ * native and wasm versions, so checksums match bit-for-bit.
+ */
+#include <cmath>
+#include <vector>
+
+#include "kernels/dsl.h"
+#include "kernels/kernel.h"
+
+namespace lnb::kernels {
+
+namespace {
+
+/** LCG used by every proxy (mod 2^32). */
+inline uint32_t
+lcgNext(uint32_t& state)
+{
+    state = state * 1103515245u + 12345u;
+    return (state >> 16) & 0x7fff;
+}
+
+/** Emit: state_local = state*1103515245+12345; push (state>>16)&0x7fff. */
+void
+emitLcg(Kb& kb, uint32_t state_local)
+{
+    auto& f = kb.f;
+    f.localGet(state_local);
+    f.i32Const(int32_t(1103515245));
+    f.emit(Op::i32_mul);
+    f.i32Const(12345);
+    f.emit(Op::i32_add);
+    f.localTee(state_local);
+    f.i32Const(16);
+    f.emit(Op::i32_shr_u);
+    f.i32Const(0x7fff);
+    f.emit(Op::i32_and);
+}
+
+// =====================================================================
+// mcf proxy: Bellman-Ford over a synthetic graph     (V=12000, deg 4)
+// =====================================================================
+
+double
+mcfNative(int scale)
+{
+    int v = scaled(12000, scale);
+    int deg = 4;
+    int rounds = scaled(48, scale);
+    std::vector<int32_t> head(size_t(v) * deg), weight(size_t(v) * deg),
+        dist(size_t(v), INT32_MAX / 2);
+    uint32_t seed = 42;
+    for (int i = 0; i < v; i++)
+        for (int d = 0; d < deg; d++) {
+            head[size_t(i) * deg + d] = int32_t(lcgNext(seed) % uint32_t(v));
+            weight[size_t(i) * deg + d] = int32_t(lcgNext(seed) % 1000u + 1);
+        }
+    dist[0] = 0;
+
+    for (int r = 0; r < rounds; r++) {
+        for (int i = 0; i < v; i++) {
+            int32_t di = dist[size_t(i)];
+            for (int d = 0; d < deg; d++) {
+                int32_t to = head[size_t(i) * deg + d];
+                int32_t nd = di + weight[size_t(i) * deg + d];
+                if (nd < dist[size_t(to)])
+                    dist[size_t(to)] = nd;
+            }
+        }
+    }
+
+    double sum = 0;
+    for (int32_t d : dist)
+        sum += double(d);
+    return sum;
+}
+
+wasm::Module
+mcfModule(int scale)
+{
+    int v = scaled(12000, scale);
+    int deg = 4;
+    int rounds = scaled(48, scale);
+    uint32_t head_base = 0;
+    uint32_t weight_base = head_base + uint32_t(v) * deg * 4;
+    uint32_t dist_base = weight_base + uint32_t(v) * deg * 4;
+    uint64_t total = dist_base + uint64_t(v) * 4;
+
+    KernelModule km(total);
+    Kb kb(*km.fb);
+    auto& f = kb.f;
+    uint32_t i = kb.i32(), d = kb.i32(), r = kb.i32(), seed = kb.i32();
+    uint32_t di = kb.i32(), to = kb.i32(), nd = kb.i32();
+    uint32_t acc = kb.f64();
+
+    f.i32Const(42);
+    f.localSet(seed);
+    kb.forRange(i, 0, v, [&] {
+        kb.forRange(d, 0, deg, [&] {
+            kb.stI32(head_base, [&] { kb.idx2(i, deg, d); }, [&] {
+                emitLcg(kb, seed);
+                f.i32Const(v);
+                f.emit(Op::i32_rem_u);
+            });
+            kb.stI32(weight_base, [&] { kb.idx2(i, deg, d); }, [&] {
+                emitLcg(kb, seed);
+                f.i32Const(1000);
+                f.emit(Op::i32_rem_u);
+                f.i32Const(1);
+                f.emit(Op::i32_add);
+            });
+        });
+        kb.stI32(dist_base, [&] { f.localGet(i); },
+                 [&] { f.i32Const(INT32_MAX / 2); });
+    });
+    kb.stI32(dist_base, [&] { f.i32Const(0); }, [&] { f.i32Const(0); });
+
+    kb.forRange(r, 0, rounds, [&] {
+        kb.forRange(i, 0, v, [&] {
+            kb.ldI32(dist_base, [&] { f.localGet(i); });
+            f.localSet(di);
+            kb.forRange(d, 0, deg, [&] {
+                kb.ldI32(head_base, [&] { kb.idx2(i, deg, d); });
+                f.localSet(to);
+                f.localGet(di);
+                kb.ldI32(weight_base, [&] { kb.idx2(i, deg, d); });
+                f.emit(Op::i32_add);
+                f.localSet(nd);
+                f.localGet(nd);
+                kb.ldI32(dist_base, [&] { f.localGet(to); });
+                f.emit(Op::i32_lt_s);
+                f.ifElse();
+                kb.stI32(dist_base, [&] { f.localGet(to); },
+                         [&] { f.localGet(nd); });
+                f.end();
+            });
+        });
+    });
+
+    f.f64Const(0);
+    f.localSet(acc);
+    kb.forRange(i, 0, v, [&] {
+        kb.accumF64(acc, [&] {
+            kb.ldI32(dist_base, [&] { f.localGet(i); });
+            f.emit(Op::f64_convert_i32_s);
+        });
+    });
+    f.localGet(acc);
+    return km.finish();
+}
+
+// =====================================================================
+// namd proxy: Lennard-Jones forces with cutoff     (N=900)
+// =====================================================================
+
+double
+namdNative(int scale)
+{
+    int n = scaled(900, scale);
+    std::vector<double> px(size_t(n), 0), py(size_t(n), 0), pz(size_t(n), 0),
+        fx(size_t(n), 0), fy(size_t(n), 0), fz(size_t(n), 0);
+    uint32_t seed = 7;
+    for (int i = 0; i < n; i++) {
+        px[size_t(i)] = double(lcgNext(seed)) / 1024.0;
+        py[size_t(i)] = double(lcgNext(seed)) / 1024.0;
+        pz[size_t(i)] = double(lcgNext(seed)) / 1024.0;
+    }
+    const double cutoff2 = 12.0 * 12.0;
+    for (int i = 0; i < n; i++) {
+        for (int j = i + 1; j < n; j++) {
+            double dx = px[size_t(i)] - px[size_t(j)];
+            double dy = py[size_t(i)] - py[size_t(j)];
+            double dz = pz[size_t(i)] - pz[size_t(j)];
+            double r2 = dx * dx + dy * dy + dz * dz;
+            if (r2 < cutoff2 && r2 > 0.01) {
+                double inv2 = 1.0 / r2;
+                double inv6 = inv2 * inv2 * inv2;
+                double force = inv6 * (inv6 - 0.5) * inv2;
+                fx[size_t(i)] += dx * force;
+                fy[size_t(i)] += dy * force;
+                fz[size_t(i)] += dz * force;
+                fx[size_t(j)] -= dx * force;
+                fy[size_t(j)] -= dy * force;
+                fz[size_t(j)] -= dz * force;
+            }
+        }
+    }
+    // Sum each component array separately, matching the wasm checksum's
+    // accumulation order (FP addition is not associative).
+    double sum = 0;
+    for (int i = 0; i < n; i++)
+        sum += fx[size_t(i)];
+    for (int i = 0; i < n; i++)
+        sum += fy[size_t(i)];
+    for (int i = 0; i < n; i++)
+        sum += fz[size_t(i)];
+    return sum;
+}
+
+wasm::Module
+namdModule(int scale)
+{
+    int n = scaled(900, scale);
+    uint32_t px_base = 0;
+    uint32_t py_base = px_base + uint32_t(n) * 8;
+    uint32_t pz_base = py_base + uint32_t(n) * 8;
+    uint32_t fx_base = pz_base + uint32_t(n) * 8;
+    uint32_t fy_base = fx_base + uint32_t(n) * 8;
+    uint32_t fz_base = fy_base + uint32_t(n) * 8;
+    uint64_t total = fz_base + uint64_t(n) * 8;
+
+    KernelModule km(total);
+    Kb kb(*km.fb);
+    auto& f = kb.f;
+    uint32_t i = kb.i32(), j = kb.i32(), seed = kb.i32();
+    uint32_t dx = kb.f64(), dy = kb.f64(), dz = kb.f64(), r2 = kb.f64(),
+             force = kb.f64(), inv2 = kb.f64(), inv6 = kb.f64(),
+             acc = kb.f64();
+
+    f.i32Const(7);
+    f.localSet(seed);
+    kb.forRange(i, 0, n, [&] {
+        auto initPos = [&](uint32_t base) {
+            kb.stF64(base, [&] { f.localGet(i); }, [&] {
+                emitLcg(kb, seed);
+                f.emit(Op::f64_convert_i32_s);
+                f.f64Const(1024.0);
+                f.emit(Op::f64_div);
+            });
+        };
+        initPos(px_base);
+        initPos(py_base);
+        initPos(pz_base);
+        kb.stF64(fx_base, [&] { f.localGet(i); }, [&] { f.f64Const(0); });
+        kb.stF64(fy_base, [&] { f.localGet(i); }, [&] { f.f64Const(0); });
+        kb.stF64(fz_base, [&] { f.localGet(i); }, [&] { f.f64Const(0); });
+    });
+
+    kb.forRange(i, 0, n, [&] {
+        kb.forRangeAfter(j, i, n, [&] {
+            auto delta = [&](uint32_t dst, uint32_t base) {
+                kb.ldF64(base, [&] { f.localGet(i); });
+                kb.ldF64(base, [&] { f.localGet(j); });
+                f.emit(Op::f64_sub);
+                f.localSet(dst);
+            };
+            delta(dx, px_base);
+            delta(dy, py_base);
+            delta(dz, pz_base);
+            f.localGet(dx);
+            f.localGet(dx);
+            f.emit(Op::f64_mul);
+            f.localGet(dy);
+            f.localGet(dy);
+            f.emit(Op::f64_mul);
+            f.emit(Op::f64_add);
+            f.localGet(dz);
+            f.localGet(dz);
+            f.emit(Op::f64_mul);
+            f.emit(Op::f64_add);
+            f.localSet(r2);
+
+            f.localGet(r2);
+            f.f64Const(144.0);
+            f.emit(Op::f64_lt);
+            f.localGet(r2);
+            f.f64Const(0.01);
+            f.emit(Op::f64_gt);
+            f.emit(Op::i32_and);
+            f.ifElse();
+            {
+                f.f64Const(1.0);
+                f.localGet(r2);
+                f.emit(Op::f64_div);
+                f.localSet(inv2);
+                f.localGet(inv2);
+                f.localGet(inv2);
+                f.emit(Op::f64_mul);
+                f.localGet(inv2);
+                f.emit(Op::f64_mul);
+                f.localSet(inv6);
+                f.localGet(inv6);
+                f.localGet(inv6);
+                f.f64Const(0.5);
+                f.emit(Op::f64_sub);
+                f.emit(Op::f64_mul);
+                f.localGet(inv2);
+                f.emit(Op::f64_mul);
+                f.localSet(force);
+                auto apply = [&](uint32_t fbase, uint32_t dlt) {
+                    kb.stF64(fbase, [&] { f.localGet(i); }, [&] {
+                        kb.ldF64(fbase, [&] { f.localGet(i); });
+                        f.localGet(dlt);
+                        f.localGet(force);
+                        f.emit(Op::f64_mul);
+                        f.emit(Op::f64_add);
+                    });
+                    kb.stF64(fbase, [&] { f.localGet(j); }, [&] {
+                        kb.ldF64(fbase, [&] { f.localGet(j); });
+                        f.localGet(dlt);
+                        f.localGet(force);
+                        f.emit(Op::f64_mul);
+                        f.emit(Op::f64_sub);
+                    });
+                };
+                apply(fx_base, dx);
+                apply(fy_base, dy);
+                apply(fz_base, dz);
+            }
+            f.end();
+        });
+    });
+
+    f.f64Const(0);
+    f.localSet(acc);
+    kb.sumArrayF64(acc, i, fx_base, n);
+    kb.sumArrayF64(acc, i, fy_base, n);
+    kb.sumArrayF64(acc, i, fz_base, n);
+    f.localGet(acc);
+    return km.finish();
+}
+
+// =====================================================================
+// lbm proxy: D2Q9 lattice Boltzmann stream+collide    (60x60, T=120)
+// =====================================================================
+
+constexpr int kQ = 9;
+constexpr int kDx[kQ] = {0, 1, 0, -1, 0, 1, -1, -1, 1};
+constexpr int kDy[kQ] = {0, 0, 1, 0, -1, 1, 1, -1, -1};
+constexpr double kW[kQ] = {4.0 / 9,  1.0 / 9,  1.0 / 9,
+                           1.0 / 9,  1.0 / 9,  1.0 / 36,
+                           1.0 / 36, 1.0 / 36, 1.0 / 36};
+
+double
+lbmNative(int scale)
+{
+    int n = scaled(60, scale);
+    int steps = scaled(120, scale);
+    const double omega = 1.2;
+    std::vector<double> fgrid(size_t(kQ) * n * n),
+        ftmp(size_t(kQ) * n * n);
+    auto at = [&](std::vector<double>& g, int q, int x, int y) -> double& {
+        return g[(size_t(q) * n + size_t(x)) * n + size_t(y)];
+    };
+    for (int q = 0; q < kQ; q++)
+        for (int x = 0; x < n; x++)
+            for (int y = 0; y < n; y++)
+                at(fgrid, q, x, y) =
+                    kW[q] * (1.0 + 0.01 * double((x * y + q) % 17));
+
+    for (int t = 0; t < steps; t++) {
+        // stream (periodic)
+        for (int q = 0; q < kQ; q++)
+            for (int x = 0; x < n; x++)
+                for (int y = 0; y < n; y++) {
+                    int sx = (x - kDx[q] + n) % n;
+                    int sy = (y - kDy[q] + n) % n;
+                    at(ftmp, q, x, y) = at(fgrid, q, sx, sy);
+                }
+        // collide
+        for (int x = 0; x < n; x++)
+            for (int y = 0; y < n; y++) {
+                double rho = 0, ux = 0, uy = 0;
+                for (int q = 0; q < kQ; q++) {
+                    double fv = at(ftmp, q, x, y);
+                    rho += fv;
+                    ux += fv * kDx[q];
+                    uy += fv * kDy[q];
+                }
+                ux /= rho;
+                uy /= rho;
+                double usq = ux * ux + uy * uy;
+                for (int q = 0; q < kQ; q++) {
+                    double cu = 3.0 * (kDx[q] * ux + kDy[q] * uy);
+                    double feq =
+                        kW[q] * rho *
+                        (1.0 + cu + 0.5 * cu * cu - 1.5 * usq);
+                    at(fgrid, q, x, y) =
+                        at(ftmp, q, x, y) +
+                        omega * (feq - at(ftmp, q, x, y));
+                }
+            }
+    }
+
+    double sum = 0;
+    for (double v : fgrid)
+        sum += v;
+    return sum;
+}
+
+wasm::Module
+lbmModule(int scale)
+{
+    int n = scaled(60, scale);
+    int steps = scaled(120, scale);
+    const double omega = 1.2;
+    uint32_t f_base = 0;
+    uint32_t tmp_base = f_base + uint32_t(kQ) * n * n * 8;
+    uint64_t total = tmp_base + uint64_t(kQ) * n * n * 8;
+
+    KernelModule km(total);
+    Kb kb(*km.fb);
+    auto& f = kb.f;
+    uint32_t q = kb.i32(), x = kb.i32(), y = kb.i32(), t = kb.i32();
+    uint32_t sx = kb.i32(), sy = kb.i32();
+    uint32_t rho = kb.f64(), ux = kb.f64(), uy = kb.f64(), usq = kb.f64(),
+             cu = kb.f64(), feq = kb.f64(), fv = kb.f64(), acc = kb.f64();
+
+    // element index (q*n + x)*n + y
+    auto qxy = [&](uint32_t qq, uint32_t xx, uint32_t yy) {
+        f.localGet(qq);
+        f.i32Const(n);
+        f.emit(Op::i32_mul);
+        f.localGet(xx);
+        f.emit(Op::i32_add);
+        f.i32Const(n);
+        f.emit(Op::i32_mul);
+        f.localGet(yy);
+        f.emit(Op::i32_add);
+    };
+
+    // init
+    kb.forRange(q, 0, kQ, [&] {
+        kb.forRange(x, 0, n, [&] {
+            kb.forRange(y, 0, n, [&] {
+                kb.stF64(f_base, [&] { qxy(q, x, y); }, [&] {
+                    // kW[q] from a lookup emitted as a chain of selects is
+                    // clumsy; instead compute via stored constants in a
+                    // little table at the end of memory? Simpler: weight =
+                    // q==0 ? 4/9 : q<5 ? 1/9 : 1/36 — matches kW.
+                    f.localGet(q);
+                    f.emit(Op::i32_eqz);
+                    f.ifElse(wasm::ValType::f64);
+                    f.f64Const(4.0 / 9);
+                    f.elseBranch();
+                    f.localGet(q);
+                    f.i32Const(5);
+                    f.emit(Op::i32_lt_s);
+                    f.ifElse(wasm::ValType::f64);
+                    f.f64Const(1.0 / 9);
+                    f.elseBranch();
+                    f.f64Const(1.0 / 36);
+                    f.end();
+                    f.end();
+                    f.f64Const(1.0);
+                    f.localGet(x);
+                    f.localGet(y);
+                    f.emit(Op::i32_mul);
+                    f.localGet(q);
+                    f.emit(Op::i32_add);
+                    f.i32Const(17);
+                    f.emit(Op::i32_rem_s);
+                    f.emit(Op::f64_convert_i32_s);
+                    f.f64Const(0.01);
+                    f.emit(Op::f64_mul);
+                    f.emit(Op::f64_add);
+                    f.emit(Op::f64_mul);
+                });
+            });
+        });
+    });
+
+    auto weightOf = [&] {
+        f.localGet(q);
+        f.emit(Op::i32_eqz);
+        f.ifElse(wasm::ValType::f64);
+        f.f64Const(4.0 / 9);
+        f.elseBranch();
+        f.localGet(q);
+        f.i32Const(5);
+        f.emit(Op::i32_lt_s);
+        f.ifElse(wasm::ValType::f64);
+        f.f64Const(1.0 / 9);
+        f.elseBranch();
+        f.f64Const(1.0 / 36);
+        f.end();
+        f.end();
+    };
+    auto dxOf = [&] {
+        // kDx = {0,1,0,-1,0,1,-1,-1,1} computed branch-free:
+        // ((q==1)|(q==5)|(q==8)) - ((q==3)|(q==6)|(q==7))
+        auto isQ = [&](int v) {
+            f.localGet(q);
+            f.i32Const(v);
+            f.emit(Op::i32_eq);
+        };
+        isQ(1);
+        isQ(5);
+        f.emit(Op::i32_or);
+        isQ(8);
+        f.emit(Op::i32_or);
+        isQ(3);
+        isQ(6);
+        f.emit(Op::i32_or);
+        isQ(7);
+        f.emit(Op::i32_or);
+        f.emit(Op::i32_sub);
+    };
+    auto dyOf = [&] {
+        auto isQ = [&](int v) {
+            f.localGet(q);
+            f.i32Const(v);
+            f.emit(Op::i32_eq);
+        };
+        // dy = ((q==2)|(q==5)|(q==6)) - ((q==4)|(q==7)|(q==8))
+        isQ(2);
+        isQ(5);
+        f.emit(Op::i32_or);
+        isQ(6);
+        f.emit(Op::i32_or);
+        isQ(4);
+        isQ(7);
+        f.emit(Op::i32_or);
+        isQ(8);
+        f.emit(Op::i32_or);
+        f.emit(Op::i32_sub);
+    };
+
+    kb.forRange(t, 0, steps, [&] {
+        // stream
+        kb.forRange(q, 0, kQ, [&] {
+            kb.forRange(x, 0, n, [&] {
+                kb.forRange(y, 0, n, [&] {
+                    // sx = (x - dx + n) % n
+                    f.localGet(x);
+                    dxOf();
+                    f.emit(Op::i32_sub);
+                    f.i32Const(n);
+                    f.emit(Op::i32_add);
+                    f.i32Const(n);
+                    f.emit(Op::i32_rem_s);
+                    f.localSet(sx);
+                    f.localGet(y);
+                    dyOf();
+                    f.emit(Op::i32_sub);
+                    f.i32Const(n);
+                    f.emit(Op::i32_add);
+                    f.i32Const(n);
+                    f.emit(Op::i32_rem_s);
+                    f.localSet(sy);
+                    kb.stF64(tmp_base, [&] { qxy(q, x, y); }, [&] {
+                        kb.ldF64(f_base, [&] { qxy(q, sx, sy); });
+                    });
+                });
+            });
+        });
+        // collide
+        kb.forRange(x, 0, n, [&] {
+            kb.forRange(y, 0, n, [&] {
+                f.f64Const(0);
+                f.localSet(rho);
+                f.f64Const(0);
+                f.localSet(ux);
+                f.f64Const(0);
+                f.localSet(uy);
+                kb.forRange(q, 0, kQ, [&] {
+                    kb.ldF64(tmp_base, [&] { qxy(q, x, y); });
+                    f.localSet(fv);
+                    kb.accumF64(rho, [&] { f.localGet(fv); });
+                    kb.accumF64(ux, [&] {
+                        f.localGet(fv);
+                        dxOf();
+                        f.emit(Op::f64_convert_i32_s);
+                        f.emit(Op::f64_mul);
+                    });
+                    kb.accumF64(uy, [&] {
+                        f.localGet(fv);
+                        dyOf();
+                        f.emit(Op::f64_convert_i32_s);
+                        f.emit(Op::f64_mul);
+                    });
+                });
+                f.localGet(ux);
+                f.localGet(rho);
+                f.emit(Op::f64_div);
+                f.localSet(ux);
+                f.localGet(uy);
+                f.localGet(rho);
+                f.emit(Op::f64_div);
+                f.localSet(uy);
+                f.localGet(ux);
+                f.localGet(ux);
+                f.emit(Op::f64_mul);
+                f.localGet(uy);
+                f.localGet(uy);
+                f.emit(Op::f64_mul);
+                f.emit(Op::f64_add);
+                f.localSet(usq);
+                kb.forRange(q, 0, kQ, [&] {
+                    // cu = 3*(dx*ux + dy*uy)
+                    f.f64Const(3.0);
+                    dxOf();
+                    f.emit(Op::f64_convert_i32_s);
+                    f.localGet(ux);
+                    f.emit(Op::f64_mul);
+                    dyOf();
+                    f.emit(Op::f64_convert_i32_s);
+                    f.localGet(uy);
+                    f.emit(Op::f64_mul);
+                    f.emit(Op::f64_add);
+                    f.emit(Op::f64_mul);
+                    f.localSet(cu);
+                    // feq = w*rho*(1 + cu + 0.5 cu^2 - 1.5 usq)
+                    weightOf();
+                    f.localGet(rho);
+                    f.emit(Op::f64_mul);
+                    f.f64Const(1.0);
+                    f.localGet(cu);
+                    f.emit(Op::f64_add);
+                    f.f64Const(0.5);
+                    f.localGet(cu);
+                    f.emit(Op::f64_mul);
+                    f.localGet(cu);
+                    f.emit(Op::f64_mul);
+                    f.emit(Op::f64_add);
+                    f.f64Const(1.5);
+                    f.localGet(usq);
+                    f.emit(Op::f64_mul);
+                    f.emit(Op::f64_sub);
+                    f.emit(Op::f64_mul);
+                    f.localSet(feq);
+                    kb.stF64(f_base, [&] { qxy(q, x, y); }, [&] {
+                        kb.ldF64(tmp_base, [&] { qxy(q, x, y); });
+                        f.f64Const(omega);
+                        f.localGet(feq);
+                        kb.ldF64(tmp_base, [&] { qxy(q, x, y); });
+                        f.emit(Op::f64_sub);
+                        f.emit(Op::f64_mul);
+                        f.emit(Op::f64_add);
+                    });
+                });
+            });
+        });
+    });
+
+    f.f64Const(0);
+    f.localSet(acc);
+    kb.sumArrayF64(acc, x, f_base, kQ * n * n);
+    f.localGet(acc);
+    return km.finish();
+}
+
+// =====================================================================
+// nab proxy: nonbonded energy (electrostatic + van der Waals)  (N=1100)
+// =====================================================================
+
+double
+nabNative(int scale)
+{
+    int n = scaled(1100, scale);
+    std::vector<double> px(size_t(n), 0), py(size_t(n), 0), pz(size_t(n), 0),
+        charge(size_t(n), 0);
+    uint32_t seed = 99;
+    for (int i = 0; i < n; i++) {
+        px[size_t(i)] = double(lcgNext(seed)) / 512.0;
+        py[size_t(i)] = double(lcgNext(seed)) / 512.0;
+        pz[size_t(i)] = double(lcgNext(seed)) / 512.0;
+        charge[size_t(i)] = (double(lcgNext(seed)) / 16384.0) - 1.0;
+    }
+    double elec = 0, vdw = 0;
+    for (int i = 0; i < n; i++) {
+        for (int j = i + 1; j < n; j++) {
+            double dx = px[size_t(i)] - px[size_t(j)];
+            double dy = py[size_t(i)] - py[size_t(j)];
+            double dz = pz[size_t(i)] - pz[size_t(j)];
+            double r2 = dx * dx + dy * dy + dz * dz + 0.25;
+            double r = std::sqrt(r2);
+            elec += charge[size_t(i)] * charge[size_t(j)] / r;
+            double inv6 = 1.0 / (r2 * r2 * r2);
+            vdw += inv6 * inv6 - inv6;
+        }
+    }
+    return elec + vdw;
+}
+
+wasm::Module
+nabModule(int scale)
+{
+    int n = scaled(1100, scale);
+    uint32_t px_base = 0;
+    uint32_t py_base = px_base + uint32_t(n) * 8;
+    uint32_t pz_base = py_base + uint32_t(n) * 8;
+    uint32_t q_base = pz_base + uint32_t(n) * 8;
+    uint64_t total = q_base + uint64_t(n) * 8;
+
+    KernelModule km(total);
+    Kb kb(*km.fb);
+    auto& f = kb.f;
+    uint32_t i = kb.i32(), j = kb.i32(), seed = kb.i32();
+    uint32_t dx = kb.f64(), dy = kb.f64(), dz = kb.f64(), r2 = kb.f64(),
+             inv6 = kb.f64(), elec = kb.f64(), vdw = kb.f64();
+
+    f.i32Const(99);
+    f.localSet(seed);
+    kb.forRange(i, 0, n, [&] {
+        auto initPos = [&](uint32_t base, double div) {
+            kb.stF64(base, [&] { f.localGet(i); }, [&] {
+                emitLcg(kb, seed);
+                f.emit(Op::f64_convert_i32_s);
+                f.f64Const(div);
+                f.emit(Op::f64_div);
+            });
+        };
+        initPos(px_base, 512.0);
+        initPos(py_base, 512.0);
+        initPos(pz_base, 512.0);
+        kb.stF64(q_base, [&] { f.localGet(i); }, [&] {
+            emitLcg(kb, seed);
+            f.emit(Op::f64_convert_i32_s);
+            f.f64Const(16384.0);
+            f.emit(Op::f64_div);
+            f.f64Const(1.0);
+            f.emit(Op::f64_sub);
+        });
+    });
+
+    kb.forRange(i, 0, n, [&] {
+        kb.forRangeAfter(j, i, n, [&] {
+            auto delta = [&](uint32_t dst, uint32_t base) {
+                kb.ldF64(base, [&] { f.localGet(i); });
+                kb.ldF64(base, [&] { f.localGet(j); });
+                f.emit(Op::f64_sub);
+                f.localSet(dst);
+            };
+            delta(dx, px_base);
+            delta(dy, py_base);
+            delta(dz, pz_base);
+            f.localGet(dx);
+            f.localGet(dx);
+            f.emit(Op::f64_mul);
+            f.localGet(dy);
+            f.localGet(dy);
+            f.emit(Op::f64_mul);
+            f.emit(Op::f64_add);
+            f.localGet(dz);
+            f.localGet(dz);
+            f.emit(Op::f64_mul);
+            f.emit(Op::f64_add);
+            f.f64Const(0.25);
+            f.emit(Op::f64_add);
+            f.localSet(r2);
+
+            kb.accumF64(elec, [&] {
+                kb.ldF64(q_base, [&] { f.localGet(i); });
+                kb.ldF64(q_base, [&] { f.localGet(j); });
+                f.emit(Op::f64_mul);
+                f.localGet(r2);
+                f.emit(Op::f64_sqrt);
+                f.emit(Op::f64_div);
+            });
+            f.f64Const(1.0);
+            f.localGet(r2);
+            f.localGet(r2);
+            f.emit(Op::f64_mul);
+            f.localGet(r2);
+            f.emit(Op::f64_mul);
+            f.emit(Op::f64_div);
+            f.localSet(inv6);
+            kb.accumF64(vdw, [&] {
+                f.localGet(inv6);
+                f.localGet(inv6);
+                f.emit(Op::f64_mul);
+                f.localGet(inv6);
+                f.emit(Op::f64_sub);
+            });
+        });
+    });
+
+    f.localGet(elec);
+    f.localGet(vdw);
+    f.emit(Op::f64_add);
+    return km.finish();
+}
+
+} // namespace
+
+void
+registerSpecproxyNum(std::vector<Kernel>& out)
+{
+    out.push_back({"mcf_proxy", "specproxy",
+                   "Bellman-Ford relaxation (505.mcf_r analogue)",
+                   &mcfNative, &mcfModule});
+    out.push_back({"namd_proxy", "specproxy",
+                   "Lennard-Jones forces (508.namd_r analogue)",
+                   &namdNative, &namdModule});
+    out.push_back({"lbm_proxy", "specproxy",
+                   "D2Q9 lattice Boltzmann (519.lbm_r analogue)",
+                   &lbmNative, &lbmModule});
+    out.push_back({"nab_proxy", "specproxy",
+                   "nonbonded energy (544.nab_r analogue)", &nabNative,
+                   &nabModule});
+}
+
+} // namespace lnb::kernels

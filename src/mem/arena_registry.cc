@@ -1,0 +1,68 @@
+#include "mem/arena_registry.h"
+
+namespace lnb::mem {
+
+namespace {
+
+ArenaInfo g_arenas[ArenaRegistry::kMaxArenas];
+
+} // namespace
+
+ArenaInfo*
+ArenaRegistry::add(uint8_t* base, size_t reserve, ArenaKind kind,
+                   uint64_t initial_bounds)
+{
+    for (ArenaInfo& slot : g_arenas) {
+        uint8_t* expected = nullptr;
+        // Publish bounds/kind before the base pointer so a handler that
+        // observes base also observes consistent metadata.
+        if (slot.base.load(std::memory_order_relaxed) != nullptr)
+            continue;
+        slot.bounds.store(initial_bounds, std::memory_order_relaxed);
+        slot.reserve = reserve;
+        slot.kind = kind;
+        slot.faultsHandled.store(0, std::memory_order_relaxed);
+        slot.faultsTrapped.store(0, std::memory_order_relaxed);
+        if (slot.base.compare_exchange_strong(expected, base,
+                                              std::memory_order_release,
+                                              std::memory_order_relaxed)) {
+            return &slot;
+        }
+        // Raced with another registration; try the next slot.
+    }
+    return nullptr;
+}
+
+void
+ArenaRegistry::remove(ArenaInfo* info)
+{
+    info->base.store(nullptr, std::memory_order_release);
+}
+
+ArenaInfo*
+ArenaRegistry::find(const void* addr)
+{
+    auto p = reinterpret_cast<uintptr_t>(addr);
+    for (ArenaInfo& slot : g_arenas) {
+        uint8_t* base = slot.base.load(std::memory_order_acquire);
+        if (base == nullptr)
+            continue;
+        auto b = reinterpret_cast<uintptr_t>(base);
+        if (p >= b && p < b + slot.reserve)
+            return &slot;
+    }
+    return nullptr;
+}
+
+int
+ArenaRegistry::count()
+{
+    int n = 0;
+    for (ArenaInfo& slot : g_arenas) {
+        if (slot.base.load(std::memory_order_relaxed) != nullptr)
+            n++;
+    }
+    return n;
+}
+
+} // namespace lnb::mem

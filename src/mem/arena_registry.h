@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Lock-free registry of linear-memory arenas, consulted by signal handlers.
+ *
+ * When a guard-page or uffd-backed memory faults, the SIGSEGV/SIGBUS handler
+ * must classify the fault address: which arena does it belong to, and is it
+ * below that arena's current bounds? The handler runs on arbitrary threads
+ * at arbitrary times, so the registry uses only atomic slot claims and
+ * atomic bounds words — the hazard-pointer-style scheme the paper describes
+ * in §4.2.1 ("an atomic integer variable controlling the size of each
+ * memory arena, and a hazard pointer-style implementation for adding and
+ * removing memory arenas, avoiding the need for locks").
+ */
+#ifndef LNB_MEM_ARENA_REGISTRY_H
+#define LNB_MEM_ARENA_REGISTRY_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace lnb::mem {
+
+/** How faults on an arena should be resolved. */
+enum class ArenaKind : uint8_t {
+    flat,      ///< fully RW-mapped; faults are impossible
+    guard,     ///< mprotect-managed; any fault is a wasm OOB trap
+    uffd_real, ///< kernel userfaultfd; missing-page SIGBUS, populate or trap
+    uffd_emu,  ///< emulated uffd; in-bounds fault populates one page
+};
+
+/**
+ * One registered arena. Slots live in a fixed global table; `base` doubles
+ * as the occupancy flag (null = free). All fields the signal handler reads
+ * are atomics.
+ */
+struct ArenaInfo
+{
+    std::atomic<uint8_t*> base{nullptr};
+    std::atomic<uint64_t> bounds{0}; ///< accessible bytes (atomic size word)
+    size_t reserve = 0;              ///< reservation size in bytes
+    ArenaKind kind = ArenaKind::flat;
+    /** userfaultfd file descriptor (uffd_real arenas only). */
+    int uffdFd = -1;
+    /** Faults resolved by populating a page (uffd paths). */
+    std::atomic<uint64_t> faultsHandled{0};
+    /** Faults classified as wasm OOB traps. */
+    std::atomic<uint64_t> faultsTrapped{0};
+};
+
+/** Global arena table. All methods are thread-safe; find() is also
+ * async-signal-safe. */
+class ArenaRegistry
+{
+  public:
+    static constexpr int kMaxArenas = 512;
+
+    /**
+     * Claim a slot for [base, base+reserve). Returns null if the table is
+     * full (the caller should fail memory creation).
+     */
+    static ArenaInfo* add(uint8_t* base, size_t reserve, ArenaKind kind,
+                          uint64_t initial_bounds);
+
+    /**
+     * Release a slot. The caller must guarantee no thread can still fault
+     * inside the arena (i.e. the owning instance has stopped executing).
+     */
+    static void remove(ArenaInfo* info);
+
+    /** Find the arena containing @p addr; null if none. Signal-safe. */
+    static ArenaInfo* find(const void* addr);
+
+    /** Number of currently registered arenas (approximate; for tests). */
+    static int count();
+};
+
+} // namespace lnb::mem
+
+#endif // LNB_MEM_ARENA_REGISTRY_H

@@ -1,0 +1,49 @@
+#include "mem/code_registry.h"
+
+namespace lnb::mem {
+
+namespace {
+
+CodeRegionRegistry::Region g_regions[CodeRegionRegistry::kMaxRegions];
+
+} // namespace
+
+CodeRegionRegistry::Region*
+CodeRegionRegistry::add(const uint8_t* base, size_t size)
+{
+    for (Region& slot : g_regions) {
+        const uint8_t* expected = nullptr;
+        if (slot.base.load(std::memory_order_relaxed) != nullptr)
+            continue;
+        slot.size = size;
+        if (slot.base.compare_exchange_strong(expected, base,
+                                              std::memory_order_release,
+                                              std::memory_order_relaxed)) {
+            return &slot;
+        }
+    }
+    return nullptr;
+}
+
+void
+CodeRegionRegistry::remove(Region* region)
+{
+    region->base.store(nullptr, std::memory_order_release);
+}
+
+bool
+CodeRegionRegistry::contains(const void* pc)
+{
+    auto p = reinterpret_cast<uintptr_t>(pc);
+    for (Region& slot : g_regions) {
+        const uint8_t* base = slot.base.load(std::memory_order_acquire);
+        if (base == nullptr)
+            continue;
+        auto b = reinterpret_cast<uintptr_t>(base);
+        if (p >= b && p < b + slot.size)
+            return true;
+    }
+    return false;
+}
+
+} // namespace lnb::mem

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Lock-free registry of JIT code regions. Signal handlers use it to decide
+ * whether a SIGILL/SIGFPE at some program counter belongs to generated
+ * WebAssembly code (and therefore encodes a wasm trap) or is a genuine
+ * crash that must be re-raised.
+ */
+#ifndef LNB_MEM_CODE_REGISTRY_H
+#define LNB_MEM_CODE_REGISTRY_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace lnb::mem {
+
+/** Global JIT code-region table (same slot discipline as ArenaRegistry). */
+class CodeRegionRegistry
+{
+  public:
+    static constexpr int kMaxRegions = 256;
+
+    struct Region
+    {
+        std::atomic<const uint8_t*> base{nullptr};
+        size_t size = 0;
+    };
+
+    /** Register [base, base+size) as generated code. Null if full. */
+    static Region* add(const uint8_t* base, size_t size);
+
+    /** Unregister; callers guarantee no thread is executing inside. */
+    static void remove(Region* region);
+
+    /** True if @p pc lies inside a registered region. Signal-safe. */
+    static bool contains(const void* pc);
+};
+
+} // namespace lnb::mem
+
+#endif // LNB_MEM_CODE_REGISTRY_H

@@ -1,0 +1,273 @@
+#include "mem/linear_memory.h"
+
+#include <fcntl.h>
+#include <sys/ioctl.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#if __has_include(<linux/userfaultfd.h>)
+#include <linux/userfaultfd.h>
+#define LNB_HAVE_UFFD_HEADER 1
+#endif
+
+#include <cerrno>
+#include <cstring>
+
+#include "mem/signals.h"
+#include "support/log.h"
+
+namespace lnb::mem {
+
+const char*
+boundsStrategyName(BoundsStrategy strategy)
+{
+    switch (strategy) {
+      case BoundsStrategy::none: return "none";
+      case BoundsStrategy::clamp: return "clamp";
+      case BoundsStrategy::trap: return "trap";
+      case BoundsStrategy::mprotect: return "mprotect";
+      case BoundsStrategy::uffd: return "uffd";
+    }
+    return "?";
+}
+
+bool
+boundsStrategyFromName(const std::string& name, BoundsStrategy& out)
+{
+    for (int i = 0; i < kNumBoundsStrategies; i++) {
+        if (name == boundsStrategyName(BoundsStrategy(i))) {
+            out = BoundsStrategy(i);
+            return true;
+        }
+    }
+    return false;
+}
+
+namespace {
+
+/** Probe for userfaultfd with the SIGBUS feature; cached. */
+bool
+probeRealUffd()
+{
+#ifdef LNB_HAVE_UFFD_HEADER
+    long fd = syscall(SYS_userfaultfd, O_CLOEXEC | O_NONBLOCK);
+    if (fd < 0)
+        return false;
+    bool ok = false;
+#ifdef UFFD_FEATURE_SIGBUS
+    struct uffdio_api api;
+    std::memset(&api, 0, sizeof api);
+    api.api = UFFD_API;
+    api.features = UFFD_FEATURE_SIGBUS;
+    ok = ioctl(int(fd), UFFDIO_API, &api) == 0 &&
+         (api.features & UFFD_FEATURE_SIGBUS) != 0;
+#endif
+    close(int(fd));
+    return ok;
+#else
+    return false;
+#endif
+}
+
+} // namespace
+
+bool
+realUffdAvailable()
+{
+    static const bool available = probeRealUffd();
+    return available;
+}
+
+Result<std::unique_ptr<LinearMemory>>
+LinearMemory::create(const wasm::Limits& limits, const MemoryConfig& config)
+{
+    TrapManager::install();
+
+    auto mem = std::unique_ptr<LinearMemory>(new LinearMemory());
+    mem->config_ = config;
+    mem->maxPages_ =
+        limits.hasMax() ? std::min(limits.max, wasm::kMaxPages)
+                        : wasm::kMaxPages;
+    if (limits.min > mem->maxPages_)
+        return errInvalid("memory minimum exceeds maximum");
+    uint64_t initial_bytes = uint64_t(limits.min) * wasm::kPageSize;
+
+    switch (config.strategy) {
+      case BoundsStrategy::none: {
+        // Entire addressable window read-write mapped; no checks anywhere.
+        void* p = mmap(nullptr, kGuardReserveBytes, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+        if (p == MAP_FAILED)
+            return errResource("mmap of flat reservation failed");
+        mem->base_ = static_cast<uint8_t*>(p);
+        mem->reserveBytes_ = kGuardReserveBytes;
+        mem->arenaKind_ = ArenaKind::flat;
+        mem->clampOffset_ = kGuardReserveBytes - 64;
+        break;
+      }
+
+      case BoundsStrategy::clamp:
+      case BoundsStrategy::trap: {
+        // Software checks: commit the whole max range lazily plus one red
+        // zone page that clamped accesses can land in.
+        uint64_t max_bytes = uint64_t(mem->maxPages_) * wasm::kPageSize;
+        uint64_t reserve = max_bytes + wasm::kPageSize;
+        void* p = mmap(nullptr, reserve, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+        if (p == MAP_FAILED)
+            return errResource("mmap of software-check memory failed");
+        mem->base_ = static_cast<uint8_t*>(p);
+        mem->reserveBytes_ = reserve;
+        mem->arenaKind_ = ArenaKind::flat;
+        mem->clampOffset_ = max_bytes;
+        break;
+      }
+
+      case BoundsStrategy::mprotect: {
+        void* p = mmap(nullptr, kGuardReserveBytes, PROT_NONE,
+                       MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+        if (p == MAP_FAILED)
+            return errResource("mmap of guard reservation failed");
+        mem->base_ = static_cast<uint8_t*>(p);
+        mem->reserveBytes_ = kGuardReserveBytes;
+        mem->arenaKind_ = ArenaKind::guard;
+        mem->clampOffset_ = 0;
+        if (initial_bytes != 0 &&
+            mprotect(p, initial_bytes, PROT_READ | PROT_WRITE) != 0) {
+            munmap(p, kGuardReserveBytes);
+            return errResource("initial mprotect failed");
+        }
+        mem->resizeSyscalls_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+
+      case BoundsStrategy::uffd: {
+        bool real = realUffdAvailable() && !config.forceUffdEmulation;
+        if (real) {
+#ifdef LNB_HAVE_UFFD_HEADER
+            void* p = mmap(nullptr, kGuardReserveBytes,
+                           PROT_READ | PROT_WRITE,
+                           MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1,
+                           0);
+            if (p == MAP_FAILED)
+                return errResource("mmap of uffd reservation failed");
+            long fd = syscall(SYS_userfaultfd, O_CLOEXEC | O_NONBLOCK);
+            struct uffdio_api api;
+            std::memset(&api, 0, sizeof api);
+            api.api = UFFD_API;
+            api.features = UFFD_FEATURE_SIGBUS;
+            struct uffdio_register reg;
+            std::memset(&reg, 0, sizeof reg);
+            reg.range.start = reinterpret_cast<unsigned long>(p);
+            reg.range.len = kGuardReserveBytes;
+            reg.mode = UFFDIO_REGISTER_MODE_MISSING;
+            if (fd < 0 || ioctl(int(fd), UFFDIO_API, &api) != 0 ||
+                ioctl(int(fd), UFFDIO_REGISTER, &reg) != 0) {
+                if (fd >= 0)
+                    close(int(fd));
+                munmap(p, kGuardReserveBytes);
+                return errResource("userfaultfd registration failed");
+            }
+            mem->base_ = static_cast<uint8_t*>(p);
+            mem->reserveBytes_ = kGuardReserveBytes;
+            mem->arenaKind_ = ArenaKind::uffd_real;
+            mem->uffdFd_ = int(fd);
+#endif
+        } else {
+            // Emulation: PROT_NONE reservation; the fault handler grants
+            // page-granular access below the atomic bounds word.
+            void* p = mmap(nullptr, kGuardReserveBytes, PROT_NONE,
+                           MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1,
+                           0);
+            if (p == MAP_FAILED)
+                return errResource("mmap of uffd-emu reservation failed");
+            mem->base_ = static_cast<uint8_t*>(p);
+            mem->reserveBytes_ = kGuardReserveBytes;
+            mem->arenaKind_ = ArenaKind::uffd_emu;
+        }
+        mem->clampOffset_ = 0;
+        break;
+      }
+    }
+
+    mem->sizeBytes_.store(initial_bytes, std::memory_order_release);
+
+    if (mem->arenaKind_ != ArenaKind::flat) {
+        mem->arena_ = ArenaRegistry::add(mem->base_, mem->reserveBytes_,
+                                         mem->arenaKind_, initial_bytes);
+        if (mem->arena_ == nullptr) {
+            return errResource("arena registry full");
+        }
+        mem->arena_->uffdFd = mem->uffdFd_;
+    }
+    return mem;
+}
+
+LinearMemory::~LinearMemory()
+{
+    if (arena_ != nullptr)
+        ArenaRegistry::remove(arena_);
+    if (uffdFd_ >= 0)
+        close(uffdFd_);
+    if (base_ != nullptr)
+        munmap(base_, reserveBytes_);
+}
+
+int64_t
+LinearMemory::grow(uint32_t delta_pages)
+{
+    std::lock_guard<std::mutex> lock(growMutex_);
+    uint64_t old_bytes = sizeBytes_.load(std::memory_order_relaxed);
+    uint64_t old_pages = old_bytes / wasm::kPageSize;
+    uint64_t new_pages = old_pages + delta_pages;
+    if (new_pages > maxPages_)
+        return -1;
+    uint64_t new_bytes = new_pages * wasm::kPageSize;
+    if (delta_pages == 0)
+        return int64_t(old_pages);
+
+    if (config_.strategy == BoundsStrategy::mprotect) {
+        // The paper's default scheme: adjust protections for the newly
+        // valid range. In Linux this serializes on the process VMA lock.
+        if (mprotect(base_ + old_bytes, new_bytes - old_bytes,
+                     PROT_READ | PROT_WRITE) != 0) {
+            return -1;
+        }
+        resizeSyscalls_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // uffd / none / software strategies: the bounds word is the only state
+    // that changes — no syscall on the grow path.
+
+    if (arena_ != nullptr)
+        arena_->bounds.store(new_bytes, std::memory_order_release);
+    sizeBytes_.store(new_bytes, std::memory_order_release);
+    return int64_t(old_pages);
+}
+
+Status
+LinearMemory::initData(uint32_t offset, const uint8_t* data, size_t size)
+{
+    if (uint64_t(offset) + size > sizeBytes())
+        return errInvalid("data segment out of bounds");
+    // For uffd strategies this touches missing pages; the fault handler
+    // populates them because the range is below bounds.
+    std::memcpy(base_ + offset, data, size);
+    return Status::ok();
+}
+
+uint64_t
+LinearMemory::faultsHandled() const
+{
+    return arena_ ? arena_->faultsHandled.load(std::memory_order_relaxed)
+                  : 0;
+}
+
+uint64_t
+LinearMemory::faultsTrapped() const
+{
+    return arena_ ? arena_->faultsTrapped.load(std::memory_order_relaxed)
+                  : 0;
+}
+
+} // namespace lnb::mem

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * WebAssembly linear memory with pluggable bounds-checking backends — the
+ * core artifact under study in the paper (§3.1).
+ *
+ * Strategy -> backing implementation:
+ *
+ *  none      8 GiB read-write reservation; executors emit no checks. An
+ *            out-of-bounds access lands in the reservation silently (the
+ *            unsafe speed-of-light baseline).
+ *  clamp     committed allocation with a permanently mapped red zone at
+ *            the end; executors clamp out-of-bounds addresses to the red
+ *            zone ("the memory end pointer is used instead").
+ *  trap      same allocation; executors emit an explicit compare-and-trap.
+ *  mprotect  8 GiB PROT_NONE reservation; the valid prefix is made
+ *            read-write with mprotect(2) at creation and on every grow —
+ *            the default V8/WAVM/Wasmtime scheme whose grow path takes the
+ *            kernel's per-process VMA lock.
+ *  uffd      8 GiB reservation whose pages are populated lazily from the
+ *            fault handler; grow just bumps an atomic bounds word — no
+ *            syscall, no process-wide lock. Uses the real userfaultfd(2)
+ *            when the kernel offers it, otherwise a faithful emulation
+ *            (see DESIGN.md substitution 4).
+ */
+#ifndef LNB_MEM_LINEAR_MEMORY_H
+#define LNB_MEM_LINEAR_MEMORY_H
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "mem/arena_registry.h"
+#include "support/status.h"
+#include "wasm/types.h"
+
+namespace lnb::mem {
+
+/** The five bounds-checking strategies of paper §3.1. */
+enum class BoundsStrategy : uint8_t {
+    none = 0,
+    clamp,
+    trap,
+    mprotect,
+    uffd,
+};
+
+constexpr int kNumBoundsStrategies = 5;
+
+/** Lowercase strategy name as used in the paper's figures. */
+const char* boundsStrategyName(BoundsStrategy strategy);
+
+/** Parse a strategy name; returns false for unknown names. */
+bool boundsStrategyFromName(const std::string& name, BoundsStrategy& out);
+
+/** True if the strategy needs no executor-emitted checks (OOB detection is
+ * delegated to guard pages / the fault handler). */
+inline bool
+strategyUsesGuardPages(BoundsStrategy s)
+{
+    return s == BoundsStrategy::mprotect || s == BoundsStrategy::uffd;
+}
+
+/** True if executors must emit inline software checks. */
+inline bool
+strategyUsesSoftwareChecks(BoundsStrategy s)
+{
+    return s == BoundsStrategy::clamp || s == BoundsStrategy::trap;
+}
+
+/** Creation-time options. */
+struct MemoryConfig
+{
+    BoundsStrategy strategy = BoundsStrategy::mprotect;
+    /** Force the uffd emulation even if real userfaultfd is available
+     * (makes tests deterministic across kernels). */
+    bool forceUffdEmulation = false;
+};
+
+/** True if this kernel supports userfaultfd with SIGBUS delivery. */
+bool realUffdAvailable();
+
+/**
+ * One instance's linear memory. Thread-compatible: the executing thread
+ * owns it; the atomic bounds word is shared with signal handlers.
+ */
+class LinearMemory
+{
+  public:
+    /** Size of the virtual reservation for guard-page strategies: the full
+     * 32-bit base + 32-bit offset addressable window (paper §2.3). */
+    static constexpr uint64_t kGuardReserveBytes = 8ull << 30;
+
+    static Result<std::unique_ptr<LinearMemory>>
+    create(const wasm::Limits& limits, const MemoryConfig& config);
+
+    ~LinearMemory();
+    LinearMemory(const LinearMemory&) = delete;
+    LinearMemory& operator=(const LinearMemory&) = delete;
+
+    uint8_t* base() const { return base_; }
+    uint64_t sizeBytes() const
+    {
+        return sizeBytes_.load(std::memory_order_acquire);
+    }
+    uint32_t sizePages() const
+    {
+        return uint32_t(sizeBytes() / wasm::kPageSize);
+    }
+    uint32_t maxPages() const { return maxPages_; }
+    BoundsStrategy strategy() const { return config_.strategy; }
+
+    /** Kind actually in use (distinguishes real uffd from emulation). */
+    ArenaKind arenaKind() const { return arenaKind_; }
+
+    /**
+     * Grow by @p delta_pages. Returns the previous size in pages, or -1 if
+     * the limit would be exceeded (wasm memory.grow semantics).
+     */
+    int64_t grow(uint32_t delta_pages);
+
+    /** Byte offset of the always-mapped red zone (clamp strategy target). */
+    uint64_t clampOffset() const { return clampOffset_; }
+
+    /** Copy a data segment into memory; fails if out of bounds. */
+    Status initData(uint32_t offset, const uint8_t* data, size_t size);
+
+    // ----- statistics (paper §4.1.1 / §4.2) -----
+    /** Virtual-memory syscalls issued on the grow path. */
+    uint64_t resizeSyscalls() const
+    {
+        return resizeSyscalls_.load(std::memory_order_relaxed);
+    }
+    /** Faults resolved by lazy population (uffd strategies). */
+    uint64_t faultsHandled() const;
+    /** Faults converted into wasm traps. */
+    uint64_t faultsTrapped() const;
+
+  private:
+    LinearMemory() = default;
+
+    uint8_t* base_ = nullptr;
+    uint64_t reserveBytes_ = 0;
+    std::atomic<uint64_t> sizeBytes_{0};
+    uint32_t maxPages_ = 0;
+    uint64_t clampOffset_ = 0;
+    MemoryConfig config_;
+    ArenaKind arenaKind_ = ArenaKind::flat;
+    ArenaInfo* arena_ = nullptr;
+    int uffdFd_ = -1;
+    std::mutex growMutex_;
+    std::atomic<uint64_t> resizeSyscalls_{0};
+};
+
+} // namespace lnb::mem
+
+#endif // LNB_MEM_LINEAR_MEMORY_H

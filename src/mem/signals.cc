@@ -1,0 +1,193 @@
+#include "mem/signals.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/ioctl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#if __has_include(<linux/userfaultfd.h>)
+#include <linux/userfaultfd.h>
+#define LNB_HAVE_UFFD_HEADER 1
+#endif
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+#include "mem/arena_registry.h"
+#include "mem/code_registry.h"
+#include "support/log.h"
+
+namespace lnb::mem {
+
+namespace {
+
+thread_local TrapFrame* t_topFrame = nullptr;
+std::atomic<uint64_t> g_trapCount{0};
+
+/** Byte the JIT places after each ud2 to identify the trap kind. */
+constexpr size_t kTrapKindByteOffset = 2; // sizeof(ud2)
+
+[[noreturn]] void
+jumpToFrame(wasm::TrapKind kind)
+{
+    TrapFrame* frame = t_topFrame;
+    if (frame == nullptr) {
+        // A fault was classified as a wasm trap, but nobody is executing
+        // wasm on this thread: internal bug; die loudly.
+        LNB_ERROR("wasm trap (%s) with no recovery frame",
+                  wasm::trapKindName(kind));
+        std::abort();
+    }
+    g_trapCount.fetch_add(1, std::memory_order_relaxed);
+    frame->kind = kind;
+    siglongjmp(frame->buf, 1);
+}
+
+void
+reraiseAsDefault(int sig, siginfo_t* info)
+{
+    struct sigaction sa;
+    sa.sa_handler = SIG_DFL;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;
+    sigaction(sig, &sa, nullptr);
+    // Returning re-executes the faulting instruction, which re-raises with
+    // default disposition (core dump / termination).
+}
+
+/** Try to lazily populate the faulted page of a uffd-style arena. */
+bool
+populatePage(ArenaInfo* arena, uintptr_t fault_addr)
+{
+    const uintptr_t page_mask = ~uintptr_t(4095);
+    uintptr_t page = fault_addr & page_mask;
+
+    if (arena->kind == ArenaKind::uffd_emu) {
+        // Emulation: grant access to exactly one page. Unlike a grow-time
+        // mprotect of the whole new range, this touches page-granular
+        // state only (DESIGN.md substitution 4).
+        if (mprotect(reinterpret_cast<void*>(page), 4096,
+                     PROT_READ | PROT_WRITE) != 0) {
+            return false;
+        }
+        arena->faultsHandled.fetch_add(1, std::memory_order_relaxed);
+        return true;
+    }
+
+#ifdef LNB_HAVE_UFFD_HEADER
+    if (arena->kind == ArenaKind::uffd_real && arena->uffdFd >= 0) {
+        struct uffdio_zeropage zp;
+        zp.range.start = page;
+        zp.range.len = 4096;
+        zp.mode = 0;
+        zp.zeropage = 0;
+        if (ioctl(arena->uffdFd, UFFDIO_ZEROPAGE, &zp) == 0 ||
+            zp.zeropage == -EEXIST) {
+            arena->faultsHandled.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+        return false;
+    }
+#endif
+    return false;
+}
+
+void
+faultHandler(int sig, siginfo_t* info, void* ucontext)
+{
+    if (sig == SIGSEGV || sig == SIGBUS) {
+        ArenaInfo* arena = ArenaRegistry::find(info->si_addr);
+        if (arena != nullptr) {
+            auto addr = reinterpret_cast<uintptr_t>(info->si_addr);
+            auto base = reinterpret_cast<uintptr_t>(
+                arena->base.load(std::memory_order_acquire));
+            uint64_t offset = addr - base;
+            bool lazy = arena->kind == ArenaKind::uffd_emu ||
+                        arena->kind == ArenaKind::uffd_real;
+            if (lazy &&
+                offset < arena->bounds.load(std::memory_order_acquire)) {
+                if (populatePage(arena, addr))
+                    return; // retry the faulting instruction
+            }
+            arena->faultsTrapped.fetch_add(1, std::memory_order_relaxed);
+            jumpToFrame(wasm::TrapKind::out_of_bounds_memory);
+        }
+        reraiseAsDefault(sig, info);
+        return;
+    }
+
+    // SIGILL / SIGFPE: meaningful only inside generated code.
+    auto* uc = static_cast<ucontext_t*>(ucontext);
+    auto pc = reinterpret_cast<const uint8_t*>(
+        uc->uc_mcontext.gregs[REG_RIP]);
+    if (!CodeRegionRegistry::contains(pc)) {
+        reraiseAsDefault(sig, info);
+        return;
+    }
+    if (sig == SIGFPE) {
+        // The JIT checks the INT_MIN/-1 case explicitly, so a hardware #DE
+        // in generated code is always a divide by zero.
+        jumpToFrame(wasm::TrapKind::integer_divide_by_zero);
+    }
+    // SIGILL: the kind byte follows the ud2 instruction.
+    wasm::TrapKind kind = wasm::TrapKind(pc[kTrapKindByteOffset]);
+    if (kind == wasm::TrapKind::none || kind > wasm::TrapKind::host_error)
+        kind = wasm::TrapKind::unreachable;
+    jumpToFrame(kind);
+}
+
+std::once_flag g_installOnce;
+
+} // namespace
+
+void
+TrapManager::install()
+{
+    std::call_once(g_installOnce, [] {
+        struct sigaction sa;
+        sa.sa_sigaction = faultHandler;
+        sigemptyset(&sa.sa_mask);
+        // SA_NODEFER so nested faults (e.g. during population) still reach
+        // us; SA_ONSTACK is unnecessary since frames are shallow.
+        sa.sa_flags = SA_SIGINFO | SA_NODEFER;
+        for (int sig : {SIGSEGV, SIGBUS, SIGILL, SIGFPE}) {
+            if (sigaction(sig, &sa, nullptr) != 0)
+                LNB_ERROR("failed to install handler for signal %d", sig);
+        }
+    });
+}
+
+void
+TrapManager::raiseTrap(wasm::TrapKind kind)
+{
+    jumpToFrame(kind);
+}
+
+bool
+TrapManager::inProtectedScope()
+{
+    return t_topFrame != nullptr;
+}
+
+uint64_t
+TrapManager::trapCount()
+{
+    return g_trapCount.load(std::memory_order_relaxed);
+}
+
+void
+TrapManager::pushFrame(TrapFrame* frame)
+{
+    frame->prev = t_topFrame;
+    t_topFrame = frame;
+}
+
+void
+TrapManager::popFrame(TrapFrame* frame)
+{
+    t_topFrame = frame->prev;
+}
+
+} // namespace lnb::mem

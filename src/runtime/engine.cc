@@ -1,0 +1,90 @@
+#include "runtime/engine.h"
+
+#include "support/clock.h"
+#include "wasm/decoder.h"
+#include "wasm/validator.h"
+
+namespace lnb::rt {
+
+const char*
+engineKindName(EngineKind kind)
+{
+    switch (kind) {
+      case EngineKind::interp_switch: return "interp-switch";
+      case EngineKind::interp_threaded: return "interp-threaded";
+      case EngineKind::jit_base: return "jit-base";
+      case EngineKind::jit_opt: return "jit-opt";
+    }
+    return "?";
+}
+
+bool
+engineKindFromName(const std::string& name, EngineKind& out)
+{
+    for (int i = 0; i < kNumEngineKinds; i++) {
+        if (name == engineKindName(EngineKind(i))) {
+            out = EngineKind(i);
+            return true;
+        }
+    }
+    return false;
+}
+
+Engine::Engine(const EngineConfig& config) : config_(config) {}
+
+Result<std::shared_ptr<const CompiledModule>>
+Engine::compile(wasm::Module module) const
+{
+    auto cm = std::make_shared<CompiledModule>();
+    cm->config_ = config_;
+
+    {
+        ScopedTimer timer(cm->stats_.validateSeconds);
+        LNB_RETURN_IF_ERROR(wasm::validateModule(module));
+    }
+    {
+        ScopedTimer timer(cm->stats_.lowerSeconds);
+        LNB_ASSIGN_OR_RETURN(cm->lowered_,
+                             wasm::lowerModule(std::move(module)));
+    }
+
+    if (engineIsJit(config_.kind)) {
+        if (!jit::jitSupported())
+            return errUnsupported("this CPU lacks the JIT's ISA baseline");
+        jit::JitOptions options;
+        options.strategy = config_.strategy;
+        options.optimize = config_.kind == EngineKind::jit_opt;
+        options.stackChecks = config_.stackChecks;
+        ScopedTimer timer(cm->stats_.codegenSeconds);
+        LNB_ASSIGN_OR_RETURN(cm->jitCode_,
+                             jit::compileModule(cm->lowered_, options));
+        cm->stats_.codeBytes = cm->jitCode_->codeBytes();
+    } else {
+        exec::DispatchKind dispatch =
+            config_.kind == EngineKind::interp_switch
+                ? exec::DispatchKind::switch_loop
+                : exec::DispatchKind::threaded;
+        cm->interpFn_ = exec::interpEntry(
+            dispatch, exec::checkModeFor(config_.strategy));
+    }
+    return std::shared_ptr<const CompiledModule>(std::move(cm));
+}
+
+Result<std::shared_ptr<const CompiledModule>>
+Engine::compileBytes(const std::vector<uint8_t>& bytes) const
+{
+    double decode_seconds = 0;
+    wasm::Module module;
+    {
+        ScopedTimer timer(decode_seconds);
+        LNB_ASSIGN_OR_RETURN(module, wasm::decodeModule(bytes));
+    }
+    LNB_ASSIGN_OR_RETURN(auto cm, compile(std::move(module)));
+    // CompiledModule is immutable through the shared_ptr; record the decode
+    // time before publishing.
+    const_cast<CompiledModule*>(cm.get())->stats_.decodeSeconds =
+        decode_seconds;
+    return cm;
+}
+
+} // namespace lnb::rt

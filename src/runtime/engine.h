@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The public embedding API: Engine (a compilation pipeline configured with
+ * an execution technique and a bounds-checking strategy), CompiledModule
+ * (an immutable, thread-shareable artifact), and — in instance.h — Instance
+ * (per-tenant execution state).
+ *
+ * Typical use:
+ *
+ *   rt::Engine engine({rt::EngineKind::jit_opt,
+ *                      mem::BoundsStrategy::uffd});
+ *   auto cm = engine.compile(std::move(module)).takeValue();
+ *   auto inst = rt::Instance::create(cm, rt::ImportMap{}).takeValue();
+ *   auto out = inst->callExport("run", {});
+ */
+#ifndef LNB_RUNTIME_ENGINE_H
+#define LNB_RUNTIME_ENGINE_H
+
+#include <memory>
+#include <string>
+
+#include "interp/interpreter.h"
+#include "jit/compiler.h"
+#include "mem/linear_memory.h"
+#include "support/status.h"
+#include "wasm/lower.h"
+#include "wasm/module.h"
+
+namespace lnb::rt {
+
+/** The four execution engines (paper-runtime analogues; DESIGN.md §2). */
+enum class EngineKind : uint8_t {
+    interp_switch = 0, ///< naive switch interpreter (lower bound)
+    interp_threaded,   ///< computed-goto interpreter (wasm3 analogue)
+    jit_base,          ///< single-pass baseline JIT (V8/Wasmtime analogue)
+    jit_opt,           ///< optimizing JIT (WAVM analogue)
+};
+
+constexpr int kNumEngineKinds = 4;
+
+const char* engineKindName(EngineKind kind);
+bool engineKindFromName(const std::string& name, EngineKind& out);
+
+inline bool
+engineIsJit(EngineKind kind)
+{
+    return kind == EngineKind::jit_base || kind == EngineKind::jit_opt;
+}
+
+/** Engine configuration: execution technique + safety knobs. */
+struct EngineConfig
+{
+    EngineKind kind = EngineKind::jit_base;
+    mem::BoundsStrategy strategy = mem::BoundsStrategy::mprotect;
+    /** Force the uffd emulation even when real userfaultfd exists. */
+    bool forceUffdEmulation = false;
+    /** Function-entry stack-overflow checks (ablation knob). */
+    bool stackChecks = true;
+    /** Value-stack size per instance, in 8-byte cells. */
+    uint32_t valueStackCells = 1u << 20;
+    uint32_t maxCallDepth = 8192;
+};
+
+/** Wall-clock cost of each compilation stage (micro_pipeline bench). */
+struct CompileStats
+{
+    double decodeSeconds = 0;
+    double validateSeconds = 0;
+    double lowerSeconds = 0;
+    double codegenSeconds = 0;
+    size_t codeBytes = 0;
+};
+
+/**
+ * An immutable compiled module. Shareable across threads; every Instance
+ * holds a shared_ptr to one.
+ */
+class CompiledModule
+{
+  public:
+    const wasm::LoweredModule& lowered() const { return lowered_; }
+    const EngineConfig& config() const { return config_; }
+    const jit::CompiledCode* jitCode() const { return jitCode_.get(); }
+    const CompileStats& stats() const { return stats_; }
+    /** Interpreter entry (null for JIT engines). */
+    exec::InterpFn interpFn() const { return interpFn_; }
+
+  private:
+    friend class Engine;
+    wasm::LoweredModule lowered_;
+    EngineConfig config_;
+    std::unique_ptr<jit::CompiledCode> jitCode_;
+    exec::InterpFn interpFn_ = nullptr;
+    CompileStats stats_;
+};
+
+/** A compilation pipeline for one engine configuration. */
+class Engine
+{
+  public:
+    explicit Engine(const EngineConfig& config);
+
+    const EngineConfig& config() const { return config_; }
+
+    /** Validate, lower, and (for JIT kinds) generate code. */
+    Result<std::shared_ptr<const CompiledModule>>
+    compile(wasm::Module module) const;
+
+    /** Decode a binary module, then compile it. */
+    Result<std::shared_ptr<const CompiledModule>>
+    compileBytes(const std::vector<uint8_t>& bytes) const;
+
+  private:
+    EngineConfig config_;
+};
+
+} // namespace lnb::rt
+
+#endif // LNB_RUNTIME_ENGINE_H

@@ -1,0 +1,230 @@
+#include "runtime/instance.h"
+
+#include <pthread.h>
+
+#include <cassert>
+
+#include "mem/signals.h"
+
+namespace lnb::rt {
+
+namespace {
+
+/**
+ * Lowest stack address generated code may still use on this thread, with
+ * enough headroom for signal handlers and host-call frames. The JIT
+ * prologue compares rsp against this (paper: "stack overflow checks" are
+ * one of wasm's safety costs).
+ */
+uint64_t
+threadStackLimit()
+{
+    static thread_local uint64_t cached = [] {
+        void* addr = nullptr;
+        size_t size = 0;
+        pthread_attr_t attr;
+        if (pthread_getattr_np(pthread_self(), &attr) == 0) {
+            pthread_attr_getstack(&attr, &addr, &size);
+            pthread_attr_destroy(&attr);
+        }
+        if (addr != nullptr)
+            return uint64_t(addr) + (256u << 10);
+        // Unknown stack bounds: assume ~6 MiB below the current frame.
+        char probe;
+        return uint64_t(&probe) - (6u << 20);
+    }();
+    return cached;
+}
+
+} // namespace
+
+const ImportMap::Entry*
+ImportMap::find(const std::string& module, const std::string& name) const
+{
+    for (const Entry& entry : entries_) {
+        if (entry.module == module && entry.name == name)
+            return &entry;
+    }
+    return nullptr;
+}
+
+Result<std::unique_ptr<Instance>>
+Instance::create(std::shared_ptr<const CompiledModule> module,
+                 ImportMap imports)
+{
+    auto inst = std::unique_ptr<Instance>(new Instance());
+    inst->module_ = std::move(module);
+    LNB_RETURN_IF_ERROR(inst->initialize(std::move(imports)));
+    return inst;
+}
+
+Instance::~Instance() = default;
+
+Status
+Instance::initialize(ImportMap imports)
+{
+    const wasm::Module& m = module_->lowered().module;
+    const EngineConfig& config = module_->config();
+    imports_ = std::move(imports);
+
+    mem::TrapManager::install();
+
+    // ----- linear memory -----
+    if (!m.memories.empty()) {
+        mem::MemoryConfig mc;
+        mc.strategy = config.strategy;
+        mc.forceUffdEmulation = config.forceUffdEmulation;
+        LNB_ASSIGN_OR_RETURN(memory_,
+                             mem::LinearMemory::create(m.memories[0], mc));
+        ctx_.memBase = memory_->base();
+        ctx_.memSize = memory_->sizeBytes();
+        ctx_.clampOffset = memory_->clampOffset();
+        ctx_.memory = memory_.get();
+    }
+
+    // ----- globals -----
+    globals_.resize(m.globals.size());
+    for (size_t i = 0; i < m.globals.size(); i++)
+        globals_[i] = m.globals[i].init.constValue();
+    ctx_.globals = globals_.data();
+
+    // ----- host bindings -----
+    hostBindings_.resize(m.imports.size());
+    for (size_t i = 0; i < m.imports.size(); i++) {
+        const wasm::Import& imp = m.imports[i];
+        const ImportMap::Entry* entry =
+            imports_.find(imp.module, imp.name);
+        if (entry == nullptr) {
+            return errValidation("unknown import: " + imp.module + "." +
+                                 imp.name);
+        }
+        if (!(entry->type == m.types[imp.typeIdx])) {
+            return errValidation("import type mismatch: " + imp.module +
+                                 "." + imp.name);
+        }
+        hostBindings_[i].fn = entry->fn;
+        hostBindings_[i].user = entry->user;
+        hostBindings_[i].type = &m.types[imp.typeIdx];
+    }
+    ctx_.hostFuncs = hostBindings_.data();
+    ctx_.numHostFuncs = uint32_t(hostBindings_.size());
+
+    // ----- table + element segments -----
+    if (!m.tables.empty()) {
+        table_.resize(m.tables[0].min);
+        for (const wasm::ElemSegment& seg : m.elems) {
+            uint64_t offset = seg.offset.constValue().i32;
+            if (offset + seg.funcs.size() > table_.size())
+                return errValidation("element segment out of bounds");
+            for (size_t i = 0; i < seg.funcs.size(); i++) {
+                uint32_t func_idx = seg.funcs[i];
+                exec::TableEntry& entry = table_[offset + i];
+                entry.funcIdx = func_idx;
+                entry.typeIdx = module_->lowered()
+                                    .typeCanon[m.funcTypeIdx(func_idx)];
+                entry.initialized = 1;
+                entry.code = module_->jitCode() != nullptr
+                                 ? module_->jitCode()->tableCode(func_idx)
+                                 : nullptr;
+            }
+        }
+        ctx_.table = table_.data();
+        ctx_.tableSize = table_.size();
+    }
+
+    // ----- data segments -----
+    for (const wasm::DataSegment& seg : m.datas) {
+        if (memory_ == nullptr)
+            return errValidation("data segment without memory");
+        LNB_RETURN_IF_ERROR(memory_->initData(seg.offset.constValue().i32,
+                                              seg.bytes.data(),
+                                              seg.bytes.size()));
+    }
+
+    // ----- value stack -----
+    vstack_.reset(new wasm::Value[config.valueStackCells]);
+    ctx_.vstack = vstack_.get();
+    ctx_.vstackTop = vstack_.get();
+    ctx_.vstackEnd = vstack_.get() + config.valueStackCells;
+    ctx_.maxCallDepth = config.maxCallDepth;
+    ctx_.lowered = &module_->lowered();
+
+    // ----- start function -----
+    if (m.start.has_value()) {
+        CallOutcome outcome = call(*m.start, {});
+        if (!outcome.ok()) {
+            return errInvalid(std::string("start function trapped: ") +
+                              wasm::trapKindName(outcome.trap));
+        }
+    }
+    return Status::ok();
+}
+
+CallOutcome
+Instance::call(uint32_t func_idx, const std::vector<wasm::Value>& args)
+{
+    const wasm::LoweredModule& lowered = module_->lowered();
+    const wasm::FuncType& type = lowered.module.funcType(func_idx);
+    assert(args.size() == type.params.size() &&
+           "argument count must match the signature");
+
+    CallOutcome outcome;
+    // Re-entrant calls (host function calling back into the instance)
+    // must not clobber the outer activation's depth accounting; a trap
+    // unwinds past interpreter decrements, so restore rather than reset.
+    uint32_t saved_depth = ctx_.callDepth;
+    wasm::Value* saved_top = ctx_.vstackTop;
+    ctx_.nativeStackLimit = threadStackLimit();
+    wasm::Value* frame = ctx_.vstackTop;
+    if (frame + type.params.size() > ctx_.vstackEnd) {
+        outcome.trap = wasm::TrapKind::stack_overflow;
+        return outcome;
+    }
+    for (size_t i = 0; i < args.size(); i++)
+        frame[i] = args[i];
+
+    outcome.trap = mem::TrapManager::protect([&] {
+        if (lowered.module.isImportedFunc(func_idx)) {
+            exec::lnbJitHostCall(&ctx_, frame, func_idx);
+        } else if (module_->jitCode() != nullptr) {
+            module_->jitCode()->entry(func_idx)(&ctx_, frame);
+        } else {
+            module_->interpFn()(&ctx_, lowered.funcByIndex(func_idx),
+                                frame);
+        }
+    });
+
+    ctx_.callDepth = saved_depth;
+    ctx_.vstackTop = saved_top;
+
+    if (outcome.ok()) {
+        for (size_t i = 0; i < type.results.size(); i++)
+            outcome.results.push_back(frame[i]);
+    }
+    return outcome;
+}
+
+CallOutcome
+Instance::callExport(const std::string& name,
+                     const std::vector<wasm::Value>& args)
+{
+    Result<uint32_t> func_idx = exportedFunc(name);
+    if (!func_idx.isOk()) {
+        CallOutcome outcome;
+        outcome.trap = wasm::TrapKind::host_error;
+        return outcome;
+    }
+    return call(func_idx.value(), args);
+}
+
+Result<uint32_t>
+Instance::exportedFunc(const std::string& name) const
+{
+    auto idx = module_->lowered().module.findExport(
+        name, wasm::ExternKind::func);
+    if (!idx.has_value())
+        return errInvalid("no exported function named " + name);
+    return *idx;
+}
+
+} // namespace lnb::rt

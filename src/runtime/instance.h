@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Instance: the per-tenant execution state for one CompiledModule — linear
+ * memory (with the engine's bounds strategy), globals, funcref table, host
+ * bindings and a value stack.
+ *
+ * Instances are cheap relative to compilation, which is what makes the
+ * paper's serverless scenario (§1/§7: "quickly scale up serverless
+ * instances for a single function") sensitive to the memory-creation and
+ * grow paths: one CompiledModule, many short-lived Instances on many
+ * threads.
+ *
+ * Threading model: a CompiledModule is immutable and thread-shareable; an
+ * Instance must be used by one thread at a time.
+ */
+#ifndef LNB_RUNTIME_INSTANCE_H
+#define LNB_RUNTIME_INSTANCE_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/engine.h"
+
+namespace lnb::rt {
+
+/** Host functions offered to a module's imports. */
+class ImportMap
+{
+  public:
+    struct Entry
+    {
+        std::string module;
+        std::string name;
+        wasm::FuncType type;
+        exec::HostFn fn = nullptr;
+        void* user = nullptr;
+    };
+
+    void
+    add(std::string module, std::string name, wasm::FuncType type,
+        exec::HostFn fn, void* user = nullptr)
+    {
+        entries_.push_back(
+            {std::move(module), std::move(name), std::move(type), fn, user});
+    }
+
+    const Entry* find(const std::string& module,
+                      const std::string& name) const;
+
+    const std::vector<Entry>& entries() const { return entries_; }
+
+  private:
+    std::vector<Entry> entries_;
+};
+
+/** Result of invoking a wasm function. */
+struct CallOutcome
+{
+    wasm::TrapKind trap = wasm::TrapKind::none;
+    std::vector<wasm::Value> results;
+
+    bool ok() const { return trap == wasm::TrapKind::none; }
+};
+
+class Instance
+{
+  public:
+    /**
+     * Instantiate @p module: allocate memory/table/globals, bind imports,
+     * apply element and data segments, and run the start function.
+     */
+    static Result<std::unique_ptr<Instance>>
+    create(std::shared_ptr<const CompiledModule> module,
+           ImportMap imports = {});
+
+    ~Instance();
+    Instance(const Instance&) = delete;
+    Instance& operator=(const Instance&) = delete;
+
+    /** Invoke any function by index (defined or imported). */
+    CallOutcome call(uint32_t func_idx,
+                     const std::vector<wasm::Value>& args);
+
+    /** Invoke an exported function by name. */
+    CallOutcome callExport(const std::string& name,
+                           const std::vector<wasm::Value>& args);
+
+    /** Index of a function export; error if absent. */
+    Result<uint32_t> exportedFunc(const std::string& name) const;
+
+    const CompiledModule& module() const { return *module_; }
+    exec::InstanceContext& context() { return ctx_; }
+    mem::LinearMemory* memory() { return memory_.get(); }
+
+    /** Runtime blocking events (paper Fig. 5 substitute). */
+    uint64_t blockingEvents() const { return ctx_.blockingEvents; }
+
+  private:
+    Instance() = default;
+    Status initialize(ImportMap imports);
+
+    std::shared_ptr<const CompiledModule> module_;
+    std::unique_ptr<mem::LinearMemory> memory_;
+    std::vector<wasm::Value> globals_;
+    std::vector<exec::TableEntry> table_;
+    std::vector<exec::HostFuncBinding> hostBindings_;
+    std::unique_ptr<wasm::Value[]> vstack_;
+    ImportMap imports_;
+    exec::InstanceContext ctx_;
+};
+
+} // namespace lnb::rt
+
+#endif // LNB_RUNTIME_INSTANCE_H

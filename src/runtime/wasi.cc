@@ -1,0 +1,232 @@
+#include "runtime/wasi.h"
+
+#include <unistd.h>
+
+#include <cstring>
+
+#include "support/clock.h"
+
+namespace lnb::rt {
+
+namespace {
+
+using exec::InstanceContext;
+using wasm::ValType;
+using wasm::Value;
+
+// WASI errno values.
+constexpr uint32_t kErrnoSuccess = 0;
+constexpr uint32_t kErrnoBadf = 8;
+constexpr uint32_t kErrnoInval = 28;
+
+/** Bounds-checked guest-memory read. */
+bool
+memRead(InstanceContext* ctx, uint32_t offset, void* dst, size_t len)
+{
+    if (uint64_t(offset) + len > ctx->memSize)
+        return false;
+    std::memcpy(dst, ctx->memBase + offset, len);
+    return true;
+}
+
+/** Bounds-checked guest-memory write. */
+bool
+memWrite(InstanceContext* ctx, uint32_t offset, const void* src, size_t len)
+{
+    if (uint64_t(offset) + len > ctx->memSize)
+        return false;
+    std::memcpy(ctx->memBase + offset, src, len);
+    return true;
+}
+
+void
+writeU32(InstanceContext* ctx, uint32_t offset, uint32_t value, bool& ok)
+{
+    ok = ok && memWrite(ctx, offset, &value, 4);
+}
+
+} // namespace
+
+/** Static host-function bodies; `user` is the owning Wasi object. */
+struct WasiCalls
+{
+    static Wasi& self(void* user) { return *static_cast<Wasi*>(user); }
+
+    static void
+    fdWrite(InstanceContext* ctx, Value* args, void* user)
+    {
+        Wasi& wasi = self(user);
+        uint32_t fd = args[0].i32;
+        uint32_t iovs = args[1].i32;
+        uint32_t iovs_len = args[2].i32;
+        uint32_t nwritten_ptr = args[3].i32;
+
+        if (fd != 1 && fd != 2) {
+            args[0] = Value::fromI32(kErrnoBadf);
+            return;
+        }
+        uint64_t total = 0;
+        for (uint32_t i = 0; i < iovs_len; i++) {
+            uint32_t entry[2]; // {buf_ptr, buf_len}
+            if (!memRead(ctx, iovs + i * 8, entry, 8)) {
+                args[0] = Value::fromI32(kErrnoInval);
+                return;
+            }
+            if (uint64_t(entry[0]) + entry[1] > ctx->memSize) {
+                args[0] = Value::fromI32(kErrnoInval);
+                return;
+            }
+            const char* data =
+                reinterpret_cast<const char*>(ctx->memBase + entry[0]);
+            if (wasi.options_.captureOutput) {
+                wasi.output_.append(data, entry[1]);
+            } else {
+                ssize_t unused = write(int(fd), data, entry[1]);
+                (void)unused;
+            }
+            total += entry[1];
+        }
+        bool ok = true;
+        writeU32(ctx, nwritten_ptr, uint32_t(total), ok);
+        args[0] = Value::fromI32(ok ? kErrnoSuccess : kErrnoInval);
+    }
+
+    static void
+    procExit(InstanceContext* ctx, Value* args, void* user)
+    {
+        self(user).exitCode_ = args[0].i32;
+        // WASI proc_exit does not return; surface it as a host trap the
+        // embedder inspects together with exitCode().
+        mem::TrapManager::raiseTrap(wasm::TrapKind::host_error);
+    }
+
+    static void
+    clockTimeGet(InstanceContext* ctx, Value* args, void* user)
+    {
+        uint32_t time_ptr = args[2].i32;
+        uint64_t nanos = monotonicNanos();
+        args[0] = Value::fromI32(
+            memWrite(ctx, time_ptr, &nanos, 8) ? kErrnoSuccess
+                                               : kErrnoInval);
+    }
+
+    static void
+    randomGet(InstanceContext* ctx, Value* args, void* user)
+    {
+        Wasi& wasi = self(user);
+        uint32_t buf = args[0].i32;
+        uint32_t len = args[1].i32;
+        if (uint64_t(buf) + len > ctx->memSize) {
+            args[0] = Value::fromI32(kErrnoInval);
+            return;
+        }
+        for (uint32_t i = 0; i < len; i++)
+            ctx->memBase[buf + i] = uint8_t(wasi.rng_.next());
+        args[0] = Value::fromI32(kErrnoSuccess);
+    }
+
+    static void
+    argsSizesGet(InstanceContext* ctx, Value* args, void* user)
+    {
+        Wasi& wasi = self(user);
+        uint32_t buf_size = 0;
+        for (const std::string& a : wasi.options_.args)
+            buf_size += uint32_t(a.size()) + 1;
+        bool ok = true;
+        writeU32(ctx, args[0].i32, uint32_t(wasi.options_.args.size()), ok);
+        writeU32(ctx, args[1].i32, buf_size, ok);
+        args[0] = Value::fromI32(ok ? kErrnoSuccess : kErrnoInval);
+    }
+
+    static void
+    argsGet(InstanceContext* ctx, Value* args, void* user)
+    {
+        Wasi& wasi = self(user);
+        uint32_t argv = args[0].i32;
+        uint32_t buf = args[1].i32;
+        bool ok = true;
+        for (size_t i = 0; i < wasi.options_.args.size(); i++) {
+            const std::string& a = wasi.options_.args[i];
+            writeU32(ctx, uint32_t(argv + 4 * i), buf, ok);
+            ok = ok && memWrite(ctx, buf, a.c_str(), a.size() + 1);
+            buf += uint32_t(a.size()) + 1;
+        }
+        args[0] = Value::fromI32(ok ? kErrnoSuccess : kErrnoInval);
+    }
+
+    static void
+    environSizesGet(InstanceContext* ctx, Value* args, void* user)
+    {
+        bool ok = true;
+        writeU32(ctx, args[0].i32, 0, ok);
+        writeU32(ctx, args[1].i32, 0, ok);
+        args[0] = Value::fromI32(ok ? kErrnoSuccess : kErrnoInval);
+    }
+
+    static void
+    environGet(InstanceContext* ctx, Value* args, void* user)
+    {
+        args[0] = Value::fromI32(kErrnoSuccess);
+    }
+
+    static void
+    fdClose(InstanceContext* ctx, Value* args, void* user)
+    {
+        args[0] = Value::fromI32(kErrnoBadf);
+    }
+
+    static void
+    fdSeek(InstanceContext* ctx, Value* args, void* user)
+    {
+        args[0] = Value::fromI32(kErrnoBadf);
+    }
+
+    static void
+    fdFdstatGet(InstanceContext* ctx, Value* args, void* user)
+    {
+        args[0] = Value::fromI32(kErrnoBadf);
+    }
+};
+
+Wasi::Wasi(Options options)
+    : options_(std::move(options)), rng_(options_.randomSeed)
+{}
+
+ImportMap
+Wasi::imports()
+{
+    using VT = ValType;
+    ImportMap map;
+    const std::string ns = "wasi_snapshot_preview1";
+    auto ft = [](std::vector<VT> params, std::vector<VT> results) {
+        return wasm::FuncType{std::move(params), std::move(results)};
+    };
+
+    map.add(ns, "fd_write",
+            ft({VT::i32, VT::i32, VT::i32, VT::i32}, {VT::i32}),
+            &WasiCalls::fdWrite, this);
+    map.add(ns, "proc_exit", ft({VT::i32}, {}), &WasiCalls::procExit, this);
+    map.add(ns, "clock_time_get",
+            ft({VT::i32, VT::i64, VT::i32}, {VT::i32}),
+            &WasiCalls::clockTimeGet, this);
+    map.add(ns, "random_get", ft({VT::i32, VT::i32}, {VT::i32}),
+            &WasiCalls::randomGet, this);
+    map.add(ns, "args_sizes_get", ft({VT::i32, VT::i32}, {VT::i32}),
+            &WasiCalls::argsSizesGet, this);
+    map.add(ns, "args_get", ft({VT::i32, VT::i32}, {VT::i32}),
+            &WasiCalls::argsGet, this);
+    map.add(ns, "environ_sizes_get", ft({VT::i32, VT::i32}, {VT::i32}),
+            &WasiCalls::environSizesGet, this);
+    map.add(ns, "environ_get", ft({VT::i32, VT::i32}, {VT::i32}),
+            &WasiCalls::environGet, this);
+    map.add(ns, "fd_close", ft({VT::i32}, {VT::i32}), &WasiCalls::fdClose,
+            this);
+    map.add(ns, "fd_seek",
+            ft({VT::i32, VT::i64, VT::i32, VT::i32}, {VT::i32}),
+            &WasiCalls::fdSeek, this);
+    map.add(ns, "fd_fdstat_get", ft({VT::i32, VT::i32}, {VT::i32}),
+            &WasiCalls::fdFdstatGet, this);
+    return map;
+}
+
+} // namespace lnb::rt

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * WASI-lite: the subset of wasi_snapshot_preview1 the workloads need,
+ * implemented as host functions (paper §3.2: all evaluated runtimes target
+ * WASI rather than a browser API).
+ *
+ * Implemented: fd_write (stdout/stderr, optionally captured), proc_exit,
+ * clock_time_get, random_get (deterministic), the args/environ queries and
+ * benign fd stubs. Enough to run the kernel suite and the examples.
+ */
+#ifndef LNB_RUNTIME_WASI_H
+#define LNB_RUNTIME_WASI_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runtime/instance.h"
+#include "support/rng.h"
+
+namespace lnb::rt {
+
+/** One WASI "process" context. Bind one Wasi per Instance. */
+struct WasiOptions
+{
+    std::vector<std::string> args;
+    /** Buffer fd 1/2 writes instead of forwarding to the host. */
+    bool captureOutput = false;
+    /** Seed for random_get (deterministic by design). */
+    uint64_t randomSeed = 0x1ea5b0421dull;
+};
+
+/** One WASI "process" context. Bind one Wasi per Instance. */
+class Wasi
+{
+  public:
+    using Options = WasiOptions;
+
+    explicit Wasi(Options options = Options());
+
+    /** Import bindings for wasi_snapshot_preview1. The Wasi object must
+     * outlive any Instance using them. */
+    ImportMap imports();
+
+    /** Captured fd1/fd2 bytes (captureOutput mode). */
+    const std::string& capturedOutput() const { return output_; }
+
+    /** Exit code recorded by proc_exit, if the module called it. */
+    std::optional<uint32_t> exitCode() const { return exitCode_; }
+
+  private:
+    friend struct WasiCalls;
+    Options options_;
+    std::string output_;
+    std::optional<uint32_t> exitCode_;
+    Rng rng_;
+};
+
+} // namespace lnb::rt
+
+#endif // LNB_RUNTIME_WASI_H

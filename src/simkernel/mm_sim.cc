@@ -1,0 +1,280 @@
+#include "simkernel/mm_sim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <vector>
+
+namespace lnb::simk {
+
+namespace {
+
+using mem::BoundsStrategy;
+
+/**
+ * Phases of one benchmark iteration. The event loop executes ONE phase
+ * per scheduling decision, so lock acquisitions interleave across threads
+ * in global-time order (executing whole iterations atomically would let
+ * one thread's later ops jump the queue ahead of another's earlier ops).
+ */
+enum class Phase : uint8_t {
+    setup,    ///< fresh-arena map (lock) when unpooled or first use
+    arm,      ///< strategy-specific pre-compute work
+    compute,  ///< the benchmark body (local)
+    teardown, ///< strategy-specific post-compute work
+};
+
+/** Per-virtual-thread simulation state. */
+struct SimThread
+{
+    int id = 0;
+    double now = 0; ///< this thread's local clock (ns)
+    Phase phase = Phase::setup;
+    int iterationsDone = 0;
+    double busyNs = 0; ///< real CPU time credited (undilated)
+    double waitNs = 0;
+    uint64_t arenaBase = 0;
+    bool arenaMapped = false;
+    bool arenaPopulated = false;
+};
+
+/** The single exclusive mmap lock of the simulated process. */
+struct SimLock
+{
+    double freeAt = 0;
+    uint64_t acquisitions = 0;
+    uint64_t contended = 0;
+};
+
+class Simulation
+{
+  public:
+    explicit Simulation(const SimConfig& config) : cfg_(config)
+    {
+        dilation_ = std::max(
+            1.0, double(cfg_.numThreads) / double(cfg_.numCpus));
+    }
+
+    SimResult run();
+
+  private:
+    double
+    vmaOpCost(const VmaOpStats& stats, bool tlb_shootdown) const
+    {
+        const MmCostModel& c = cfg_.costs;
+        double ns = c.syscallEntryNs;
+        ns += double(stats.vmasVisited + stats.splits + stats.merges) *
+              c.vmaOpNs;
+        ns += double(stats.pagesAffected) * c.perPageNs;
+        if (tlb_shootdown) {
+            int active = std::min(cfg_.numThreads, cfg_.numCpus);
+            ns += double(std::max(0, active - 1)) *
+                  c.tlbShootdownPerCpuNs;
+        }
+        return ns;
+    }
+
+    /** Serialized operation under the mmap lock. */
+    void
+    lockedOp(SimThread& thread, double hold_ns)
+    {
+        lock_.acquisitions++;
+        double start = thread.now;
+        if (lock_.freeAt > thread.now) {
+            double wait = lock_.freeAt - thread.now;
+            thread.waitNs += wait;
+            lock_.contended++;
+            // Blocking on a kernel rwsem deschedules and rewakes: two
+            // context switches.
+            contextSwitches_ += 2;
+            start = lock_.freeAt;
+        }
+        lock_.freeAt = start + hold_ns;
+        thread.busyNs += hold_ns;
+        thread.now = start + hold_ns;
+    }
+
+    /** Unserialized work. @p dilates marks CPU-bound phases that slow
+     * down under oversubscription (wall dilates, CPU credit does not). */
+    void
+    localWork(SimThread& thread, double ns, bool dilates = false)
+    {
+        double wall = dilates ? ns * dilation_ : ns;
+        thread.busyNs += ns;
+        thread.now += wall;
+    }
+
+    /** Execute the thread's next phase; returns false when the thread has
+     * finished all its iterations. */
+    bool step(SimThread& thread);
+
+    SimConfig cfg_;
+    double dilation_ = 1.0;
+    VmaTree vmas_;
+    SimLock lock_;
+    uint64_t contextSwitches_ = 0;
+    uint64_t faultsHandled_ = 0;
+    uint64_t nextArena_ = 0x100000000ull;
+};
+
+bool
+Simulation::step(SimThread& thread)
+{
+    const uint64_t arena_bytes = cfg_.arenaPages * VmaTree::kPage;
+    const MmCostModel& c = cfg_.costs;
+
+    switch (thread.phase) {
+      case Phase::setup: {
+        bool fresh_arena = !cfg_.poolArenas || !thread.arenaMapped;
+        if (fresh_arena) {
+            if (thread.arenaMapped) {
+                VmaOpStats st = vmas_.unmap(thread.arenaBase, arena_bytes);
+                lockedOp(thread, vmaOpCost(st, true));
+            }
+            thread.arenaBase = nextArena_;
+            nextArena_ += arena_bytes + VmaTree::kPage;
+            VmaOpStats st =
+                vmas_.map(thread.arenaBase, arena_bytes, prot_none);
+            lockedOp(thread, vmaOpCost(st, false));
+            thread.arenaMapped = true;
+            thread.arenaPopulated = false;
+        }
+        thread.phase = Phase::arm;
+        return true;
+      }
+
+      case Phase::arm: {
+        switch (cfg_.strategy) {
+          case BoundsStrategy::mprotect: {
+            // Arm the arena read-write for this tenant.
+            VmaOpStats st =
+                vmas_.protect(thread.arenaBase, arena_bytes, prot_rw);
+            lockedOp(thread, vmaOpCost(st, false));
+            break;
+          }
+          case BoundsStrategy::uffd: {
+            // Grow path: one atomic bounds-word store, no syscall; first
+            // touch of each page faults, resolved with page-granular
+            // state only — no process-wide lock, so it stays on this
+            // thread's clock.
+            localWork(thread, c.atomicOpNs);
+            if (!thread.arenaPopulated) {
+                localWork(thread,
+                          double(cfg_.arenaPages) *
+                              (c.faultEntryNs + c.perPageNs),
+                          /*dilates=*/true);
+                faultsHandled_ += cfg_.arenaPages;
+                thread.arenaPopulated = true;
+            }
+            break;
+          }
+          case BoundsStrategy::none:
+          case BoundsStrategy::clamp:
+          case BoundsStrategy::trap: {
+            // One protection arm on first use; nothing per iteration.
+            if (!thread.arenaPopulated) {
+                VmaOpStats st =
+                    vmas_.protect(thread.arenaBase, arena_bytes, prot_rw);
+                lockedOp(thread, vmaOpCost(st, false));
+                thread.arenaPopulated = true;
+            }
+            break;
+          }
+        }
+        thread.phase = Phase::compute;
+        return true;
+      }
+
+      case Phase::compute:
+        localWork(thread, cfg_.computeNsPerIteration, /*dilates=*/true);
+        thread.phase = Phase::teardown;
+        return true;
+
+      case Phase::teardown: {
+        if (cfg_.strategy == BoundsStrategy::mprotect) {
+            // Revoke access between tenants; invalidating mappings other
+            // CPUs may have cached requires a TLB shootdown round.
+            VmaOpStats st =
+                vmas_.protect(thread.arenaBase, arena_bytes, prot_none);
+            lockedOp(thread, vmaOpCost(st, true));
+        } else if (cfg_.strategy == BoundsStrategy::uffd) {
+            localWork(thread, c.atomicOpNs); // reset the bounds word
+        }
+        if (!cfg_.poolArenas) {
+            VmaOpStats st = vmas_.unmap(thread.arenaBase, arena_bytes);
+            lockedOp(thread, vmaOpCost(st, true));
+            thread.arenaMapped = false;
+        }
+        thread.iterationsDone++;
+        thread.phase = Phase::setup;
+        return thread.iterationsDone < cfg_.iterations;
+      }
+    }
+    return false;
+}
+
+SimResult
+Simulation::run()
+{
+    std::vector<SimThread> threads(size_t(cfg_.numThreads));
+    for (int i = 0; i < cfg_.numThreads; i++)
+        threads[size_t(i)].id = i;
+
+    // Event loop: always advance the thread with the smallest local
+    // clock, so serialized operations happen in global time order.
+    auto cmp = [&](int a, int b) {
+        return threads[size_t(a)].now > threads[size_t(b)].now;
+    };
+    std::priority_queue<int, std::vector<int>, decltype(cmp)> queue(cmp);
+    for (int i = 0; i < cfg_.numThreads; i++)
+        queue.push(i);
+
+    while (!queue.empty()) {
+        int id = queue.top();
+        queue.pop();
+        if (step(threads[size_t(id)]))
+            queue.push(id);
+    }
+
+    SimResult result;
+    double wall_ns = 0, busy_ns = 0, wait_ns = 0;
+    for (const SimThread& thread : threads) {
+        wall_ns = std::max(wall_ns, thread.now);
+        busy_ns += thread.busyNs;
+        wait_ns += thread.waitNs;
+    }
+    if (cfg_.numThreads > cfg_.numCpus) {
+        // Oversubscribed threads context-switch at quantum boundaries
+        // (1 ms quantum).
+        contextSwitches_ +=
+            uint64_t(wall_ns / 1e6) * uint64_t(cfg_.numThreads);
+    }
+
+    result.wallSeconds = wall_ns * 1e-9;
+    result.throughputPerSec =
+        double(cfg_.numThreads) * double(cfg_.iterations) /
+        std::max(result.wallSeconds, 1e-12);
+    result.cpuUtilizationPercent =
+        std::min(100.0 * busy_ns / std::max(wall_ns, 1.0),
+                 100.0 * cfg_.numCpus);
+    result.contextSwitches = contextSwitches_;
+    result.contextSwitchesPerSec =
+        double(contextSwitches_) / std::max(result.wallSeconds, 1e-12);
+    result.lockWaitFraction = wait_ns / std::max(busy_ns + wait_ns, 1.0);
+    result.mmapLockAcquisitions = lock_.acquisitions;
+    result.contendedAcquisitions = lock_.contended;
+    result.pageFaultsHandled = faultsHandled_;
+    return result;
+}
+
+} // namespace
+
+SimResult
+simulateContention(const SimConfig& config)
+{
+    assert(config.numThreads > 0 && config.iterations > 0);
+    Simulation sim(config);
+    return sim.run();
+}
+
+} // namespace lnb::simk

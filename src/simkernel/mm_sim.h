@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Discrete-event simulation of multithreaded WebAssembly instance churn
+ * against the modelled kernel memory-management subsystem.
+ *
+ * The paper's Figures 3-5 show that the default mprotect-based bounds
+ * checking scales poorly to 16 threads because every resize serializes on
+ * the process's exclusive mmap lock (plus TLB shootdown IPIs), while the
+ * userfaultfd scheme's grow path is an atomic bounds-word update and its
+ * faults take only per-page state. The evaluation host here has 2 cores,
+ * so this module reproduces those figures by simulation: N virtual worker
+ * threads repeatedly run a compute phase and the per-iteration memory
+ * lifecycle of their strategy; the VMA work is executed for real on the
+ * VmaTree model and converted to simulated nanoseconds by the cost model;
+ * the mmap lock is a simulated FIFO resource.
+ *
+ * This is DESIGN.md substitution 5; the cost model defaults are calibrated
+ * from syscall microbenchmarks on the host (see bench/micro_bounds).
+ */
+#ifndef LNB_SIMKERNEL_MM_SIM_H
+#define LNB_SIMKERNEL_MM_SIM_H
+
+#include <cstdint>
+
+#include "mem/linear_memory.h"
+#include "simkernel/vma_model.h"
+
+namespace lnb::simk {
+
+/** Simulated costs of kernel memory-management work. */
+struct MmCostModel
+{
+    double syscallEntryNs = 350;  ///< user->kernel->user transition
+    double vmaOpNs = 120;         ///< per VMA visit/split/merge
+    double perPageNs = 1.5;       ///< per PTE updated
+    double tlbShootdownPerCpuNs = 1000; ///< IPI round trip per other CPU
+    double faultEntryNs = 1800;   ///< page fault + handler + resume
+    double atomicOpNs = 20;       ///< uncontended atomic RMW
+};
+
+/** One simulated workload configuration. */
+struct SimConfig
+{
+    int numThreads = 1;
+    int numCpus = 16;
+    int iterations = 2000;
+    /** Pure-compute time of one benchmark iteration (ns). PolyBench-MEDIUM
+     * style short tasks are ~hundreds of microseconds. */
+    double computeNsPerIteration = 200000;
+    /** Pages the iteration's instance touches/grows. */
+    uint64_t arenaPages = 64;
+    mem::BoundsStrategy strategy = mem::BoundsStrategy::mprotect;
+    /**
+     * Reuse arenas across iterations (the paper's userspace fix: a hazard
+     * pointer-style arena pool). With pooling, the mprotect strategy still
+     * needs two protection flips per tenant reset, while uffd resets are
+     * an atomic bounds-word store.
+     */
+    bool poolArenas = true;
+    MmCostModel costs;
+};
+
+/** Aggregate results of one simulation run. */
+struct SimResult
+{
+    double wallSeconds = 0;
+    double throughputPerSec = 0;
+    /** Total CPU utilization, 100% = one fully busy core (paper Fig. 4). */
+    double cpuUtilizationPercent = 0;
+    uint64_t contextSwitches = 0;
+    double contextSwitchesPerSec = 0;
+    /** Fraction of total thread time spent blocked on the mmap lock. */
+    double lockWaitFraction = 0;
+    uint64_t mmapLockAcquisitions = 0;
+    uint64_t contendedAcquisitions = 0;
+    uint64_t pageFaultsHandled = 0;
+};
+
+/** Run the simulation; deterministic for a given config. */
+SimResult simulateContention(const SimConfig& config);
+
+} // namespace lnb::simk
+
+#endif // LNB_SIMKERNEL_MM_SIM_H

@@ -1,0 +1,52 @@
+#include "support/clock.h"
+
+#include <ctime>
+
+namespace lnb {
+
+namespace {
+
+uint64_t
+clockNanos(clockid_t id)
+{
+    timespec ts{};
+    clock_gettime(id, &ts);
+    return uint64_t(ts.tv_sec) * 1000000000ull + uint64_t(ts.tv_nsec);
+}
+
+} // namespace
+
+uint64_t
+monotonicNanos()
+{
+    return clockNanos(CLOCK_MONOTONIC);
+}
+
+uint64_t
+threadCpuNanos()
+{
+    return clockNanos(CLOCK_THREAD_CPUTIME_ID);
+}
+
+uint64_t
+processCpuNanos()
+{
+    return clockNanos(CLOCK_PROCESS_CPUTIME_ID);
+}
+
+double
+monotonicSeconds()
+{
+    return double(monotonicNanos()) * 1e-9;
+}
+
+void
+sleepNanos(uint64_t nanos)
+{
+    timespec req{};
+    req.tv_sec = time_t(nanos / 1000000000ull);
+    req.tv_nsec = long(nanos % 1000000000ull);
+    nanosleep(&req, nullptr);
+}
+
+} // namespace lnb

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Time sources used by the harness: wall clock for reported execution times,
+ * per-thread CPU clock for utilization accounting (the paper's /proc/stat
+ * quantity, computed portably — see DESIGN.md substitution 7).
+ */
+#ifndef LNB_SUPPORT_CLOCK_H
+#define LNB_SUPPORT_CLOCK_H
+
+#include <cstdint>
+
+namespace lnb {
+
+/** Monotonic wall-clock time in nanoseconds. */
+uint64_t monotonicNanos();
+
+/** CPU time consumed by the calling thread, in nanoseconds. */
+uint64_t threadCpuNanos();
+
+/** CPU time consumed by the whole process, in nanoseconds. */
+uint64_t processCpuNanos();
+
+/** Wall-clock seconds since an arbitrary epoch (monotonic). */
+double monotonicSeconds();
+
+/** Sleep the calling thread for approximately @p nanos nanoseconds. */
+void sleepNanos(uint64_t nanos);
+
+/**
+ * Scoped stopwatch: records monotonic elapsed time into @p sink_seconds on
+ * destruction. Handy for timing setup phases.
+ */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(double& sink_seconds)
+        : sink_(sink_seconds), start_(monotonicNanos())
+    {}
+    ~ScopedTimer() { sink_ = double(monotonicNanos() - start_) * 1e-9; }
+
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  private:
+    double& sink_;
+    uint64_t start_;
+};
+
+} // namespace lnb
+
+#endif // LNB_SUPPORT_CLOCK_H

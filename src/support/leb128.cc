@@ -1,0 +1,241 @@
+#include "support/leb128.h"
+
+#include <cstring>
+
+namespace lnb {
+
+Result<uint8_t>
+ByteReader::readByte()
+{
+    if (pos_ >= size_)
+        return errMalformed("unexpected end of input reading byte");
+    return data_[pos_++];
+}
+
+Result<uint8_t>
+ByteReader::peekByte() const
+{
+    if (pos_ >= size_)
+        return errMalformed("unexpected end of input peeking byte");
+    return data_[pos_];
+}
+
+Result<const uint8_t*>
+ByteReader::readBytes(size_t n)
+{
+    if (remaining() < n)
+        return errMalformed("unexpected end of input reading bytes");
+    const uint8_t* p = data_ + pos_;
+    pos_ += n;
+    return p;
+}
+
+Status
+ByteReader::skip(size_t n)
+{
+    if (remaining() < n)
+        return errMalformed("unexpected end of input skipping bytes");
+    pos_ += n;
+    return Status::ok();
+}
+
+Status
+ByteReader::seek(size_t pos)
+{
+    if (pos > size_)
+        return errInternal("seek out of range");
+    pos_ = pos;
+    return Status::ok();
+}
+
+Result<uint32_t>
+ByteReader::readVarU32()
+{
+    uint32_t result = 0;
+    for (int shift = 0; shift < 35; shift += 7) {
+        LNB_ASSIGN_OR_RETURN(uint8_t b, readByte());
+        if (shift == 28 && (b & 0x70) != 0)
+            return errMalformed("varu32 overflow");
+        result |= uint32_t(b & 0x7f) << shift;
+        if ((b & 0x80) == 0)
+            return result;
+    }
+    return errMalformed("varu32 too long");
+}
+
+Result<uint64_t>
+ByteReader::readVarU64()
+{
+    uint64_t result = 0;
+    for (int shift = 0; shift < 70; shift += 7) {
+        LNB_ASSIGN_OR_RETURN(uint8_t b, readByte());
+        if (shift == 63 && (b & 0x7e) != 0)
+            return errMalformed("varu64 overflow");
+        result |= uint64_t(b & 0x7f) << shift;
+        if ((b & 0x80) == 0)
+            return result;
+    }
+    return errMalformed("varu64 too long");
+}
+
+Result<int32_t>
+ByteReader::readVarS32()
+{
+    int64_t result = 0;
+    int shift = 0;
+    while (shift < 35) {
+        LNB_ASSIGN_OR_RETURN(uint8_t b, readByte());
+        result |= int64_t(b & 0x7f) << shift;
+        shift += 7;
+        if ((b & 0x80) == 0) {
+            if (shift < 64 && (b & 0x40))
+                result |= -(int64_t(1) << shift); // sign extend
+            if (result < INT32_MIN || result > INT32_MAX)
+                return errMalformed("vars32 out of range");
+            return int32_t(result);
+        }
+    }
+    return errMalformed("vars32 too long");
+}
+
+Result<int64_t>
+ByteReader::readVarS64()
+{
+    uint64_t result = 0;
+    int shift = 0;
+    while (shift < 70) {
+        LNB_ASSIGN_OR_RETURN(uint8_t b, readByte());
+        // Final (10th) byte carries only bit 63 plus sign bits.
+        if (shift == 63) {
+            // valid final bytes: 0x00 (positive) or 0x7f (negative)
+            if (b != 0x00 && b != 0x7f)
+                return errMalformed("vars64 overflow");
+        }
+        result |= uint64_t(b & 0x7f) << shift;
+        shift += 7;
+        if ((b & 0x80) == 0) {
+            if (shift < 64 && (b & 0x40))
+                result |= ~uint64_t(0) << shift; // sign extend
+            return int64_t(result);
+        }
+    }
+    return errMalformed("vars64 too long");
+}
+
+Result<float>
+ByteReader::readF32()
+{
+    LNB_ASSIGN_OR_RETURN(const uint8_t* p, readBytes(4));
+    uint32_t bits;
+    std::memcpy(&bits, p, 4);
+    float f;
+    std::memcpy(&f, &bits, 4);
+    return f;
+}
+
+Result<double>
+ByteReader::readF64()
+{
+    LNB_ASSIGN_OR_RETURN(const uint8_t* p, readBytes(8));
+    uint64_t bits;
+    std::memcpy(&bits, p, 8);
+    double d;
+    std::memcpy(&d, &bits, 8);
+    return d;
+}
+
+void
+ByteWriter::writeVarU32(uint32_t value)
+{
+    do {
+        uint8_t b = value & 0x7f;
+        value >>= 7;
+        if (value != 0)
+            b |= 0x80;
+        buf_.push_back(b);
+    } while (value != 0);
+}
+
+void
+ByteWriter::writeVarU64(uint64_t value)
+{
+    do {
+        uint8_t b = value & 0x7f;
+        value >>= 7;
+        if (value != 0)
+            b |= 0x80;
+        buf_.push_back(b);
+    } while (value != 0);
+}
+
+void
+ByteWriter::writeVarS32(int32_t value)
+{
+    bool more = true;
+    while (more) {
+        uint8_t b = value & 0x7f;
+        value >>= 7; // arithmetic shift
+        more = !((value == 0 && (b & 0x40) == 0) ||
+                 (value == -1 && (b & 0x40) != 0));
+        if (more)
+            b |= 0x80;
+        buf_.push_back(b);
+    }
+}
+
+void
+ByteWriter::writeVarS64(int64_t value)
+{
+    bool more = true;
+    while (more) {
+        uint8_t b = value & 0x7f;
+        value >>= 7;
+        more = !((value == 0 && (b & 0x40) == 0) ||
+                 (value == -1 && (b & 0x40) != 0));
+        if (more)
+            b |= 0x80;
+        buf_.push_back(b);
+    }
+}
+
+void
+ByteWriter::writeF32(float value)
+{
+    uint32_t bits;
+    std::memcpy(&bits, &value, 4);
+    for (int i = 0; i < 4; i++)
+        buf_.push_back(uint8_t(bits >> (8 * i)));
+}
+
+void
+ByteWriter::writeF64(double value)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &value, 8);
+    for (int i = 0; i < 8; i++)
+        buf_.push_back(uint8_t(bits >> (8 * i)));
+}
+
+size_t
+ByteWriter::reservePaddedVarU32()
+{
+    size_t at = buf_.size();
+    for (int i = 0; i < 5; i++)
+        buf_.push_back(0x80); // placeholder continuation bytes
+    buf_[at + 4] = 0x00;
+    return at;
+}
+
+void
+ByteWriter::patchPaddedVarU32(size_t at, uint32_t value)
+{
+    for (int i = 0; i < 5; i++) {
+        uint8_t b = value & 0x7f;
+        value >>= 7;
+        if (i != 4)
+            b |= 0x80;
+        buf_[at + i] = b;
+    }
+}
+
+} // namespace lnb

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * LEB128 variable-length integer encoding, as used by the WebAssembly binary
+ * format (unsigned for sizes/indices, signed for integer literals).
+ */
+#ifndef LNB_SUPPORT_LEB128_H
+#define LNB_SUPPORT_LEB128_H
+
+#include <cstdint>
+#include <vector>
+
+#include "support/status.h"
+
+namespace lnb {
+
+/**
+ * A bounded byte cursor. Decoding primitives consume from the front and fail
+ * with StatusCode::malformed instead of reading past the end.
+ */
+class ByteReader
+{
+  public:
+    ByteReader(const uint8_t* data, size_t size)
+        : data_(data), size_(size)
+    {}
+    explicit ByteReader(const std::vector<uint8_t>& bytes)
+        : data_(bytes.data()), size_(bytes.size())
+    {}
+
+    size_t pos() const { return pos_; }
+    size_t remaining() const { return size_ - pos_; }
+    bool atEnd() const { return pos_ == size_; }
+
+    /** Read a single byte. */
+    Result<uint8_t> readByte();
+    /** Peek the next byte without consuming it. */
+    Result<uint8_t> peekByte() const;
+    /** Consume @p n raw bytes, returning a pointer into the buffer. */
+    Result<const uint8_t*> readBytes(size_t n);
+    /** Skip @p n bytes. */
+    Status skip(size_t n);
+
+    /** Unsigned LEB128, at most 32 significant bits. */
+    Result<uint32_t> readVarU32();
+    /** Unsigned LEB128, at most 64 significant bits. */
+    Result<uint64_t> readVarU64();
+    /** Signed LEB128, at most 33 bits (wasm i32 literal encoding). */
+    Result<int32_t> readVarS32();
+    /** Signed LEB128, at most 64 bits. */
+    Result<int64_t> readVarS64();
+    /** Little-endian IEEE-754 single. */
+    Result<float> readF32();
+    /** Little-endian IEEE-754 double. */
+    Result<double> readF64();
+
+    /** Reposition the cursor (used by section-skipping). */
+    Status seek(size_t pos);
+
+  private:
+    const uint8_t* data_;
+    size_t size_;
+    size_t pos_ = 0;
+};
+
+/** Append-only byte sink used by the encoder and the module builder. */
+class ByteWriter
+{
+  public:
+    const std::vector<uint8_t>& bytes() const { return buf_; }
+    std::vector<uint8_t> takeBytes() { return std::move(buf_); }
+    size_t size() const { return buf_.size(); }
+
+    void writeByte(uint8_t b) { buf_.push_back(b); }
+    void writeBytes(const uint8_t* data, size_t n)
+    {
+        buf_.insert(buf_.end(), data, data + n);
+    }
+    void writeVarU32(uint32_t value);
+    void writeVarU64(uint64_t value);
+    void writeVarS32(int32_t value);
+    void writeVarS64(int64_t value);
+    void writeF32(float value);
+    void writeF64(double value);
+
+    /**
+     * Overwrite a previously reserved 5-byte padded LEB32 slot at @p at.
+     * Used for section size back-patching without buffer shifting.
+     */
+    void patchPaddedVarU32(size_t at, uint32_t value);
+    /** Reserve a 5-byte padded LEB32 slot and return its offset. */
+    size_t reservePaddedVarU32();
+
+  private:
+    std::vector<uint8_t> buf_;
+};
+
+} // namespace lnb
+
+#endif // LNB_SUPPORT_LEB128_H

@@ -1,0 +1,51 @@
+#include "support/log.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace lnb {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::warn};
+
+const char*
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::debug: return "DEBUG";
+      case LogLevel::info: return "INFO";
+      case LogLevel::warn: return "WARN";
+      case LogLevel::error: return "ERROR";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel
+logLevel()
+{
+    return g_level.load(std::memory_order_relaxed);
+}
+
+void
+logf(LogLevel level, const char* fmt, ...)
+{
+    if (level < g_level.load(std::memory_order_relaxed))
+        return;
+    char buf[1024];
+    va_list ap;
+    va_start(ap, fmt);
+    vsnprintf(buf, sizeof buf, fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "[lnb %s] %s\n", levelName(level), buf);
+}
+
+} // namespace lnb

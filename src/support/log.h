@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Minimal leveled logging. Benchmarks print their own structured output;
+ * logging is for diagnostics (backend fallbacks, signal setup, etc.).
+ */
+#ifndef LNB_SUPPORT_LOG_H
+#define LNB_SUPPORT_LOG_H
+
+#include <cstdarg>
+
+namespace lnb {
+
+enum class LogLevel { debug = 0, info = 1, warn = 2, error = 3 };
+
+/** Set the minimum level that will be printed (default: warn). */
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/** printf-style log statement to stderr. */
+void logf(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+} // namespace lnb
+
+#define LNB_DEBUG(...) ::lnb::logf(::lnb::LogLevel::debug, __VA_ARGS__)
+#define LNB_INFO(...) ::lnb::logf(::lnb::LogLevel::info, __VA_ARGS__)
+#define LNB_WARN(...) ::lnb::logf(::lnb::LogLevel::warn, __VA_ARGS__)
+#define LNB_ERROR(...) ::lnb::logf(::lnb::LogLevel::error, __VA_ARGS__)
+
+#endif // LNB_SUPPORT_LOG_H

@@ -1,0 +1,82 @@
+#include "support/rng.h"
+
+#include <cassert>
+
+namespace lnb {
+
+namespace {
+
+uint64_t
+splitmix64(uint64_t& state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+void
+Rng::reseed(uint64_t seed)
+{
+    for (auto& s : s_)
+        s = splitmix64(seed);
+}
+
+uint64_t
+Rng::next()
+{
+    uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::nextBelow(uint64_t bound)
+{
+    assert(bound > 0);
+    // Lemire's multiply-shift rejection method.
+    uint64_t x = next();
+    __uint128_t m = __uint128_t(x) * __uint128_t(bound);
+    uint64_t lo = uint64_t(m);
+    if (lo < bound) {
+        uint64_t threshold = (0 - bound) % bound;
+        while (lo < threshold) {
+            x = next();
+            m = __uint128_t(x) * __uint128_t(bound);
+            lo = uint64_t(m);
+        }
+    }
+    return uint64_t(m >> 64);
+}
+
+int64_t
+Rng::nextInRange(int64_t lo, int64_t hi)
+{
+    assert(lo <= hi);
+    uint64_t span = uint64_t(hi) - uint64_t(lo) + 1;
+    if (span == 0) // full 64-bit range
+        return int64_t(next());
+    return int64_t(uint64_t(lo) + nextBelow(span));
+}
+
+double
+Rng::nextDouble()
+{
+    return double(next() >> 11) * 0x1.0p-53;
+}
+
+} // namespace lnb

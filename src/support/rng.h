@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (splitmix64 + xoshiro256**)
+ * for workload generation and differential fuzzing. Determinism matters:
+ * every test and benchmark must be reproducible from a printed seed.
+ */
+#ifndef LNB_SUPPORT_RNG_H
+#define LNB_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace lnb {
+
+/** xoshiro256** seeded via splitmix64; not cryptographic. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x1ea5b0421dull) { reseed(seed); }
+
+    void reseed(uint64_t seed);
+
+    /** Uniform 64-bit value. */
+    uint64_t next();
+
+    /** Uniform value in [0, bound) via Lemire's method; bound > 0. */
+    uint64_t nextBelow(uint64_t bound);
+
+    /** Uniform value in [lo, hi] inclusive. */
+    int64_t nextInRange(int64_t lo, int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli trial with probability @p p. */
+    bool chance(double p) { return nextDouble() < p; }
+
+  private:
+    uint64_t s_[4];
+};
+
+} // namespace lnb
+
+#endif // LNB_SUPPORT_RNG_H

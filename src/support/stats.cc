@@ -1,0 +1,122 @@
+#include "support/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace lnb {
+
+void
+RunningStats::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    n_++;
+    double delta = x - mean_;
+    mean_ += delta / double(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStats::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / double(n_ - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+median(std::vector<double> samples)
+{
+    if (samples.empty())
+        return 0.0;
+    size_t mid = samples.size() / 2;
+    std::nth_element(samples.begin(), samples.begin() + mid, samples.end());
+    double hi = samples[mid];
+    if (samples.size() % 2 == 1)
+        return hi;
+    double lo = *std::max_element(samples.begin(), samples.begin() + mid);
+    return (lo + hi) / 2.0;
+}
+
+double
+percentile(std::vector<double> samples, double p)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    if (samples.size() == 1)
+        return samples[0];
+    double rank = (p / 100.0) * double(samples.size() - 1);
+    size_t lo = size_t(rank);
+    size_t hi = std::min(lo + 1, samples.size() - 1);
+    double frac = rank - double(lo);
+    return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+double
+geomean(const std::vector<double>& values)
+{
+    if (values.empty())
+        return 1.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        assert(v > 0.0 && "geomean requires positive values");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / double(values.size()));
+}
+
+double
+geomeanOfRatios(const std::vector<double>& numerators,
+                const std::vector<double>& denominators)
+{
+    assert(numerators.size() == denominators.size());
+    std::vector<double> ratios;
+    ratios.reserve(numerators.size());
+    for (size_t i = 0; i < numerators.size(); i++) {
+        assert(denominators[i] > 0.0);
+        ratios.push_back(numerators[i] / denominators[i]);
+    }
+    return geomean(ratios);
+}
+
+std::string
+asciiBar(double value, double max_value, int width)
+{
+    if (max_value <= 0.0)
+        max_value = 1.0;
+    int fill = int(std::lround((value / max_value) * width));
+    fill = std::clamp(fill, 0, width);
+    std::string bar(fill, '#');
+    bar.append(size_t(width - fill), ' ');
+    return bar;
+}
+
+std::string
+formatSeconds(double seconds)
+{
+    char buf[64];
+    if (seconds < 1e-6)
+        std::snprintf(buf, sizeof buf, "%.1f ns", seconds * 1e9);
+    else if (seconds < 1e-3)
+        std::snprintf(buf, sizeof buf, "%.2f us", seconds * 1e6);
+    else if (seconds < 1.0)
+        std::snprintf(buf, sizeof buf, "%.2f ms", seconds * 1e3);
+    else
+        std::snprintf(buf, sizeof buf, "%.3f s", seconds);
+    return buf;
+}
+
+} // namespace lnb

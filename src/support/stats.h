@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Statistics helpers for the benchmark harness.
+ *
+ * The paper summarizes benchmark suites as the geometric mean of
+ * per-benchmark ratios of execution-time medians against the native-Clang
+ * baseline, following Fleming & Wallace, "How not to lie with statistics"
+ * (CACM 1986). These helpers implement exactly that pipeline.
+ */
+#ifndef LNB_SUPPORT_STATS_H
+#define LNB_SUPPORT_STATS_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace lnb {
+
+/** Running mean/variance accumulator (Welford's algorithm). */
+class RunningStats
+{
+  public:
+    void add(double x);
+    size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    /** Sample variance (n-1 denominator); 0 for fewer than two samples. */
+    double variance() const;
+    double stddev() const;
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+  private:
+    size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Median of a sample (copies and partially sorts; empty input -> 0). */
+double median(std::vector<double> samples);
+
+/** p-th percentile (0..100) by linear interpolation; empty input -> 0. */
+double percentile(std::vector<double> samples, double p);
+
+/** Geometric mean; all inputs must be positive (asserts). Empty -> 1. */
+double geomean(const std::vector<double>& values);
+
+/**
+ * Geometric mean of elementwise ratios numerators[i] / denominators[i].
+ * This is the paper's suite-level summary statistic.
+ */
+double geomeanOfRatios(const std::vector<double>& numerators,
+                       const std::vector<double>& denominators);
+
+/** Simple textual histogram for terminal reports. */
+std::string asciiBar(double value, double max_value, int width = 40);
+
+/** Format seconds with an adaptive unit (ns/us/ms/s). */
+std::string formatSeconds(double seconds);
+
+} // namespace lnb
+
+#endif // LNB_SUPPORT_STATS_H

@@ -1,0 +1,44 @@
+#include "support/status.h"
+
+namespace lnb {
+
+const char*
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::ok: return "ok";
+      case StatusCode::invalid_argument: return "invalid_argument";
+      case StatusCode::malformed: return "malformed";
+      case StatusCode::validation_failed: return "validation_failed";
+      case StatusCode::unsupported: return "unsupported";
+      case StatusCode::resource_exhausted: return "resource_exhausted";
+      case StatusCode::internal: return "internal";
+    }
+    return "unknown";
+}
+
+std::string
+Status::toString() const
+{
+    if (isOk())
+        return "ok";
+    std::string out = statusCodeName(code_);
+    out += ": ";
+    out += message_;
+    return out;
+}
+
+Status errMalformed(std::string m)
+{ return {StatusCode::malformed, std::move(m)}; }
+Status errValidation(std::string m)
+{ return {StatusCode::validation_failed, std::move(m)}; }
+Status errUnsupported(std::string m)
+{ return {StatusCode::unsupported, std::move(m)}; }
+Status errInvalid(std::string m)
+{ return {StatusCode::invalid_argument, std::move(m)}; }
+Status errResource(std::string m)
+{ return {StatusCode::resource_exhausted, std::move(m)}; }
+Status errInternal(std::string m)
+{ return {StatusCode::internal, std::move(m)}; }
+
+} // namespace lnb

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Lightweight error propagation used throughout leapsnbounds.
+ *
+ * The library does not use exceptions for anticipated failures (malformed
+ * modules, validation errors, resource exhaustion): those travel as Status /
+ * Result<T> values, following the Core Guidelines advice to make error paths
+ * explicit in interfaces. Programming errors still use assert/abort.
+ */
+#ifndef LNB_SUPPORT_STATUS_H
+#define LNB_SUPPORT_STATUS_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace lnb {
+
+/** Broad classification of a failure, for programmatic dispatch. */
+enum class StatusCode {
+    ok,
+    invalid_argument,   ///< caller passed something nonsensical
+    malformed,          ///< byte-level decoding failure
+    validation_failed,  ///< module is well-formed but ill-typed
+    unsupported,        ///< feature outside the implemented subset
+    resource_exhausted, ///< OS refused memory / fd / thread
+    internal,           ///< our bug; should never be user-visible
+};
+
+/** Human-readable name of a StatusCode. */
+const char* statusCodeName(StatusCode code);
+
+/**
+ * An ok-or-error value. Cheap to move; the message is only allocated on the
+ * error path.
+ */
+class Status
+{
+  public:
+    /** Construct an ok status. */
+    Status() = default;
+
+    /** Construct an error status with a classification and message. */
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {
+        assert(code != StatusCode::ok && "error status requires error code");
+    }
+
+    static Status ok() { return {}; }
+
+    bool isOk() const { return code_ == StatusCode::ok; }
+    explicit operator bool() const { return isOk(); }
+
+    StatusCode code() const { return code_; }
+    const std::string& message() const { return message_; }
+
+    /** Render as "code: message" for logs and test failures. */
+    std::string toString() const;
+
+  private:
+    StatusCode code_ = StatusCode::ok;
+    std::string message_;
+};
+
+/** A value of type T or a Status describing why there is no value. */
+template <typename T>
+class Result
+{
+  public:
+    /* implicit */ Result(T value) : value_(std::move(value)) {}
+    /* implicit */ Result(Status status) : status_(std::move(status))
+    {
+        assert(!status_.isOk() && "Result error path requires error status");
+    }
+
+    bool isOk() const { return value_.has_value(); }
+    explicit operator bool() const { return isOk(); }
+
+    const Status& status() const { return status_; }
+
+    T& value()
+    {
+        assert(isOk());
+        return *value_;
+    }
+    const T& value() const
+    {
+        assert(isOk());
+        return *value_;
+    }
+
+    T&& takeValue()
+    {
+        assert(isOk());
+        return std::move(*value_);
+    }
+
+    T valueOr(T fallback) const
+    {
+        return isOk() ? *value_ : std::move(fallback);
+    }
+
+  private:
+    std::optional<T> value_;
+    Status status_;
+};
+
+/** Convenience factories mirroring absl-style helpers. */
+Status errMalformed(std::string message);
+Status errValidation(std::string message);
+Status errUnsupported(std::string message);
+Status errInvalid(std::string message);
+Status errResource(std::string message);
+Status errInternal(std::string message);
+
+} // namespace lnb
+
+/**
+ * Propagate an error Status from an expression producing a Status.
+ * Usage: LNB_RETURN_IF_ERROR(doThing());
+ */
+#define LNB_RETURN_IF_ERROR(expr)                                            \
+    do {                                                                     \
+        ::lnb::Status lnb_status_ = (expr);                                  \
+        if (!lnb_status_.isOk())                                             \
+            return lnb_status_;                                              \
+    } while (0)
+
+/**
+ * Bind a Result<T>'s value to a local or propagate its error.
+ * Usage: LNB_ASSIGN_OR_RETURN(auto mod, decode(bytes));
+ */
+#define LNB_ASSIGN_OR_RETURN(decl, expr)                                     \
+    LNB_ASSIGN_OR_RETURN_IMPL_(LNB_CONCAT_(lnb_res_, __LINE__), decl, expr)
+#define LNB_ASSIGN_OR_RETURN_IMPL_(tmp, decl, expr)                          \
+    auto tmp = (expr);                                                       \
+    if (!tmp.isOk())                                                         \
+        return tmp.status();                                                 \
+    decl = tmp.takeValue()
+#define LNB_CONCAT_(a, b) LNB_CONCAT2_(a, b)
+#define LNB_CONCAT2_(a, b) a##b
+
+#endif // LNB_SUPPORT_STATUS_H

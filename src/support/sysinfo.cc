@@ -1,0 +1,115 @@
+#include "support/sysinfo.h"
+
+#include <sched.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace lnb {
+
+int
+onlineCpuCount()
+{
+    long n = sysconf(_SC_NPROCESSORS_ONLN);
+    return n > 0 ? int(n) : 1;
+}
+
+bool
+pinThreadToCpu(int cpu)
+{
+    int ncpus = onlineCpuCount();
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(unsigned(cpu % ncpus), &set);
+    return sched_setaffinity(0, sizeof set, &set) == 0;
+}
+
+ProcStatSample
+readProcStat()
+{
+    ProcStatSample sample;
+    std::ifstream f("/proc/stat");
+    std::string line;
+    if (!std::getline(f, line))
+        return sample;
+    // cpu  user nice system idle iowait irq softirq steal guest guest_nice
+    uint64_t v[10] = {};
+    int n = std::sscanf(line.c_str(),
+                        "cpu %lu %lu %lu %lu %lu %lu %lu %lu %lu %lu",
+                        &v[0], &v[1], &v[2], &v[3], &v[4], &v[5], &v[6],
+                        &v[7], &v[8], &v[9]);
+    if (n < 4)
+        return sample;
+    sample.user = v[0] + v[1];
+    sample.system = v[2];
+    sample.irq = v[5] + v[6];
+    sample.idle = v[3] + v[4];
+    sample.live = sample.total() != 0;
+    return sample;
+}
+
+std::optional<uint64_t>
+readContextSwitches()
+{
+    std::ifstream f("/proc/stat");
+    std::string line;
+    while (std::getline(f, line)) {
+        if (line.rfind("ctxt ", 0) == 0) {
+            uint64_t v = 0;
+            if (std::sscanf(line.c_str(), "ctxt %lu", &v) == 1 && v != 0)
+                return v;
+            return std::nullopt; // present but zeroed (sandbox)
+        }
+    }
+    return std::nullopt;
+}
+
+uint64_t
+readOwnRssBytes()
+{
+    std::ifstream f("/proc/self/status");
+    std::string line;
+    while (std::getline(f, line)) {
+        if (line.rfind("VmRSS:", 0) == 0) {
+            uint64_t kb = 0;
+            if (std::sscanf(line.c_str(), "VmRSS: %lu kB", &kb) == 1)
+                return kb * 1024;
+        }
+    }
+    return 0;
+}
+
+std::optional<uint64_t>
+readSystemMemoryUsedBytes()
+{
+    std::ifstream f("/proc/meminfo");
+    std::string line;
+    uint64_t total_kb = 0, avail_kb = 0;
+    while (std::getline(f, line)) {
+        std::sscanf(line.c_str(), "MemTotal: %lu kB", &total_kb);
+        std::sscanf(line.c_str(), "MemAvailable: %lu kB", &avail_kb);
+    }
+    if (total_kb == 0)
+        return std::nullopt;
+    return (total_kb - avail_kb) * 1024;
+}
+
+std::string
+cpuModelName()
+{
+    std::ifstream f("/proc/cpuinfo");
+    std::string line;
+    while (std::getline(f, line)) {
+        if (line.rfind("model name", 0) == 0) {
+            size_t colon = line.find(':');
+            if (colon != std::string::npos)
+                return line.substr(colon + 2);
+        }
+    }
+    return "unknown-cpu";
+}
+
+} // namespace lnb

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * System information and /proc-based samplers with graceful degradation.
+ *
+ * The paper reads /proc/stat for CPU utilization and context switches and
+ * /proc/meminfo for memory usage. Under sandboxed kernels (gVisor) those are
+ * zeroed, so each sampler advertises whether its source is live and the
+ * harness falls back to portable per-thread accounting (DESIGN.md sub. 7).
+ */
+#ifndef LNB_SUPPORT_SYSINFO_H
+#define LNB_SUPPORT_SYSINFO_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace lnb {
+
+/** Number of logical CPUs available to this process. */
+int onlineCpuCount();
+
+/** Pin the calling thread to logical CPU @p cpu (modulo available CPUs). */
+bool pinThreadToCpu(int cpu);
+
+/** Aggregate CPU jiffies from /proc/stat (us+ni, sys, hi+si, idle). */
+struct ProcStatSample
+{
+    uint64_t user = 0;
+    uint64_t system = 0;
+    uint64_t irq = 0;
+    uint64_t idle = 0;
+    /** True if the kernel actually reported nonzero counters. */
+    bool live = false;
+
+    uint64_t busy() const { return user + system + irq; }
+    uint64_t total() const { return busy() + idle; }
+};
+
+/** Read /proc/stat's aggregate cpu line; `live` is false if zeroed. */
+ProcStatSample readProcStat();
+
+/** Context switch counter from /proc/stat (`ctxt`), if the kernel keeps it. */
+std::optional<uint64_t> readContextSwitches();
+
+/** Resident set size of this process in bytes (VmRSS). */
+uint64_t readOwnRssBytes();
+
+/** MemTotal - MemAvailable from /proc/meminfo, in bytes (paper Fig. 6). */
+std::optional<uint64_t> readSystemMemoryUsedBytes();
+
+/** One-line CPU model description, best effort. */
+std::string cpuModelName();
+
+} // namespace lnb
+
+#endif // LNB_SUPPORT_SYSINFO_H

@@ -1,0 +1,205 @@
+#include "wasm/builder.h"
+
+#include <algorithm>
+
+namespace lnb::wasm {
+
+uint32_t
+FunctionBuilder::addLocal(ValType type)
+{
+    locals_.push_back(type);
+    return numParams_ + uint32_t(locals_.size()) - 1;
+}
+
+FunctionBuilder::BlockHandle
+FunctionBuilder::block(uint8_t block_type)
+{
+    code_.push_back(Instr::withA(Op::block, block_type));
+    openBlocks_.push_back(nextBlockId_);
+    return {nextBlockId_++};
+}
+
+FunctionBuilder::BlockHandle
+FunctionBuilder::loop(uint8_t block_type)
+{
+    code_.push_back(Instr::withA(Op::loop, block_type));
+    openBlocks_.push_back(nextBlockId_);
+    return {nextBlockId_++};
+}
+
+FunctionBuilder::BlockHandle
+FunctionBuilder::ifElse(uint8_t block_type)
+{
+    code_.push_back(Instr::withA(Op::if_, block_type));
+    openBlocks_.push_back(nextBlockId_);
+    return {nextBlockId_++};
+}
+
+void
+FunctionBuilder::elseBranch()
+{
+    assert(!openBlocks_.empty() && "else outside of if");
+    code_.push_back(Instr::simple(Op::else_));
+}
+
+void
+FunctionBuilder::end()
+{
+    assert(!openBlocks_.empty() && "end without open block");
+    openBlocks_.pop_back();
+    code_.push_back(Instr::simple(Op::end));
+}
+
+uint32_t
+FunctionBuilder::depthOf(BlockHandle handle) const
+{
+    auto it = std::find_if(openBlocks_.rbegin(), openBlocks_.rend(),
+                           [&](uint32_t id) { return id == handle.id; });
+    assert(it != openBlocks_.rend() && "branch target block is not open");
+    return uint32_t(it - openBlocks_.rbegin());
+}
+
+void
+FunctionBuilder::brTable(const std::vector<BlockHandle>& cases,
+                         BlockHandle def)
+{
+    Instr instr;
+    instr.op = Op::br_table;
+    instr.a = uint32_t(brTablePool_.size());
+    instr.b = uint32_t(cases.size());
+    for (BlockHandle h : cases)
+        brTablePool_.push_back(depthOf(h));
+    brTablePool_.push_back(depthOf(def));
+    code_.push_back(instr);
+}
+
+uint32_t
+FunctionBuilder::finish()
+{
+    assert(!finished_ && "finish called twice");
+    assert(openBlocks_.empty() && "unclosed blocks at finish");
+    code_.push_back(Instr::simple(Op::end));
+    finished_ = true;
+
+    uint32_t defined_idx = funcIdx_ - parent_->module_.numImportedFuncs();
+    FuncBody& body = parent_->module_.bodies[defined_idx];
+    body.locals = std::move(locals_);
+    body.code = std::move(code_);
+    body.brTablePool = std::move(brTablePool_);
+    return funcIdx_;
+}
+
+uint32_t
+ModuleBuilder::addType(FuncType type)
+{
+    for (uint32_t i = 0; i < module_.types.size(); i++) {
+        if (module_.types[i] == type)
+            return i;
+    }
+    module_.types.push_back(std::move(type));
+    return uint32_t(module_.types.size()) - 1;
+}
+
+uint32_t
+ModuleBuilder::addImport(std::string module, std::string name,
+                         uint32_t type_idx)
+{
+    assert(!sawDefinedFunc_ && "imports must precede defined functions");
+    assert(type_idx < module_.types.size());
+    Import imp;
+    imp.module = std::move(module);
+    imp.name = std::move(name);
+    imp.typeIdx = type_idx;
+    module_.imports.push_back(std::move(imp));
+    return module_.numImportedFuncs() - 1;
+}
+
+FunctionBuilder&
+ModuleBuilder::addFunction(uint32_t type_idx)
+{
+    assert(type_idx < module_.types.size());
+    sawDefinedFunc_ = true;
+    uint32_t func_idx = module_.numTotalFuncs();
+    module_.functions.push_back(type_idx);
+    module_.bodies.emplace_back();
+    uint32_t num_params = uint32_t(module_.types[type_idx].params.size());
+    pending_.emplace_back(
+        new FunctionBuilder(this, func_idx, num_params));
+    return *pending_.back();
+}
+
+void
+ModuleBuilder::addMemory(uint32_t min_pages, uint32_t max_pages)
+{
+    assert(module_.memories.empty() && "at most one memory");
+    module_.memories.push_back(Limits{min_pages, max_pages});
+}
+
+void
+ModuleBuilder::addTable(uint32_t min_elems, uint32_t max_elems)
+{
+    assert(module_.tables.empty() && "at most one table");
+    module_.tables.push_back(Limits{min_elems, max_elems});
+}
+
+void
+ModuleBuilder::addElem(uint32_t offset, std::vector<uint32_t> funcs)
+{
+    ElemSegment seg;
+    seg.offset = Instr::constI32(offset);
+    seg.funcs = std::move(funcs);
+    module_.elems.push_back(std::move(seg));
+}
+
+void
+ModuleBuilder::addData(uint32_t offset, std::vector<uint8_t> bytes)
+{
+    DataSegment seg;
+    seg.offset = Instr::constI32(offset);
+    seg.bytes = std::move(bytes);
+    module_.datas.push_back(std::move(seg));
+}
+
+uint32_t
+ModuleBuilder::addGlobal(ValType type, bool is_mutable, Instr init)
+{
+    GlobalDef g;
+    g.type = type;
+    g.isMutable = is_mutable;
+    g.init = init;
+    module_.globals.push_back(g);
+    return uint32_t(module_.globals.size()) - 1;
+}
+
+void
+ModuleBuilder::exportFunc(const std::string& name, uint32_t func_idx)
+{
+    module_.exports.push_back(Export{name, ExternKind::func, func_idx});
+}
+
+void
+ModuleBuilder::exportMemory(const std::string& name)
+{
+    assert(!module_.memories.empty());
+    module_.exports.push_back(Export{name, ExternKind::memory, 0});
+}
+
+void
+ModuleBuilder::exportGlobal(const std::string& name, uint32_t global_idx)
+{
+    module_.exports.push_back(Export{name, ExternKind::global, global_idx});
+}
+
+Module
+ModuleBuilder::build()
+{
+    for ([[maybe_unused]] const auto& fb : pending_)
+        assert(fb->finished_ && "unfinished function at build()");
+    pending_.clear();
+    sawDefinedFunc_ = false;
+    Module out = std::move(module_);
+    module_ = Module{};
+    return out;
+}
+
+} // namespace lnb::wasm

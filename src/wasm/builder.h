@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Programmatic module construction.
+ *
+ * leapsnbounds has no C-to-WebAssembly compiler available offline, so the
+ * workloads (src/kernels) are emitted directly as modules through this
+ * builder (DESIGN.md substitution 2). The builder produces the same
+ * in-memory Module the decoder produces, so built modules flow through the
+ * encoder/decoder/validator pipeline like any other module.
+ */
+#ifndef LNB_WASM_BUILDER_H
+#define LNB_WASM_BUILDER_H
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "wasm/module.h"
+
+namespace lnb::wasm {
+
+class ModuleBuilder;
+
+/**
+ * Emits the body of one function. Obtained from ModuleBuilder::addFunction;
+ * instructions append in program order. Structured-control helpers return
+ * BlockHandles so branch depths are computed for you.
+ */
+class FunctionBuilder
+{
+  public:
+    /** Opaque reference to an open block/loop/if for branch targeting. */
+    struct BlockHandle
+    {
+        uint32_t id;
+    };
+
+    /** Add a non-parameter local; returns its local index. */
+    uint32_t addLocal(ValType type);
+
+    // ----- raw emission -----
+    void emit(Op op) { code_.push_back(Instr::simple(op)); }
+    void emit(const Instr& instr) { code_.push_back(instr); }
+
+    // ----- constants -----
+    void i32Const(int32_t v) { code_.push_back(Instr::constI32(uint32_t(v))); }
+    void i64Const(int64_t v) { code_.push_back(Instr::constI64(uint64_t(v))); }
+    void f32Const(float v) { code_.push_back(Instr::constF32(v)); }
+    void f64Const(double v) { code_.push_back(Instr::constF64(v)); }
+
+    // ----- variables -----
+    void localGet(uint32_t idx) { code_.push_back(Instr::withA(Op::local_get, idx)); }
+    void localSet(uint32_t idx) { code_.push_back(Instr::withA(Op::local_set, idx)); }
+    void localTee(uint32_t idx) { code_.push_back(Instr::withA(Op::local_tee, idx)); }
+    void globalGet(uint32_t idx) { code_.push_back(Instr::withA(Op::global_get, idx)); }
+    void globalSet(uint32_t idx) { code_.push_back(Instr::withA(Op::global_set, idx)); }
+
+    // ----- memory -----
+    /** Emit a load/store with byte @p offset and natural alignment. */
+    void memOp(Op op, uint32_t offset = 0)
+    {
+        code_.push_back(
+            Instr::withAB(op, memNaturalAlignExp(op), offset));
+    }
+    void memorySize() { emit(Op::memory_size); }
+    void memoryGrow() { emit(Op::memory_grow); }
+    void memoryCopy() { emit(Op::memory_copy); }
+    void memoryFill() { emit(Op::memory_fill); }
+
+    // ----- structured control -----
+    BlockHandle block(uint8_t block_type = kBlockTypeEmpty);
+    BlockHandle block(ValType result) { return block(valTypeCode(result)); }
+    BlockHandle loop(uint8_t block_type = kBlockTypeEmpty);
+    BlockHandle ifElse(uint8_t block_type = kBlockTypeEmpty);
+    BlockHandle ifElse(ValType result) { return ifElse(valTypeCode(result)); }
+    void elseBranch();
+    /** Close the innermost open block/loop/if. */
+    void end();
+
+    /** Branch depth of @p handle from the current nesting level. */
+    uint32_t depthOf(BlockHandle handle) const;
+    void br(BlockHandle h) { code_.push_back(Instr::withA(Op::br, depthOf(h))); }
+    void brIf(BlockHandle h)
+    {
+        code_.push_back(Instr::withA(Op::br_if, depthOf(h)));
+    }
+    /** Raw-depth variants for decoder-style use. */
+    void brDepth(uint32_t d) { code_.push_back(Instr::withA(Op::br, d)); }
+    void brIfDepth(uint32_t d) { code_.push_back(Instr::withA(Op::br_if, d)); }
+    void brTable(const std::vector<BlockHandle>& cases, BlockHandle def);
+
+    // ----- calls -----
+    void call(uint32_t func_idx)
+    {
+        code_.push_back(Instr::withA(Op::call, func_idx));
+    }
+    void callIndirect(uint32_t type_idx)
+    {
+        code_.push_back(Instr::withAB(Op::call_indirect, type_idx, 0));
+    }
+    void ret() { emit(Op::return_); }
+
+    // ----- misc -----
+    void drop() { emit(Op::drop); }
+    void select() { emit(Op::select); }
+    void unreachable() { emit(Op::unreachable); }
+    void nop() { emit(Op::nop); }
+
+    /**
+     * Finish the body: emits the terminal `end` (closing the function
+     * scope) and returns the index of this function. All opened blocks
+     * must have been closed.
+     */
+    uint32_t finish();
+
+  private:
+    friend class ModuleBuilder;
+    FunctionBuilder(ModuleBuilder* parent, uint32_t func_idx,
+                    uint32_t num_params)
+        : parent_(parent), funcIdx_(func_idx), numParams_(num_params)
+    {}
+
+    ModuleBuilder* parent_;
+    uint32_t funcIdx_;
+    uint32_t numParams_;
+    std::vector<ValType> locals_;
+    std::vector<Instr> code_;
+    std::vector<uint32_t> brTablePool_;
+    /** Stack of open block ids, innermost last. */
+    std::vector<uint32_t> openBlocks_;
+    uint32_t nextBlockId_ = 0;
+    bool finished_ = false;
+};
+
+/**
+ * Builds a complete Module. Imports must be added before the first defined
+ * function; everything else can be added in any order.
+ */
+class ModuleBuilder
+{
+  public:
+    ModuleBuilder() = default;
+
+    /** Intern a function type, deduplicating. */
+    uint32_t addType(FuncType type);
+    uint32_t addType(std::vector<ValType> params, std::vector<ValType> results)
+    {
+        return addType(FuncType{std::move(params), std::move(results)});
+    }
+
+    /** Import a function; returns its function index. */
+    uint32_t addImport(std::string module, std::string name,
+                       uint32_t type_idx);
+
+    /**
+     * Begin a defined function of the given type; returns a body builder.
+     * The builder stays valid until finish() is called on it.
+     */
+    FunctionBuilder& addFunction(uint32_t type_idx);
+
+    /** Declare the module's linear memory (at most one). */
+    void addMemory(uint32_t min_pages, uint32_t max_pages = UINT32_MAX);
+
+    /** Declare a funcref table (at most one). */
+    void addTable(uint32_t min_elems, uint32_t max_elems = UINT32_MAX);
+
+    /** Add an element segment at @p offset. */
+    void addElem(uint32_t offset, std::vector<uint32_t> funcs);
+
+    /** Add a data segment at @p offset. */
+    void addData(uint32_t offset, std::vector<uint8_t> bytes);
+
+    /** Add a global; returns its index. */
+    uint32_t addGlobal(ValType type, bool is_mutable, Instr init);
+
+    void exportFunc(const std::string& name, uint32_t func_idx);
+    void exportMemory(const std::string& name);
+    void exportGlobal(const std::string& name, uint32_t global_idx);
+
+    void setStart(uint32_t func_idx) { module_.start = func_idx; }
+
+    uint32_t numFuncs() const { return module_.numTotalFuncs(); }
+
+    /**
+     * Take the finished module. All FunctionBuilders must have been
+     * finished. The builder is left empty.
+     */
+    Module build();
+
+  private:
+    friend class FunctionBuilder;
+
+    Module module_;
+    std::vector<std::unique_ptr<FunctionBuilder>> pending_;
+    bool sawDefinedFunc_ = false;
+};
+
+} // namespace lnb::wasm
+
+#endif // LNB_WASM_BUILDER_H

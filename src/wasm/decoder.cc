@@ -1,0 +1,477 @@
+#include "wasm/decoder.h"
+
+#include <cstring>
+
+#include "support/leb128.h"
+
+namespace lnb::wasm {
+
+namespace {
+
+constexpr uint8_t kFuncRefType = 0x70;
+constexpr uint8_t kFuncTypeTag = 0x60;
+
+class Decoder
+{
+  public:
+    Decoder(const uint8_t* data, size_t size) : r_(data, size) {}
+
+    Result<Module> decode();
+
+  private:
+    Status decodeTypeSection();
+    Status decodeImportSection();
+    Status decodeFunctionSection();
+    Status decodeTableSection();
+    Status decodeMemorySection();
+    Status decodeGlobalSection();
+    Status decodeExportSection();
+    Status decodeStartSection();
+    Status decodeElementSection();
+    Status decodeCodeSection();
+    Status decodeDataSection();
+
+    Result<ValType> readValType();
+    Result<Limits> readLimits();
+    Result<std::string> readName();
+    Result<Instr> readInitExpr();
+    /** Decode one instruction into @p body (appends to code / pool). */
+    Status readInstr(FuncBody& body);
+
+    ByteReader r_;
+    Module m_;
+};
+
+Result<ValType>
+Decoder::readValType()
+{
+    LNB_ASSIGN_OR_RETURN(uint8_t code, r_.readByte());
+    ValType t;
+    if (!valTypeFromCode(code, t))
+        return errMalformed("invalid value type byte");
+    return t;
+}
+
+Result<Limits>
+Decoder::readLimits()
+{
+    LNB_ASSIGN_OR_RETURN(uint8_t flags, r_.readByte());
+    Limits limits;
+    if (flags > 1)
+        return errMalformed("invalid limits flags");
+    LNB_ASSIGN_OR_RETURN(limits.min, r_.readVarU32());
+    if (flags == 1) {
+        LNB_ASSIGN_OR_RETURN(limits.max, r_.readVarU32());
+        if (limits.max < limits.min)
+            return errMalformed("limits maximum below minimum");
+    }
+    return limits;
+}
+
+Result<std::string>
+Decoder::readName()
+{
+    LNB_ASSIGN_OR_RETURN(uint32_t len, r_.readVarU32());
+    LNB_ASSIGN_OR_RETURN(const uint8_t* p, r_.readBytes(len));
+    return std::string(reinterpret_cast<const char*>(p), len);
+}
+
+Result<Instr>
+Decoder::readInitExpr()
+{
+    LNB_ASSIGN_OR_RETURN(uint8_t opbyte, r_.readByte());
+    Op op;
+    if (!opFromEncoding(opbyte, op))
+        return errMalformed("unsupported init expression opcode");
+    Instr instr;
+    instr.op = op;
+    switch (op) {
+      case Op::i32_const: {
+        LNB_ASSIGN_OR_RETURN(int32_t v, r_.readVarS32());
+        instr.imm = uint32_t(v);
+        break;
+      }
+      case Op::i64_const: {
+        LNB_ASSIGN_OR_RETURN(int64_t v, r_.readVarS64());
+        instr.imm = uint64_t(v);
+        break;
+      }
+      case Op::f32_const: {
+        LNB_ASSIGN_OR_RETURN(float v, r_.readF32());
+        instr = Instr::constF32(v);
+        break;
+      }
+      case Op::f64_const: {
+        LNB_ASSIGN_OR_RETURN(double v, r_.readF64());
+        instr = Instr::constF64(v);
+        break;
+      }
+      default:
+        return errUnsupported("init expressions must be constants");
+    }
+    LNB_ASSIGN_OR_RETURN(uint8_t end, r_.readByte());
+    if (end != 0x0B)
+        return errMalformed("init expression missing end");
+    return instr;
+}
+
+Status
+Decoder::readInstr(FuncBody& body)
+{
+    LNB_ASSIGN_OR_RETURN(uint8_t first, r_.readByte());
+    uint32_t encoding = first;
+    if (first == 0xFC) {
+        LNB_ASSIGN_OR_RETURN(uint32_t sub, r_.readVarU32());
+        if (sub > 0xFF)
+            return errMalformed("0xFC sub-opcode out of range");
+        encoding = 0xFC00 | sub;
+    }
+    Op op;
+    if (!opFromEncoding(encoding, op))
+        return errUnsupported("unknown or unimplemented opcode");
+
+    Instr instr;
+    instr.op = op;
+    switch (opInfo(op).imm) {
+      case ImmKind::none:
+        break;
+      case ImmKind::block_type: {
+        LNB_ASSIGN_OR_RETURN(uint8_t bt, r_.readByte());
+        ValType ignored;
+        if (bt != kBlockTypeEmpty && !valTypeFromCode(bt, ignored))
+            return errUnsupported("multi-value block types not supported");
+        instr.a = bt;
+        break;
+      }
+      case ImmKind::label: {
+        LNB_ASSIGN_OR_RETURN(instr.a, r_.readVarU32());
+        break;
+      }
+      case ImmKind::label_table: {
+        LNB_ASSIGN_OR_RETURN(uint32_t count, r_.readVarU32());
+        if (count > 1u << 20)
+            return errMalformed("br_table too large");
+        instr.a = uint32_t(body.brTablePool.size());
+        instr.b = count;
+        for (uint32_t i = 0; i <= count; i++) { // cases + default
+            LNB_ASSIGN_OR_RETURN(uint32_t depth, r_.readVarU32());
+            body.brTablePool.push_back(depth);
+        }
+        break;
+      }
+      case ImmKind::func_idx:
+      case ImmKind::local_idx:
+      case ImmKind::global_idx: {
+        LNB_ASSIGN_OR_RETURN(instr.a, r_.readVarU32());
+        break;
+      }
+      case ImmKind::call_indirect: {
+        LNB_ASSIGN_OR_RETURN(instr.a, r_.readVarU32());
+        LNB_ASSIGN_OR_RETURN(uint8_t table, r_.readByte());
+        if (table != 0)
+            return errUnsupported("multiple tables not supported");
+        instr.b = table;
+        break;
+      }
+      case ImmKind::mem_arg: {
+        LNB_ASSIGN_OR_RETURN(instr.a, r_.readVarU32());
+        LNB_ASSIGN_OR_RETURN(instr.b, r_.readVarU32());
+        break;
+      }
+      case ImmKind::mem_idx: {
+        LNB_ASSIGN_OR_RETURN(uint8_t mem, r_.readByte());
+        if (mem != 0)
+            return errMalformed("nonzero memory index");
+        break;
+      }
+      case ImmKind::mem_copy: {
+        LNB_ASSIGN_OR_RETURN(uint8_t dst, r_.readByte());
+        LNB_ASSIGN_OR_RETURN(uint8_t src, r_.readByte());
+        if (dst != 0 || src != 0)
+            return errMalformed("nonzero memory index");
+        break;
+      }
+      case ImmKind::const_i32: {
+        LNB_ASSIGN_OR_RETURN(int32_t v, r_.readVarS32());
+        instr.imm = uint32_t(v);
+        break;
+      }
+      case ImmKind::const_i64: {
+        LNB_ASSIGN_OR_RETURN(int64_t v, r_.readVarS64());
+        instr.imm = uint64_t(v);
+        break;
+      }
+      case ImmKind::const_f32: {
+        LNB_ASSIGN_OR_RETURN(float v, r_.readF32());
+        instr = Instr::constF32(v);
+        break;
+      }
+      case ImmKind::const_f64: {
+        LNB_ASSIGN_OR_RETURN(double v, r_.readF64());
+        instr = Instr::constF64(v);
+        break;
+      }
+    }
+    body.code.push_back(instr);
+    return Status::ok();
+}
+
+Status
+Decoder::decodeTypeSection()
+{
+    LNB_ASSIGN_OR_RETURN(uint32_t count, r_.readVarU32());
+    for (uint32_t i = 0; i < count; i++) {
+        LNB_ASSIGN_OR_RETURN(uint8_t tag, r_.readByte());
+        if (tag != kFuncTypeTag)
+            return errMalformed("expected function type tag 0x60");
+        FuncType t;
+        LNB_ASSIGN_OR_RETURN(uint32_t nparams, r_.readVarU32());
+        for (uint32_t j = 0; j < nparams; j++) {
+            LNB_ASSIGN_OR_RETURN(ValType v, readValType());
+            t.params.push_back(v);
+        }
+        LNB_ASSIGN_OR_RETURN(uint32_t nresults, r_.readVarU32());
+        if (nresults > 1)
+            return errUnsupported("multi-value results not supported");
+        for (uint32_t j = 0; j < nresults; j++) {
+            LNB_ASSIGN_OR_RETURN(ValType v, readValType());
+            t.results.push_back(v);
+        }
+        m_.types.push_back(std::move(t));
+    }
+    return Status::ok();
+}
+
+Status
+Decoder::decodeImportSection()
+{
+    LNB_ASSIGN_OR_RETURN(uint32_t count, r_.readVarU32());
+    for (uint32_t i = 0; i < count; i++) {
+        Import imp;
+        LNB_ASSIGN_OR_RETURN(imp.module, readName());
+        LNB_ASSIGN_OR_RETURN(imp.name, readName());
+        LNB_ASSIGN_OR_RETURN(uint8_t kind, r_.readByte());
+        if (kind != uint8_t(ExternKind::func))
+            return errUnsupported("only function imports are supported");
+        LNB_ASSIGN_OR_RETURN(imp.typeIdx, r_.readVarU32());
+        m_.imports.push_back(std::move(imp));
+    }
+    return Status::ok();
+}
+
+Status
+Decoder::decodeFunctionSection()
+{
+    LNB_ASSIGN_OR_RETURN(uint32_t count, r_.readVarU32());
+    for (uint32_t i = 0; i < count; i++) {
+        LNB_ASSIGN_OR_RETURN(uint32_t type_idx, r_.readVarU32());
+        m_.functions.push_back(type_idx);
+    }
+    return Status::ok();
+}
+
+Status
+Decoder::decodeTableSection()
+{
+    LNB_ASSIGN_OR_RETURN(uint32_t count, r_.readVarU32());
+    if (count > 1)
+        return errUnsupported("multiple tables not supported");
+    for (uint32_t i = 0; i < count; i++) {
+        LNB_ASSIGN_OR_RETURN(uint8_t elem, r_.readByte());
+        if (elem != kFuncRefType)
+            return errMalformed("table element type must be funcref");
+        LNB_ASSIGN_OR_RETURN(Limits limits, readLimits());
+        m_.tables.push_back(limits);
+    }
+    return Status::ok();
+}
+
+Status
+Decoder::decodeMemorySection()
+{
+    LNB_ASSIGN_OR_RETURN(uint32_t count, r_.readVarU32());
+    if (count > 1)
+        return errUnsupported("multiple memories not supported");
+    for (uint32_t i = 0; i < count; i++) {
+        LNB_ASSIGN_OR_RETURN(Limits limits, readLimits());
+        if (limits.min > kMaxPages ||
+            (limits.hasMax() && limits.max > kMaxPages)) {
+            return errMalformed("memory limits exceed 4 GiB");
+        }
+        m_.memories.push_back(limits);
+    }
+    return Status::ok();
+}
+
+Status
+Decoder::decodeGlobalSection()
+{
+    LNB_ASSIGN_OR_RETURN(uint32_t count, r_.readVarU32());
+    for (uint32_t i = 0; i < count; i++) {
+        GlobalDef g;
+        LNB_ASSIGN_OR_RETURN(g.type, readValType());
+        LNB_ASSIGN_OR_RETURN(uint8_t mut, r_.readByte());
+        if (mut > 1)
+            return errMalformed("invalid global mutability");
+        g.isMutable = mut == 1;
+        LNB_ASSIGN_OR_RETURN(g.init, readInitExpr());
+        m_.globals.push_back(g);
+    }
+    return Status::ok();
+}
+
+Status
+Decoder::decodeExportSection()
+{
+    LNB_ASSIGN_OR_RETURN(uint32_t count, r_.readVarU32());
+    for (uint32_t i = 0; i < count; i++) {
+        Export e;
+        LNB_ASSIGN_OR_RETURN(e.name, readName());
+        LNB_ASSIGN_OR_RETURN(uint8_t kind, r_.readByte());
+        if (kind > 3)
+            return errMalformed("invalid export kind");
+        e.kind = ExternKind(kind);
+        LNB_ASSIGN_OR_RETURN(e.index, r_.readVarU32());
+        m_.exports.push_back(std::move(e));
+    }
+    return Status::ok();
+}
+
+Status
+Decoder::decodeStartSection()
+{
+    LNB_ASSIGN_OR_RETURN(uint32_t idx, r_.readVarU32());
+    m_.start = idx;
+    return Status::ok();
+}
+
+Status
+Decoder::decodeElementSection()
+{
+    LNB_ASSIGN_OR_RETURN(uint32_t count, r_.readVarU32());
+    for (uint32_t i = 0; i < count; i++) {
+        LNB_ASSIGN_OR_RETURN(uint32_t table, r_.readVarU32());
+        if (table != 0)
+            return errUnsupported("multiple tables not supported");
+        ElemSegment seg;
+        LNB_ASSIGN_OR_RETURN(seg.offset, readInitExpr());
+        LNB_ASSIGN_OR_RETURN(uint32_t nfuncs, r_.readVarU32());
+        for (uint32_t j = 0; j < nfuncs; j++) {
+            LNB_ASSIGN_OR_RETURN(uint32_t f, r_.readVarU32());
+            seg.funcs.push_back(f);
+        }
+        m_.elems.push_back(std::move(seg));
+    }
+    return Status::ok();
+}
+
+Status
+Decoder::decodeCodeSection()
+{
+    LNB_ASSIGN_OR_RETURN(uint32_t count, r_.readVarU32());
+    if (count != m_.functions.size())
+        return errMalformed("code section count mismatch");
+    for (uint32_t i = 0; i < count; i++) {
+        LNB_ASSIGN_OR_RETURN(uint32_t body_size, r_.readVarU32());
+        size_t body_end = r_.pos() + body_size;
+        if (body_end > r_.pos() + r_.remaining())
+            return errMalformed("code body exceeds section");
+        FuncBody body;
+        LNB_ASSIGN_OR_RETURN(uint32_t ngroups, r_.readVarU32());
+        for (uint32_t g = 0; g < ngroups; g++) {
+            LNB_ASSIGN_OR_RETURN(uint32_t n, r_.readVarU32());
+            LNB_ASSIGN_OR_RETURN(ValType t, readValType());
+            if (body.locals.size() + n > 1u << 16)
+                return errMalformed("too many locals");
+            body.locals.insert(body.locals.end(), n, t);
+        }
+        while (r_.pos() < body_end)
+            LNB_RETURN_IF_ERROR(readInstr(body));
+        if (r_.pos() != body_end)
+            return errMalformed("code body size mismatch");
+        if (body.code.empty() || body.code.back().op != Op::end)
+            return errMalformed("function body missing terminal end");
+        m_.bodies.push_back(std::move(body));
+    }
+    return Status::ok();
+}
+
+Status
+Decoder::decodeDataSection()
+{
+    LNB_ASSIGN_OR_RETURN(uint32_t count, r_.readVarU32());
+    for (uint32_t i = 0; i < count; i++) {
+        LNB_ASSIGN_OR_RETURN(uint32_t mem, r_.readVarU32());
+        if (mem != 0)
+            return errUnsupported("multiple memories not supported");
+        DataSegment seg;
+        LNB_ASSIGN_OR_RETURN(seg.offset, readInitExpr());
+        LNB_ASSIGN_OR_RETURN(uint32_t len, r_.readVarU32());
+        LNB_ASSIGN_OR_RETURN(const uint8_t* p, r_.readBytes(len));
+        seg.bytes.assign(p, p + len);
+        m_.datas.push_back(std::move(seg));
+    }
+    return Status::ok();
+}
+
+Result<Module>
+Decoder::decode()
+{
+    LNB_ASSIGN_OR_RETURN(const uint8_t* magic, r_.readBytes(8));
+    static const uint8_t kHeader[8] = {0x00, 0x61, 0x73, 0x6d,
+                                       0x01, 0x00, 0x00, 0x00};
+    if (std::memcmp(magic, kHeader, 8) != 0)
+        return errMalformed("bad magic number or version");
+
+    int last_section = 0;
+    while (!r_.atEnd()) {
+        LNB_ASSIGN_OR_RETURN(uint8_t id, r_.readByte());
+        LNB_ASSIGN_OR_RETURN(uint32_t size, r_.readVarU32());
+        if (size > r_.remaining())
+            return errMalformed("section size exceeds input");
+        size_t section_end = r_.pos() + size;
+
+        if (id == 0) { // custom section: skip
+            LNB_RETURN_IF_ERROR(r_.skip(size));
+            continue;
+        }
+        if (id > 11)
+            return errMalformed("unknown section id");
+        if (id <= last_section)
+            return errMalformed("section out of order or duplicated");
+        last_section = id;
+
+        Status s;
+        switch (id) {
+          case 1: s = decodeTypeSection(); break;
+          case 2: s = decodeImportSection(); break;
+          case 3: s = decodeFunctionSection(); break;
+          case 4: s = decodeTableSection(); break;
+          case 5: s = decodeMemorySection(); break;
+          case 6: s = decodeGlobalSection(); break;
+          case 7: s = decodeExportSection(); break;
+          case 8: s = decodeStartSection(); break;
+          case 9: s = decodeElementSection(); break;
+          case 10: s = decodeCodeSection(); break;
+          case 11: s = decodeDataSection(); break;
+        }
+        LNB_RETURN_IF_ERROR(s);
+        if (r_.pos() != section_end)
+            return errMalformed("section size mismatch");
+    }
+
+    if (m_.functions.size() != m_.bodies.size())
+        return errMalformed("function and code section counts differ");
+    return std::move(m_);
+}
+
+} // namespace
+
+Result<Module>
+decodeModule(const uint8_t* data, size_t size)
+{
+    Decoder decoder(data, size);
+    return decoder.decode();
+}
+
+} // namespace lnb::wasm

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * WebAssembly binary-format decoder producing the in-memory Module.
+ * Structural well-formedness is checked here (section order, sizes, LEB
+ * bounds); type correctness is the validator's job.
+ */
+#ifndef LNB_WASM_DECODER_H
+#define LNB_WASM_DECODER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "support/status.h"
+#include "wasm/module.h"
+
+namespace lnb::wasm {
+
+/** Decode a binary module. Unknown/custom sections are skipped. */
+Result<Module> decodeModule(const uint8_t* data, size_t size);
+
+/** Convenience overload. */
+inline Result<Module>
+decodeModule(const std::vector<uint8_t>& bytes)
+{
+    return decodeModule(bytes.data(), bytes.size());
+}
+
+} // namespace lnb::wasm
+
+#endif // LNB_WASM_DECODER_H

@@ -1,0 +1,178 @@
+#include "wasm/disasm.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+
+namespace lnb::wasm {
+
+namespace {
+
+void
+appendf(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void
+appendf(std::string& out, const char* fmt, ...)
+{
+    char buf[256];
+    va_list ap;
+    va_start(ap, fmt);
+    vsnprintf(buf, sizeof buf, fmt, ap);
+    va_end(ap);
+    out += buf;
+}
+
+} // namespace
+
+std::string
+instrToString(const Instr& instr, const std::vector<uint32_t>& pool)
+{
+    std::string out = opName(instr.op);
+    switch (opInfo(instr.op).imm) {
+      case ImmKind::none:
+      case ImmKind::mem_idx:
+      case ImmKind::mem_copy:
+        break;
+      case ImmKind::block_type: {
+        ValType t;
+        if (valTypeFromCode(uint8_t(instr.a), t))
+            appendf(out, " (result %s)", valTypeName(t));
+        break;
+      }
+      case ImmKind::label:
+      case ImmKind::func_idx:
+      case ImmKind::local_idx:
+      case ImmKind::global_idx:
+        appendf(out, " %u", instr.a);
+        break;
+      case ImmKind::call_indirect:
+        appendf(out, " (type %u)", instr.a);
+        break;
+      case ImmKind::label_table: {
+        for (uint32_t i = 0; i <= instr.b; i++)
+            appendf(out, " %u", pool[instr.a + i]);
+        break;
+      }
+      case ImmKind::mem_arg:
+        if (instr.b)
+            appendf(out, " offset=%u", instr.b);
+        break;
+      case ImmKind::const_i32:
+        appendf(out, " %d", int32_t(uint32_t(instr.imm)));
+        break;
+      case ImmKind::const_i64:
+        appendf(out, " %" PRId64, int64_t(instr.imm));
+        break;
+      case ImmKind::const_f32: {
+        float f;
+        uint32_t bits = uint32_t(instr.imm);
+        std::memcpy(&f, &bits, 4);
+        appendf(out, " %g", double(f));
+        break;
+      }
+      case ImmKind::const_f64: {
+        double d;
+        uint64_t bits = instr.imm;
+        std::memcpy(&d, &bits, 8);
+        appendf(out, " %g", d);
+        break;
+      }
+    }
+    return out;
+}
+
+std::string
+moduleToString(const Module& m)
+{
+    std::string out = "(module\n";
+    for (uint32_t i = 0; i < m.types.size(); i++)
+        appendf(out, "  (type %u %s)\n", i, m.types[i].toString().c_str());
+    for (const Import& imp : m.imports) {
+        appendf(out, "  (import \"%s\" \"%s\" (func (type %u)))\n",
+                imp.module.c_str(), imp.name.c_str(), imp.typeIdx);
+    }
+    for (const Limits& mem : m.memories) {
+        if (mem.hasMax())
+            appendf(out, "  (memory %u %u)\n", mem.min, mem.max);
+        else
+            appendf(out, "  (memory %u)\n", mem.min);
+    }
+    for (const Limits& t : m.tables) {
+        if (t.hasMax())
+            appendf(out, "  (table %u %u funcref)\n", t.min, t.max);
+        else
+            appendf(out, "  (table %u funcref)\n", t.min);
+    }
+    for (uint32_t i = 0; i < m.globals.size(); i++) {
+        const GlobalDef& g = m.globals[i];
+        appendf(out, "  (global %u %s%s%s (%s))\n", i,
+                g.isMutable ? "(mut " : "", valTypeName(g.type),
+                g.isMutable ? ")" : "",
+                instrToString(g.init, {}).c_str());
+    }
+    for (const Export& e : m.exports) {
+        static const char* kKindNames[] = {"func", "table", "memory",
+                                           "global"};
+        appendf(out, "  (export \"%s\" (%s %u))\n", e.name.c_str(),
+                kKindNames[int(e.kind)], e.index);
+    }
+    for (uint32_t i = 0; i < m.functions.size(); i++) {
+        uint32_t func_idx = m.numImportedFuncs() + i;
+        appendf(out, "  (func %u (type %u) ;; %s\n", func_idx,
+                m.functions[i], m.funcType(func_idx).toString().c_str());
+        const FuncBody& body = m.bodies[i];
+        if (!body.locals.empty()) {
+            out += "    (local";
+            for (ValType t : body.locals)
+                appendf(out, " %s", valTypeName(t));
+            out += ")\n";
+        }
+        int indent = 2;
+        for (const Instr& instr : body.code) {
+            if (instr.op == Op::end || instr.op == Op::else_)
+                indent = std::max(1, indent - 1);
+            for (int s = 0; s < indent * 2; s++)
+                out += ' ';
+            out += instrToString(instr, body.brTablePool);
+            out += '\n';
+            if (instr.op == Op::block || instr.op == Op::loop ||
+                instr.op == Op::if_ || instr.op == Op::else_) {
+                indent++;
+            }
+        }
+        out += "  )\n";
+    }
+    out += ")\n";
+    return out;
+}
+
+std::string
+loweredFuncToString(const LoweredFunc& f)
+{
+    std::string out;
+    appendf(out,
+            "func %u: params=%u locals=%u cells=%u results=%u\n",
+            f.funcIdx, f.numParams, f.numLocalCells, f.numCells,
+            unsigned(f.numResults));
+    for (uint32_t pc = 0; pc < f.code.size(); pc++) {
+        const LInst& inst = f.code[pc];
+        appendf(out, "  %4u: %-20s", pc, lopName(inst.op));
+        appendf(out, " a=%u b=%u", inst.a, inst.b);
+        if (inst.aux)
+            appendf(out, " aux=%u", unsigned(inst.aux));
+        if (inst.imm)
+            appendf(out, " imm=%" PRIu64, inst.imm);
+        out += '\n';
+    }
+    if (!f.tablePool.empty()) {
+        out += "  table pool:";
+        for (uint32_t t : f.tablePool)
+            appendf(out, " %u", t);
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace lnb::wasm

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Text dumps of modules (WAT-flavoured) and lowered IR, for debugging and
+ * the kernel_explorer example.
+ */
+#ifndef LNB_WASM_DISASM_H
+#define LNB_WASM_DISASM_H
+
+#include <string>
+
+#include "wasm/lower.h"
+#include "wasm/module.h"
+
+namespace lnb::wasm {
+
+/** Render one instruction with immediates. */
+std::string instrToString(const Instr& instr,
+                          const std::vector<uint32_t>& pool);
+
+/** Render a whole module in a WAT-flavoured listing. */
+std::string moduleToString(const Module& module);
+
+/** Render a lowered function, one instruction per line with pc labels. */
+std::string loweredFuncToString(const LoweredFunc& func);
+
+} // namespace lnb::wasm
+
+#endif // LNB_WASM_DISASM_H

@@ -1,0 +1,283 @@
+#include "wasm/encoder.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace lnb::wasm {
+
+namespace {
+
+/** Binary section identifiers. */
+enum SectionId : uint8_t {
+    sec_type = 1,
+    sec_import = 2,
+    sec_function = 3,
+    sec_table = 4,
+    sec_memory = 5,
+    sec_global = 6,
+    sec_export = 7,
+    sec_start = 8,
+    sec_element = 9,
+    sec_code = 10,
+    sec_data = 11,
+};
+
+constexpr uint8_t kFuncRefType = 0x70;
+constexpr uint8_t kFuncTypeTag = 0x60;
+
+void
+writeName(ByteWriter& w, const std::string& s)
+{
+    w.writeVarU32(uint32_t(s.size()));
+    w.writeBytes(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+}
+
+void
+writeLimits(ByteWriter& w, const Limits& limits)
+{
+    if (limits.hasMax()) {
+        w.writeByte(0x01);
+        w.writeVarU32(limits.min);
+        w.writeVarU32(limits.max);
+    } else {
+        w.writeByte(0x00);
+        w.writeVarU32(limits.min);
+    }
+}
+
+/** Emit a section: id, payload size, payload. */
+void
+writeSection(ByteWriter& w, SectionId id, const ByteWriter& payload)
+{
+    w.writeByte(id);
+    w.writeVarU32(uint32_t(payload.size()));
+    w.writeBytes(payload.bytes().data(), payload.size());
+}
+
+void
+writeInitExpr(ByteWriter& w, const Instr& init)
+{
+    static const std::vector<uint32_t> kEmptyPool;
+    encodeInstr(w, init, kEmptyPool);
+    w.writeByte(0x0B); // end
+}
+
+} // namespace
+
+void
+encodeInstr(ByteWriter& w, const Instr& instr,
+            const std::vector<uint32_t>& pool)
+{
+    const OpInfo& info = opInfo(instr.op);
+    if (info.encoding > 0xFF) {
+        assert((info.encoding >> 8) == 0xFC);
+        w.writeByte(0xFC);
+        w.writeVarU32(info.encoding & 0xFF);
+    } else {
+        w.writeByte(uint8_t(info.encoding));
+    }
+
+    switch (info.imm) {
+      case ImmKind::none:
+        break;
+      case ImmKind::block_type:
+        w.writeByte(uint8_t(instr.a));
+        break;
+      case ImmKind::label:
+        w.writeVarU32(instr.a);
+        break;
+      case ImmKind::label_table: {
+        assert(size_t(instr.a) + instr.b < pool.size() + 1);
+        w.writeVarU32(instr.b); // case count (excluding default)
+        for (uint32_t i = 0; i < instr.b; i++)
+            w.writeVarU32(pool[instr.a + i]);
+        w.writeVarU32(pool[instr.a + instr.b]); // default
+        break;
+      }
+      case ImmKind::func_idx:
+      case ImmKind::local_idx:
+      case ImmKind::global_idx:
+        w.writeVarU32(instr.a);
+        break;
+      case ImmKind::call_indirect:
+        w.writeVarU32(instr.a);         // type index
+        w.writeByte(uint8_t(instr.b));  // table index (0 in MVP)
+        break;
+      case ImmKind::mem_arg:
+        w.writeVarU32(instr.a); // align exponent
+        w.writeVarU32(instr.b); // offset
+        break;
+      case ImmKind::mem_idx:
+        w.writeByte(0x00);
+        break;
+      case ImmKind::mem_copy:
+        w.writeByte(0x00);
+        w.writeByte(0x00);
+        break;
+      case ImmKind::const_i32:
+        w.writeVarS32(int32_t(uint32_t(instr.imm)));
+        break;
+      case ImmKind::const_i64:
+        w.writeVarS64(int64_t(instr.imm));
+        break;
+      case ImmKind::const_f32: {
+        float f;
+        uint32_t bits = uint32_t(instr.imm);
+        std::memcpy(&f, &bits, 4);
+        w.writeF32(f);
+        break;
+      }
+      case ImmKind::const_f64: {
+        double d;
+        uint64_t bits = instr.imm;
+        std::memcpy(&d, &bits, 8);
+        w.writeF64(d);
+        break;
+      }
+    }
+}
+
+std::vector<uint8_t>
+encodeModule(const Module& m)
+{
+    ByteWriter w;
+    // Magic + version.
+    const uint8_t header[8] = {0x00, 0x61, 0x73, 0x6d, 0x01, 0x00, 0x00, 0x00};
+    w.writeBytes(header, 8);
+
+    if (!m.types.empty()) {
+        ByteWriter p;
+        p.writeVarU32(uint32_t(m.types.size()));
+        for (const FuncType& t : m.types) {
+            p.writeByte(kFuncTypeTag);
+            p.writeVarU32(uint32_t(t.params.size()));
+            for (ValType v : t.params)
+                p.writeByte(valTypeCode(v));
+            p.writeVarU32(uint32_t(t.results.size()));
+            for (ValType v : t.results)
+                p.writeByte(valTypeCode(v));
+        }
+        writeSection(w, sec_type, p);
+    }
+
+    if (!m.imports.empty()) {
+        ByteWriter p;
+        p.writeVarU32(uint32_t(m.imports.size()));
+        for (const Import& imp : m.imports) {
+            writeName(p, imp.module);
+            writeName(p, imp.name);
+            p.writeByte(uint8_t(ExternKind::func));
+            p.writeVarU32(imp.typeIdx);
+        }
+        writeSection(w, sec_import, p);
+    }
+
+    if (!m.functions.empty()) {
+        ByteWriter p;
+        p.writeVarU32(uint32_t(m.functions.size()));
+        for (uint32_t type_idx : m.functions)
+            p.writeVarU32(type_idx);
+        writeSection(w, sec_function, p);
+    }
+
+    if (!m.tables.empty()) {
+        ByteWriter p;
+        p.writeVarU32(uint32_t(m.tables.size()));
+        for (const Limits& t : m.tables) {
+            p.writeByte(kFuncRefType);
+            writeLimits(p, t);
+        }
+        writeSection(w, sec_table, p);
+    }
+
+    if (!m.memories.empty()) {
+        ByteWriter p;
+        p.writeVarU32(uint32_t(m.memories.size()));
+        for (const Limits& mem : m.memories)
+            writeLimits(p, mem);
+        writeSection(w, sec_memory, p);
+    }
+
+    if (!m.globals.empty()) {
+        ByteWriter p;
+        p.writeVarU32(uint32_t(m.globals.size()));
+        for (const GlobalDef& g : m.globals) {
+            p.writeByte(valTypeCode(g.type));
+            p.writeByte(g.isMutable ? 0x01 : 0x00);
+            writeInitExpr(p, g.init);
+        }
+        writeSection(w, sec_global, p);
+    }
+
+    if (!m.exports.empty()) {
+        ByteWriter p;
+        p.writeVarU32(uint32_t(m.exports.size()));
+        for (const Export& e : m.exports) {
+            writeName(p, e.name);
+            p.writeByte(uint8_t(e.kind));
+            p.writeVarU32(e.index);
+        }
+        writeSection(w, sec_export, p);
+    }
+
+    if (m.start.has_value()) {
+        ByteWriter p;
+        p.writeVarU32(*m.start);
+        writeSection(w, sec_start, p);
+    }
+
+    if (!m.elems.empty()) {
+        ByteWriter p;
+        p.writeVarU32(uint32_t(m.elems.size()));
+        for (const ElemSegment& seg : m.elems) {
+            p.writeVarU32(0); // table index
+            writeInitExpr(p, seg.offset);
+            p.writeVarU32(uint32_t(seg.funcs.size()));
+            for (uint32_t f : seg.funcs)
+                p.writeVarU32(f);
+        }
+        writeSection(w, sec_element, p);
+    }
+
+    if (!m.bodies.empty()) {
+        ByteWriter p;
+        p.writeVarU32(uint32_t(m.bodies.size()));
+        for (const FuncBody& body : m.bodies) {
+            ByteWriter fb;
+            // Locals, run-length grouped by type.
+            std::vector<std::pair<uint32_t, ValType>> groups;
+            for (ValType t : body.locals) {
+                if (!groups.empty() && groups.back().second == t)
+                    groups.back().first++;
+                else
+                    groups.push_back({1, t});
+            }
+            fb.writeVarU32(uint32_t(groups.size()));
+            for (auto [count, type] : groups) {
+                fb.writeVarU32(count);
+                fb.writeByte(valTypeCode(type));
+            }
+            for (const Instr& instr : body.code)
+                encodeInstr(fb, instr, body.brTablePool);
+            p.writeVarU32(uint32_t(fb.size()));
+            p.writeBytes(fb.bytes().data(), fb.size());
+        }
+        writeSection(w, sec_code, p);
+    }
+
+    if (!m.datas.empty()) {
+        ByteWriter p;
+        p.writeVarU32(uint32_t(m.datas.size()));
+        for (const DataSegment& seg : m.datas) {
+            p.writeVarU32(0); // memory index
+            writeInitExpr(p, seg.offset);
+            p.writeVarU32(uint32_t(seg.bytes.size()));
+            p.writeBytes(seg.bytes.data(), seg.bytes.size());
+        }
+        writeSection(w, sec_data, p);
+    }
+
+    return w.takeBytes();
+}
+
+} // namespace lnb::wasm

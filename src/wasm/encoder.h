@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Serializer from the in-memory Module to the WebAssembly binary format.
+ * Together with the decoder this gives byte-level round-tripping, which the
+ * test suite uses as an oracle for both components.
+ */
+#ifndef LNB_WASM_ENCODER_H
+#define LNB_WASM_ENCODER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "support/leb128.h"
+#include "wasm/module.h"
+
+namespace lnb::wasm {
+
+/** Serialize @p module into WebAssembly binary bytes. */
+std::vector<uint8_t> encodeModule(const Module& module);
+
+/**
+ * Serialize one instruction (with its immediates) into @p writer.
+ * @p pool supplies br_table targets for label_table instructions.
+ */
+void encodeInstr(ByteWriter& writer, const Instr& instr,
+                 const std::vector<uint32_t>& pool);
+
+} // namespace lnb::wasm
+
+#endif // LNB_WASM_ENCODER_H

@@ -1,0 +1,63 @@
+#include "wasm/module.h"
+
+#include <cstring>
+
+namespace lnb::wasm {
+
+Instr
+Instr::constF32(float v)
+{
+    Instr out;
+    out.op = Op::f32_const;
+    uint32_t bits;
+    std::memcpy(&bits, &v, 4);
+    out.imm = bits;
+    return out;
+}
+
+Instr
+Instr::constF64(double v)
+{
+    Instr out;
+    out.op = Op::f64_const;
+    uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    out.imm = bits;
+    return out;
+}
+
+Value
+Instr::constValue() const
+{
+    switch (op) {
+      case Op::i32_const:
+        return Value::fromI32(uint32_t(imm));
+      case Op::i64_const:
+        return Value::fromI64(imm);
+      case Op::f32_const: {
+        Value v;
+        v.i64 = 0;
+        v.i32 = uint32_t(imm);
+        return v;
+      }
+      case Op::f64_const: {
+        Value v;
+        v.i64 = imm;
+        return v;
+      }
+      default:
+        return Value{};
+    }
+}
+
+std::optional<uint32_t>
+Module::findExport(const std::string& name, ExternKind kind) const
+{
+    for (const Export& e : exports) {
+        if (e.kind == kind && e.name == name)
+            return e.index;
+    }
+    return std::nullopt;
+}
+
+} // namespace lnb::wasm

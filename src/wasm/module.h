@@ -1,0 +1,201 @@
+/**
+ * @file
+ * In-memory representation of a WebAssembly module.
+ *
+ * One representation serves the whole pipeline: the ModuleBuilder constructs
+ * it, the binary encoder serializes it, the binary decoder reproduces it,
+ * the validator checks it, and the lowering pass turns each body into the
+ * executable slot-machine IR.
+ */
+#ifndef LNB_WASM_MODULE_H
+#define LNB_WASM_MODULE_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "wasm/opcodes.h"
+#include "wasm/types.h"
+
+namespace lnb::wasm {
+
+/**
+ * A decoded instruction. Immediate operands are packed into three scalar
+ * fields according to the instruction's ImmKind:
+ *
+ *   block_type     a = raw block-type byte (0x40 or a value-type code)
+ *   label          a = relative depth
+ *   label_table    a = offset into FuncBody::brTablePool, b = target count
+ *                  (pool[a .. a+b-1] are the cases, pool[a+b] the default)
+ *   func_idx       a = function index
+ *   call_indirect  a = type index, b = table index
+ *   local_idx      a = local index
+ *   global_idx     a = global index
+ *   mem_arg        a = alignment exponent, b = byte offset
+ *   const_i32      imm = zero-extended 32-bit value
+ *   const_i64      imm = 64-bit value
+ *   const_f32      imm = zero-extended IEEE-754 bit pattern
+ *   const_f64      imm = IEEE-754 bit pattern
+ */
+struct Instr
+{
+    Op op = Op::nop;
+    uint32_t a = 0;
+    uint32_t b = 0;
+    uint64_t imm = 0;
+
+    static Instr simple(Op op)
+    {
+        Instr out;
+        out.op = op;
+        return out;
+    }
+    static Instr withA(Op op, uint32_t a)
+    {
+        Instr out;
+        out.op = op;
+        out.a = a;
+        return out;
+    }
+    static Instr withAB(Op op, uint32_t a, uint32_t b)
+    {
+        Instr out;
+        out.op = op;
+        out.a = a;
+        out.b = b;
+        return out;
+    }
+    static Instr constI32(uint32_t v)
+    {
+        Instr out;
+        out.op = Op::i32_const;
+        out.imm = v;
+        return out;
+    }
+    static Instr constI64(uint64_t v)
+    {
+        Instr out;
+        out.op = Op::i64_const;
+        out.imm = v;
+        return out;
+    }
+    static Instr constF32(float v);
+    static Instr constF64(double v);
+
+    /** Interpret imm as the typed constant payload. */
+    Value constValue() const;
+};
+
+/** The kinds of entities a module can import or export. */
+enum class ExternKind : uint8_t { func = 0, table = 1, memory = 2, global = 3 };
+
+/** An imported function (only function imports are supported). */
+struct Import
+{
+    std::string module;
+    std::string name;
+    uint32_t typeIdx = 0;
+};
+
+/** An exported entity. */
+struct Export
+{
+    std::string name;
+    ExternKind kind = ExternKind::func;
+    uint32_t index = 0;
+};
+
+/** A global variable definition with a constant initializer. */
+struct GlobalDef
+{
+    ValType type = ValType::i32;
+    bool isMutable = false;
+    /** Initializer: a single const instruction. */
+    Instr init;
+};
+
+/** An element segment initializing a funcref table. */
+struct ElemSegment
+{
+    /** Offset expression: a single i32.const. */
+    Instr offset;
+    std::vector<uint32_t> funcs;
+};
+
+/** A data segment initializing linear memory. */
+struct DataSegment
+{
+    /** Offset expression: a single i32.const. */
+    Instr offset;
+    std::vector<uint8_t> bytes;
+};
+
+/** The body of a defined function. */
+struct FuncBody
+{
+    /** Types of the non-parameter locals, in declaration order. */
+    std::vector<ValType> locals;
+    /** Instruction sequence; ends with Op::end. */
+    std::vector<Instr> code;
+    /** Branch-target pool referenced by br_table instructions. */
+    std::vector<uint32_t> brTablePool;
+};
+
+/** A complete module. */
+struct Module
+{
+    std::vector<FuncType> types;
+    std::vector<Import> imports;
+    /** Type index of each defined (non-imported) function. */
+    std::vector<uint32_t> functions;
+    std::vector<Limits> tables;
+    std::vector<Limits> memories;
+    std::vector<GlobalDef> globals;
+    std::vector<Export> exports;
+    std::optional<uint32_t> start;
+    std::vector<ElemSegment> elems;
+    std::vector<DataSegment> datas;
+    /** Bodies, parallel to `functions`. */
+    std::vector<FuncBody> bodies;
+
+    uint32_t numImportedFuncs() const { return uint32_t(imports.size()); }
+    uint32_t numTotalFuncs() const
+    {
+        return numImportedFuncs() + uint32_t(functions.size());
+    }
+
+    /** True if @p func_idx refers to an imported function. */
+    bool isImportedFunc(uint32_t func_idx) const
+    {
+        return func_idx < numImportedFuncs();
+    }
+
+    /** Type index of any function (imported or defined). */
+    uint32_t funcTypeIdx(uint32_t func_idx) const
+    {
+        if (isImportedFunc(func_idx))
+            return imports[func_idx].typeIdx;
+        return functions[func_idx - numImportedFuncs()];
+    }
+
+    /** Signature of any function (imported or defined). */
+    const FuncType& funcType(uint32_t func_idx) const
+    {
+        return types[funcTypeIdx(func_idx)];
+    }
+
+    /** Body of a defined function. */
+    const FuncBody& body(uint32_t func_idx) const
+    {
+        return bodies[func_idx - numImportedFuncs()];
+    }
+
+    /** Find an export by name and kind; nullopt if absent. */
+    std::optional<uint32_t> findExport(const std::string& name,
+                                       ExternKind kind) const;
+};
+
+} // namespace lnb::wasm
+
+#endif // LNB_WASM_MODULE_H

@@ -1,0 +1,83 @@
+#include "wasm/types.h"
+
+namespace lnb::wasm {
+
+const char*
+valTypeName(ValType t)
+{
+    switch (t) {
+      case ValType::i32: return "i32";
+      case ValType::i64: return "i64";
+      case ValType::f32: return "f32";
+      case ValType::f64: return "f64";
+    }
+    return "?";
+}
+
+uint8_t
+valTypeCode(ValType t)
+{
+    switch (t) {
+      case ValType::i32: return kValTypeI32;
+      case ValType::i64: return kValTypeI64;
+      case ValType::f32: return kValTypeF32;
+      case ValType::f64: return kValTypeF64;
+    }
+    return 0;
+}
+
+bool
+valTypeFromCode(uint8_t code, ValType& out)
+{
+    switch (code) {
+      case kValTypeI32: out = ValType::i32; return true;
+      case kValTypeI64: out = ValType::i64; return true;
+      case kValTypeF32: out = ValType::f32; return true;
+      case kValTypeF64: out = ValType::f64; return true;
+      default: return false;
+    }
+}
+
+std::string
+FuncType::toString() const
+{
+    std::string out = "(";
+    for (size_t i = 0; i < params.size(); i++) {
+        if (i)
+            out += ", ";
+        out += valTypeName(params[i]);
+    }
+    out += ") -> (";
+    for (size_t i = 0; i < results.size(); i++) {
+        if (i)
+            out += ", ";
+        out += valTypeName(results[i]);
+    }
+    out += ")";
+    return out;
+}
+
+const char*
+trapKindName(TrapKind kind)
+{
+    switch (kind) {
+      case TrapKind::none: return "none";
+      case TrapKind::unreachable: return "unreachable executed";
+      case TrapKind::out_of_bounds_memory:
+        return "out of bounds memory access";
+      case TrapKind::out_of_bounds_table: return "undefined element";
+      case TrapKind::indirect_type_mismatch:
+        return "indirect call type mismatch";
+      case TrapKind::uninitialized_element: return "uninitialized element";
+      case TrapKind::integer_divide_by_zero: return "integer divide by zero";
+      case TrapKind::integer_overflow: return "integer overflow";
+      case TrapKind::invalid_conversion:
+        return "invalid conversion to integer";
+      case TrapKind::stack_overflow: return "call stack exhausted";
+      case TrapKind::memory_growth_failed: return "memory growth failed";
+      case TrapKind::host_error: return "host error";
+    }
+    return "?";
+}
+
+} // namespace lnb::wasm

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Core WebAssembly value and function types (MVP: i32/i64/f32/f64).
+ */
+#ifndef LNB_WASM_TYPES_H
+#define LNB_WASM_TYPES_H
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace lnb::wasm {
+
+/** The four WebAssembly MVP value types. */
+enum class ValType : uint8_t {
+    i32 = 0,
+    i64 = 1,
+    f32 = 2,
+    f64 = 3,
+};
+
+/** Binary-format encodings of value types. */
+constexpr uint8_t kValTypeI32 = 0x7f;
+constexpr uint8_t kValTypeI64 = 0x7e;
+constexpr uint8_t kValTypeF32 = 0x7d;
+constexpr uint8_t kValTypeF64 = 0x7c;
+/** Binary encoding of the empty block type. */
+constexpr uint8_t kBlockTypeEmpty = 0x40;
+
+/** True if @p t is one of the two integer types. */
+inline bool isIntType(ValType t)
+{
+    return t == ValType::i32 || t == ValType::i64;
+}
+
+/** True if @p t is one of the two floating-point types. */
+inline bool isFloatType(ValType t)
+{
+    return t == ValType::f32 || t == ValType::f64;
+}
+
+/** Short lowercase name ("i32", ...). */
+const char* valTypeName(ValType t);
+
+/** Binary encoding byte for a value type. */
+uint8_t valTypeCode(ValType t);
+
+/** Decode a value-type byte; returns false for unknown codes. */
+bool valTypeFromCode(uint8_t code, ValType& out);
+
+/**
+ * An untagged 64-bit value cell. WebAssembly frames and the operand stack
+ * store every value in one of these; the static type system (validator /
+ * lowered IR) decides how a cell is interpreted.
+ */
+union Value {
+    uint32_t i32;
+    uint64_t i64;
+    float f32;
+    double f64;
+
+    Value() = default; // trivial; value-initialize (Value{}) for zero
+
+    static Value fromI32(uint32_t v)
+    {
+        Value out;
+        out.i64 = 0;
+        out.i32 = v;
+        return out;
+    }
+    static Value fromI64(uint64_t v)
+    {
+        Value out;
+        out.i64 = v;
+        return out;
+    }
+    static Value fromF32(float v)
+    {
+        Value out;
+        out.i64 = 0;
+        out.f32 = v;
+        return out;
+    }
+    static Value fromF64(double v)
+    {
+        Value out;
+        out.f64 = v;
+        return out;
+    }
+
+    /** Bit-exact equality on the full 64-bit cell. */
+    bool bitsEqual(const Value& other) const { return i64 == other.i64; }
+};
+
+static_assert(sizeof(Value) == 8, "value cells must be exactly 8 bytes");
+
+/** A function signature: parameter and result types. */
+struct FuncType
+{
+    std::vector<ValType> params;
+    std::vector<ValType> results;
+
+    bool operator==(const FuncType& other) const
+    {
+        return params == other.params && results == other.results;
+    }
+
+    /** Render as "(i32, f64) -> (i32)" for diagnostics. */
+    std::string toString() const;
+};
+
+/** Size limits of a memory (in 64 KiB pages) or table (in elements). */
+struct Limits
+{
+    uint32_t min = 0;
+    /** UINT32_MAX encodes "no declared maximum". */
+    uint32_t max = UINT32_MAX;
+
+    bool hasMax() const { return max != UINT32_MAX; }
+    bool operator==(const Limits&) const = default;
+};
+
+/** WebAssembly page size: 64 KiB. */
+constexpr uint64_t kPageSize = 64 * 1024;
+
+/** Maximum number of 64 KiB pages addressable with a 32-bit pointer. */
+constexpr uint32_t kMaxPages = 65536;
+
+/**
+ * The reasons WebAssembly execution can trap. Mirrors the trap taxonomy of
+ * the spec plus harness-level resource limits.
+ */
+enum class TrapKind : uint8_t {
+    none = 0,
+    unreachable,          ///< executed `unreachable`
+    out_of_bounds_memory, ///< load/store outside linear memory
+    out_of_bounds_table,  ///< call_indirect index past table end
+    indirect_type_mismatch,
+    uninitialized_element, ///< call_indirect to a null table slot
+    integer_divide_by_zero,
+    integer_overflow,      ///< INT_MIN / -1 or float->int out of range
+    invalid_conversion,    ///< float->int of NaN
+    stack_overflow,
+    memory_growth_failed,  ///< not a trap per spec (grow returns -1); used
+                           ///< internally when a backend cannot grow
+    host_error,
+};
+
+/** Human-readable trap description. */
+const char* trapKindName(TrapKind kind);
+
+} // namespace lnb::wasm
+
+#endif // LNB_WASM_TYPES_H

@@ -1,0 +1,540 @@
+#include "wasm/validator.h"
+
+#include <cstdio>
+#include <optional>
+#include <vector>
+
+namespace lnb::wasm {
+
+namespace {
+
+/** Value-stack entry: a concrete type or the polymorphic "unknown". */
+struct StackType
+{
+    bool known = true;
+    ValType type = ValType::i32;
+
+    static StackType unknown()
+    {
+        StackType t;
+        t.known = false;
+        return t;
+    }
+    static StackType of(ValType v) { return {true, v}; }
+};
+
+/** One structured-control frame. */
+struct CtrlFrame
+{
+    Op opcode; // block, loop, if_, or a synthetic function frame (end)
+    std::optional<ValType> result;
+    size_t height = 0;
+    bool unreachable = false;
+
+    /** Types expected by a branch to this label. */
+    std::optional<ValType> labelType() const
+    {
+        // Branching to a loop re-enters it with no values (MVP loops have
+        // no parameters); branching to a block/if targets its result.
+        if (opcode == Op::loop)
+            return std::nullopt;
+        return result;
+    }
+};
+
+class FuncValidator
+{
+  public:
+    FuncValidator(const Module& m, uint32_t func_idx,
+                  const ValidationLimits& limits)
+        : m_(m),
+          funcIdx_(func_idx),
+          type_(m.funcType(func_idx)),
+          body_(m.body(func_idx)),
+          limits_(limits)
+    {}
+
+    Status run();
+
+  private:
+    Status fail(const char* msg) const
+    {
+        char buf[256];
+        std::snprintf(buf, sizeof buf, "func %u instr %zu (%s): %s", funcIdx_,
+                      pc_, pc_ < body_.code.size()
+                              ? opName(body_.code[pc_].op)
+                              : "<end>",
+                      msg);
+        return errValidation(buf);
+    }
+
+    void pushVal(StackType t)
+    {
+        stack_.push_back(t);
+        maxDepth_ = std::max(maxDepth_, stack_.size());
+    }
+
+    Status popVal(StackType& out)
+    {
+        CtrlFrame& frame = ctrl_.back();
+        if (stack_.size() == frame.height) {
+            if (frame.unreachable) {
+                out = StackType::unknown();
+                return Status::ok();
+            }
+            return fail("value stack underflow");
+        }
+        out = stack_.back();
+        stack_.pop_back();
+        return Status::ok();
+    }
+
+    Status popExpect(ValType expect)
+    {
+        StackType got;
+        LNB_RETURN_IF_ERROR(popVal(got));
+        if (got.known && got.type != expect)
+            return fail("operand type mismatch");
+        return Status::ok();
+    }
+
+    Status pushCtrl(Op opcode, std::optional<ValType> result)
+    {
+        CtrlFrame frame;
+        frame.opcode = opcode;
+        frame.result = result;
+        frame.height = stack_.size();
+        ctrl_.push_back(frame);
+        return Status::ok();
+    }
+
+    Status popCtrl(CtrlFrame& out)
+    {
+        if (ctrl_.empty())
+            return fail("control stack underflow");
+        CtrlFrame& frame = ctrl_.back();
+        if (frame.result.has_value())
+            LNB_RETURN_IF_ERROR(popExpect(*frame.result));
+        if (stack_.size() != frame.height && !frame.unreachable)
+            return fail("values remain on stack at end of block");
+        // In the unreachable case excess values are discarded.
+        stack_.resize(frame.height);
+        out = frame;
+        ctrl_.pop_back();
+        return Status::ok();
+    }
+
+    void markUnreachable()
+    {
+        CtrlFrame& frame = ctrl_.back();
+        stack_.resize(frame.height);
+        frame.unreachable = true;
+    }
+
+    Status checkLabel(uint32_t depth, const CtrlFrame** out)
+    {
+        if (depth >= ctrl_.size())
+            return fail("branch label out of range");
+        *out = &ctrl_[ctrl_.size() - 1 - depth];
+        return Status::ok();
+    }
+
+    Status popLabelTypes(const CtrlFrame& frame)
+    {
+        if (frame.labelType().has_value())
+            LNB_RETURN_IF_ERROR(popExpect(*frame.labelType()));
+        return Status::ok();
+    }
+
+    void pushLabelTypes(const CtrlFrame& frame)
+    {
+        if (frame.labelType().has_value())
+            pushVal(StackType::of(*frame.labelType()));
+    }
+
+    Result<std::optional<ValType>> blockTypeOf(uint32_t raw)
+    {
+        if (raw == kBlockTypeEmpty)
+            return std::optional<ValType>{};
+        ValType t;
+        if (!valTypeFromCode(uint8_t(raw), t))
+            return fail("invalid block type");
+        return std::optional<ValType>{t};
+    }
+
+    ValType localType(uint32_t idx) const
+    {
+        if (idx < type_.params.size())
+            return type_.params[idx];
+        return body_.locals[idx - type_.params.size()];
+    }
+
+    uint32_t numLocals() const
+    {
+        return uint32_t(type_.params.size() + body_.locals.size());
+    }
+
+    Status applySig(const char* sig);
+    Status step(const Instr& instr);
+
+    const Module& m_;
+    uint32_t funcIdx_;
+    const FuncType& type_;
+    const FuncBody& body_;
+    const ValidationLimits& limits_;
+
+    std::vector<StackType> stack_;
+    std::vector<CtrlFrame> ctrl_;
+    size_t pc_ = 0;
+    size_t maxDepth_ = 0;
+    bool done_ = false;
+};
+
+ValType
+sigCharType(char c)
+{
+    switch (c) {
+      case 'i': return ValType::i32;
+      case 'I': return ValType::i64;
+      case 'f': return ValType::f32;
+      default: return ValType::f64;
+    }
+}
+
+Status
+FuncValidator::applySig(const char* sig)
+{
+    // sig = "inputs:outputs"; pop inputs right-to-left.
+    const char* colon = sig;
+    while (*colon != ':')
+        colon++;
+    for (const char* p = colon - 1; p >= sig; p--)
+        LNB_RETURN_IF_ERROR(popExpect(sigCharType(*p)));
+    for (const char* p = colon + 1; *p; p++)
+        pushVal(StackType::of(sigCharType(*p)));
+    return Status::ok();
+}
+
+Status
+FuncValidator::step(const Instr& instr)
+{
+    const OpInfo& info = opInfo(instr.op);
+
+    if (info.sig[0] != '*') {
+        if (info.imm == ImmKind::mem_arg) {
+            if (m_.memories.empty())
+                return fail("memory instruction without memory");
+            if (instr.a > memNaturalAlignExp(instr.op))
+                return fail("alignment exceeds natural alignment");
+        } else if (info.imm == ImmKind::mem_idx ||
+                   info.imm == ImmKind::mem_copy) {
+            if (m_.memories.empty())
+                return fail("memory instruction without memory");
+        }
+        return applySig(info.sig);
+    }
+
+    switch (instr.op) {
+      case Op::nop:
+        return Status::ok();
+
+      case Op::unreachable:
+        markUnreachable();
+        return Status::ok();
+
+      case Op::block:
+      case Op::loop: {
+        LNB_ASSIGN_OR_RETURN(auto bt, blockTypeOf(instr.a));
+        return pushCtrl(instr.op, bt);
+      }
+
+      case Op::if_: {
+        LNB_RETURN_IF_ERROR(popExpect(ValType::i32));
+        LNB_ASSIGN_OR_RETURN(auto bt, blockTypeOf(instr.a));
+        return pushCtrl(instr.op, bt);
+      }
+
+      case Op::else_: {
+        CtrlFrame frame;
+        LNB_RETURN_IF_ERROR(popCtrl(frame));
+        if (frame.opcode != Op::if_)
+            return fail("else without if");
+        // Re-open the frame for the else arm.
+        return pushCtrl(Op::block, frame.result);
+      }
+
+      case Op::end: {
+        CtrlFrame frame;
+        LNB_RETURN_IF_ERROR(popCtrl(frame));
+        if (frame.opcode == Op::if_ && frame.result.has_value())
+            return fail("if with result type requires else");
+        if (ctrl_.empty()) {
+            // Function frame closed: this must be the last instruction.
+            if (pc_ + 1 != body_.code.size())
+                return fail("code after function end");
+            if (frame.result.has_value())
+                pushVal(StackType::of(*frame.result));
+            if (!type_.results.empty()) {
+                if (stack_.size() != 1)
+                    return fail("function must leave exactly its results");
+            } else if (!stack_.empty()) {
+                return fail("void function leaves values on stack");
+            }
+            done_ = true;
+            return Status::ok();
+        }
+        // popCtrl consumed the block's result; push it back for the
+        // enclosing scope (this is the *end* type, not the label type —
+        // they differ for loops).
+        if (frame.result.has_value())
+            pushVal(StackType::of(*frame.result));
+        return Status::ok();
+      }
+
+      case Op::br: {
+        const CtrlFrame* target = nullptr;
+        LNB_RETURN_IF_ERROR(checkLabel(instr.a, &target));
+        LNB_RETURN_IF_ERROR(popLabelTypes(*target));
+        markUnreachable();
+        return Status::ok();
+      }
+
+      case Op::br_if: {
+        LNB_RETURN_IF_ERROR(popExpect(ValType::i32));
+        const CtrlFrame* target = nullptr;
+        LNB_RETURN_IF_ERROR(checkLabel(instr.a, &target));
+        LNB_RETURN_IF_ERROR(popLabelTypes(*target));
+        pushLabelTypes(*target);
+        return Status::ok();
+      }
+
+      case Op::br_table: {
+        LNB_RETURN_IF_ERROR(popExpect(ValType::i32));
+        const uint32_t* pool = body_.brTablePool.data();
+        const CtrlFrame* def = nullptr;
+        LNB_RETURN_IF_ERROR(checkLabel(pool[instr.a + instr.b], &def));
+        auto expect = def->labelType();
+        for (uint32_t i = 0; i < instr.b; i++) {
+            const CtrlFrame* target = nullptr;
+            LNB_RETURN_IF_ERROR(checkLabel(pool[instr.a + i], &target));
+            if (target->labelType() != expect)
+                return fail("br_table arms have inconsistent label types");
+        }
+        if (expect.has_value())
+            LNB_RETURN_IF_ERROR(popExpect(*expect));
+        markUnreachable();
+        return Status::ok();
+      }
+
+      case Op::return_: {
+        if (!type_.results.empty())
+            LNB_RETURN_IF_ERROR(popExpect(type_.results[0]));
+        markUnreachable();
+        return Status::ok();
+      }
+
+      case Op::call: {
+        if (instr.a >= m_.numTotalFuncs())
+            return fail("call target out of range");
+        const FuncType& callee = m_.funcType(instr.a);
+        for (size_t i = callee.params.size(); i > 0; i--)
+            LNB_RETURN_IF_ERROR(popExpect(callee.params[i - 1]));
+        for (ValType r : callee.results)
+            pushVal(StackType::of(r));
+        return Status::ok();
+      }
+
+      case Op::call_indirect: {
+        if (m_.tables.empty())
+            return fail("call_indirect without table");
+        if (instr.a >= m_.types.size())
+            return fail("call_indirect type index out of range");
+        LNB_RETURN_IF_ERROR(popExpect(ValType::i32));
+        const FuncType& callee = m_.types[instr.a];
+        for (size_t i = callee.params.size(); i > 0; i--)
+            LNB_RETURN_IF_ERROR(popExpect(callee.params[i - 1]));
+        for (ValType r : callee.results)
+            pushVal(StackType::of(r));
+        return Status::ok();
+      }
+
+      case Op::drop: {
+        StackType t;
+        return popVal(t);
+      }
+
+      case Op::select: {
+        LNB_RETURN_IF_ERROR(popExpect(ValType::i32));
+        StackType a, b;
+        LNB_RETURN_IF_ERROR(popVal(a));
+        LNB_RETURN_IF_ERROR(popVal(b));
+        if (a.known && b.known && a.type != b.type)
+            return fail("select arms have different types");
+        pushVal(a.known ? a : b);
+        return Status::ok();
+      }
+
+      case Op::local_get: {
+        if (instr.a >= numLocals())
+            return fail("local index out of range");
+        pushVal(StackType::of(localType(instr.a)));
+        return Status::ok();
+      }
+
+      case Op::local_set: {
+        if (instr.a >= numLocals())
+            return fail("local index out of range");
+        return popExpect(localType(instr.a));
+      }
+
+      case Op::local_tee: {
+        if (instr.a >= numLocals())
+            return fail("local index out of range");
+        LNB_RETURN_IF_ERROR(popExpect(localType(instr.a)));
+        pushVal(StackType::of(localType(instr.a)));
+        return Status::ok();
+      }
+
+      case Op::global_get: {
+        if (instr.a >= m_.globals.size())
+            return fail("global index out of range");
+        pushVal(StackType::of(m_.globals[instr.a].type));
+        return Status::ok();
+      }
+
+      case Op::global_set: {
+        if (instr.a >= m_.globals.size())
+            return fail("global index out of range");
+        if (!m_.globals[instr.a].isMutable)
+            return fail("assignment to immutable global");
+        return popExpect(m_.globals[instr.a].type);
+      }
+
+      default:
+        return fail("unhandled special instruction");
+    }
+}
+
+Status
+FuncValidator::run()
+{
+    if (body_.code.size() > limits_.maxFunctionInstrs)
+        return fail("function too large");
+    if (numLocals() > limits_.maxLocals)
+        return fail("too many locals");
+
+    // The function itself acts as the outermost block.
+    std::optional<ValType> result;
+    if (!type_.results.empty())
+        result = type_.results[0];
+    LNB_RETURN_IF_ERROR(pushCtrl(Op::block, result));
+
+    for (pc_ = 0; pc_ < body_.code.size(); pc_++) {
+        LNB_RETURN_IF_ERROR(step(body_.code[pc_]));
+        if (maxDepth_ > limits_.maxStackDepth)
+            return fail("operand stack too deep");
+        if (done_ && pc_ + 1 != body_.code.size())
+            return fail("code after function end");
+    }
+    if (!done_)
+        return fail("function body not terminated by end");
+    return Status::ok();
+}
+
+} // namespace
+
+Status
+validateModule(const Module& m, const ValidationLimits& limits)
+{
+    // Index-space checks.
+    for (const Import& imp : m.imports) {
+        if (imp.typeIdx >= m.types.size())
+            return errValidation("import type index out of range");
+    }
+    for (uint32_t type_idx : m.functions) {
+        if (type_idx >= m.types.size())
+            return errValidation("function type index out of range");
+    }
+    if (m.functions.size() != m.bodies.size())
+        return errValidation("function/body count mismatch");
+
+    for (const GlobalDef& g : m.globals) {
+        Value v = g.init.constValue();
+        (void)v;
+        ValType init_type;
+        switch (g.init.op) {
+          case Op::i32_const: init_type = ValType::i32; break;
+          case Op::i64_const: init_type = ValType::i64; break;
+          case Op::f32_const: init_type = ValType::f32; break;
+          case Op::f64_const: init_type = ValType::f64; break;
+          default:
+            return errValidation("global initializer must be constant");
+        }
+        if (init_type != g.type)
+            return errValidation("global initializer type mismatch");
+    }
+
+    for (const Export& e : m.exports) {
+        switch (e.kind) {
+          case ExternKind::func:
+            if (e.index >= m.numTotalFuncs())
+                return errValidation("exported function out of range");
+            break;
+          case ExternKind::table:
+            if (e.index >= m.tables.size())
+                return errValidation("exported table out of range");
+            break;
+          case ExternKind::memory:
+            if (e.index >= m.memories.size())
+                return errValidation("exported memory out of range");
+            break;
+          case ExternKind::global:
+            if (e.index >= m.globals.size())
+                return errValidation("exported global out of range");
+            break;
+        }
+    }
+
+    if (m.start.has_value()) {
+        if (*m.start >= m.numTotalFuncs())
+            return errValidation("start function out of range");
+        const FuncType& t = m.funcType(*m.start);
+        if (!t.params.empty() || !t.results.empty())
+            return errValidation("start function must have type () -> ()");
+    }
+
+    for (const ElemSegment& seg : m.elems) {
+        if (m.tables.empty())
+            return errValidation("element segment without table");
+        if (seg.offset.op != Op::i32_const)
+            return errValidation("element offset must be i32.const");
+        for (uint32_t f : seg.funcs) {
+            if (f >= m.numTotalFuncs())
+                return errValidation("element function out of range");
+        }
+    }
+
+    for (const DataSegment& seg : m.datas) {
+        if (m.memories.empty())
+            return errValidation("data segment without memory");
+        if (seg.offset.op != Op::i32_const)
+            return errValidation("data offset must be i32.const");
+    }
+
+    for (const FuncBody& body : m.bodies) {
+        for (const Instr& instr : body.code) {
+            if (opInfo(instr.op).imm == ImmKind::label_table) {
+                if (size_t(instr.a) + instr.b + 1 > body.brTablePool.size())
+                    return errValidation("br_table pool out of range");
+            }
+        }
+    }
+
+    for (uint32_t i = 0; i < m.functions.size(); i++) {
+        FuncValidator fv(m, m.numImportedFuncs() + i, limits);
+        LNB_RETURN_IF_ERROR(fv.run());
+    }
+    return Status::ok();
+}
+
+} // namespace lnb::wasm

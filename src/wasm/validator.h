@@ -1,0 +1,36 @@
+/**
+ * @file
+ * WebAssembly module validation (type checking), following the algorithm in
+ * the specification appendix: a value-type stack plus a control-frame stack
+ * with polymorphic "unreachable" typing.
+ *
+ * All executors require validated modules; the lowering pass asserts on
+ * conditions the validator guarantees.
+ */
+#ifndef LNB_WASM_VALIDATOR_H
+#define LNB_WASM_VALIDATOR_H
+
+#include "support/status.h"
+#include "wasm/module.h"
+
+namespace lnb::wasm {
+
+/** Limits enforced on top of the spec to bound executor resources. */
+struct ValidationLimits
+{
+    uint32_t maxLocals = 1u << 16;
+    uint32_t maxStackDepth = 1u << 14;
+    uint32_t maxFunctionInstrs = 1u << 22;
+};
+
+/**
+ * Validate the whole module: index spaces, signatures, memory/table use,
+ * constant initializers, and every function body. Returns the first error
+ * found, with function and instruction indices in the message.
+ */
+Status validateModule(const Module& module,
+                      const ValidationLimits& limits = {});
+
+} // namespace lnb::wasm
+
+#endif // LNB_WASM_VALIDATOR_H

@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Coverage the kernel suite does not reach: bulk memory instructions
+ * (memory.copy with overlap, memory.fill, OOB bulk traps), re-entrant
+ * host calls (wasm -> host -> wasm), and many instances of one
+ * CompiledModule executing concurrently on separate threads.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "runtime/engine.h"
+#include "runtime/instance.h"
+#include "wasm/builder.h"
+
+namespace lnb {
+namespace {
+
+using mem::BoundsStrategy;
+using rt::CallOutcome;
+using rt::Engine;
+using rt::EngineConfig;
+using rt::EngineKind;
+using rt::Instance;
+using wasm::Op;
+using wasm::ValType;
+using wasm::Value;
+
+class BulkMemoryTest : public testing::TestWithParam<EngineKind>
+{
+  protected:
+    std::unique_ptr<Instance>
+    instantiate(wasm::Module module,
+                BoundsStrategy strategy = BoundsStrategy::mprotect)
+    {
+        EngineConfig config;
+        config.kind = GetParam();
+        config.strategy = strategy;
+        Engine engine(config);
+        auto compiled = engine.compile(std::move(module));
+        EXPECT_TRUE(compiled.isOk()) << compiled.status().toString();
+        auto inst = Instance::create(compiled.takeValue());
+        EXPECT_TRUE(inst.isOk());
+        return inst.takeValue();
+    }
+};
+
+/** fill(dst, val, n) then copy(dst2, src, n), returning a probe byte. */
+TEST_P(BulkMemoryTest, FillAndCopy)
+{
+    wasm::ModuleBuilder mb;
+    mb.addMemory(1, 1);
+    uint32_t t = mb.addType(
+        {ValType::i32, ValType::i32, ValType::i32}, {ValType::i32});
+    auto& f = mb.addFunction(t);
+    // memory.fill(16, val, 64)
+    f.i32Const(16);
+    f.localGet(1);
+    f.i32Const(64);
+    f.memoryFill();
+    // memory.copy(dst=200, src=16, 64)
+    f.i32Const(200);
+    f.i32Const(16);
+    f.i32Const(64);
+    f.memoryCopy();
+    // return mem[200 + arg0]
+    f.i32Const(200);
+    f.localGet(0);
+    f.emit(Op::i32_add);
+    f.memOp(Op::i32_load8_u);
+    uint32_t idx = f.finish();
+    mb.exportFunc("go", idx);
+
+    auto inst = instantiate(mb.build());
+    ASSERT_NE(inst, nullptr);
+    CallOutcome out = inst->callExport(
+        "go", {Value::fromI32(63), Value::fromI32(0xAB),
+               Value::fromI32(0)});
+    ASSERT_TRUE(out.ok()) << trapKindName(out.trap);
+    EXPECT_EQ(out.results[0].i32, 0xABu);
+}
+
+/** Overlapping memory.copy behaves like memmove. */
+TEST_P(BulkMemoryTest, OverlappingCopyIsMemmove)
+{
+    wasm::ModuleBuilder mb;
+    mb.addMemory(1, 1);
+    // Seed bytes 0..7 with 10..17 via data segment.
+    mb.addData(0, {10, 11, 12, 13, 14, 15, 16, 17});
+    uint32_t t = mb.addType({ValType::i32}, {ValType::i32});
+    auto& f = mb.addFunction(t);
+    // copy(2, 0, 6): forward overlap — performed once, on peek(0) only
+    // (the function runs per probe and the copy is not idempotent).
+    f.localGet(0);
+    f.emit(Op::i32_eqz);
+    f.ifElse();
+    f.i32Const(2);
+    f.i32Const(0);
+    f.i32Const(6);
+    f.memoryCopy();
+    f.end();
+    f.localGet(0);
+    f.memOp(Op::i32_load8_u);
+    uint32_t idx = f.finish();
+    mb.exportFunc("peek", idx);
+
+    auto inst = instantiate(mb.build());
+    ASSERT_NE(inst, nullptr);
+    // After memmove: [10, 11, 10, 11, 12, 13, 14, 15]
+    const uint8_t expected[8] = {10, 11, 10, 11, 12, 13, 14, 15};
+    for (int i = 0; i < 8; i++) {
+        CallOutcome out =
+            inst->callExport("peek", {Value::fromI32(uint32_t(i))});
+        ASSERT_TRUE(out.ok());
+        EXPECT_EQ(out.results[0].i32, expected[i]) << "byte " << i;
+    }
+}
+
+/** Bulk operations trap atomically when any byte is out of bounds. */
+TEST_P(BulkMemoryTest, BulkOutOfBoundsTraps)
+{
+    wasm::ModuleBuilder mb;
+    mb.addMemory(1, 1);
+    uint32_t t = mb.addType({ValType::i32}, {});
+    auto& f = mb.addFunction(t);
+    f.localGet(0);
+    f.i32Const(0x5A);
+    f.i32Const(4096);
+    f.memoryFill();
+    uint32_t idx = f.finish();
+    mb.exportFunc("fill", idx);
+
+    auto inst = instantiate(mb.build());
+    ASSERT_NE(inst, nullptr);
+    EXPECT_TRUE(inst->callExport("fill", {Value::fromI32(0)}).ok());
+    CallOutcome oob = inst->callExport(
+        "fill", {Value::fromI32(64 * 1024 - 100)});
+    EXPECT_EQ(oob.trap, wasm::TrapKind::out_of_bounds_memory);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEngines, BulkMemoryTest,
+    testing::Values(EngineKind::interp_switch,
+                    EngineKind::interp_threaded, EngineKind::jit_base,
+                    EngineKind::jit_opt),
+    [](const testing::TestParamInfo<EngineKind>& info) {
+        std::string name = engineKindName(info.param);
+        for (char& c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+// ---------------------------------------------------------------------
+// Re-entrant host calls
+// ---------------------------------------------------------------------
+
+TEST(Reentrancy, WasmHostWasmRoundTrip)
+{
+    // wasm `outer` calls host `bounce`, which calls wasm `inner` on the
+    // same instance; traps in `inner` unwind to the host's protect frame.
+    wasm::ModuleBuilder mb;
+    uint32_t unop = mb.addType({ValType::i32}, {ValType::i32});
+    uint32_t bounce = mb.addImport("env", "bounce", unop);
+
+    auto& inner = mb.addFunction(unop);
+    inner.localGet(0);
+    inner.i32Const(100);
+    inner.emit(Op::i32_div_u); // traps when arg == special marker? no:
+    uint32_t inner_idx = inner.finish();
+
+    auto& outer = mb.addFunction(unop);
+    outer.localGet(0);
+    outer.call(bounce);
+    uint32_t outer_idx = outer.finish();
+    mb.exportFunc("outer", outer_idx);
+    mb.exportFunc("inner", inner_idx);
+
+    EngineConfig config;
+    config.kind = EngineKind::jit_base;
+    Engine engine(config);
+    auto compiled = engine.compile(mb.build());
+    ASSERT_TRUE(compiled.isOk());
+
+    struct BounceState
+    {
+        Instance* instance = nullptr;
+    } state;
+
+    rt::ImportMap imports;
+    imports.add(
+        "env", "bounce", wasm::FuncType{{ValType::i32}, {ValType::i32}},
+        [](exec::InstanceContext*, Value* args, void* user) {
+            auto* s = static_cast<BounceState*>(user);
+            // Re-enter the instance from host code.
+            CallOutcome out = s->instance->callExport(
+                "inner", {Value::fromI32(args[0].i32 * 2)});
+            args[0] = Value::fromI32(out.ok() ? out.results[0].i32
+                                              : 0xDEAD);
+        },
+        &state);
+
+    auto inst = Instance::create(compiled.takeValue(),
+                                 std::move(imports));
+    ASSERT_TRUE(inst.isOk());
+    state.instance = inst.value().get();
+
+    CallOutcome out = inst.value()->callExport(
+        "outer", {Value::fromI32(700)});
+    ASSERT_TRUE(out.ok()) << trapKindName(out.trap);
+    EXPECT_EQ(out.results[0].i32, 14u); // (700*2)/100
+}
+
+// ---------------------------------------------------------------------
+// Concurrency: one CompiledModule, many threads, many instances
+// ---------------------------------------------------------------------
+
+wasm::Module
+concurrencyModule()
+{
+    wasm::ModuleBuilder mb;
+    mb.addMemory(1, 4);
+    uint32_t t = mb.addType({ValType::i32}, {ValType::i64});
+    auto& f = mb.addFunction(t);
+    uint32_t i = f.addLocal(ValType::i32);
+    uint32_t acc = f.addLocal(ValType::i64);
+    // Write then sum a small array parameterized by the argument, so
+    // different instances produce different results.
+    auto exit = f.block();
+    auto head = f.loop();
+    f.localGet(i);
+    f.i32Const(1000);
+    f.emit(Op::i32_ge_s);
+    f.brIf(exit);
+    f.localGet(i);
+    f.i32Const(2);
+    f.emit(Op::i32_shl);
+    f.localGet(i);
+    f.localGet(0);
+    f.emit(Op::i32_mul);
+    f.memOp(Op::i32_store);
+    f.localGet(acc);
+    f.localGet(i);
+    f.i32Const(2);
+    f.emit(Op::i32_shl);
+    f.memOp(Op::i32_load);
+    f.emit(Op::i64_extend_i32_u);
+    f.emit(Op::i64_add);
+    f.localSet(acc);
+    f.localGet(i);
+    f.i32Const(1);
+    f.emit(Op::i32_add);
+    f.localSet(i);
+    f.br(head);
+    f.end();
+    f.end();
+    f.localGet(acc);
+    uint32_t idx = f.finish();
+    mb.exportFunc("work", idx);
+    return mb.build();
+}
+
+TEST(Concurrency, SharedModuleManyThreads)
+{
+    for (auto strategy :
+         {BoundsStrategy::mprotect, BoundsStrategy::uffd,
+          BoundsStrategy::trap}) {
+        EngineConfig config;
+        config.kind = EngineKind::jit_opt;
+        config.strategy = strategy;
+        Engine engine(config);
+        auto compiled = engine.compile(concurrencyModule());
+        ASSERT_TRUE(compiled.isOk());
+        auto module = compiled.takeValue();
+
+        // Expected value for multiplier m: sum(i * m) for i in [0,1000).
+        auto expected = [](uint32_t m) {
+            uint64_t sum = 0;
+            for (uint32_t i = 0; i < 1000; i++)
+                sum += uint32_t(i * m);
+            return sum;
+        };
+
+        std::atomic<int> failures{0};
+        std::vector<std::thread> threads;
+        for (int tid = 0; tid < 4; tid++) {
+            threads.emplace_back([&, tid] {
+                for (int round = 0; round < 25; round++) {
+                    uint32_t m = uint32_t(tid * 100 + round);
+                    auto inst = Instance::create(module);
+                    if (!inst.isOk()) {
+                        failures++;
+                        return;
+                    }
+                    CallOutcome out = inst.value()->callExport(
+                        "work", {Value::fromI32(m)});
+                    if (!out.ok() ||
+                        out.results[0].i64 != expected(m)) {
+                        failures++;
+                        return;
+                    }
+                }
+            });
+        }
+        for (auto& thread : threads)
+            thread.join();
+        EXPECT_EQ(failures.load(), 0)
+            << boundsStrategyName(strategy);
+    }
+}
+
+} // namespace
+} // namespace lnb

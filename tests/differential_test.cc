@@ -1,0 +1,510 @@
+/**
+ * @file
+ * Differential execution fuzzing: randomly generated (but always valid
+ * and non-trapping) programs must produce bit-identical results on every
+ * engine and bounds strategy. This is the strongest correctness oracle in
+ * the suite: the two interpreters and the two JIT tiers share no
+ * execution code beyond the lowered IR, so any semantic divergence in
+ * ~190 instructions shows up as a mismatch.
+ */
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "runtime/engine.h"
+#include "runtime/instance.h"
+#include "support/rng.h"
+#include "wasm/builder.h"
+#include "wasm/validator.h"
+
+namespace lnb {
+namespace {
+
+using wasm::FunctionBuilder;
+using wasm::ModuleBuilder;
+using wasm::Op;
+using wasm::ValType;
+
+/** Generates a random valid function body over typed locals. */
+class ProgramGenerator
+{
+  public:
+    ProgramGenerator(FunctionBuilder& f, Rng& rng) : f_(f), rng_(rng)
+    {
+        // A handful of locals of each type, pre-seeded from constants.
+        for (int i = 0; i < 3; i++) {
+            i32Locals_.push_back(f.addLocal(ValType::i32));
+            i64Locals_.push_back(f.addLocal(ValType::i64));
+            f64Locals_.push_back(f.addLocal(ValType::f64));
+            f32Locals_.push_back(f.addLocal(ValType::f32));
+        }
+    }
+
+    /** Emit the whole body; leaves one i64 result on the stack. */
+    void
+    emitBody()
+    {
+        // Seed locals.
+        for (uint32_t local : i32Locals_) {
+            f_.i32Const(int32_t(rng_.next()));
+            f_.localSet(local);
+        }
+        for (uint32_t local : i64Locals_) {
+            f_.i64Const(int64_t(rng_.next()));
+            f_.localSet(local);
+        }
+        for (uint32_t local : f64Locals_) {
+            f_.f64Const(smallF64());
+            f_.localSet(local);
+        }
+        for (uint32_t local : f32Locals_) {
+            f_.f32Const(float(smallF64()));
+            f_.localSet(local);
+        }
+
+        int statements = 6 + int(rng_.nextBelow(10));
+        for (int s = 0; s < statements; s++)
+            emitStatement();
+
+        // Fold everything into one i64.
+        f_.i64Const(0);
+        for (uint32_t local : i64Locals_) {
+            f_.localGet(local);
+            f_.emit(Op::i64_xor);
+        }
+        for (uint32_t local : i32Locals_) {
+            f_.localGet(local);
+            f_.emit(Op::i64_extend_i32_u);
+            f_.emit(Op::i64_add);
+        }
+        for (uint32_t local : f64Locals_) {
+            f_.localGet(local);
+            canonicalizeF64();
+            f_.emit(Op::i64_reinterpret_f64);
+            f_.emit(Op::i64_xor);
+        }
+        for (uint32_t local : f32Locals_) {
+            f_.localGet(local);
+            f_.emit(Op::f64_promote_f32);
+            canonicalizeF64();
+            f_.emit(Op::i64_reinterpret_f64);
+            f_.emit(Op::i64_add);
+        }
+        // Mix in a memory cell.
+        f_.i32Const(128);
+        f_.memOp(Op::i64_load);
+        f_.emit(Op::i64_xor);
+    }
+
+  private:
+    /** Replace non-canonical NaNs so cross-engine NaN payload freedom
+     * cannot cause spurious mismatches: x != x ? 1.5 : x. */
+    void
+    canonicalizeF64()
+    {
+        uint32_t tmp = scratchF64();
+        f_.localTee(tmp);
+        f_.f64Const(1.5);
+        f_.localGet(tmp);
+        f_.localGet(tmp);
+        f_.emit(Op::f64_eq); // false iff NaN
+        f_.select();
+    }
+
+    uint32_t
+    scratchF64()
+    {
+        if (scratchF64_ == UINT32_MAX)
+            scratchF64_ = f_.addLocal(ValType::f64);
+        return scratchF64_;
+    }
+
+    double
+    smallF64()
+    {
+        return (rng_.nextDouble() - 0.5) * 1e6;
+    }
+
+    uint32_t
+    pick(const std::vector<uint32_t>& locals)
+    {
+        return locals[rng_.nextBelow(locals.size())];
+    }
+
+    void
+    emitStatement()
+    {
+        switch (rng_.nextBelow(7)) {
+          case 0: { // i32 assignment
+            emitI32(3);
+            f_.localSet(pick(i32Locals_));
+            break;
+          }
+          case 1: { // i64 assignment
+            emitI64(3);
+            f_.localSet(pick(i64Locals_));
+            break;
+          }
+          case 2: { // f64 assignment
+            emitF64(3);
+            f_.localSet(pick(f64Locals_));
+            break;
+          }
+          case 3: { // store + load through memory
+            f_.i32Const(int32_t(rng_.nextBelow(480) * 8));
+            emitI64(2);
+            f_.memOp(Op::i64_store);
+            break;
+          }
+          case 4: { // if/else on a random condition
+            emitI32(2);
+            f_.ifElse();
+            emitI64(2);
+            f_.localSet(pick(i64Locals_));
+            f_.elseBranch();
+            emitI64(2);
+            f_.localSet(pick(i64Locals_));
+            f_.end();
+            break;
+          }
+          case 5: { // bounded loop accumulating into an i32 local
+            uint32_t counter = f_.addLocal(ValType::i32);
+            uint32_t target = pick(i32Locals_);
+            int trips = 1 + int(rng_.nextBelow(6));
+            f_.i32Const(trips);
+            f_.localSet(counter);
+            auto exit = f_.block();
+            auto head = f_.loop();
+            f_.localGet(counter);
+            f_.emit(Op::i32_eqz);
+            f_.brIf(exit);
+            f_.localGet(target);
+            emitI32(1);
+            f_.emit(Op::i32_add);
+            f_.localSet(target);
+            f_.localGet(counter);
+            f_.i32Const(1);
+            f_.emit(Op::i32_sub);
+            f_.localSet(counter);
+            f_.br(head);
+            f_.end();
+            f_.end();
+            break;
+          }
+          default: { // f32 assignment
+            emitF32(2);
+            f_.localSet(pick(f32Locals_));
+            break;
+          }
+        }
+    }
+
+    void
+    emitI32(int depth)
+    {
+        if (depth == 0 || rng_.chance(0.25)) {
+            if (rng_.chance(0.5))
+                f_.i32Const(int32_t(rng_.next()));
+            else
+                f_.localGet(pick(i32Locals_));
+            return;
+        }
+        switch (rng_.nextBelow(10)) {
+          case 0:
+            emitI32(depth - 1);
+            emitI32(depth - 1);
+            f_.emit(kI32BinOps[rng_.nextBelow(kNumI32BinOps)]);
+            break;
+          case 1: // division with a never-zero divisor
+            emitI32(depth - 1);
+            emitI32(depth - 1);
+            f_.i32Const(1);
+            f_.emit(Op::i32_or);
+            f_.emit(rng_.chance(0.5) ? Op::i32_div_u : Op::i32_rem_u);
+            break;
+          case 2:
+            emitI32(depth - 1);
+            f_.emit(kI32UnOps[rng_.nextBelow(kNumI32UnOps)]);
+            break;
+          case 3:
+            emitI64(depth - 1);
+            f_.emit(Op::i32_wrap_i64);
+            break;
+          case 4:
+            emitF64(depth - 1);
+            f_.emit(Op::i32_trunc_sat_f64_s);
+            break;
+          case 5: // comparison
+            emitI64(depth - 1);
+            emitI64(depth - 1);
+            f_.emit(Op::i64_lt_s);
+            break;
+          case 6:
+            emitF64(depth - 1);
+            emitF64(depth - 1);
+            f_.emit(Op::f64_le);
+            break;
+          case 7: { // select
+            emitI32(depth - 1);
+            emitI32(depth - 1);
+            emitI32(depth - 1);
+            f_.select();
+            break;
+          }
+          case 8: // in-bounds load
+            emitI32(depth - 1);
+            f_.i32Const(0xFFF);
+            f_.emit(Op::i32_and);
+            f_.memOp(Op::i32_load8_u, 16);
+            break;
+          default:
+            emitF32(depth - 1);
+            f_.emit(Op::i32_trunc_sat_f32_u);
+            break;
+        }
+    }
+
+    void
+    emitI64(int depth)
+    {
+        if (depth == 0 || rng_.chance(0.25)) {
+            if (rng_.chance(0.5))
+                f_.i64Const(int64_t(rng_.next()));
+            else
+                f_.localGet(pick(i64Locals_));
+            return;
+        }
+        switch (rng_.nextBelow(6)) {
+          case 0:
+            emitI64(depth - 1);
+            emitI64(depth - 1);
+            f_.emit(kI64BinOps[rng_.nextBelow(kNumI64BinOps)]);
+            break;
+          case 1:
+            emitI64(depth - 1);
+            emitI64(depth - 1);
+            f_.i64Const(1);
+            f_.emit(Op::i64_or);
+            f_.emit(rng_.chance(0.5) ? Op::i64_div_u : Op::i64_rem_s);
+            break;
+          case 2:
+            emitI64(depth - 1);
+            f_.emit(kI64UnOps[rng_.nextBelow(kNumI64UnOps)]);
+            break;
+          case 3:
+            emitI32(depth - 1);
+            f_.emit(rng_.chance(0.5) ? Op::i64_extend_i32_s
+                                     : Op::i64_extend_i32_u);
+            break;
+          case 4:
+            emitF64(depth - 1);
+            f_.emit(Op::i64_trunc_sat_f64_u);
+            break;
+          default:
+            emitF64(depth - 1);
+            f_.emit(Op::i64_reinterpret_f64);
+            break;
+        }
+    }
+
+    void
+    emitF64(int depth)
+    {
+        if (depth == 0 || rng_.chance(0.3)) {
+            if (rng_.chance(0.5))
+                f_.f64Const(smallF64());
+            else
+                f_.localGet(pick(f64Locals_));
+            return;
+        }
+        switch (rng_.nextBelow(6)) {
+          case 0:
+            emitF64(depth - 1);
+            emitF64(depth - 1);
+            f_.emit(kF64BinOps[rng_.nextBelow(kNumF64BinOps)]);
+            break;
+          case 1:
+            emitF64(depth - 1);
+            f_.emit(kF64UnOps[rng_.nextBelow(kNumF64UnOps)]);
+            break;
+          case 2:
+            emitF64(depth - 1);
+            f_.emit(Op::f64_abs);
+            f_.emit(Op::f64_sqrt);
+            break;
+          case 3:
+            emitI64(depth - 1);
+            f_.emit(rng_.chance(0.5) ? Op::f64_convert_i64_s
+                                     : Op::f64_convert_i64_u);
+            break;
+          case 4:
+            emitF32(depth - 1);
+            f_.emit(Op::f64_promote_f32);
+            break;
+          default:
+            emitI32(depth - 1);
+            f_.emit(Op::f64_convert_i32_s);
+            break;
+        }
+    }
+
+    void
+    emitF32(int depth)
+    {
+        if (depth == 0 || rng_.chance(0.4)) {
+            if (rng_.chance(0.5))
+                f_.f32Const(float(smallF64()));
+            else
+                f_.localGet(pick(f32Locals_));
+            return;
+        }
+        switch (rng_.nextBelow(4)) {
+          case 0:
+            emitF32(depth - 1);
+            emitF32(depth - 1);
+            f_.emit(kF32BinOps[rng_.nextBelow(kNumF32BinOps)]);
+            break;
+          case 1:
+            emitF32(depth - 1);
+            f_.emit(kF32UnOps[rng_.nextBelow(kNumF32UnOps)]);
+            break;
+          case 2:
+            emitF64(depth - 1);
+            f_.emit(Op::f32_demote_f64);
+            break;
+          default:
+            emitI32(depth - 1);
+            f_.emit(Op::f32_convert_i32_u);
+            break;
+        }
+    }
+
+    static constexpr Op kI32BinOps[] = {
+        Op::i32_add, Op::i32_sub, Op::i32_mul, Op::i32_and, Op::i32_or,
+        Op::i32_xor, Op::i32_shl, Op::i32_shr_s, Op::i32_shr_u,
+        Op::i32_rotl, Op::i32_rotr, Op::i32_eq, Op::i32_lt_u,
+        Op::i32_ge_s};
+    static constexpr size_t kNumI32BinOps =
+        sizeof(kI32BinOps) / sizeof(Op);
+    static constexpr Op kI32UnOps[] = {Op::i32_clz, Op::i32_ctz,
+                                       Op::i32_popcnt, Op::i32_eqz,
+                                       Op::i32_extend8_s,
+                                       Op::i32_extend16_s};
+    static constexpr size_t kNumI32UnOps = sizeof(kI32UnOps) / sizeof(Op);
+    static constexpr Op kI64BinOps[] = {
+        Op::i64_add, Op::i64_sub, Op::i64_mul, Op::i64_and, Op::i64_or,
+        Op::i64_xor, Op::i64_shl, Op::i64_shr_s, Op::i64_shr_u,
+        Op::i64_rotl, Op::i64_rotr};
+    static constexpr size_t kNumI64BinOps =
+        sizeof(kI64BinOps) / sizeof(Op);
+    static constexpr Op kI64UnOps[] = {Op::i64_clz, Op::i64_ctz,
+                                       Op::i64_popcnt, Op::i64_extend8_s,
+                                       Op::i64_extend16_s,
+                                       Op::i64_extend32_s};
+    static constexpr size_t kNumI64UnOps = sizeof(kI64UnOps) / sizeof(Op);
+    static constexpr Op kF64BinOps[] = {Op::f64_add, Op::f64_sub,
+                                        Op::f64_mul, Op::f64_div,
+                                        Op::f64_min, Op::f64_max,
+                                        Op::f64_copysign};
+    static constexpr size_t kNumF64BinOps =
+        sizeof(kF64BinOps) / sizeof(Op);
+    static constexpr Op kF64UnOps[] = {Op::f64_neg, Op::f64_abs,
+                                       Op::f64_ceil, Op::f64_floor,
+                                       Op::f64_trunc, Op::f64_nearest};
+    static constexpr size_t kNumF64UnOps = sizeof(kF64UnOps) / sizeof(Op);
+    static constexpr Op kF32BinOps[] = {Op::f32_add, Op::f32_sub,
+                                        Op::f32_mul, Op::f32_min,
+                                        Op::f32_max};
+    static constexpr size_t kNumF32BinOps =
+        sizeof(kF32BinOps) / sizeof(Op);
+    static constexpr Op kF32UnOps[] = {Op::f32_neg, Op::f32_abs,
+                                       Op::f32_floor, Op::f32_nearest};
+    static constexpr size_t kNumF32UnOps = sizeof(kF32UnOps) / sizeof(Op);
+
+    FunctionBuilder& f_;
+    Rng& rng_;
+    std::vector<uint32_t> i32Locals_, i64Locals_, f64Locals_, f32Locals_;
+    uint32_t scratchF64_ = UINT32_MAX;
+};
+
+wasm::Module
+generateProgram(uint64_t seed)
+{
+    Rng rng(seed);
+    ModuleBuilder mb;
+    mb.addMemory(1, 2);
+    uint32_t type = mb.addType({}, {ValType::i64});
+    auto& f = mb.addFunction(type);
+    ProgramGenerator gen(f, rng);
+    gen.emitBody();
+    uint32_t idx = f.finish();
+    mb.exportFunc("run", idx);
+    return mb.build();
+}
+
+class DifferentialFuzz : public testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(DifferentialFuzz, AllEnginesAgree)
+{
+    wasm::Module module = generateProgram(GetParam());
+    ASSERT_TRUE(wasm::validateModule(module).isOk())
+        << "seed " << GetParam() << ": "
+        << wasm::validateModule(module).toString();
+
+    bool have_reference = false;
+    uint64_t reference = 0;
+    std::string reference_config;
+
+    for (int engine = 0; engine < rt::kNumEngineKinds; engine++) {
+        for (auto strategy :
+             {mem::BoundsStrategy::none, mem::BoundsStrategy::clamp,
+              mem::BoundsStrategy::trap, mem::BoundsStrategy::uffd}) {
+            rt::EngineConfig config;
+            config.kind = rt::EngineKind(engine);
+            config.strategy = strategy;
+            rt::Engine eng(config);
+            wasm::Module copy = module;
+            auto compiled = eng.compile(std::move(copy));
+            ASSERT_TRUE(compiled.isOk())
+                << compiled.status().toString();
+            auto inst = rt::Instance::create(compiled.takeValue());
+            ASSERT_TRUE(inst.isOk()) << inst.status().toString();
+            rt::CallOutcome out = inst.value()->callExport("run", {});
+            ASSERT_TRUE(out.ok())
+                << "seed " << GetParam() << " trapped on "
+                << engineKindName(config.kind) << "/"
+                << boundsStrategyName(strategy) << ": "
+                << trapKindName(out.trap);
+            uint64_t result = out.results[0].i64;
+            if (!have_reference) {
+                reference = result;
+                have_reference = true;
+                reference_config =
+                    std::string(engineKindName(config.kind)) + "/" +
+                    boundsStrategyName(strategy);
+            } else {
+                ASSERT_EQ(result, reference)
+                    << "seed " << GetParam() << ": "
+                    << engineKindName(config.kind) << "/"
+                    << boundsStrategyName(strategy)
+                    << " disagrees with " << reference_config;
+            }
+        }
+    }
+}
+
+std::vector<uint64_t>
+fuzzSeeds()
+{
+    std::vector<uint64_t> seeds;
+    for (uint64_t i = 0; i < 60; i++)
+        seeds.push_back(0xD1FF0000 + i);
+    return seeds;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzz,
+                         testing::ValuesIn(fuzzSeeds()));
+
+} // namespace
+} // namespace lnb

@@ -1,0 +1,588 @@
+/**
+ * @file
+ * End-to-end tests: modules built with ModuleBuilder flow through encode ->
+ * decode -> validate -> lower -> execute on every engine kind and every
+ * bounds strategy, and all engines must agree.
+ */
+#include <gtest/gtest.h>
+
+#include "runtime/engine.h"
+#include "runtime/instance.h"
+#include "wasm/builder.h"
+#include "wasm/decoder.h"
+#include "wasm/encoder.h"
+
+namespace lnb {
+namespace {
+
+using mem::BoundsStrategy;
+using rt::CallOutcome;
+using rt::Engine;
+using rt::EngineConfig;
+using rt::EngineKind;
+using rt::Instance;
+using wasm::Module;
+using wasm::ModuleBuilder;
+using wasm::Op;
+using wasm::TrapKind;
+using wasm::ValType;
+using wasm::Value;
+
+/** All engine/strategy combinations, as a gtest parameter. */
+struct Combo
+{
+    EngineKind engine;
+    BoundsStrategy strategy;
+};
+
+std::vector<Combo>
+allCombos()
+{
+    std::vector<Combo> out;
+    for (int e = 0; e < rt::kNumEngineKinds; e++) {
+        for (int s = 0; s < mem::kNumBoundsStrategies; s++)
+            out.push_back({EngineKind(e), BoundsStrategy(s)});
+    }
+    return out;
+}
+
+std::string
+comboName(const testing::TestParamInfo<Combo>& info)
+{
+    std::string name = engineKindName(info.param.engine);
+    name += "_";
+    name += boundsStrategyName(info.param.strategy);
+    for (char& c : name) {
+        if (c == '-')
+            c = '_';
+    }
+    return name;
+}
+
+class EndToEndTest : public testing::TestWithParam<Combo>
+{
+  protected:
+    EngineConfig
+    config() const
+    {
+        EngineConfig cfg;
+        cfg.kind = GetParam().engine;
+        cfg.strategy = GetParam().strategy;
+        return cfg;
+    }
+
+    /** Encode+decode round trip, then compile and instantiate. */
+    std::unique_ptr<Instance>
+    instantiate(Module module)
+    {
+        std::vector<uint8_t> bytes = wasm::encodeModule(module);
+        Engine engine(config());
+        auto compiled = engine.compileBytes(bytes);
+        EXPECT_TRUE(compiled.isOk()) << compiled.status().toString();
+        if (!compiled.isOk())
+            return nullptr;
+        auto inst = Instance::create(compiled.takeValue());
+        EXPECT_TRUE(inst.isOk()) << inst.status().toString();
+        if (!inst.isOk())
+            return nullptr;
+        return inst.takeValue();
+    }
+};
+
+/** add(a, b) = a + b on i32. */
+TEST_P(EndToEndTest, AddI32)
+{
+    ModuleBuilder mb;
+    uint32_t t =
+        mb.addType({ValType::i32, ValType::i32}, {ValType::i32});
+    auto& f = mb.addFunction(t);
+    f.localGet(0);
+    f.localGet(1);
+    f.emit(Op::i32_add);
+    uint32_t idx = f.finish();
+    mb.exportFunc("add", idx);
+
+    auto inst = instantiate(mb.build());
+    ASSERT_NE(inst, nullptr);
+    CallOutcome out = inst->callExport(
+        "add", {Value::fromI32(41), Value::fromI32(1)});
+    ASSERT_TRUE(out.ok()) << trapKindName(out.trap);
+    EXPECT_EQ(out.results[0].i32, 42u);
+}
+
+/** Iterative factorial with a loop, i64 arithmetic and locals. */
+TEST_P(EndToEndTest, FactorialLoop)
+{
+    ModuleBuilder mb;
+    uint32_t t = mb.addType({ValType::i64}, {ValType::i64});
+    auto& f = mb.addFunction(t);
+    uint32_t acc = f.addLocal(ValType::i64);
+    f.i64Const(1);
+    f.localSet(acc);
+    auto block = f.block();
+    auto loop = f.loop();
+    // if (n == 0) break;
+    f.localGet(0);
+    f.emit(Op::i64_eqz);
+    f.brIf(block);
+    // acc *= n; n -= 1;
+    f.localGet(acc);
+    f.localGet(0);
+    f.emit(Op::i64_mul);
+    f.localSet(acc);
+    f.localGet(0);
+    f.i64Const(1);
+    f.emit(Op::i64_sub);
+    f.localSet(0);
+    f.br(loop);
+    f.end(); // loop
+    f.end(); // block
+    f.localGet(acc);
+    uint32_t idx = f.finish();
+    mb.exportFunc("fact", idx);
+
+    auto inst = instantiate(mb.build());
+    ASSERT_NE(inst, nullptr);
+    CallOutcome out = inst->callExport("fact", {Value::fromI64(20)});
+    ASSERT_TRUE(out.ok()) << trapKindName(out.trap);
+    EXPECT_EQ(out.results[0].i64, 2432902008176640000ull);
+}
+
+/** Recursion via wasm calls: fib(n). */
+TEST_P(EndToEndTest, RecursiveFib)
+{
+    ModuleBuilder mb;
+    uint32_t t = mb.addType({ValType::i32}, {ValType::i32});
+    auto& f = mb.addFunction(t);
+    uint32_t self = mb.numFuncs() - 1;
+    // if (n < 2) return n;
+    f.localGet(0);
+    f.i32Const(2);
+    f.emit(Op::i32_lt_s);
+    f.ifElse();
+    f.localGet(0);
+    f.ret();
+    f.end();
+    // return fib(n-1) + fib(n-2);
+    f.localGet(0);
+    f.i32Const(1);
+    f.emit(Op::i32_sub);
+    f.call(self);
+    f.localGet(0);
+    f.i32Const(2);
+    f.emit(Op::i32_sub);
+    f.call(self);
+    f.emit(Op::i32_add);
+    uint32_t idx = f.finish();
+    mb.exportFunc("fib", idx);
+
+    auto inst = instantiate(mb.build());
+    ASSERT_NE(inst, nullptr);
+    CallOutcome out = inst->callExport("fib", {Value::fromI32(24)});
+    ASSERT_TRUE(out.ok()) << trapKindName(out.trap);
+    EXPECT_EQ(out.results[0].i32, 46368u);
+}
+
+/** Memory store/load with f64 arithmetic: sum an array. */
+TEST_P(EndToEndTest, MemorySumF64)
+{
+    constexpr int kCount = 100;
+    ModuleBuilder mb;
+    mb.addMemory(1, 16);
+    uint32_t t = mb.addType({}, {ValType::f64});
+    auto& f = mb.addFunction(t);
+    uint32_t i = f.addLocal(ValType::i32);
+    uint32_t sum = f.addLocal(ValType::f64);
+
+    // for (i = 0; i < kCount; i++) mem[i*8] = i * 0.5;
+    auto init_block = f.block();
+    auto init_loop = f.loop();
+    f.localGet(i);
+    f.i32Const(kCount);
+    f.emit(Op::i32_ge_s);
+    f.brIf(init_block);
+    f.localGet(i);
+    f.i32Const(3);
+    f.emit(Op::i32_shl);
+    f.localGet(i);
+    f.emit(Op::f64_convert_i32_s);
+    f.f64Const(0.5);
+    f.emit(Op::f64_mul);
+    f.memOp(Op::f64_store);
+    f.localGet(i);
+    f.i32Const(1);
+    f.emit(Op::i32_add);
+    f.localSet(i);
+    f.br(init_loop);
+    f.end();
+    f.end();
+
+    // for (i = 0; i < kCount; i++) sum += mem[i*8];
+    f.i32Const(0);
+    f.localSet(i);
+    auto sum_block = f.block();
+    auto sum_loop = f.loop();
+    f.localGet(i);
+    f.i32Const(kCount);
+    f.emit(Op::i32_ge_s);
+    f.brIf(sum_block);
+    f.localGet(sum);
+    f.localGet(i);
+    f.i32Const(3);
+    f.emit(Op::i32_shl);
+    f.memOp(Op::f64_load);
+    f.emit(Op::f64_add);
+    f.localSet(sum);
+    f.localGet(i);
+    f.i32Const(1);
+    f.emit(Op::i32_add);
+    f.localSet(i);
+    f.br(sum_loop);
+    f.end();
+    f.end();
+
+    f.localGet(sum);
+    uint32_t idx = f.finish();
+    mb.exportFunc("sum", idx);
+
+    auto inst = instantiate(mb.build());
+    ASSERT_NE(inst, nullptr);
+    CallOutcome out = inst->callExport("sum", {});
+    ASSERT_TRUE(out.ok()) << trapKindName(out.trap);
+    // sum(0..99) * 0.5 = 4950 * 0.5
+    EXPECT_DOUBLE_EQ(out.results[0].f64, 2475.0);
+}
+
+/** Out-of-bounds accesses: trap for all strategies except none/clamp. */
+TEST_P(EndToEndTest, OutOfBoundsLoad)
+{
+    ModuleBuilder mb;
+    mb.addMemory(1, 1); // exactly 64 KiB
+    uint32_t t = mb.addType({ValType::i32}, {ValType::i32});
+    auto& f = mb.addFunction(t);
+    f.localGet(0);
+    f.memOp(Op::i32_load);
+    uint32_t idx = f.finish();
+    mb.exportFunc("peek", idx);
+
+    auto inst = instantiate(mb.build());
+    ASSERT_NE(inst, nullptr);
+
+    // In-bounds access always succeeds.
+    CallOutcome in_bounds =
+        inst->callExport("peek", {Value::fromI32(65532)});
+    EXPECT_TRUE(in_bounds.ok());
+
+    CallOutcome oob = inst->callExport("peek", {Value::fromI32(65533)});
+    BoundsStrategy strategy = GetParam().strategy;
+    if (strategy == BoundsStrategy::none) {
+        // Unsafe baseline: reads the reservation, no trap.
+        EXPECT_TRUE(oob.ok());
+    } else if (strategy == BoundsStrategy::clamp) {
+        // Clamped to the red zone: succeeds with red-zone bytes.
+        EXPECT_TRUE(oob.ok());
+    } else {
+        EXPECT_EQ(oob.trap, TrapKind::out_of_bounds_memory)
+            << trapKindName(oob.trap);
+    }
+
+    // Far out-of-bounds (worst case for guard strategies).
+    CallOutcome far = inst->callExport("peek", {Value::fromI32(1 << 30)});
+    if (strategy != BoundsStrategy::none &&
+        strategy != BoundsStrategy::clamp) {
+        EXPECT_EQ(far.trap, TrapKind::out_of_bounds_memory);
+    } else {
+        EXPECT_TRUE(far.ok());
+    }
+}
+
+/** Division traps. */
+TEST_P(EndToEndTest, DivideTraps)
+{
+    ModuleBuilder mb;
+    uint32_t t =
+        mb.addType({ValType::i32, ValType::i32}, {ValType::i32});
+    auto& f = mb.addFunction(t);
+    f.localGet(0);
+    f.localGet(1);
+    f.emit(Op::i32_div_s);
+    uint32_t idx = f.finish();
+    mb.exportFunc("div", idx);
+
+    auto inst = instantiate(mb.build());
+    ASSERT_NE(inst, nullptr);
+
+    CallOutcome ok =
+        inst->callExport("div", {Value::fromI32(42), Value::fromI32(7)});
+    ASSERT_TRUE(ok.ok());
+    EXPECT_EQ(ok.results[0].i32, 6u);
+
+    CallOutcome by_zero =
+        inst->callExport("div", {Value::fromI32(1), Value::fromI32(0)});
+    EXPECT_EQ(by_zero.trap, TrapKind::integer_divide_by_zero)
+        << trapKindName(by_zero.trap);
+
+    CallOutcome overflow = inst->callExport(
+        "div",
+        {Value::fromI32(0x80000000u), Value::fromI32(uint32_t(-1))});
+    EXPECT_EQ(overflow.trap, TrapKind::integer_overflow)
+        << trapKindName(overflow.trap);
+}
+
+/** call_indirect through a table, including type mismatch traps. */
+TEST_P(EndToEndTest, CallIndirect)
+{
+    ModuleBuilder mb;
+    uint32_t binop =
+        mb.addType({ValType::i32, ValType::i32}, {ValType::i32});
+    uint32_t unop = mb.addType({ValType::i32}, {ValType::i32});
+    mb.addTable(4, 4);
+
+    auto& add = mb.addFunction(binop);
+    add.localGet(0);
+    add.localGet(1);
+    add.emit(Op::i32_add);
+    uint32_t add_idx = add.finish();
+
+    auto& mul = mb.addFunction(binop);
+    mul.localGet(0);
+    mul.localGet(1);
+    mul.emit(Op::i32_mul);
+    uint32_t mul_idx = mul.finish();
+
+    auto& neg = mb.addFunction(unop);
+    neg.i32Const(0);
+    neg.localGet(0);
+    neg.emit(Op::i32_sub);
+    uint32_t neg_idx = neg.finish();
+
+    // dispatch(sel, a, b) = table[sel](a, b) via the binop type.
+    uint32_t disp_t = mb.addType(
+        {ValType::i32, ValType::i32, ValType::i32}, {ValType::i32});
+    auto& disp = mb.addFunction(disp_t);
+    disp.localGet(1);
+    disp.localGet(2);
+    disp.localGet(0);
+    disp.callIndirect(binop);
+    uint32_t disp_idx = disp.finish();
+
+    mb.addElem(0, {add_idx, mul_idx, neg_idx}); // slot 3 uninitialized
+    mb.exportFunc("dispatch", disp_idx);
+
+    auto inst = instantiate(mb.build());
+    ASSERT_NE(inst, nullptr);
+
+    auto call = [&](int sel, int a, int b) {
+        return inst->callExport("dispatch",
+                                {Value::fromI32(uint32_t(sel)),
+                                 Value::fromI32(uint32_t(a)),
+                                 Value::fromI32(uint32_t(b))});
+    };
+
+    CallOutcome sum = call(0, 20, 22);
+    ASSERT_TRUE(sum.ok()) << trapKindName(sum.trap);
+    EXPECT_EQ(sum.results[0].i32, 42u);
+
+    CallOutcome product = call(1, 6, 7);
+    ASSERT_TRUE(product.ok());
+    EXPECT_EQ(product.results[0].i32, 42u);
+
+    EXPECT_EQ(call(2, 1, 2).trap, TrapKind::indirect_type_mismatch);
+    EXPECT_EQ(call(3, 1, 2).trap, TrapKind::uninitialized_element);
+    EXPECT_EQ(call(99, 1, 2).trap, TrapKind::out_of_bounds_table);
+}
+
+/** memory.grow + memory.size across strategies. */
+TEST_P(EndToEndTest, MemoryGrow)
+{
+    ModuleBuilder mb;
+    mb.addMemory(1, 8);
+    uint32_t t = mb.addType({ValType::i32}, {ValType::i32});
+    auto& f = mb.addFunction(t);
+    f.localGet(0);
+    f.memoryGrow();
+    f.drop();
+    f.memorySize();
+    uint32_t idx = f.finish();
+    mb.exportFunc("grow", idx);
+
+    auto inst = instantiate(mb.build());
+    ASSERT_NE(inst, nullptr);
+
+    CallOutcome grown = inst->callExport("grow", {Value::fromI32(3)});
+    ASSERT_TRUE(grown.ok()) << trapKindName(grown.trap);
+    EXPECT_EQ(grown.results[0].i32, 4u);
+
+    // Growing past the declared max fails (memory.grow returns -1 and the
+    // size stays put).
+    CallOutcome refused = inst->callExport("grow", {Value::fromI32(100)});
+    ASSERT_TRUE(refused.ok());
+    EXPECT_EQ(refused.results[0].i32, 4u);
+}
+
+/** unreachable traps. */
+TEST_P(EndToEndTest, Unreachable)
+{
+    ModuleBuilder mb;
+    uint32_t t = mb.addType({}, {});
+    auto& f = mb.addFunction(t);
+    f.unreachable();
+    uint32_t idx = f.finish();
+    mb.exportFunc("boom", idx);
+
+    auto inst = instantiate(mb.build());
+    ASSERT_NE(inst, nullptr);
+    EXPECT_EQ(inst->callExport("boom", {}).trap, TrapKind::unreachable);
+}
+
+/** Host imports: wasm calls back into C++. */
+TEST_P(EndToEndTest, HostImport)
+{
+    ModuleBuilder mb;
+    uint32_t t = mb.addType({ValType::i32}, {ValType::i32});
+    uint32_t imp = mb.addImport("env", "triple", t);
+    auto& f = mb.addFunction(t);
+    f.localGet(0);
+    f.call(imp);
+    f.i32Const(1);
+    f.emit(Op::i32_add);
+    uint32_t idx = f.finish();
+    mb.exportFunc("run", idx);
+
+    std::vector<uint8_t> bytes = wasm::encodeModule(mb.build());
+    Engine engine(config());
+    auto compiled = engine.compileBytes(bytes);
+    ASSERT_TRUE(compiled.isOk()) << compiled.status().toString();
+
+    rt::ImportMap imports;
+    imports.add("env", "triple",
+                wasm::FuncType{{ValType::i32}, {ValType::i32}},
+                [](exec::InstanceContext*, Value* args, void*) {
+                    args[0] = Value::fromI32(args[0].i32 * 3);
+                });
+    auto inst = Instance::create(compiled.takeValue(), std::move(imports));
+    ASSERT_TRUE(inst.isOk()) << inst.status().toString();
+
+    CallOutcome out =
+        inst.value()->callExport("run", {Value::fromI32(13)});
+    ASSERT_TRUE(out.ok()) << trapKindName(out.trap);
+    EXPECT_EQ(out.results[0].i32, 40u);
+}
+
+/** br_table dispatch. */
+TEST_P(EndToEndTest, BrTable)
+{
+    ModuleBuilder mb;
+    uint32_t t = mb.addType({ValType::i32}, {ValType::i32});
+    auto& f = mb.addFunction(t);
+    auto d = f.block(); // default
+    auto c2 = f.block();
+    auto c1 = f.block();
+    auto c0 = f.block();
+    f.localGet(0);
+    f.brTable({c0, c1, c2}, d);
+    f.end(); // c0
+    f.i32Const(100);
+    f.ret();
+    f.end(); // c1
+    f.i32Const(200);
+    f.ret();
+    f.end(); // c2
+    f.i32Const(300);
+    f.ret();
+    f.end(); // d
+    f.i32Const(-1);
+    uint32_t idx = f.finish();
+    mb.exportFunc("sel", idx);
+
+    auto inst = instantiate(mb.build());
+    ASSERT_NE(inst, nullptr);
+    auto sel = [&](int v) {
+        CallOutcome out =
+            inst->callExport("sel", {Value::fromI32(uint32_t(v))});
+        EXPECT_TRUE(out.ok()) << trapKindName(out.trap);
+        return out.ok() ? int32_t(out.results[0].i32) : -999;
+    };
+    EXPECT_EQ(sel(0), 100);
+    EXPECT_EQ(sel(1), 200);
+    EXPECT_EQ(sel(2), 300);
+    EXPECT_EQ(sel(3), -1);
+    EXPECT_EQ(sel(1000), -1);
+}
+
+/** Mutable globals. */
+TEST_P(EndToEndTest, Globals)
+{
+    ModuleBuilder mb;
+    uint32_t g = mb.addGlobal(ValType::i64, true,
+                              wasm::Instr::constI64(7));
+    uint32_t t = mb.addType({ValType::i64}, {ValType::i64});
+    auto& f = mb.addFunction(t);
+    f.globalGet(g);
+    f.localGet(0);
+    f.emit(Op::i64_add);
+    f.globalSet(g);
+    f.globalGet(g);
+    uint32_t idx = f.finish();
+    mb.exportFunc("bump", idx);
+
+    auto inst = instantiate(mb.build());
+    ASSERT_NE(inst, nullptr);
+    CallOutcome first = inst->callExport("bump", {Value::fromI64(10)});
+    ASSERT_TRUE(first.ok());
+    EXPECT_EQ(first.results[0].i64, 17u);
+    CallOutcome second = inst->callExport("bump", {Value::fromI64(3)});
+    ASSERT_TRUE(second.ok());
+    EXPECT_EQ(second.results[0].i64, 20u);
+}
+
+/** Select on both register classes. */
+TEST_P(EndToEndTest, Select)
+{
+    ModuleBuilder mb;
+    uint32_t t = mb.addType({ValType::i32}, {ValType::f64});
+    auto& f = mb.addFunction(t);
+    f.f64Const(1.5);
+    f.f64Const(-2.5);
+    f.localGet(0);
+    f.select();
+    uint32_t idx = f.finish();
+    mb.exportFunc("pick", idx);
+
+    auto inst = instantiate(mb.build());
+    ASSERT_NE(inst, nullptr);
+    CallOutcome take_first = inst->callExport("pick", {Value::fromI32(1)});
+    ASSERT_TRUE(take_first.ok());
+    EXPECT_DOUBLE_EQ(take_first.results[0].f64, 1.5);
+    CallOutcome take_second =
+        inst->callExport("pick", {Value::fromI32(0)});
+    ASSERT_TRUE(take_second.ok());
+    EXPECT_DOUBLE_EQ(take_second.results[0].f64, -2.5);
+}
+
+/** Deep recursion hits the stack-overflow guard, not a crash. */
+TEST_P(EndToEndTest, StackOverflowGuard)
+{
+    ModuleBuilder mb;
+    uint32_t t = mb.addType({ValType::i32}, {ValType::i32});
+    auto& f = mb.addFunction(t);
+    uint32_t self = mb.numFuncs() - 1;
+    f.localGet(0);
+    f.i32Const(1);
+    f.emit(Op::i32_add);
+    f.call(self); // unconditionally recurse
+    uint32_t idx = f.finish();
+    mb.exportFunc("spin", idx);
+
+    auto inst = instantiate(mb.build());
+    ASSERT_NE(inst, nullptr);
+    CallOutcome out = inst->callExport("spin", {Value::fromI32(0)});
+    EXPECT_EQ(out.trap, TrapKind::stack_overflow)
+        << trapKindName(out.trap);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEnginesAllStrategies, EndToEndTest,
+                         testing::ValuesIn(allCombos()), comboName);
+
+} // namespace
+} // namespace lnb

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Harness tests: the benchmark driver's protocol guarantees (per-thread
+ * samples, checksum propagation, instance churn accounting) and the
+ * table reporter.
+ */
+#include <gtest/gtest.h>
+
+#include "harness/bench_runner.h"
+#include "harness/report.h"
+
+namespace lnb::harness {
+namespace {
+
+const kernels::Kernel*
+smallKernel()
+{
+    return kernels::findKernel("trisolv");
+}
+
+BenchSpec
+quickSpec(int threads, bool fresh)
+{
+    BenchSpec spec;
+    spec.kernel = smallKernel();
+    spec.engineConfig.kind = rt::EngineKind::jit_base;
+    spec.engineConfig.strategy = mem::BoundsStrategy::mprotect;
+    spec.scale = 16;
+    spec.numThreads = threads;
+    spec.iterations = 5;
+    spec.warmupIterations = 1;
+    spec.freshInstancePerIteration = fresh;
+    return spec;
+}
+
+TEST(BenchRunner, SingleThreadProducesSamples)
+{
+    BenchResult result = runBenchmark(quickSpec(1, false));
+    ASSERT_TRUE(result.ok) << result.error;
+    ASSERT_EQ(result.threads.size(), 1u);
+    EXPECT_EQ(result.threads[0].iterationSeconds.size(), 5u);
+    EXPECT_GT(result.medianIterationSeconds, 0.0);
+    EXPECT_GT(result.wallSeconds, 0.0);
+    EXPECT_GT(result.compileSeconds, 0.0);
+    // The checksum equals the native kernel's result.
+    EXPECT_EQ(result.threads[0].checksum, smallKernel()->native(16));
+}
+
+TEST(BenchRunner, MultiThreadRunsAllWorkers)
+{
+    BenchSpec spec = quickSpec(2, false);
+    spec.kernel = kernels::findKernel("gemm");
+    spec.scale = 4;
+    spec.iterations = 30; // long enough for the coarse CPU-time clock
+    BenchResult result = runBenchmark(spec);
+    ASSERT_TRUE(result.ok) << result.error;
+    ASSERT_EQ(result.threads.size(), 2u);
+    for (const ThreadStats& stats : result.threads) {
+        EXPECT_EQ(stats.iterationSeconds.size(), 30u);
+        EXPECT_EQ(stats.checksum, spec.kernel->native(4));
+    }
+    // Both workers burn CPU (the exact figure depends on host load and
+    // the kernel's CPU-clock granularity).
+    EXPECT_GT(result.cpuUtilizationPercent, 0.0);
+}
+
+TEST(BenchRunner, InstanceChurnAccountsMemoryWork)
+{
+    // mprotect strategy with per-iteration instances performs at least
+    // one resize syscall per instance creation.
+    BenchResult churn = runBenchmark(quickSpec(1, true));
+    ASSERT_TRUE(churn.ok);
+    EXPECT_GE(churn.resizeSyscalls, 5u);
+
+    BenchResult reuse = runBenchmark(quickSpec(1, false));
+    ASSERT_TRUE(reuse.ok);
+    EXPECT_LT(reuse.resizeSyscalls, churn.resizeSyscalls);
+}
+
+TEST(BenchRunner, NativeBaselineMatchesProtocol)
+{
+    BenchSpec protocol;
+    protocol.iterations = 4;
+    BenchResult result =
+        runNativeBaseline(*smallKernel(), 16, 1, protocol);
+    ASSERT_TRUE(result.ok);
+    EXPECT_EQ(result.threads[0].iterationSeconds.size(), 4u);
+    EXPECT_EQ(result.threads[0].checksum, smallKernel()->native(16));
+}
+
+TEST(Report, TableAlignsColumns)
+{
+    Table table({"name", "value"});
+    table.addRow({"a", "1"});
+    table.addRow({"long-name", "22"});
+    std::string text = table.toString();
+    EXPECT_NE(text.find("name       value"), std::string::npos);
+    EXPECT_NE(text.find("long-name  22"), std::string::npos);
+    // Separator under the header.
+    EXPECT_NE(text.find("-----"), std::string::npos);
+}
+
+TEST(Report, CellFormats)
+{
+    EXPECT_EQ(cell("%.2fx", 1.5), "1.50x");
+    EXPECT_EQ(cell("%d", 42), "42");
+}
+
+} // namespace
+} // namespace lnb::harness

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Workload validation: every kernel's wasm module must produce the same
+ * checksum as its native implementation, on every engine and strategy.
+ * Native code is compiled with -ffp-contract=off and the kernels perform
+ * the same float operations in the same order, so comparisons are exact.
+ */
+#include <gtest/gtest.h>
+
+#include "kernels/kernel.h"
+#include "runtime/engine.h"
+#include "runtime/instance.h"
+#include "wasm/encoder.h"
+#include "wasm/validator.h"
+
+namespace lnb {
+namespace {
+
+using kernels::Kernel;
+using mem::BoundsStrategy;
+using rt::Engine;
+using rt::EngineConfig;
+using rt::EngineKind;
+using rt::Instance;
+
+constexpr int kTestScale = 8; // shrink datasets for test speed
+
+double
+runOnEngine(const Kernel& kernel, EngineKind engine_kind,
+            BoundsStrategy strategy, int scale)
+{
+    EngineConfig config;
+    config.kind = engine_kind;
+    config.strategy = strategy;
+    Engine engine(config);
+    auto compiled = engine.compile(kernel.buildModule(scale));
+    EXPECT_TRUE(compiled.isOk())
+        << kernel.name << ": " << compiled.status().toString();
+    if (!compiled.isOk())
+        return -1;
+    auto inst = Instance::create(compiled.takeValue());
+    EXPECT_TRUE(inst.isOk()) << inst.status().toString();
+    if (!inst.isOk())
+        return -1;
+    rt::CallOutcome out = inst.value()->callExport("run", {});
+    EXPECT_TRUE(out.ok())
+        << kernel.name << " trapped: " << trapKindName(out.trap);
+    return out.ok() ? out.results[0].f64 : -1;
+}
+
+class KernelChecksumTest : public testing::TestWithParam<const Kernel*>
+{};
+
+/** Modules must round-trip the binary format and validate. */
+TEST_P(KernelChecksumTest, ModuleValidates)
+{
+    const Kernel& kernel = *GetParam();
+    wasm::Module module = kernel.buildModule(kTestScale);
+    Status valid = wasm::validateModule(module);
+    ASSERT_TRUE(valid.isOk()) << kernel.name << ": " << valid.toString();
+    // Round-trip through the binary format.
+    std::vector<uint8_t> bytes = wasm::encodeModule(module);
+    EXPECT_GT(bytes.size(), 64u);
+}
+
+/** jit-base/mprotect (the default configuration) matches native. */
+TEST_P(KernelChecksumTest, JitMatchesNative)
+{
+    const Kernel& kernel = *GetParam();
+    double native = kernel.native(kTestScale);
+    double wasm_result = runOnEngine(kernel, EngineKind::jit_base,
+                                     BoundsStrategy::mprotect, kTestScale);
+    EXPECT_EQ(native, wasm_result) << kernel.name;
+}
+
+/** The optimizing tier agrees. */
+TEST_P(KernelChecksumTest, JitOptMatchesNative)
+{
+    const Kernel& kernel = *GetParam();
+    double native = kernel.native(kTestScale);
+    double wasm_result = runOnEngine(kernel, EngineKind::jit_opt,
+                                     BoundsStrategy::uffd, kTestScale);
+    EXPECT_EQ(native, wasm_result) << kernel.name;
+}
+
+/** Both interpreters agree. */
+TEST_P(KernelChecksumTest, InterpretersMatchNative)
+{
+    const Kernel& kernel = *GetParam();
+    double native = kernel.native(kTestScale);
+    EXPECT_EQ(native,
+              runOnEngine(kernel, EngineKind::interp_threaded,
+                          BoundsStrategy::none, kTestScale))
+        << kernel.name << " (threaded)";
+    EXPECT_EQ(native,
+              runOnEngine(kernel, EngineKind::interp_switch,
+                          BoundsStrategy::trap, kTestScale))
+        << kernel.name << " (switch)";
+}
+
+/** Software checks do not change results for in-bounds programs. */
+TEST_P(KernelChecksumTest, SoftwareChecksPreserveResults)
+{
+    const Kernel& kernel = *GetParam();
+    double native = kernel.native(kTestScale);
+    EXPECT_EQ(native,
+              runOnEngine(kernel, EngineKind::jit_base,
+                          BoundsStrategy::clamp, kTestScale))
+        << kernel.name << " (clamp)";
+    EXPECT_EQ(native,
+              runOnEngine(kernel, EngineKind::jit_base,
+                          BoundsStrategy::trap, kTestScale))
+        << kernel.name << " (trap)";
+}
+
+std::string
+kernelName(const testing::TestParamInfo<const Kernel*>& info)
+{
+    std::string name = info.param->name;
+    for (char& c : name) {
+        if (c == '-')
+            c = '_';
+    }
+    return name;
+}
+
+std::vector<const Kernel*>
+allKernelPtrs()
+{
+    std::vector<const Kernel*> out;
+    for (const Kernel& kernel : kernels::allKernels())
+        out.push_back(&kernel);
+    return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, KernelChecksumTest,
+                         testing::ValuesIn(allKernelPtrs()), kernelName);
+
+/** The registry exposes both suites with unique names. */
+TEST(KernelRegistry, SuitesPopulated)
+{
+    EXPECT_GE(kernels::suiteKernels("polybench").size(), 18u);
+    EXPECT_GE(kernels::suiteKernels("specproxy").size(), 7u);
+    std::set<std::string> names;
+    for (const Kernel& kernel : kernels::allKernels())
+        EXPECT_TRUE(names.insert(kernel.name).second)
+            << "duplicate kernel " << kernel.name;
+    EXPECT_EQ(kernels::findKernel("gemm")->suite, "polybench");
+    EXPECT_EQ(kernels::findKernel("nonexistent"), nullptr);
+}
+
+} // namespace
+} // namespace lnb

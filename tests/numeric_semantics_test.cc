@@ -1,0 +1,422 @@
+/**
+ * @file
+ * Absolute numeric-semantics oracle: spec-defined results (and traps) for
+ * the edge cases of checked truncations, saturating truncations, integer
+ * division, float min/max (NaN and signed zero), rounding (ties to
+ * even), bit counting and sign extension — executed on every engine.
+ * The differential fuzzer only proves engines agree with each other;
+ * these tests pin them to the WebAssembly specification.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "runtime/engine.h"
+#include "runtime/instance.h"
+#include "wasm/builder.h"
+
+namespace lnb {
+namespace {
+
+using mem::BoundsStrategy;
+using rt::CallOutcome;
+using rt::Engine;
+using rt::EngineConfig;
+using rt::EngineKind;
+using rt::Instance;
+using wasm::Op;
+using wasm::TrapKind;
+using wasm::ValType;
+using wasm::Value;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/** Build (param T) -> U applying a single unary op. */
+wasm::Module
+unaryModule(Op op, ValType in, ValType out)
+{
+    wasm::ModuleBuilder mb;
+    uint32_t t = mb.addType({in}, {out});
+    auto& f = mb.addFunction(t);
+    f.localGet(0);
+    f.emit(op);
+    uint32_t idx = f.finish();
+    mb.exportFunc("f", idx);
+    return mb.build();
+}
+
+/** Build (param T, T) -> U applying a single binary op. */
+wasm::Module
+binaryModule(Op op, ValType in, ValType out)
+{
+    wasm::ModuleBuilder mb;
+    uint32_t t = mb.addType({in, in}, {out});
+    auto& f = mb.addFunction(t);
+    f.localGet(0);
+    f.localGet(1);
+    f.emit(op);
+    uint32_t idx = f.finish();
+    mb.exportFunc("f", idx);
+    return mb.build();
+}
+
+/** Engines under test (one per technique). */
+const std::vector<EngineKind>&
+engines()
+{
+    static const std::vector<EngineKind> kinds = {
+        EngineKind::interp_switch, EngineKind::interp_threaded,
+        EngineKind::jit_base, EngineKind::jit_opt};
+    return kinds;
+}
+
+CallOutcome
+runOn(EngineKind kind, const wasm::Module& module,
+      std::vector<Value> args)
+{
+    EngineConfig config;
+    config.kind = kind;
+    config.strategy = BoundsStrategy::none;
+    Engine engine(config);
+    wasm::Module copy = module;
+    auto compiled = engine.compile(std::move(copy));
+    EXPECT_TRUE(compiled.isOk()) << compiled.status().toString();
+    auto inst = Instance::create(compiled.takeValue());
+    EXPECT_TRUE(inst.isOk());
+    return inst.value()->call(
+        inst.value()->exportedFunc("f").value(), args);
+}
+
+// ---------------------------------------------------------------------
+// Checked truncations: value cases and trap cases (spec 4.3.2.21-24)
+// ---------------------------------------------------------------------
+
+struct TruncCase
+{
+    Op op;
+    double input;
+    uint64_t expected; ///< result bits, ignored when trap != none
+    TrapKind trap;
+};
+
+class TruncF64Test : public testing::TestWithParam<TruncCase>
+{};
+
+TEST_P(TruncF64Test, MatchesSpecOnAllEngines)
+{
+    const TruncCase& test = GetParam();
+    bool to32 = test.op == Op::i32_trunc_f64_s ||
+                test.op == Op::i32_trunc_f64_u;
+    wasm::Module module =
+        unaryModule(test.op, ValType::f64,
+                    to32 ? ValType::i32 : ValType::i64);
+    for (EngineKind kind : engines()) {
+        CallOutcome out =
+            runOn(kind, module, {Value::fromF64(test.input)});
+        if (test.trap != TrapKind::none) {
+            EXPECT_EQ(out.trap, test.trap)
+                << engineKindName(kind) << " input " << test.input;
+        } else {
+            ASSERT_TRUE(out.ok())
+                << engineKindName(kind) << ": "
+                << trapKindName(out.trap) << " input " << test.input;
+            uint64_t got = to32 ? out.results[0].i32
+                                : out.results[0].i64;
+            EXPECT_EQ(got, test.expected)
+                << engineKindName(kind) << " input " << test.input;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, TruncF64Test,
+    testing::Values(
+        // i32.trunc_f64_s
+        TruncCase{Op::i32_trunc_f64_s, 3.9, 3, TrapKind::none},
+        TruncCase{Op::i32_trunc_f64_s, -3.9, uint64_t(uint32_t(-3)),
+                  TrapKind::none},
+        TruncCase{Op::i32_trunc_f64_s, 2147483647.0, 2147483647,
+                  TrapKind::none},
+        TruncCase{Op::i32_trunc_f64_s, -2147483648.0, 0x80000000ull,
+                  TrapKind::none},
+        TruncCase{Op::i32_trunc_f64_s, -2147483648.9, 0x80000000ull,
+                  TrapKind::none}, // truncates into range
+        TruncCase{Op::i32_trunc_f64_s, 2147483648.0, 0,
+                  TrapKind::integer_overflow},
+        TruncCase{Op::i32_trunc_f64_s, -2147483649.0, 0,
+                  TrapKind::integer_overflow},
+        TruncCase{Op::i32_trunc_f64_s, kNaN, 0,
+                  TrapKind::invalid_conversion},
+        TruncCase{Op::i32_trunc_f64_s, kInf, 0,
+                  TrapKind::integer_overflow},
+        // i32.trunc_f64_u
+        TruncCase{Op::i32_trunc_f64_u, 4294967295.0, 0xFFFFFFFFull,
+                  TrapKind::none},
+        TruncCase{Op::i32_trunc_f64_u, -0.9, 0, TrapKind::none},
+        TruncCase{Op::i32_trunc_f64_u, 4294967296.0, 0,
+                  TrapKind::integer_overflow},
+        TruncCase{Op::i32_trunc_f64_u, -1.0, 0,
+                  TrapKind::integer_overflow},
+        TruncCase{Op::i32_trunc_f64_u, kNaN, 0,
+                  TrapKind::invalid_conversion},
+        // i64.trunc_f64_s
+        TruncCase{Op::i64_trunc_f64_s, 4e18, 4000000000000000000ull,
+                  TrapKind::none},
+        TruncCase{Op::i64_trunc_f64_s, -9223372036854775808.0,
+                  0x8000000000000000ull, TrapKind::none},
+        TruncCase{Op::i64_trunc_f64_s, 9223372036854775808.0, 0,
+                  TrapKind::integer_overflow},
+        TruncCase{Op::i64_trunc_f64_s, -kInf, 0,
+                  TrapKind::integer_overflow},
+        // i64.trunc_f64_u
+        TruncCase{Op::i64_trunc_f64_u, 1.8e19, 18000000000000000000ull,
+                  TrapKind::none},
+        TruncCase{Op::i64_trunc_f64_u, 9223372036854775808.0,
+                  0x8000000000000000ull, TrapKind::none},
+        TruncCase{Op::i64_trunc_f64_u, -0.5, 0, TrapKind::none},
+        TruncCase{Op::i64_trunc_f64_u, 18446744073709551616.0, 0,
+                  TrapKind::integer_overflow},
+        TruncCase{Op::i64_trunc_f64_u, kNaN, 0,
+                  TrapKind::invalid_conversion}));
+
+// ---------------------------------------------------------------------
+// Saturating truncations never trap (spec 4.3.2.25-28)
+// ---------------------------------------------------------------------
+
+struct SatCase
+{
+    Op op;
+    double input;
+    uint64_t expected;
+};
+
+class TruncSatTest : public testing::TestWithParam<SatCase>
+{};
+
+TEST_P(TruncSatTest, SaturatesOnAllEngines)
+{
+    const SatCase& test = GetParam();
+    bool to32 = test.op == Op::i32_trunc_sat_f64_s ||
+                test.op == Op::i32_trunc_sat_f64_u;
+    wasm::Module module =
+        unaryModule(test.op, ValType::f64,
+                    to32 ? ValType::i32 : ValType::i64);
+    for (EngineKind kind : engines()) {
+        CallOutcome out =
+            runOn(kind, module, {Value::fromF64(test.input)});
+        ASSERT_TRUE(out.ok()) << engineKindName(kind);
+        uint64_t got = to32 ? out.results[0].i32 : out.results[0].i64;
+        EXPECT_EQ(got, test.expected)
+            << engineKindName(kind) << " input " << test.input;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, TruncSatTest,
+    testing::Values(
+        SatCase{Op::i32_trunc_sat_f64_s, kNaN, 0},
+        SatCase{Op::i32_trunc_sat_f64_s, 1e10, 0x7FFFFFFFull},
+        SatCase{Op::i32_trunc_sat_f64_s, -1e10, 0x80000000ull},
+        SatCase{Op::i32_trunc_sat_f64_s, -7.7, uint64_t(uint32_t(-7))},
+        SatCase{Op::i32_trunc_sat_f64_u, kNaN, 0},
+        SatCase{Op::i32_trunc_sat_f64_u, -5.0, 0},
+        SatCase{Op::i32_trunc_sat_f64_u, 1e10, 0xFFFFFFFFull},
+        SatCase{Op::i64_trunc_sat_f64_s, kInf, 0x7FFFFFFFFFFFFFFFull},
+        SatCase{Op::i64_trunc_sat_f64_s, -kInf, 0x8000000000000000ull},
+        SatCase{Op::i64_trunc_sat_f64_u, -kInf, 0},
+        SatCase{Op::i64_trunc_sat_f64_u, 2e19, 0xFFFFFFFFFFFFFFFFull},
+        SatCase{Op::i64_trunc_sat_f64_u, 123.9, 123}));
+
+// ---------------------------------------------------------------------
+// Float min/max: NaN propagation and signed zero (spec 4.3.3)
+// ---------------------------------------------------------------------
+
+TEST(FloatSemantics, MinMaxSignedZeroAndNaN)
+{
+    wasm::Module fmin = binaryModule(Op::f64_min, ValType::f64,
+                                     ValType::f64);
+    wasm::Module fmax = binaryModule(Op::f64_max, ValType::f64,
+                                     ValType::f64);
+    for (EngineKind kind : engines()) {
+        // min(-0, +0) == -0 ; max(-0, +0) == +0.
+        CallOutcome min_zero = runOn(
+            kind, fmin, {Value::fromF64(-0.0), Value::fromF64(0.0)});
+        ASSERT_TRUE(min_zero.ok());
+        EXPECT_TRUE(std::signbit(min_zero.results[0].f64))
+            << engineKindName(kind);
+        CallOutcome max_zero = runOn(
+            kind, fmax, {Value::fromF64(-0.0), Value::fromF64(0.0)});
+        ASSERT_TRUE(max_zero.ok());
+        EXPECT_FALSE(std::signbit(max_zero.results[0].f64))
+            << engineKindName(kind);
+        // NaN propagates from either side.
+        for (auto args :
+             {std::vector<Value>{Value::fromF64(kNaN),
+                                 Value::fromF64(1.0)},
+              std::vector<Value>{Value::fromF64(1.0),
+                                 Value::fromF64(kNaN)}}) {
+            CallOutcome nan_out = runOn(kind, fmin, args);
+            ASSERT_TRUE(nan_out.ok());
+            EXPECT_TRUE(std::isnan(nan_out.results[0].f64))
+                << engineKindName(kind);
+        }
+        // Ordinary ordering still works.
+        CallOutcome plain = runOn(
+            kind, fmin, {Value::fromF64(2.5), Value::fromF64(-1.0)});
+        EXPECT_DOUBLE_EQ(plain.results[0].f64, -1.0);
+    }
+}
+
+TEST(FloatSemantics, NearestTiesToEven)
+{
+    wasm::Module nearest =
+        unaryModule(Op::f64_nearest, ValType::f64, ValType::f64);
+    const std::pair<double, double> cases[] = {
+        {0.5, 0.0},  {1.5, 2.0},  {2.5, 2.0},  {-0.5, -0.0},
+        {-1.5, -2.0}, {3.7, 4.0}, {-3.7, -4.0}};
+    for (EngineKind kind : engines()) {
+        for (auto [input, expected] : cases) {
+            CallOutcome out =
+                runOn(kind, nearest, {Value::fromF64(input)});
+            ASSERT_TRUE(out.ok());
+            EXPECT_EQ(out.results[0].f64, expected)
+                << engineKindName(kind) << " nearest(" << input << ")";
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Integer edges: division, shifts, bit counting, sign extension
+// ---------------------------------------------------------------------
+
+TEST(IntSemantics, DivisionEdges)
+{
+    wasm::Module rem_s = binaryModule(Op::i32_rem_s, ValType::i32,
+                                      ValType::i32);
+    wasm::Module div_u = binaryModule(Op::i32_div_u, ValType::i32,
+                                      ValType::i32);
+    for (EngineKind kind : engines()) {
+        // INT_MIN % -1 == 0 (must NOT trap).
+        CallOutcome rem = runOn(kind, rem_s,
+                                {Value::fromI32(0x80000000u),
+                                 Value::fromI32(uint32_t(-1))});
+        ASSERT_TRUE(rem.ok()) << engineKindName(kind) << ": "
+                              << trapKindName(rem.trap);
+        EXPECT_EQ(rem.results[0].i32, 0u);
+        // Unsigned division treats operands as unsigned.
+        CallOutcome div = runOn(kind, div_u,
+                                {Value::fromI32(uint32_t(-2)),
+                                 Value::fromI32(2)});
+        ASSERT_TRUE(div.ok());
+        EXPECT_EQ(div.results[0].i32, 0x7FFFFFFFu);
+        // rem by zero traps.
+        EXPECT_EQ(runOn(kind, rem_s,
+                        {Value::fromI32(5), Value::fromI32(0)})
+                      .trap,
+                  TrapKind::integer_divide_by_zero);
+    }
+}
+
+TEST(IntSemantics, ShiftMaskingAndRotates)
+{
+    wasm::Module shl = binaryModule(Op::i32_shl, ValType::i32,
+                                    ValType::i32);
+    wasm::Module rotl = binaryModule(Op::i64_rotl, ValType::i64,
+                                     ValType::i64);
+    for (EngineKind kind : engines()) {
+        // Shift counts are masked mod 32.
+        CallOutcome masked = runOn(
+            kind, shl, {Value::fromI32(1), Value::fromI32(33)});
+        EXPECT_EQ(masked.results[0].i32, 2u) << engineKindName(kind);
+        CallOutcome rot =
+            runOn(kind, rotl,
+                  {Value::fromI64(0x8000000000000001ull),
+                   Value::fromI64(1)});
+        EXPECT_EQ(rot.results[0].i64, 3u) << engineKindName(kind);
+    }
+}
+
+TEST(IntSemantics, BitCountingZeroEdges)
+{
+    for (EngineKind kind : engines()) {
+        auto unary32 = [&](Op op, uint32_t input) {
+            wasm::Module module =
+                unaryModule(op, ValType::i32, ValType::i32);
+            return runOn(kind, module, {Value::fromI32(input)})
+                .results[0]
+                .i32;
+        };
+        EXPECT_EQ(unary32(Op::i32_clz, 0), 32u) << engineKindName(kind);
+        EXPECT_EQ(unary32(Op::i32_ctz, 0), 32u);
+        EXPECT_EQ(unary32(Op::i32_clz, 1), 31u);
+        EXPECT_EQ(unary32(Op::i32_ctz, 0x80000000u), 31u);
+        EXPECT_EQ(unary32(Op::i32_popcnt, 0xF0F0F0F0u), 16u);
+
+        auto unary64 = [&](Op op, uint64_t input) {
+            wasm::Module module =
+                unaryModule(op, ValType::i64, ValType::i64);
+            return runOn(kind, module, {Value::fromI64(input)})
+                .results[0]
+                .i64;
+        };
+        EXPECT_EQ(unary64(Op::i64_clz, 0), 64u);
+        EXPECT_EQ(unary64(Op::i64_ctz, 0), 64u);
+        EXPECT_EQ(unary64(Op::i64_clz, 0x100000000ull), 31u);
+    }
+}
+
+TEST(IntSemantics, SignExtensionOps)
+{
+    for (EngineKind kind : engines()) {
+        wasm::Module ext8 =
+            unaryModule(Op::i32_extend8_s, ValType::i32, ValType::i32);
+        EXPECT_EQ(runOn(kind, ext8, {Value::fromI32(0x80)})
+                      .results[0]
+                      .i32,
+                  0xFFFFFF80u)
+            << engineKindName(kind);
+        EXPECT_EQ(runOn(kind, ext8, {Value::fromI32(0x17F)})
+                      .results[0]
+                      .i32,
+                  0x7Fu);
+        wasm::Module ext32 = unaryModule(Op::i64_extend32_s,
+                                         ValType::i64, ValType::i64);
+        EXPECT_EQ(runOn(kind, ext32,
+                        {Value::fromI64(0x00000000FFFFFFFFull)})
+                      .results[0]
+                      .i64,
+                  0xFFFFFFFFFFFFFFFFull);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Unsigned <-> float conversions
+// ---------------------------------------------------------------------
+
+TEST(ConvertSemantics, UnsignedConversionsExact)
+{
+    for (EngineKind kind : engines()) {
+        wasm::Module u64_to_f64 = unaryModule(Op::f64_convert_i64_u,
+                                              ValType::i64,
+                                              ValType::f64);
+        CallOutcome big = runOn(
+            kind, u64_to_f64, {Value::fromI64(0xFFFFFFFFFFFFFFFFull)});
+        EXPECT_DOUBLE_EQ(big.results[0].f64, 18446744073709551616.0)
+            << engineKindName(kind);
+        CallOutcome small =
+            runOn(kind, u64_to_f64, {Value::fromI64(1ull << 62)});
+        EXPECT_DOUBLE_EQ(small.results[0].f64, 4611686018427387904.0);
+
+        wasm::Module u32_to_f32 = unaryModule(Op::f32_convert_i32_u,
+                                              ValType::i32,
+                                              ValType::f32);
+        CallOutcome u32 = runOn(kind, u32_to_f32,
+                                {Value::fromI32(0xFFFFFFFFu)});
+        EXPECT_FLOAT_EQ(u32.results[0].f32, 4294967296.0f);
+    }
+}
+
+} // namespace
+} // namespace lnb

@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Runtime-layer tests: engine/strategy registries, compile statistics,
+ * import binding errors, and the WASI-lite host functions.
+ */
+#include <gtest/gtest.h>
+
+#include "runtime/engine.h"
+#include "runtime/instance.h"
+#include "runtime/wasi.h"
+#include "wasm/encoder.h"
+#include "wasm/builder.h"
+
+namespace lnb::rt {
+namespace {
+
+using mem::BoundsStrategy;
+using wasm::Op;
+using wasm::ValType;
+using wasm::Value;
+
+TEST(Registries, EngineNamesRoundTrip)
+{
+    for (int i = 0; i < kNumEngineKinds; i++) {
+        EngineKind kind = EngineKind(i);
+        EngineKind parsed;
+        ASSERT_TRUE(engineKindFromName(engineKindName(kind), parsed));
+        EXPECT_EQ(parsed, kind);
+    }
+    EngineKind out;
+    EXPECT_FALSE(engineKindFromName("v8", out));
+}
+
+TEST(Registries, StrategyNamesRoundTrip)
+{
+    for (int i = 0; i < mem::kNumBoundsStrategies; i++) {
+        BoundsStrategy strategy = BoundsStrategy(i);
+        BoundsStrategy parsed;
+        ASSERT_TRUE(boundsStrategyFromName(boundsStrategyName(strategy),
+                                           parsed));
+        EXPECT_EQ(parsed, strategy);
+    }
+    BoundsStrategy out;
+    EXPECT_FALSE(boundsStrategyFromName("mpx", out));
+}
+
+wasm::Module
+trivialModule()
+{
+    wasm::ModuleBuilder mb;
+    uint32_t t = mb.addType({}, {ValType::i32});
+    auto& f = mb.addFunction(t);
+    f.i32Const(5);
+    uint32_t idx = f.finish();
+    mb.exportFunc("five", idx);
+    return mb.build();
+}
+
+TEST(Engine, CompileStatsPopulated)
+{
+    Engine engine(EngineConfig{});
+    auto bytes = wasm::encodeModule(trivialModule());
+    auto compiled = engine.compileBytes(bytes);
+    ASSERT_TRUE(compiled.isOk());
+    const CompileStats& stats = compiled.value()->stats();
+    EXPECT_GT(stats.codeBytes, 0u); // default engine is a JIT
+    EXPECT_GE(stats.decodeSeconds, 0.0);
+}
+
+TEST(Engine, RejectsInvalidModule)
+{
+    wasm::Module module = trivialModule();
+    module.bodies[0].code.clear();
+    module.bodies[0].code.push_back(wasm::Instr::simple(Op::end));
+    // Function promises an i32 but returns nothing.
+    Engine engine(EngineConfig{});
+    auto compiled = engine.compile(std::move(module));
+    EXPECT_FALSE(compiled.isOk());
+    EXPECT_EQ(compiled.status().code(), StatusCode::validation_failed);
+}
+
+TEST(Instance, MissingImportIsAnError)
+{
+    wasm::ModuleBuilder mb;
+    uint32_t t = mb.addType({}, {});
+    mb.addImport("env", "absent", t);
+    auto& f = mb.addFunction(t);
+    uint32_t idx = f.finish();
+    mb.exportFunc("noop", idx);
+
+    Engine engine(EngineConfig{});
+    auto compiled = engine.compile(mb.build());
+    ASSERT_TRUE(compiled.isOk());
+    auto inst = Instance::create(compiled.takeValue());
+    EXPECT_FALSE(inst.isOk());
+}
+
+TEST(Instance, ImportTypeMismatchIsAnError)
+{
+    wasm::ModuleBuilder mb;
+    uint32_t t = mb.addType({ValType::i32}, {});
+    mb.addImport("env", "f", t);
+    auto& f = mb.addFunction(mb.addType({}, {}));
+    uint32_t idx = f.finish();
+    mb.exportFunc("noop", idx);
+
+    Engine engine(EngineConfig{});
+    auto compiled = engine.compile(mb.build());
+    ASSERT_TRUE(compiled.isOk());
+    ImportMap imports;
+    imports.add("env", "f", wasm::FuncType{{ValType::i64}, {}},
+                [](exec::InstanceContext*, Value*, void*) {});
+    auto inst = Instance::create(compiled.takeValue(),
+                                 std::move(imports));
+    EXPECT_FALSE(inst.isOk());
+}
+
+TEST(Instance, StartFunctionRuns)
+{
+    wasm::ModuleBuilder mb;
+    mb.addMemory(1, 1);
+    uint32_t void_t = mb.addType({}, {});
+    auto& start = mb.addFunction(void_t);
+    start.i32Const(0);
+    start.i32Const(1234);
+    start.memOp(Op::i32_store);
+    uint32_t start_idx = start.finish();
+    mb.setStart(start_idx);
+
+    uint32_t read_t = mb.addType({}, {ValType::i32});
+    auto& read = mb.addFunction(read_t);
+    read.i32Const(0);
+    read.memOp(Op::i32_load);
+    uint32_t read_idx = read.finish();
+    mb.exportFunc("read", read_idx);
+
+    Engine engine(EngineConfig{});
+    auto compiled = engine.compile(mb.build());
+    ASSERT_TRUE(compiled.isOk());
+    auto inst = Instance::create(compiled.takeValue());
+    ASSERT_TRUE(inst.isOk()) << inst.status().toString();
+    CallOutcome out = inst.value()->callExport("read", {});
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out.results[0].i32, 1234u);
+}
+
+// ---------------------------------------------------------------------
+// WASI-lite
+// ---------------------------------------------------------------------
+
+/** Module calling fd_write(1, iovec{ptr,len}, 1, nwritten). */
+wasm::Module
+helloWasiModule(const std::string& text)
+{
+    wasm::ModuleBuilder mb;
+    uint32_t fd_write_t = mb.addType(
+        {ValType::i32, ValType::i32, ValType::i32, ValType::i32},
+        {ValType::i32});
+    uint32_t fd_write =
+        mb.addImport("wasi_snapshot_preview1", "fd_write", fd_write_t);
+    mb.addMemory(1, 1);
+    std::vector<uint8_t> data(text.begin(), text.end());
+    mb.addData(64, data);
+
+    auto& f = mb.addFunction(mb.addType({}, {ValType::i32}));
+    // iovec at 16: {buf=64, len=text.size()}
+    f.i32Const(16);
+    f.i32Const(64);
+    f.memOp(Op::i32_store);
+    f.i32Const(20);
+    f.i32Const(int32_t(text.size()));
+    f.memOp(Op::i32_store);
+    f.i32Const(1);  // fd
+    f.i32Const(16); // iovs
+    f.i32Const(1);  // iovs_len
+    f.i32Const(32); // nwritten ptr
+    f.call(fd_write);
+    f.drop();
+    // return nwritten
+    f.i32Const(32);
+    f.memOp(Op::i32_load);
+    uint32_t idx = f.finish();
+    mb.exportFunc("say", idx);
+    return mb.build();
+}
+
+TEST(Wasi, FdWriteCapturesOutput)
+{
+    Wasi::Options options;
+    options.captureOutput = true;
+    Wasi wasi(options);
+
+    Engine engine(EngineConfig{});
+    auto compiled = engine.compile(helloWasiModule("hello, wasi\n"));
+    ASSERT_TRUE(compiled.isOk()) << compiled.status().toString();
+    auto inst = Instance::create(compiled.takeValue(), wasi.imports());
+    ASSERT_TRUE(inst.isOk()) << inst.status().toString();
+
+    CallOutcome out = inst.value()->callExport("say", {});
+    ASSERT_TRUE(out.ok()) << trapKindName(out.trap);
+    EXPECT_EQ(out.results[0].i32, 12u);
+    EXPECT_EQ(wasi.capturedOutput(), "hello, wasi\n");
+}
+
+TEST(Wasi, ProcExitRecordsCode)
+{
+    Wasi wasi;
+    wasm::ModuleBuilder mb;
+    uint32_t exit_t = mb.addType({ValType::i32}, {});
+    uint32_t proc_exit =
+        mb.addImport("wasi_snapshot_preview1", "proc_exit", exit_t);
+    mb.addMemory(1, 1);
+    auto& f = mb.addFunction(mb.addType({}, {}));
+    f.i32Const(42);
+    f.call(proc_exit);
+    uint32_t idx = f.finish();
+    mb.exportFunc("die", idx);
+
+    Engine engine(EngineConfig{});
+    auto compiled = engine.compile(mb.build());
+    ASSERT_TRUE(compiled.isOk());
+    auto inst = Instance::create(compiled.takeValue(), wasi.imports());
+    ASSERT_TRUE(inst.isOk());
+
+    CallOutcome out = inst.value()->callExport("die", {});
+    EXPECT_FALSE(out.ok()); // surfaced as a host trap...
+    ASSERT_TRUE(wasi.exitCode().has_value());
+    EXPECT_EQ(*wasi.exitCode(), 42u); // ...with the code recorded
+}
+
+TEST(Wasi, RandomGetIsDeterministicPerSeed)
+{
+    auto run = [](uint64_t seed) {
+        Wasi::Options options;
+        options.randomSeed = seed;
+        Wasi wasi(options);
+        wasm::ModuleBuilder mb;
+        uint32_t rand_t =
+            mb.addType({ValType::i32, ValType::i32}, {ValType::i32});
+        uint32_t random_get = mb.addImport("wasi_snapshot_preview1",
+                                           "random_get", rand_t);
+        mb.addMemory(1, 1);
+        auto& f = mb.addFunction(mb.addType({}, {ValType::i64}));
+        f.i32Const(0);
+        f.i32Const(8);
+        f.call(random_get);
+        f.drop();
+        f.i32Const(0);
+        f.memOp(Op::i64_load);
+        uint32_t idx = f.finish();
+        mb.exportFunc("rand64", idx);
+
+        Engine engine(EngineConfig{});
+        auto compiled = engine.compile(mb.build());
+        auto inst =
+            Instance::create(compiled.takeValue(), wasi.imports());
+        return inst.value()->callExport("rand64", {}).results[0].i64;
+    };
+    EXPECT_EQ(run(7), run(7));
+    EXPECT_NE(run(7), run(8));
+}
+
+TEST(Wasi, ArgsRoundTrip)
+{
+    Wasi::Options options;
+    options.args = {"prog", "alpha", "beta"};
+    Wasi wasi(options);
+    wasm::ModuleBuilder mb;
+    uint32_t two_i32 =
+        mb.addType({ValType::i32, ValType::i32}, {ValType::i32});
+    uint32_t args_sizes = mb.addImport("wasi_snapshot_preview1",
+                                       "args_sizes_get", two_i32);
+    uint32_t args_get =
+        mb.addImport("wasi_snapshot_preview1", "args_get", two_i32);
+    mb.addMemory(1, 1);
+    auto& f = mb.addFunction(mb.addType({}, {ValType::i32}));
+    f.i32Const(0); // argc at 0
+    f.i32Const(4); // buf size at 4
+    f.call(args_sizes);
+    f.drop();
+    f.i32Const(16);  // argv array
+    f.i32Const(128); // argv buffer
+    f.call(args_get);
+    f.drop();
+    // return argc * 1000 + first byte of argv[1]
+    f.i32Const(0);
+    f.memOp(Op::i32_load);
+    f.i32Const(1000);
+    f.emit(Op::i32_mul);
+    f.i32Const(20); // argv[1] pointer slot
+    f.memOp(Op::i32_load);
+    f.memOp(Op::i32_load8_u);
+    f.emit(Op::i32_add);
+    uint32_t idx = f.finish();
+    mb.exportFunc("probe", idx);
+
+    Engine engine(EngineConfig{});
+    auto compiled = engine.compile(mb.build());
+    ASSERT_TRUE(compiled.isOk());
+    auto inst = Instance::create(compiled.takeValue(), wasi.imports());
+    ASSERT_TRUE(inst.isOk()) << inst.status().toString();
+    CallOutcome out = inst.value()->callExport("probe", {});
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out.results[0].i32, 3000u + 'a');
+}
+
+} // namespace
+} // namespace lnb::rt

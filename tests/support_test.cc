@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Unit tests for the support library: LEB128 encode/decode (round trips
+ * and malformed-input rejection), statistics helpers, and the
+ * deterministic RNG.
+ */
+#include <gtest/gtest.h>
+
+#include "support/leb128.h"
+#include "support/rng.h"
+#include "support/stats.h"
+#include "support/status.h"
+
+namespace lnb {
+namespace {
+
+// ---------------------------------------------------------------------
+// LEB128
+// ---------------------------------------------------------------------
+
+class LebU32Roundtrip : public testing::TestWithParam<uint32_t>
+{};
+
+TEST_P(LebU32Roundtrip, EncodesAndDecodes)
+{
+    ByteWriter writer;
+    writer.writeVarU32(GetParam());
+    ByteReader reader(writer.bytes());
+    auto decoded = reader.readVarU32();
+    ASSERT_TRUE(decoded.isOk());
+    EXPECT_EQ(decoded.value(), GetParam());
+    EXPECT_TRUE(reader.atEnd());
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, LebU32Roundtrip,
+                         testing::Values(0u, 1u, 127u, 128u, 129u, 255u,
+                                         16383u, 16384u, 0x7FFFFFFFu,
+                                         0x80000000u, UINT32_MAX));
+
+class LebS64Roundtrip : public testing::TestWithParam<int64_t>
+{};
+
+TEST_P(LebS64Roundtrip, EncodesAndDecodes)
+{
+    ByteWriter writer;
+    writer.writeVarS64(GetParam());
+    ByteReader reader(writer.bytes());
+    auto decoded = reader.readVarS64();
+    ASSERT_TRUE(decoded.isOk());
+    EXPECT_EQ(decoded.value(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, LebS64Roundtrip,
+                         testing::Values(int64_t(0), int64_t(1),
+                                         int64_t(-1), int64_t(63),
+                                         int64_t(64), int64_t(-64),
+                                         int64_t(-65), INT64_MAX,
+                                         INT64_MIN, int64_t(1) << 32,
+                                         -(int64_t(1) << 32)));
+
+TEST(Leb128, SignedRoundtripSweep)
+{
+    Rng rng(1);
+    for (int i = 0; i < 2000; i++) {
+        int32_t v = int32_t(rng.next());
+        ByteWriter writer;
+        writer.writeVarS32(v);
+        ByteReader reader(writer.bytes());
+        auto decoded = reader.readVarS32();
+        ASSERT_TRUE(decoded.isOk());
+        EXPECT_EQ(decoded.value(), v);
+    }
+}
+
+TEST(Leb128, RejectsOverlongU32)
+{
+    // Six continuation bytes exceed 32 bits of payload.
+    const uint8_t bytes[] = {0x80, 0x80, 0x80, 0x80, 0x80, 0x01};
+    ByteReader reader(bytes, sizeof bytes);
+    EXPECT_FALSE(reader.readVarU32().isOk());
+}
+
+TEST(Leb128, RejectsU32PayloadOverflow)
+{
+    // Fifth byte may only carry 4 more bits.
+    const uint8_t bytes[] = {0xFF, 0xFF, 0xFF, 0xFF, 0x1F};
+    ByteReader reader(bytes, sizeof bytes);
+    EXPECT_FALSE(reader.readVarU32().isOk());
+}
+
+TEST(Leb128, RejectsTruncatedInput)
+{
+    const uint8_t bytes[] = {0xFF};
+    ByteReader reader(bytes, sizeof bytes);
+    EXPECT_FALSE(reader.readVarU32().isOk());
+}
+
+TEST(Leb128, PaddedPatchSlot)
+{
+    ByteWriter writer;
+    writer.writeByte(0xAA);
+    size_t slot = writer.reservePaddedVarU32();
+    writer.writeByte(0xBB);
+    writer.patchPaddedVarU32(slot, 300);
+    ByteReader reader(writer.bytes());
+    EXPECT_EQ(reader.readByte().value(), 0xAA);
+    EXPECT_EQ(reader.readVarU32().value(), 300u);
+    EXPECT_EQ(reader.readByte().value(), 0xBB);
+}
+
+// ---------------------------------------------------------------------
+// Statistics
+// ---------------------------------------------------------------------
+
+TEST(Stats, MedianOddEven)
+{
+    EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+    EXPECT_DOUBLE_EQ(median({7.0}), 7.0);
+    EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(Stats, GeomeanOfRatios)
+{
+    // Fleming & Wallace: geomean of {2, 0.5} is exactly 1.
+    EXPECT_DOUBLE_EQ(geomeanOfRatios({2.0, 1.0}, {1.0, 2.0}), 1.0);
+    EXPECT_NEAR(geomeanOfRatios({4.0, 9.0}, {1.0, 1.0}), 6.0, 1e-12);
+}
+
+TEST(Stats, Percentile)
+{
+    std::vector<double> values = {1, 2, 3, 4, 5};
+    EXPECT_DOUBLE_EQ(percentile(values, 0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(values, 50), 3.0);
+    EXPECT_DOUBLE_EQ(percentile(values, 100), 5.0);
+    EXPECT_DOUBLE_EQ(percentile(values, 25), 2.0);
+}
+
+TEST(Stats, RunningStats)
+{
+    RunningStats stats;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        stats.add(v);
+    EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+    EXPECT_NEAR(stats.stddev(), 2.138, 1e-3);
+    EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+// ---------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BoundedValuesInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; i++) {
+        EXPECT_LT(rng.nextBelow(17), 17u);
+        int64_t v = rng.nextInRange(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, RoughlyUniform)
+{
+    Rng rng(11);
+    int buckets[8] = {};
+    constexpr int kDraws = 80000;
+    for (int i = 0; i < kDraws; i++)
+        buckets[rng.nextBelow(8)]++;
+    for (int count : buckets) {
+        EXPECT_GT(count, kDraws / 8 - kDraws / 40);
+        EXPECT_LT(count, kDraws / 8 + kDraws / 40);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Status
+// ---------------------------------------------------------------------
+
+TEST(Status, OkAndErrorBasics)
+{
+    Status ok = Status::ok();
+    EXPECT_TRUE(ok.isOk());
+    EXPECT_EQ(ok.toString(), "ok");
+
+    Status err = errMalformed("bad byte");
+    EXPECT_FALSE(err.isOk());
+    EXPECT_EQ(err.code(), StatusCode::malformed);
+    EXPECT_EQ(err.toString(), "malformed: bad byte");
+}
+
+TEST(Status, ResultValueAndError)
+{
+    Result<int> good(41);
+    ASSERT_TRUE(good.isOk());
+    EXPECT_EQ(good.value(), 41);
+    EXPECT_EQ(good.valueOr(0), 41);
+
+    Result<int> bad(errInvalid("nope"));
+    EXPECT_FALSE(bad.isOk());
+    EXPECT_EQ(bad.valueOr(-1), -1);
+    EXPECT_EQ(bad.status().code(), StatusCode::invalid_argument);
+}
+
+} // namespace
+} // namespace lnb

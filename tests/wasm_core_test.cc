@@ -1,0 +1,368 @@
+/**
+ * @file
+ * Unit tests for the wasm core: opcode table integrity, binary
+ * encoder/decoder round trips, malformed-module rejection, validator
+ * negative cases, and lowering structure.
+ */
+#include <gtest/gtest.h>
+
+#include "wasm/builder.h"
+#include "wasm/decoder.h"
+#include "wasm/disasm.h"
+#include "wasm/encoder.h"
+#include "wasm/lower.h"
+#include "wasm/validator.h"
+
+namespace lnb::wasm {
+namespace {
+
+// ---------------------------------------------------------------------
+// Opcode table
+// ---------------------------------------------------------------------
+
+TEST(OpcodeTable, EncodingsAreUniqueAndReversible)
+{
+    std::set<uint32_t> encodings;
+    for (size_t i = 0; i < kOpCount; i++) {
+        Op op = Op(i);
+        const OpInfo& info = opInfo(op);
+        EXPECT_TRUE(encodings.insert(info.encoding).second)
+            << "duplicate encoding for " << info.name;
+        Op round_trip;
+        ASSERT_TRUE(opFromEncoding(info.encoding, round_trip));
+        EXPECT_EQ(round_trip, op);
+    }
+    Op out;
+    EXPECT_FALSE(opFromEncoding(0x06, out)); // reserved byte
+    EXPECT_FALSE(opFromEncoding(0xFC63, out));
+}
+
+TEST(OpcodeTable, SignaturesAreWellFormed)
+{
+    for (size_t i = 0; i < kOpCount; i++) {
+        const OpInfo& info = opInfo(Op(i));
+        if (info.sig[0] == '*')
+            continue;
+        const char* colon = strchr(info.sig, ':');
+        ASSERT_NE(colon, nullptr) << info.name;
+        for (const char* p = info.sig; *p; p++) {
+            if (p == colon)
+                continue;
+            EXPECT_TRUE(*p == 'i' || *p == 'I' || *p == 'f' || *p == 'F')
+                << info.name;
+        }
+    }
+}
+
+TEST(OpcodeTable, MemAccessSizes)
+{
+    EXPECT_EQ(memAccessSize(Op::i32_load8_u), 1u);
+    EXPECT_EQ(memAccessSize(Op::i64_load16_s), 2u);
+    EXPECT_EQ(memAccessSize(Op::f32_store), 4u);
+    EXPECT_EQ(memAccessSize(Op::i64_load), 8u);
+    EXPECT_EQ(memNaturalAlignExp(Op::f64_load), 3u);
+    EXPECT_TRUE(isLoadOp(Op::i64_load32_u));
+    EXPECT_FALSE(isLoadOp(Op::i32_store));
+    EXPECT_TRUE(isStoreOp(Op::i64_store32));
+}
+
+// ---------------------------------------------------------------------
+// Binary round trip
+// ---------------------------------------------------------------------
+
+Module
+richModule()
+{
+    ModuleBuilder mb;
+    uint32_t binop = mb.addType({ValType::i32, ValType::i32},
+                                {ValType::i32});
+    uint32_t f64fn = mb.addType({ValType::f64}, {ValType::f64});
+    uint32_t imp = mb.addImport("env", "callback", binop);
+    mb.addMemory(2, 10);
+    mb.addTable(4, 8);
+    uint32_t g = mb.addGlobal(ValType::f64, true, Instr::constF64(2.5));
+
+    auto& a = mb.addFunction(binop);
+    a.localGet(0);
+    a.localGet(1);
+    a.call(imp);
+    uint32_t a_idx = a.finish();
+
+    auto& b = mb.addFunction(f64fn);
+    uint32_t tmp = b.addLocal(ValType::i64);
+    b.localGet(0);
+    b.globalGet(g);
+    b.emit(Op::f64_mul);
+    b.emit(Op::i64_trunc_sat_f64_s);
+    b.localSet(tmp);
+    b.localGet(tmp);
+    b.emit(Op::f64_convert_i64_s);
+    uint32_t b_idx = b.finish();
+
+    mb.addElem(1, {a_idx, b_idx});
+    mb.addData(64, {1, 2, 3, 4, 5});
+    mb.exportFunc("a", a_idx);
+    mb.exportFunc("b", b_idx);
+    mb.exportMemory("memory");
+    return mb.build();
+}
+
+TEST(BinaryFormat, EncodeDecodeRoundTrip)
+{
+    Module original = richModule();
+    std::vector<uint8_t> bytes = encodeModule(original);
+    auto decoded = decodeModule(bytes);
+    ASSERT_TRUE(decoded.isOk()) << decoded.status().toString();
+    const Module& module = decoded.value();
+
+    EXPECT_EQ(module.types.size(), original.types.size());
+    EXPECT_EQ(module.imports.size(), original.imports.size());
+    EXPECT_EQ(module.functions, original.functions);
+    EXPECT_EQ(module.memories[0].min, 2u);
+    EXPECT_EQ(module.memories[0].max, 10u);
+    EXPECT_EQ(module.tables[0].min, 4u);
+    EXPECT_EQ(module.globals.size(), 1u);
+    EXPECT_TRUE(module.globals[0].isMutable);
+    EXPECT_EQ(module.exports.size(), original.exports.size());
+    EXPECT_EQ(module.datas[0].bytes,
+              std::vector<uint8_t>({1, 2, 3, 4, 5}));
+
+    // Re-encoding the decoded module reproduces identical bytes.
+    EXPECT_EQ(encodeModule(module), bytes);
+
+    // And the round-tripped module still validates.
+    EXPECT_TRUE(validateModule(module).isOk());
+}
+
+TEST(BinaryFormat, RejectsBadMagic)
+{
+    std::vector<uint8_t> bytes = encodeModule(richModule());
+    bytes[0] = 0x01;
+    EXPECT_FALSE(decodeModule(bytes).isOk());
+    bytes[0] = 0x00;
+    bytes[4] = 0x02; // version 2
+    EXPECT_FALSE(decodeModule(bytes).isOk());
+}
+
+TEST(BinaryFormat, RejectsTruncation)
+{
+    std::vector<uint8_t> bytes = encodeModule(richModule());
+    for (size_t cut : {bytes.size() - 1, bytes.size() / 2, size_t(9)}) {
+        std::vector<uint8_t> truncated(bytes.begin(),
+                                       bytes.begin() + long(cut));
+        EXPECT_FALSE(decodeModule(truncated).isOk()) << "cut=" << cut;
+    }
+}
+
+TEST(BinaryFormat, RejectsOutOfOrderSections)
+{
+    // type section (id 1) after function section (id 3).
+    std::vector<uint8_t> bytes = {0x00, 0x61, 0x73, 0x6d,
+                                  0x01, 0x00, 0x00, 0x00,
+                                  0x03, 0x01, 0x00,  // function section
+                                  0x01, 0x01, 0x00}; // type section
+    EXPECT_FALSE(decodeModule(bytes).isOk());
+}
+
+TEST(BinaryFormat, SkipsCustomSections)
+{
+    std::vector<uint8_t> bytes = {0x00, 0x61, 0x73, 0x6d,
+                                  0x01, 0x00, 0x00, 0x00,
+                                  0x00, 0x03, 0x01, 'h', 'i'};
+    auto decoded = decodeModule(bytes);
+    ASSERT_TRUE(decoded.isOk()) << decoded.status().toString();
+    EXPECT_EQ(decoded.value().numTotalFuncs(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Validator negatives
+// ---------------------------------------------------------------------
+
+Module
+moduleWithBody(std::vector<ValType> params, std::vector<ValType> results,
+               std::vector<Instr> code,
+               std::vector<ValType> locals = {})
+{
+    Module module;
+    module.types.push_back({std::move(params), std::move(results)});
+    module.functions.push_back(0);
+    module.memories.push_back(Limits{1, 1});
+    FuncBody body;
+    body.locals = std::move(locals);
+    body.code = std::move(code);
+    body.code.push_back(Instr::simple(Op::end));
+    module.bodies.push_back(std::move(body));
+    return module;
+}
+
+TEST(Validator, AcceptsMinimalFunction)
+{
+    Module module = moduleWithBody({}, {ValType::i32},
+                                   {Instr::constI32(1)});
+    EXPECT_TRUE(validateModule(module).isOk());
+}
+
+TEST(Validator, RejectsStackUnderflow)
+{
+    Module module =
+        moduleWithBody({}, {}, {Instr::simple(Op::i32_add)});
+    EXPECT_FALSE(validateModule(module).isOk());
+}
+
+TEST(Validator, RejectsTypeMismatch)
+{
+    Module module = moduleWithBody(
+        {}, {ValType::i32},
+        {Instr::constF32(1.0f), Instr::constI32(2),
+         Instr::simple(Op::i32_add)});
+    EXPECT_FALSE(validateModule(module).isOk());
+}
+
+TEST(Validator, RejectsWrongResultType)
+{
+    Module module =
+        moduleWithBody({}, {ValType::i64}, {Instr::constI32(1)});
+    EXPECT_FALSE(validateModule(module).isOk());
+}
+
+TEST(Validator, RejectsLeftoverValues)
+{
+    Module module = moduleWithBody(
+        {}, {}, {Instr::constI32(1)});
+    EXPECT_FALSE(validateModule(module).isOk());
+}
+
+TEST(Validator, RejectsBadLocalIndex)
+{
+    Module module =
+        moduleWithBody({}, {}, {Instr::withA(Op::local_get, 3),
+                                Instr::simple(Op::drop)});
+    EXPECT_FALSE(validateModule(module).isOk());
+}
+
+TEST(Validator, RejectsBranchDepthOutOfRange)
+{
+    Module module = moduleWithBody({}, {}, {Instr::withA(Op::br, 5)});
+    EXPECT_FALSE(validateModule(module).isOk());
+}
+
+TEST(Validator, RejectsIfWithResultButNoElse)
+{
+    Module module = moduleWithBody(
+        {}, {ValType::i32},
+        {Instr::constI32(1), Instr::withA(Op::if_, kValTypeI32),
+         Instr::constI32(2), Instr::simple(Op::end)});
+    EXPECT_FALSE(validateModule(module).isOk());
+}
+
+TEST(Validator, RejectsSetOfImmutableGlobal)
+{
+    Module module = moduleWithBody(
+        {}, {}, {Instr::constI32(1), Instr::withA(Op::global_set, 0)});
+    GlobalDef g;
+    g.type = ValType::i32;
+    g.isMutable = false;
+    g.init = Instr::constI32(0);
+    module.globals.push_back(g);
+    EXPECT_FALSE(validateModule(module).isOk());
+}
+
+TEST(Validator, RejectsOveralignedAccess)
+{
+    // alignment exponent 3 on an i32 load (natural max is 2).
+    Module module = moduleWithBody(
+        {}, {ValType::i32},
+        {Instr::constI32(0), Instr::withAB(Op::i32_load, 3, 0)});
+    EXPECT_FALSE(validateModule(module).isOk());
+}
+
+TEST(Validator, RejectsMemoryOpWithoutMemory)
+{
+    Module module = moduleWithBody(
+        {}, {ValType::i32},
+        {Instr::constI32(0), Instr::withAB(Op::i32_load, 2, 0)});
+    module.memories.clear();
+    EXPECT_FALSE(validateModule(module).isOk());
+}
+
+TEST(Validator, AcceptsUnreachablePolymorphism)
+{
+    // After unreachable, the stack is polymorphic: i32.add with no
+    // pushed operands is valid dead code.
+    Module module = moduleWithBody(
+        {}, {ValType::i32},
+        {Instr::simple(Op::unreachable), Instr::simple(Op::i32_add)});
+    EXPECT_TRUE(validateModule(module).isOk())
+        << validateModule(module).toString();
+}
+
+TEST(Validator, RejectsStartWithSignature)
+{
+    Module module =
+        moduleWithBody({ValType::i32}, {}, {Instr::simple(Op::nop)});
+    module.start = 0;
+    EXPECT_FALSE(validateModule(module).isOk());
+}
+
+// ---------------------------------------------------------------------
+// Lowering structure
+// ---------------------------------------------------------------------
+
+TEST(Lowering, ResolvesBranchesToJumps)
+{
+    ModuleBuilder mb;
+    uint32_t t = mb.addType({ValType::i32}, {ValType::i32});
+    auto& f = mb.addFunction(t);
+    auto block = f.block();
+    f.localGet(0);
+    f.brIf(block);
+    f.end();
+    f.localGet(0);
+    uint32_t idx = f.finish();
+    mb.exportFunc("f", idx);
+    Module module = mb.build();
+    ASSERT_TRUE(validateModule(module).isOk());
+
+    auto lowered = lowerModule(std::move(module));
+    ASSERT_TRUE(lowered.isOk());
+    const LoweredFunc& func = lowered.value().funcs[0];
+
+    bool has_jump_if = false;
+    for (const LInst& inst : func.code) {
+        if (LOp(inst.op) == LOp::jump_if) {
+            has_jump_if = true;
+            EXPECT_LE(inst.a, func.code.size());
+        }
+        // No structured-control ops survive lowering.
+        EXPECT_NE(inst.op, uint16_t(Op::block));
+        EXPECT_NE(inst.op, uint16_t(Op::end));
+        EXPECT_NE(inst.op, uint16_t(Op::br_if));
+    }
+    EXPECT_TRUE(has_jump_if);
+    EXPECT_EQ(LOp(func.code.back().op), LOp::ret);
+    EXPECT_GE(func.numCells, func.numLocalCells);
+}
+
+TEST(Lowering, CanonicalizesDuplicateTypes)
+{
+    Module module;
+    module.types.push_back({{ValType::i32}, {ValType::i32}});
+    module.types.push_back({{ValType::i64}, {}});
+    module.types.push_back({{ValType::i32}, {ValType::i32}}); // dup of 0
+    auto lowered = lowerModule(std::move(module));
+    ASSERT_TRUE(lowered.isOk());
+    EXPECT_EQ(lowered.value().typeCanon,
+              (std::vector<uint32_t>{0, 1, 0}));
+}
+
+TEST(Disasm, ProducesReadableListing)
+{
+    Module module = richModule();
+    std::string text = moduleToString(module);
+    EXPECT_NE(text.find("(module"), std::string::npos);
+    EXPECT_NE(text.find("i64.trunc_sat_f64_s"), std::string::npos);
+    EXPECT_NE(text.find("(export \"a\""), std::string::npos);
+}
+
+} // namespace
+} // namespace lnb::wasm
