@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_default_bounds.dir/fig1_default_bounds.cc.o"
+  "CMakeFiles/fig1_default_bounds.dir/fig1_default_bounds.cc.o.d"
+  "fig1_default_bounds"
+  "fig1_default_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_default_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_strategy_matrix.dir/fig2_strategy_matrix.cc.o"
+  "CMakeFiles/fig2_strategy_matrix.dir/fig2_strategy_matrix.cc.o.d"
+  "fig2_strategy_matrix"
+  "fig2_strategy_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_strategy_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

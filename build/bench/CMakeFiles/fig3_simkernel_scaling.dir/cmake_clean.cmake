@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_simkernel_scaling.dir/fig3_simkernel_scaling.cc.o"
+  "CMakeFiles/fig3_simkernel_scaling.dir/fig3_simkernel_scaling.cc.o.d"
+  "fig3_simkernel_scaling"
+  "fig3_simkernel_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_simkernel_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig4_cpu_utilization.cc" "bench/CMakeFiles/fig4_cpu_utilization.dir/fig4_cpu_utilization.cc.o" "gcc" "bench/CMakeFiles/fig4_cpu_utilization.dir/fig4_cpu_utilization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/lnb_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkernel/CMakeFiles/lnb_simkernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/lnb_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/lnb_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/jit/CMakeFiles/lnb_jit.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/lnb_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/lnb_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/wasm/CMakeFiles/lnb_wasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lnb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

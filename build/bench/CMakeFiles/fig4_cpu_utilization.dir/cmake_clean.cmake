@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_cpu_utilization.dir/fig4_cpu_utilization.cc.o"
+  "CMakeFiles/fig4_cpu_utilization.dir/fig4_cpu_utilization.cc.o.d"
+  "fig4_cpu_utilization"
+  "fig4_cpu_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_cpu_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_context_switches.dir/fig5_context_switches.cc.o"
+  "CMakeFiles/fig5_context_switches.dir/fig5_context_switches.cc.o.d"
+  "fig5_context_switches"
+  "fig5_context_switches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_context_switches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_memory_usage.dir/fig6_memory_usage.cc.o"
+  "CMakeFiles/fig6_memory_usage.dir/fig6_memory_usage.cc.o.d"
+  "fig6_memory_usage"
+  "fig6_memory_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_memory_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_bounds.dir/micro_bounds.cc.o"
+  "CMakeFiles/micro_bounds.dir/micro_bounds.cc.o.d"
+  "micro_bounds"
+  "micro_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

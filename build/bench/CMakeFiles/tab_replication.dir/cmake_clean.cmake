@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_replication.dir/tab_replication.cc.o"
+  "CMakeFiles/tab_replication.dir/tab_replication.cc.o.d"
+  "tab_replication"
+  "tab_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_explorer.dir/kernel_explorer.cpp.o"
+  "CMakeFiles/kernel_explorer.dir/kernel_explorer.cpp.o.d"
+  "kernel_explorer"
+  "kernel_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

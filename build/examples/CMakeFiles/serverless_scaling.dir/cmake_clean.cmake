@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serverless_scaling.dir/serverless_scaling.cpp.o"
+  "CMakeFiles/serverless_scaling.dir/serverless_scaling.cpp.o.d"
+  "serverless_scaling"
+  "serverless_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serverless_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

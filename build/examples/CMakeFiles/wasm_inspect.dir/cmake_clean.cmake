@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasm_inspect.dir/wasm_inspect.cpp.o"
+  "CMakeFiles/wasm_inspect.dir/wasm_inspect.cpp.o.d"
+  "wasm_inspect"
+  "wasm_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasm_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lnb_harness.dir/bench_runner.cc.o"
+  "CMakeFiles/lnb_harness.dir/bench_runner.cc.o.d"
+  "CMakeFiles/lnb_harness.dir/report.cc.o"
+  "CMakeFiles/lnb_harness.dir/report.cc.o.d"
+  "liblnb_harness.a"
+  "liblnb_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lnb_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

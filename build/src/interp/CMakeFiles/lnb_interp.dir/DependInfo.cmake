@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interp/exec_common.cc" "src/interp/CMakeFiles/lnb_interp.dir/exec_common.cc.o" "gcc" "src/interp/CMakeFiles/lnb_interp.dir/exec_common.cc.o.d"
+  "/root/repo/src/interp/switch_interp.cc" "src/interp/CMakeFiles/lnb_interp.dir/switch_interp.cc.o" "gcc" "src/interp/CMakeFiles/lnb_interp.dir/switch_interp.cc.o.d"
+  "/root/repo/src/interp/threaded_interp.cc" "src/interp/CMakeFiles/lnb_interp.dir/threaded_interp.cc.o" "gcc" "src/interp/CMakeFiles/lnb_interp.dir/threaded_interp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wasm/CMakeFiles/lnb_wasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/lnb_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lnb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

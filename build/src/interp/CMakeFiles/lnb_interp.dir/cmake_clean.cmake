@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lnb_interp.dir/exec_common.cc.o"
+  "CMakeFiles/lnb_interp.dir/exec_common.cc.o.d"
+  "CMakeFiles/lnb_interp.dir/switch_interp.cc.o"
+  "CMakeFiles/lnb_interp.dir/switch_interp.cc.o.d"
+  "CMakeFiles/lnb_interp.dir/threaded_interp.cc.o"
+  "CMakeFiles/lnb_interp.dir/threaded_interp.cc.o.d"
+  "liblnb_interp.a"
+  "liblnb_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lnb_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblnb_interp.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jit/assembler.cc" "src/jit/CMakeFiles/lnb_jit.dir/assembler.cc.o" "gcc" "src/jit/CMakeFiles/lnb_jit.dir/assembler.cc.o.d"
+  "/root/repo/src/jit/code_buffer.cc" "src/jit/CMakeFiles/lnb_jit.dir/code_buffer.cc.o" "gcc" "src/jit/CMakeFiles/lnb_jit.dir/code_buffer.cc.o.d"
+  "/root/repo/src/jit/compiler.cc" "src/jit/CMakeFiles/lnb_jit.dir/compiler.cc.o" "gcc" "src/jit/CMakeFiles/lnb_jit.dir/compiler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wasm/CMakeFiles/lnb_wasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/lnb_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/lnb_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lnb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

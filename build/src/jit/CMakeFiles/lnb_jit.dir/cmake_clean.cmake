@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lnb_jit.dir/assembler.cc.o"
+  "CMakeFiles/lnb_jit.dir/assembler.cc.o.d"
+  "CMakeFiles/lnb_jit.dir/code_buffer.cc.o"
+  "CMakeFiles/lnb_jit.dir/code_buffer.cc.o.d"
+  "CMakeFiles/lnb_jit.dir/compiler.cc.o"
+  "CMakeFiles/lnb_jit.dir/compiler.cc.o.d"
+  "liblnb_jit.a"
+  "liblnb_jit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lnb_jit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

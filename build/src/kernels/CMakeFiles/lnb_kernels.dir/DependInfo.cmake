@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/polybench_blas.cc" "src/kernels/CMakeFiles/lnb_kernels.dir/polybench_blas.cc.o" "gcc" "src/kernels/CMakeFiles/lnb_kernels.dir/polybench_blas.cc.o.d"
+  "/root/repo/src/kernels/polybench_stencil.cc" "src/kernels/CMakeFiles/lnb_kernels.dir/polybench_stencil.cc.o" "gcc" "src/kernels/CMakeFiles/lnb_kernels.dir/polybench_stencil.cc.o.d"
+  "/root/repo/src/kernels/polybench_vec.cc" "src/kernels/CMakeFiles/lnb_kernels.dir/polybench_vec.cc.o" "gcc" "src/kernels/CMakeFiles/lnb_kernels.dir/polybench_vec.cc.o.d"
+  "/root/repo/src/kernels/registry.cc" "src/kernels/CMakeFiles/lnb_kernels.dir/registry.cc.o" "gcc" "src/kernels/CMakeFiles/lnb_kernels.dir/registry.cc.o.d"
+  "/root/repo/src/kernels/specproxy_bits.cc" "src/kernels/CMakeFiles/lnb_kernels.dir/specproxy_bits.cc.o" "gcc" "src/kernels/CMakeFiles/lnb_kernels.dir/specproxy_bits.cc.o.d"
+  "/root/repo/src/kernels/specproxy_num.cc" "src/kernels/CMakeFiles/lnb_kernels.dir/specproxy_num.cc.o" "gcc" "src/kernels/CMakeFiles/lnb_kernels.dir/specproxy_num.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wasm/CMakeFiles/lnb_wasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lnb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lnb_kernels.dir/polybench_blas.cc.o"
+  "CMakeFiles/lnb_kernels.dir/polybench_blas.cc.o.d"
+  "CMakeFiles/lnb_kernels.dir/polybench_stencil.cc.o"
+  "CMakeFiles/lnb_kernels.dir/polybench_stencil.cc.o.d"
+  "CMakeFiles/lnb_kernels.dir/polybench_vec.cc.o"
+  "CMakeFiles/lnb_kernels.dir/polybench_vec.cc.o.d"
+  "CMakeFiles/lnb_kernels.dir/registry.cc.o"
+  "CMakeFiles/lnb_kernels.dir/registry.cc.o.d"
+  "CMakeFiles/lnb_kernels.dir/specproxy_bits.cc.o"
+  "CMakeFiles/lnb_kernels.dir/specproxy_bits.cc.o.d"
+  "CMakeFiles/lnb_kernels.dir/specproxy_num.cc.o"
+  "CMakeFiles/lnb_kernels.dir/specproxy_num.cc.o.d"
+  "liblnb_kernels.a"
+  "liblnb_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lnb_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/arena_registry.cc" "src/mem/CMakeFiles/lnb_mem.dir/arena_registry.cc.o" "gcc" "src/mem/CMakeFiles/lnb_mem.dir/arena_registry.cc.o.d"
+  "/root/repo/src/mem/code_registry.cc" "src/mem/CMakeFiles/lnb_mem.dir/code_registry.cc.o" "gcc" "src/mem/CMakeFiles/lnb_mem.dir/code_registry.cc.o.d"
+  "/root/repo/src/mem/linear_memory.cc" "src/mem/CMakeFiles/lnb_mem.dir/linear_memory.cc.o" "gcc" "src/mem/CMakeFiles/lnb_mem.dir/linear_memory.cc.o.d"
+  "/root/repo/src/mem/signals.cc" "src/mem/CMakeFiles/lnb_mem.dir/signals.cc.o" "gcc" "src/mem/CMakeFiles/lnb_mem.dir/signals.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/lnb_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/wasm/CMakeFiles/lnb_wasm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lnb_mem.dir/arena_registry.cc.o"
+  "CMakeFiles/lnb_mem.dir/arena_registry.cc.o.d"
+  "CMakeFiles/lnb_mem.dir/code_registry.cc.o"
+  "CMakeFiles/lnb_mem.dir/code_registry.cc.o.d"
+  "CMakeFiles/lnb_mem.dir/linear_memory.cc.o"
+  "CMakeFiles/lnb_mem.dir/linear_memory.cc.o.d"
+  "CMakeFiles/lnb_mem.dir/signals.cc.o"
+  "CMakeFiles/lnb_mem.dir/signals.cc.o.d"
+  "liblnb_mem.a"
+  "liblnb_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lnb_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

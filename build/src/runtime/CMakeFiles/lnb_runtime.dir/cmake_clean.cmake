@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lnb_runtime.dir/engine.cc.o"
+  "CMakeFiles/lnb_runtime.dir/engine.cc.o.d"
+  "CMakeFiles/lnb_runtime.dir/instance.cc.o"
+  "CMakeFiles/lnb_runtime.dir/instance.cc.o.d"
+  "CMakeFiles/lnb_runtime.dir/wasi.cc.o"
+  "CMakeFiles/lnb_runtime.dir/wasi.cc.o.d"
+  "liblnb_runtime.a"
+  "liblnb_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lnb_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

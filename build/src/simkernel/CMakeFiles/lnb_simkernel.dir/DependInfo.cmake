@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simkernel/mm_sim.cc" "src/simkernel/CMakeFiles/lnb_simkernel.dir/mm_sim.cc.o" "gcc" "src/simkernel/CMakeFiles/lnb_simkernel.dir/mm_sim.cc.o.d"
+  "/root/repo/src/simkernel/vma_model.cc" "src/simkernel/CMakeFiles/lnb_simkernel.dir/vma_model.cc.o" "gcc" "src/simkernel/CMakeFiles/lnb_simkernel.dir/vma_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/lnb_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/lnb_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/wasm/CMakeFiles/lnb_wasm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

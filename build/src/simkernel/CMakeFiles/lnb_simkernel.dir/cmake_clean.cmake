@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lnb_simkernel.dir/mm_sim.cc.o"
+  "CMakeFiles/lnb_simkernel.dir/mm_sim.cc.o.d"
+  "CMakeFiles/lnb_simkernel.dir/vma_model.cc.o"
+  "CMakeFiles/lnb_simkernel.dir/vma_model.cc.o.d"
+  "liblnb_simkernel.a"
+  "liblnb_simkernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lnb_simkernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

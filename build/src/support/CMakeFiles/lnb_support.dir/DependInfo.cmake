@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/clock.cc" "src/support/CMakeFiles/lnb_support.dir/clock.cc.o" "gcc" "src/support/CMakeFiles/lnb_support.dir/clock.cc.o.d"
+  "/root/repo/src/support/leb128.cc" "src/support/CMakeFiles/lnb_support.dir/leb128.cc.o" "gcc" "src/support/CMakeFiles/lnb_support.dir/leb128.cc.o.d"
+  "/root/repo/src/support/log.cc" "src/support/CMakeFiles/lnb_support.dir/log.cc.o" "gcc" "src/support/CMakeFiles/lnb_support.dir/log.cc.o.d"
+  "/root/repo/src/support/rng.cc" "src/support/CMakeFiles/lnb_support.dir/rng.cc.o" "gcc" "src/support/CMakeFiles/lnb_support.dir/rng.cc.o.d"
+  "/root/repo/src/support/stats.cc" "src/support/CMakeFiles/lnb_support.dir/stats.cc.o" "gcc" "src/support/CMakeFiles/lnb_support.dir/stats.cc.o.d"
+  "/root/repo/src/support/status.cc" "src/support/CMakeFiles/lnb_support.dir/status.cc.o" "gcc" "src/support/CMakeFiles/lnb_support.dir/status.cc.o.d"
+  "/root/repo/src/support/sysinfo.cc" "src/support/CMakeFiles/lnb_support.dir/sysinfo.cc.o" "gcc" "src/support/CMakeFiles/lnb_support.dir/sysinfo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

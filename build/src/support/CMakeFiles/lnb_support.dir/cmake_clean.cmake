@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lnb_support.dir/clock.cc.o"
+  "CMakeFiles/lnb_support.dir/clock.cc.o.d"
+  "CMakeFiles/lnb_support.dir/leb128.cc.o"
+  "CMakeFiles/lnb_support.dir/leb128.cc.o.d"
+  "CMakeFiles/lnb_support.dir/log.cc.o"
+  "CMakeFiles/lnb_support.dir/log.cc.o.d"
+  "CMakeFiles/lnb_support.dir/rng.cc.o"
+  "CMakeFiles/lnb_support.dir/rng.cc.o.d"
+  "CMakeFiles/lnb_support.dir/stats.cc.o"
+  "CMakeFiles/lnb_support.dir/stats.cc.o.d"
+  "CMakeFiles/lnb_support.dir/status.cc.o"
+  "CMakeFiles/lnb_support.dir/status.cc.o.d"
+  "CMakeFiles/lnb_support.dir/sysinfo.cc.o"
+  "CMakeFiles/lnb_support.dir/sysinfo.cc.o.d"
+  "liblnb_support.a"
+  "liblnb_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lnb_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wasm/builder.cc" "src/wasm/CMakeFiles/lnb_wasm.dir/builder.cc.o" "gcc" "src/wasm/CMakeFiles/lnb_wasm.dir/builder.cc.o.d"
+  "/root/repo/src/wasm/decoder.cc" "src/wasm/CMakeFiles/lnb_wasm.dir/decoder.cc.o" "gcc" "src/wasm/CMakeFiles/lnb_wasm.dir/decoder.cc.o.d"
+  "/root/repo/src/wasm/disasm.cc" "src/wasm/CMakeFiles/lnb_wasm.dir/disasm.cc.o" "gcc" "src/wasm/CMakeFiles/lnb_wasm.dir/disasm.cc.o.d"
+  "/root/repo/src/wasm/encoder.cc" "src/wasm/CMakeFiles/lnb_wasm.dir/encoder.cc.o" "gcc" "src/wasm/CMakeFiles/lnb_wasm.dir/encoder.cc.o.d"
+  "/root/repo/src/wasm/lower.cc" "src/wasm/CMakeFiles/lnb_wasm.dir/lower.cc.o" "gcc" "src/wasm/CMakeFiles/lnb_wasm.dir/lower.cc.o.d"
+  "/root/repo/src/wasm/module.cc" "src/wasm/CMakeFiles/lnb_wasm.dir/module.cc.o" "gcc" "src/wasm/CMakeFiles/lnb_wasm.dir/module.cc.o.d"
+  "/root/repo/src/wasm/opcodes.cc" "src/wasm/CMakeFiles/lnb_wasm.dir/opcodes.cc.o" "gcc" "src/wasm/CMakeFiles/lnb_wasm.dir/opcodes.cc.o.d"
+  "/root/repo/src/wasm/types.cc" "src/wasm/CMakeFiles/lnb_wasm.dir/types.cc.o" "gcc" "src/wasm/CMakeFiles/lnb_wasm.dir/types.cc.o.d"
+  "/root/repo/src/wasm/validator.cc" "src/wasm/CMakeFiles/lnb_wasm.dir/validator.cc.o" "gcc" "src/wasm/CMakeFiles/lnb_wasm.dir/validator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/lnb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

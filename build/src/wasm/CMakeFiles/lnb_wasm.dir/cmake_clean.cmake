@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lnb_wasm.dir/builder.cc.o"
+  "CMakeFiles/lnb_wasm.dir/builder.cc.o.d"
+  "CMakeFiles/lnb_wasm.dir/decoder.cc.o"
+  "CMakeFiles/lnb_wasm.dir/decoder.cc.o.d"
+  "CMakeFiles/lnb_wasm.dir/disasm.cc.o"
+  "CMakeFiles/lnb_wasm.dir/disasm.cc.o.d"
+  "CMakeFiles/lnb_wasm.dir/encoder.cc.o"
+  "CMakeFiles/lnb_wasm.dir/encoder.cc.o.d"
+  "CMakeFiles/lnb_wasm.dir/lower.cc.o"
+  "CMakeFiles/lnb_wasm.dir/lower.cc.o.d"
+  "CMakeFiles/lnb_wasm.dir/module.cc.o"
+  "CMakeFiles/lnb_wasm.dir/module.cc.o.d"
+  "CMakeFiles/lnb_wasm.dir/opcodes.cc.o"
+  "CMakeFiles/lnb_wasm.dir/opcodes.cc.o.d"
+  "CMakeFiles/lnb_wasm.dir/types.cc.o"
+  "CMakeFiles/lnb_wasm.dir/types.cc.o.d"
+  "CMakeFiles/lnb_wasm.dir/validator.cc.o"
+  "CMakeFiles/lnb_wasm.dir/validator.cc.o.d"
+  "liblnb_wasm.a"
+  "liblnb_wasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lnb_wasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bulk_and_concurrency_test.dir/bulk_and_concurrency_test.cc.o"
+  "CMakeFiles/bulk_and_concurrency_test.dir/bulk_and_concurrency_test.cc.o.d"
+  "bulk_and_concurrency_test"
+  "bulk_and_concurrency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bulk_and_concurrency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

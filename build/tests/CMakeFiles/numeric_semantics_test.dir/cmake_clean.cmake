@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numeric_semantics_test.dir/numeric_semantics_test.cc.o"
+  "CMakeFiles/numeric_semantics_test.dir/numeric_semantics_test.cc.o.d"
+  "numeric_semantics_test"
+  "numeric_semantics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numeric_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simkernel_test.dir/simkernel_test.cc.o"
+  "CMakeFiles/simkernel_test.dir/simkernel_test.cc.o.d"
+  "simkernel_test"
+  "simkernel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simkernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasm_core_test.dir/wasm_core_test.cc.o"
+  "CMakeFiles/wasm_core_test.dir/wasm_core_test.cc.o.d"
+  "wasm_core_test"
+  "wasm_core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasm_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

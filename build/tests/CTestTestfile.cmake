@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(end_to_end_test "/root/repo/build/tests/end_to_end_test")
+set_tests_properties(end_to_end_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;10;lnb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(kernels_test "/root/repo/build/tests/kernels_test")
+set_tests_properties(kernels_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;11;lnb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(support_test "/root/repo/build/tests/support_test")
+set_tests_properties(support_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;12;lnb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(wasm_core_test "/root/repo/build/tests/wasm_core_test")
+set_tests_properties(wasm_core_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;13;lnb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(memory_test "/root/repo/build/tests/memory_test")
+set_tests_properties(memory_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;14;lnb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(simkernel_test "/root/repo/build/tests/simkernel_test")
+set_tests_properties(simkernel_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;15;lnb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(differential_test "/root/repo/build/tests/differential_test")
+set_tests_properties(differential_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;16;lnb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(runtime_test "/root/repo/build/tests/runtime_test")
+set_tests_properties(runtime_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;17;lnb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(jit_test "/root/repo/build/tests/jit_test")
+set_tests_properties(jit_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;18;lnb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(harness_test "/root/repo/build/tests/harness_test")
+set_tests_properties(harness_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;19;lnb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(numeric_semantics_test "/root/repo/build/tests/numeric_semantics_test")
+set_tests_properties(numeric_semantics_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;20;lnb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(bulk_and_concurrency_test "/root/repo/build/tests/bulk_and_concurrency_test")
+set_tests_properties(bulk_and_concurrency_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;21;lnb_add_test;/root/repo/tests/CMakeLists.txt;0;")
