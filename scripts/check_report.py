@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Tier-2 smoke check for the observability artifacts.
+
+Runs a small slice of the micro_bounds benchmark with LNB_JSON_DIR and
+LNB_TRACE_FILE set, then validates that
+
+  * the process-exit metrics dump is valid JSON with the expected schema
+    and the counters the exercised paths must have bumped, and
+  * the trace file is well-formed Chrome trace_event JSON with at least
+    one span.
+
+Usage: check_report.py <path-to-micro_bounds>
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def fail(message):
+    print(f"check_report: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_json(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"{path}: {err}")
+
+
+def check_metrics(report_dir):
+    dumps = [
+        name
+        for name in os.listdir(report_dir)
+        if name.startswith("metrics_") and name.endswith(".json")
+    ]
+    if len(dumps) != 1:
+        fail(f"expected exactly one metrics dump in {report_dir}, "
+             f"found {dumps}")
+    doc = load_json(os.path.join(report_dir, dumps[0]))
+
+    if doc.get("schema") != "lnb.metrics.v1":
+        fail(f"bad metrics schema: {doc.get('schema')!r}")
+
+    counters = doc.get("counters")
+    if not isinstance(counters, dict):
+        fail("metrics dump has no counters object")
+    # BM_MemoryGrow + BM_InstanceChurn must have driven all of these.
+    required = [
+        "mem.memories_created",
+        "mem.mmap_calls",
+        "mem.grow_calls",
+        "mem.resize_syscalls",
+        "rt.instances_created",
+        "jit.modules_compiled",
+    ]
+    for name in required:
+        value = counters.get(name)
+        if not isinstance(value, (int, float)) or value <= 0:
+            fail(f"counter {name} missing or zero: {value!r}")
+
+    histograms = doc.get("histograms")
+    if not isinstance(histograms, dict):
+        fail("metrics dump has no histograms object")
+    grow = histograms.get("mem.grow_ns")
+    if not grow or grow.get("count", 0) <= 0:
+        fail(f"histogram mem.grow_ns missing or empty: {grow!r}")
+    for stat in ("sum", "mean", "p50", "p90", "p99"):
+        if stat not in grow:
+            fail(f"histogram mem.grow_ns lacks {stat}")
+    print(f"check_report: metrics OK ({len(counters)} counters, "
+          f"{len(histograms)} histograms)")
+
+
+def check_trace(trace_path):
+    doc = load_json(trace_path)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("trace file has no traceEvents")
+    for event in events:
+        for key in ("name", "ph", "pid", "tid", "ts", "dur"):
+            if key not in event:
+                fail(f"trace event lacks {key}: {event!r}")
+        if event["ph"] != "X":
+            fail(f"unexpected event phase: {event['ph']!r}")
+    names = {event["name"] for event in events}
+    if "mem.create" not in names:
+        fail(f"expected a mem.create span, got {sorted(names)}")
+    print(f"check_report: trace OK ({len(events)} events)")
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail(f"usage: {sys.argv[0]} <path-to-micro_bounds>")
+    micro_bounds = sys.argv[1]
+    if not os.access(micro_bounds, os.X_OK):
+        fail(f"not executable: {micro_bounds}")
+
+    with tempfile.TemporaryDirectory(prefix="lnb_check_report_") as tmp:
+        trace_path = os.path.join(tmp, "trace.json")
+        env = dict(os.environ)
+        env["LNB_JSON_DIR"] = tmp
+        env["LNB_TRACE_FILE"] = trace_path
+        cmd = [
+            micro_bounds,
+            "--benchmark_filter=BM_MemoryGrow|BM_InstanceChurn",
+            "--benchmark_min_time=0.01",
+        ]
+        proc = subprocess.run(cmd, env=env, capture_output=True, text=True)
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stdout)
+            sys.stderr.write(proc.stderr)
+            fail(f"{' '.join(cmd)} exited with {proc.returncode}")
+
+        check_metrics(tmp)
+        check_trace(trace_path)
+    print("check_report: PASS")
+
+
+if __name__ == "__main__":
+    main()

@@ -5,6 +5,9 @@
 #include <functional>
 #include <thread>
 
+#include "harness/report.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/clock.h"
 #include "support/stats.h"
 #include "support/sysinfo.h"
@@ -12,6 +15,24 @@
 namespace lnb::harness {
 
 namespace {
+
+/** Workers record each measured iteration into this histogram; the
+ * registry shards per thread, so there is no cross-worker contention. */
+struct HarnessMetrics
+{
+    obs::Counter iterationsMeasured = obs::registerCounter(
+        "harness.iterations_measured");
+    obs::Counter benchRuns = obs::registerCounter("harness.bench_runs");
+    obs::Histogram iterationLatency = obs::registerHistogram(
+        "harness.iteration_ns");
+};
+
+HarnessMetrics&
+harnessMetrics()
+{
+    static HarnessMetrics m;
+    return m;
+}
 
 /** One iteration's outcome: the measured execution time covers only the
  * module run, not instance setup/teardown (paper SS3.5). */
@@ -31,6 +52,8 @@ driveThreads(const BenchSpec& spec,
              const std::function<IterSample(int thread_id)>& iteration,
              const std::function<uint64_t(int thread_id)>& blocking_events)
 {
+    LNB_TRACE_SCOPE("harness.run");
+    harnessMetrics().benchRuns.add();
     BenchResult result;
     int num_threads = spec.numThreads;
     result.threads.resize(size_t(num_threads));
@@ -76,6 +99,9 @@ driveThreads(const BenchSpec& spec,
                 IterSample sample = iteration(tid);
                 stats.checksum = sample.checksum;
                 stats.iterationSeconds.push_back(sample.seconds);
+                harnessMetrics().iterationsMeasured.add();
+                harnessMetrics().iterationLatency.record(
+                    uint64_t(sample.seconds * 1e9));
                 measured += sample.seconds;
                 done++;
                 if (reps > 0) {
@@ -172,6 +198,9 @@ runBenchmark(const BenchSpec& spec)
         if (spec.freshInstancePerIteration || !slot.instance) {
             // Account the outgoing instance's counters before dropping it.
             if (slot.instance) {
+#ifdef LNB_OBS_DISABLED
+                // No metrics registry: drain the outgoing instance's own
+                // counters by hand (the pre-obs plumbing).
                 slot.resizeSyscalls +=
                     slot.instance->memory()
                         ? slot.instance->memory()->resizeSyscalls()
@@ -180,6 +209,7 @@ runBenchmark(const BenchSpec& spec)
                     slot.instance->memory()
                         ? slot.instance->memory()->faultsHandled()
                         : 0;
+#endif
                 slot.blockingEvents += slot.instance->blockingEvents();
                 slot.instance.reset();
             }
@@ -203,8 +233,22 @@ runBenchmark(const BenchSpec& spec)
         return events;
     };
 
+#ifndef LNB_OBS_DISABLED
+    const obs::MetricsSnapshot before = obs::snapshotMetrics();
+#endif
     BenchResult result = driveThreads(spec, iteration, blocking);
     result.compileSeconds = compile_seconds;
+#ifndef LNB_OBS_DISABLED
+    // Registry deltas replace the per-instance plumbing: every grow-path
+    // syscall and every resolved fault lands in these counters no matter
+    // which instance or worker produced it, including instances created
+    // and destroyed mid-run.
+    const obs::MetricsSnapshot after = obs::snapshotMetrics();
+    result.resizeSyscalls = after.counter("mem.resize_syscalls") -
+                            before.counter("mem.resize_syscalls");
+    result.faultsHandled = after.counter("mem.faults_resolved") -
+                           before.counter("mem.faults_resolved");
+#else
     for (PerThread& slot : per_thread) {
         result.resizeSyscalls += slot.resizeSyscalls;
         result.faultsHandled += slot.faultsHandled;
@@ -215,6 +259,8 @@ runBenchmark(const BenchSpec& spec)
                 slot.instance->memory()->faultsHandled();
         }
     }
+#endif
+    maybeWriteJsonReport(spec, result);
     return result;
 }
 
@@ -223,6 +269,7 @@ runNativeBaseline(const kernels::Kernel& kernel, int scale,
                   int num_threads, const BenchSpec& protocol)
 {
     BenchSpec spec = protocol;
+    spec.kernel = &kernel;
     spec.numThreads = num_threads;
     spec.scale = scale;
     auto iteration = [&](int) -> IterSample {
@@ -233,7 +280,9 @@ runNativeBaseline(const kernels::Kernel& kernel, int scale,
         return sample;
     };
     auto blocking = [](int) -> uint64_t { return 0; };
-    return driveThreads(spec, iteration, blocking);
+    BenchResult result = driveThreads(spec, iteration, blocking);
+    maybeWriteJsonReport(spec, result, "native");
+    return result;
 }
 
 bool

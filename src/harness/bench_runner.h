@@ -89,6 +89,8 @@ struct BenchResult
     uint64_t faultsHandled = 0;
     /** Runtime blocking events per second (paper Fig. 5 substitute). */
     double blockingEventsPerSec = 0;
+    /** Path of the JSON run report, when LNB_JSON_DIR was set. */
+    std::string jsonReportPath;
 };
 
 /** Run a wasm benchmark under the given spec. */

@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "harness/bench_runner.h"
+
 namespace lnb::harness {
 
 /** A simple column-aligned table accumulating rows of strings. */
@@ -36,6 +38,25 @@ std::string cell(const char* fmt, ...)
 
 /** Print a standard bench banner with host info and mode flags. */
 void printBanner(const std::string& title, const std::string& paper_ref);
+
+/**
+ * Serialize one benchmark run as a JSON document (schema
+ * lnb.bench_result.v1): config echo, wall/compile/median times, kernel
+ * MM counters, host info, per-thread latency percentiles, and a full
+ * metrics-registry snapshot. @p engine_label overrides the engine name
+ * (used by the native baseline); null uses the spec's engine kind.
+ */
+std::string benchResultToJson(const BenchSpec& spec,
+                              const BenchResult& result,
+                              const char* engine_label = nullptr);
+
+/**
+ * If LNB_JSON_DIR is set, write the run report there as
+ * <seq>_<kernel>_<engine>_<strategy>_<threads>t.json and record the path
+ * in result.jsonReportPath.
+ */
+void maybeWriteJsonReport(const BenchSpec& spec, BenchResult& result,
+                          const char* engine_label = nullptr);
 
 } // namespace lnb::harness
 

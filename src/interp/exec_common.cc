@@ -3,13 +3,36 @@
 #include "interp/exec_common.h"
 
 #include "mem/signals.h"
+#include "obs/metrics.h"
 
 namespace lnb::exec {
+
+namespace {
+
+/** Executor-level probes: how often running wasm code re-enters the
+ * runtime. Rare events only — the per-instruction dispatch loops stay
+ * uninstrumented so strategy timings are unperturbed. */
+struct ExecMetrics
+{
+    obs::Counter memoryGrows = obs::registerCounter(
+        "exec.memory_grow_calls");
+    obs::Counter hostCalls = obs::registerCounter("exec.host_calls");
+};
+
+ExecMetrics&
+execMetrics()
+{
+    static ExecMetrics m;
+    return m;
+}
+
+} // namespace
 
 int32_t
 execMemoryGrow(InstanceContext* ctx, uint32_t delta_pages)
 {
     ctx->blockingEvents++;
+    execMetrics().memoryGrows.add();
     int64_t old_pages = ctx->memory->grow(delta_pages);
     if (old_pages < 0)
         return -1;
@@ -33,6 +56,7 @@ lnbJitHostCall(InstanceContext* ctx, wasm::Value* args, uint32_t import_idx)
         mem::TrapManager::raiseTrap(wasm::TrapKind::host_error);
     }
     ctx->blockingEvents++;
+    execMetrics().hostCalls.add();
     HostFuncBinding& binding = ctx->hostFuncs[import_idx];
     // Mark the value stack in use up to the argument area so re-entrant
     // calls allocate their frames above the caller's.

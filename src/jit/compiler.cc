@@ -9,10 +9,38 @@
 
 #include "jit/assembler.h"
 #include "jit/code_buffer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace lnb::jit {
 
 namespace {
+
+/** Compile-time probes only: nothing here runs inside generated code,
+ * so the per-strategy execution timings are unaffected. */
+struct JitMetrics
+{
+    obs::Counter modulesCompiled = obs::registerCounter(
+        "jit.modules_compiled");
+    obs::Counter functionsCompiled = obs::registerCounter(
+        "jit.functions_compiled");
+    obs::Counter codeBytes = obs::registerCounter("jit.code_bytes");
+    obs::Counter boundsChecksEmitted = obs::registerCounter(
+        "jit.bounds_checks_emitted");
+    obs::Counter boundsChecksElided = obs::registerCounter(
+        "jit.bounds_checks_elided");
+    obs::Counter guardAccessesEmitted = obs::registerCounter(
+        "jit.guard_accesses_emitted");
+    obs::Histogram compileLatency = obs::registerHistogram(
+        "jit.compile_ns");
+};
+
+JitMetrics&
+jitMetrics()
+{
+    static JitMetrics m;
+    return m;
+}
 
 using exec::InstanceContext;
 using mem::BoundsStrategy;
@@ -356,6 +384,7 @@ class FunctionCompiler
             // Guard-page strategies: fold the offset into the x86
             // displacement when it fits; the 8 GiB reservation absorbs
             // the worst case (2^32-1 base + 2^32-1 offset).
+            jitMetrics().guardAccessesEmitted.add();
             as_.movRM64(rsi, CTX_FIELD(memBase));
             as_.addRR64(rax, rsi);
             if (offset <= 0x7FFFFF00ull)
@@ -377,7 +406,10 @@ class FunctionCompiler
             auto it = checkedLimit_.find(inst.a);
             elide = it != checkedLimit_.end() && it->second >= limit;
         }
-        if (!elide) {
+        if (elide) {
+            jitMetrics().boundsChecksElided.add();
+        } else {
+            jitMetrics().boundsChecksEmitted.add();
             // rcx = ea + size; compare against the live memory size.
             as_.lea(rcx, Mem{rax, int32_t(access_size)});
             as_.cmpRM64(rcx, CTX_FIELD(memSize));
@@ -2077,6 +2109,8 @@ jitSupported()
 Result<std::unique_ptr<CompiledCode>>
 compileModule(const LoweredModule& module, const JitOptions& options)
 {
+    LNB_TRACE_SCOPE("jit.compile");
+    obs::ScopedLatency compile_latency(jitMetrics().compileLatency);
     // Size estimate: generous per-instruction expansion plus fixed
     // per-function overhead; grows are handled by failing with a clear
     // error (callers can retry with bigger estimates if ever needed).
@@ -2120,6 +2154,9 @@ compileModule(const LoweredModule& module, const JitOptions& options)
         return errInternal("JIT code buffer overflow");
 
     LNB_RETURN_IF_ERROR(buffer->finalize(as.size()));
+    jitMetrics().modulesCompiled.add();
+    jitMetrics().functionsCompiled.add(module.funcs.size());
+    jitMetrics().codeBytes.add(as.size());
     artifact->buffer_ = std::move(buffer);
     return std::unique_ptr<CompiledCode>(std::move(artifact));
 }

@@ -15,9 +15,38 @@
 #include <cstring>
 
 #include "mem/signals.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/log.h"
 
 namespace lnb::mem {
+
+namespace {
+
+/** Registry handles for the memory-management counters (paper §4.1.1:
+ * syscalls on the grow path are the quantity under study). */
+struct MemMetrics
+{
+    obs::Counter memoriesCreated = obs::registerCounter(
+        "mem.memories_created");
+    obs::Counter mmapCalls = obs::registerCounter("mem.mmap_calls");
+    obs::Counter growCalls = obs::registerCounter("mem.grow_calls");
+    obs::Counter resizeSyscalls = obs::registerCounter(
+        "mem.resize_syscalls");
+    obs::Counter growFailures = obs::registerCounter(
+        "mem.grow_failures");
+    obs::Histogram growLatency = obs::registerHistogram(
+        "mem.grow_ns");
+};
+
+MemMetrics&
+memMetrics()
+{
+    static MemMetrics m;
+    return m;
+}
+
+} // namespace
 
 const char*
 boundsStrategyName(BoundsStrategy strategy)
@@ -82,7 +111,10 @@ realUffdAvailable()
 Result<std::unique_ptr<LinearMemory>>
 LinearMemory::create(const wasm::Limits& limits, const MemoryConfig& config)
 {
+    LNB_TRACE_SCOPE("mem.create");
     TrapManager::install();
+    memMetrics().memoriesCreated.add();
+    memMetrics().mmapCalls.add();
 
     auto mem = std::unique_ptr<LinearMemory>(new LinearMemory());
     mem->config_ = config;
@@ -139,6 +171,7 @@ LinearMemory::create(const wasm::Limits& limits, const MemoryConfig& config)
             return errResource("initial mprotect failed");
         }
         mem->resizeSyscalls_.fetch_add(1, std::memory_order_relaxed);
+        memMetrics().resizeSyscalls.add();
         break;
       }
 
@@ -217,12 +250,16 @@ LinearMemory::~LinearMemory()
 int64_t
 LinearMemory::grow(uint32_t delta_pages)
 {
+    obs::ScopedLatency latency(memMetrics().growLatency);
+    memMetrics().growCalls.add();
     std::lock_guard<std::mutex> lock(growMutex_);
     uint64_t old_bytes = sizeBytes_.load(std::memory_order_relaxed);
     uint64_t old_pages = old_bytes / wasm::kPageSize;
     uint64_t new_pages = old_pages + delta_pages;
-    if (new_pages > maxPages_)
+    if (new_pages > maxPages_) {
+        memMetrics().growFailures.add();
         return -1;
+    }
     uint64_t new_bytes = new_pages * wasm::kPageSize;
     if (delta_pages == 0)
         return int64_t(old_pages);
@@ -232,9 +269,11 @@ LinearMemory::grow(uint32_t delta_pages)
         // valid range. In Linux this serializes on the process VMA lock.
         if (mprotect(base_ + old_bytes, new_bytes - old_bytes,
                      PROT_READ | PROT_WRITE) != 0) {
+            memMetrics().growFailures.add();
             return -1;
         }
         resizeSyscalls_.fetch_add(1, std::memory_order_relaxed);
+        memMetrics().resizeSyscalls.add();
     }
     // uffd / none / software strategies: the bounds word is the only state
     // that changes — no syscall on the grow path.

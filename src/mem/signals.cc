@@ -17,6 +17,7 @@
 
 #include "mem/arena_registry.h"
 #include "mem/code_registry.h"
+#include "obs/metrics.h"
 #include "support/log.h"
 
 namespace lnb::mem {
@@ -25,6 +26,14 @@ namespace {
 
 thread_local TrapFrame* t_topFrame = nullptr;
 std::atomic<uint64_t> g_trapCount{0};
+
+// Signal handlers must not touch the sharded metric registry (claiming
+// a shard is not async-signal-safe), so the fault-classification
+// outcomes live in plain global atomics exposed to obs as external
+// counters at install() time.
+std::atomic<uint64_t> g_faultsResolved{0}; ///< lazily populated pages
+std::atomic<uint64_t> g_faultsTrapped{0};  ///< faults -> wasm OOB traps
+std::atomic<uint64_t> g_faultsReraised{0}; ///< not ours; default action
 
 /** Byte the JIT places after each ud2 to identify the trap kind. */
 constexpr size_t kTrapKindByteOffset = 2; // sizeof(ud2)
@@ -73,6 +82,7 @@ populatePage(ArenaInfo* arena, uintptr_t fault_addr)
             return false;
         }
         arena->faultsHandled.fetch_add(1, std::memory_order_relaxed);
+        g_faultsResolved.fetch_add(1, std::memory_order_relaxed);
         return true;
     }
 
@@ -86,6 +96,7 @@ populatePage(ArenaInfo* arena, uintptr_t fault_addr)
         if (ioctl(arena->uffdFd, UFFDIO_ZEROPAGE, &zp) == 0 ||
             zp.zeropage == -EEXIST) {
             arena->faultsHandled.fetch_add(1, std::memory_order_relaxed);
+            g_faultsResolved.fetch_add(1, std::memory_order_relaxed);
             return true;
         }
         return false;
@@ -112,8 +123,10 @@ faultHandler(int sig, siginfo_t* info, void* ucontext)
                     return; // retry the faulting instruction
             }
             arena->faultsTrapped.fetch_add(1, std::memory_order_relaxed);
+            g_faultsTrapped.fetch_add(1, std::memory_order_relaxed);
             jumpToFrame(wasm::TrapKind::out_of_bounds_memory);
         }
+        g_faultsReraised.fetch_add(1, std::memory_order_relaxed);
         reraiseAsDefault(sig, info);
         return;
     }
@@ -146,6 +159,15 @@ void
 TrapManager::install()
 {
     std::call_once(g_installOnce, [] {
+        // Published to the metrics registry as read-only sources: the
+        // handlers themselves only ever touch these plain atomics.
+        obs::registerExternalCounter("mem.faults_resolved",
+                                     &g_faultsResolved);
+        obs::registerExternalCounter("mem.faults_trapped",
+                                     &g_faultsTrapped);
+        obs::registerExternalCounter("signals.reraised",
+                                     &g_faultsReraised);
+        obs::registerExternalCounter("signals.wasm_traps", &g_trapCount);
         struct sigaction sa;
         sa.sa_sigaction = faultHandler;
         sigemptyset(&sa.sa_mask);
@@ -162,6 +184,12 @@ TrapManager::install()
 void
 TrapManager::raiseTrap(wasm::TrapKind kind)
 {
+    // Unlike the fault handler above, raiseTrap only runs in normal
+    // context (interpreter check failures, host glue), so the sharded
+    // registry is safe here.
+    static const obs::Counter c_raised =
+        obs::registerCounter("exec.traps_raised");
+    c_raised.add();
     jumpToFrame(kind);
 }
 

@@ -1,0 +1,446 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace lnb::obs {
+
+std::string
+jsonEscape(const std::string& text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (unsigned char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += char(c);
+            }
+        }
+    }
+    return out;
+}
+
+// ----- writer -----
+
+void
+JsonWriter::separator()
+{
+    if (pendingKey_) {
+        pendingKey_ = false;
+        return; // the key already emitted the comma
+    }
+    if (!hasElement_.empty()) {
+        if (hasElement_.back())
+            out_ += ',';
+        hasElement_.back() = true;
+    }
+}
+
+JsonWriter&
+JsonWriter::beginObject()
+{
+    separator();
+    out_ += '{';
+    hasElement_.push_back(false);
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::endObject()
+{
+    out_ += '}';
+    if (!hasElement_.empty())
+        hasElement_.pop_back();
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::beginArray()
+{
+    separator();
+    out_ += '[';
+    hasElement_.push_back(false);
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::endArray()
+{
+    out_ += ']';
+    if (!hasElement_.empty())
+        hasElement_.pop_back();
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::key(const std::string& name)
+{
+    if (!hasElement_.empty()) {
+        if (hasElement_.back())
+            out_ += ',';
+        hasElement_.back() = true;
+    }
+    out_ += '"';
+    out_ += jsonEscape(name);
+    out_ += "\":";
+    pendingKey_ = true;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(const std::string& text)
+{
+    separator();
+    out_ += '"';
+    out_ += jsonEscape(text);
+    out_ += '"';
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(const char* text)
+{
+    return value(std::string(text));
+}
+
+JsonWriter&
+JsonWriter::value(double number)
+{
+    separator();
+    if (!std::isfinite(number)) {
+        out_ += "null"; // JSON has no inf/nan
+        return *this;
+    }
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.17g", number);
+    out_ += buf;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(uint64_t number)
+{
+    separator();
+    out_ += std::to_string(number);
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(int64_t number)
+{
+    separator();
+    out_ += std::to_string(number);
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(bool flag)
+{
+    separator();
+    out_ += flag ? "true" : "false";
+    return *this;
+}
+
+// ----- parser -----
+
+const JsonValue*
+JsonValue::find(const std::string& key) const
+{
+    if (kind != Kind::object)
+        return nullptr;
+    for (const auto& [name, value] : members) {
+        if (name == key)
+            return &value;
+    }
+    return nullptr;
+}
+
+const JsonValue*
+JsonValue::findPath(const std::string& dotted) const
+{
+    const JsonValue* node = this;
+    size_t start = 0;
+    while (node != nullptr && start <= dotted.size()) {
+        size_t dot = dotted.find('.', start);
+        std::string part = dotted.substr(
+            start, dot == std::string::npos ? std::string::npos
+                                            : dot - start);
+        node = node->find(part);
+        if (dot == std::string::npos)
+            return node;
+        start = dot + 1;
+    }
+    return node;
+}
+
+namespace {
+
+class Parser
+{
+  public:
+    Parser(const std::string& text, std::string* error)
+        : text_(text), error_(error)
+    {}
+
+    bool
+    parse(JsonValue& out)
+    {
+        skipWs();
+        if (!parseValue(out))
+            return false;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing characters after document");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string& what)
+    {
+        if (error_ != nullptr) {
+            *error_ = what + " at offset " + std::to_string(pos_);
+        }
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            pos_++;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            pos_++;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char* word, JsonValue& out, JsonValue::Kind kind,
+            bool boolean)
+    {
+        size_t len = std::char_traits<char>::length(word);
+        if (text_.compare(pos_, len, word) != 0)
+            return fail("invalid literal");
+        pos_ += len;
+        out.kind = kind;
+        out.boolean = boolean;
+        return true;
+    }
+
+    bool
+    parseString(std::string& out)
+    {
+        if (!consume('"'))
+            return fail("expected '\"'");
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if ((unsigned char)c < 0x20)
+                return fail("unescaped control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return fail("dangling escape");
+            char e = text_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; i++) {
+                    char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= unsigned(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= unsigned(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= unsigned(h - 'A' + 10);
+                    else
+                        return fail("bad hex digit in \\u escape");
+                }
+                // UTF-8 encode the BMP code point (surrogate pairs are
+                // passed through as two separate encodings; we never
+                // emit them ourselves).
+                if (code < 0x80) {
+                    out += char(code);
+                } else if (code < 0x800) {
+                    out += char(0xC0 | (code >> 6));
+                    out += char(0x80 | (code & 0x3F));
+                } else {
+                    out += char(0xE0 | (code >> 12));
+                    out += char(0x80 | ((code >> 6) & 0x3F));
+                    out += char(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default: return fail("unknown escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(JsonValue& out)
+    {
+        size_t start = pos_;
+        if (consume('-')) {
+        }
+        if (!std::isdigit((unsigned char)peek()))
+            return fail("expected digit");
+        while (std::isdigit((unsigned char)peek()))
+            pos_++;
+        if (consume('.')) {
+            if (!std::isdigit((unsigned char)peek()))
+                return fail("expected fraction digit");
+            while (std::isdigit((unsigned char)peek()))
+                pos_++;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            pos_++;
+            if (peek() == '+' || peek() == '-')
+                pos_++;
+            if (!std::isdigit((unsigned char)peek()))
+                return fail("expected exponent digit");
+            while (std::isdigit((unsigned char)peek()))
+                pos_++;
+        }
+        out.kind = JsonValue::Kind::number;
+        out.number = std::strtod(text_.c_str() + start, nullptr);
+        return true;
+    }
+
+    char
+    peek() const
+    {
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    bool
+    parseValue(JsonValue& out)
+    {
+        if (depth_ > 128)
+            return fail("nesting too deep");
+        skipWs();
+        char c = peek();
+        switch (c) {
+          case '{': {
+            pos_++;
+            out.kind = JsonValue::Kind::object;
+            depth_++;
+            skipWs();
+            if (consume('}')) {
+                depth_--;
+                return true;
+            }
+            while (true) {
+                skipWs();
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                skipWs();
+                if (!consume(':'))
+                    return fail("expected ':'");
+                JsonValue value;
+                if (!parseValue(value))
+                    return false;
+                out.members.emplace_back(std::move(key),
+                                         std::move(value));
+                skipWs();
+                if (consume(','))
+                    continue;
+                if (consume('}')) {
+                    depth_--;
+                    return true;
+                }
+                return fail("expected ',' or '}'");
+            }
+          }
+          case '[': {
+            pos_++;
+            out.kind = JsonValue::Kind::array;
+            depth_++;
+            skipWs();
+            if (consume(']')) {
+                depth_--;
+                return true;
+            }
+            while (true) {
+                JsonValue value;
+                if (!parseValue(value))
+                    return false;
+                out.elements.push_back(std::move(value));
+                skipWs();
+                if (consume(','))
+                    continue;
+                if (consume(']')) {
+                    depth_--;
+                    return true;
+                }
+                return fail("expected ',' or ']'");
+            }
+          }
+          case '"':
+            out.kind = JsonValue::Kind::string;
+            return parseString(out.string);
+          case 't': return literal("true", out, JsonValue::Kind::boolean,
+                                   true);
+          case 'f': return literal("false", out,
+                                   JsonValue::Kind::boolean, false);
+          case 'n': return literal("null", out, JsonValue::Kind::null,
+                                   false);
+          default: return parseNumber(out);
+        }
+    }
+
+    const std::string& text_;
+    std::string* error_;
+    size_t pos_ = 0;
+    int depth_ = 0;
+};
+
+} // namespace
+
+bool
+parseJson(const std::string& text, JsonValue& out, std::string* error)
+{
+    Parser parser(text, error);
+    return parser.parse(out);
+}
+
+} // namespace lnb::obs

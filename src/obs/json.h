@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Minimal JSON support for the observability layer: a streaming writer
+ * (run reports, metrics dumps, Chrome traces) and a small DOM parser
+ * used by tests and tools to validate and query those artifacts. No
+ * third-party dependency; covers the JSON subset we emit plus standard
+ * escapes.
+ */
+#ifndef LNB_OBS_JSON_H
+#define LNB_OBS_JSON_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lnb::obs {
+
+/** Escape a string for inclusion inside JSON quotes. */
+std::string jsonEscape(const std::string& text);
+
+/**
+ * Streaming JSON writer with automatic comma placement. Usage:
+ *
+ *   JsonWriter w;
+ *   w.beginObject();
+ *   w.key("n").value(3);
+ *   w.key("xs").beginArray().value(1.5).value(2.5).endArray();
+ *   w.endObject();
+ *   std::string text = w.take();
+ *
+ * The caller is responsible for balanced begin/end calls.
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter& beginObject();
+    JsonWriter& endObject();
+    JsonWriter& beginArray();
+    JsonWriter& endArray();
+    JsonWriter& key(const std::string& name);
+    JsonWriter& value(const std::string& text);
+    JsonWriter& value(const char* text);
+    JsonWriter& value(double number);
+    JsonWriter& value(uint64_t number);
+    JsonWriter& value(int64_t number);
+    JsonWriter& value(int number) { return value(int64_t(number)); }
+    JsonWriter& value(bool flag);
+
+    /** Finish and return the accumulated text. */
+    std::string take() { return std::move(out_); }
+
+  private:
+    void separator();
+
+    std::string out_;
+    /** Whether the current nesting level already holds an element. */
+    std::vector<bool> hasElement_;
+    bool pendingKey_ = false;
+};
+
+/** Parsed JSON value (small DOM; object members keep insertion order). */
+struct JsonValue
+{
+    enum class Kind { null, boolean, number, string, object, array };
+
+    Kind kind = Kind::null;
+    bool boolean = false;
+    double number = 0;
+    std::string string;
+    std::vector<std::pair<std::string, JsonValue>> members; ///< object
+    std::vector<JsonValue> elements;                        ///< array
+
+    /** Object member by key; null if absent or not an object. */
+    const JsonValue* find(const std::string& key) const;
+    /** Member lookup through a dotted path ("host.cpus"). */
+    const JsonValue* findPath(const std::string& dotted) const;
+
+    bool isNumber() const { return kind == Kind::number; }
+    bool isString() const { return kind == Kind::string; }
+    bool isObject() const { return kind == Kind::object; }
+    bool isArray() const { return kind == Kind::array; }
+};
+
+/**
+ * Parse @p text as one JSON document (trailing whitespace allowed).
+ * Returns false and sets @p error (if non-null) on malformed input.
+ */
+bool parseJson(const std::string& text, JsonValue& out,
+               std::string* error = nullptr);
+
+} // namespace lnb::obs
+
+#endif // LNB_OBS_JSON_H

@@ -1,0 +1,251 @@
+#include "obs/trace.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "support/log.h"
+
+#ifdef __linux__
+#include <sys/syscall.h>
+#endif
+
+namespace lnb::obs {
+
+namespace {
+
+uint32_t
+currentTid()
+{
+#ifdef __linux__
+    static thread_local uint32_t tid = uint32_t(syscall(SYS_gettid));
+    return tid;
+#else
+    static thread_local uint32_t tid = [] {
+        static std::atomic<uint32_t> next{1};
+        return next.fetch_add(1);
+    }();
+    return tid;
+#endif
+}
+
+} // namespace
+
+#ifndef LNB_OBS_DISABLED
+
+namespace detail {
+
+std::atomic<int> g_traceState{0};
+
+namespace {
+
+/** Fixed-capacity per-thread event ring; overwrites the oldest. */
+struct TraceRing
+{
+    TraceEvent events[kTraceRingCapacity];
+    size_t next = 0;     ///< write cursor
+    size_t recorded = 0; ///< lifetime count (>= capacity once wrapped)
+    uint32_t tid = 0;
+};
+
+struct TraceCollector
+{
+    std::mutex mutex;
+    std::vector<TraceRing*> rings;        ///< live threads
+    std::vector<TraceEvent> retired;      ///< events of exited threads
+    std::string filePath;                 ///< from LNB_TRACE_FILE
+};
+
+TraceCollector&
+collector()
+{
+    static TraceCollector c;
+    return c;
+}
+
+void
+drainRingLocked(TraceRing& ring, std::vector<TraceEvent>& out)
+{
+    size_t count = std::min(ring.recorded, kTraceRingCapacity);
+    // Oldest-first: when wrapped, the write cursor points at the oldest.
+    size_t start = ring.recorded > kTraceRingCapacity ? ring.next : 0;
+    for (size_t i = 0; i < count; i++)
+        out.push_back(ring.events[(start + i) % kTraceRingCapacity]);
+    ring.next = 0;
+    ring.recorded = 0;
+}
+
+/** Owns one thread's ring; moves its events to `retired` on exit. */
+struct RingOwner
+{
+    TraceRing* ring;
+
+    RingOwner() : ring(new TraceRing())
+    {
+        ring->tid = currentTid();
+        TraceCollector& c = collector();
+        std::lock_guard<std::mutex> lock(c.mutex);
+        c.rings.push_back(ring);
+    }
+
+    ~RingOwner()
+    {
+        TraceCollector& c = collector();
+        std::lock_guard<std::mutex> lock(c.mutex);
+        drainRingLocked(*ring, c.retired);
+        c.rings.erase(std::find(c.rings.begin(), c.rings.end(), ring));
+        delete ring;
+    }
+};
+
+TraceRing&
+threadRing()
+{
+    static thread_local RingOwner owner;
+    return *owner.ring;
+}
+
+std::once_flag g_initOnce;
+
+} // namespace
+
+void
+ensureObsInit()
+{
+    std::call_once(g_initOnce, [] {
+        // Both singletons must predate the atexit registration below, so
+        // reverse destruction order keeps them alive during the flush.
+        ensureRegistryAlive();
+        const char* path = std::getenv("LNB_TRACE_FILE");
+        if (path != nullptr && path[0] != '\0')
+            collector().filePath = path;
+        int state = collector().filePath.empty() ? 1 : 2;
+        // Leave a testing override in place if one raced us here.
+        int expected = 0;
+        g_traceState.compare_exchange_strong(expected, state);
+        std::atexit(flushObservability);
+    });
+}
+
+bool
+traceEnabledSlow()
+{
+    ensureObsInit();
+    return g_traceState.load(std::memory_order_relaxed) == 2;
+}
+
+void
+recordTraceEvent(const char* name, uint64_t start_ns, uint64_t dur_ns)
+{
+    TraceRing& ring = threadRing();
+    // The ring is only written by its owning thread; readers take the
+    // collector mutex and accept torn in-flight events (drain happens
+    // after workers quiesce in practice).
+    TraceEvent& event = ring.events[ring.next];
+    event.name = name;
+    event.startNanos = start_ns;
+    event.durationNanos = dur_ns;
+    event.tid = ring.tid;
+    ring.next = (ring.next + 1) % kTraceRingCapacity;
+    ring.recorded++;
+}
+
+} // namespace detail
+
+void
+setTraceEnabledForTesting(bool enabled)
+{
+    // Ensure env/atexit setup ran so a later reset keeps the file path.
+    detail::ensureObsInit();
+    detail::g_traceState.store(enabled ? 2 : 1,
+                               std::memory_order_relaxed);
+}
+
+const std::string&
+traceFilePath()
+{
+    detail::ensureObsInit();
+    return detail::collector().filePath;
+}
+
+std::vector<TraceEvent>
+drainTraceEvents()
+{
+    detail::TraceCollector& c = detail::collector();
+    std::vector<TraceEvent> out;
+    std::lock_guard<std::mutex> lock(c.mutex);
+    out.swap(c.retired);
+    for (detail::TraceRing* ring : c.rings)
+        detail::drainRingLocked(*ring, out);
+    std::sort(out.begin(), out.end(),
+              [](const TraceEvent& a, const TraceEvent& b) {
+                  return a.startNanos < b.startNanos;
+              });
+    return out;
+}
+
+bool
+writeChromeTrace(const std::string& path)
+{
+    std::vector<TraceEvent> events = drainTraceEvents();
+    JsonWriter w;
+    w.beginObject();
+    w.key("displayTimeUnit").value("ns");
+    w.key("traceEvents").beginArray();
+    for (const TraceEvent& event : events) {
+        w.beginObject();
+        w.key("name").value(event.name);
+        w.key("cat").value("lnb");
+        w.key("ph").value("X");
+        w.key("pid").value(uint64_t(getpid()));
+        w.key("tid").value(uint64_t(event.tid));
+        w.key("ts").value(double(event.startNanos) * 1e-3); // microseconds
+        w.key("dur").value(double(event.durationNanos) * 1e-3);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+
+    std::ofstream file(path, std::ios::trunc);
+    if (!file.is_open()) {
+        LNB_WARN("obs: cannot open trace file %s", path.c_str());
+        return false;
+    }
+    file << w.take();
+    file.flush();
+    if (!file.good()) {
+        LNB_WARN("obs: short write to trace file %s", path.c_str());
+        return false;
+    }
+    return true;
+}
+
+#endif // !LNB_OBS_DISABLED
+
+void
+flushObservability()
+{
+#ifndef LNB_OBS_DISABLED
+    const std::string& trace_path = traceFilePath();
+    if (!trace_path.empty())
+        writeChromeTrace(trace_path);
+    const char* json_dir = std::getenv("LNB_JSON_DIR");
+    if (json_dir != nullptr && json_dir[0] != '\0') {
+        std::string path = std::string(json_dir) + "/metrics_" +
+                           std::to_string(getpid()) + ".json";
+        std::ofstream file(path, std::ios::trunc);
+        if (!file.is_open()) {
+            LNB_WARN("obs: cannot open metrics dump %s", path.c_str());
+            return;
+        }
+        file << metricsToJson(snapshotMetrics());
+    }
+#endif
+}
+
+} // namespace lnb::obs

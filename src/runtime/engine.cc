@@ -1,5 +1,7 @@
 #include "runtime/engine.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/clock.h"
 #include "wasm/decoder.h"
 #include "wasm/validator.h"
@@ -35,6 +37,10 @@ Engine::Engine(const EngineConfig& config) : config_(config) {}
 Result<std::shared_ptr<const CompiledModule>>
 Engine::compile(wasm::Module module) const
 {
+    LNB_TRACE_SCOPE("rt.compile");
+    static const obs::Counter c_compiled =
+        obs::registerCounter("rt.modules_compiled");
+    c_compiled.add();
     auto cm = std::make_shared<CompiledModule>();
     cm->config_ = config_;
 

@@ -5,10 +5,30 @@
 #include <cassert>
 
 #include "mem/signals.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace lnb::rt {
 
 namespace {
+
+/** Lifecycle probes; invoke() is on benchmark iteration paths, so it
+ * gets exactly one counter bump and one (predicted-off) trace check. */
+struct RtMetrics
+{
+    obs::Counter instancesCreated = obs::registerCounter(
+        "rt.instances_created");
+    obs::Counter invocations = obs::registerCounter("rt.invocations");
+    obs::Counter trapsReturned = obs::registerCounter(
+        "rt.traps_returned");
+};
+
+RtMetrics&
+rtMetrics()
+{
+    static RtMetrics m;
+    return m;
+}
 
 /**
  * Lowest stack address generated code may still use on this thread, with
@@ -63,6 +83,8 @@ Instance::~Instance() = default;
 Status
 Instance::initialize(ImportMap imports)
 {
+    LNB_TRACE_SCOPE("rt.instantiate");
+    rtMetrics().instancesCreated.add();
     const wasm::Module& m = module_->lowered().module;
     const EngineConfig& config = module_->config();
     imports_ = std::move(imports);
@@ -163,6 +185,8 @@ Instance::initialize(ImportMap imports)
 CallOutcome
 Instance::call(uint32_t func_idx, const std::vector<wasm::Value>& args)
 {
+    LNB_TRACE_SCOPE("rt.invoke");
+    rtMetrics().invocations.add();
     const wasm::LoweredModule& lowered = module_->lowered();
     const wasm::FuncType& type = lowered.module.funcType(func_idx);
     assert(args.size() == type.params.size() &&
@@ -197,6 +221,8 @@ Instance::call(uint32_t func_idx, const std::vector<wasm::Value>& args)
     ctx_.callDepth = saved_depth;
     ctx_.vstackTop = saved_top;
 
+    if (!outcome.ok())
+        rtMetrics().trapsReturned.add();
     if (outcome.ok()) {
         for (size_t i = 0; i < type.results.size(); i++)
             outcome.results.push_back(frame[i]);

@@ -5,11 +5,34 @@
 #include <queue>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace lnb::simk {
 
 namespace {
 
 using mem::BoundsStrategy;
+
+/** VMA-lock probes: acquisition counts are simulated events, the wait
+ * histogram records the simulated nanoseconds a contended acquisition
+ * spent queued on the mmap lock. */
+struct SimkMetrics
+{
+    obs::Counter lockAcquisitions = obs::registerCounter(
+        "simk.lock_acquisitions");
+    obs::Counter lockContended = obs::registerCounter(
+        "simk.lock_contended");
+    obs::Histogram lockWait = obs::registerHistogram(
+        "simk.lock_wait_ns");
+};
+
+SimkMetrics&
+simkMetrics()
+{
+    static SimkMetrics m;
+    return m;
+}
 
 /**
  * Phases of one benchmark iteration. The event loop executes ONE phase
@@ -79,11 +102,14 @@ class Simulation
     lockedOp(SimThread& thread, double hold_ns)
     {
         lock_.acquisitions++;
+        simkMetrics().lockAcquisitions.add();
         double start = thread.now;
         if (lock_.freeAt > thread.now) {
             double wait = lock_.freeAt - thread.now;
             thread.waitNs += wait;
             lock_.contended++;
+            simkMetrics().lockContended.add();
+            simkMetrics().lockWait.record(uint64_t(wait));
             // Blocking on a kernel rwsem deschedules and rewakes: two
             // context switches.
             contextSwitches_ += 2;
@@ -273,6 +299,7 @@ SimResult
 simulateContention(const SimConfig& config)
 {
     assert(config.numThreads > 0 && config.iterations > 0);
+    LNB_TRACE_SCOPE("simk.simulate");
     Simulation sim(config);
     return sim.run();
 }

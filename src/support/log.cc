@@ -1,13 +1,46 @@
 #include "support/log.h"
 
+#include <sys/syscall.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "support/clock.h"
 
 namespace lnb {
 
 namespace {
 
-std::atomic<LogLevel> g_level{LogLevel::warn};
+/** LNB_LOG_LEVEL: a name (debug/info/warn/error) or a digit 0-3.
+ * Unrecognized values keep the default and say so once. */
+LogLevel
+levelFromEnvironment()
+{
+    const char* env = std::getenv("LNB_LOG_LEVEL");
+    if (env == nullptr || env[0] == '\0')
+        return LogLevel::warn;
+    if (std::strcmp(env, "debug") == 0 || std::strcmp(env, "0") == 0)
+        return LogLevel::debug;
+    if (std::strcmp(env, "info") == 0 || std::strcmp(env, "1") == 0)
+        return LogLevel::info;
+    if (std::strcmp(env, "warn") == 0 || std::strcmp(env, "2") == 0)
+        return LogLevel::warn;
+    if (std::strcmp(env, "error") == 0 || std::strcmp(env, "3") == 0)
+        return LogLevel::error;
+    std::fprintf(stderr,
+                 "[lnb WARN] unrecognized LNB_LOG_LEVEL '%s' "
+                 "(want debug/info/warn/error or 0-3); using warn\n",
+                 env);
+    return LogLevel::warn;
+}
+
+std::atomic<LogLevel> g_level{levelFromEnvironment()};
+
+/** Process start reference so timestamps read as seconds-into-run. */
+const uint64_t g_startNanos = monotonicNanos();
 
 const char*
 levelName(LogLevel level)
@@ -19,6 +52,13 @@ levelName(LogLevel level)
       case LogLevel::error: return "ERROR";
     }
     return "?";
+}
+
+long
+currentTid()
+{
+    static thread_local long tid = syscall(SYS_gettid);
+    return tid;
 }
 
 } // namespace
@@ -45,7 +85,9 @@ logf(LogLevel level, const char* fmt, ...)
     va_start(ap, fmt);
     vsnprintf(buf, sizeof buf, fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "[lnb %s] %s\n", levelName(level), buf);
+    double elapsed = double(monotonicNanos() - g_startNanos) * 1e-9;
+    std::fprintf(stderr, "[lnb %10.6f %ld %s] %s\n", elapsed,
+                 currentTid(), levelName(level), buf);
 }
 
 } // namespace lnb

@@ -6,8 +6,13 @@
  */
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
 #include "harness/bench_runner.h"
 #include "harness/report.h"
+#include "obs/json.h"
 
 namespace lnb::harness {
 namespace {
@@ -88,6 +93,68 @@ TEST(BenchRunner, NativeBaselineMatchesProtocol)
     EXPECT_EQ(result.threads[0].checksum, smallKernel()->native(16));
 }
 
+TEST(BenchRunner, JsonReportMatchesResultCounters)
+{
+    // Deterministic fault workload: emulated uffd populates pages lazily
+    // on every fresh instance, so faultsHandled is nonzero and the report
+    // must agree with the in-memory result.
+    std::string dir = ::testing::TempDir() + "/lnb_harness_json_XXXXXX";
+    ASSERT_NE(mkdtemp(dir.data()), nullptr);
+    setenv("LNB_JSON_DIR", dir.c_str(), 1);
+
+    BenchSpec spec = quickSpec(1, true);
+    spec.engineConfig.strategy = mem::BoundsStrategy::uffd;
+    spec.engineConfig.forceUffdEmulation = true;
+    BenchResult result = runBenchmark(spec);
+    unsetenv("LNB_JSON_DIR");
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_GT(result.faultsHandled, 0u);
+
+    ASSERT_FALSE(result.jsonReportPath.empty());
+    std::ifstream file(result.jsonReportPath);
+    ASSERT_TRUE(file.is_open()) << result.jsonReportPath;
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+
+    obs::JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(obs::parseJson(buffer.str(), doc, &error)) << error;
+    EXPECT_EQ(doc.find("schema")->string, "lnb.bench_result.v1");
+    EXPECT_EQ(doc.findPath("config.kernel")->string,
+              smallKernel()->name);
+    EXPECT_EQ(doc.findPath("config.strategy")->string, "uffd");
+    EXPECT_EQ(doc.find("faultsHandled")->number,
+              double(result.faultsHandled));
+    EXPECT_EQ(doc.find("resizeSyscalls")->number,
+              double(result.resizeSyscalls));
+    const obs::JsonValue* per_thread = doc.find("perThread");
+    ASSERT_NE(per_thread, nullptr);
+    ASSERT_EQ(per_thread->elements.size(), 1u);
+    EXPECT_EQ(per_thread->elements[0].find("iterations")->number, 5.0);
+    EXPECT_GT(doc.findPath("latency.p50Seconds")->number, 0.0);
+}
+
+TEST(Report, CsvQuotesSpecialCells)
+{
+    std::string dir = ::testing::TempDir() + "/lnb_harness_csv_XXXXXX";
+    ASSERT_NE(mkdtemp(dir.data()), nullptr);
+    setenv("LNB_CSV_DIR", dir.c_str(), 1);
+
+    Table table({"name", "value"});
+    table.addRow({"plain", "has,comma"});
+    table.addRow({"quote\"inside", "multi\nline"});
+    table.maybeWriteCsv("quoting");
+    unsetenv("LNB_CSV_DIR");
+
+    std::ifstream file(dir + "/quoting.csv");
+    ASSERT_TRUE(file.is_open());
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    EXPECT_EQ(buffer.str(), "name,value\n"
+                            "plain,\"has,comma\"\n"
+                            "\"quote\"\"inside\",\"multi\nline\"\n");
+}
+
 TEST(Report, TableAlignsColumns)
 {
     Table table({"name", "value"});
@@ -104,6 +171,14 @@ TEST(Report, CellFormats)
 {
     EXPECT_EQ(cell("%.2fx", 1.5), "1.50x");
     EXPECT_EQ(cell("%d", 42), "42");
+}
+
+TEST(Report, CellHandlesWideFormats)
+{
+    // Formats wider than any fixed buffer must come through intact.
+    std::string wide(500, 'x');
+    EXPECT_EQ(cell("%s!", wide.c_str()), wide + "!");
+    EXPECT_EQ(cell("%300d", 7).size(), 300u);
 }
 
 } // namespace
