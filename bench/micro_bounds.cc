@@ -15,8 +15,10 @@
 
 #include "kernels/dsl.h"
 #include "kernels/kernel.h"
+#include "obs/metrics.h"
 #include "runtime/engine.h"
 #include "runtime/instance.h"
+#include "wasm/opt.h"
 
 namespace {
 
@@ -113,6 +115,141 @@ BM_JitOptLoadStore(benchmark::State& state)
 BENCHMARK(BM_JitOptLoadStore)
     ->DenseRange(0, 4)
     ->Unit(benchmark::kMicrosecond);
+
+/**
+ * The gemm beta-scale phase (PolyBench) as a standalone loop kernel:
+ * C[i] *= beta over one f64 row — a read-modify-write loop whose load
+ * and store hit the same address through different cells. Exercises the
+ * opt pass's value-numbered check elision (the per-block JIT cache
+ * alone cannot carry the load's check to the store).
+ */
+wasm::Module
+rmwScaleModule(int count)
+{
+    wasm::ModuleBuilder mb;
+    mb.addMemory(1, 1);
+    uint32_t t = mb.addType({}, {ValType::i32});
+    auto& f = mb.addFunction(t);
+    uint32_t i = f.addLocal(ValType::i32);
+    auto exit = f.block();
+    auto head = f.loop();
+    f.localGet(i);
+    f.i32Const(3);
+    f.emit(Op::i32_shl); // byte offset = i * 8
+    f.localGet(i);
+    f.i32Const(3);
+    f.emit(Op::i32_shl);
+    f.memOp(Op::f64_load, 0);
+    f.f64Const(1.0000001);
+    f.emit(Op::f64_mul);
+    f.memOp(Op::f64_store, 0);
+    f.localGet(i);
+    f.i32Const(1);
+    f.emit(Op::i32_add);
+    f.localTee(i);
+    f.i32Const(count);
+    f.emit(Op::i32_lt_s);
+    f.brIf(head);
+    f.end(); // loop
+    f.end(); // block
+    (void)exit;
+    f.localGet(i);
+    mb.exportFunc("run", f.finish());
+    return mb.build();
+}
+
+std::unique_ptr<rt::Instance>
+makeInstanceOpt(EngineKind kind, BoundsStrategy strategy,
+                wasm::Module module, bool optimize,
+                wasm::OptStats* opt_stats, size_t* lowered_insts)
+{
+    rt::EngineConfig config;
+    config.kind = kind;
+    config.strategy = strategy;
+    config.optimizeLoweredIR = optimize;
+    rt::Engine engine(config);
+    auto compiled = engine.compile(std::move(module));
+    if (!compiled.isOk())
+        return nullptr;
+    if (opt_stats)
+        *opt_stats = compiled.value()->optStats();
+    if (lowered_insts) {
+        *lowered_insts = 0;
+        for (const auto& func : compiled.value()->lowered().funcs)
+            *lowered_insts += func.code.size();
+    }
+    auto inst = rt::Instance::create(compiled.takeValue());
+    return inst.isOk() ? inst.takeValue() : nullptr;
+}
+
+/**
+ * Ablation for the lowered-IR opt pass on the RMW kernel, jit-opt x
+ * trap: arg 0 = pass disabled, arg 1 = enabled. The reported
+ * checks_emitted counter is the registry delta around compilation; the
+ * acceptance criterion is a >= 30% drop with the pass on.
+ */
+void
+BM_OptCheckElim(benchmark::State& state)
+{
+    bool optimize = state.range(0) != 0;
+    constexpr int kCount = 1 << 13; // 8192 f64 == one 64 KiB page
+    obs::Counter emitted =
+        obs::registerCounter("jit.bounds_checks_emitted");
+    uint64_t emitted_delta = 0;
+    wasm::OptStats opt_stats;
+    std::unique_ptr<rt::Instance> inst;
+    for (auto _ : state) {
+        uint64_t before = emitted.value();
+        inst = makeInstanceOpt(EngineKind::jit_opt, BoundsStrategy::trap,
+                               rmwScaleModule(kCount), optimize,
+                               &opt_stats, nullptr);
+        if (!inst) {
+            state.SkipWithError("instance creation failed");
+            return;
+        }
+        emitted_delta = emitted.value() - before;
+        rt::CallOutcome out = inst->callExport("run", {});
+        benchmark::DoNotOptimize(out.results);
+    }
+    state.counters["checks_emitted"] = double(emitted_delta);
+    state.counters["checks_hoisted"] = double(opt_stats.checksHoisted);
+    state.counters["checks_elided"] = double(opt_stats.checksElided);
+    state.SetLabel(optimize ? "opt-pass on" : "opt-pass off");
+}
+BENCHMARK(BM_OptCheckElim)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+/**
+ * Superinstruction-fusion ablation on the threaded interpreter: the
+ * retired lowered-instruction count per kernel call is the static
+ * per-iteration instruction count times the trip count, so the reported
+ * lowered_insts counter (code length after the pass) shows the dynamic
+ * dispatch reduction directly; wall time shows the speedup.
+ */
+void
+BM_ThreadedFusion(benchmark::State& state)
+{
+    bool optimize = state.range(0) != 0;
+    constexpr int kCount = 1 << 13;
+    wasm::OptStats opt_stats;
+    size_t lowered_insts = 0;
+    auto inst = makeInstanceOpt(EngineKind::interp_threaded,
+                                BoundsStrategy::trap,
+                                rmwScaleModule(kCount), optimize,
+                                &opt_stats, &lowered_insts);
+    if (!inst) {
+        state.SkipWithError("instance creation failed");
+        return;
+    }
+    for (auto _ : state) {
+        rt::CallOutcome out = inst->callExport("run", {});
+        benchmark::DoNotOptimize(out.results);
+    }
+    state.counters["lowered_insts"] = double(lowered_insts);
+    state.counters["insts_fused"] = double(opt_stats.instsFused);
+    state.SetItemsProcessed(int64_t(state.iterations()) * kCount);
+    state.SetLabel(optimize ? "fusion on" : "fusion off");
+}
+BENCHMARK(BM_ThreadedFusion)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
 
 /** memory.grow of one page per call (the paper's contended path). */
 void

@@ -12,6 +12,7 @@
 #include "wasm/decoder.h"
 #include "wasm/encoder.h"
 #include "wasm/lower.h"
+#include "wasm/opt.h"
 #include "wasm/validator.h"
 
 namespace {
@@ -62,6 +63,35 @@ BM_Lower(benchmark::State& state)
     }
 }
 BENCHMARK(BM_Lower);
+
+/**
+ * The lowered-IR optimization pass (wasm/opt.*), in the two configurations
+ * the engine uses: superinstruction fusion (interpreter tiers) and bounds-
+ * check analysis + loop hoisting (jit-opt under the trap strategy). Counters
+ * report what the pass found in the kernel, so per-kernel fusion/hoisting
+ * coverage is visible alongside the stage's throughput.
+ */
+void
+BM_OptPass(benchmark::State& state)
+{
+    auto module = wasm::decodeModule(gemmBytes()).takeValue();
+    auto lowered = wasm::lowerModule(std::move(module)).takeValue();
+    wasm::OptOptions options;
+    options.fuse = state.range(0) == 0;
+    options.analyzeChecks = !options.fuse;
+    options.hoistChecks = !options.fuse;
+    wasm::OptStats stats;
+    for (auto _ : state) {
+        wasm::LoweredModule copy = lowered;
+        stats = wasm::optimizeLoweredModule(copy, options);
+        benchmark::DoNotOptimize(copy.funcs.data());
+    }
+    state.SetLabel(options.fuse ? "fuse" : "check-analysis");
+    state.counters["insts_fused"] = double(stats.instsFused);
+    state.counters["checks_hoisted"] = double(stats.checksHoisted);
+    state.counters["checks_elided"] = double(stats.checksElided);
+}
+BENCHMARK(BM_OptPass)->Arg(0)->Arg(1);
 
 void
 BM_JitCompile(benchmark::State& state)

@@ -699,6 +699,102 @@ execWasmOp(InstanceContext* ctx, Value* f, const LInst& inst)
     }
 }
 
+// ---------------------------------------------------------------------
+// Pseudo-ops emitted by the optimization pass (wasm/opt.*)
+// ---------------------------------------------------------------------
+
+/**
+ * Hoisted bounds check. Only the trap executor acts on it; raw and
+ * clamp executors never trap on bounds, so for them it is a no-op (the
+ * pass only inserts it under the trap strategy anyway).
+ */
+template <CheckMode M>
+inline void
+semCheckBounds(InstanceContext* ctx, Value* f, const LInst& inst)
+{
+    if constexpr (M == CheckMode::trap) {
+        uint64_t limit =
+            inst.aux == 0 ? uint64_t(f[inst.a].i32) + inst.imm : inst.imm;
+        if (limit > ctx->memSize)
+            trap(TrapKind::out_of_bounds_memory);
+    } else {
+        (void)ctx;
+        (void)f;
+        (void)inst;
+    }
+}
+
+/** Replay a 2-input wasm binop `op` on cells (a, b) through the shared
+ * semantic functions, so fused forms stay bit-exact with the originals. */
+template <CheckMode M>
+inline void
+replayBinop(InstanceContext* ctx, Value* f, uint16_t op, uint32_t a,
+            uint32_t b)
+{
+    LInst binop;
+    binop.op = op;
+    binop.a = a;
+    binop.b = b;
+    execWasmOp<M>(ctx, f, binop);
+}
+
+/** fused const+binop: f[b] = imm, then wasm binop `aux` on (a, b). */
+template <CheckMode M>
+inline void
+semFusedConstBinop(InstanceContext* ctx, Value* f, const LInst& inst)
+{
+    f[inst.b].i64 = inst.imm;
+    replayBinop<M>(ctx, f, inst.aux, inst.a, inst.b);
+}
+
+/**
+ * fused compare+branch: compare `aux` on (b, imm>>1), then report
+ * whether the jump to pc `a` should be taken (imm bit 0 inverts the
+ * condition for jump_if_zero). The interpreter loop performs the jump.
+ */
+template <CheckMode M>
+inline bool
+semFusedCmpJump(InstanceContext* ctx, Value* f, const LInst& inst)
+{
+    replayBinop<M>(ctx, f, inst.aux, inst.b, uint32_t(inst.imm >> 1));
+    bool taken = f[inst.b].i32 != 0;
+    return (inst.imm & 1) ? !taken : taken;
+}
+
+/** fused copy+binop: f[imm & 0xffffffff] = f[imm >> 32], then wasm
+ * binop `aux` on (a, b). */
+template <CheckMode M>
+inline void
+semFusedCopyBinop(InstanceContext* ctx, Value* f, const LInst& inst)
+{
+    f[uint32_t(inst.imm)] = f[inst.imm >> 32];
+    replayBinop<M>(ctx, f, inst.aux, inst.a, inst.b);
+}
+
+/** The load half of fused load+binop: load op `imm >> 32` into cell b
+ * (offset imm & 0xffffffff). Split out so the threaded interpreter can
+ * dispatch the binop half through its own handler table. */
+template <CheckMode M>
+inline void
+semFusedLoadPart(InstanceContext* ctx, Value* f, const LInst& inst)
+{
+    LInst load;
+    load.op = uint16_t(inst.imm >> 32);
+    load.a = inst.b;
+    load.imm = uint32_t(inst.imm);
+    execWasmOp<M>(ctx, f, load);
+}
+
+/** fused load+binop: load op `imm >> 32` into cell b (offset
+ * imm & 0xffffffff), then wasm binop `aux` on (a, b). */
+template <CheckMode M>
+inline void
+semFusedLoadBinop(InstanceContext* ctx, Value* f, const LInst& inst)
+{
+    semFusedLoadPart<M>(ctx, f, inst);
+    replayBinop<M>(ctx, f, inst.aux, inst.a, inst.b);
+}
+
 } // namespace lnb::exec::sem
 
 #endif // LNB_INTERP_OPS_INLINE_H

@@ -90,6 +90,29 @@ runSwitch(InstanceContext* ctx, const LoweredFunc& func, Value* frame)
           case LOp::trap:
             mem::TrapManager::raiseTrap(TrapKind(inst.aux));
 
+          case LOp::check_bounds:
+            sem::semCheckBounds<M>(ctx, frame, inst);
+            break;
+
+          case LOp::fused_const_binop:
+            sem::semFusedConstBinop<M>(ctx, frame, inst);
+            break;
+
+          case LOp::fused_cmp_jump:
+            if (sem::semFusedCmpJump<M>(ctx, frame, inst)) {
+                pc = inst.a;
+                continue;
+            }
+            break;
+
+          case LOp::fused_copy_binop:
+            sem::semFusedCopyBinop<M>(ctx, frame, inst);
+            break;
+
+          case LOp::fused_load_binop:
+            sem::semFusedLoadBinop<M>(ctx, frame, inst);
+            break;
+
           default:
             sem::execWasmOp<M>(ctx, frame, inst);
             break;

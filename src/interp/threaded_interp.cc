@@ -30,7 +30,9 @@ runThreaded(InstanceContext* ctx, const LoweredFunc& func, Value* frame)
 #undef V
         &&L_jump,      &&L_jump_if, &&L_jump_if_zero, &&L_jump_table,
         &&L_copy,      &&L_ret,     &&L_callf,        &&L_call_host,
-        &&L_calli,     &&L_trap,
+        &&L_calli,     &&L_trap,    &&L_check_bounds,
+        &&L_fused_const_binop,      &&L_fused_cmp_jump,
+        &&L_fused_copy_binop,       &&L_fused_load_binop,
     };
     static_assert(sizeof(kLabels) / sizeof(kLabels[0]) == wasm::kLOpCount,
                   "handler table must cover every lowered opcode");
@@ -115,6 +117,33 @@ L_calli: {
 
 L_trap:
     mem::TrapManager::raiseTrap(TrapKind(inst->aux));
+
+L_check_bounds:
+    sem::semCheckBounds<M>(ctx, frame, *inst);
+    NEXT();
+
+    // The fused handlers run the first half of the pair inline, then jump
+    // straight to the binop's own handler: a fused instruction carries the
+    // binop's (a, b) cells in its own a/b fields, and the binop handler's
+    // NEXT() continues past the fused instruction. This keeps the second
+    // half on the same inlined sem functions as the unfused form (bit-exact)
+    // without paying a call into the generic execWasmOp switch.
+L_fused_const_binop:
+    frame[inst->b].i64 = inst->imm;
+    goto* kLabels[inst->aux];
+
+L_fused_cmp_jump:
+    if (sem::semFusedCmpJump<M>(ctx, frame, *inst))
+        JUMP_TO(inst->a);
+    NEXT();
+
+L_fused_copy_binop:
+    frame[uint32_t(inst->imm)] = frame[inst->imm >> 32];
+    goto* kLabels[inst->aux];
+
+L_fused_load_binop:
+    sem::semFusedLoadPart<M>(ctx, frame, *inst);
+    goto* kLabels[inst->aux];
 
 #undef NEXT
 #undef JUMP_TO

@@ -52,6 +52,49 @@ using wasm::Op;
 using wasm::TrapKind;
 using wasm::ValType;
 
+// ----- helpers for decomposing fused pseudo-ops (wasm/opt.*) -----
+
+/** Signature character of @p binop's operand @p index ('i'/'I'/'f'/'F'). */
+char
+operandSigChar(Op binop, int index)
+{
+    return wasm::opInfo(binop).sig[index];
+}
+
+/** Const opcode whose cell write matches operand @p index of @p binop. */
+Op
+constOpForOperand(Op binop, int index)
+{
+    switch (operandSigChar(binop, index)) {
+      case 'i': return Op::i32_const;
+      case 'I': return Op::i64_const;
+      case 'f': return Op::f32_const;
+      default: return Op::f64_const;
+    }
+}
+
+/** ValType of operand @p index of @p binop (drives copy register class). */
+ValType
+valTypeForOperand(Op binop, int index)
+{
+    switch (operandSigChar(binop, index)) {
+      case 'i': return ValType::i32;
+      case 'I': return ValType::i64;
+      case 'f': return ValType::f32;
+      default: return ValType::f64;
+    }
+}
+
+LInst
+synthBinop(uint16_t op, uint32_t a, uint32_t b)
+{
+    LInst binop;
+    binop.op = op;
+    binop.a = a;
+    binop.b = b;
+    return binop;
+}
+
 // ---------------------------------------------------------------------
 // Register conventions (see DESIGN.md §6)
 //
@@ -125,6 +168,15 @@ class FunctionCompiler
           funcLabels_(func_labels)
     {
         assignLocalHomes();
+        for (uint32_t pc : func_.elidableCheckPcs)
+            elideHints_.insert(pc);
+        for (uint32_t i = 0; i < func_.entryCheckFacts.size(); i++) {
+            uint32_t pc = func_.entryCheckFacts[i].pc;
+            auto [it, inserted] = factRanges_.emplace(
+                pc, std::make_pair(i, i + 1));
+            if (!inserted)
+                it->second.second = i + 1; // facts are sorted by pc
+        }
     }
 
     void compile();
@@ -405,6 +457,11 @@ class FunctionCompiler
         if (opts_.optimize) {
             auto it = checkedLimit_.find(inst.a);
             elide = it != checkedLimit_.end() && it->second >= limit;
+            // Elision hints are only sound where skipping the check means
+            // trapping was already guaranteed; clamp must still redirect.
+            if (!elide && opts_.strategy == BoundsStrategy::trap &&
+                elideHints_.count(curPc_))
+                elide = true;
         }
         if (elide) {
             jitMetrics().boundsChecksElided.add();
@@ -481,6 +538,12 @@ class FunctionCompiler
     std::unordered_map<uint8_t, Label> trapLabels_;
     /** addr cell -> highest offset+size already checked (trap mode). */
     std::unordered_map<uint32_t, uint64_t> checkedLimit_;
+    /** pc currently being emitted (for elision-hint lookups). */
+    uint32_t curPc_ = 0;
+    /** Accesses the opt pass proved covered by an earlier check. */
+    std::unordered_set<uint32_t> elideHints_;
+    /** Jump-target pc -> [begin, end) range into func_.entryCheckFacts. */
+    std::unordered_map<uint32_t, std::pair<uint32_t, uint32_t>> factRanges_;
 };
 
 void
@@ -556,6 +619,7 @@ FunctionCompiler::compile()
           case LOp::jump:
           case LOp::jump_if:
           case LOp::jump_if_zero:
+          case LOp::fused_cmp_jump:
             mark(inst.a);
             break;
           case LOp::jump_table:
@@ -575,7 +639,21 @@ FunctionCompiler::compile()
         if (jumpTargets_.count(pc)) {
             as_.bind(pcLabels_[pc]);
             invalidateAllChecks();
+            // Re-seed the cache with facts the opt pass proved to hold
+            // on every path into this label, so elision keeps working
+            // across block boundaries and around loop back edges.
+            if (opts_.optimize && opts_.strategy == BoundsStrategy::trap) {
+                auto it = factRanges_.find(pc);
+                if (it != factRanges_.end()) {
+                    for (uint32_t i = it->second.first;
+                         i < it->second.second; i++) {
+                        const auto& fact = func_.entryCheckFacts[i];
+                        checkedLimit_[fact.cell] = fact.limit;
+                    }
+                }
+            }
         }
+        curPc_ = pc;
         emitInstr(func_.code[pc]);
     }
 
@@ -672,6 +750,74 @@ FunctionCompiler::emitInstr(const LInst& inst)
       case LOp::trap:
         as_.jmp(trapLabel(TrapKind(inst.aux)));
         return;
+
+      case LOp::check_bounds: {
+        // Hoisted check emitted by the opt pass (trap strategy only; for
+        // other strategies it is dead weight the pass never inserts).
+        if (opts_.strategy != BoundsStrategy::trap)
+            return;
+        jitMetrics().boundsChecksEmitted.add();
+        if (inst.aux == 0) {
+            loadGpr32(rax, inst.a);
+            as_.movRI64(rcx, inst.imm);
+            as_.addRR64(rax, rcx);
+            as_.cmpRM64(rax, CTX_FIELD(memSize));
+            as_.jcc(Cond::a, trapLabel(TrapKind::out_of_bounds_memory));
+            if (opts_.optimize) {
+                uint64_t& cached = checkedLimit_[inst.a];
+                cached = std::max(cached, inst.imm);
+            }
+        } else {
+            as_.movRI64(rax, inst.imm);
+            as_.cmpRM64(rax, CTX_FIELD(memSize));
+            as_.jcc(Cond::a, trapLabel(TrapKind::out_of_bounds_memory));
+        }
+        return;
+      }
+
+      // The engine only enables fusion for the interpreter tiers, but
+      // keep the JIT total over the IR by decomposing fused forms back
+      // into their original pair.
+      case LOp::fused_const_binop: {
+        LInst c;
+        c.op = uint16_t(constOpForOperand(Op(inst.aux), 1));
+        c.a = inst.b;
+        c.imm = inst.imm;
+        emitWasmOp(c);
+        emitWasmOp(synthBinop(inst.aux, inst.a, inst.b));
+        return;
+      }
+
+      case LOp::fused_cmp_jump: {
+        emitWasmOp(synthBinop(inst.aux, inst.b, uint32_t(inst.imm >> 1)));
+        loadGpr32(rax, inst.b);
+        as_.testRR32(rax, rax);
+        as_.jcc((inst.imm & 1) ? Cond::e : Cond::ne, pcLabels_[inst.a]);
+        return;
+      }
+
+      case LOp::fused_copy_binop: {
+        uint32_t dst = uint32_t(inst.imm);
+        LInst c;
+        c.op = uint16_t(LOp::copy);
+        c.aux = uint16_t(
+            valTypeForOperand(Op(inst.aux), dst == inst.a ? 0 : 1));
+        c.a = uint32_t(inst.imm >> 32);
+        c.b = dst;
+        emitInstr(c);
+        emitWasmOp(synthBinop(inst.aux, inst.a, inst.b));
+        return;
+      }
+
+      case LOp::fused_load_binop: {
+        LInst load;
+        load.op = uint16_t(inst.imm >> 32);
+        load.a = inst.b;
+        load.imm = uint32_t(inst.imm);
+        emitWasmOp(load);
+        emitWasmOp(synthBinop(inst.aux, inst.a, inst.b));
+        return;
+      }
 
       default:
         emitWasmOp(inst);

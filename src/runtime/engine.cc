@@ -1,5 +1,7 @@
 #include "runtime/engine.h"
 
+#include <cstdlib>
+
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "support/clock.h"
@@ -32,6 +34,22 @@ engineKindFromName(const std::string& name, EngineKind& out)
     return false;
 }
 
+namespace {
+
+/** LNB_OPT_DISABLED (any non-empty value) force-disables the lowered-IR
+ * optimization pass, mirroring LNB_OBS_DISABLED's ablation style. */
+bool
+optDisabledByEnv()
+{
+    static const bool disabled = [] {
+        const char* v = std::getenv("LNB_OPT_DISABLED");
+        return v != nullptr && v[0] != '\0';
+    }();
+    return disabled;
+}
+
+} // namespace
+
 Engine::Engine(const EngineConfig& config) : config_(config) {}
 
 Result<std::shared_ptr<const CompiledModule>>
@@ -52,6 +70,23 @@ Engine::compile(wasm::Module module) const
         ScopedTimer timer(cm->stats_.lowerSeconds);
         LNB_ASSIGN_OR_RETURN(cm->lowered_,
                              wasm::lowerModule(std::move(module)));
+    }
+
+    if (config_.optimizeLoweredIR && !optDisabledByEnv()) {
+        // Strategy-aware transform selection: interpreters get
+        // superinstruction fusion; the optimizing JIT under the trap
+        // strategy gets check analysis + hoisting (guard-page and clamp
+        // codegen has nothing to elide — clamp must still redirect).
+        wasm::OptOptions opt;
+        opt.fuse = !engineIsJit(config_.kind);
+        opt.analyzeChecks = config_.kind == EngineKind::jit_opt &&
+                            config_.strategy == mem::BoundsStrategy::trap;
+        opt.hoistChecks = opt.analyzeChecks;
+        if (opt.fuse || opt.analyzeChecks) {
+            LNB_TRACE_SCOPE("rt.opt");
+            ScopedTimer timer(cm->stats_.optSeconds);
+            cm->optStats_ = wasm::optimizeLoweredModule(cm->lowered_, opt);
+        }
     }
 
     if (engineIsJit(config_.kind)) {

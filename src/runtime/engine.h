@@ -24,6 +24,7 @@
 #include "mem/linear_memory.h"
 #include "support/status.h"
 #include "wasm/lower.h"
+#include "wasm/opt.h"
 #include "wasm/module.h"
 
 namespace lnb::rt {
@@ -59,6 +60,14 @@ struct EngineConfig
     /** Value-stack size per instance, in 8-byte cells. */
     uint32_t valueStackCells = 1u << 20;
     uint32_t maxCallDepth = 8192;
+    /**
+     * Run the lowered-IR optimization pass (wasm/opt.*) between lowering
+     * and execution: superinstruction fusion for the interpreter tiers,
+     * cross-block/loop bounds-check elimination for jit_opt under the
+     * trap strategy. Ablation knob; the LNB_OPT_DISABLED environment
+     * variable force-disables it regardless of this flag.
+     */
+    bool optimizeLoweredIR = true;
 };
 
 /** Wall-clock cost of each compilation stage (micro_pipeline bench). */
@@ -67,6 +76,7 @@ struct CompileStats
     double decodeSeconds = 0;
     double validateSeconds = 0;
     double lowerSeconds = 0;
+    double optSeconds = 0;
     double codegenSeconds = 0;
     size_t codeBytes = 0;
 };
@@ -82,6 +92,8 @@ class CompiledModule
     const EngineConfig& config() const { return config_; }
     const jit::CompiledCode* jitCode() const { return jitCode_.get(); }
     const CompileStats& stats() const { return stats_; }
+    /** What the lowered-IR optimization pass did (zeros when skipped). */
+    const wasm::OptStats& optStats() const { return optStats_; }
     /** Interpreter entry (null for JIT engines). */
     exec::InterpFn interpFn() const { return interpFn_; }
 
@@ -92,6 +104,7 @@ class CompiledModule
     std::unique_ptr<jit::CompiledCode> jitCode_;
     exec::InterpFn interpFn_ = nullptr;
     CompileStats stats_;
+    wasm::OptStats optStats_;
 };
 
 /** A compilation pipeline for one engine configuration. */

@@ -41,6 +41,28 @@ enum class LOp : uint16_t {
     call_host,  ///< a = import index, b = argument base cell
     calli,      ///< a = type index, b = table-index cell
     trap,       ///< aux = TrapKind
+    // ----- emitted only by the optimization pass (wasm/opt.*) -----
+    /**
+     * Hoisted bounds check (trap strategy only). aux == 0: trap if
+     * f[a].i32 + imm > memSize. aux == 1: trap if imm > memSize (the
+     * whole limit folded to a constant). Raw/clamp executors treat it
+     * as a no-op; the pass only inserts it for the trap strategy.
+     */
+    check_bounds,
+    /** f[b] = imm, then 2-input wasm op `aux` on (a, b). */
+    fused_const_binop,
+    /**
+     * 2-input compare `aux` on (b, imm>>1 cell), then jump to pc `a` if
+     * the result is nonzero (imm bit 0 clear) or zero (bit 0 set).
+     */
+    fused_cmp_jump,
+    /** f[imm & 0xffffffff] = f[imm >> 32], then wasm op `aux` on (a, b). */
+    fused_copy_binop,
+    /**
+     * Load op `imm >> 32` into cell b (address also cell b, byte offset
+     * imm & 0xffffffff), then 2-input wasm op `aux` on (a, b).
+     */
+    fused_load_binop,
     count_
 };
 
@@ -86,6 +108,29 @@ struct LoweredFunc
     std::vector<LInst> code;
     /** jump_table target pcs: aux cases then the default, per table. */
     std::vector<uint32_t> tablePool;
+
+    // ----- facts published by the optimization pass (wasm/opt.*) ------
+    /**
+     * A bounds-check fact proven to hold on every path into the jump
+     * target at `pc`: cell `cell` holds an i32 address for which
+     * address + limit <= memSize has already been checked. Valid for the
+     * trap strategy only (memories never shrink, so a passed check stays
+     * passed). Sorted by pc.
+     */
+    struct EntryCheckFact
+    {
+        uint32_t pc = 0;
+        uint32_t cell = 0;
+        uint64_t limit = 0;
+    };
+    std::vector<EntryCheckFact> entryCheckFacts;
+    /**
+     * pcs of memory accesses whose bounds check the pass proved
+     * redundant (trap strategy only): an earlier check in the same block
+     * covers the same address value with an equal-or-larger limit, or a
+     * hoisted check_bounds covers it. Sorted ascending.
+     */
+    std::vector<uint32_t> elidableCheckPcs;
 };
 
 /** A module plus the lowered form of each defined function. */

@@ -1,0 +1,1142 @@
+/**
+ * @file
+ * Lowered-IR optimization pass: CFG/dominator/loop discovery, redundant
+ * bounds-check analysis, loop-invariant check hoisting, and interpreter
+ * superinstruction fusion. See opt.h for the soundness arguments.
+ */
+#include "wasm/opt.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <map>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "wasm/opcodes.h"
+
+namespace lnb::wasm {
+namespace {
+
+struct OptCounters
+{
+    obs::Counter hoisted;
+    obs::Counter elided;
+    obs::Counter fused;
+};
+
+OptCounters&
+optCounters()
+{
+    static OptCounters counters{
+        obs::registerCounter("opt.checks_hoisted"),
+        obs::registerCounter("opt.checks_elided_crossblock"),
+        obs::registerCounter("opt.insts_fused"),
+    };
+    return counters;
+}
+
+// ---------------------------------------------------------------------
+// Instruction classification
+// ---------------------------------------------------------------------
+
+int
+numInputs(Op op)
+{
+    const char* sig = opInfo(op).sig;
+    if (sig[0] == '*')
+        return -1;
+    return int(std::strchr(sig, ':') - sig);
+}
+
+bool
+hasOutput(Op op)
+{
+    const char* sig = opInfo(op).sig;
+    if (sig[0] == '*')
+        return false;
+    return std::strchr(sig, ':')[1] != '\0';
+}
+
+bool
+isCallLop(const LInst& inst)
+{
+    if (inst.isWasmOp())
+        return false;
+    LOp lop = inst.lop();
+    return lop == LOp::callf || lop == LOp::call_host || lop == LOp::calli;
+}
+
+/** A conditional or unconditional transfer of control ends a block. */
+bool
+isTerminator(const LInst& inst)
+{
+    if (inst.isWasmOp())
+        return false;
+    switch (inst.lop()) {
+      case LOp::jump:
+      case LOp::jump_if:
+      case LOp::jump_if_zero:
+      case LOp::jump_table:
+      case LOp::ret:
+      case LOp::trap:
+      case LOp::fused_cmp_jump:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/**
+ * Which frame cell @p inst writes, if exactly one. Calls are excluded:
+ * the analyses treat them as clobber-everything barriers.
+ */
+bool
+writesCell(const LInst& inst, uint32_t& cell)
+{
+    if (inst.isWasmOp()) {
+        Op op = inst.wasmOp();
+        switch (op) {
+          case Op::select:
+          case Op::global_get:
+            cell = inst.a;
+            return true;
+          default:
+            break;
+        }
+        if (opInfo(op).sig[0] == '*')
+            return false; // ops that never survive lowering
+        if (!hasOutput(op))
+            return false; // stores, global_set, memory_copy/fill
+        cell = inst.a;
+        return true;
+    }
+    if (inst.lop() == LOp::copy) {
+        cell = inst.b;
+        return true;
+    }
+    return false;
+}
+
+// ---------------------------------------------------------------------
+// CFG
+// ---------------------------------------------------------------------
+
+struct Block
+{
+    uint32_t begin = 0;
+    uint32_t end = 0; ///< one past the last instruction
+    std::vector<uint32_t> succs;
+    std::vector<uint32_t> preds;
+};
+
+struct Cfg
+{
+    std::vector<Block> blocks;
+    std::vector<uint32_t> blockOf;   ///< pc -> block index
+    std::vector<uint8_t> jumpTarget; ///< pc -> is a jump target
+    std::vector<uint8_t> reachable;  ///< block -> reachable from entry
+    std::vector<uint32_t> rpo;       ///< reachable blocks, reverse postorder
+};
+
+void
+collectJumpTargets(const LoweredFunc& func, std::vector<uint8_t>& target)
+{
+    target.assign(func.code.size(), 0);
+    for (const LInst& inst : func.code) {
+        if (inst.isWasmOp())
+            continue;
+        switch (inst.lop()) {
+          case LOp::jump:
+          case LOp::jump_if:
+          case LOp::jump_if_zero:
+          case LOp::fused_cmp_jump:
+            target[inst.a] = 1;
+            break;
+          case LOp::jump_table:
+            for (uint32_t i = 0; i <= inst.aux; i++)
+                target[func.tablePool[inst.a + i]] = 1;
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+Cfg
+buildCfg(const LoweredFunc& func)
+{
+    Cfg cfg;
+    const size_t n = func.code.size();
+    collectJumpTargets(func, cfg.jumpTarget);
+
+    std::vector<uint8_t> starts(n, 0);
+    if (n > 0)
+        starts[0] = 1;
+    for (size_t pc = 0; pc < n; pc++) {
+        if (cfg.jumpTarget[pc])
+            starts[pc] = 1;
+        if (isTerminator(func.code[pc]) && pc + 1 < n)
+            starts[pc + 1] = 1;
+    }
+
+    cfg.blockOf.assign(n, 0);
+    for (size_t pc = 0; pc < n; pc++) {
+        if (starts[pc]) {
+            if (!cfg.blocks.empty())
+                cfg.blocks.back().end = uint32_t(pc);
+            cfg.blocks.push_back({uint32_t(pc), uint32_t(n), {}, {}});
+        }
+        cfg.blockOf[pc] = uint32_t(cfg.blocks.size() - 1);
+    }
+
+    auto addEdge = [&cfg](uint32_t from, uint32_t to_pc) {
+        uint32_t to = cfg.blockOf[to_pc];
+        std::vector<uint32_t>& succs = cfg.blocks[from].succs;
+        if (std::find(succs.begin(), succs.end(), to) == succs.end()) {
+            succs.push_back(to);
+            cfg.blocks[to].preds.push_back(from);
+        }
+    };
+    for (uint32_t b = 0; b < cfg.blocks.size(); b++) {
+        const Block& block = cfg.blocks[b];
+        const LInst& last = func.code[block.end - 1];
+        if (last.isWasmOp()) {
+            // Lowered code always ends blocks with a terminator, but be
+            // defensive about straight-line fallthrough.
+            if (block.end < n)
+                addEdge(b, block.end);
+            continue;
+        }
+        switch (last.lop()) {
+          case LOp::jump:
+            addEdge(b, last.a);
+            break;
+          case LOp::jump_if:
+          case LOp::jump_if_zero:
+          case LOp::fused_cmp_jump:
+            addEdge(b, last.a);
+            if (block.end < n)
+                addEdge(b, block.end);
+            break;
+          case LOp::jump_table:
+            for (uint32_t i = 0; i <= last.aux; i++)
+                addEdge(b, func.tablePool[last.a + i]);
+            break;
+          case LOp::ret:
+          case LOp::trap:
+            break;
+          default:
+            if (block.end < n)
+                addEdge(b, block.end);
+            break;
+        }
+    }
+
+    // Reachability + reverse postorder via iterative DFS from block 0.
+    const size_t nb = cfg.blocks.size();
+    cfg.reachable.assign(nb, 0);
+    std::vector<uint32_t> post;
+    if (nb > 0) {
+        std::vector<std::pair<uint32_t, size_t>> stack;
+        cfg.reachable[0] = 1;
+        stack.emplace_back(0, 0);
+        while (!stack.empty()) {
+            auto& [b, next] = stack.back();
+            if (next < cfg.blocks[b].succs.size()) {
+                uint32_t s = cfg.blocks[b].succs[next++];
+                if (!cfg.reachable[s]) {
+                    cfg.reachable[s] = 1;
+                    stack.emplace_back(s, 0);
+                }
+            } else {
+                post.push_back(b);
+                stack.pop_back();
+            }
+        }
+    }
+    cfg.rpo.assign(post.rbegin(), post.rend());
+    return cfg;
+}
+
+/** Iterative dominator sets over reachable blocks (bitsets; functions
+ * here are small enough that O(n^2/64) per iteration is fine). */
+std::vector<std::vector<uint64_t>>
+computeDominators(const Cfg& cfg)
+{
+    const size_t nb = cfg.blocks.size();
+    const size_t words = (nb + 63) / 64;
+    std::vector<std::vector<uint64_t>> dom(
+        nb, std::vector<uint64_t>(words, ~uint64_t(0)));
+    auto setOnly = [&](uint32_t b) {
+        std::fill(dom[b].begin(), dom[b].end(), 0);
+        dom[b][b / 64] |= uint64_t(1) << (b % 64);
+    };
+    if (nb == 0)
+        return dom;
+    setOnly(0);
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (uint32_t b : cfg.rpo) {
+            if (b == 0)
+                continue;
+            std::vector<uint64_t> meet(words, ~uint64_t(0));
+            bool any = false;
+            for (uint32_t p : cfg.blocks[b].preds) {
+                if (!cfg.reachable[p])
+                    continue;
+                for (size_t w = 0; w < words; w++)
+                    meet[w] &= dom[p][w];
+                any = true;
+            }
+            if (!any)
+                std::fill(meet.begin(), meet.end(), 0);
+            meet[b / 64] |= uint64_t(1) << (b % 64);
+            if (meet != dom[b]) {
+                dom[b] = std::move(meet);
+                changed = true;
+            }
+        }
+    }
+    return dom;
+}
+
+inline bool
+dominates(const std::vector<std::vector<uint64_t>>& dom, uint32_t a,
+          uint32_t b)
+{
+    return (dom[b][a / 64] >> (a % 64)) & 1;
+}
+
+/** Natural loops merged by header block. */
+struct Loop
+{
+    uint32_t header = 0;
+    std::vector<uint8_t> body; ///< block membership bitmap
+};
+
+std::vector<Loop>
+findNaturalLoops(const Cfg& cfg)
+{
+    const size_t nb = cfg.blocks.size();
+    std::vector<std::vector<uint64_t>> dom = computeDominators(cfg);
+    std::map<uint32_t, Loop> byHeader;
+    for (uint32_t u = 0; u < nb; u++) {
+        if (!cfg.reachable[u])
+            continue;
+        for (uint32_t h : cfg.blocks[u].succs) {
+            if (!dominates(dom, h, u))
+                continue;
+            Loop& loop = byHeader[h];
+            if (loop.body.empty()) {
+                loop.header = h;
+                loop.body.assign(nb, 0);
+                loop.body[h] = 1;
+            }
+            // Backward walk from the back-edge source.
+            std::vector<uint32_t> work;
+            if (!loop.body[u]) {
+                loop.body[u] = 1;
+                work.push_back(u);
+            }
+            while (!work.empty()) {
+                uint32_t b = work.back();
+                work.pop_back();
+                for (uint32_t p : cfg.blocks[b].preds) {
+                    if (cfg.reachable[p] && !loop.body[p]) {
+                        loop.body[p] = 1;
+                        work.push_back(p);
+                    }
+                }
+            }
+        }
+    }
+    std::vector<Loop> loops;
+    loops.reserve(byHeader.size());
+    for (auto& [h, loop] : byHeader)
+        loops.push_back(std::move(loop));
+    return loops;
+}
+
+// ---------------------------------------------------------------------
+// Code rewriting (insertions / deletions with pc remapping)
+// ---------------------------------------------------------------------
+
+void
+remapJumps(LoweredFunc& func, const std::vector<uint32_t>& new_pc)
+{
+    for (LInst& inst : func.code) {
+        if (inst.isWasmOp())
+            continue;
+        switch (inst.lop()) {
+          case LOp::jump:
+          case LOp::jump_if:
+          case LOp::jump_if_zero:
+          case LOp::fused_cmp_jump:
+            inst.a = new_pc[inst.a];
+            break;
+          default:
+            break;
+        }
+    }
+    for (uint32_t& t : func.tablePool)
+        t = new_pc[t];
+}
+
+void
+remapFacts(LoweredFunc& func, const std::vector<uint32_t>& new_pc)
+{
+    for (LoweredFunc::EntryCheckFact& fact : func.entryCheckFacts)
+        fact.pc = new_pc[fact.pc];
+    for (uint32_t& pc : func.elidableCheckPcs)
+        pc = new_pc[pc];
+}
+
+/**
+ * Insert instructions before given pcs. A jump targeting an insertion
+ * point lands after the inserted instruction (back edges re-enter the
+ * loop body, not the hoisted preheader check); fallthrough entry
+ * executes it.
+ */
+void
+applyInsertions(LoweredFunc& func,
+                std::vector<std::pair<uint32_t, LInst>> inserts)
+{
+    if (inserts.empty())
+        return;
+    std::stable_sort(inserts.begin(), inserts.end(),
+                     [](const auto& x, const auto& y) {
+                         return x.first < y.first;
+                     });
+    const size_t n = func.code.size();
+    std::vector<uint32_t> new_pc(n + 1);
+    size_t k = 0;
+    for (size_t pc = 0; pc <= n; pc++) {
+        while (k < inserts.size() && inserts[k].first <= pc)
+            k++;
+        new_pc[pc] = uint32_t(pc + k);
+    }
+    std::vector<LInst> out;
+    out.reserve(n + inserts.size());
+    k = 0;
+    for (size_t pc = 0; pc < n; pc++) {
+        while (k < inserts.size() && inserts[k].first == pc)
+            out.push_back(inserts[k++].second);
+        out.push_back(func.code[pc]);
+    }
+    func.code = std::move(out);
+    remapJumps(func, new_pc);
+    remapFacts(func, new_pc);
+}
+
+/** Drop flagged instructions. No jump may target a dropped pc. */
+void
+applyDeletions(LoweredFunc& func, const std::vector<uint8_t>& drop)
+{
+    const size_t n = func.code.size();
+    std::vector<uint32_t> new_pc(n + 1);
+    uint32_t removed = 0;
+    for (size_t pc = 0; pc < n; pc++) {
+        new_pc[pc] = uint32_t(pc - removed);
+        if (drop[pc])
+            removed++;
+    }
+    new_pc[n] = uint32_t(n - removed);
+    if (removed == 0)
+        return;
+    std::vector<LInst> out;
+    out.reserve(n - removed);
+    for (size_t pc = 0; pc < n; pc++) {
+        if (!drop[pc])
+            out.push_back(func.code[pc]);
+    }
+    func.code = std::move(out);
+    remapJumps(func, new_pc);
+    remapFacts(func, new_pc);
+}
+
+// ---------------------------------------------------------------------
+// Loop-invariant check hoisting (trap strategy only)
+// ---------------------------------------------------------------------
+
+/**
+ * May @p inst run before a hoisted check without changing observable
+ * behavior when the check traps? Loads are allowed: they either succeed
+ * without side effects or raise the same out-of-bounds trap kind the
+ * hoisted check raises. Instructions with side effects or with other
+ * trap kinds (division, checked truncation) are not.
+ */
+bool
+isHoistSafePrefix(const LInst& inst)
+{
+    if (!inst.isWasmOp())
+        return inst.lop() == LOp::copy || inst.lop() == LOp::check_bounds;
+    Op op = inst.wasmOp();
+    if (isStoreOp(op))
+        return false;
+    if (isLoadOp(op))
+        return true;
+    switch (op) {
+      case Op::global_set:
+      case Op::memory_grow:
+      case Op::memory_copy:
+      case Op::memory_fill:
+      case Op::i32_div_s:
+      case Op::i32_div_u:
+      case Op::i32_rem_s:
+      case Op::i32_rem_u:
+      case Op::i64_div_s:
+      case Op::i64_div_u:
+      case Op::i64_rem_s:
+      case Op::i64_rem_u:
+      case Op::i32_trunc_f32_s:
+      case Op::i32_trunc_f32_u:
+      case Op::i32_trunc_f64_s:
+      case Op::i32_trunc_f64_u:
+      case Op::i64_trunc_f32_s:
+      case Op::i64_trunc_f32_u:
+      case Op::i64_trunc_f64_s:
+      case Op::i64_trunc_f64_u:
+        return false;
+      case Op::select:
+      case Op::global_get:
+        return true;
+      default:
+        return opInfo(op).sig[0] != '*';
+    }
+}
+
+bool
+loopClobbersCell(const LoweredFunc& func, const Cfg& cfg, const Loop& loop,
+                 uint32_t cell)
+{
+    for (uint32_t b = 0; b < cfg.blocks.size(); b++) {
+        if (!loop.body[b])
+            continue;
+        for (uint32_t pc = cfg.blocks[b].begin; pc < cfg.blocks[b].end;
+             pc++) {
+            const LInst& inst = func.code[pc];
+            if (isCallLop(inst))
+                return true; // calls clobber the argument area
+            uint32_t written;
+            if (writesCell(inst, written) && written == cell)
+                return true;
+        }
+    }
+    return false;
+}
+
+/** True if block @p p ends with a jump whose target is pc @p h. */
+bool
+blockJumpsTo(const LoweredFunc& func, const Block& p, uint32_t h)
+{
+    const LInst& last = func.code[p.end - 1];
+    if (last.isWasmOp())
+        return false;
+    switch (last.lop()) {
+      case LOp::jump:
+      case LOp::jump_if:
+      case LOp::jump_if_zero:
+      case LOp::fused_cmp_jump:
+        return last.a == h;
+      case LOp::jump_table:
+        for (uint32_t i = 0; i <= last.aux; i++) {
+            if (func.tablePool[last.a + i] == h)
+                return true;
+        }
+        return false;
+      default:
+        return false;
+    }
+}
+
+struct HoistResult
+{
+    std::vector<std::pair<uint32_t, LInst>> inserts;
+    std::vector<uint32_t> elidePcs;
+    uint64_t hoisted = 0;
+};
+
+HoistResult
+planHoists(const LoweredFunc& func, const Cfg& cfg)
+{
+    HoistResult result;
+    std::vector<Loop> loops = findNaturalLoops(cfg);
+    for (const Loop& loop : loops) {
+        const Block& header = cfg.blocks[loop.header];
+        uint32_t h = header.begin;
+        // Preheader entry must be fallthrough-only: every jump into the
+        // header pc has to be a back edge from inside the loop, or the
+        // hoisted check could be bypassed / run on a non-entry path.
+        bool eligible = true;
+        for (uint32_t p : header.preds) {
+            if (!loop.body[p] && blockJumpsTo(func, cfg.blocks[p], h)) {
+                eligible = false;
+                break;
+            }
+        }
+        if (!eligible)
+            continue;
+
+        // Walk the header block. Every instruction up to an access
+        // provably executes each iteration; stop at the first
+        // instruction that could have observable effects before a trap.
+        struct Def
+        {
+            enum Kind { copy, constant, other } kind = other;
+            uint32_t src = 0;
+            uint64_t val = 0;
+        };
+        std::unordered_map<uint32_t, Def> defs;
+        // Per-loop merged checks: cell-relative (cell -> max limit) and
+        // one constant absolute limit.
+        std::map<uint32_t, uint64_t> cellChecks;
+        bool haveConstCheck = false;
+        uint64_t constLimit = 0;
+        for (uint32_t pc = header.begin; pc < header.end; pc++) {
+            const LInst& inst = func.code[pc];
+            if (inst.isWasmOp() &&
+                (isLoadOp(inst.wasmOp()) || isStoreOp(inst.wasmOp()))) {
+                Op op = inst.wasmOp();
+                uint64_t limit = inst.imm + memAccessSize(op);
+                // Resolve the address cell through in-block copies.
+                uint32_t cur = inst.a;
+                const Def* def;
+                bool is_const = false;
+                uint64_t const_val = 0;
+                for (;;) {
+                    auto it = defs.find(cur);
+                    if (it == defs.end())
+                        break; // live-in to the header: stable name
+                    def = &it->second;
+                    if (def->kind == Def::copy) {
+                        cur = def->src;
+                        continue;
+                    }
+                    if (def->kind == Def::constant) {
+                        is_const = true;
+                        const_val = def->val;
+                    } else {
+                        cur = UINT32_MAX;
+                    }
+                    break;
+                }
+                if (is_const) {
+                    constLimit = std::max(
+                        constLimit, uint64_t(uint32_t(const_val)) + limit);
+                    haveConstCheck = true;
+                    result.elidePcs.push_back(pc);
+                    result.hoisted++;
+                } else if (cur != UINT32_MAX &&
+                           !loopClobbersCell(func, cfg, loop, cur)) {
+                    uint64_t& merged = cellChecks[cur];
+                    merged = std::max(merged, limit);
+                    result.elidePcs.push_back(pc);
+                    result.hoisted++;
+                }
+            }
+            if (!isHoistSafePrefix(inst))
+                break;
+            // Track in-block definitions for address provenance.
+            if (inst.isWasmOp()) {
+                Op op = inst.wasmOp();
+                if (op == Op::i32_const || op == Op::i64_const ||
+                    op == Op::f32_const || op == Op::f64_const) {
+                    defs[inst.a] = {Def::constant, 0, inst.imm};
+                    continue;
+                }
+            } else if (inst.lop() == LOp::copy) {
+                defs[inst.b] = {Def::copy, inst.a, 0};
+                continue;
+            }
+            uint32_t written;
+            if (writesCell(inst, written))
+                defs[written] = {Def::other, 0, 0};
+        }
+
+        for (const auto& [cell, limit] : cellChecks) {
+            LInst check;
+            check.op = uint16_t(LOp::check_bounds);
+            check.aux = 0;
+            check.a = cell;
+            check.imm = limit;
+            result.inserts.emplace_back(h, check);
+        }
+        if (haveConstCheck) {
+            LInst check;
+            check.op = uint16_t(LOp::check_bounds);
+            check.aux = 1;
+            check.imm = constLimit;
+            result.inserts.emplace_back(h, check);
+        }
+    }
+    return result;
+}
+
+// ---------------------------------------------------------------------
+// Redundant-check analysis (value numbering + forward dataflow)
+// ---------------------------------------------------------------------
+
+constexpr uint32_t kNoVn = 0;
+
+/** Per-block value numbering of cell contents; marks accesses whose
+ * check is covered by an earlier check of the same address value. */
+uint64_t
+markVnElidableChecks(const LoweredFunc& func, const Cfg& cfg,
+                     std::vector<uint8_t>& hinted)
+{
+    uint64_t marked = 0;
+    std::vector<uint32_t> cellVn(func.numCells, kNoVn);
+    for (const Block& block : cfg.blocks) {
+        std::fill(cellVn.begin(), cellVn.end(), kNoVn);
+        uint32_t next = 1;
+        std::map<std::array<uint64_t, 3>, uint32_t> exprs;
+        // Passed checks stay valid for a value forever (memories never
+        // shrink), so availability is never killed within the block.
+        std::unordered_map<uint32_t, uint64_t> avail; // vn -> limit
+        auto vnOf = [&](uint32_t cell) {
+            if (cellVn[cell] == kNoVn)
+                cellVn[cell] = next++;
+            return cellVn[cell];
+        };
+        auto keyed = [&](std::array<uint64_t, 3> key) {
+            auto [it, inserted] = exprs.emplace(key, next);
+            if (inserted)
+                next++;
+            return it->second;
+        };
+        for (uint32_t pc = block.begin; pc < block.end; pc++) {
+            const LInst& inst = func.code[pc];
+            if (!inst.isWasmOp()) {
+                switch (inst.lop()) {
+                  case LOp::copy:
+                    cellVn[inst.b] = vnOf(inst.a);
+                    break;
+                  case LOp::check_bounds:
+                    if (inst.aux == 0) {
+                        uint64_t& limit = avail[vnOf(inst.a)];
+                        limit = std::max(limit, inst.imm);
+                    }
+                    break;
+                  case LOp::callf:
+                  case LOp::call_host:
+                  case LOp::calli:
+                    // Callee overlap clobbers cells; values already
+                    // checked stay checked, so `avail` survives.
+                    std::fill(cellVn.begin(), cellVn.end(), kNoVn);
+                    break;
+                  default:
+                    break;
+                }
+                continue;
+            }
+            Op op = inst.wasmOp();
+            if (isLoadOp(op) || isStoreOp(op)) {
+                uint64_t limit = inst.imm + memAccessSize(op);
+                uint32_t vn = vnOf(inst.a);
+                auto it = avail.find(vn);
+                if (it != avail.end() && it->second >= limit) {
+                    if (!hinted[pc]) {
+                        hinted[pc] = 1;
+                        marked++;
+                    }
+                } else {
+                    uint64_t& slot = avail[vn];
+                    slot = std::max(slot, limit);
+                }
+                if (isLoadOp(op))
+                    cellVn[inst.a] = next++; // loaded value: fresh
+                continue;
+            }
+            switch (op) {
+              case Op::i32_const:
+              case Op::i64_const:
+              case Op::f32_const:
+              case Op::f64_const:
+                cellVn[inst.a] =
+                    keyed({uint64_t(inst.op) << 32, inst.imm, 0});
+                continue;
+              case Op::select: {
+                uint64_t va = vnOf(inst.a), vb = vnOf(inst.a + 1);
+                uint64_t vc = vnOf(inst.a + 2);
+                cellVn[inst.a] =
+                    keyed({uint64_t(inst.op), (va << 32) | vb, vc});
+                continue;
+              }
+              case Op::global_get:
+              case Op::memory_size:
+              case Op::memory_grow:
+                cellVn[inst.a] = next++;
+                continue;
+              default:
+                break;
+            }
+            int nin = numInputs(op);
+            if (nin == 1 && hasOutput(op)) {
+                cellVn[inst.a] =
+                    keyed({uint64_t(inst.op), vnOf(inst.a), 1});
+            } else if (nin == 2 && hasOutput(op)) {
+                uint64_t va = vnOf(inst.a), vb = vnOf(inst.b);
+                cellVn[inst.a] =
+                    keyed({uint64_t(inst.op), (va << 32) | vb, 2});
+            } else {
+                uint32_t written;
+                if (writesCell(inst, written))
+                    cellVn[written] = next++;
+            }
+        }
+    }
+    return marked;
+}
+
+using Facts = std::map<uint32_t, uint64_t>; // address cell -> checked limit
+
+/** Intersect @p into with @p other, keeping the smaller limit. */
+void
+meetFacts(Facts& into, const Facts& other)
+{
+    for (auto it = into.begin(); it != into.end();) {
+        auto jt = other.find(it->first);
+        if (jt == other.end()) {
+            it = into.erase(it);
+        } else {
+            it->second = std::min(it->second, jt->second);
+            ++it;
+        }
+    }
+}
+
+/**
+ * Transfer function modeling the JIT's dynamic per-cell check cache:
+ * facts are generated where the JIT emits (and caches) a check, and
+ * killed where the address cell is rewritten or a call clobbers the
+ * frame. Accesses already hinted as elidable generate nothing (the JIT
+ * will not emit a check there).
+ */
+void
+applyTransfer(const LoweredFunc& func, const Block& block,
+              const std::vector<uint8_t>& hinted, Facts& facts)
+{
+    for (uint32_t pc = block.begin; pc < block.end; pc++) {
+        const LInst& inst = func.code[pc];
+        if (!inst.isWasmOp()) {
+            switch (inst.lop()) {
+              case LOp::copy:
+                facts.erase(inst.b);
+                break;
+              case LOp::check_bounds:
+                if (inst.aux == 0) {
+                    uint64_t& limit = facts[inst.a];
+                    limit = std::max(limit, inst.imm);
+                }
+                break;
+              case LOp::callf:
+              case LOp::call_host:
+              case LOp::calli:
+                facts.clear();
+                break;
+              default:
+                break;
+            }
+            continue;
+        }
+        Op op = inst.wasmOp();
+        if (isLoadOp(op) || isStoreOp(op)) {
+            if (!hinted[pc]) {
+                uint64_t& limit = facts[inst.a];
+                limit = std::max(limit, inst.imm + memAccessSize(op));
+            }
+            if (isLoadOp(op))
+                facts.erase(inst.a); // the load overwrites its cell
+            continue;
+        }
+        if (op == Op::memory_grow) {
+            facts.clear(); // mirror the JIT's conservative invalidation
+            continue;
+        }
+        uint32_t written;
+        if (writesCell(inst, written))
+            facts.erase(written);
+    }
+}
+
+struct DataflowResult
+{
+    std::vector<LoweredFunc::EntryCheckFact> entryFacts;
+    uint64_t crossBlockCovered = 0;
+};
+
+DataflowResult
+runCheckDataflow(const LoweredFunc& func, const Cfg& cfg,
+                 const std::vector<uint8_t>& hinted)
+{
+    DataflowResult result;
+    const size_t nb = cfg.blocks.size();
+    std::vector<Facts> in(nb), out(nb);
+    std::vector<uint8_t> computed(nb, 0);
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (uint32_t b : cfg.rpo) {
+            Facts merged;
+            bool first = true;
+            if (b != 0) {
+                for (uint32_t p : cfg.blocks[b].preds) {
+                    if (!cfg.reachable[p] || !computed[p])
+                        continue;
+                    if (first) {
+                        merged = out[p];
+                        first = false;
+                    } else {
+                        meetFacts(merged, out[p]);
+                    }
+                }
+            }
+            // Entry starts with an empty cache; a block with no computed
+            // predecessor yet keeps the optimistic (empty-meet) state.
+            Facts next = merged;
+            applyTransfer(func, cfg.blocks[b], hinted, next);
+            if (!computed[b] || next != out[b] || merged != in[b]) {
+                in[b] = std::move(merged);
+                out[b] = std::move(next);
+                computed[b] = 1;
+                changed = true;
+            }
+        }
+    }
+
+    for (uint32_t b : cfg.rpo) {
+        const Block& block = cfg.blocks[b];
+        if (!cfg.jumpTarget[block.begin])
+            continue;
+        for (const auto& [cell, limit] : in[b]) {
+            result.entryFacts.push_back({block.begin, cell, limit});
+        }
+        // Count accesses the seeded JIT cache will newly elide: facts
+        // alive from block entry (kills applied, no in-block gens).
+        Facts fromEntry = in[b];
+        for (uint32_t pc = block.begin; pc < block.end; pc++) {
+            const LInst& inst = func.code[pc];
+            if (inst.isWasmOp()) {
+                Op op = inst.wasmOp();
+                if ((isLoadOp(op) || isStoreOp(op)) && !hinted[pc]) {
+                    auto it = fromEntry.find(inst.a);
+                    if (it != fromEntry.end() &&
+                        it->second >= inst.imm + memAccessSize(op))
+                        result.crossBlockCovered++;
+                }
+            }
+            if (!inst.isWasmOp() &&
+                (inst.lop() == LOp::callf || inst.lop() == LOp::calli ||
+                 inst.lop() == LOp::call_host)) {
+                fromEntry.clear();
+                continue;
+            }
+            if (inst.isWasmOp() && inst.wasmOp() == Op::memory_grow) {
+                fromEntry.clear();
+                continue;
+            }
+            if (!inst.isWasmOp() && inst.lop() == LOp::copy) {
+                fromEntry.erase(inst.b);
+                continue;
+            }
+            uint32_t written;
+            if (writesCell(inst, written))
+                fromEntry.erase(written);
+        }
+    }
+    std::sort(result.entryFacts.begin(), result.entryFacts.end(),
+              [](const LoweredFunc::EntryCheckFact& x,
+                 const LoweredFunc::EntryCheckFact& y) {
+                  return x.pc < y.pc || (x.pc == y.pc && x.cell < y.cell);
+              });
+    return result;
+}
+
+// ---------------------------------------------------------------------
+// Superinstruction fusion
+// ---------------------------------------------------------------------
+
+bool
+isFusableBinop(const LInst& inst)
+{
+    if (!inst.isWasmOp())
+        return false;
+    Op op = inst.wasmOp();
+    if (isLoadOp(op) || isStoreOp(op))
+        return false; // their imm (offset) is live; cannot be repurposed
+    if (opInfo(op).sig[0] == '*')
+        return false;
+    return numInputs(op) == 2 && hasOutput(op);
+}
+
+bool
+isTwoInputCompare(const LInst& inst)
+{
+    if (!inst.isWasmOp())
+        return false;
+    Op op = inst.wasmOp();
+    return (op >= Op::i32_eq && op <= Op::i32_ge_u) ||
+           (op >= Op::i64_eq && op <= Op::i64_ge_u) ||
+           (op >= Op::f32_eq && op <= Op::f64_ge);
+}
+
+bool
+isConstOp(const LInst& inst)
+{
+    if (!inst.isWasmOp())
+        return false;
+    Op op = inst.wasmOp();
+    return op == Op::i32_const || op == Op::i64_const ||
+           op == Op::f32_const || op == Op::f64_const;
+}
+
+uint64_t
+fuseSuperinstructions(LoweredFunc& func)
+{
+    std::vector<uint8_t> target;
+    collectJumpTargets(func, target);
+    const size_t n = func.code.size();
+    std::vector<uint8_t> drop(n, 0);
+    uint64_t fused = 0;
+    for (size_t pc = 0; pc + 1 < n; pc++) {
+        if (target[pc + 1])
+            continue; // a jump could land between the pair
+        LInst& a = func.code[pc];
+        const LInst& b = func.code[pc + 1];
+        LInst repl;
+        bool matched = false;
+        if (isTwoInputCompare(a) && !b.isWasmOp() &&
+            (b.lop() == LOp::jump_if || b.lop() == LOp::jump_if_zero) &&
+            b.b == a.a) {
+            repl.op = uint16_t(LOp::fused_cmp_jump);
+            repl.aux = a.op;
+            repl.a = b.a; // branch target
+            repl.b = a.a; // compare lhs / result cell
+            repl.imm = (uint64_t(a.b) << 1) |
+                       (b.lop() == LOp::jump_if_zero ? 1 : 0);
+            matched = true;
+        } else if (isConstOp(a) && isFusableBinop(b) && b.b == a.a) {
+            repl.op = uint16_t(LOp::fused_const_binop);
+            repl.aux = b.op;
+            repl.a = b.a;
+            repl.b = b.b;
+            repl.imm = a.imm;
+            matched = true;
+        } else if (!a.isWasmOp() && a.lop() == LOp::copy &&
+                   isFusableBinop(b) && (b.a == a.b || b.b == a.b)) {
+            repl.op = uint16_t(LOp::fused_copy_binop);
+            repl.aux = b.op;
+            repl.a = b.a;
+            repl.b = b.b;
+            repl.imm = (uint64_t(a.a) << 32) | a.b;
+            matched = true;
+        } else if (a.isWasmOp() && isLoadOp(a.wasmOp()) &&
+                   a.imm <= UINT32_MAX && isFusableBinop(b) &&
+                   b.b == a.a) {
+            repl.op = uint16_t(LOp::fused_load_binop);
+            repl.aux = b.op;
+            repl.a = b.a;
+            repl.b = a.a; // load address / destination cell
+            repl.imm = (uint64_t(a.op) << 32) | uint32_t(a.imm);
+            matched = true;
+        }
+        if (matched) {
+            a = repl;
+            drop[pc + 1] = 1;
+            fused++;
+            pc++; // never re-fuse a freshly fused instruction
+        }
+    }
+    if (fused > 0)
+        applyDeletions(func, drop);
+    return fused;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------
+
+OptStats
+optimizeLoweredFunc(LoweredFunc& func, const OptOptions& opts)
+{
+    OptStats stats;
+    stats.instsBefore = func.code.size();
+    func.entryCheckFacts.clear();
+    func.elidableCheckPcs.clear();
+    if (func.code.empty()) {
+        stats.instsAfter = 0;
+        return stats;
+    }
+
+    if (opts.hoistChecks) {
+        Cfg cfg = buildCfg(func);
+        HoistResult hoists = planHoists(func, cfg);
+        if (!hoists.inserts.empty()) {
+            // Record elide pcs through the insertion remap: store them
+            // on the function first so applyInsertions remaps them.
+            func.elidableCheckPcs = std::move(hoists.elidePcs);
+            applyInsertions(func, std::move(hoists.inserts));
+            stats.checksHoisted = hoists.hoisted;
+        }
+    }
+
+    if (opts.analyzeChecks) {
+        Cfg cfg = buildCfg(func);
+        std::vector<uint8_t> hinted(func.code.size(), 0);
+        for (uint32_t pc : func.elidableCheckPcs)
+            hinted[pc] = 1;
+        stats.checksElided = markVnElidableChecks(func, cfg, hinted);
+        DataflowResult flow = runCheckDataflow(func, cfg, hinted);
+        stats.checksElided += flow.crossBlockCovered;
+        func.entryCheckFacts = std::move(flow.entryFacts);
+        func.elidableCheckPcs.clear();
+        for (uint32_t pc = 0; pc < hinted.size(); pc++) {
+            if (hinted[pc])
+                func.elidableCheckPcs.push_back(pc);
+        }
+    }
+
+    if (opts.fuse) {
+        stats.instsFused = fuseSuperinstructions(func);
+        // Fusion may have replaced hinted accesses with fused forms the
+        // JIT hints cannot describe; drop stale hints defensively.
+        std::vector<uint32_t> keep;
+        for (uint32_t pc : func.elidableCheckPcs) {
+            const LInst& inst = func.code[pc];
+            if (inst.isWasmOp() && (isLoadOp(inst.wasmOp()) ||
+                                    isStoreOp(inst.wasmOp())))
+                keep.push_back(pc);
+        }
+        func.elidableCheckPcs = std::move(keep);
+    }
+
+    stats.instsAfter = func.code.size();
+    return stats;
+}
+
+OptStats
+optimizeLoweredModule(LoweredModule& module, const OptOptions& opts)
+{
+    OptStats total;
+    for (LoweredFunc& func : module.funcs) {
+        OptStats s = optimizeLoweredFunc(func, opts);
+        total.checksHoisted += s.checksHoisted;
+        total.checksElided += s.checksElided;
+        total.instsFused += s.instsFused;
+        total.instsBefore += s.instsBefore;
+        total.instsAfter += s.instsAfter;
+    }
+    OptCounters& counters = optCounters();
+    counters.hoisted.add(total.checksHoisted);
+    counters.elided.add(total.checksElided);
+    counters.fused.add(total.instsFused);
+    return total;
+}
+
+} // namespace lnb::wasm

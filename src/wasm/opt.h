@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Optimization pass over the lowered slot-machine IR, shared by the
+ * interpreter and JIT tiers. Three independent transforms, selected per
+ * engine configuration:
+ *
+ *  - Bounds-check analysis (trap strategy only): rediscovers basic
+ *    blocks, dominators, and natural loops from the resolved-jump CFG,
+ *    value-numbers addresses within each block to mark checks that are
+ *    provably covered by an earlier check of the same address value
+ *    (`elidableCheckPcs`), and runs a forward "available bounds checks"
+ *    dataflow — facts keyed by address cell, killed when the cell is
+ *    rewritten — whose block-entry solutions (`entryCheckFacts`) let the
+ *    JIT keep eliding across block boundaries instead of resetting its
+ *    per-block cache at every label.
+ *
+ *  - Loop-invariant check hoisting (trap strategy only): an access in a
+ *    natural-loop header whose address provably repeats every iteration
+ *    (a copy of a cell never written inside the loop, or a constant) and
+ *    executes before any observable side effect gets its check hoisted
+ *    to the preheader as a `check_bounds` instruction; the in-loop check
+ *    is elided. Sound because linear memories never shrink and the
+ *    hoisted check raises the same out-of-bounds trap the first
+ *    iteration would have raised.
+ *
+ *  - Superinstruction fusion (interpreter tiers): adjacent
+ *    const+binop, compare+branch, copy+binop, and load+binop pairs are
+ *    rewritten into single fused pseudo-instructions, halving dispatch
+ *    count on the hottest lowered pairs. Fused handlers replay the
+ *    original two instructions through the shared semantic functions, so
+ *    results (including NaN payloads and trap order) stay bit-exact.
+ *
+ * The pass reports opt.checks_hoisted, opt.checks_elided_crossblock and
+ * opt.insts_fused through the obs registry.
+ */
+#ifndef LNB_WASM_OPT_H
+#define LNB_WASM_OPT_H
+
+#include <cstdint>
+
+#include "wasm/lower.h"
+
+namespace lnb::wasm {
+
+/** Which transforms to run. Check analysis and hoisting are only sound
+ * when the executor traps (never clamps) on out-of-bounds accesses; the
+ * caller is responsible for enabling them only under that strategy. */
+struct OptOptions
+{
+    bool fuse = false;          ///< superinstruction fusion
+    bool analyzeChecks = false; ///< VN elision hints + cross-block facts
+    bool hoistChecks = false;   ///< loop-invariant check hoisting
+};
+
+/** What the pass did, accumulated over all functions of a module. */
+struct OptStats
+{
+    uint64_t checksHoisted = 0;
+    uint64_t checksElided = 0;
+    uint64_t instsFused = 0;
+    /** Lowered instruction counts before/after (fusion shrinks code). */
+    uint64_t instsBefore = 0;
+    uint64_t instsAfter = 0;
+};
+
+/** Optimize one lowered function in place. */
+OptStats optimizeLoweredFunc(LoweredFunc& func, const OptOptions& opts);
+
+/** Optimize every function of @p module in place and bump the obs
+ * counters by the module-wide totals. */
+OptStats optimizeLoweredModule(LoweredModule& module, const OptOptions& opts);
+
+} // namespace lnb::wasm
+
+#endif // LNB_WASM_OPT_H

@@ -460,35 +460,42 @@ TEST_P(DifferentialFuzz, AllEnginesAgree)
         for (auto strategy :
              {mem::BoundsStrategy::none, mem::BoundsStrategy::clamp,
               mem::BoundsStrategy::trap, mem::BoundsStrategy::uffd}) {
-            rt::EngineConfig config;
-            config.kind = rt::EngineKind(engine);
-            config.strategy = strategy;
-            rt::Engine eng(config);
-            wasm::Module copy = module;
-            auto compiled = eng.compile(std::move(copy));
-            ASSERT_TRUE(compiled.isOk())
-                << compiled.status().toString();
-            auto inst = rt::Instance::create(compiled.takeValue());
-            ASSERT_TRUE(inst.isOk()) << inst.status().toString();
-            rt::CallOutcome out = inst.value()->callExport("run", {});
-            ASSERT_TRUE(out.ok())
-                << "seed " << GetParam() << " trapped on "
-                << engineKindName(config.kind) << "/"
-                << boundsStrategyName(strategy) << ": "
-                << trapKindName(out.trap);
-            uint64_t result = out.results[0].i64;
-            if (!have_reference) {
-                reference = result;
-                have_reference = true;
-                reference_config =
-                    std::string(engineKindName(config.kind)) + "/" +
-                    boundsStrategyName(strategy);
-            } else {
-                ASSERT_EQ(result, reference)
-                    << "seed " << GetParam() << ": "
+            // Sweep the lowered-IR optimization pass on and off: fusion
+            // and check elimination must be bit-invisible (results, NaN
+            // payloads, trap behavior) on every engine x strategy.
+            for (bool opt : {true, false}) {
+                rt::EngineConfig config;
+                config.kind = rt::EngineKind(engine);
+                config.strategy = strategy;
+                config.optimizeLoweredIR = opt;
+                rt::Engine eng(config);
+                wasm::Module copy = module;
+                auto compiled = eng.compile(std::move(copy));
+                ASSERT_TRUE(compiled.isOk())
+                    << compiled.status().toString();
+                auto inst = rt::Instance::create(compiled.takeValue());
+                ASSERT_TRUE(inst.isOk()) << inst.status().toString();
+                rt::CallOutcome out = inst.value()->callExport("run", {});
+                ASSERT_TRUE(out.ok())
+                    << "seed " << GetParam() << " trapped on "
                     << engineKindName(config.kind) << "/"
-                    << boundsStrategyName(strategy)
-                    << " disagrees with " << reference_config;
+                    << boundsStrategyName(strategy) << ": "
+                    << trapKindName(out.trap);
+                uint64_t result = out.results[0].i64;
+                if (!have_reference) {
+                    reference = result;
+                    have_reference = true;
+                    reference_config =
+                        std::string(engineKindName(config.kind)) + "/" +
+                        boundsStrategyName(strategy);
+                } else {
+                    ASSERT_EQ(result, reference)
+                        << "seed " << GetParam() << ": "
+                        << engineKindName(config.kind) << "/"
+                        << boundsStrategyName(strategy)
+                        << (opt ? " (opt)" : " (no-opt)")
+                        << " disagrees with " << reference_config;
+                }
             }
         }
     }

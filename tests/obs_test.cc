@@ -15,9 +15,12 @@
 #include <thread>
 #include <vector>
 
+#include "harness/report.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "runtime/engine.h"
+#include "wasm/builder.h"
 
 namespace lnb::obs {
 namespace {
@@ -252,6 +255,61 @@ TEST(Trace, ChromeExportIsWellFormed)
     EXPECT_TRUE(event.find("dur")->isNumber());
     EXPECT_TRUE(event.find("tid")->isNumber());
     std::remove(path.c_str());
+}
+
+// ----- bench-report embedding of the opt-pass counters -----------------
+
+TEST(Report, OptPassCountersAppearInBenchResultReports)
+{
+    // Compile a loop module through the real pipeline so the pass runs
+    // and registers its counters (interp tier -> fusion fires).
+    wasm::ModuleBuilder mb;
+    mb.addMemory(1, 1);
+    uint32_t t = mb.addType({}, {wasm::ValType::i32});
+    auto& f = mb.addFunction(t);
+    f.addLocal(wasm::ValType::i32);
+    auto exit = f.block();
+    auto head = f.loop();
+    f.localGet(0);
+    f.i32Const(1);
+    f.emit(wasm::Op::i32_add);
+    f.localTee(0);
+    f.i32Const(100);
+    f.emit(wasm::Op::i32_lt_s);
+    f.brIf(head);
+    f.end();
+    f.end();
+    (void)exit;
+    f.localGet(0);
+    mb.exportFunc("run", f.finish());
+
+    rt::EngineConfig config;
+    config.kind = rt::EngineKind::interp_threaded;
+    rt::Engine engine(config);
+    auto compiled = engine.compile(mb.build());
+    ASSERT_TRUE(compiled.isOk());
+    ASSERT_GT(compiled.value()->optStats().instsFused, 0u);
+
+    harness::BenchSpec spec;
+    spec.engineConfig = config;
+    harness::BenchResult result;
+    result.ok = true;
+    std::string text =
+        harness::benchResultToJson(spec, result, "interp-threaded");
+
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(text, doc, &error)) << error;
+    EXPECT_EQ(doc.find("schema")->string, "lnb.bench_result.v1");
+    const JsonValue* counters = doc.find("counters");
+    ASSERT_NE(counters, nullptr);
+    for (const char* name :
+         {"opt.checks_hoisted", "opt.checks_elided_crossblock",
+          "opt.insts_fused"}) {
+        ASSERT_NE(counters->find(name), nullptr)
+            << name << " missing from the run report";
+    }
+    EXPECT_GT(counters->find("opt.insts_fused")->number, 0.0);
 }
 
 #else // LNB_OBS_DISABLED

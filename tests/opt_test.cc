@@ -1,0 +1,367 @@
+/**
+ * @file
+ * Tests for the lowered-IR optimization pass (wasm/opt.*): fusion
+ * counts and pc remapping, loop-invariant check hoisting, cross-block
+ * check facts, the bounds-check soundness property (a rewrite of the
+ * address cell must never let an elided check skip a required trap),
+ * and the headline elision rate on a PolyBench-style loop kernel.
+ */
+#include <gtest/gtest.h>
+
+#include "jit/compiler.h"
+#include "obs/metrics.h"
+#include "runtime/engine.h"
+#include "runtime/instance.h"
+#include "wasm/builder.h"
+#include "wasm/lower.h"
+#include "wasm/opt.h"
+#include "wasm/validator.h"
+
+namespace lnb::wasm {
+namespace {
+
+using mem::BoundsStrategy;
+using rt::Engine;
+using rt::EngineConfig;
+using rt::EngineKind;
+using rt::Instance;
+
+/** sum += mem[addr] over i in [0, n) with a bottom-test loop, so the
+ * loop header holds the body (the shape hoisting targets). */
+Module
+bottomTestSumModule()
+{
+    ModuleBuilder mb;
+    mb.addMemory(1, 1);
+    uint32_t t = mb.addType({ValType::i32, ValType::i32}, {ValType::i32});
+    auto& f = mb.addFunction(t); // params: addr, n
+    f.addLocal(ValType::i32); // local 2: i
+    f.addLocal(ValType::i32); // local 3: sum
+    auto exit = f.block();
+    f.localGet(1);
+    f.i32Const(0);
+    f.emit(Op::i32_le_s);
+    f.brIf(exit);
+    auto head = f.loop();
+    // Invariant-address access first: mem[addr]
+    f.localGet(0);
+    f.memOp(Op::i32_load, 0);
+    f.localGet(3);
+    f.emit(Op::i32_add);
+    f.localSet(3);
+    f.localGet(2);
+    f.i32Const(1);
+    f.emit(Op::i32_add);
+    f.localTee(2);
+    f.localGet(1);
+    f.emit(Op::i32_lt_s);
+    f.brIf(head);
+    f.end(); // loop
+    f.end(); // block
+    f.localGet(3);
+    uint32_t idx = f.finish();
+    mb.exportFunc("run", idx);
+    return mb.build();
+}
+
+/**
+ * The gemm beta-scale phase as its own kernel: C[i] *= beta over a
+ * contiguous f64 row, a read-modify-write loop where load and store hit
+ * the same address. The per-block JIT cache cannot carry the check from
+ * the load to the store (the load clobbers its own address cell), but
+ * value numbering proves the store's check redundant.
+ */
+Module
+rmwScaleModule()
+{
+    ModuleBuilder mb;
+    mb.addMemory(1, 1);
+    uint32_t t = mb.addType({ValType::i32, ValType::f64}, {});
+    auto& f = mb.addFunction(t); // params: n, beta
+    f.addLocal(ValType::i32); // local 2: i
+    auto exit = f.block();
+    f.localGet(0);
+    f.i32Const(0);
+    f.emit(Op::i32_le_s);
+    f.brIf(exit);
+    auto head = f.loop();
+    f.localGet(2);
+    f.i32Const(3);
+    f.emit(Op::i32_shl); // byte offset = i * 8
+    f.localGet(2);
+    f.i32Const(3);
+    f.emit(Op::i32_shl);
+    f.memOp(Op::f64_load, 0);
+    f.localGet(1);
+    f.emit(Op::f64_mul);
+    f.memOp(Op::f64_store, 0);
+    f.localGet(2);
+    f.i32Const(1);
+    f.emit(Op::i32_add);
+    f.localTee(2);
+    f.localGet(0);
+    f.emit(Op::i32_lt_s);
+    f.brIf(head);
+    f.end(); // loop
+    f.end(); // block
+    uint32_t idx = f.finish();
+    mb.exportFunc("scale", idx);
+    return mb.build();
+}
+
+// ---------------------------------------------------------------------
+// Fusion
+// ---------------------------------------------------------------------
+
+TEST(Fusion, FusesPairsAndShrinksCode)
+{
+    Module module = bottomTestSumModule();
+    auto lowered = lowerModule(std::move(module));
+    ASSERT_TRUE(lowered.isOk());
+    LoweredModule lm = lowered.takeValue();
+
+    OptOptions opts;
+    opts.fuse = true;
+    OptStats stats = optimizeLoweredModule(lm, opts);
+    EXPECT_GT(stats.instsFused, 0u);
+    EXPECT_EQ(stats.instsBefore - stats.instsFused, stats.instsAfter);
+    EXPECT_EQ(lm.funcs[0].code.size(), stats.instsAfter);
+
+    bool has_fused = false;
+    for (const LInst& inst : lm.funcs[0].code) {
+        if (!inst.isWasmOp() && (inst.lop() == LOp::fused_cmp_jump ||
+                                 inst.lop() == LOp::fused_const_binop ||
+                                 inst.lop() == LOp::fused_copy_binop ||
+                                 inst.lop() == LOp::fused_load_binop))
+            has_fused = true;
+        // Every surviving jump target must be in range after the remap.
+        if (!inst.isWasmOp() &&
+            (inst.lop() == LOp::jump || inst.lop() == LOp::jump_if ||
+             inst.lop() == LOp::jump_if_zero ||
+             inst.lop() == LOp::fused_cmp_jump)) {
+            EXPECT_LT(inst.a, lm.funcs[0].code.size());
+        }
+    }
+    EXPECT_TRUE(has_fused);
+}
+
+TEST(Fusion, InterpretersMatchUnoptimizedResults)
+{
+    for (EngineKind kind :
+         {EngineKind::interp_switch, EngineKind::interp_threaded}) {
+        std::vector<uint32_t> sums;
+        for (bool opt : {false, true}) {
+            EngineConfig config;
+            config.kind = kind;
+            config.strategy = BoundsStrategy::trap;
+            config.optimizeLoweredIR = opt;
+            Engine engine(config);
+            auto compiled = engine.compile(bottomTestSumModule());
+            ASSERT_TRUE(compiled.isOk());
+            if (opt) {
+                EXPECT_GT(compiled.value()->optStats().instsFused, 0u);
+            }
+            auto inst = Instance::create(compiled.takeValue());
+            ASSERT_TRUE(inst.isOk());
+            auto out = inst.value()->callExport(
+                "run", {Value::fromI32(0), Value::fromI32(1000)});
+            ASSERT_TRUE(out.ok());
+            sums.push_back(out.results[0].i32);
+        }
+        EXPECT_EQ(sums[0], sums[1]);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hoisting + cross-block facts
+// ---------------------------------------------------------------------
+
+TEST(Hoisting, BottomTestLoopGetsPreheaderCheck)
+{
+    Module module = bottomTestSumModule();
+    auto lowered = lowerModule(std::move(module));
+    ASSERT_TRUE(lowered.isOk());
+    LoweredModule lm = lowered.takeValue();
+
+    OptOptions opts;
+    opts.analyzeChecks = true;
+    opts.hoistChecks = true;
+    OptStats stats = optimizeLoweredModule(lm, opts);
+    EXPECT_GE(stats.checksHoisted, 1u);
+
+    const LoweredFunc& func = lm.funcs[0];
+    int checks = 0;
+    uint32_t check_pc = 0;
+    for (uint32_t pc = 0; pc < func.code.size(); pc++) {
+        const LInst& inst = func.code[pc];
+        if (!inst.isWasmOp() && inst.lop() == LOp::check_bounds) {
+            checks++;
+            check_pc = pc;
+            EXPECT_EQ(inst.aux, 0u); // cell-relative: addr + 4 <= memSize
+            EXPECT_EQ(inst.imm, 4u);
+        }
+    }
+    ASSERT_EQ(checks, 1);
+    // The back edge must jump past the hoisted check (it runs once per
+    // loop entry, not per iteration).
+    for (const LInst& inst : func.code) {
+        if (!inst.isWasmOp() && (inst.lop() == LOp::jump ||
+                                 inst.lop() == LOp::jump_if)) {
+            EXPECT_NE(inst.a, check_pc);
+        }
+    }
+    // The in-loop access is marked elidable for the JIT.
+    EXPECT_FALSE(func.elidableCheckPcs.empty());
+}
+
+TEST(Analysis, RmwStoreCheckIsValueNumberedAway)
+{
+    Module module = rmwScaleModule();
+    auto lowered = lowerModule(std::move(module));
+    ASSERT_TRUE(lowered.isOk());
+    LoweredModule lm = lowered.takeValue();
+
+    OptOptions opts;
+    opts.analyzeChecks = true;
+    OptStats stats = optimizeLoweredModule(lm, opts);
+    // The store at i*8 is covered by the load at i*8 (same value, same
+    // limit) even though they use different address cells.
+    EXPECT_GE(stats.checksElided, 1u);
+    EXPECT_FALSE(lm.funcs[0].elidableCheckPcs.empty());
+}
+
+// ---------------------------------------------------------------------
+// Soundness: rewriting the address cell must kill the elision
+// ---------------------------------------------------------------------
+
+/** load mem[in-bounds], overwrite the address local with an OOB value
+ * (optionally in a separate block), load again at the same offset. */
+Module
+addressRewriteModule(bool cross_block)
+{
+    ModuleBuilder mb;
+    mb.addMemory(1, 1); // 65536 bytes
+    uint32_t t = mb.addType({ValType::i32}, {ValType::i64});
+    auto& f = mb.addFunction(t); // param: flag
+    f.addLocal(ValType::i32); // local 1: a
+    f.i32Const(65528);
+    f.localSet(1);
+    f.localGet(1);
+    f.memOp(Op::i64_load, 0); // 65528 + 8 == 65536: in bounds
+    if (cross_block) {
+        auto skip = f.block();
+        f.localGet(0);
+        f.emit(Op::i32_eqz);
+        f.brIf(skip);
+        f.i32Const(65536);
+        f.localSet(1);
+        f.end();
+    } else {
+        f.i32Const(65536);
+        f.localSet(1);
+    }
+    f.localGet(1);
+    f.memOp(Op::i64_load, 0); // 65536 + 8 > 65536: must trap
+    f.emit(Op::i64_add);
+    uint32_t idx = f.finish();
+    mb.exportFunc("run", idx);
+    return mb.build();
+}
+
+TEST(Soundness, AddressRewriteNeverSkipsRequiredCheck)
+{
+    for (EngineKind kind :
+         {EngineKind::interp_switch, EngineKind::interp_threaded,
+          EngineKind::jit_base, EngineKind::jit_opt}) {
+        if ((kind == EngineKind::jit_base || kind == EngineKind::jit_opt) &&
+            !jit::jitSupported())
+            continue;
+        for (bool cross_block : {false, true}) {
+            for (bool opt : {false, true}) {
+                EngineConfig config;
+                config.kind = kind;
+                config.strategy = BoundsStrategy::trap;
+                config.optimizeLoweredIR = opt;
+                Engine engine(config);
+                auto compiled =
+                    engine.compile(addressRewriteModule(cross_block));
+                ASSERT_TRUE(compiled.isOk());
+                auto inst = Instance::create(compiled.takeValue());
+                ASSERT_TRUE(inst.isOk());
+                auto out =
+                    inst.value()->callExport("run", {Value::fromI32(1)});
+                EXPECT_EQ(out.trap, TrapKind::out_of_bounds_memory)
+                    << "engine " << int(kind) << " cross_block "
+                    << cross_block << " opt " << opt;
+                // The not-rewritten path must still succeed.
+                auto ok =
+                    inst.value()->callExport("run", {Value::fromI32(0)});
+                EXPECT_TRUE(cross_block ? ok.ok() : !ok.ok());
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Headline criterion: >= 30% fewer emitted checks on an RMW loop kernel
+// ---------------------------------------------------------------------
+
+#ifndef LNB_OBS_DISABLED
+TEST(Criterion, EmittedChecksDropAtLeast30PercentOnRmwKernel)
+{
+    if (!jit::jitSupported())
+        GTEST_SKIP() << "JIT unsupported on this CPU";
+    obs::Counter emitted =
+        obs::registerCounter("jit.bounds_checks_emitted");
+    uint64_t deltas[2];
+    for (bool opt : {false, true}) {
+        EngineConfig config;
+        config.kind = EngineKind::jit_opt;
+        config.strategy = BoundsStrategy::trap;
+        config.optimizeLoweredIR = opt;
+        Engine engine(config);
+        uint64_t before = emitted.value();
+        auto compiled = engine.compile(rmwScaleModule());
+        ASSERT_TRUE(compiled.isOk());
+        deltas[opt] = emitted.value() - before;
+    }
+    ASSERT_GT(deltas[0], 0u);
+    EXPECT_LE(deltas[1] * 10, deltas[0] * 7)
+        << "opt-off emitted " << deltas[0] << ", opt-on emitted "
+        << deltas[1];
+    // Behavior must be identical: scale a row and compare memory.
+    for (bool opt : {false, true}) {
+        EngineConfig config;
+        config.kind = EngineKind::jit_opt;
+        config.strategy = BoundsStrategy::trap;
+        config.optimizeLoweredIR = opt;
+        Engine engine(config);
+        auto compiled = engine.compile(rmwScaleModule());
+        ASSERT_TRUE(compiled.isOk());
+        auto inst = Instance::create(compiled.takeValue());
+        ASSERT_TRUE(inst.isOk());
+        auto out = inst.value()->callExport(
+            "scale", {Value::fromI32(8192), Value::fromF64(2.5)});
+        EXPECT_TRUE(out.ok());
+    }
+}
+#endif // LNB_OBS_DISABLED
+
+// ---------------------------------------------------------------------
+// Toggles
+// ---------------------------------------------------------------------
+
+TEST(Toggles, DisabledConfigSkipsThePass)
+{
+    EngineConfig config;
+    config.kind = EngineKind::interp_threaded;
+    config.optimizeLoweredIR = false;
+    Engine engine(config);
+    auto compiled = engine.compile(bottomTestSumModule());
+    ASSERT_TRUE(compiled.isOk());
+    EXPECT_EQ(compiled.value()->optStats().instsFused, 0u);
+    EXPECT_EQ(compiled.value()->stats().optSeconds, 0.0);
+}
+
+} // namespace
+} // namespace lnb::wasm
