@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Serving-path microbench for the svc subsystem: quantifies the two costs
+ * the multi-tenant service is designed to remove from the request path.
+ *
+ *  1. Instance acquisition, cold vs warm, per bounds strategy. Cold =
+ *     full Instance::create() (multi-GiB reservation + arena slot +
+ *     value stack + segments); warm = pool reuse after
+ *     Instance::recycle() (madvise/mprotect reset, no mmap). The paper's
+ *     per-task isolation scenario pays the cold cost once per request;
+ *     the pool caps it at once per pooled instance. Expected: warm is
+ *     >= 10x cheaper than cold under mprotect, where the reservation is
+ *     an 8 GiB PROT_NONE mapping.
+ *
+ *  2. Module load through the content-addressed cache: first request
+ *     compiles (miss), every subsequent identical (bytes, config) pair is
+ *     an O(lookup) hash-map hit.
+ *
+ * Each lease runs the kernel before release, so warm acquires are
+ * measured against genuinely dirtied memory — the recycle cost of
+ * zapping touched pages is inside the loop, not hidden.
+ *
+ * JSON reports (LNB_JSON_DIR) use the standard lnb.bench_result.v1
+ * schema; svc.* counters/histograms ride in the metrics snapshot.
+ */
+#include "bench/bench_common.h"
+
+#include "obs/metrics.h"
+#include "support/clock.h"
+#include "svc/instance_pool.h"
+#include "svc/module_cache.h"
+#include "wasm/encoder.h"
+
+using namespace lnb;
+using namespace lnb::bench;
+
+namespace {
+
+struct AcquireCosts
+{
+    bool ok = false;
+    double coldMeanSeconds = 0;
+    double warmMeanSeconds = 0;
+    std::vector<double> warmSeconds;
+};
+
+AcquireCosts
+measureAcquire(const std::shared_ptr<const rt::CompiledModule>& module,
+               int iterations)
+{
+    AcquireCosts out;
+
+    // Cold: max_idle = 0 discards every release, so each acquire pays
+    // the full instantiation.
+    svc::InstancePool cold_pool(module, rt::ImportMap{}, 0);
+    double cold_total = 0;
+    for (int i = 0; i < iterations; i++) {
+        uint64_t start = monotonicNanos();
+        auto lease = cold_pool.acquire();
+        cold_total += double(monotonicNanos() - start) * 1e-9;
+        if (!lease.isOk())
+            return out;
+        auto instance = lease.takeValue();
+        if (!instance->callExport("run", {}).ok())
+            return out;
+    }
+    out.coldMeanSeconds = cold_total / iterations;
+
+    // Warm: one parked instance, recycled on every release. Prime it,
+    // then measure steady-state acquires against dirtied memory.
+    svc::InstancePool warm_pool(module, rt::ImportMap{}, 1);
+    {
+        auto prime = warm_pool.acquire();
+        if (!prime.isOk())
+            return out;
+        auto instance = prime.takeValue();
+        if (!instance->callExport("run", {}).ok())
+            return out;
+    }
+    double warm_total = 0;
+    for (int i = 0; i < iterations; i++) {
+        uint64_t start = monotonicNanos();
+        auto lease = warm_pool.acquire();
+        double seconds = double(monotonicNanos() - start) * 1e-9;
+        if (!lease.isOk())
+            return out;
+        auto instance = lease.takeValue();
+        if (!instance.warm())
+            return out; // pool failed to recycle; warm numbers bogus
+        warm_total += seconds;
+        out.warmSeconds.push_back(seconds);
+        if (!instance->callExport("run", {}).ok())
+            return out;
+    }
+    out.warmMeanSeconds = warm_total / iterations;
+    out.ok = true;
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    harness::printBanner(
+        "svc_load: cold vs warm acquisition, cached compiles",
+        "serving extension of the paper's per-task isolation scenario "
+        "(DESIGN.md §9)");
+
+    int scale = std::max(harness::benchScale(), 2);
+    int iterations = harness::quickMode() ? 20 : 100;
+    const Kernel* kernel = kernels::findKernel("atax");
+    if (kernel == nullptr) {
+        std::fprintf(stderr, "kernel registry missing atax\n");
+        return 1;
+    }
+    std::vector<uint8_t> bytes =
+        wasm::encodeModule(kernel->buildModule(scale));
+
+    // --- 1. cold vs warm instance acquisition, per strategy -----------
+    Table table({"strategy", "cold us", "warm us", "speedup"});
+    bool mprotect_demonstrated = false;
+    int failures = 0;
+    for (BoundsStrategy strategy : allStrategies()) {
+        rt::EngineConfig config;
+        config.kind = EngineKind::jit_base;
+        config.strategy = strategy;
+        auto compiled = rt::Engine(config).compileBytes(bytes);
+        if (!compiled.isOk()) {
+            std::fprintf(stderr, "[%s] compile failed: %s\n",
+                         mem::boundsStrategyName(strategy),
+                         compiled.status().toString().c_str());
+            failures++;
+            continue;
+        }
+        auto module = compiled.takeValue();
+        AcquireCosts costs = measureAcquire(module, iterations);
+        if (!costs.ok) {
+            std::fprintf(stderr, "[%s] acquire bench failed\n",
+                         mem::boundsStrategyName(strategy));
+            failures++;
+            continue;
+        }
+        double speedup = costs.warmMeanSeconds > 0
+                             ? costs.coldMeanSeconds /
+                                   costs.warmMeanSeconds
+                             : 0;
+        table.addRow({mem::boundsStrategyName(strategy),
+                      cell("%.2f", costs.coldMeanSeconds * 1e6),
+                      cell("%.2f", costs.warmMeanSeconds * 1e6),
+                      cell("%.1fx", speedup)});
+        if (strategy == BoundsStrategy::mprotect && speedup >= 10)
+            mprotect_demonstrated = true;
+
+        BenchSpec spec;
+        spec.kernel = kernel;
+        spec.engineConfig = config;
+        spec.scale = scale;
+        BenchResult result;
+        result.ok = true;
+        result.medianIterationSeconds = costs.warmMeanSeconds;
+        result.threads.emplace_back();
+        result.threads.back().iterationSeconds =
+            std::move(costs.warmSeconds);
+        harness::maybeWriteJsonReport(spec, result, nullptr);
+    }
+    std::printf("[instance acquisition, %d iterations/strategy]\n",
+                iterations);
+    std::fputs(table.toString().c_str(), stdout);
+    table.maybeWriteCsv("svc_load_acquire");
+
+    // --- 2. compile miss vs cache hit ---------------------------------
+    svc::ModuleCache cache(8);
+    rt::EngineConfig config;
+    config.kind = EngineKind::jit_base;
+    config.strategy = BoundsStrategy::mprotect;
+
+    uint64_t start = monotonicNanos();
+    bool was_hit = true;
+    auto first = cache.getOrCompile(bytes, config, &was_hit);
+    double miss_seconds = double(monotonicNanos() - start) * 1e-9;
+    if (!first.isOk() || was_hit) {
+        std::fprintf(stderr, "cache miss path failed\n");
+        return 1;
+    }
+    int lookups = iterations * 10;
+    start = monotonicNanos();
+    for (int i = 0; i < lookups; i++) {
+        auto hit = cache.getOrCompile(bytes, config, &was_hit);
+        if (!hit.isOk() || !was_hit ||
+            hit.value().get() != first.value().get()) {
+            std::fprintf(stderr, "cache hit path failed\n");
+            return 1;
+        }
+    }
+    double hit_seconds =
+        double(monotonicNanos() - start) * 1e-9 / lookups;
+    std::printf("\n[module cache] compile miss: %.1f us,"
+                " hit: %.3f us (%.0fx), %llu hits / %llu misses\n",
+                miss_seconds * 1e6, hit_seconds * 1e6,
+                hit_seconds > 0 ? miss_seconds / hit_seconds : 0,
+                (unsigned long long)cache.stats().hits,
+                (unsigned long long)cache.stats().misses);
+
+    if (!mprotect_demonstrated) {
+        std::fprintf(stderr, "FAIL: warm acquire under mprotect was not"
+                             " >= 10x cheaper than cold\n");
+        return 1;
+    }
+    std::printf("PASS: warm acquire >= 10x cheaper than cold under"
+                " mprotect; cache hits are O(lookup)\n");
+    return failures == 0 ? 0 : 1;
+}

@@ -1,15 +1,21 @@
 #!/usr/bin/env python3
 """Tier-2 smoke check for the observability artifacts.
 
-Runs a small slice of the micro_bounds benchmark with LNB_JSON_DIR and
-LNB_TRACE_FILE set, then validates that
+Default mode runs a small slice of the micro_bounds benchmark with
+LNB_JSON_DIR and LNB_TRACE_FILE set, then validates that
 
   * the process-exit metrics dump is valid JSON with the expected schema
     and the counters the exercised paths must have bumped, and
   * the trace file is well-formed Chrome trace_event JSON with at least
     one span.
 
+--svc mode drives a short open-loop load through the lnb_svc serving
+harness instead and validates the per-strategy lnb.bench_result.v1
+reports: request latencies present, and the svc.* cache/pool/scheduler
+counters bumped by the exercised paths.
+
 Usage: check_report.py <path-to-micro_bounds>
+       check_report.py --svc <path-to-lnb_svc>
 """
 
 import json
@@ -93,9 +99,99 @@ def check_trace(trace_path):
     print(f"check_report: trace OK ({len(events)} events)")
 
 
+def check_svc_report(doc, path, strategies):
+    if doc.get("schema") != "lnb.bench_result.v1":
+        fail(f"{path}: bad schema: {doc.get('schema')!r}")
+    config = doc.get("config", {})
+    if config.get("strategy") not in strategies:
+        fail(f"{path}: unexpected strategy {config.get('strategy')!r}")
+    if not doc.get("ok"):
+        fail(f"{path}: run not ok: {doc.get('error')!r}")
+    latency = doc.get("latency", {})
+    if latency.get("iterations", 0) <= 0:
+        fail(f"{path}: no request latencies recorded")
+    for stat in ("p50Seconds", "p99Seconds"):
+        if stat not in latency:
+            fail(f"{path}: latency lacks {stat}")
+
+    counters = doc.get("counters")
+    if not isinstance(counters, dict):
+        fail(f"{path}: no counters object")
+    # The serving path must have driven the cache, the pool and the
+    # scheduler. (Totals are process-lifetime, so any positive value
+    # proves the path ran.)
+    required = [
+        "svc.requests_submitted",
+        "svc.requests_completed",
+        "svc.cache_misses",
+        "svc.pool_cold_acquires",
+        "svc.pool_warm_acquires",
+        "rt.instances_recycled",
+        "mem.reset_calls",
+    ]
+    for name in required:
+        value = counters.get(name)
+        if not isinstance(value, (int, float)) or value <= 0:
+            fail(f"{path}: counter {name} missing or zero: {value!r}")
+    if counters.get("svc.requests_trapped", 0) > 0:
+        fail(f"{path}: requests trapped during smoke load")
+
+    histograms = doc.get("histograms", {})
+    for name in ("svc.request_ns", "svc.queue_wait_ns",
+                 "svc.acquire_warm_ns", "mem.reset_ns"):
+        hist = histograms.get(name)
+        if not hist or hist.get("count", 0) <= 0:
+            fail(f"{path}: histogram {name} missing or empty: {hist!r}")
+    return config.get("strategy")
+
+
+def run_svc(lnb_svc):
+    strategies = ["mprotect", "uffd"]
+    with tempfile.TemporaryDirectory(prefix="lnb_check_svc_") as tmp:
+        env = dict(os.environ)
+        env["LNB_JSON_DIR"] = tmp
+        cmd = [
+            lnb_svc,
+            "--strategies=" + ",".join(strategies),
+            "--rate=300",
+            "--seconds=2",
+            "--workers=2",
+            "--queue-depth=64",
+        ]
+        proc = subprocess.run(cmd, env=env, capture_output=True, text=True)
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stdout)
+            sys.stderr.write(proc.stderr)
+            fail(f"{' '.join(cmd)} exited with {proc.returncode}")
+
+        # Skip the process-exit metrics_<pid>.json dump the obs layer
+        # also writes into LNB_JSON_DIR.
+        reports = sorted(
+            name
+            for name in os.listdir(tmp)
+            if name.endswith(".json") and not name.startswith("metrics_")
+        )
+        if len(reports) != len(strategies):
+            fail(f"expected {len(strategies)} svc reports, got {reports}")
+        seen = []
+        for name in reports:
+            path = os.path.join(tmp, name)
+            seen.append(check_svc_report(load_json(path), path, strategies))
+        if sorted(seen) != sorted(strategies):
+            fail(f"reports cover {seen}, expected {strategies}")
+    print(f"check_report: svc OK ({len(reports)} strategy reports)")
+    print("check_report: PASS")
+
+
 def main():
+    if len(sys.argv) == 3 and sys.argv[1] == "--svc":
+        lnb_svc = sys.argv[2]
+        if not os.access(lnb_svc, os.X_OK):
+            fail(f"not executable: {lnb_svc}")
+        run_svc(lnb_svc)
+        return
     if len(sys.argv) != 2:
-        fail(f"usage: {sys.argv[0]} <path-to-micro_bounds>")
+        fail(f"usage: {sys.argv[0]} [--svc] <path-to-binary>")
     micro_bounds = sys.argv[1]
     if not os.access(micro_bounds, os.X_OK):
         fail(f"not executable: {micro_bounds}")

@@ -9,6 +9,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "support/clock.h"
+#include "support/env.h"
 #include "support/stats.h"
 #include "support/sysinfo.h"
 
@@ -295,13 +296,8 @@ quickMode()
 int
 benchScale()
 {
-    const char* env = std::getenv("LNB_SCALE");
-    if (env != nullptr) {
-        int v = std::atoi(env);
-        if (v >= 1)
-            return v;
-    }
-    return quickMode() ? 4 : 1;
+    int def = quickMode() ? 4 : 1;
+    return int(envInt("LNB_SCALE", def, 1, 1 << 20));
 }
 
 } // namespace lnb::harness

@@ -35,8 +35,13 @@ struct MemMetrics
         "mem.resize_syscalls");
     obs::Counter growFailures = obs::registerCounter(
         "mem.grow_failures");
+    obs::Counter resetCalls = obs::registerCounter("mem.reset_calls");
+    obs::Counter resetSyscalls = obs::registerCounter(
+        "mem.reset_syscalls");
     obs::Histogram growLatency = obs::registerHistogram(
         "mem.grow_ns");
+    obs::Histogram resetLatency = obs::registerHistogram(
+        "mem.reset_ns");
 };
 
 MemMetrics&
@@ -161,13 +166,14 @@ LinearMemory::create(const wasm::Limits& limits, const MemoryConfig& config)
                        MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
         if (p == MAP_FAILED)
             return errResource("mmap of guard reservation failed");
+        // From here the reservation belongs to `mem`: any later failure
+        // returns through the destructor, which unmaps exactly once.
         mem->base_ = static_cast<uint8_t*>(p);
         mem->reserveBytes_ = kGuardReserveBytes;
         mem->arenaKind_ = ArenaKind::guard;
         mem->clampOffset_ = 0;
         if (initial_bytes != 0 &&
             mprotect(p, initial_bytes, PROT_READ | PROT_WRITE) != 0) {
-            munmap(p, kGuardReserveBytes);
             return errResource("initial mprotect failed");
         }
         mem->resizeSyscalls_.fetch_add(1, std::memory_order_relaxed);
@@ -185,7 +191,16 @@ LinearMemory::create(const wasm::Limits& limits, const MemoryConfig& config)
                            0);
             if (p == MAP_FAILED)
                 return errResource("mmap of uffd reservation failed");
+            // Hand the reservation (and below, the fd) to `mem` before
+            // the fallible ioctls, so every failure path unwinds through
+            // the destructor instead of duplicating cleanup here.
+            mem->base_ = static_cast<uint8_t*>(p);
+            mem->reserveBytes_ = kGuardReserveBytes;
+            mem->arenaKind_ = ArenaKind::uffd_real;
             long fd = syscall(SYS_userfaultfd, O_CLOEXEC | O_NONBLOCK);
+            if (fd < 0)
+                return errResource("userfaultfd syscall failed");
+            mem->uffdFd_ = int(fd);
             struct uffdio_api api;
             std::memset(&api, 0, sizeof api);
             api.api = UFFD_API;
@@ -195,17 +210,10 @@ LinearMemory::create(const wasm::Limits& limits, const MemoryConfig& config)
             reg.range.start = reinterpret_cast<unsigned long>(p);
             reg.range.len = kGuardReserveBytes;
             reg.mode = UFFDIO_REGISTER_MODE_MISSING;
-            if (fd < 0 || ioctl(int(fd), UFFDIO_API, &api) != 0 ||
+            if (ioctl(int(fd), UFFDIO_API, &api) != 0 ||
                 ioctl(int(fd), UFFDIO_REGISTER, &reg) != 0) {
-                if (fd >= 0)
-                    close(int(fd));
-                munmap(p, kGuardReserveBytes);
                 return errResource("userfaultfd registration failed");
             }
-            mem->base_ = static_cast<uint8_t*>(p);
-            mem->reserveBytes_ = kGuardReserveBytes;
-            mem->arenaKind_ = ArenaKind::uffd_real;
-            mem->uffdFd_ = int(fd);
 #endif
         } else {
             // Emulation: PROT_NONE reservation; the fault handler grants
@@ -225,6 +233,8 @@ LinearMemory::create(const wasm::Limits& limits, const MemoryConfig& config)
     }
 
     mem->sizeBytes_.store(initial_bytes, std::memory_order_release);
+    mem->initialBytes_ = initial_bytes;
+    mem->highWaterBytes_ = initial_bytes;
 
     if (mem->arenaKind_ != ArenaKind::flat) {
         mem->arena_ = ArenaRegistry::add(mem->base_, mem->reserveBytes_,
@@ -281,7 +291,80 @@ LinearMemory::grow(uint32_t delta_pages)
     if (arena_ != nullptr)
         arena_->bounds.store(new_bytes, std::memory_order_release);
     sizeBytes_.store(new_bytes, std::memory_order_release);
+    if (new_bytes > highWaterBytes_)
+        highWaterBytes_ = new_bytes;
     return int64_t(old_pages);
+}
+
+Status
+LinearMemory::reset()
+{
+    LNB_TRACE_SCOPE("mem.reset");
+    obs::ScopedLatency latency(memMetrics().resetLatency);
+    memMetrics().resetCalls.add();
+    std::lock_guard<std::mutex> lock(growMutex_);
+    uint64_t high = highWaterBytes_;
+    uint64_t syscalls = 0;
+
+    switch (arenaKind_) {
+      case ArenaKind::flat:
+        // `none` allows silent out-of-bounds stores anywhere in the
+        // reservation and clamp redirects into the red zone past the max
+        // size, so the zap must cover the whole mapping, not just the
+        // high-water prefix. MADV_DONTNEED walks only resident ranges.
+        if (madvise(base_, reserveBytes_, MADV_DONTNEED) != 0)
+            return errResource("reset madvise failed");
+        syscalls = 1;
+        break;
+
+      case ArenaKind::guard:
+        // Revoke the grown range first so a racing stray access can at
+        // worst observe zeroed-but-accessible pages below the initial
+        // size, never stale data.
+        if (high > initialBytes_) {
+            if (mprotect(base_ + initialBytes_, high - initialBytes_,
+                         PROT_NONE) != 0) {
+                return errResource("reset re-protect failed");
+            }
+            syscalls++;
+        }
+        if (high != 0) {
+            if (madvise(base_, high, MADV_DONTNEED) != 0)
+                return errResource("reset madvise failed");
+            syscalls++;
+        }
+        break;
+
+      case ArenaKind::uffd_real:
+        // The userfaultfd registration is per-VMA and survives
+        // MADV_DONTNEED: zapped pages go back to "missing" and the next
+        // access below bounds repopulates through the fault handler.
+        if (high != 0) {
+            if (madvise(base_, high, MADV_DONTNEED) != 0)
+                return errResource("reset madvise failed");
+            syscalls++;
+        }
+        break;
+
+      case ArenaKind::uffd_emu:
+        // The fault handler granted RW page by page below the bounds
+        // word; one range-wide mprotect revokes every grant.
+        if (high != 0) {
+            if (mprotect(base_, high, PROT_NONE) != 0)
+                return errResource("reset re-protect failed");
+            if (madvise(base_, high, MADV_DONTNEED) != 0)
+                return errResource("reset madvise failed");
+            syscalls += 2;
+        }
+        break;
+    }
+
+    if (arena_ != nullptr)
+        arena_->bounds.store(initialBytes_, std::memory_order_release);
+    sizeBytes_.store(initialBytes_, std::memory_order_release);
+    highWaterBytes_ = initialBytes_;
+    memMetrics().resetSyscalls.add(syscalls);
+    return Status::ok();
 }
 
 Status

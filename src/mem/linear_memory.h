@@ -119,6 +119,29 @@ class LinearMemory
      */
     int64_t grow(uint32_t delta_pages);
 
+    /**
+     * Instance-recycling fast path: return the memory to its
+     * freshly-created state (initial size, all bytes zero) without the
+     * munmap/mmap cycle a destroy-and-recreate pays — the virtual-memory
+     * cost the paper identifies as the dominant term of the mprotect
+     * strategy's instantiation path.
+     *
+     * Mechanism per backing kind:
+     *  - flat (none/clamp/trap): madvise(MADV_DONTNEED) over the whole
+     *    mapping — anonymous private pages read as zero afterwards; cost
+     *    scales with resident pages, not the reservation;
+     *  - guard (mprotect): re-protect pages beyond the initial size back
+     *    to PROT_NONE, then MADV_DONTNEED the touched prefix;
+     *  - uffd (real): MADV_DONTNEED re-arms missing-page faults on the
+     *    registered range, so the next access repopulates lazily;
+     *  - uffd (emulated): revoke the page-granular grants with one
+     *    mprotect(PROT_NONE), then MADV_DONTNEED.
+     *
+     * The caller must guarantee no thread is executing against this
+     * memory (same contract as the destructor).
+     */
+    Status reset();
+
     /** Byte offset of the always-mapped red zone (clamp strategy target). */
     uint64_t clampOffset() const { return clampOffset_; }
 
@@ -142,6 +165,11 @@ class LinearMemory
     uint8_t* base_ = nullptr;
     uint64_t reserveBytes_ = 0;
     std::atomic<uint64_t> sizeBytes_{0};
+    /** Size at creation; reset() returns to this. */
+    uint64_t initialBytes_ = 0;
+    /** Largest size ever reached (guarded by growMutex_): the extent
+     * reset() must zap and re-protect. */
+    uint64_t highWaterBytes_ = 0;
     uint32_t maxPages_ = 0;
     uint64_t clampOffset_ = 0;
     MemoryConfig config_;

@@ -18,6 +18,8 @@ struct RtMetrics
 {
     obs::Counter instancesCreated = obs::registerCounter(
         "rt.instances_created");
+    obs::Counter instancesRecycled = obs::registerCounter(
+        "rt.instances_recycled");
     obs::Counter invocations = obs::registerCounter("rt.invocations");
     obs::Counter trapsReturned = obs::registerCounter(
         "rt.traps_returned");
@@ -104,10 +106,8 @@ Instance::initialize(ImportMap imports)
         ctx_.memory = memory_.get();
     }
 
-    // ----- globals -----
+    // ----- globals (storage; values set in initMutableState) -----
     globals_.resize(m.globals.size());
-    for (size_t i = 0; i < m.globals.size(); i++)
-        globals_[i] = m.globals[i].init.constValue();
     ctx_.globals = globals_.data();
 
     // ----- host bindings -----
@@ -131,27 +131,48 @@ Instance::initialize(ImportMap imports)
     ctx_.hostFuncs = hostBindings_.data();
     ctx_.numHostFuncs = uint32_t(hostBindings_.size());
 
-    // ----- table + element segments -----
+    // ----- table (storage; entries set in initMutableState) -----
     if (!m.tables.empty()) {
         table_.resize(m.tables[0].min);
-        for (const wasm::ElemSegment& seg : m.elems) {
-            uint64_t offset = seg.offset.constValue().i32;
-            if (offset + seg.funcs.size() > table_.size())
-                return errValidation("element segment out of bounds");
-            for (size_t i = 0; i < seg.funcs.size(); i++) {
-                uint32_t func_idx = seg.funcs[i];
-                exec::TableEntry& entry = table_[offset + i];
-                entry.funcIdx = func_idx;
-                entry.typeIdx = module_->lowered()
-                                    .typeCanon[m.funcTypeIdx(func_idx)];
-                entry.initialized = 1;
-                entry.code = module_->jitCode() != nullptr
-                                 ? module_->jitCode()->tableCode(func_idx)
-                                 : nullptr;
-            }
-        }
         ctx_.table = table_.data();
         ctx_.tableSize = table_.size();
+    }
+
+    // ----- value stack -----
+    vstack_.reset(new wasm::Value[config.valueStackCells]);
+    ctx_.vstack = vstack_.get();
+    ctx_.vstackEnd = vstack_.get() + config.valueStackCells;
+    ctx_.maxCallDepth = config.maxCallDepth;
+    ctx_.lowered = &module_->lowered();
+
+    return initMutableState();
+}
+
+Status
+Instance::initMutableState()
+{
+    const wasm::Module& m = module_->lowered().module;
+
+    // ----- global values -----
+    for (size_t i = 0; i < m.globals.size(); i++)
+        globals_[i] = m.globals[i].init.constValue();
+
+    // ----- element segments -----
+    for (const wasm::ElemSegment& seg : m.elems) {
+        uint64_t offset = seg.offset.constValue().i32;
+        if (offset + seg.funcs.size() > table_.size())
+            return errValidation("element segment out of bounds");
+        for (size_t i = 0; i < seg.funcs.size(); i++) {
+            uint32_t func_idx = seg.funcs[i];
+            exec::TableEntry& entry = table_[offset + i];
+            entry.funcIdx = func_idx;
+            entry.typeIdx = module_->lowered()
+                                .typeCanon[m.funcTypeIdx(func_idx)];
+            entry.initialized = 1;
+            entry.code = module_->jitCode() != nullptr
+                             ? module_->jitCode()->tableCode(func_idx)
+                             : nullptr;
+        }
     }
 
     // ----- data segments -----
@@ -163,13 +184,10 @@ Instance::initialize(ImportMap imports)
                                               seg.bytes.size()));
     }
 
-    // ----- value stack -----
-    vstack_.reset(new wasm::Value[config.valueStackCells]);
-    ctx_.vstack = vstack_.get();
+    // ----- execution state -----
     ctx_.vstackTop = vstack_.get();
-    ctx_.vstackEnd = vstack_.get() + config.valueStackCells;
-    ctx_.maxCallDepth = config.maxCallDepth;
-    ctx_.lowered = &module_->lowered();
+    ctx_.callDepth = 0;
+    ctx_.blockingEvents = 0;
 
     // ----- start function -----
     if (m.start.has_value()) {
@@ -180,6 +198,20 @@ Instance::initialize(ImportMap imports)
         }
     }
     return Status::ok();
+}
+
+Status
+Instance::recycle()
+{
+    LNB_TRACE_SCOPE("rt.recycle");
+    rtMetrics().instancesRecycled.add();
+    if (memory_ != nullptr) {
+        LNB_RETURN_IF_ERROR(memory_->reset());
+        // memBase is stable across reset (same reservation); only the
+        // size mirror changes.
+        ctx_.memSize = memory_->sizeBytes();
+    }
+    return initMutableState();
 }
 
 CallOutcome

@@ -78,6 +78,20 @@ class Instance
     Instance(const Instance&) = delete;
     Instance& operator=(const Instance&) = delete;
 
+    /**
+     * Return this instance to its freshly-instantiated state without
+     * tearing down its memory reservation: linear memory is reset through
+     * LinearMemory::reset() (zeroed, back to initial size), globals and
+     * tables are re-initialized, data segments re-applied and the start
+     * function re-run. This is the instance-pool recycling path (src/svc):
+     * it must be observably equivalent to Instance::create() on the same
+     * CompiledModule, minus the mmap/munmap cycle.
+     *
+     * On error the instance is left in an unspecified state and must be
+     * destroyed, not reused.
+     */
+    Status recycle();
+
     /** Invoke any function by index (defined or imported). */
     CallOutcome call(uint32_t func_idx,
                      const std::vector<wasm::Value>& args);
@@ -99,6 +113,9 @@ class Instance
   private:
     Instance() = default;
     Status initialize(ImportMap imports);
+    /** Shared by initialize()/recycle(): globals, element and data
+     * segments, value-stack reset, start function. */
+    Status initMutableState();
 
     std::shared_ptr<const CompiledModule> module_;
     std::unique_ptr<mem::LinearMemory> memory_;

@@ -1,0 +1,41 @@
+#include "support/env.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "support/log.h"
+
+namespace lnb {
+
+int64_t
+envInt(const char* name, int64_t def, int64_t min, int64_t max)
+{
+    const char* env = std::getenv(name);
+    if (env == nullptr || env[0] == '\0')
+        return def;
+    char* end = nullptr;
+    errno = 0;
+    long long v = std::strtoll(env, &end, 10);
+    if (errno != 0 || end == env || *end != '\0') {
+        LNB_WARN("%s='%s' is not an integer; using default %lld", name,
+                 env, static_cast<long long>(def));
+        return def;
+    }
+    if (v < min || v > max) {
+        LNB_WARN("%s=%lld is out of range [%lld, %lld]; using default "
+                 "%lld",
+                 name, v, static_cast<long long>(min),
+                 static_cast<long long>(max), static_cast<long long>(def));
+        return def;
+    }
+    return v;
+}
+
+bool
+envFlag(const char* name)
+{
+    const char* env = std::getenv(name);
+    return env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
+}
+
+} // namespace lnb

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Strict environment-variable parsing. Every LNB_* knob that accepts a
+ * number goes through here so a typo ("LNB_SCALE=fast") produces one
+ * warning and the documented default rather than being silently ignored.
+ */
+#ifndef LNB_SUPPORT_ENV_H
+#define LNB_SUPPORT_ENV_H
+
+#include <cstdint>
+
+namespace lnb {
+
+/**
+ * Read integer environment variable @p name. Unset returns @p def.
+ * A value that is not a full decimal integer, or falls outside
+ * [@p min, @p max], logs one warning and returns @p def.
+ */
+int64_t envInt(const char* name, int64_t def, int64_t min = INT64_MIN,
+               int64_t max = INT64_MAX);
+
+/** True if @p name is set to anything but "" or "0" (flag convention). */
+bool envFlag(const char* name);
+
+} // namespace lnb
+
+#endif // LNB_SUPPORT_ENV_H

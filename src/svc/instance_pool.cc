@@ -1,0 +1,124 @@
+#include "svc/instance_pool.h"
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "support/clock.h"
+#include "support/log.h"
+
+namespace lnb::svc {
+
+namespace {
+
+struct PoolMetrics
+{
+    obs::Counter warmAcquires = obs::registerCounter(
+        "svc.pool_warm_acquires");
+    obs::Counter coldAcquires = obs::registerCounter(
+        "svc.pool_cold_acquires");
+    obs::Counter releases = obs::registerCounter("svc.pool_releases");
+    obs::Counter discards = obs::registerCounter("svc.pool_discards");
+    obs::Histogram warmAcquireLatency = obs::registerHistogram(
+        "svc.acquire_warm_ns");
+    obs::Histogram coldAcquireLatency = obs::registerHistogram(
+        "svc.acquire_cold_ns");
+};
+
+PoolMetrics&
+poolMetrics()
+{
+    static PoolMetrics m;
+    return m;
+}
+
+} // namespace
+
+void
+PooledInstance::reset()
+{
+    if (pool_ != nullptr && instance_ != nullptr)
+        pool_->release(std::move(instance_));
+    pool_ = nullptr;
+    instance_.reset();
+}
+
+InstancePool::InstancePool(std::shared_ptr<const rt::CompiledModule> module,
+                           rt::ImportMap imports, size_t max_idle)
+    : module_(std::move(module)), imports_(std::move(imports)),
+      maxIdle_(max_idle)
+{}
+
+Result<PooledInstance>
+InstancePool::acquire()
+{
+    uint64_t start = monotonicNanos();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!idle_.empty()) {
+            std::unique_ptr<rt::Instance> instance =
+                std::move(idle_.back());
+            idle_.pop_back();
+            stats_.warmAcquires++;
+            poolMetrics().warmAcquires.add();
+            poolMetrics().warmAcquireLatency.record(monotonicNanos() -
+                                                    start);
+            return PooledInstance(this, std::move(instance), true);
+        }
+    }
+    // Cold path: full instantiation (fresh reservation, arena slot,
+    // value stack, segments, start function).
+    LNB_TRACE_SCOPE("svc.pool_cold_create");
+    LNB_ASSIGN_OR_RETURN(auto instance,
+                         rt::Instance::create(module_, imports_));
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats_.coldAcquires++;
+    }
+    poolMetrics().coldAcquires.add();
+    poolMetrics().coldAcquireLatency.record(monotonicNanos() - start);
+    return PooledInstance(this, std::move(instance), false);
+}
+
+void
+InstancePool::release(std::unique_ptr<rt::Instance> instance)
+{
+    poolMetrics().releases.add();
+    bool park = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats_.releases++;
+        park = idle_.size() < maxIdle_;
+    }
+    if (park) {
+        // Recycle outside the lock: madvise/mprotect plus segment
+        // re-init must not serialize other acquires.
+        Status recycled = instance->recycle();
+        if (recycled.isOk()) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (idle_.size() < maxIdle_) {
+                idle_.push_back(std::move(instance));
+                stats_.idle = idle_.size();
+                return;
+            }
+        } else {
+            LNB_WARN("instance recycle failed (%s); discarding",
+                     recycled.toString().c_str());
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats_.discards++;
+    }
+    poolMetrics().discards.add();
+    // unique_ptr destructor tears the instance down.
+}
+
+InstancePoolStats
+InstancePool::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    InstancePoolStats out = stats_;
+    out.idle = idle_.size();
+    return out;
+}
+
+} // namespace lnb::svc

@@ -1,0 +1,324 @@
+/**
+ * @file
+ * lnb_svc — serving load harness for the multi-tenant execution service.
+ *
+ * Drives open-loop load (fixed request rate, independent of completion)
+ * through ExecutionService for each requested bounds strategy and reports
+ * throughput, admission-control rejections, warm-instance share and
+ * request latency percentiles. Open-loop, unlike the closed-loop
+ * per-figure benches, exposes the admission-control path: when workers
+ * fall behind, the submission queue fills and requests are rejected
+ * instead of queueing unboundedly.
+ *
+ * JSON reports (LNB_JSON_DIR) use the standard lnb.bench_result.v1
+ * schema; the svc.* counters/histograms ride in the embedded metrics
+ * snapshot.
+ */
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness/bench_runner.h"
+#include "harness/report.h"
+#include "kernels/kernel.h"
+#include "obs/metrics.h"
+#include "support/clock.h"
+#include "svc/service.h"
+#include "wasm/encoder.h"
+
+using namespace lnb;
+
+namespace {
+
+struct CliOptions
+{
+    std::string kernel = "atax";
+    rt::EngineKind engine = rt::EngineKind::jit_base;
+    std::vector<mem::BoundsStrategy> strategies = {
+        mem::BoundsStrategy::none, mem::BoundsStrategy::clamp,
+        mem::BoundsStrategy::trap, mem::BoundsStrategy::mprotect,
+        mem::BoundsStrategy::uffd};
+    double rate = 2000;   ///< requests per second (open loop)
+    double seconds = 3.0; ///< load duration per strategy
+    int tenants = 2;
+    int scale = 0; ///< 0 = harness::benchScale()
+    svc::SvcConfig svcConfig = svc::svcConfigFromEnv();
+};
+
+void
+usage(const char* argv0)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --kernel=NAME        workload (default: atax)\n"
+        "  --engine=NAME        interp-switch|interp-threaded|jit-base|"
+        "jit-opt\n"
+        "  --strategies=A,B,..  subset of none,clamp,trap,mprotect,uffd\n"
+        "  --rate=N             open-loop request rate per second "
+        "(default: 2000)\n"
+        "  --seconds=S          load duration per strategy (default: 3)\n"
+        "  --workers=N          worker threads (default: "
+        "$LNB_SVC_WORKERS or online CPUs)\n"
+        "  --queue-depth=N      admission queue bound (default: "
+        "$LNB_SVC_QUEUE_DEPTH or 256)\n"
+        "  --tenants=N          synthetic tenant count (default: 2)\n"
+        "  --scale=N            kernel dataset divisor\n"
+        "  --list-kernels       print the workload registry and exit\n",
+        argv0);
+}
+
+bool
+parseStrategies(const std::string& list, CliOptions& opts)
+{
+    opts.strategies.clear();
+    size_t pos = 0;
+    while (pos <= list.size()) {
+        size_t comma = list.find(',', pos);
+        if (comma == std::string::npos)
+            comma = list.size();
+        std::string name = list.substr(pos, comma - pos);
+        mem::BoundsStrategy strategy;
+        if (!mem::boundsStrategyFromName(name, strategy)) {
+            std::fprintf(stderr, "unknown strategy '%s'\n", name.c_str());
+            return false;
+        }
+        opts.strategies.push_back(strategy);
+        pos = comma + 1;
+    }
+    return !opts.strategies.empty();
+}
+
+bool
+parseArgs(int argc, char** argv, CliOptions& opts)
+{
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        auto value = [&](const char* prefix) -> const char* {
+            size_t n = std::strlen(prefix);
+            return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n
+                                                  : nullptr;
+        };
+        if (arg == "--list-kernels") {
+            for (const kernels::Kernel& k : kernels::allKernels())
+                std::printf("%-12s %-10s %s\n", k.name.c_str(),
+                            k.suite.c_str(), k.description.c_str());
+            std::exit(0);
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            std::exit(0);
+        } else if (const char* v = value("--kernel=")) {
+            opts.kernel = v;
+        } else if (const char* v = value("--engine=")) {
+            if (!rt::engineKindFromName(v, opts.engine)) {
+                std::fprintf(stderr, "unknown engine '%s'\n", v);
+                return false;
+            }
+        } else if (const char* v = value("--strategies=")) {
+            if (!parseStrategies(v, opts))
+                return false;
+        } else if (const char* v = value("--rate=")) {
+            opts.rate = std::atof(v);
+        } else if (const char* v = value("--seconds=")) {
+            opts.seconds = std::atof(v);
+        } else if (const char* v = value("--workers=")) {
+            opts.svcConfig.workers = std::atoi(v);
+        } else if (const char* v = value("--queue-depth=")) {
+            opts.svcConfig.queueDepth = size_t(std::atoll(v));
+        } else if (const char* v = value("--tenants=")) {
+            opts.tenants = std::atoi(v);
+        } else if (const char* v = value("--scale=")) {
+            opts.scale = std::atoi(v);
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            usage(argv[0]);
+            return false;
+        }
+    }
+    if (opts.rate <= 0 || opts.seconds <= 0 || opts.tenants < 1) {
+        std::fprintf(stderr, "--rate/--seconds/--tenants must be "
+                             "positive\n");
+        return false;
+    }
+    return true;
+}
+
+/** Aggregate outcome of one strategy's load run. */
+struct LoadResult
+{
+    uint64_t submitted = 0;
+    uint64_t rejected = 0;
+    uint64_t completed = 0;
+    uint64_t trapped = 0;
+    uint64_t warm = 0;
+    double wallSeconds = 0;
+    std::vector<double> latencySeconds; ///< submit -> completion
+};
+
+LoadResult
+runLoad(svc::ExecutionService& service,
+        const std::shared_ptr<const rt::CompiledModule>& module,
+        const CliOptions& opts)
+{
+    LoadResult out;
+    std::vector<std::future<svc::Response>> futures;
+    uint64_t total = uint64_t(opts.rate * opts.seconds);
+    futures.reserve(total);
+
+    uint64_t interval = uint64_t(1e9 / opts.rate);
+    uint64_t start = monotonicNanos();
+    for (uint64_t i = 0; i < total; i++) {
+        uint64_t scheduled = start + i * interval;
+        uint64_t now = monotonicNanos();
+        if (scheduled > now)
+            sleepNanos(scheduled - now);
+
+        svc::Request request;
+        request.tenant =
+            "tenant-" + std::to_string(i % uint64_t(opts.tenants));
+        request.module = module;
+        auto submitted = service.submit(std::move(request));
+        out.submitted++;
+        if (submitted.isOk())
+            futures.push_back(submitted.takeValue());
+        else
+            out.rejected++;
+    }
+    for (std::future<svc::Response>& future : futures) {
+        svc::Response response = future.get();
+        out.completed++;
+        if (!response.outcome.ok())
+            out.trapped++;
+        if (response.warmInstance)
+            out.warm++;
+        out.latencySeconds.push_back(
+            double(response.queueNanos + response.execNanos) * 1e-9);
+    }
+    out.wallSeconds = double(monotonicNanos() - start) * 1e-9;
+    return out;
+}
+
+double
+percentileOf(std::vector<double> samples, double p)
+{
+    if (samples.empty())
+        return 0;
+    std::sort(samples.begin(), samples.end());
+    size_t idx = size_t(p / 100.0 * double(samples.size() - 1) + 0.5);
+    return samples[std::min(idx, samples.size() - 1)];
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    CliOptions opts;
+    if (!parseArgs(argc, argv, opts))
+        return 1;
+    const kernels::Kernel* kernel = kernels::findKernel(opts.kernel);
+    if (kernel == nullptr) {
+        std::fprintf(stderr,
+                     "unknown kernel '%s' (--list-kernels to list)\n",
+                     opts.kernel.c_str());
+        return 1;
+    }
+    int scale = opts.scale > 0 ? opts.scale : harness::benchScale();
+    if (harness::quickMode() && opts.seconds > 1.0)
+        opts.seconds = 1.0;
+
+    harness::printBanner("lnb_svc: multi-tenant serving load",
+                         "serving extension of the paper's per-task "
+                         "isolation scenario (DESIGN.md §9)");
+    std::vector<uint8_t> bytes =
+        wasm::encodeModule(kernel->buildModule(scale));
+    std::printf("kernel=%s engine=%s scale=%d rate=%.0f/s "
+                "seconds=%.1f tenants=%d\n\n",
+                kernel->name.c_str(), rt::engineKindName(opts.engine),
+                scale, opts.rate, opts.seconds, opts.tenants);
+
+    harness::Table table({"strategy", "submitted", "rejected", "completed",
+                          "trapped", "req/s", "p50 ms", "p99 ms", "warm%",
+                          "cold us", "warm us"});
+    int failures = 0;
+    for (mem::BoundsStrategy strategy : opts.strategies) {
+        rt::EngineConfig engine_config;
+        engine_config.kind = opts.engine;
+        engine_config.strategy = strategy;
+
+        svc::ExecutionService service(opts.svcConfig);
+        bool was_hit = false;
+        auto loaded = service.loadModule(bytes, engine_config, &was_hit);
+        if (!loaded.isOk()) {
+            std::fprintf(stderr, "[%s] compile failed: %s\n",
+                         mem::boundsStrategyName(strategy),
+                         loaded.status().toString().c_str());
+            failures++;
+            continue;
+        }
+        auto module = loaded.takeValue();
+
+        obs::MetricsSnapshot before = obs::snapshotMetrics();
+        LoadResult load = runLoad(service, module, opts);
+        obs::MetricsSnapshot after = obs::snapshotMetrics();
+
+        auto histMeanDelta = [&](const char* name) {
+            const obs::HistogramSnapshot* b = before.histogram(name);
+            const obs::HistogramSnapshot* a = after.histogram(name);
+            uint64_t count =
+                (a ? a->totalCount : 0) - (b ? b->totalCount : 0);
+            uint64_t sum = (a ? a->sum : 0) - (b ? b->sum : 0);
+            return count == 0 ? 0.0 : double(sum) / double(count);
+        };
+        double cold_us = histMeanDelta("svc.acquire_cold_ns") * 1e-3;
+        double warm_us = histMeanDelta("svc.acquire_warm_ns") * 1e-3;
+        double warm_pct = load.completed == 0
+                              ? 0
+                              : 100.0 * double(load.warm) /
+                                    double(load.completed);
+
+        table.addRow(
+            {mem::boundsStrategyName(strategy),
+             harness::cell("%llu", (unsigned long long)load.submitted),
+             harness::cell("%llu", (unsigned long long)load.rejected),
+             harness::cell("%llu", (unsigned long long)load.completed),
+             harness::cell("%llu", (unsigned long long)load.trapped),
+             harness::cell("%.0f",
+                           double(load.completed) / load.wallSeconds),
+             harness::cell("%.3f",
+                           percentileOf(load.latencySeconds, 50) * 1e3),
+             harness::cell("%.3f",
+                           percentileOf(load.latencySeconds, 99) * 1e3),
+             harness::cell("%.1f", warm_pct),
+             harness::cell("%.1f", cold_us),
+             harness::cell("%.1f", warm_us)});
+
+        // Standard JSON run report; svc.* metrics ride in the snapshot.
+        harness::BenchSpec spec;
+        spec.kernel = kernel;
+        spec.engineConfig = engine_config;
+        spec.scale = scale;
+        spec.numThreads = service.config().workers;
+        harness::BenchResult result;
+        result.ok = load.trapped == 0;
+        result.wallSeconds = load.wallSeconds;
+        result.medianIterationSeconds =
+            percentileOf(load.latencySeconds, 50);
+        result.threads.emplace_back();
+        result.threads.back().iterationSeconds =
+            std::move(load.latencySeconds);
+        harness::maybeWriteJsonReport(spec, result, nullptr);
+        if (!result.jsonReportPath.empty())
+            std::printf("[%s] json report: %s\n",
+                        mem::boundsStrategyName(strategy),
+                        result.jsonReportPath.c_str());
+        if (load.trapped > 0)
+            failures++;
+    }
+    std::printf("\n");
+    std::fputs(table.toString().c_str(), stdout);
+    table.maybeWriteCsv("svc_load");
+    return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,162 @@
+#include "svc/module_cache.h"
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace lnb::svc {
+
+namespace {
+
+struct CacheMetrics
+{
+    obs::Counter hits = obs::registerCounter("svc.cache_hits");
+    obs::Counter misses = obs::registerCounter("svc.cache_misses");
+    obs::Counter evictions = obs::registerCounter("svc.cache_evictions");
+    obs::Counter inflightWaits = obs::registerCounter(
+        "svc.cache_inflight_waits");
+    obs::Histogram lookupLatency = obs::registerHistogram(
+        "svc.cache_lookup_ns");
+};
+
+CacheMetrics&
+cacheMetrics()
+{
+    static CacheMetrics m;
+    return m;
+}
+
+} // namespace
+
+uint64_t
+fnv1a64(const void* data, size_t len, uint64_t seed)
+{
+    const auto* bytes = static_cast<const uint8_t*>(data);
+    uint64_t hash = seed;
+    for (size_t i = 0; i < len; i++) {
+        hash ^= bytes[i];
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+uint64_t
+engineConfigFingerprint(const rt::EngineConfig& config)
+{
+    // Pack the discrete fields, then fold the wide ones through the same
+    // FNV stream so every field distinguishes the key.
+    uint64_t packed = uint64_t(config.kind) | (uint64_t(config.strategy) << 8) |
+                      (uint64_t(config.forceUffdEmulation) << 16) |
+                      (uint64_t(config.stackChecks) << 17) |
+                      (uint64_t(config.optimizeLoweredIR) << 18);
+    uint64_t hash = fnv1a64(&packed, sizeof packed);
+    hash = fnv1a64(&config.valueStackCells, sizeof config.valueStackCells,
+                   hash);
+    hash = fnv1a64(&config.maxCallDepth, sizeof config.maxCallDepth, hash);
+    return hash;
+}
+
+ModuleCache::ModuleCache(size_t capacity)
+    : capacity_(capacity < 1 ? 1 : capacity)
+{}
+
+void
+ModuleCache::touchLocked(Entry& entry, const ModuleKey& key)
+{
+    lru_.erase(entry.lruIt);
+    lru_.push_front(key);
+    entry.lruIt = lru_.begin();
+}
+
+void
+ModuleCache::evictLocked()
+{
+    while (lru_.size() > capacity_) {
+        entries_.erase(lru_.back());
+        lru_.pop_back();
+        stats_.evictions++;
+        cacheMetrics().evictions.add();
+    }
+}
+
+Result<std::shared_ptr<const rt::CompiledModule>>
+ModuleCache::getOrCompile(const std::vector<uint8_t>& bytes,
+                          const rt::EngineConfig& config, bool* was_hit)
+{
+    obs::ScopedLatency latency(cacheMetrics().lookupLatency);
+    ModuleKey key{fnv1a64(bytes.data(), bytes.size()),
+                  engineConfigFingerprint(config)};
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        auto it = entries_.find(key);
+        if (it == entries_.end())
+            break;
+        if (it->second.module != nullptr) {
+            stats_.hits++;
+            cacheMetrics().hits.add();
+            touchLocked(it->second, key);
+            if (was_hit != nullptr)
+                *was_hit = true;
+            return it->second.module;
+        }
+        // Another thread is compiling this key; wait for it to publish
+        // or give up, then re-examine.
+        stats_.inflightWaits++;
+        cacheMetrics().inflightWaits.add();
+        inflightCv_.wait(lock);
+    }
+
+    // Miss: claim the key with an in-flight marker and compile outside
+    // the lock so unrelated lookups proceed.
+    stats_.misses++;
+    cacheMetrics().misses.add();
+    if (was_hit != nullptr)
+        *was_hit = false;
+    entries_.emplace(key, Entry{});
+    lock.unlock();
+
+    rt::Engine engine(config);
+    auto compiled = [&] {
+        LNB_TRACE_SCOPE("svc.cache_compile");
+        return engine.compileBytes(bytes);
+    }();
+
+    lock.lock();
+    if (!compiled.isOk()) {
+        // Leave no tombstone: the next request retries the compile.
+        entries_.erase(key);
+        inflightCv_.notify_all();
+        return compiled.status();
+    }
+    Entry& entry = entries_[key];
+    entry.module = compiled.takeValue();
+    lru_.push_front(key);
+    entry.lruIt = lru_.begin();
+    stats_.entries = entries_.size();
+    evictLocked();
+    stats_.entries = entries_.size();
+    inflightCv_.notify_all();
+    return entry.module;
+}
+
+std::shared_ptr<const rt::CompiledModule>
+ModuleCache::peek(const std::vector<uint8_t>& bytes,
+                  const rt::EngineConfig& config) const
+{
+    ModuleKey key{fnv1a64(bytes.data(), bytes.size()),
+                  engineConfigFingerprint(config)};
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    return it != entries_.end() ? it->second.module : nullptr;
+}
+
+ModuleCacheStats
+ModuleCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ModuleCacheStats out = stats_;
+    out.entries = entries_.size();
+    return out;
+}
+
+} // namespace lnb::svc

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Content-addressed compiled-module cache — the first tier of the
+ * multi-tenant execution service (DESIGN.md §9).
+ *
+ * Key = (FNV-1a hash of the module bytes) × (exact EngineConfig
+ * fingerprint). A CompiledModule is immutable and thread-shareable, so one
+ * artifact (lowered IR, opt results, JIT code) serves every instance of
+ * every tenant that submits the same bytes under the same config; a repeat
+ * compile is one hash + one map lookup instead of the full
+ * decode/validate/lower/opt/codegen pipeline.
+ *
+ * Concurrency: lookups and LRU maintenance hold one mutex; compilation of
+ * a miss runs outside it under an in-flight marker, so concurrent requests
+ * for the same key compile once (later arrivals wait on a condvar) while
+ * requests for other keys proceed unblocked.
+ */
+#ifndef LNB_SVC_MODULE_CACHE_H
+#define LNB_SVC_MODULE_CACHE_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/engine.h"
+
+namespace lnb::svc {
+
+/** FNV-1a 64-bit hash (content addressing for module bytes). */
+uint64_t fnv1a64(const void* data, size_t len,
+                 uint64_t seed = 0xcbf29ce484222325ull);
+
+/** Exact fingerprint of every config field that affects compilation or
+ * execution. Distinct configs never share a cache entry. */
+uint64_t engineConfigFingerprint(const rt::EngineConfig& config);
+
+/** Cache key: content hash × config fingerprint. */
+struct ModuleKey
+{
+    uint64_t bytesHash = 0;
+    uint64_t configHash = 0;
+
+    bool operator==(const ModuleKey& other) const
+    {
+        return bytesHash == other.bytesHash &&
+               configHash == other.configHash;
+    }
+};
+
+struct ModuleKeyHasher
+{
+    size_t operator()(const ModuleKey& key) const
+    {
+        // The inputs are already well-mixed hashes; fold them.
+        return size_t(key.bytesHash ^ (key.configHash * 0x9e3779b97f4a7c15ull));
+    }
+};
+
+/** Point-in-time cache statistics. */
+struct ModuleCacheStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    /** Requests that waited for another thread's in-flight compile. */
+    uint64_t inflightWaits = 0;
+    size_t entries = 0;
+};
+
+class ModuleCache
+{
+  public:
+    /** @p capacity is the maximum number of resident compiled modules;
+     * least-recently-used entries are evicted beyond it. */
+    explicit ModuleCache(size_t capacity = 64);
+
+    ModuleCache(const ModuleCache&) = delete;
+    ModuleCache& operator=(const ModuleCache&) = delete;
+
+    /**
+     * Return the cached CompiledModule for (bytes, config), compiling on
+     * miss. @p was_hit (optional) reports whether the artifact came from
+     * the cache. Compile failures are returned to every waiter and leave
+     * no cache entry behind.
+     */
+    Result<std::shared_ptr<const rt::CompiledModule>>
+    getOrCompile(const std::vector<uint8_t>& bytes,
+                 const rt::EngineConfig& config, bool* was_hit = nullptr);
+
+    /** Lookup without compiling; null on miss (does not wait on
+     * in-flight compiles and does not touch LRU order). */
+    std::shared_ptr<const rt::CompiledModule>
+    peek(const std::vector<uint8_t>& bytes,
+         const rt::EngineConfig& config) const;
+
+    ModuleCacheStats stats() const;
+    size_t capacity() const { return capacity_; }
+
+  private:
+    struct Entry
+    {
+        /** Null while a compile for this key is in flight. */
+        std::shared_ptr<const rt::CompiledModule> module;
+        /** Position in lru_ (valid only once module is non-null). */
+        std::list<ModuleKey>::iterator lruIt;
+    };
+
+    void touchLocked(Entry& entry, const ModuleKey& key);
+    void evictLocked();
+
+    const size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable inflightCv_;
+    std::unordered_map<ModuleKey, Entry, ModuleKeyHasher> entries_;
+    /** Most-recently-used at the front; only completed entries listed. */
+    std::list<ModuleKey> lru_;
+    ModuleCacheStats stats_;
+};
+
+} // namespace lnb::svc
+
+#endif // LNB_SVC_MODULE_CACHE_H

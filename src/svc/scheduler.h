@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Bounded MPMC submission queue for the execution service.
+ *
+ * Admission control is the producer side: tryPush() never blocks — when
+ * the queue is at depth it returns false and the service rejects the
+ * request with a status instead of building an unbounded backlog (the
+ * reject-don't-queue backpressure policy, DESIGN.md §9). The consumer
+ * side (pinned worker threads) blocks on pop() until work or shutdown.
+ */
+#ifndef LNB_SVC_SCHEDULER_H
+#define LNB_SVC_SCHEDULER_H
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace lnb::svc {
+
+template <typename T>
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(size_t depth) : depth_(depth < 1 ? 1 : depth) {}
+
+    BoundedQueue(const BoundedQueue&) = delete;
+    BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+    /**
+     * Enqueue without blocking. Returns false (leaving @p item intact)
+     * when the queue is full or closed.
+     */
+    bool
+    tryPush(T&& item)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (closed_ || items_.size() >= depth_)
+                return false;
+            items_.push_back(std::move(item));
+        }
+        consumerCv_.notify_one();
+        return true;
+    }
+
+    /**
+     * Dequeue; blocks until an item arrives. Returns nullopt once the
+     * queue is closed AND drained (pending items are always delivered).
+     */
+    std::optional<T>
+    pop()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        consumerCv_.wait(lock,
+                         [this] { return closed_ || !items_.empty(); });
+        if (items_.empty())
+            return std::nullopt;
+        T item = std::move(items_.front());
+        items_.pop_front();
+        return item;
+    }
+
+    /** Stop admitting work and wake idle consumers. */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        consumerCv_.notify_all();
+    }
+
+    size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return items_.size();
+    }
+
+    size_t depth() const { return depth_; }
+
+  private:
+    const size_t depth_;
+    mutable std::mutex mutex_;
+    std::condition_variable consumerCv_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+} // namespace lnb::svc
+
+#endif // LNB_SVC_SCHEDULER_H

@@ -1,0 +1,191 @@
+#include "svc/service.h"
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "support/clock.h"
+#include "support/env.h"
+#include "support/sysinfo.h"
+
+namespace lnb::svc {
+
+namespace {
+
+struct SvcMetrics
+{
+    obs::Counter submitted = obs::registerCounter(
+        "svc.requests_submitted");
+    obs::Counter rejected = obs::registerCounter("svc.requests_rejected");
+    obs::Counter completed = obs::registerCounter(
+        "svc.requests_completed");
+    obs::Counter trapped = obs::registerCounter("svc.requests_trapped");
+    obs::Histogram queueWait = obs::registerHistogram(
+        "svc.queue_wait_ns");
+    obs::Histogram requestLatency = obs::registerHistogram(
+        "svc.request_ns");
+};
+
+SvcMetrics&
+svcMetrics()
+{
+    static SvcMetrics m;
+    return m;
+}
+
+const std::string&
+tenantKey(const Request& request)
+{
+    static const std::string kDefault = "default";
+    return request.tenant.empty() ? kDefault : request.tenant;
+}
+
+} // namespace
+
+SvcConfig
+svcConfigFromEnv()
+{
+    SvcConfig config;
+    config.workers =
+        int(envInt("LNB_SVC_WORKERS", 0, 0, 4096));
+    config.queueDepth =
+        size_t(envInt("LNB_SVC_QUEUE_DEPTH", 256, 1, 1 << 20));
+    config.poolMaxIdle =
+        size_t(envInt("LNB_SVC_POOL_MAX_IDLE", 8, 0, 1 << 16));
+    config.cacheCapacity =
+        size_t(envInt("LNB_SVC_CACHE_CAP", 64, 1, 1 << 16));
+    return config;
+}
+
+ExecutionService::ExecutionService(const SvcConfig& config)
+    : config_(config), cache_(config.cacheCapacity),
+      queue_(config.queueDepth)
+{
+    int workers = config_.workers > 0 ? config_.workers : onlineCpuCount();
+    if (workers < 1)
+        workers = 1;
+    config_.workers = workers;
+    workers_.reserve(size_t(workers));
+    for (int i = 0; i < workers; i++)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ExecutionService::~ExecutionService()
+{
+    queue_.close();
+    for (std::thread& worker : workers_)
+        worker.join();
+}
+
+Result<std::shared_ptr<const rt::CompiledModule>>
+ExecutionService::loadModule(const std::vector<uint8_t>& bytes,
+                             const rt::EngineConfig& config, bool* was_hit)
+{
+    return cache_.getOrCompile(bytes, config, was_hit);
+}
+
+Result<std::future<Response>>
+ExecutionService::submit(Request request)
+{
+    if (request.module == nullptr)
+        return errInvalid("svc request without module");
+    const std::string tenant = tenantKey(request);
+
+    Job job;
+    job.request = std::move(request);
+    job.enqueueNanos = monotonicNanos();
+    std::future<Response> future = job.promise.get_future();
+
+    if (!queue_.tryPush(std::move(job))) {
+        svcMetrics().rejected.add();
+        std::lock_guard<std::mutex> lock(tenantsMutex_);
+        tenants_[tenant].rejected++;
+        return errResource("svc queue full (depth " +
+                           std::to_string(queue_.depth()) +
+                           "); request rejected");
+    }
+    svcMetrics().submitted.add();
+    {
+        std::lock_guard<std::mutex> lock(tenantsMutex_);
+        tenants_[tenant].submitted++;
+    }
+    return future;
+}
+
+Result<Response>
+ExecutionService::call(Request request)
+{
+    LNB_ASSIGN_OR_RETURN(auto future, submit(std::move(request)));
+    return future.get();
+}
+
+InstancePool&
+ExecutionService::poolFor(
+    const std::shared_ptr<const rt::CompiledModule>& module)
+{
+    std::lock_guard<std::mutex> lock(poolsMutex_);
+    auto it = pools_.find(module.get());
+    if (it == pools_.end()) {
+        it = pools_
+                 .emplace(module.get(),
+                          std::make_unique<InstancePool>(
+                              module, rt::ImportMap{},
+                              config_.poolMaxIdle))
+                 .first;
+    }
+    return *it->second;
+}
+
+void
+ExecutionService::workerLoop(int worker_idx)
+{
+    if (config_.pinWorkers)
+        pinThreadToCpu(worker_idx);
+    for (;;) {
+        std::optional<Job> job = queue_.pop();
+        if (!job.has_value())
+            return; // closed and drained
+        LNB_TRACE_SCOPE("svc.request");
+        uint64_t picked_up = monotonicNanos();
+
+        Response response;
+        response.queueNanos = picked_up - job->enqueueNanos;
+        svcMetrics().queueWait.record(response.queueNanos);
+
+        InstancePool& pool = poolFor(job->request.module);
+        Result<PooledInstance> lease = pool.acquire();
+        if (!lease.isOk()) {
+            // Instantiation failure surfaces as a host trap so every
+            // response carries a CallOutcome.
+            response.outcome.trap = wasm::TrapKind::host_error;
+        } else {
+            PooledInstance instance = lease.takeValue();
+            response.warmInstance = instance.warm();
+            response.outcome = instance->callExport(
+                job->request.exportName, job->request.args);
+            // Lease destructor releases (recycle + park) here.
+        }
+
+        response.execNanos = monotonicNanos() - picked_up;
+        svcMetrics().requestLatency.record(monotonicNanos() -
+                                           job->enqueueNanos);
+        svcMetrics().completed.add();
+        if (!response.outcome.ok())
+            svcMetrics().trapped.add();
+        {
+            std::lock_guard<std::mutex> lock(tenantsMutex_);
+            TenantStats& tenant = tenants_[tenantKey(job->request)];
+            tenant.completed++;
+            if (!response.outcome.ok())
+                tenant.trapped++;
+        }
+        job->promise.set_value(std::move(response));
+    }
+}
+
+std::vector<std::pair<std::string, TenantStats>>
+ExecutionService::tenantStats() const
+{
+    std::lock_guard<std::mutex> lock(tenantsMutex_);
+    return {tenants_.begin(), tenants_.end()};
+}
+
+} // namespace lnb::svc

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * ExecutionService — the multi-tenant serving facade tying the svc tiers
+ * together: compiled-module cache (module_cache.h), per-module instance
+ * pools (instance_pool.h) and a bounded submission queue (scheduler.h)
+ * drained by pinned worker threads.
+ *
+ * Request lifecycle:
+ *   submit() — admission control: full queue => immediate
+ *              resource_exhausted status, never blocking;
+ *   worker   — pops, leases an instance from the module's pool (warm
+ *              when one is parked), invokes the export, fulfils the
+ *              future, returns the lease (release recycles the instance).
+ *
+ * Tuning knobs (all strict-parsed; see support/env.h):
+ *   LNB_SVC_WORKERS     worker thread count     (default: online CPUs)
+ *   LNB_SVC_QUEUE_DEPTH submission queue bound  (default: 256)
+ *   LNB_SVC_POOL_MAX_IDLE parked instances per module (default: 8)
+ *   LNB_SVC_CACHE_CAP   compiled-module cache capacity (default: 64)
+ */
+#ifndef LNB_SVC_SERVICE_H
+#define LNB_SVC_SERVICE_H
+
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/instance_pool.h"
+#include "svc/module_cache.h"
+#include "svc/scheduler.h"
+
+namespace lnb::svc {
+
+/** Service-wide configuration. */
+struct SvcConfig
+{
+    /** Worker thread count; <= 0 means one per online CPU. */
+    int workers = 0;
+    size_t queueDepth = 256;
+    size_t poolMaxIdle = 8;
+    size_t cacheCapacity = 64;
+    /** Pin workers to cores (§3.5 harness protocol). */
+    bool pinWorkers = true;
+};
+
+/** SvcConfig with the LNB_SVC_* environment overrides applied. */
+SvcConfig svcConfigFromEnv();
+
+/** One execution request. */
+struct Request
+{
+    /** Tenant label for per-tenant accounting (empty = "default"). */
+    std::string tenant;
+    std::shared_ptr<const rt::CompiledModule> module;
+    std::string exportName = "run";
+    std::vector<wasm::Value> args;
+};
+
+/** Completed request. */
+struct Response
+{
+    rt::CallOutcome outcome;
+    /** Served by a recycled (pooled) instance, i.e. no mmap paid. */
+    bool warmInstance = false;
+    uint64_t queueNanos = 0; ///< submit -> worker pickup
+    uint64_t execNanos = 0;  ///< instance lease + call + release
+};
+
+/** Per-tenant accounting. */
+struct TenantStats
+{
+    uint64_t submitted = 0;
+    uint64_t rejected = 0;
+    uint64_t completed = 0;
+    uint64_t trapped = 0;
+};
+
+class ExecutionService
+{
+  public:
+    explicit ExecutionService(const SvcConfig& config = svcConfigFromEnv());
+    /** Drains already-admitted requests, then joins the workers. */
+    ~ExecutionService();
+
+    ExecutionService(const ExecutionService&) = delete;
+    ExecutionService& operator=(const ExecutionService&) = delete;
+
+    /** Compile-or-lookup through the content-addressed cache. */
+    Result<std::shared_ptr<const rt::CompiledModule>>
+    loadModule(const std::vector<uint8_t>& bytes,
+               const rt::EngineConfig& config, bool* was_hit = nullptr);
+
+    /**
+     * Admission-controlled asynchronous execution. Returns
+     * resource_exhausted immediately (no blocking, no queueing) when the
+     * submission queue is at depth — the caller sheds the load.
+     */
+    Result<std::future<Response>> submit(Request request);
+
+    /** submit() + wait. */
+    Result<Response> call(Request request);
+
+    /** Instances parked across all pools plus current queue depth
+     * (diagnostics). */
+    size_t queueSize() const { return queue_.size(); }
+
+    ModuleCacheStats cacheStats() const { return cache_.stats(); }
+
+    /** Per-tenant counters, sorted by tenant name. */
+    std::vector<std::pair<std::string, TenantStats>> tenantStats() const;
+
+    const SvcConfig& config() const { return config_; }
+
+  private:
+    struct Job
+    {
+        Request request;
+        std::promise<Response> promise;
+        uint64_t enqueueNanos = 0;
+    };
+
+    InstancePool& poolFor(
+        const std::shared_ptr<const rt::CompiledModule>& module);
+    void workerLoop(int worker_idx);
+
+    SvcConfig config_;
+    ModuleCache cache_;
+    BoundedQueue<Job> queue_;
+    mutable std::mutex poolsMutex_;
+    std::map<const rt::CompiledModule*, std::unique_ptr<InstancePool>>
+        pools_;
+    mutable std::mutex tenantsMutex_;
+    std::map<std::string, TenantStats> tenants_;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace lnb::svc
+
+#endif // LNB_SVC_SERVICE_H

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Error-path coverage for the WASI-lite host layer (src/runtime/wasi.cc):
+ * bad file descriptors and out-of-bounds guest pointers must come back as
+ * WASI errnos — never host-side memory accesses — under every bounds
+ * strategy (the host-call path bypasses the executor's checks, so wasi.cc
+ * carries its own explicit ones).
+ */
+#include <gtest/gtest.h>
+
+#include "runtime/engine.h"
+#include "runtime/instance.h"
+#include "runtime/wasi.h"
+#include "wasm/builder.h"
+
+namespace lnb {
+namespace {
+
+using mem::BoundsStrategy;
+using rt::CallOutcome;
+using rt::EngineConfig;
+using rt::Instance;
+using rt::Wasi;
+using wasm::Op;
+using wasm::ValType;
+using wasm::Value;
+
+// WASI errno values under test (wasi_snapshot_preview1).
+constexpr uint32_t kErrnoSuccess = 0;
+constexpr uint32_t kErrnoBadf = 8;
+constexpr uint32_t kErrnoInval = 28;
+
+/**
+ * One-page module forwarding fd_write/random_get/clock_time_get verbatim:
+ *   write(fd, iovs, iovs_len, nwritten_ptr) -> errno
+ *   rand(buf, len) -> errno
+ *   clock(time_ptr) -> errno
+ *   poke32(addr, value)        (builds iovec arrays from the test)
+ *   peek32(addr) -> value
+ */
+wasm::Module
+wasiProbeModule()
+{
+    wasm::ModuleBuilder mb;
+    const std::string ns = "wasi_snapshot_preview1";
+    uint32_t fd_write = mb.addImport(
+        ns, "fd_write",
+        mb.addType({ValType::i32, ValType::i32, ValType::i32, ValType::i32},
+                   {ValType::i32}));
+    uint32_t random_get = mb.addImport(
+        ns, "random_get",
+        mb.addType({ValType::i32, ValType::i32}, {ValType::i32}));
+    uint32_t clock_time_get = mb.addImport(
+        ns, "clock_time_get",
+        mb.addType({ValType::i32, ValType::i64, ValType::i32},
+                   {ValType::i32}));
+    mb.addMemory(1, 1);
+    mb.addData(16, {'h', 'i'});
+
+    auto& w = mb.addFunction(mb.addType(
+        {ValType::i32, ValType::i32, ValType::i32, ValType::i32},
+        {ValType::i32}));
+    for (uint32_t i = 0; i < 4; i++)
+        w.localGet(i);
+    w.call(fd_write);
+    mb.exportFunc("write", w.finish());
+
+    auto& r = mb.addFunction(
+        mb.addType({ValType::i32, ValType::i32}, {ValType::i32}));
+    r.localGet(0);
+    r.localGet(1);
+    r.call(random_get);
+    mb.exportFunc("rand", r.finish());
+
+    auto& c = mb.addFunction(mb.addType({ValType::i32}, {ValType::i32}));
+    c.i32Const(0); // clock id
+    c.i64Const(0); // precision
+    c.localGet(0);
+    c.call(clock_time_get);
+    mb.exportFunc("clock", c.finish());
+
+    auto& poke = mb.addFunction(
+        mb.addType({ValType::i32, ValType::i32}, {}));
+    poke.localGet(0);
+    poke.localGet(1);
+    poke.memOp(Op::i32_store);
+    mb.exportFunc("poke32", poke.finish());
+
+    auto& peek = mb.addFunction(mb.addType({ValType::i32}, {ValType::i32}));
+    peek.localGet(0);
+    peek.memOp(Op::i32_load);
+    mb.exportFunc("peek32", peek.finish());
+
+    return mb.build();
+}
+
+class WasiErrorPathTest : public testing::TestWithParam<BoundsStrategy>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        Wasi::Options options;
+        options.captureOutput = true;
+        wasi_.emplace(options);
+        EngineConfig config;
+        config.strategy = GetParam();
+        auto compiled = rt::Engine(config).compile(wasiProbeModule());
+        ASSERT_TRUE(compiled.isOk()) << compiled.status().toString();
+        auto inst =
+            Instance::create(compiled.takeValue(), wasi_->imports());
+        ASSERT_TRUE(inst.isOk()) << inst.status().toString();
+        instance_ = inst.takeValue();
+    }
+
+    uint32_t
+    callErrno(const char* name, std::vector<Value> args)
+    {
+        CallOutcome out = instance_->callExport(name, args);
+        EXPECT_TRUE(out.ok()) << name << ": " << trapKindName(out.trap);
+        return out.ok() ? out.results[0].i32 : ~0u;
+    }
+
+    void
+    poke32(uint32_t addr, uint32_t value)
+    {
+        CallOutcome out = instance_->callExport(
+            "poke32", {Value::fromI32(addr), Value::fromI32(value)});
+        ASSERT_TRUE(out.ok());
+    }
+
+    /** iovec array entry at @p addr: {buf_ptr, buf_len}. */
+    void
+    pokeIovec(uint32_t addr, uint32_t buf, uint32_t len)
+    {
+        poke32(addr, buf);
+        poke32(addr + 4, len);
+    }
+
+    uint32_t
+    fdWrite(uint32_t fd, uint32_t iovs, uint32_t iovs_len,
+            uint32_t nwritten_ptr)
+    {
+        return callErrno("write",
+                         {Value::fromI32(fd), Value::fromI32(iovs),
+                          Value::fromI32(iovs_len),
+                          Value::fromI32(nwritten_ptr)});
+    }
+
+    std::optional<Wasi> wasi_;
+    std::unique_ptr<Instance> instance_;
+};
+
+TEST_P(WasiErrorPathTest, FdWriteHappyPath)
+{
+    pokeIovec(32, 16, 2); // data segment "hi"
+    EXPECT_EQ(fdWrite(1, 32, 1, 48), kErrnoSuccess);
+    EXPECT_EQ(wasi_->capturedOutput(), "hi");
+    CallOutcome out =
+        instance_->callExport("peek32", {Value::fromI32(48)});
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out.results[0].i32, 2u); // nwritten
+}
+
+TEST_P(WasiErrorPathTest, FdWriteRejectsBadFd)
+{
+    pokeIovec(32, 16, 2);
+    EXPECT_EQ(fdWrite(0, 32, 1, 48), kErrnoBadf);
+    EXPECT_EQ(fdWrite(3, 32, 1, 48), kErrnoBadf);
+    EXPECT_EQ(fdWrite(0xFFFFFFFFu, 32, 1, 48), kErrnoBadf);
+    EXPECT_TRUE(wasi_->capturedOutput().empty());
+}
+
+TEST_P(WasiErrorPathTest, FdWriteRejectsIovecArrayOutOfBounds)
+{
+    // The 8-byte iovec entry straddles the end of the single page.
+    EXPECT_EQ(fdWrite(1, 65532, 1, 48), kErrnoInval);
+    // The array begins past the end entirely.
+    EXPECT_EQ(fdWrite(1, 65536, 1, 48), kErrnoInval);
+    EXPECT_TRUE(wasi_->capturedOutput().empty());
+    // Entry 1 of 2 straddles the end: entry 0 is written, then EINVAL.
+    pokeIovec(65524, 16, 2);
+    EXPECT_EQ(fdWrite(1, 65524, 2, 48), kErrnoInval);
+    EXPECT_EQ(wasi_->capturedOutput(), "hi");
+}
+
+TEST_P(WasiErrorPathTest, FdWriteRejectsIovecBufferOutOfBounds)
+{
+    // buf + len overflows the memory size.
+    pokeIovec(32, 65000, 2000);
+    EXPECT_EQ(fdWrite(1, 32, 1, 48), kErrnoInval);
+    // buf itself is past the end.
+    pokeIovec(32, 70000, 1);
+    EXPECT_EQ(fdWrite(1, 32, 1, 48), kErrnoInval);
+    // buf + len wraps 32 bits.
+    pokeIovec(32, 0xFFFFFFF0u, 32);
+    EXPECT_EQ(fdWrite(1, 32, 1, 48), kErrnoInval);
+    EXPECT_TRUE(wasi_->capturedOutput().empty());
+}
+
+TEST_P(WasiErrorPathTest, FdWriteRejectsNwrittenPointerOutOfBounds)
+{
+    pokeIovec(32, 16, 2);
+    EXPECT_EQ(fdWrite(1, 32, 1, 65533), kErrnoInval);
+    EXPECT_EQ(fdWrite(1, 32, 1, 65536), kErrnoInval);
+}
+
+TEST_P(WasiErrorPathTest, RandomGetRejectsOutOfBoundsBuffer)
+{
+    EXPECT_EQ(callErrno("rand", {Value::fromI32(65530), Value::fromI32(16)}),
+              kErrnoInval);
+    EXPECT_EQ(callErrno("rand", {Value::fromI32(70000), Value::fromI32(1)}),
+              kErrnoInval);
+    // In-bounds succeeds and fills the buffer.
+    EXPECT_EQ(callErrno("rand", {Value::fromI32(256), Value::fromI32(8)}),
+              kErrnoSuccess);
+}
+
+TEST_P(WasiErrorPathTest, ClockTimeGetRejectsOutOfBoundsPointer)
+{
+    EXPECT_EQ(callErrno("clock", {Value::fromI32(65532)}), kErrnoInval);
+    EXPECT_EQ(callErrno("clock", {Value::fromI32(0xFFFFFFF8u)}),
+              kErrnoInval);
+    EXPECT_EQ(callErrno("clock", {Value::fromI32(128)}), kErrnoSuccess);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, WasiErrorPathTest,
+    testing::Values(BoundsStrategy::none, BoundsStrategy::clamp,
+                    BoundsStrategy::trap, BoundsStrategy::mprotect,
+                    BoundsStrategy::uffd),
+    [](const testing::TestParamInfo<BoundsStrategy>& info) {
+        return mem::boundsStrategyName(info.param);
+    });
+
+} // namespace
+} // namespace lnb
