@@ -9,6 +9,9 @@
 
 #include "jit/compiler.h"
 #include "kernels/kernel.h"
+#include "runtime/engine.h"
+#include "runtime/instance.h"
+#include "wasm/builder.h"
 #include "wasm/decoder.h"
 #include "wasm/encoder.h"
 #include "wasm/lower.h"
@@ -111,6 +114,86 @@ BM_JitCompile(benchmark::State& state)
     state.counters["code_bytes"] = double(code_bytes);
 }
 BENCHMARK(BM_JitCompile)->Arg(0)->Arg(1);
+
+/**
+ * Cost of the per-function code table (the tiered-execution calling
+ * convention) on a call-saturated workload: run(n) makes 2n calls — one
+ * direct, one indirect through the funcref table — to a trivial callee,
+ * so nearly all time is call dispatch. Arg(0) is the pre-table
+ * monolithic JIT (direct rel32 calls, TableEntry::code); Arg(1) calls
+ * through FuncCode slots with the function index in edx. The delta is
+ * what every fixed-tier JIT configuration pays for making mid-run
+ * tier-up possible.
+ */
+void
+BM_TierDispatch(benchmark::State& state)
+{
+    wasm::ModuleBuilder mb;
+    mb.addTable(1);
+    uint32_t unary = mb.addType({wasm::ValType::i32}, {wasm::ValType::i32});
+    auto& add1 = mb.addFunction(unary);
+    add1.localGet(0);
+    add1.i32Const(1);
+    add1.emit(wasm::Op::i32_add);
+    uint32_t add1_idx = add1.finish();
+    mb.addElem(0, {add1_idx});
+
+    auto& run = mb.addFunction(
+        mb.addType({wasm::ValType::i32}, {wasm::ValType::i32}));
+    uint32_t i = run.addLocal(wasm::ValType::i32);
+    uint32_t s = run.addLocal(wasm::ValType::i32);
+    auto exit = run.block();
+    run.localGet(0);
+    run.emit(wasm::Op::i32_eqz);
+    run.brIf(exit);
+    auto head = run.loop();
+    run.localGet(s);
+    run.call(add1_idx);
+    run.i32Const(0);
+    run.callIndirect(unary);
+    run.localSet(s);
+    run.localGet(i);
+    run.i32Const(1);
+    run.emit(wasm::Op::i32_add);
+    run.localSet(i);
+    run.localGet(i);
+    run.localGet(0);
+    run.emit(wasm::Op::i32_lt_u);
+    run.brIf(head);
+    run.end();
+    run.end();
+    run.localGet(s);
+    mb.exportFunc("run", run.finish());
+
+    rt::EngineConfig config;
+    config.kind = rt::EngineKind::jit_base;
+    config.strategy = mem::BoundsStrategy::none;
+    config.directJitCalls = state.range(0) == 0;
+    auto compiled = rt::Engine(config).compile(mb.build());
+    if (!compiled.isOk()) {
+        state.SkipWithError(compiled.status().toString().c_str());
+        return;
+    }
+    auto instance = rt::Instance::create(compiled.takeValue());
+    if (!instance.isOk()) {
+        state.SkipWithError(instance.status().toString().c_str());
+        return;
+    }
+
+    constexpr int32_t kLoops = 65536;
+    std::vector<wasm::Value> args = {wasm::Value::fromI32(kLoops)};
+    for (auto _ : state) {
+        rt::CallOutcome out = instance.value()->callExport("run", args);
+        if (!out.ok()) {
+            state.SkipWithError("run trapped");
+            return;
+        }
+        benchmark::DoNotOptimize(out.results[0].i32);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) * kLoops * 2);
+    state.SetLabel(config.directJitCalls ? "direct-call" : "code-table");
+}
+BENCHMARK(BM_TierDispatch)->Arg(0)->Arg(1);
 
 } // namespace
 

@@ -202,6 +202,67 @@ main()
                 (unsigned long long)cache.stats().hits,
                 (unsigned long long)cache.stats().misses);
 
+    // --- 3. tiered serving: time-to-peak-performance curve ------------
+    // Reuses the harness driver so the JSON report carries the full
+    // tier.* block and the per-iteration latency curve. A reused
+    // instance accumulates the profile across iterations exactly like a
+    // pooled serving instance between recycles.
+    {
+        Table tier_table({"engine", "strategy", "median us", "steady us",
+                          "t-to-peak ms", "ups"});
+        for (BoundsStrategy strategy :
+             {BoundsStrategy::mprotect, BoundsStrategy::trap}) {
+            for (int mode = 0; mode < 3; mode++) {
+                BenchSpec spec;
+                spec.kernel = kernel;
+                spec.scale = scale;
+                spec.iterations = harness::quickMode() ? 30 : 120;
+                spec.warmupIterations = 0;
+                spec.freshInstancePerIteration = false;
+                spec.engineConfig.strategy = strategy;
+                const char* label;
+                if (mode == 0) {
+                    spec.engineConfig.kind = EngineKind::interp_threaded;
+                    label = "interp-threaded";
+                } else if (mode == 1) {
+                    spec.engineConfig.kind = EngineKind::jit_opt;
+                    label = "jit-opt";
+                } else {
+                    spec.engineConfig.tiered = true;
+                    spec.engineConfig.tierThreshold = 2048;
+                    label = "tiered";
+                }
+                BenchResult result = harness::runBenchmark(spec);
+                if (!result.ok) {
+                    std::fprintf(stderr, "[%s/%s] bench failed: %s\n",
+                                 label,
+                                 mem::boundsStrategyName(strategy),
+                                 result.error.c_str());
+                    failures++;
+                    continue;
+                }
+                harness::TierCurve curve = result.tier;
+                if (!curve.tiered) {
+                    // Fixed tiers get the same settle statistics for
+                    // the comparison columns.
+                    if (!result.threads.empty())
+                        curve.curveSeconds =
+                            result.threads[0].iterationSeconds;
+                    harness::computeTimeToPeak(curve);
+                }
+                tier_table.addRow(
+                    {label, mem::boundsStrategyName(strategy),
+                     cell("%.2f", result.medianIterationSeconds * 1e6),
+                     cell("%.2f", curve.steadySeconds * 1e6),
+                     cell("%.3f", curve.timeToPeakSeconds * 1e3),
+                     cell("%llu", (unsigned long long)curve.ups)});
+            }
+        }
+        std::printf("\n[tiered time-to-peak, reused instance]\n");
+        std::fputs(tier_table.toString().c_str(), stdout);
+        tier_table.maybeWriteCsv("svc_load_tier");
+    }
+
     if (!mprotect_demonstrated) {
         std::fprintf(stderr, "FAIL: warm acquire under mprotect was not"
                              " >= 10x cheaper than cold\n");

@@ -12,7 +12,9 @@ LNB_JSON_DIR and LNB_TRACE_FILE set, then validates that
 --svc mode drives a short open-loop load through the lnb_svc serving
 harness instead and validates the per-strategy lnb.bench_result.v1
 reports: request latencies present, and the svc.* cache/pool/scheduler
-counters bumped by the exercised paths.
+counters bumped by the exercised paths. It then repeats the load with
+--engine=tiered and validates the tier.* metrics and the report's tier
+block (requests/ups, the time-to-peak curve).
 
 Usage: check_report.py <path-to-micro_bounds>
        check_report.py --svc <path-to-lnb_svc>
@@ -180,7 +182,79 @@ def run_svc(lnb_svc):
         if sorted(seen) != sorted(strategies):
             fail(f"reports cover {seen}, expected {strategies}")
     print(f"check_report: svc OK ({len(reports)} strategy reports)")
+    run_svc_tiered(lnb_svc)
     print("check_report: PASS")
+
+
+def run_svc_tiered(lnb_svc):
+    with tempfile.TemporaryDirectory(prefix="lnb_check_tier_") as tmp:
+        env = dict(os.environ)
+        env["LNB_JSON_DIR"] = tmp
+        # Low threshold so the smoke load reliably tiers the kernel up.
+        env["LNB_TIER_THRESHOLD"] = "2048"
+        cmd = [
+            lnb_svc,
+            "--engine=tiered",
+            "--strategies=trap",
+            "--rate=300",
+            "--seconds=2",
+            "--workers=2",
+            "--queue-depth=64",
+        ]
+        proc = subprocess.run(cmd, env=env, capture_output=True, text=True)
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stdout)
+            sys.stderr.write(proc.stderr)
+            fail(f"{' '.join(cmd)} exited with {proc.returncode}")
+
+        reports = [
+            name
+            for name in os.listdir(tmp)
+            if name.endswith(".json") and not name.startswith("metrics_")
+        ]
+        if len(reports) != 1:
+            fail(f"expected one tiered svc report, got {reports}")
+        path = os.path.join(tmp, reports[0])
+        doc = load_json(path)
+        check_svc_report(doc, path, ["trap"])
+
+        config = doc.get("config", {})
+        if config.get("engine") != "tiered":
+            fail(f"{path}: engine label {config.get('engine')!r}, "
+                 f"expected 'tiered'")
+        if config.get("tiered") is not True:
+            fail(f"{path}: config.tiered not set")
+
+        tier = doc.get("tier")
+        if not isinstance(tier, dict):
+            fail(f"{path}: tiered report lacks a tier block")
+        if tier.get("requests", 0) <= 0 or tier.get("ups", 0) <= 0:
+            fail(f"{path}: no tier-up happened under load: {tier!r}")
+        if tier.get("failures", 0) > 0:
+            fail(f"{path}: background compiles failed: {tier!r}")
+        for key in ("timeToPeakSeconds", "steadySeconds"):
+            if key not in tier:
+                fail(f"{path}: tier block lacks {key}")
+        curve = tier.get("curveSeconds")
+        if not isinstance(curve, list) or not curve:
+            fail(f"{path}: tier block lacks the latency curve")
+
+        counters = doc.get("counters", {})
+        for name in ("tier.requests", "tier.ups", "tier.calls_interp",
+                     "tier.calls_jit"):
+            value = counters.get(name)
+            if not isinstance(value, (int, float)) or value <= 0:
+                fail(f"{path}: counter {name} missing or zero: {value!r}")
+        if counters.get("tier.compile_failures", 0) > 0:
+            fail(f"{path}: tier.compile_failures nonzero")
+
+        histograms = doc.get("histograms", {})
+        for name in ("tier.compile_ns", "tier.queue_depth"):
+            hist = histograms.get(name)
+            if not hist or hist.get("count", 0) <= 0:
+                fail(f"{path}: histogram {name} missing or empty: "
+                     f"{hist!r}")
+    print("check_report: tiered svc OK (tier-up observed under load)")
 
 
 def main():

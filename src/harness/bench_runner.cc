@@ -158,6 +158,27 @@ driveThreads(const BenchSpec& spec,
 
 } // namespace
 
+void
+computeTimeToPeak(TierCurve& tier)
+{
+    const std::vector<double>& curve = tier.curveSeconds;
+    if (curve.size() < 4)
+        return;
+    std::vector<double> tail(curve.end() - ptrdiff_t(curve.size() / 4),
+                             curve.end());
+    tier.steadySeconds = median(std::move(tail));
+    double bound = tier.steadySeconds * 1.10;
+    size_t settled = 0;
+    for (size_t i = curve.size(); i-- > 0;) {
+        if (curve[i] > bound) {
+            settled = i + 1;
+            break;
+        }
+    }
+    for (size_t i = 0; i < settled; i++)
+        tier.timeToPeakSeconds += curve[i];
+}
+
 BenchResult
 runBenchmark(const BenchSpec& spec)
 {
@@ -261,6 +282,19 @@ runBenchmark(const BenchSpec& spec)
         }
     }
 #endif
+    if (compiled->config().tiered) {
+        rt::TierStats tier_stats = compiled->tierStats();
+        result.tier.tiered = true;
+        result.tier.requests = tier_stats.requests;
+        result.tier.ups = tier_stats.ups;
+        result.tier.failures = tier_stats.failures;
+        result.tier.compileSeconds =
+            double(tier_stats.compileNanos) * 1e-9;
+        if (!result.threads.empty())
+            result.tier.curveSeconds =
+                result.threads[0].iterationSeconds;
+        computeTimeToPeak(result.tier);
+    }
     maybeWriteJsonReport(spec, result);
     return result;
 }

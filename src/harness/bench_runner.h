@@ -65,6 +65,33 @@ struct ThreadStats
     double checksum = 0;        ///< kernel result, for validation
 };
 
+/**
+ * Tiered-execution telemetry for one run (zeros unless the module was
+ * compiled with EngineConfig::tiered). The curve is the paper-style
+ * time-to-peak-performance view: early iterations run in the profiled
+ * interpreter, later ones in background-compiled JIT code.
+ */
+struct TierCurve
+{
+    bool tiered = false;
+    uint64_t requests = 0;     ///< tier-up requests (hotness crossings)
+    uint64_t ups = 0;          ///< functions published at the jit tier
+    uint64_t failures = 0;     ///< background compiles that failed
+    double compileSeconds = 0; ///< background compile time, summed
+    /** Thread 0's measured per-iteration latency, in run order. */
+    std::vector<double> curveSeconds;
+    /** Steady-state per-iteration latency: median of the curve's final
+     * quartile. */
+    double steadySeconds = 0;
+    /**
+     * Measured seconds before the curve settles: cumulative iteration
+     * time up to the first iteration after which every sample stays
+     * within 10% of steadySeconds. 0 when the first iteration is
+     * already at steady state (fixed-tier JIT behavior).
+     */
+    double timeToPeakSeconds = 0;
+};
+
 /** Aggregate result of one benchmark run. */
 struct BenchResult
 {
@@ -89,9 +116,19 @@ struct BenchResult
     uint64_t faultsHandled = 0;
     /** Runtime blocking events per second (paper Fig. 5 substitute). */
     double blockingEventsPerSec = 0;
+    /** Tier-up telemetry and the time-to-peak curve (tiered runs). */
+    TierCurve tier;
     /** Path of the JSON run report, when LNB_JSON_DIR was set. */
     std::string jsonReportPath;
 };
+
+/**
+ * Fill TierCurve::steadySeconds (median of the curve's final quartile)
+ * and timeToPeakSeconds (cumulative time before the suffix of
+ * iterations that all stay within 10% of steady state) from
+ * TierCurve::curveSeconds. No-op on curves shorter than 4 samples.
+ */
+void computeTimeToPeak(TierCurve& tier);
 
 /** Run a wasm benchmark under the given spec. */
 BenchResult runBenchmark(const BenchSpec& spec);

@@ -177,8 +177,12 @@ benchResultToJson(const BenchSpec& spec, const BenchResult& result,
                                                 : std::string("?"));
     w.key("engine").value(engine_label != nullptr
                               ? engine_label
-                              : rt::engineKindName(
-                                    spec.engineConfig.kind));
+                              : spec.engineConfig.tiered
+                                    ? "tiered"
+                                    : rt::engineKindName(
+                                          spec.engineConfig.kind));
+    w.key("tiered").value(spec.engineConfig.tiered);
+    w.key("tierThreshold").value(uint64_t(spec.engineConfig.tierThreshold));
     w.key("strategy").value(
         mem::boundsStrategyName(spec.engineConfig.strategy));
     w.key("numThreads").value(spec.numThreads);
@@ -198,6 +202,27 @@ benchResultToJson(const BenchSpec& spec, const BenchResult& result,
     w.key("resizeSyscalls").value(result.resizeSyscalls);
     w.key("faultsHandled").value(result.faultsHandled);
     w.key("blockingEventsPerSec").value(result.blockingEventsPerSec);
+
+    if (result.tier.tiered) {
+        w.key("tier").beginObject();
+        w.key("requests").value(result.tier.requests);
+        w.key("ups").value(result.tier.ups);
+        w.key("failures").value(result.tier.failures);
+        w.key("compileSeconds").value(result.tier.compileSeconds);
+        w.key("steadySeconds").value(result.tier.steadySeconds);
+        w.key("timeToPeakSeconds").value(result.tier.timeToPeakSeconds);
+        // The time-to-peak curve, capped so reports stay readable on
+        // long adaptive runs; the settle point is computed from the
+        // full curve above.
+        constexpr size_t kMaxCurveSamples = 256;
+        w.key("curveSeconds").beginArray();
+        for (size_t i = 0; i < result.tier.curveSeconds.size() &&
+                           i < kMaxCurveSamples;
+             i++)
+            w.value(result.tier.curveSeconds[i]);
+        w.endArray();
+        w.endObject();
+    }
 
     w.key("host").beginObject();
     w.key("cpu").value(cpuModelName());
@@ -260,7 +285,10 @@ maybeWriteJsonReport(const BenchSpec& spec, BenchResult& result,
     static std::atomic<int> seq{0};
     const char* engine = engine_label != nullptr
                              ? engine_label
-                             : rt::engineKindName(spec.engineConfig.kind);
+                             : spec.engineConfig.tiered
+                                   ? "tiered"
+                                   : rt::engineKindName(
+                                         spec.engineConfig.kind);
     std::string path =
         std::string(dir) + "/" + cell("%03d", seq.fetch_add(1)) + "_" +
         sanitizeForFilename(spec.kernel ? spec.kernel->name : "unnamed") +

@@ -28,6 +28,20 @@ execMetrics()
 
 } // namespace
 
+const char*
+tierName(Tier tier)
+{
+    switch (tier) {
+      case Tier::host: return "host";
+      case Tier::interp: return "interp";
+      case Tier::queued: return "queued";
+      case Tier::compiling: return "compiling";
+      case Tier::jit: return "jit";
+      case Tier::failed: return "failed";
+    }
+    return "?";
+}
+
 int32_t
 execMemoryGrow(InstanceContext* ctx, uint32_t delta_pages)
 {

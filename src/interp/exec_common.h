@@ -10,6 +10,7 @@
 #ifndef LNB_INTERP_EXEC_COMMON_H
 #define LNB_INTERP_EXEC_COMMON_H
 
+#include <atomic>
 #include <cstdint>
 
 #include "mem/linear_memory.h"
@@ -19,6 +20,57 @@
 namespace lnb::exec {
 
 struct InstanceContext;
+
+/**
+ * Unified cross-tier calling convention: every function in the module-wide
+ * index space — interpreted, JIT-compiled or an imported host function — is
+ * entered through this one signature, with the argument/result frame
+ * convention shared by all tiers (args preloaded at cells 0..numParams,
+ * results left at cell 0). @p func_idx is the module-wide function index;
+ * JIT-generated entries ignore it (their identity is baked into the code),
+ * interpreter entries use it to locate the lowered body, and the host-call
+ * glue uses it as the import index.
+ */
+using EntryFn = void (*)(InstanceContext* ctx, wasm::Value* frame,
+                         uint32_t func_idx);
+
+/** Execution tier of one function (FuncCode::tier). */
+enum class Tier : uint8_t {
+    host = 0,  ///< imported function; entry is the host-call glue
+    interp,    ///< interpreter entry (base tier)
+    queued,    ///< hot; waiting for the background compiler
+    compiling, ///< a background compile is in flight
+    jit,       ///< optimized JIT entry published
+    failed,    ///< background compile failed; pinned to the interpreter
+};
+
+const char* tierName(Tier tier);
+
+/**
+ * One slot of the per-function code table: the current entry point plus
+ * tier state and shared hotness. The table is owned by the CompiledModule
+ * and shared by every instance (and tenant) running it, so a function
+ * tiered up once is warm for all. Fixed 16-byte layout: JIT-generated
+ * call_indirect sequences index the table with `func_idx * 16`.
+ *
+ * Publication protocol (DESIGN.md §10): the background compiler writes the
+ * code bytes, makes them executable, then `entry.store(release)`; callers
+ * `entry.load(acquire)` and jump. In-flight activations finish in the old
+ * tier; there is no on-stack replacement.
+ */
+struct FuncCode
+{
+    std::atomic<EntryFn> entry{nullptr};
+    /** Flushed per-instance hotness (relaxed; diagnostics only). */
+    std::atomic<uint32_t> hotness{0};
+    std::atomic<uint8_t> tier{uint8_t(Tier::interp)};
+    uint8_t pad_[3] = {};
+};
+
+static_assert(sizeof(FuncCode) == 16,
+              "JIT indexes the code table by *16");
+static_assert(std::atomic<EntryFn>::is_always_lock_free,
+              "entry publication must be a plain atomic store");
 
 /**
  * A host (imported) function. Arguments arrive in `args[0..n)`; results are
@@ -65,8 +117,12 @@ struct InstanceContext
     wasm::Value* globals = nullptr;
     TableEntry* table = nullptr;
     uint64_t tableSize = 0;
-    /** Per defined function: JIT entry points (JIT engines only). */
-    const void* const* jitEntries = nullptr;
+    /**
+     * The module's per-function code table (module-wide index space,
+     * imports included). Every callf/calli in the interpreters dispatches
+     * through it; same slot the JIT's table-indirect call sequences read.
+     */
+    FuncCode* funcCode = nullptr;
     /**
      * Lowest native stack address generated code may still use; the JIT
      * prologue compares rsp against this (the "stack overflow check" cost
@@ -91,7 +147,47 @@ struct InstanceContext
     /** Runtime blocking-event counter (paper Fig. 5 substitute): grows,
      * host calls that may block, trap recoveries. */
     uint64_t blockingEvents = 0;
+
+    // ----- tiering (cold; null/zero when profiling is off) -----
+    /**
+     * Per-instance hotness accumulators, module-wide index space. Plain
+     * (non-atomic) because an Instance is single-threaded; flushed into
+     * FuncCode::hotness when a counter crosses tierThreshold. Null in
+     * fixed-tier configurations — the gate the profiled interpreter
+     * entries branch on.
+     */
+    uint32_t* funcHotness = nullptr;
+    uint32_t tierThreshold = 0;
+    /** Background tier-up request hook (TierController::requestHook). */
+    void (*tierRequest)(void* ctl, uint32_t func_idx) = nullptr;
+    void* tierCtl = nullptr;
 };
+
+/** Hotness credited to one function entry (back edges count 1 each). */
+constexpr uint32_t kEntryHotness = 8;
+
+/**
+ * Profiling bump shared by the interpreter tiers: accumulate into the
+ * per-instance counter and, on crossing the threshold, flush to the shared
+ * FuncCode slot and request a background tier-up.
+ */
+inline void
+recordHotness(InstanceContext* ctx, uint32_t func_idx, uint32_t amount)
+{
+    uint32_t* slots = ctx->funcHotness;
+    if (slots == nullptr)
+        return;
+    uint32_t value = slots[func_idx] + amount;
+    if (value < ctx->tierThreshold) {
+        slots[func_idx] = value;
+        return;
+    }
+    slots[func_idx] = 0;
+    ctx->funcCode[func_idx].hotness.fetch_add(value,
+                                              std::memory_order_relaxed);
+    if (ctx->tierRequest != nullptr)
+        ctx->tierRequest(ctx->tierCtl, func_idx);
+}
 
 /** Bounds-check flavours executors specialize on. */
 enum class CheckMode : uint8_t {

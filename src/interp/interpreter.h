@@ -26,26 +26,23 @@ namespace lnb::exec {
 enum class DispatchKind : uint8_t { switch_loop, threaded };
 
 /**
- * Signature of an interpreter entry: runs one defined function whose frame
- * (with arguments preloaded at cells 0..numParams) starts at @p frame.
- * Must be invoked under TrapManager::protect; traps longjmp out.
+ * Per-function code-table entry of the switch interpreter for @p mode
+ * (unified EntryFn convention; see exec_common.h). @p profiled selects the
+ * variant with function-entry + loop-back-edge hotness counting (tiered
+ * mode). Must be invoked under TrapManager::protect; traps longjmp out.
  */
-using InterpFn = void (*)(InstanceContext* ctx,
-                          const wasm::LoweredFunc& func,
-                          wasm::Value* frame);
+EntryFn switchFuncEntry(CheckMode mode, bool profiled);
 
-/** Entry point of the switch interpreter for @p mode. */
-InterpFn switchInterpEntry(CheckMode mode);
+/** Per-function code-table entry of the threaded interpreter. */
+EntryFn threadedFuncEntry(CheckMode mode, bool profiled);
 
-/** Entry point of the threaded interpreter for @p mode. */
-InterpFn threadedInterpEntry(CheckMode mode);
-
-/** Entry for a dispatch kind + mode pair. */
-inline InterpFn
-interpEntry(DispatchKind kind, CheckMode mode)
+/** Entry for a dispatch kind + mode (+ profiling) triple. */
+inline EntryFn
+interpFuncEntry(DispatchKind kind, CheckMode mode, bool profiled)
 {
-    return kind == DispatchKind::switch_loop ? switchInterpEntry(mode)
-                                             : threadedInterpEntry(mode);
+    return kind == DispatchKind::switch_loop
+               ? switchFuncEntry(mode, profiled)
+               : threadedFuncEntry(mode, profiled);
 }
 
 namespace detail {
@@ -71,12 +68,11 @@ enterFrame(InstanceContext* ctx, const wasm::LoweredFunc& func,
     return frame;
 }
 
-/** Resolved call_indirect target. */
+/** Resolved call_indirect target (dispatched through the code table). */
 struct IndirectTarget
 {
     uint32_t funcIdx = 0;
     wasm::Value* argBase = nullptr;
-    bool isHost = false;
 };
 
 /** Perform the call_indirect checks (paper §1: "indirect call checks"). */
@@ -98,8 +94,17 @@ resolveIndirect(InstanceContext* ctx, const wasm::LInst& inst,
     IndirectTarget target;
     target.funcIdx = uint32_t(entry.funcIdx);
     target.argBase = frame + inst.b - sig.params.size();
-    target.isHost = ctx->lowered->module.isImportedFunc(target.funcIdx);
     return target;
+}
+
+/** Load and invoke the current entry of @p func_idx (cross-tier call). */
+inline void
+callThroughTable(InstanceContext* ctx, uint32_t func_idx,
+                 wasm::Value* arg_base)
+{
+    EntryFn entry =
+        ctx->funcCode[func_idx].entry.load(std::memory_order_acquire);
+    entry(ctx, arg_base, func_idx);
 }
 
 } // namespace detail

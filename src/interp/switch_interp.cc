@@ -3,6 +3,11 @@
  * The switch-dispatch interpreter: a portable fetch/execute loop over the
  * lowered IR. Serves as the naive performance lower bound among the
  * engines (paper §2.2's "relatively slow, but simple interpreters").
+ *
+ * Calls (callf/calli) dispatch through the per-function code table, so an
+ * interpreted caller transparently enters JIT code once a callee has been
+ * tiered up (and vice versa). The Profile variant additionally counts
+ * function entries and loop back edges for the tier-up policy.
  */
 #include "interp/interpreter.h"
 #include "interp/ops_inline.h"
@@ -17,7 +22,7 @@ using wasm::LoweredFunc;
 using wasm::TrapKind;
 using wasm::Value;
 
-template <CheckMode M>
+template <CheckMode M, bool Profile>
 void
 runSwitch(InstanceContext* ctx, const LoweredFunc& func, Value* frame)
 {
@@ -27,15 +32,26 @@ runSwitch(InstanceContext* ctx, const LoweredFunc& func, Value* frame)
     const uint32_t* table_pool = func.tablePool.data();
     uint32_t pc = 0;
 
+    // Loop back edges (jumps to an earlier or the current pc) feed the
+    // hotness counter in the profiled variant.
+    auto profile_jump = [&](uint32_t target) {
+        if constexpr (Profile) {
+            if (target <= pc)
+                recordHotness(ctx, func.funcIdx, 1);
+        }
+    };
+
     for (;;) {
         const LInst& inst = code[pc];
         switch (LOp(inst.op)) {
           case LOp::jump:
+            profile_jump(inst.a);
             pc = inst.a;
             continue;
 
           case LOp::jump_if:
             if (frame[inst.b].i32 != 0) {
+                profile_jump(inst.a);
                 pc = inst.a;
                 continue;
             }
@@ -43,6 +59,7 @@ runSwitch(InstanceContext* ctx, const LoweredFunc& func, Value* frame)
 
           case LOp::jump_if_zero:
             if (frame[inst.b].i32 == 0) {
+                profile_jump(inst.a);
                 pc = inst.a;
                 continue;
             }
@@ -52,7 +69,9 @@ runSwitch(InstanceContext* ctx, const LoweredFunc& func, Value* frame)
             uint32_t idx = frame[inst.b].i32;
             if (idx > inst.aux)
                 idx = inst.aux; // default case
-            pc = table_pool[inst.a + idx];
+            uint32_t target = table_pool[inst.a + idx];
+            profile_jump(target);
+            pc = target;
             continue;
           }
 
@@ -67,8 +86,7 @@ runSwitch(InstanceContext* ctx, const LoweredFunc& func, Value* frame)
             return;
 
           case LOp::callf:
-            runSwitch<M>(ctx, ctx->lowered->funcByIndex(inst.a),
-                         frame + inst.b);
+            detail::callThroughTable(ctx, inst.a, frame + inst.b);
             break;
 
           case LOp::call_host:
@@ -78,12 +96,7 @@ runSwitch(InstanceContext* ctx, const LoweredFunc& func, Value* frame)
           case LOp::calli: {
             detail::IndirectTarget target =
                 detail::resolveIndirect(ctx, inst, frame);
-            if (target.isHost) {
-                lnbJitHostCall(ctx, target.argBase, target.funcIdx);
-            } else {
-                runSwitch<M>(ctx, ctx->lowered->funcByIndex(target.funcIdx),
-                             target.argBase);
-            }
+            detail::callThroughTable(ctx, target.funcIdx, target.argBase);
             break;
           }
 
@@ -100,6 +113,7 @@ runSwitch(InstanceContext* ctx, const LoweredFunc& func, Value* frame)
 
           case LOp::fused_cmp_jump:
             if (sem::semFusedCmpJump<M>(ctx, frame, inst)) {
+                profile_jump(inst.a);
                 pc = inst.a;
                 continue;
             }
@@ -121,15 +135,31 @@ runSwitch(InstanceContext* ctx, const LoweredFunc& func, Value* frame)
     }
 }
 
+/** Code-table entry: locate the lowered body, profile, run. */
+template <CheckMode M, bool Profile>
+void
+switchEntry(InstanceContext* ctx, Value* frame, uint32_t func_idx)
+{
+    if constexpr (Profile)
+        recordHotness(ctx, func_idx, kEntryHotness);
+    runSwitch<M, Profile>(ctx, ctx->lowered->funcByIndex(func_idx), frame);
+}
+
 } // namespace
 
-InterpFn
-switchInterpEntry(CheckMode mode)
+EntryFn
+switchFuncEntry(CheckMode mode, bool profiled)
 {
     switch (mode) {
-      case CheckMode::raw: return &runSwitch<CheckMode::raw>;
-      case CheckMode::clamp: return &runSwitch<CheckMode::clamp>;
-      case CheckMode::trap: return &runSwitch<CheckMode::trap>;
+      case CheckMode::raw:
+        return profiled ? &switchEntry<CheckMode::raw, true>
+                        : &switchEntry<CheckMode::raw, false>;
+      case CheckMode::clamp:
+        return profiled ? &switchEntry<CheckMode::clamp, true>
+                        : &switchEntry<CheckMode::clamp, false>;
+      case CheckMode::trap:
+        return profiled ? &switchEntry<CheckMode::trap, true>
+                        : &switchEntry<CheckMode::trap, false>;
     }
     return nullptr;
 }

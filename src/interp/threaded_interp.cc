@@ -4,6 +4,11 @@
  * per opcode, so each instruction's dispatch is an independent indirect
  * branch with its own predictor entry (Bell, "Threaded Code", CACM 1973 —
  * the technique behind wasm3, paper §2.2).
+ *
+ * Calls (callf/calli) dispatch through the per-function code table, so an
+ * interpreted caller transparently enters JIT code once a callee has been
+ * tiered up (and vice versa). The Profile variant additionally counts
+ * function entries and loop back edges for the tier-up policy.
  */
 #include "interp/interpreter.h"
 #include "interp/ops_inline.h"
@@ -17,7 +22,7 @@ using wasm::LoweredFunc;
 using wasm::TrapKind;
 using wasm::Value;
 
-template <CheckMode M>
+template <CheckMode M, bool Profile>
 void
 runThreaded(InstanceContext* ctx, const LoweredFunc& func, Value* frame)
 {
@@ -48,8 +53,14 @@ runThreaded(InstanceContext* ctx, const LoweredFunc& func, Value* frame)
         inst++;                                                              \
         goto* kLabels[inst->op];                                             \
     } while (0)
+// Jumps to an earlier or the current instruction are loop back edges; the
+// profiled variant credits them to the function's hotness counter.
 #define JUMP_TO(target)                                                      \
     do {                                                                     \
+        if constexpr (Profile) {                                             \
+            if (code + (target) <= inst)                                     \
+                recordHotness(ctx, func.funcIdx, 1);                         \
+        }                                                                    \
         inst = code + (target);                                              \
         goto* kLabels[inst->op];                                             \
     } while (0)
@@ -95,8 +106,7 @@ L_ret:
     return;
 
 L_callf:
-    runThreaded<M>(ctx, ctx->lowered->funcByIndex(inst->a),
-                   frame + inst->b);
+    detail::callThroughTable(ctx, inst->a, frame + inst->b);
     NEXT();
 
 L_call_host:
@@ -106,12 +116,7 @@ L_call_host:
 L_calli: {
     detail::IndirectTarget target =
         detail::resolveIndirect(ctx, *inst, frame);
-    if (target.isHost) {
-        lnbJitHostCall(ctx, target.argBase, target.funcIdx);
-    } else {
-        runThreaded<M>(ctx, ctx->lowered->funcByIndex(target.funcIdx),
-                       target.argBase);
-    }
+    detail::callThroughTable(ctx, target.funcIdx, target.argBase);
     NEXT();
 }
 
@@ -149,15 +154,32 @@ L_fused_load_binop:
 #undef JUMP_TO
 }
 
+/** Code-table entry: locate the lowered body, profile, run. */
+template <CheckMode M, bool Profile>
+void
+threadedEntry(InstanceContext* ctx, Value* frame, uint32_t func_idx)
+{
+    if constexpr (Profile)
+        recordHotness(ctx, func_idx, kEntryHotness);
+    runThreaded<M, Profile>(ctx, ctx->lowered->funcByIndex(func_idx),
+                            frame);
+}
+
 } // namespace
 
-InterpFn
-threadedInterpEntry(CheckMode mode)
+EntryFn
+threadedFuncEntry(CheckMode mode, bool profiled)
 {
     switch (mode) {
-      case CheckMode::raw: return &runThreaded<CheckMode::raw>;
-      case CheckMode::clamp: return &runThreaded<CheckMode::clamp>;
-      case CheckMode::trap: return &runThreaded<CheckMode::trap>;
+      case CheckMode::raw:
+        return profiled ? &threadedEntry<CheckMode::raw, true>
+                        : &threadedEntry<CheckMode::raw, false>;
+      case CheckMode::clamp:
+        return profiled ? &threadedEntry<CheckMode::clamp, true>
+                        : &threadedEntry<CheckMode::clamp, false>;
+      case CheckMode::trap:
+        return profiled ? &threadedEntry<CheckMode::trap, true>
+                        : &threadedEntry<CheckMode::trap, false>;
     }
     return nullptr;
 }

@@ -837,8 +837,20 @@ FunctionCompiler::emitCall(const LInst& inst)
 
     as_.movRR64(rdi, kCtxReg);
     as_.lea(rsi, cellMem(inst.b));
-    uint32_t defined = inst.a - mod_.module.numImportedFuncs();
-    as_.callLabel(funcLabels_[defined]);
+    if (opts_.codeTable != nullptr) {
+        // Cross-tier dispatch: load the callee's *current* entry from its
+        // code-table slot (an aligned 8-byte load; publication is a
+        // release store on the compiler thread, and x86-TSO makes the
+        // dependent call see the published code). edx carries the
+        // function index for interpreter entries.
+        as_.movRI64(rax, uint64_t(&opts_.codeTable[inst.a].entry));
+        as_.movRM64(rax, Mem{rax, 0});
+        as_.movRI32(rdx, inst.a);
+        as_.callReg(rax);
+    } else {
+        uint32_t defined = inst.a - mod_.module.numImportedFuncs();
+        as_.callLabel(funcLabels_[defined]);
+    }
 
     reloadFloatMask(inst.aux);
     if (!callee.results.empty())
@@ -893,7 +905,23 @@ FunctionCompiler::emitCallIndirect(const LInst& inst)
         spillCell(arg_base + i, classOf(callee.params[i]));
     spillFloatMask(inst.aux);
 
-    as_.movRM64(rax, Mem{rcx, int32_t(offsetof(exec::TableEntry, code))});
+    if (opts_.codeTable != nullptr) {
+        // Cross-tier dispatch: index the code table by the entry's
+        // function index (slots are 16 bytes; entry pointer at offset 0)
+        // instead of snapshotting TableEntry::code, so funcref calls pick
+        // up tier-up publications too. Imports resolve to the host-call
+        // glue, which takes the function index (== import index) in edx.
+        as_.movRM64(rdx, Mem{rcx, int32_t(offsetof(exec::TableEntry,
+                                                   funcIdx))});
+        as_.movRR64(rax, rdx);
+        as_.shiftImm64(4, rax, 4); // * sizeof(FuncCode) == 16
+        as_.movRI64(r11, uint64_t(opts_.codeTable));
+        as_.addRR64(rax, r11);
+        as_.movRM64(rax, Mem{rax, 0});
+    } else {
+        as_.movRM64(rax,
+                    Mem{rcx, int32_t(offsetof(exec::TableEntry, code))});
+    }
     as_.movRR64(rdi, kCtxReg);
     as_.lea(rsi, cellMem(arg_base));
     as_.callReg(rax);
@@ -2194,7 +2222,7 @@ class ModuleArtifact : public CompiledCode
     EntryFn
     entry(uint32_t func_idx) const override
     {
-        uint32_t defined = func_idx - numImports_;
+        uint32_t defined = func_idx - numImports_ - firstDefined_;
         return reinterpret_cast<EntryFn>(buffer_->data() +
                                          entryOffsets_[defined]);
     }
@@ -2204,7 +2232,8 @@ class ModuleArtifact : public CompiledCode
     {
         if (func_idx < numImports_)
             return buffer_->data() + thunkOffsets_[func_idx];
-        return buffer_->data() + entryOffsets_[func_idx - numImports_];
+        return buffer_->data() +
+               entryOffsets_[func_idx - numImports_ - firstDefined_];
     }
 
     size_t codeBytes() const override { return buffer_->used(); }
@@ -2212,7 +2241,7 @@ class ModuleArtifact : public CompiledCode
     std::string
     dumpFunction(uint32_t func_idx) const override
     {
-        uint32_t defined = func_idx - numImports_;
+        uint32_t defined = func_idx - numImports_ - firstDefined_;
         size_t begin = entryOffsets_[defined];
         size_t end = defined + 1 < entryOffsets_.size()
                          ? entryOffsets_[defined + 1]
@@ -2230,9 +2259,12 @@ class ModuleArtifact : public CompiledCode
     }
 
     std::unique_ptr<CodeBuffer> buffer_;
-    std::vector<size_t> entryOffsets_; ///< per defined function
+    std::vector<size_t> entryOffsets_; ///< per compiled function
     std::vector<size_t> thunkOffsets_; ///< per import
     uint32_t numImports_ = 0;
+    /** First defined-function index covered by entryOffsets_ (non-zero
+     * for single-function tier-up artifacts). */
+    uint32_t firstDefined_ = 0;
 };
 
 } // namespace
@@ -2302,6 +2334,41 @@ compileModule(const LoweredModule& module, const JitOptions& options)
     LNB_RETURN_IF_ERROR(buffer->finalize(as.size()));
     jitMetrics().modulesCompiled.add();
     jitMetrics().functionsCompiled.add(module.funcs.size());
+    jitMetrics().codeBytes.add(as.size());
+    artifact->buffer_ = std::move(buffer);
+    return std::unique_ptr<CompiledCode>(std::move(artifact));
+}
+
+Result<std::unique_ptr<CompiledCode>>
+compileFunction(const LoweredModule& module, uint32_t func_idx,
+                const JitOptions& options)
+{
+    if (options.codeTable == nullptr)
+        return errInvalid("compileFunction requires a code table");
+    LNB_TRACE_SCOPE("jit.compile_function");
+    const LoweredFunc& func = module.funcByIndex(func_idx);
+    size_t estimate =
+        4096 + func.code.size() * 96 + func.numLocalCells * 16 + 512;
+
+    LNB_ASSIGN_OR_RETURN(auto buffer, CodeBuffer::allocate(estimate));
+    Assembler as(buffer->data(), buffer->capacity());
+
+    auto artifact = std::make_unique<ModuleArtifact>();
+    artifact->numImports_ = module.module.numImportedFuncs();
+    artifact->firstDefined_ =
+        func_idx - artifact->numImports_;
+
+    // No sibling labels: every outgoing call is table-indirect.
+    std::vector<Label> no_labels;
+    artifact->entryOffsets_.push_back(as.size());
+    FunctionCompiler compiler(as, module, func, options, no_labels);
+    compiler.compile();
+
+    if (as.overflow())
+        return errInternal("JIT code buffer overflow");
+
+    LNB_RETURN_IF_ERROR(buffer->finalize(as.size()));
+    jitMetrics().functionsCompiled.add();
     jitMetrics().codeBytes.add(as.size());
     artifact->buffer_ = std::move(buffer);
     return std::unique_ptr<CompiledCode>(std::move(artifact));

@@ -39,6 +39,16 @@ struct JitOptions
     /** Emit the function-entry value-stack overflow check (paper §1 lists
      * stack checks among the safety costs; disable for ablation only). */
     bool stackChecks = true;
+    /**
+     * Per-function code table for cross-tier calls. When set, callf and
+     * call_indirect are emitted as indirect calls through the table
+     * (load the callee's current entry, pass the function index in edx),
+     * so a callee can be tiered up mid-run underneath a running caller.
+     * When null, the legacy monolithic dispatch is kept: direct rel32
+     * calls between functions of one artifact and TableEntry::code for
+     * call_indirect (compileFunction() requires a table).
+     */
+    exec::FuncCode* codeTable = nullptr;
 };
 
 /** The executable artifact for one module. Immutable and thread-shareable:
@@ -46,9 +56,12 @@ struct JitOptions
 class CompiledCode
 {
   public:
-    /** Entry signature shared with the interpreters' frame convention. */
-    using EntryFn = void (*)(exec::InstanceContext* ctx,
-                             wasm::Value* frame);
+    /**
+     * The unified cross-tier entry signature (exec_common.h). Generated
+     * code takes (ctx, frame) in rdi/rsi and ignores the func_idx in edx,
+     * so a JIT entry is directly publishable into a FuncCode slot.
+     */
+    using EntryFn = exec::EntryFn;
 
     virtual ~CompiledCode() = default;
 
@@ -72,6 +85,16 @@ class CompiledCode
 /** Compile every defined function of @p module. */
 Result<std::unique_ptr<CompiledCode>>
 compileModule(const wasm::LoweredModule& module, const JitOptions& options);
+
+/**
+ * Compile a single defined function (the background tier-up path). All
+ * outgoing calls go through @p options.codeTable, which must be set — a
+ * lone function has no sibling labels to call directly. The returned
+ * artifact serves entry(func_idx) for exactly @p func_idx.
+ */
+Result<std::unique_ptr<CompiledCode>>
+compileFunction(const wasm::LoweredModule& module, uint32_t func_idx,
+                const JitOptions& options);
 
 /** True if this CPU supports the instruction set the JIT emits
  * (x86-64 with SSE4.1). */

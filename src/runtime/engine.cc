@@ -5,6 +5,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "support/clock.h"
+#include "support/env.h"
 #include "wasm/decoder.h"
 #include "wasm/validator.h"
 
@@ -50,6 +51,15 @@ optDisabledByEnv()
 
 } // namespace
 
+CompiledModule::CompiledModule() = default;
+
+CompiledModule::~CompiledModule()
+{
+    // The controller's workers publish into funcCode_ and read lowered_;
+    // join them before any member is torn down.
+    tierController_.reset();
+}
+
 Engine::Engine(const EngineConfig& config) : config_(config) {}
 
 Result<std::shared_ptr<const CompiledModule>>
@@ -62,6 +72,23 @@ Engine::compile(wasm::Module module) const
     auto cm = std::make_shared<CompiledModule>();
     cm->config_ = config_;
 
+    // Resolve the effective tiering configuration (env knobs win) and
+    // record it in the published config so caches, instances and reports
+    // all see what actually ran.
+    EngineConfig& config = cm->config_;
+    config.tierThreshold = uint32_t(
+        envInt("LNB_TIER_THRESHOLD", config.tierThreshold, 1, 1u << 30));
+    config.tierCompileThreads = uint32_t(envInt(
+        "LNB_TIER_COMPILE_THREADS", config.tierCompileThreads, 1, 256));
+    if (config.tiered &&
+        (envFlag("LNB_TIER_DISABLED") || !jit::jitSupported())) {
+        // Kill switch: the module stays in the base tier, not whatever
+        // fixed kind the config happened to carry.
+        config.tiered = false;
+        config.kind = EngineKind::interp_threaded;
+    }
+    const bool tiered = config.tiered;
+
     {
         ScopedTimer timer(cm->stats_.validateSeconds);
         LNB_RETURN_IF_ERROR(wasm::validateModule(module));
@@ -72,15 +99,21 @@ Engine::compile(wasm::Module module) const
                              wasm::lowerModule(std::move(module)));
     }
 
-    if (config_.optimizeLoweredIR && !optDisabledByEnv()) {
+    if (config.optimizeLoweredIR && !optDisabledByEnv()) {
         // Strategy-aware transform selection: interpreters get
         // superinstruction fusion; the optimizing JIT under the trap
         // strategy gets check analysis + hoisting (guard-page and clamp
         // codegen has nothing to elide — clamp must still redirect).
+        // Tiered modules share one IR between both tiers, so they skip
+        // fusion (the JIT has no fused-op patterns) but keep the check
+        // analysis their jit_opt top tier consumes; the interpreter
+        // executes hoisted check_bounds soundly.
         wasm::OptOptions opt;
-        opt.fuse = !engineIsJit(config_.kind);
-        opt.analyzeChecks = config_.kind == EngineKind::jit_opt &&
-                            config_.strategy == mem::BoundsStrategy::trap;
+        opt.fuse = !tiered && !engineIsJit(config.kind);
+        bool top_is_opt_jit =
+            tiered || config.kind == EngineKind::jit_opt;
+        opt.analyzeChecks = top_is_opt_jit &&
+                            config.strategy == mem::BoundsStrategy::trap;
         opt.hoistChecks = opt.analyzeChecks;
         if (opt.fuse || opt.analyzeChecks) {
             LNB_TRACE_SCOPE("rt.opt");
@@ -89,24 +122,62 @@ Engine::compile(wasm::Module module) const
         }
     }
 
-    if (engineIsJit(config_.kind)) {
+    // The per-function code table: one slot per function in the
+    // module-wide index space. Allocated before codegen so the JIT can
+    // bake slot addresses into table-indirect call sequences.
+    const wasm::Module& m = cm->lowered_.module;
+    cm->numFuncs_ = m.numImportedFuncs() +
+                    uint32_t(cm->lowered_.funcs.size());
+    cm->funcCode_.reset(new exec::FuncCode[cm->numFuncs_]);
+    for (uint32_t i = 0; i < m.numImportedFuncs(); i++) {
+        cm->funcCode_[i].entry.store(&exec::lnbJitHostCall,
+                                     std::memory_order_relaxed);
+        cm->funcCode_[i].tier.store(uint8_t(exec::Tier::host),
+                                    std::memory_order_relaxed);
+    }
+
+    if (!tiered && engineIsJit(config.kind)) {
         if (!jit::jitSupported())
             return errUnsupported("this CPU lacks the JIT's ISA baseline");
         jit::JitOptions options;
-        options.strategy = config_.strategy;
-        options.optimize = config_.kind == EngineKind::jit_opt;
-        options.stackChecks = config_.stackChecks;
+        options.strategy = config.strategy;
+        options.optimize = config.kind == EngineKind::jit_opt;
+        options.stackChecks = config.stackChecks;
+        if (!config.directJitCalls)
+            options.codeTable = cm->funcCode_.get();
         ScopedTimer timer(cm->stats_.codegenSeconds);
         LNB_ASSIGN_OR_RETURN(cm->jitCode_,
                              jit::compileModule(cm->lowered_, options));
         cm->stats_.codeBytes = cm->jitCode_->codeBytes();
+        for (uint32_t i = m.numImportedFuncs(); i < cm->numFuncs_; i++) {
+            cm->funcCode_[i].entry.store(cm->jitCode_->entry(i),
+                                         std::memory_order_relaxed);
+            cm->funcCode_[i].tier.store(uint8_t(exec::Tier::jit),
+                                        std::memory_order_relaxed);
+        }
     } else {
+        // Interpreter base tier: fixed interp kinds use their dispatch
+        // technique unprofiled; tiered modules start every function in
+        // the profiled threaded interpreter.
         exec::DispatchKind dispatch =
-            config_.kind == EngineKind::interp_switch
+            !tiered && config.kind == EngineKind::interp_switch
                 ? exec::DispatchKind::switch_loop
                 : exec::DispatchKind::threaded;
-        cm->interpFn_ = exec::interpEntry(
-            dispatch, exec::checkModeFor(config_.strategy));
+        exec::EntryFn entry = exec::interpFuncEntry(
+            dispatch, exec::checkModeFor(config.strategy), tiered);
+        for (uint32_t i = m.numImportedFuncs(); i < cm->numFuncs_; i++)
+            cm->funcCode_[i].entry.store(entry,
+                                         std::memory_order_relaxed);
+        if (tiered) {
+            jit::JitOptions options;
+            options.strategy = config.strategy;
+            options.optimize = true;
+            options.stackChecks = config.stackChecks;
+            options.codeTable = cm->funcCode_.get();
+            cm->tierController_ = std::make_unique<TierController>(
+                &cm->lowered_, cm->funcCode_.get(), options,
+                config.tierCompileThreads);
+        }
     }
     return std::shared_ptr<const CompiledModule>(std::move(cm));
 }

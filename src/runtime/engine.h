@@ -22,6 +22,7 @@
 #include "interp/interpreter.h"
 #include "jit/compiler.h"
 #include "mem/linear_memory.h"
+#include "runtime/tiering.h"
 #include "support/status.h"
 #include "wasm/lower.h"
 #include "wasm/opt.h"
@@ -68,6 +69,31 @@ struct EngineConfig
      * variable force-disables it regardless of this flag.
      */
     bool optimizeLoweredIR = true;
+    /**
+     * Per-function tiered execution: every function starts in the
+     * profiled threaded interpreter and is recompiled with the jit_opt
+     * pipeline in the background once its hotness (function entries +
+     * loop back edges) crosses tierThreshold; the new entry is published
+     * atomically into the module's code table. When set, `kind` is
+     * ignored (the tiers are fixed: interp_threaded below, jit_opt
+     * above); the four EngineKinds remain available as degenerate
+     * fixed-tier configurations with tiered == false. LNB_TIER_DISABLED
+     * force-disables tier-up (the module stays interpreted) and
+     * LNB_TIER_THRESHOLD / LNB_TIER_COMPILE_THREADS override the two
+     * knobs below.
+     */
+    bool tiered = false;
+    /** Hotness units (entry = 8, back edge = 1) before tier-up. */
+    uint32_t tierThreshold = 1u << 14;
+    /** Background compiler threads serving the tier-up queue. */
+    uint32_t tierCompileThreads = 1;
+    /**
+     * Ablation (BM_TierDispatch baseline): restore the pre-code-table
+     * monolithic JIT dispatch — direct rel32 calls between functions and
+     * TableEntry::code for call_indirect. JIT kinds only; incompatible
+     * with tiered.
+     */
+    bool directJitCalls = false;
 };
 
 /** Wall-clock cost of each compilation stage (micro_pipeline bench). */
@@ -82,27 +108,70 @@ struct CompileStats
 };
 
 /**
- * An immutable compiled module. Shareable across threads; every Instance
- * holds a shared_ptr to one.
+ * A compiled module. Shareable across threads; every Instance holds a
+ * shared_ptr to one. Logically immutable — the lowered IR, config and any
+ * AOT code never change — except for the per-function code table, whose
+ * entries advance monotonically (interp -> jit) under the publication
+ * protocol in DESIGN.md §10; tier state is therefore shared by every
+ * instance and tenant running the module.
  */
 class CompiledModule
 {
   public:
+    CompiledModule();
+    ~CompiledModule(); ///< stops the background tier-up compiler first
+
+    CompiledModule(const CompiledModule&) = delete;
+    CompiledModule& operator=(const CompiledModule&) = delete;
+
     const wasm::LoweredModule& lowered() const { return lowered_; }
     const EngineConfig& config() const { return config_; }
     const jit::CompiledCode* jitCode() const { return jitCode_.get(); }
     const CompileStats& stats() const { return stats_; }
     /** What the lowered-IR optimization pass did (zeros when skipped). */
     const wasm::OptStats& optStats() const { return optStats_; }
-    /** Interpreter entry (null for JIT engines). */
-    exec::InterpFn interpFn() const { return interpFn_; }
+
+    /** The per-function code table, module-wide index space (imports
+     * included). One slot per function; see exec::FuncCode. */
+    exec::FuncCode* funcCode() const { return funcCode_.get(); }
+    /** Slots in funcCode(): imports + defined functions. */
+    uint32_t numFuncs() const { return numFuncs_; }
+    /** Current tier of one function. */
+    exec::Tier funcTier(uint32_t func_idx) const
+    {
+        return exec::Tier(
+            funcCode_[func_idx].tier.load(std::memory_order_relaxed));
+    }
+
+    /** Null unless compiled with config.tiered (and tier-up enabled). */
+    TierController* tierController() const
+    {
+        return tierController_.get();
+    }
+    /** Tiering statistics; zeros for fixed-tier modules. */
+    TierStats tierStats() const
+    {
+        return tierController_ != nullptr ? tierController_->stats()
+                                          : TierStats{};
+    }
+    /** Block until every tier-up requested so far is compiled
+     * (tests/bench determinism aid). No-op for fixed-tier modules. */
+    void drainTierQueue() const
+    {
+        if (tierController_ != nullptr)
+            tierController_->drain();
+    }
 
   private:
     friend class Engine;
     wasm::LoweredModule lowered_;
     EngineConfig config_;
     std::unique_ptr<jit::CompiledCode> jitCode_;
-    exec::InterpFn interpFn_ = nullptr;
+    /** One slot per function, shared across instances (mutable tier
+     * state inside an otherwise-immutable artifact). */
+    mutable std::unique_ptr<exec::FuncCode[]> funcCode_;
+    uint32_t numFuncs_ = 0;
+    std::unique_ptr<TierController> tierController_;
     CompileStats stats_;
     wasm::OptStats optStats_;
 };

@@ -2,6 +2,7 @@
 
 #include <pthread.h>
 
+#include <algorithm>
 #include <cassert>
 
 #include "mem/signals.h"
@@ -23,6 +24,11 @@ struct RtMetrics
     obs::Counter invocations = obs::registerCounter("rt.invocations");
     obs::Counter trapsReturned = obs::registerCounter(
         "rt.traps_returned");
+    /** Per-tier top-level call counts (the tier the entry function had
+     * when the call dispatched; interior calls are not attributed). */
+    obs::Counter callsInterp = obs::registerCounter("tier.calls_interp");
+    obs::Counter callsJit = obs::registerCounter("tier.calls_jit");
+    obs::Counter callsHost = obs::registerCounter("tier.calls_host");
 };
 
 RtMetrics&
@@ -145,6 +151,18 @@ Instance::initialize(ImportMap imports)
     ctx_.maxCallDepth = config.maxCallDepth;
     ctx_.lowered = &module_->lowered();
 
+    // ----- per-function code table + tier profiling -----
+    ctx_.funcCode = module_->funcCode();
+    if (config.tiered) {
+        funcHotness_.reset(new uint32_t[module_->numFuncs()]);
+        ctx_.funcHotness = funcHotness_.get();
+        ctx_.tierThreshold = config.tierThreshold;
+        if (TierController* controller = module_->tierController()) {
+            ctx_.tierCtl = controller;
+            ctx_.tierRequest = &TierController::requestHook;
+        }
+    }
+
     return initMutableState();
 }
 
@@ -188,6 +206,11 @@ Instance::initMutableState()
     ctx_.vstackTop = vstack_.get();
     ctx_.callDepth = 0;
     ctx_.blockingEvents = 0;
+    // Fresh profile: a recycled instance must neither inherit hotness
+    // toward a spurious tier-up nor suppress one it would have earned.
+    if (funcHotness_ != nullptr) {
+        std::fill_n(funcHotness_.get(), module_->numFuncs(), 0u);
+    }
 
     // ----- start function -----
     if (m.start.has_value()) {
@@ -239,15 +262,18 @@ Instance::call(uint32_t func_idx, const std::vector<wasm::Value>& args)
     for (size_t i = 0; i < args.size(); i++)
         frame[i] = args[i];
 
+    // Unified dispatch: every function — imported, interpreted or JIT
+    // compiled — is entered through its code-table slot. The acquire load
+    // pairs with the background compiler's release publication, so a
+    // mid-run tier-up is picked up on the next call.
+    exec::FuncCode& fc = module_->funcCode()[func_idx];
+    switch (exec::Tier(fc.tier.load(std::memory_order_relaxed))) {
+      case exec::Tier::host: rtMetrics().callsHost.add(); break;
+      case exec::Tier::jit: rtMetrics().callsJit.add(); break;
+      default: rtMetrics().callsInterp.add(); break;
+    }
     outcome.trap = mem::TrapManager::protect([&] {
-        if (lowered.module.isImportedFunc(func_idx)) {
-            exec::lnbJitHostCall(&ctx_, frame, func_idx);
-        } else if (module_->jitCode() != nullptr) {
-            module_->jitCode()->entry(func_idx)(&ctx_, frame);
-        } else {
-            module_->interpFn()(&ctx_, lowered.funcByIndex(func_idx),
-                                frame);
-        }
+        fc.entry.load(std::memory_order_acquire)(&ctx_, frame, func_idx);
     });
 
     ctx_.callDepth = saved_depth;

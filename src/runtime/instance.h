@@ -123,6 +123,10 @@ class Instance
     std::vector<exec::TableEntry> table_;
     std::vector<exec::HostFuncBinding> hostBindings_;
     std::unique_ptr<wasm::Value[]> vstack_;
+    /** Per-instance hotness accumulators (tiered modules only); zeroed
+     * on create and on every recycle so pool reuse cannot inherit a
+     * previous tenant's profile. */
+    std::unique_ptr<uint32_t[]> funcHotness_;
     ImportMap imports_;
     exec::InstanceContext ctx_;
 };

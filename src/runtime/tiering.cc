@@ -1,0 +1,160 @@
+#include "runtime/tiering.h"
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "support/clock.h"
+
+namespace lnb::rt {
+
+namespace {
+
+struct TierMetrics
+{
+    obs::Counter requests = obs::registerCounter("tier.requests");
+    obs::Counter ups = obs::registerCounter("tier.ups");
+    obs::Counter failures = obs::registerCounter("tier.compile_failures");
+    obs::Counter compileNanos = obs::registerCounter(
+        "tier.compile_ns_total");
+    obs::Histogram compileLatency = obs::registerHistogram(
+        "tier.compile_ns");
+    obs::Histogram queueDepth = obs::registerHistogram("tier.queue_depth");
+};
+
+TierMetrics&
+tierMetrics()
+{
+    static TierMetrics m;
+    return m;
+}
+
+} // namespace
+
+TierController::TierController(const wasm::LoweredModule* lowered,
+                               exec::FuncCode* table,
+                               const jit::JitOptions& options,
+                               uint32_t num_threads)
+    : lowered_(lowered), table_(table), options_(options)
+{
+    if (num_threads < 1)
+        num_threads = 1;
+    workers_.reserve(num_threads);
+    for (uint32_t i = 0; i < num_threads; i++)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+TierController::~TierController()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+    }
+    workCv_.notify_all();
+    for (std::thread& worker : workers_)
+        worker.join();
+}
+
+void
+TierController::request(uint32_t func_idx)
+{
+    exec::FuncCode& fc = table_[func_idx];
+    uint8_t expected = uint8_t(exec::Tier::interp);
+    // One enqueue per function, ever: only the interp->queued transition
+    // wins; queued/compiling/jit/failed states all decline.
+    if (!fc.tier.compare_exchange_strong(expected,
+                                         uint8_t(exec::Tier::queued),
+                                         std::memory_order_relaxed)) {
+        return;
+    }
+    tierMetrics().requests.add();
+    size_t depth;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (closed_) {
+            // Shutting down: leave the function queued-but-unserved; it
+            // keeps running interpreted.
+            return;
+        }
+        queue_.push_back(func_idx);
+        stats_.requests++;
+        depth = queue_.size() + inflight_;
+    }
+    tierMetrics().queueDepth.record(depth);
+    workCv_.notify_one();
+}
+
+void
+TierController::requestHook(void* ctl, uint32_t func_idx)
+{
+    static_cast<TierController*>(ctl)->request(func_idx);
+}
+
+void
+TierController::workerLoop()
+{
+    for (;;) {
+        uint32_t func_idx;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workCv_.wait(lock,
+                         [this] { return closed_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // closed
+            func_idx = queue_.front();
+            queue_.pop_front();
+            inflight_++;
+        }
+        table_[func_idx].tier.store(uint8_t(exec::Tier::compiling),
+                                    std::memory_order_relaxed);
+
+        LNB_TRACE_SCOPE("tier.compile");
+        uint64_t t0 = monotonicNanos();
+        auto compiled = jit::compileFunction(*lowered_, func_idx, options_);
+        uint64_t elapsed = monotonicNanos() - t0;
+        tierMetrics().compileLatency.record(elapsed);
+        tierMetrics().compileNanos.add(elapsed);
+
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats_.compileNanos += elapsed;
+        if (compiled.isOk()) {
+            exec::FuncCode& fc = table_[func_idx];
+            // Publication: entry first (release pairs with the callers'
+            // acquire loads), then the tier tag readers use for metrics.
+            fc.entry.store(compiled.value()->entry(func_idx),
+                           std::memory_order_release);
+            fc.tier.store(uint8_t(exec::Tier::jit),
+                          std::memory_order_release);
+            artifacts_.push_back(compiled.takeValue());
+            stats_.ups++;
+            tierMetrics().ups.add();
+        } else {
+            // Permanent: pin to the interpreter so the profiler never
+            // re-queues a function we cannot compile.
+            table_[func_idx].tier.store(uint8_t(exec::Tier::failed),
+                                        std::memory_order_relaxed);
+            stats_.failures++;
+            tierMetrics().failures.add();
+        }
+        inflight_--;
+        if (queue_.empty() && inflight_ == 0)
+            drainCv_.notify_all();
+    }
+}
+
+void
+TierController::drain()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    drainCv_.wait(lock,
+                  [this] { return queue_.empty() && inflight_ == 0; });
+}
+
+TierStats
+TierController::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    TierStats out = stats_;
+    out.queueDepth = queue_.size() + inflight_;
+    return out;
+}
+
+} // namespace lnb::rt

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Background tier-up: a small compiler service owned by a CompiledModule
+ * that recompiles individual hot functions with the optimizing JIT
+ * pipeline and atomically publishes the new entry into the module's
+ * per-function code table (DESIGN.md §10).
+ *
+ * Tier state machine (FuncCode::tier):
+ *
+ *     interp --CAS--> queued -> compiling -> jit
+ *                                        \-> failed (pinned to interp)
+ *
+ * The interp->queued CAS is taken on the requesting execution thread, so a
+ * function is enqueued at most once no matter how many instances cross the
+ * hotness threshold concurrently. Publication is a release store of the
+ * new EntryFn; execution threads acquire-load it on every call, so
+ * in-flight activations finish in the old tier and subsequent calls take
+ * the new one. There is no on-stack replacement.
+ */
+#ifndef LNB_RUNTIME_TIERING_H
+#define LNB_RUNTIME_TIERING_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "interp/exec_common.h"
+#include "jit/compiler.h"
+#include "wasm/lower.h"
+
+namespace lnb::rt {
+
+/** Point-in-time tiering statistics (also exported as tier.* metrics). */
+struct TierStats
+{
+    uint64_t requests = 0; ///< interp->queued transitions
+    uint64_t ups = 0;      ///< entries published at the jit tier
+    uint64_t failures = 0; ///< background compiles that failed
+    uint64_t compileNanos = 0;
+    size_t queueDepth = 0; ///< queued + in-flight right now
+};
+
+class TierController
+{
+  public:
+    /**
+     * @p table is the module's code table (module-wide index space);
+     * @p options must carry the optimizing-tier configuration with
+     * options.codeTable == table. Worker threads start immediately and
+     * run until destruction.
+     */
+    TierController(const wasm::LoweredModule* lowered,
+                   exec::FuncCode* table, const jit::JitOptions& options,
+                   uint32_t num_threads);
+    /** Closes the queue and joins the workers; unpublished requests are
+     * dropped (their functions simply stay interpreted). */
+    ~TierController();
+
+    TierController(const TierController&) = delete;
+    TierController& operator=(const TierController&) = delete;
+
+    /** Request a tier-up of @p func_idx; deduplicated via the tier CAS.
+     * Safe from any execution thread. */
+    void request(uint32_t func_idx);
+
+    /** InstanceContext::tierRequest trampoline. */
+    static void requestHook(void* ctl, uint32_t func_idx);
+
+    /** Block until every request made so far is compiled (tests/bench). */
+    void drain();
+
+    TierStats stats() const;
+
+  private:
+    void workerLoop();
+
+    const wasm::LoweredModule* lowered_;
+    exec::FuncCode* table_;
+    jit::JitOptions options_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable workCv_;  ///< queue became non-empty / closed
+    std::condition_variable drainCv_; ///< queue + in-flight hit zero
+    std::deque<uint32_t> queue_;
+    size_t inflight_ = 0;
+    bool closed_ = false;
+    TierStats stats_;
+    /** Published single-function artifacts; kept alive for the module's
+     * lifetime (running code may be inside them). */
+    std::vector<std::unique_ptr<jit::CompiledCode>> artifacts_;
+
+    std::vector<std::thread> workers_;
+};
+
+} // namespace lnb::rt
+
+#endif // LNB_RUNTIME_TIERING_H

@@ -37,6 +37,7 @@ struct CliOptions
 {
     std::string kernel = "atax";
     rt::EngineKind engine = rt::EngineKind::jit_base;
+    bool tiered = false;
     std::vector<mem::BoundsStrategy> strategies = {
         mem::BoundsStrategy::none, mem::BoundsStrategy::clamp,
         mem::BoundsStrategy::trap, mem::BoundsStrategy::mprotect,
@@ -55,7 +56,7 @@ usage(const char* argv0)
         "usage: %s [options]\n"
         "  --kernel=NAME        workload (default: atax)\n"
         "  --engine=NAME        interp-switch|interp-threaded|jit-base|"
-        "jit-opt\n"
+        "jit-opt|tiered\n"
         "  --strategies=A,B,..  subset of none,clamp,trap,mprotect,uffd\n"
         "  --rate=N             open-loop request rate per second "
         "(default: 2000)\n"
@@ -112,7 +113,9 @@ parseArgs(int argc, char** argv, CliOptions& opts)
         } else if (const char* v = value("--kernel=")) {
             opts.kernel = v;
         } else if (const char* v = value("--engine=")) {
-            if (!rt::engineKindFromName(v, opts.engine)) {
+            if (std::string(v) == "tiered") {
+                opts.tiered = true;
+            } else if (!rt::engineKindFromName(v, opts.engine)) {
                 std::fprintf(stderr, "unknown engine '%s'\n", v);
                 return false;
             }
@@ -236,7 +239,9 @@ main(int argc, char** argv)
         wasm::encodeModule(kernel->buildModule(scale));
     std::printf("kernel=%s engine=%s scale=%d rate=%.0f/s "
                 "seconds=%.1f tenants=%d\n\n",
-                kernel->name.c_str(), rt::engineKindName(opts.engine),
+                kernel->name.c_str(),
+                opts.tiered ? "tiered"
+                            : rt::engineKindName(opts.engine),
                 scale, opts.rate, opts.seconds, opts.tenants);
 
     harness::Table table({"strategy", "submitted", "rejected", "completed",
@@ -247,6 +252,7 @@ main(int argc, char** argv)
         rt::EngineConfig engine_config;
         engine_config.kind = opts.engine;
         engine_config.strategy = strategy;
+        engine_config.tiered = opts.tiered;
 
         svc::ExecutionService service(opts.svcConfig);
         bool was_hit = false;
@@ -306,6 +312,28 @@ main(int argc, char** argv)
         result.wallSeconds = load.wallSeconds;
         result.medianIterationSeconds =
             percentileOf(load.latencySeconds, 50);
+        if (module->config().tiered) {
+            // Time-to-peak over the serving path: the request-latency
+            // sequence doubles as the curve (completion order).
+            rt::TierStats tier_stats = module->tierStats();
+            result.tier.tiered = true;
+            result.tier.requests = tier_stats.requests;
+            result.tier.ups = tier_stats.ups;
+            result.tier.failures = tier_stats.failures;
+            result.tier.compileSeconds =
+                double(tier_stats.compileNanos) * 1e-9;
+            result.tier.curveSeconds = load.latencySeconds;
+            harness::computeTimeToPeak(result.tier);
+            std::printf(
+                "[%s] tier: %llu requests, %llu ups, %llu failures, "
+                "time-to-peak %.3f ms, steady %.3f ms\n",
+                mem::boundsStrategyName(strategy),
+                (unsigned long long)tier_stats.requests,
+                (unsigned long long)tier_stats.ups,
+                (unsigned long long)tier_stats.failures,
+                result.tier.timeToPeakSeconds * 1e3,
+                result.tier.steadySeconds * 1e3);
+        }
         result.threads.emplace_back();
         result.threads.back().iterationSeconds =
             std::move(load.latencySeconds);

@@ -47,11 +47,21 @@ engineConfigFingerprint(const rt::EngineConfig& config)
     uint64_t packed = uint64_t(config.kind) | (uint64_t(config.strategy) << 8) |
                       (uint64_t(config.forceUffdEmulation) << 16) |
                       (uint64_t(config.stackChecks) << 17) |
-                      (uint64_t(config.optimizeLoweredIR) << 18);
+                      (uint64_t(config.optimizeLoweredIR) << 18) |
+                      (uint64_t(config.tiered) << 19) |
+                      (uint64_t(config.directJitCalls) << 20);
     uint64_t hash = fnv1a64(&packed, sizeof packed);
     hash = fnv1a64(&config.valueStackCells, sizeof config.valueStackCells,
                    hash);
     hash = fnv1a64(&config.maxCallDepth, sizeof config.maxCallDepth, hash);
+    // Tiering knobs change runtime behavior (threshold, compile
+    // parallelism), so modules compiled under different knobs must not
+    // share cache entries — sharing would also share tier state built
+    // under the other configuration.
+    hash = fnv1a64(&config.tierThreshold, sizeof config.tierThreshold,
+                   hash);
+    hash = fnv1a64(&config.tierCompileThreads,
+                   sizeof config.tierCompileThreads, hash);
     return hash;
 }
 

@@ -15,6 +15,8 @@ struct SvcMetrics
     obs::Counter submitted = obs::registerCounter(
         "svc.requests_submitted");
     obs::Counter rejected = obs::registerCounter("svc.requests_rejected");
+    obs::Counter quotaRejected = obs::registerCounter(
+        "svc.requests_quota_rejected");
     obs::Counter completed = obs::registerCounter(
         "svc.requests_completed");
     obs::Counter trapped = obs::registerCounter("svc.requests_trapped");
@@ -52,6 +54,8 @@ svcConfigFromEnv()
         size_t(envInt("LNB_SVC_POOL_MAX_IDLE", 8, 0, 1 << 16));
     config.cacheCapacity =
         size_t(envInt("LNB_SVC_CACHE_CAP", 64, 1, 1 << 16));
+    config.tenantQuota =
+        size_t(envInt("LNB_SVC_TENANT_QUOTA", 0, 0, 1 << 20));
     return config;
 }
 
@@ -89,6 +93,25 @@ ExecutionService::submit(Request request)
         return errInvalid("svc request without module");
     const std::string tenant = tenantKey(request);
 
+    // Per-tenant admission: claim a queue slot against the tenant's
+    // quota before touching the shared queue, so a burst from one tenant
+    // is bounced here and never crowds out the others.
+    {
+        std::lock_guard<std::mutex> lock(tenantsMutex_);
+        TenantStats& stats = tenants_[tenant];
+        if (config_.tenantQuota > 0 &&
+            stats.queued >= config_.tenantQuota) {
+            stats.rejected++;
+            stats.quotaRejected++;
+            svcMetrics().rejected.add();
+            svcMetrics().quotaRejected.add();
+            return errResource("tenant '" + tenant + "' at queue quota (" +
+                               std::to_string(config_.tenantQuota) +
+                               "); request rejected");
+        }
+        stats.queued++;
+    }
+
     Job job;
     job.request = std::move(request);
     job.enqueueNanos = monotonicNanos();
@@ -97,7 +120,9 @@ ExecutionService::submit(Request request)
     if (!queue_.tryPush(std::move(job))) {
         svcMetrics().rejected.add();
         std::lock_guard<std::mutex> lock(tenantsMutex_);
-        tenants_[tenant].rejected++;
+        TenantStats& stats = tenants_[tenant];
+        stats.rejected++;
+        stats.queued--;
         return errResource("svc queue full (depth " +
                            std::to_string(queue_.depth()) +
                            "); request rejected");
@@ -145,6 +170,11 @@ ExecutionService::workerLoop(int worker_idx)
             return; // closed and drained
         LNB_TRACE_SCOPE("svc.request");
         uint64_t picked_up = monotonicNanos();
+        {
+            // The request left the queue: release its quota slot.
+            std::lock_guard<std::mutex> lock(tenantsMutex_);
+            tenants_[tenantKey(job->request)].queued--;
+        }
 
         Response response;
         response.queueNanos = picked_up - job->enqueueNanos;

@@ -17,6 +17,8 @@
  *   LNB_SVC_QUEUE_DEPTH submission queue bound  (default: 256)
  *   LNB_SVC_POOL_MAX_IDLE parked instances per module (default: 8)
  *   LNB_SVC_CACHE_CAP   compiled-module cache capacity (default: 64)
+ *   LNB_SVC_TENANT_QUOTA max queued requests per tenant (default: 0 =
+ *                        unlimited; only the global queue bound applies)
  */
 #ifndef LNB_SVC_SERVICE_H
 #define LNB_SVC_SERVICE_H
@@ -42,6 +44,13 @@ struct SvcConfig
     size_t queueDepth = 256;
     size_t poolMaxIdle = 8;
     size_t cacheCapacity = 64;
+    /**
+     * Per-tenant queue-depth quota: a tenant may have at most this many
+     * requests waiting in the submission queue; the surplus is rejected
+     * with resource_exhausted even when the global queue has room, so
+     * one bursting tenant cannot starve the rest. 0 disables the quota.
+     */
+    size_t tenantQuota = 0;
     /** Pin workers to cores (§3.5 harness protocol). */
     bool pinWorkers = true;
 };
@@ -74,8 +83,13 @@ struct TenantStats
 {
     uint64_t submitted = 0;
     uint64_t rejected = 0;
+    /** Subset of rejected: bounced by the per-tenant quota while the
+     * global queue still had room. */
+    uint64_t quotaRejected = 0;
     uint64_t completed = 0;
     uint64_t trapped = 0;
+    /** Requests currently waiting in the submission queue. */
+    uint64_t queued = 0;
 };
 
 class ExecutionService

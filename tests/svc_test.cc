@@ -151,6 +151,10 @@ TEST(ModuleCache, DistinctConfigOrBytesGetDistinctModules)
     interp_cfg.kind = EngineKind::interp_threaded;
     EngineConfig nochecks_cfg = mprotect_cfg;
     nochecks_cfg.stackChecks = false;
+    EngineConfig tiered_cfg = mprotect_cfg;
+    tiered_cfg.tiered = true;
+    EngineConfig threshold_cfg = tiered_cfg;
+    threshold_cfg.tierThreshold = 128;
 
     auto a = cache.getOrCompile(bytes, mprotect_cfg);
     auto b = cache.getOrCompile(bytes, trap_cfg);
@@ -158,14 +162,20 @@ TEST(ModuleCache, DistinctConfigOrBytesGetDistinctModules)
     auto d = cache.getOrCompile(bytes, nochecks_cfg);
     std::vector<uint8_t> other = wasm::encodeModule(spinModule(10));
     auto e = cache.getOrCompile(other, mprotect_cfg);
-    for (auto* r : {&a, &b, &c, &d, &e})
+    auto f = cache.getOrCompile(bytes, tiered_cfg);
+    auto g = cache.getOrCompile(bytes, threshold_cfg);
+    for (auto* r : {&a, &b, &c, &d, &e, &f, &g})
         ASSERT_TRUE(r->isOk());
 
     EXPECT_NE(a.value().get(), b.value().get());
     EXPECT_NE(a.value().get(), c.value().get());
     EXPECT_NE(a.value().get(), d.value().get());
     EXPECT_NE(a.value().get(), e.value().get());
-    EXPECT_EQ(cache.stats().misses, 5u);
+    // Tiering is mutable shared state: a tiered module must not share a
+    // cache entry with a fixed-tier one, nor with a different threshold.
+    EXPECT_NE(a.value().get(), f.value().get());
+    EXPECT_NE(f.value().get(), g.value().get());
+    EXPECT_EQ(cache.stats().misses, 7u);
     EXPECT_EQ(cache.stats().hits, 0u);
 }
 
@@ -420,6 +430,137 @@ TEST(ExecutionService, BackpressureRejectsInsteadOfBlocking)
     EXPECT_EQ(tenants[0].second.completed, uint64_t(accepted.size()));
 }
 
+/**
+ * Per-tenant queue-depth quota: with the single worker pinned down by a
+ * long-running request, a burst from one tenant is capped at
+ * tenantQuota queued requests — the surplus bounces with
+ * resource_exhausted while a second tenant still gets in, even though
+ * the global queue had room for the whole burst.
+ */
+TEST(ExecutionService, TenantQuotaCapsBurstWithoutStarvingOthers)
+{
+    svc::SvcConfig config;
+    config.workers = 1;
+    config.queueDepth = 16;
+    config.tenantQuota = 3;
+    config.pinWorkers = false;
+    svc::ExecutionService service(config);
+
+    EngineConfig engine_config;
+    auto blocker_mod = service.loadModule(
+        wasm::encodeModule(spinModule(50'000'000)), engine_config);
+    ASSERT_TRUE(blocker_mod.isOk()) << blocker_mod.status().toString();
+    auto quick_mod = service.loadModule(
+        wasm::encodeModule(spinModule(1000)), engine_config);
+    ASSERT_TRUE(quick_mod.isOk()) << quick_mod.status().toString();
+
+    // Occupy the worker, then wait for the blocker to leave the queue so
+    // the burst below cannot be drained concurrently.
+    svc::Request blocker;
+    blocker.tenant = "hog";
+    blocker.module = blocker_mod.value();
+    auto blocker_future = service.submit(std::move(blocker));
+    ASSERT_TRUE(blocker_future.isOk());
+    while (service.queueSize() != 0)
+        std::this_thread::yield();
+
+    std::vector<std::future<svc::Response>> accepted;
+    int rejected = 0;
+    for (int i = 0; i < 10; i++) {
+        svc::Request request;
+        request.tenant = "hog";
+        request.module = quick_mod.value();
+        auto submitted = service.submit(std::move(request));
+        if (submitted.isOk())
+            accepted.push_back(submitted.takeValue());
+        else
+            rejected++;
+    }
+    EXPECT_EQ(accepted.size(), 3u);
+    EXPECT_EQ(rejected, 7);
+
+    // The other tenant is not starved by hog's burst.
+    svc::Request other;
+    other.tenant = "other";
+    other.module = quick_mod.value();
+    auto other_future = service.submit(std::move(other));
+    ASSERT_TRUE(other_future.isOk())
+        << "quota must not reject other tenants";
+
+    EXPECT_EQ(blocker_future.value().get().outcome.results[0].i32,
+              50'000'000u);
+    for (auto& future : accepted)
+        EXPECT_TRUE(future.get().outcome.ok());
+    EXPECT_TRUE(other_future.value().get().outcome.ok());
+
+    auto tenants = service.tenantStats();
+    ASSERT_EQ(tenants.size(), 2u);
+    EXPECT_EQ(tenants[0].first, "hog");
+    EXPECT_EQ(tenants[0].second.submitted, 4u); // blocker + 3 of burst
+    EXPECT_EQ(tenants[0].second.rejected, 7u);
+    EXPECT_EQ(tenants[0].second.quotaRejected, 7u);
+    EXPECT_EQ(tenants[0].second.completed, 4u);
+    EXPECT_EQ(tenants[0].second.queued, 0u);
+    EXPECT_EQ(tenants[1].first, "other");
+    EXPECT_EQ(tenants[1].second.submitted, 1u);
+    EXPECT_EQ(tenants[1].second.quotaRejected, 0u);
+    EXPECT_EQ(tenants[1].second.completed, 1u);
+}
+
+/**
+ * Tier state lives in the CompiledModule, so every pooled instance — and
+ * every tenant — shares it: once one instance's profile tiers a function
+ * up, warm and cold instances alike call the JIT entry, and recycle()
+ * (which zeroes only per-instance hotness) does not undo it.
+ */
+TEST(ExecutionService, TieredModuleSharesTierStateAcrossPool)
+{
+    svc::SvcConfig config;
+    config.workers = 2;
+    config.queueDepth = 64;
+    config.pinWorkers = false;
+    svc::ExecutionService service(config);
+
+    EngineConfig engine_config;
+    engine_config.tiered = true;
+    engine_config.tierThreshold = 256;
+    constexpr int32_t kSpin = 5000;
+    auto loaded = service.loadModule(
+        wasm::encodeModule(spinModule(kSpin)), engine_config);
+    ASSERT_TRUE(loaded.isOk()) << loaded.status().toString();
+    auto module = loaded.takeValue();
+    ASSERT_TRUE(module->config().tiered);
+
+    auto burst = [&](const std::string& tenant, int count) {
+        std::vector<std::future<svc::Response>> futures;
+        for (int i = 0; i < count; i++) {
+            svc::Request request;
+            request.tenant = tenant;
+            request.module = module;
+            auto submitted = service.submit(std::move(request));
+            ASSERT_TRUE(submitted.isOk());
+            futures.push_back(submitted.takeValue());
+        }
+        for (auto& future : futures) {
+            svc::Response response = future.get();
+            ASSERT_TRUE(response.outcome.ok());
+            EXPECT_EQ(response.outcome.results[0].i32, uint32_t(kSpin));
+        }
+    };
+    burst("alpha", 8);
+    module->drainTierQueue();
+    rt::TierStats stats = module->tierStats();
+    EXPECT_GE(stats.ups, 1u);
+    EXPECT_EQ(stats.failures, 0u);
+    EXPECT_EQ(module->funcTier(0), exec::Tier::jit);
+
+    // Recycled (warm) instances and a second tenant keep serving
+    // correct results from the shared jit tier.
+    burst("beta", 8);
+    EXPECT_EQ(module->tierStats().ups, stats.ups)
+        << "tier-up must happen once per function, not per instance";
+}
+
 TEST(ExecutionService, ServesTenantsAndCountsPerTenant)
 {
     svc::SvcConfig config;
@@ -480,13 +621,16 @@ TEST(SvcConfig, StrictEnvParsingFallsBackOnGarbage)
     setenv("LNB_SVC_QUEUE_DEPTH", "banana", 1);
     setenv("LNB_SVC_WORKERS", "-3", 1);
     setenv("LNB_SVC_POOL_MAX_IDLE", "12", 1);
+    setenv("LNB_SVC_TENANT_QUOTA", "5", 1);
     svc::SvcConfig config = svc::svcConfigFromEnv();
     EXPECT_EQ(config.queueDepth, 256u); // non-numeric -> default
     EXPECT_EQ(config.workers, 0);      // out of range -> default
     EXPECT_EQ(config.poolMaxIdle, 12u); // valid -> honored
+    EXPECT_EQ(config.tenantQuota, 5u);
     unsetenv("LNB_SVC_QUEUE_DEPTH");
     unsetenv("LNB_SVC_WORKERS");
     unsetenv("LNB_SVC_POOL_MAX_IDLE");
+    unsetenv("LNB_SVC_TENANT_QUOTA");
 }
 
 } // namespace
