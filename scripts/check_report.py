@@ -90,11 +90,18 @@ def check_trace(trace_path):
     if not isinstance(events, list) or not events:
         fail("trace file has no traceEvents")
     for event in events:
-        for key in ("name", "ph", "pid", "tid", "ts", "dur"):
+        for key in ("name", "ph", "pid", "tid", "ts"):
             if key not in event:
                 fail(f"trace event lacks {key}: {event!r}")
-        if event["ph"] != "X":
-            fail(f"unexpected event phase: {event['ph']!r}")
+        phase = event["ph"]
+        if phase == "X":
+            if "dur" not in event:
+                fail(f"complete event lacks dur: {event!r}")
+        elif phase in ("b", "e"):
+            if "id" not in event:
+                fail(f"async event lacks id: {event!r}")
+        elif phase != "i":
+            fail(f"unexpected event phase: {phase!r}")
     names = {event["name"] for event in events}
     if "mem.create" not in names:
         fail(f"expected a mem.create span, got {sorted(names)}")
@@ -140,18 +147,65 @@ def check_svc_report(doc, path, strategies):
 
     histograms = doc.get("histograms", {})
     for name in ("svc.request_ns", "svc.queue_wait_ns",
-                 "svc.acquire_warm_ns", "mem.reset_ns"):
+                 "svc.acquire_warm_ns", "mem.reset_ns",
+                 "svc.phase_acquire_ns", "svc.phase_exec_ns",
+                 "svc.phase_respond_ns"):
         hist = histograms.get(name)
         if not hist or hist.get("count", 0) <= 0:
             fail(f"{path}: histogram {name} missing or empty: {hist!r}")
     return config.get("strategy")
 
 
-def run_svc(lnb_svc):
+PROFILE_CATEGORIES = [
+    "other", "interp", "jit_body", "jit_bounds_check", "tier_compile",
+    "host_wasi", "mem", "svc",
+]
+
+
+def check_profile_block(doc, path, expected_hz):
+    """Validate the sampling-profiler block of a bench_result report
+    produced with LNB_PROF_HZ set."""
+    profile = doc.get("profile")
+    if not isinstance(profile, dict):
+        fail(f"{path}: report lacks a profile block (LNB_PROF_HZ set)")
+    if profile.get("samples", 0) <= 0:
+        fail(f"{path}: profiler took no samples: {profile!r}")
+    if profile.get("hz") != expected_hz:
+        fail(f"{path}: profile hz {profile.get('hz')!r}, "
+             f"expected {expected_hz}")
+    categories = profile.get("categories")
+    if not isinstance(categories, dict):
+        fail(f"{path}: profile block lacks categories")
+    for name in PROFILE_CATEGORIES:
+        if name not in categories:
+            fail(f"{path}: profile categories lack {name}")
+    if sum(categories.values()) != profile["samples"]:
+        fail(f"{path}: category sum {sum(categories.values())} != "
+             f"samples {profile['samples']}")
+    pct = profile.get("boundsCheckPct")
+    if not isinstance(pct, (int, float)) or not 0 <= pct <= 100:
+        fail(f"{path}: boundsCheckPct out of range: {pct!r}")
+    funcs = profile.get("funcs")
+    if not isinstance(funcs, list):
+        fail(f"{path}: profile block lacks funcs")
+    for func in funcs:
+        for key in ("funcIdx", "tier", "samples", "boundsSamples"):
+            if key not in func:
+                fail(f"{path}: profile func lacks {key}: {func!r}")
+        if func["boundsSamples"] > func["samples"]:
+            fail(f"{path}: boundsSamples > samples: {func!r}")
+
+
+def run_svc(lnb_svc, profiled=False):
     strategies = ["mprotect", "uffd"]
+    prof_hz = 997
     with tempfile.TemporaryDirectory(prefix="lnb_check_svc_") as tmp:
         env = dict(os.environ)
         env["LNB_JSON_DIR"] = tmp
+        if profiled:
+            # Arm the sampling profiler so the reports carry a profile
+            # block (and SIGPROF runs alongside the SIGSEGV strategies).
+            env["LNB_PROF_HZ"] = str(prof_hz)
         cmd = [
             lnb_svc,
             "--strategies=" + ",".join(strategies),
@@ -178,10 +232,14 @@ def run_svc(lnb_svc):
         seen = []
         for name in reports:
             path = os.path.join(tmp, name)
-            seen.append(check_svc_report(load_json(path), path, strategies))
+            doc = load_json(path)
+            seen.append(check_svc_report(doc, path, strategies))
+            if profiled:
+                check_profile_block(doc, path, prof_hz)
         if sorted(seen) != sorted(strategies):
             fail(f"reports cover {seen}, expected {strategies}")
-    print(f"check_report: svc OK ({len(reports)} strategy reports)")
+    mode = "profiled svc" if profiled else "svc"
+    print(f"check_report: {mode} OK ({len(reports)} strategy reports)")
     run_svc_tiered(lnb_svc)
     print("check_report: PASS")
 
@@ -258,14 +316,15 @@ def run_svc_tiered(lnb_svc):
 
 
 def main():
-    if len(sys.argv) == 3 and sys.argv[1] == "--svc":
+    if len(sys.argv) == 3 and sys.argv[1] in ("--svc", "--svc-profiled"):
         lnb_svc = sys.argv[2]
         if not os.access(lnb_svc, os.X_OK):
             fail(f"not executable: {lnb_svc}")
-        run_svc(lnb_svc)
+        run_svc(lnb_svc, profiled=sys.argv[1] == "--svc-profiled")
         return
     if len(sys.argv) != 2:
-        fail(f"usage: {sys.argv[0]} [--svc] <path-to-binary>")
+        fail(f"usage: {sys.argv[0]} [--svc|--svc-profiled] "
+             f"<path-to-binary>")
     micro_bounds = sys.argv[1]
     if not os.access(micro_bounds, os.X_OK):
         fail(f"not executable: {micro_bounds}")

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Tier-2 smoke check for the sampling profiler's folded-stack output.
+
+Runs a small slice of the micro_bounds benchmark with LNB_PROF_HZ and
+LNB_PROF_FOLDED set, then validates the collapsed-stack file the
+profiler writes at process exit (the input format of Brendan Gregg's
+flamegraph.pl / speedscope):
+
+  * every line is "frame[;frame...] count" with a positive integer
+    count,
+  * every frame is either a symbolized wasm function ("f<idx>@<tier>")
+    or one of the profiler's category names, and
+  * at least one sample was collected overall.
+
+Usage: flamegraph_check.py <path-to-micro_bounds>
+       flamegraph_check.py --file <folded-stacks.txt>
+"""
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+CATEGORY_NAMES = {
+    "other", "interp", "jit_body", "jit_bounds_check", "tier_compile",
+    "host_wasi", "mem", "svc",
+}
+FUNC_FRAME = re.compile(r"^f\d+@[a-z_]+$")
+
+
+def fail(message):
+    print(f"flamegraph_check: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_folded(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    except OSError as err:
+        fail(f"{path}: {err}")
+    if not lines:
+        fail(f"{path}: no folded stacks were written")
+
+    total = 0
+    for lineno, line in enumerate(lines, 1):
+        parts = line.rsplit(" ", 1)
+        if len(parts) != 2:
+            fail(f"{path}:{lineno}: not 'stack count': {line!r}")
+        stack, count = parts
+        if not count.isdigit() or int(count) <= 0:
+            fail(f"{path}:{lineno}: non-positive count: {line!r}")
+        total += int(count)
+        if not stack:
+            fail(f"{path}:{lineno}: empty stack: {line!r}")
+        for frame in stack.split(";"):
+            if not FUNC_FRAME.match(frame) and frame not in CATEGORY_NAMES:
+                fail(f"{path}:{lineno}: unrecognized frame "
+                     f"{frame!r}: {line!r}")
+    print(f"flamegraph_check: folded OK "
+          f"({len(lines)} stacks, {total} samples)")
+
+
+def main():
+    if len(sys.argv) == 3 and sys.argv[1] == "--file":
+        check_folded(sys.argv[2])
+        print("flamegraph_check: PASS")
+        return
+    if len(sys.argv) != 2:
+        fail(f"usage: {sys.argv[0]} [--file] <path>")
+    micro_bounds = sys.argv[1]
+    if not os.access(micro_bounds, os.X_OK):
+        fail(f"not executable: {micro_bounds}")
+
+    with tempfile.TemporaryDirectory(prefix="lnb_flamegraph_") as tmp:
+        folded_path = os.path.join(tmp, "folded.txt")
+        env = dict(os.environ)
+        env["LNB_PROF_HZ"] = "997"
+        env["LNB_PROF_FOLDED"] = folded_path
+        cmd = [
+            micro_bounds,
+            "--benchmark_filter=BM_JitLoadStore",
+            "--benchmark_min_time=0.2",
+        ]
+        proc = subprocess.run(cmd, env=env, capture_output=True, text=True)
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stdout)
+            sys.stderr.write(proc.stderr)
+            fail(f"{' '.join(cmd)} exited with {proc.returncode}")
+        check_folded(folded_path)
+    print("flamegraph_check: PASS")
+
+
+if __name__ == "__main__":
+    main()

@@ -76,6 +76,10 @@ driveThreads(const BenchSpec& spec,
         }
     });
 
+    // Profile delta brackets the run phase (warm-up included: the worker
+    // threads register with the sampler on their first iteration anyway,
+    // and warm-up work is the same code the measured phase runs).
+    obs::ProfileSnapshot prof_before = obs::snapshotProfile();
     uint64_t wall_start = monotonicNanos();
     std::vector<std::thread> workers;
     workers.reserve(size_t(num_threads));
@@ -131,6 +135,8 @@ driveThreads(const BenchSpec& spec,
     for (std::thread& worker : workers)
         worker.join();
     result.wallSeconds = double(monotonicNanos() - wall_start) * 1e-9;
+    result.profile = obs::profileDelta(prof_before,
+                                       obs::snapshotProfile());
 
     sampling.store(false, std::memory_order_relaxed);
     sampler.join();

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "kernels/kernel.h"
+#include "obs/profiler.h"
 #include "runtime/engine.h"
 #include "runtime/instance.h"
 
@@ -118,6 +119,12 @@ struct BenchResult
     double blockingEventsPerSec = 0;
     /** Tier-up telemetry and the time-to-peak curve (tiered runs). */
     TierCurve tier;
+    /**
+     * Sampling-profiler delta over the run phase (zeros unless
+     * LNB_PROF_HZ enabled the sampler): self-time by category and by
+     * (function, tier), including the bounds-check share.
+     */
+    obs::ProfileSnapshot profile;
     /** Path of the JSON run report, when LNB_JSON_DIR was set. */
     std::string jsonReportPath;
 };

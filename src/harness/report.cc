@@ -224,6 +224,36 @@ benchResultToJson(const BenchSpec& spec, const BenchResult& result,
         w.endObject();
     }
 
+    // Sampling-profiler delta over the run phase; present only when the
+    // sampler actually took samples (LNB_PROF_HZ > 0).
+    if (result.profile.samples > 0) {
+        const obs::ProfileSnapshot& prof = result.profile;
+        w.key("profile").beginObject();
+        w.key("samples").value(prof.samples);
+        w.key("hz").value(uint64_t(obs::profilerHz()));
+        w.key("categories").beginObject();
+        for (int i = 0; i < obs::kNumProfCategories; i++)
+            w.key(obs::profCategoryName(i)).value(prof.categories[i]);
+        w.endObject();
+        w.key("boundsCheckPct").value(prof.boundsCheckPct());
+        // Hottest (function, tier) pairs by self samples; funcs is
+        // already sorted descending.
+        constexpr size_t kMaxProfileFuncs = 20;
+        w.key("funcs").beginArray();
+        for (size_t i = 0;
+             i < prof.funcs.size() && i < kMaxProfileFuncs; i++) {
+            const auto& f = prof.funcs[i];
+            w.beginObject();
+            w.key("funcIdx").value(uint64_t(f.funcIdx));
+            w.key("tier").value(obs::profTierName(f.tier));
+            w.key("samples").value(f.samples);
+            w.key("boundsSamples").value(f.boundsSamples);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+
     w.key("host").beginObject();
     w.key("cpu").value(cpuModelName());
     w.key("onlineCpus").value(onlineCpuCount());

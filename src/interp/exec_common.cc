@@ -4,6 +4,7 @@
 
 #include "mem/signals.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 
 namespace lnb::exec {
 
@@ -45,6 +46,7 @@ tierName(Tier tier)
 int32_t
 execMemoryGrow(InstanceContext* ctx, uint32_t delta_pages)
 {
+    obs::ProfCategoryScope prof_cat(obs::ProfCategory::mem);
     ctx->blockingEvents++;
     execMetrics().memoryGrows.add();
     int64_t old_pages = ctx->memory->grow(delta_pages);
@@ -69,6 +71,7 @@ lnbJitHostCall(InstanceContext* ctx, wasm::Value* args, uint32_t import_idx)
         ctx->hostFuncs[import_idx].fn == nullptr) {
         mem::TrapManager::raiseTrap(wasm::TrapKind::host_error);
     }
+    obs::ProfCategoryScope prof_cat(obs::ProfCategory::host_wasi);
     ctx->blockingEvents++;
     execMetrics().hostCalls.add();
     HostFuncBinding& binding = ctx->hostFuncs[import_idx];

@@ -10,6 +10,7 @@
  * function entries and loop back edges for the tier-up policy.
  */
 #include "interp/interpreter.h"
+#include "obs/profiler.h"
 #include "interp/ops_inline.h"
 
 namespace lnb::exec {
@@ -142,6 +143,9 @@ switchEntry(InstanceContext* ctx, Value* frame, uint32_t func_idx)
 {
     if constexpr (Profile)
         recordHotness(ctx, func_idx, kEntryHotness);
+    // Sampler frame marker: one relaxed load + branch when profiling is
+    // off, declared-interp category + chain link when on.
+    obs::ProfFrameScope prof_frame(func_idx, obs::kProfTierInterp);
     runSwitch<M, Profile>(ctx, ctx->lowered->funcByIndex(func_idx), frame);
 }
 

@@ -11,6 +11,7 @@
  * function entries and loop back edges for the tier-up policy.
  */
 #include "interp/interpreter.h"
+#include "obs/profiler.h"
 #include "interp/ops_inline.h"
 
 namespace lnb::exec {
@@ -161,6 +162,8 @@ threadedEntry(InstanceContext* ctx, Value* frame, uint32_t func_idx)
 {
     if constexpr (Profile)
         recordHotness(ctx, func_idx, kEntryHotness);
+    // Sampler frame marker (see switch_interp.cc).
+    obs::ProfFrameScope prof_frame(func_idx, obs::kProfTierInterp);
     runThreaded<M, Profile>(ctx, ctx->lowered->funcByIndex(func_idx),
                             frame);
 }

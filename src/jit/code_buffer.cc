@@ -28,12 +28,12 @@ CodeBuffer::~CodeBuffer()
 }
 
 Status
-CodeBuffer::finalize(size_t used)
+CodeBuffer::finalize(size_t used, const mem::JitCodeInfo* info)
 {
     used_ = used;
     if (mprotect(base_, capacity_, PROT_READ | PROT_EXEC) != 0)
         return errResource("mprotect(RX) for JIT code failed");
-    region_ = mem::CodeRegionRegistry::add(base_, capacity_);
+    region_ = mem::CodeRegionRegistry::add(base_, capacity_, info);
     if (region_ == nullptr)
         return errResource("code region registry full");
     return Status::ok();

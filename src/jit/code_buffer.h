@@ -31,8 +31,15 @@ class CodeBuffer
     size_t capacity() const { return capacity_; }
     size_t used() const { return used_; }
 
-    /** Flip to RX and register as a code region. Call exactly once. */
-    Status finalize(size_t used);
+    /**
+     * Flip to RX and register as a code region. Call exactly once.
+     * @p info optionally attaches a profiler symbolization side table
+     * (function entries + bounds-check PC ranges); it must outlive this
+     * buffer — the destructor's unregistration quiesces in-flight
+     * SIGPROF lookups before the owner may free it, which the usual
+     * member order (info before buffer in the artifact) guarantees.
+     */
+    Status finalize(size_t used, const mem::JitCodeInfo* info = nullptr);
 
   private:
     CodeBuffer() = default;

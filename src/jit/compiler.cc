@@ -10,6 +10,7 @@
 #include "jit/assembler.h"
 #include "jit/code_buffer.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace lnb::jit {
@@ -160,12 +161,15 @@ class FunctionCompiler
   public:
     FunctionCompiler(Assembler& as, const LoweredModule& mod,
                      const LoweredFunc& func, const JitOptions& opts,
-                     const std::vector<Label>& func_labels)
+                     const std::vector<Label>& func_labels,
+                     std::vector<std::pair<uint32_t, uint32_t>>*
+                         check_ranges = nullptr)
         : as_(as),
           mod_(mod),
           func_(func),
           opts_(opts),
-          funcLabels_(func_labels)
+          funcLabels_(func_labels),
+          checkRanges_(check_ranges)
     {
         assignLocalHomes();
         for (uint32_t pc : func_.elidableCheckPcs)
@@ -419,6 +423,17 @@ class FunctionCompiler
     void invalidate(uint32_t cell) { checkedLimit_.erase(cell); }
     void invalidateAllChecks() { checkedLimit_.clear(); }
 
+    /** Record [check_begin, current) as a bounds-check PC range for the
+     * profiler code map. Emission is monotonic, so ranges arrive sorted
+     * and disjoint. */
+    void
+    recordCheckRange(uint32_t check_begin)
+    {
+        if (checkRanges_ != nullptr)
+            checkRanges_->emplace_back(check_begin,
+                                       uint32_t(as_.size()));
+    }
+
     /**
      * Compute the accessible address for a memory access: returns a Mem
      * operand ready for the load/store. Address scratch: rax (+rcx);
@@ -467,6 +482,7 @@ class FunctionCompiler
             jitMetrics().boundsChecksElided.add();
         } else {
             jitMetrics().boundsChecksEmitted.add();
+            uint32_t check_begin = uint32_t(as_.size());
             // rcx = ea + size; compare against the live memory size.
             as_.lea(rcx, Mem{rax, int32_t(access_size)});
             as_.cmpRM64(rcx, CTX_FIELD(memSize));
@@ -480,6 +496,7 @@ class FunctionCompiler
                 if (opts_.optimize)
                     checkedLimit_[inst.a] = limit;
             }
+            recordCheckRange(check_begin);
         }
         as_.movRM64(rsi, CTX_FIELD(memBase));
         as_.addRR64(rax, rsi);
@@ -530,6 +547,9 @@ class FunctionCompiler
     const LoweredFunc& func_;
     const JitOptions& opts_;
     const std::vector<Label>& funcLabels_;
+    /** Sink for emitted bounds-check PC ranges (buffer offsets), fed to
+     * the profiler code map; null when symbolization is not wanted. */
+    std::vector<std::pair<uint32_t, uint32_t>>* checkRanges_ = nullptr;
 
     /** Pool index per local cell, -1 = memory home. */
     std::vector<int8_t> localHome_;
@@ -757,6 +777,7 @@ FunctionCompiler::emitInstr(const LInst& inst)
         if (opts_.strategy != BoundsStrategy::trap)
             return;
         jitMetrics().boundsChecksEmitted.add();
+        uint32_t check_begin = uint32_t(as_.size());
         if (inst.aux == 0) {
             loadGpr32(rax, inst.a);
             as_.movRI64(rcx, inst.imm);
@@ -772,6 +793,7 @@ FunctionCompiler::emitInstr(const LInst& inst)
             as_.cmpRM64(rax, CTX_FIELD(memSize));
             as_.jcc(Cond::a, trapLabel(TrapKind::out_of_bounds_memory));
         }
+        recordCheckRange(check_begin);
         return;
       }
 
@@ -2258,6 +2280,11 @@ class ModuleArtifact : public CompiledCode
         return out;
     }
 
+    /** Profiler symbolization table. Declared before buffer_ on
+     * purpose: members destroy in reverse order, so the buffer
+     * (unregister + quiesce in-flight SIGPROF lookups) goes first and
+     * the table outlives every reader. */
+    mem::JitCodeInfo codeInfo_;
     std::unique_ptr<CodeBuffer> buffer_;
     std::vector<size_t> entryOffsets_; ///< per compiled function
     std::vector<size_t> thunkOffsets_; ///< per import
@@ -2265,6 +2292,28 @@ class ModuleArtifact : public CompiledCode
     /** First defined-function index covered by entryOffsets_ (non-zero
      * for single-function tier-up artifacts). */
     uint32_t firstDefined_ = 0;
+
+    /** Fill codeInfo_ from the collected offsets + check ranges. */
+    void
+    buildCodeInfo(bool optimized,
+                  const std::vector<std::pair<uint32_t, uint32_t>>& checks)
+    {
+        codeInfo_.tier = optimized ? obs::kProfTierJitOpt
+                                   : obs::kProfTierJitBase;
+        codeInfo_.funcStarts.reserve(entryOffsets_.size());
+        codeInfo_.funcIndices.reserve(entryOffsets_.size());
+        for (size_t i = 0; i < entryOffsets_.size(); i++) {
+            codeInfo_.funcStarts.push_back(uint32_t(entryOffsets_[i]));
+            codeInfo_.funcIndices.push_back(numImports_ + firstDefined_ +
+                                            uint32_t(i));
+        }
+        codeInfo_.checkStarts.reserve(checks.size());
+        codeInfo_.checkEnds.reserve(checks.size());
+        for (const auto& [begin, end] : checks) {
+            codeInfo_.checkStarts.push_back(begin);
+            codeInfo_.checkEnds.push_back(end);
+        }
+    }
 };
 
 } // namespace
@@ -2320,18 +2369,20 @@ compileModule(const LoweredModule& module, const JitOptions& options)
     for (size_t i = 0; i < module.funcs.size(); i++)
         func_labels.push_back(as.newLabel());
 
+    std::vector<std::pair<uint32_t, uint32_t>> check_ranges;
     for (size_t i = 0; i < module.funcs.size(); i++) {
         as.bind(func_labels[i]);
         artifact->entryOffsets_.push_back(as.size());
         FunctionCompiler compiler(as, module, module.funcs[i], options,
-                                  func_labels);
+                                  func_labels, &check_ranges);
         compiler.compile();
     }
 
     if (as.overflow())
         return errInternal("JIT code buffer overflow");
 
-    LNB_RETURN_IF_ERROR(buffer->finalize(as.size()));
+    artifact->buildCodeInfo(options.optimize, check_ranges);
+    LNB_RETURN_IF_ERROR(buffer->finalize(as.size(), &artifact->codeInfo_));
     jitMetrics().modulesCompiled.add();
     jitMetrics().functionsCompiled.add(module.funcs.size());
     jitMetrics().codeBytes.add(as.size());
@@ -2360,14 +2411,17 @@ compileFunction(const LoweredModule& module, uint32_t func_idx,
 
     // No sibling labels: every outgoing call is table-indirect.
     std::vector<Label> no_labels;
+    std::vector<std::pair<uint32_t, uint32_t>> check_ranges;
     artifact->entryOffsets_.push_back(as.size());
-    FunctionCompiler compiler(as, module, func, options, no_labels);
+    FunctionCompiler compiler(as, module, func, options, no_labels,
+                              &check_ranges);
     compiler.compile();
 
     if (as.overflow())
         return errInternal("JIT code buffer overflow");
 
-    LNB_RETURN_IF_ERROR(buffer->finalize(as.size()));
+    artifact->buildCodeInfo(options.optimize, check_ranges);
+    LNB_RETURN_IF_ERROR(buffer->finalize(as.size(), &artifact->codeInfo_));
     jitMetrics().functionsCompiled.add();
     jitMetrics().codeBytes.add(as.size());
     artifact->buffer_ = std::move(buffer);

@@ -1,24 +1,97 @@
 #include "mem/code_registry.h"
 
+#include "obs/profiler.h"
+
 namespace lnb::mem {
 
 namespace {
 
 CodeRegionRegistry::Region g_regions[CodeRegionRegistry::kMaxRegions];
 
+/**
+ * Lookup gate: signal-context classify() increments before scanning the
+ * slot table and decrements when done. remove() publishes the dead slot
+ * (base = null) and then spins until the gate drains, which guarantees
+ * no handler still holds a pointer into the region's JitCodeInfo when
+ * the owner frees it. Both sides are seq_cst so the handler's increment
+ * and the remover's null-store order against each other (a handler that
+ * observed the old base incremented the gate before remove()'s drain
+ * loop started reading it).
+ */
+std::atomic<uint32_t> g_lookupGate{0};
+
+/** Adapter with the obs-layer classifier signature (obs cannot include
+ * mem headers, so it defines a mirror of JitPcInfo). */
+bool
+classifyPcForProfiler(const void* pc, obs::prof::JitPcSample* out)
+{
+    JitPcInfo info;
+    if (!CodeRegionRegistry::classify(pc, &info))
+        return false;
+    out->funcIdx = info.funcIdx;
+    out->tier = info.tier;
+    out->inBoundsCheck = info.inBoundsCheck;
+    return true;
+}
+
+const JitCodeInfo*
+regionInfoFor(const void* pc, uintptr_t* region_base)
+{
+    auto p = reinterpret_cast<uintptr_t>(pc);
+    for (CodeRegionRegistry::Region& slot : g_regions) {
+        const uint8_t* base = slot.base.load(std::memory_order_acquire);
+        if (base == nullptr)
+            continue;
+        auto b = reinterpret_cast<uintptr_t>(base);
+        if (p >= b && p < b + slot.size) {
+            *region_base = b;
+            return slot.info.load(std::memory_order_acquire);
+        }
+    }
+    *region_base = 0;
+    return nullptr;
+}
+
+/** Index of the last element in @p sorted that is <= @p offset, or -1. */
+int
+upperSlot(const std::vector<uint32_t>& sorted, uint32_t offset)
+{
+    int lo = 0;
+    int hi = int(sorted.size()) - 1;
+    int best = -1;
+    while (lo <= hi) {
+        int mid = lo + (hi - lo) / 2;
+        if (sorted[size_t(mid)] <= offset) {
+            best = mid;
+            lo = mid + 1;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    return best;
+}
+
 } // namespace
 
 CodeRegionRegistry::Region*
-CodeRegionRegistry::add(const uint8_t* base, size_t size)
+CodeRegionRegistry::add(const uint8_t* base, size_t size,
+                        const JitCodeInfo* info)
 {
     for (Region& slot : g_regions) {
         const uint8_t* expected = nullptr;
         if (slot.base.load(std::memory_order_relaxed) != nullptr)
             continue;
         slot.size = size;
+        // The side table must be visible before the base publishes the
+        // slot (classify loads base first, info second, both acquire).
+        slot.info.store(info, std::memory_order_release);
         if (slot.base.compare_exchange_strong(expected, base,
                                               std::memory_order_release,
                                               std::memory_order_relaxed)) {
+            // First code region: wire the profiler's PC classifier so
+            // SIGPROF samples landing in JIT code symbolize. Done here
+            // (not at static init) so the obs layer is fully constructed.
+            obs::prof::setJitPcClassifier(&classifyPcForProfiler);
             return &slot;
         }
     }
@@ -28,7 +101,15 @@ CodeRegionRegistry::add(const uint8_t* base, size_t size)
 void
 CodeRegionRegistry::remove(Region* region)
 {
-    region->base.store(nullptr, std::memory_order_release);
+    region->base.store(nullptr, std::memory_order_seq_cst);
+    // Drain in-flight signal-context lookups before the caller frees the
+    // code pages / JitCodeInfo. The gate is held only for a bounded
+    // table scan + binary search, so this spin is short.
+    while (g_lookupGate.load(std::memory_order_seq_cst) != 0) {
+        // spin; no yield — the holder is a signal handler on another
+        // thread and finishes in nanoseconds.
+    }
+    region->info.store(nullptr, std::memory_order_relaxed);
 }
 
 bool
@@ -44,6 +125,29 @@ CodeRegionRegistry::contains(const void* pc)
             return true;
     }
     return false;
+}
+
+bool
+CodeRegionRegistry::classify(const void* pc, JitPcInfo* out)
+{
+    g_lookupGate.fetch_add(1, std::memory_order_seq_cst);
+    uintptr_t base = 0;
+    const JitCodeInfo* info = regionInfoFor(pc, &base);
+    bool in_region = base != 0;
+    *out = JitPcInfo{};
+    if (in_region && info != nullptr) {
+        out->tier = info->tier;
+        auto offset =
+            uint32_t(reinterpret_cast<uintptr_t>(pc) - base);
+        int slot = upperSlot(info->funcStarts, offset);
+        if (slot >= 0)
+            out->funcIdx = info->funcIndices[size_t(slot)];
+        int check = upperSlot(info->checkStarts, offset);
+        out->inBoundsCheck =
+            check >= 0 && offset < info->checkEnds[size_t(check)];
+    }
+    g_lookupGate.fetch_sub(1, std::memory_order_seq_cst);
+    return in_region;
 }
 
 } // namespace lnb::mem

@@ -4,6 +4,14 @@
  * whether a SIGILL/SIGFPE at some program counter belongs to generated
  * WebAssembly code (and therefore encodes a wasm trap) or is a genuine
  * crash that must be re-raised.
+ *
+ * PR 6 extends each region with an optional symbolization side table
+ * (JitCodeInfo): sorted function entry offsets plus bounds-check PC
+ * ranges, so the sampling profiler (obs/profiler.h) can attribute a
+ * SIGPROF program counter to (function index, tier, in-bounds-check).
+ * classify() is async-signal-safe; remove() quiesces against in-flight
+ * signal-context lookups before returning, so the caller may free the
+ * side table (and the code pages) immediately afterwards.
  */
 #ifndef LNB_MEM_CODE_REGISTRY_H
 #define LNB_MEM_CODE_REGISTRY_H
@@ -11,8 +19,46 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace lnb::mem {
+
+/**
+ * Immutable symbolization side table for one finalized code buffer.
+ * Built once at compile time, published with the region, never mutated:
+ * signal-context readers only ever see the fully constructed table.
+ * Offsets are bytes from the region base.
+ */
+struct JitCodeInfo
+{
+    /** Profiler tier tag (obs::prof numeric tier: 1=jit_base, 2=jit_opt). */
+    uint8_t tier = 0;
+    /**
+     * Sorted start offsets of compiled function bodies. Code before
+     * funcStarts[0] (import thunks, table-call shims) symbolizes as "no
+     * function". funcIndices[i] is the module-level function index whose
+     * body begins at funcStarts[i].
+     */
+    std::vector<uint32_t> funcStarts;
+    std::vector<uint32_t> funcIndices;
+    /**
+     * Sorted, disjoint [checkStarts[i], checkEnds[i]) offset ranges
+     * covering emitted bounds-check instruction sequences (soft
+     * strategies only; guard strategies emit none).
+     */
+    std::vector<uint32_t> checkStarts;
+    std::vector<uint32_t> checkEnds;
+};
+
+/** Result of symbolizing one PC against a registered region. */
+struct JitPcInfo
+{
+    static constexpr uint32_t kNoFunc = UINT32_MAX;
+
+    uint32_t funcIdx = kNoFunc;
+    uint8_t tier = 0;
+    bool inBoundsCheck = false;
+};
 
 /** Global JIT code-region table (same slot discipline as ArenaRegistry). */
 class CodeRegionRegistry
@@ -24,16 +70,36 @@ class CodeRegionRegistry
     {
         std::atomic<const uint8_t*> base{nullptr};
         size_t size = 0;
+        /** Optional symbolization table; owned by the code's owner and
+         * guaranteed valid until remove() returns. */
+        std::atomic<const JitCodeInfo*> info{nullptr};
     };
 
-    /** Register [base, base+size) as generated code. Null if full. */
-    static Region* add(const uint8_t* base, size_t size);
+    /** Register [base, base+size) as generated code. Null if full.
+     * @p info may be null (region participates in trap classification
+     * but not in profiler symbolization). */
+    static Region* add(const uint8_t* base, size_t size,
+                       const JitCodeInfo* info = nullptr);
 
-    /** Unregister; callers guarantee no thread is executing inside. */
+    /**
+     * Unregister; callers guarantee no thread is executing inside.
+     * Blocks (spins) until every in-flight signal-context classify()
+     * has drained, so the caller may free @p region's code bytes and
+     * JitCodeInfo immediately after this returns.
+     */
     static void remove(Region* region);
 
     /** True if @p pc lies inside a registered region. Signal-safe. */
     static bool contains(const void* pc);
+
+    /**
+     * Symbolize @p pc: true iff it lies inside a registered region, with
+     * @p out filled from that region's JitCodeInfo (funcIdx == kNoFunc
+     * when the region has no table or the PC precedes the first
+     * function). Async-signal-safe: lock-free, no allocation; guarded
+     * against concurrent remove() by a lookup gate.
+     */
+    static bool classify(const void* pc, JitPcInfo* out);
 };
 
 } // namespace lnb::mem

@@ -18,6 +18,7 @@
 #include "mem/arena_registry.h"
 #include "mem/code_registry.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "support/log.h"
 
 namespace lnb::mem {
@@ -51,6 +52,9 @@ jumpToFrame(wasm::TrapKind kind)
     }
     g_trapCount.fetch_add(1, std::memory_order_relaxed);
     frame->kind = kind;
+    // Re-sync the profiler's frame chain with the stack state we are
+    // about to jump back to (async-signal-safe: two relaxed TLS stores).
+    obs::prof::restoreMark(frame->profTop, frame->profCategory);
     siglongjmp(frame->buf, 1);
 }
 
@@ -171,6 +175,10 @@ TrapManager::install()
         struct sigaction sa;
         sa.sa_sigaction = faultHandler;
         sigemptyset(&sa.sa_mask);
+        // Keep the sampler out of fault classification: SIGPROF stays
+        // blocked while this handler runs (the profiler symmetrically
+        // masks the fault signals in its SIGPROF action).
+        sigaddset(&sa.sa_mask, SIGPROF);
         // SA_NODEFER so nested faults (e.g. during population) still reach
         // us; SA_ONSTACK is unnecessary since frames are shallow.
         sa.sa_flags = SA_SIGINFO | SA_NODEFER;
@@ -209,6 +217,7 @@ void
 TrapManager::pushFrame(TrapFrame* frame)
 {
     frame->prev = t_topFrame;
+    obs::prof::currentMark(&frame->profTop, &frame->profCategory);
     t_topFrame = frame;
 }
 

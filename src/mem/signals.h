@@ -36,6 +36,15 @@ struct TrapFrame
     sigjmp_buf buf;
     TrapFrame* prev = nullptr;
     wasm::TrapKind kind = wasm::TrapKind::none;
+    /**
+     * Profiler mark (frame-chain top + declared category) captured at
+     * pushFrame. Trap unwinding siglongjmps past C++ destructors, so
+     * jumpToFrame restores this mark before jumping — otherwise the
+     * SIGPROF sampler would walk marker frames on dead stack below the
+     * recovery point. See obs/profiler.h (currentMark/restoreMark).
+     */
+    void* profTop = nullptr;
+    uint8_t profCategory = 0;
 };
 
 class TrapManager

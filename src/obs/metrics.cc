@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <mutex>
 
@@ -93,6 +94,70 @@ metricsToJson(const MetricsSnapshot& snapshot)
     w.endObject();
     w.endObject();
     return w.take();
+}
+
+namespace {
+
+/** "svc.request_ns" -> "lnb_svc_request_ns" (Prometheus name rules). */
+std::string
+promName(const char* name)
+{
+    std::string out = "lnb_";
+    for (const char* p = name; *p != '\0'; p++) {
+        char c = *p;
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_';
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+metricsToPrometheus(const MetricsSnapshot& snapshot)
+{
+    std::string out;
+    out.reserve(4096);
+    char buf[160];
+    for (const CounterValue& c : snapshot.counters) {
+        std::string name = promName(c.name);
+        std::snprintf(buf, sizeof(buf), "# TYPE %s counter\n%s %llu\n",
+                      name.c_str(), name.c_str(),
+                      (unsigned long long)c.value);
+        out += buf;
+    }
+    for (const HistogramSnapshot& h : snapshot.histograms) {
+        std::string name = promName(h.name);
+        std::snprintf(buf, sizeof(buf), "# TYPE %s histogram\n",
+                      name.c_str());
+        out += buf;
+        // Power-of-two upper bounds, cumulative; emit only up to the
+        // highest populated bucket (the rest is carried by +Inf).
+        int top = -1;
+        for (int i = 0; i < HistogramSnapshot::kBuckets; i++)
+            if (h.counts[i] != 0)
+                top = i;
+        uint64_t cumulative = 0;
+        for (int i = 0; i <= top; i++) {
+            cumulative += h.counts[i];
+            // Bucket i holds values with bit_width == i, i.e. < 2^i.
+            double le = i >= 63 ? 9.223372036854776e18
+                                : double(uint64_t(1) << i);
+            std::snprintf(buf, sizeof(buf),
+                          "%s_bucket{le=\"%.17g\"} %llu\n", name.c_str(),
+                          le, (unsigned long long)cumulative);
+            out += buf;
+        }
+        std::snprintf(buf, sizeof(buf),
+                      "%s_bucket{le=\"+Inf\"} %llu\n%s_sum %llu\n"
+                      "%s_count %llu\n",
+                      name.c_str(), (unsigned long long)h.totalCount,
+                      name.c_str(), (unsigned long long)h.sum,
+                      name.c_str(), (unsigned long long)h.totalCount);
+        out += buf;
+    }
+    return out;
 }
 
 #ifndef LNB_OBS_DISABLED

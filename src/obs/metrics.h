@@ -76,7 +76,7 @@ struct MetricsSnapshot
 namespace detail {
 
 constexpr int kMaxCounters = 96;
-constexpr int kMaxHistograms = 16;
+constexpr int kMaxHistograms = 24;
 constexpr int kHistBuckets = HistogramSnapshot::kBuckets;
 
 /** Per-thread metric storage. Cache-line aligned so one thread's writes
@@ -197,6 +197,14 @@ MetricsSnapshot snapshotMetrics();
 /** Serialize a snapshot as a JSON object (schema lnb.metrics.v1). */
 std::string metricsToJson(const MetricsSnapshot& snapshot);
 
+/**
+ * Serialize a snapshot in Prometheus text exposition format (v0.0.4):
+ * counters as `lnb_<name> value`, histograms as cumulative `_bucket`
+ * series with power-of-two `le` bounds plus `_sum`/`_count`. Metric
+ * names are sanitized (dots become underscores) and prefixed `lnb_`.
+ */
+std::string metricsToPrometheus(const MetricsSnapshot& snapshot);
+
 #else // LNB_OBS_DISABLED -----------------------------------------------
 
 class Counter
@@ -238,6 +246,7 @@ snapshotMetrics()
 }
 
 std::string metricsToJson(const MetricsSnapshot& snapshot);
+std::string metricsToPrometheus(const MetricsSnapshot& snapshot);
 
 #endif // LNB_OBS_DISABLED
 

@@ -9,6 +9,7 @@
 
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "support/log.h"
 
 #ifdef __linux__
@@ -44,12 +45,16 @@ std::atomic<int> g_traceState{0};
 
 namespace {
 
-/** Fixed-capacity per-thread event ring; overwrites the oldest. */
+/** Fixed-capacity per-thread event ring; overwrites the oldest.
+ * Cursors are relaxed atomics so a drain racing the owning thread (or,
+ * defensively, a write torn by a signal) can never observe a
+ * half-updated size_t and index out of bounds; event payloads remain
+ * weakly consistent as documented in recordTraceEvent. */
 struct TraceRing
 {
     TraceEvent events[kTraceRingCapacity];
-    size_t next = 0;     ///< write cursor
-    size_t recorded = 0; ///< lifetime count (>= capacity once wrapped)
+    std::atomic<uint32_t> next{0};     ///< write cursor
+    std::atomic<uint64_t> recorded{0}; ///< lifetime count
     uint32_t tid = 0;
 };
 
@@ -71,13 +76,17 @@ collector()
 void
 drainRingLocked(TraceRing& ring, std::vector<TraceEvent>& out)
 {
-    size_t count = std::min(ring.recorded, kTraceRingCapacity);
+    uint64_t recorded = ring.recorded.load(std::memory_order_relaxed);
+    uint32_t next = ring.next.load(std::memory_order_relaxed) %
+                    uint32_t(kTraceRingCapacity);
+    size_t count = size_t(
+        std::min<uint64_t>(recorded, kTraceRingCapacity));
     // Oldest-first: when wrapped, the write cursor points at the oldest.
-    size_t start = ring.recorded > kTraceRingCapacity ? ring.next : 0;
+    size_t start = recorded > kTraceRingCapacity ? next : 0;
     for (size_t i = 0; i < count; i++)
         out.push_back(ring.events[(start + i) % kTraceRingCapacity]);
-    ring.next = 0;
-    ring.recorded = 0;
+    ring.next.store(0, std::memory_order_relaxed);
+    ring.recorded.store(0, std::memory_order_relaxed);
 }
 
 /** Owns one thread's ring; moves its events to `retired` on exit. */
@@ -139,23 +148,67 @@ traceEnabledSlow()
     return g_traceState.load(std::memory_order_relaxed) == 2;
 }
 
+/**
+ * Reentrancy guard: ring writes lazily construct the thread's RingOwner
+ * (heap allocation, collector mutex) and are therefore NOT
+ * async-signal-safe. A signal-context caller that interrupted a ring
+ * write in progress would deadlock or corrupt the allocator, so nested
+ * entries are dropped on the floor. The SIGPROF sampler never writes
+ * trace rings (it has its own pre-allocated buffers, obs/profiler.cc);
+ * this guard is the backstop for anything else.
+ */
+thread_local bool t_inRingWrite = false;
+
 void
-recordTraceEvent(const char* name, uint64_t start_ns, uint64_t dur_ns)
+recordEvent(const char* name, uint64_t start_ns, uint64_t dur_ns,
+            uint64_t async_id, TraceKind kind)
 {
+    if (t_inRingWrite)
+        return; // reentered from signal context; drop, never block
+    t_inRingWrite = true;
     TraceRing& ring = threadRing();
     // The ring is only written by its owning thread; readers take the
     // collector mutex and accept torn in-flight events (drain happens
     // after workers quiesce in practice).
-    TraceEvent& event = ring.events[ring.next];
+    uint32_t next = ring.next.load(std::memory_order_relaxed) %
+                    uint32_t(kTraceRingCapacity);
+    TraceEvent& event = ring.events[next];
     event.name = name;
     event.startNanos = start_ns;
     event.durationNanos = dur_ns;
+    event.asyncId = async_id;
     event.tid = ring.tid;
-    ring.next = (ring.next + 1) % kTraceRingCapacity;
-    ring.recorded++;
+    event.kind = kind;
+    ring.next.store((next + 1) % uint32_t(kTraceRingCapacity),
+                    std::memory_order_relaxed);
+    ring.recorded.fetch_add(1, std::memory_order_relaxed);
+    t_inRingWrite = false;
+}
+
+void
+recordTraceEvent(const char* name, uint64_t start_ns, uint64_t dur_ns)
+{
+    recordEvent(name, start_ns, dur_ns, 0, TraceKind::span);
 }
 
 } // namespace detail
+
+void
+recordInstantEvent(const char* name)
+{
+    if (detail::traceActive())
+        detail::recordEvent(name, monotonicNanos(), 0, 0,
+                            TraceKind::instant);
+}
+
+void
+recordAsyncSpan(const char* name, uint64_t async_id, uint64_t start_ns,
+                uint64_t dur_ns)
+{
+    if (detail::traceActive())
+        detail::recordEvent(name, start_ns, dur_ns, async_id,
+                            TraceKind::asyncSpan);
+}
 
 void
 setTraceEnabledForTesting(bool enabled)
@@ -197,16 +250,56 @@ writeChromeTrace(const std::string& path)
     w.beginObject();
     w.key("displayTimeUnit").value("ns");
     w.key("traceEvents").beginArray();
+    uint64_t pid = uint64_t(getpid());
     for (const TraceEvent& event : events) {
-        w.beginObject();
-        w.key("name").value(event.name);
-        w.key("cat").value("lnb");
-        w.key("ph").value("X");
-        w.key("pid").value(uint64_t(getpid()));
-        w.key("tid").value(uint64_t(event.tid));
-        w.key("ts").value(double(event.startNanos) * 1e-3); // microseconds
-        w.key("dur").value(double(event.durationNanos) * 1e-3);
-        w.endObject();
+        double ts_us = double(event.startNanos) * 1e-3;
+        double dur_us = double(event.durationNanos) * 1e-3;
+        switch (event.kind) {
+        case TraceKind::span:
+            w.beginObject();
+            w.key("name").value(event.name);
+            w.key("cat").value("lnb");
+            w.key("ph").value("X");
+            w.key("pid").value(pid);
+            w.key("tid").value(uint64_t(event.tid));
+            w.key("ts").value(ts_us);
+            w.key("dur").value(dur_us);
+            w.endObject();
+            break;
+        case TraceKind::instant:
+            w.beginObject();
+            w.key("name").value(event.name);
+            w.key("cat").value("lnb");
+            w.key("ph").value("i");
+            w.key("s").value("t"); // thread-scoped instant
+            w.key("pid").value(pid);
+            w.key("tid").value(uint64_t(event.tid));
+            w.key("ts").value(ts_us);
+            w.endObject();
+            break;
+        case TraceKind::asyncSpan:
+            // Async begin/end pair correlated by id across threads
+            // (Perfetto renders them as one nestable track per id).
+            w.beginObject();
+            w.key("name").value(event.name);
+            w.key("cat").value("lnb.svc");
+            w.key("ph").value("b");
+            w.key("id").value(event.asyncId);
+            w.key("pid").value(pid);
+            w.key("tid").value(uint64_t(event.tid));
+            w.key("ts").value(ts_us);
+            w.endObject();
+            w.beginObject();
+            w.key("name").value(event.name);
+            w.key("cat").value("lnb.svc");
+            w.key("ph").value("e");
+            w.key("id").value(event.asyncId);
+            w.key("pid").value(pid);
+            w.key("tid").value(uint64_t(event.tid));
+            w.key("ts").value(ts_us + dur_us);
+            w.endObject();
+            break;
+        }
     }
     w.endArray();
     w.endObject();
@@ -234,6 +327,9 @@ flushObservability()
     const std::string& trace_path = traceFilePath();
     if (!trace_path.empty())
         writeChromeTrace(trace_path);
+    const std::string& folded_path = profFoldedPath();
+    if (!folded_path.empty())
+        writeFoldedStacks(folded_path);
     const char* json_dir = std::getenv("LNB_JSON_DIR");
     if (json_dir != nullptr && json_dir[0] != '\0') {
         std::string path = std::string(json_dir) + "/metrics_" +

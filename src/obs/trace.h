@@ -32,13 +32,25 @@ namespace lnb::obs {
 /** Events one thread can hold before the ring wraps. */
 constexpr size_t kTraceRingCapacity = 4096;
 
+/** Event flavors, mapping to Chrome trace_event phases. */
+enum class TraceKind : uint8_t
+{
+    span = 0,  ///< complete event (ph "X")
+    instant,   ///< instant event (ph "i", thread scope)
+    asyncSpan, ///< async begin/end pair (ph "b"/"e", keyed by asyncId)
+};
+
 /** One completed span, as drained from the rings. */
 struct TraceEvent
 {
     const char* name = ""; ///< string literal supplied to the scope
     uint64_t startNanos = 0;
     uint64_t durationNanos = 0;
+    /** Correlation id for asyncSpan events (e.g. the svc request span id
+     * minted at admission); 0 otherwise. */
+    uint64_t asyncId = 0;
     uint32_t tid = 0;
+    TraceKind kind = TraceKind::span;
 };
 
 #ifndef LNB_OBS_DISABLED
@@ -66,6 +78,21 @@ void recordTraceEvent(const char* name, uint64_t start_ns,
                       uint64_t dur_ns);
 
 } // namespace detail
+
+/**
+ * Record an instant event at now (ph "i"). @p name must be a string
+ * literal. No-op when tracing is off. NOT async-signal-safe (the
+ * per-thread ring is lazily constructed); call from normal context only.
+ */
+void recordInstantEvent(const char* name);
+
+/**
+ * Record one leg of an async span (ph "b"/"e" pair keyed by @p async_id
+ * across threads). Emitted retrospectively: the caller supplies the
+ * measured [start_ns, start_ns + dur_ns) window.
+ */
+void recordAsyncSpan(const char* name, uint64_t async_id,
+                     uint64_t start_ns, uint64_t dur_ns);
 
 /** RAII span: records [construction, destruction) under @p name.
  * @p name must be a string literal (stored by pointer). */
@@ -122,6 +149,10 @@ class TraceScope
     TraceScope(const TraceScope&) = delete;
     TraceScope& operator=(const TraceScope&) = delete;
 };
+
+inline void recordInstantEvent(const char*) {}
+
+inline void recordAsyncSpan(const char*, uint64_t, uint64_t, uint64_t) {}
 
 inline void
 setTraceEnabledForTesting(bool)

@@ -7,6 +7,7 @@
 
 #include "mem/signals.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace lnb::rt {
@@ -241,6 +242,9 @@ CallOutcome
 Instance::call(uint32_t func_idx, const std::vector<wasm::Value>& args)
 {
     LNB_TRACE_SCOPE("rt.invoke");
+    // Arm the sampler for whichever thread executes wasm, so pure-JIT
+    // runs (no instrumented interp entry) are still sampled.
+    obs::prof::ensureThreadRegistered();
     rtMetrics().invocations.add();
     const wasm::LoweredModule& lowered = module_->lowered();
     const wasm::FuncType& type = lowered.module.funcType(func_idx);

@@ -1,6 +1,7 @@
 #include "runtime/tiering.h"
 
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "support/clock.h"
 
@@ -107,6 +108,7 @@ TierController::workerLoop()
                                     std::memory_order_relaxed);
 
         LNB_TRACE_SCOPE("tier.compile");
+        obs::ProfCategoryScope prof_cat(obs::ProfCategory::tier_compile);
         uint64_t t0 = monotonicNanos();
         auto compiled = jit::compileFunction(*lowered_, func_idx, options_);
         uint64_t elapsed = monotonicNanos() - t0;
@@ -123,6 +125,9 @@ TierController::workerLoop()
                            std::memory_order_release);
             fc.tier.store(uint8_t(exec::Tier::jit),
                           std::memory_order_release);
+            // Chrome-trace marker for the moment the new tier went live
+            // (the compile span above covers the work leading up to it).
+            obs::recordInstantEvent("tier.publish");
             artifacts_.push_back(compiled.takeValue());
             stats_.ups++;
             tierMetrics().ups.add();

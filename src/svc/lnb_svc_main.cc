@@ -27,6 +27,7 @@
 #include "obs/metrics.h"
 #include "support/clock.h"
 #include "svc/service.h"
+#include "svc/stats_server.h"
 #include "wasm/encoder.h"
 
 using namespace lnb;
@@ -46,6 +47,8 @@ struct CliOptions
     double seconds = 3.0; ///< load duration per strategy
     int tenants = 2;
     int scale = 0; ///< 0 = harness::benchScale()
+    /** -1 = no stats endpoint; 0 = ephemeral port (printed at start). */
+    int statsPort = -1;
     svc::SvcConfig svcConfig = svc::svcConfigFromEnv();
 };
 
@@ -67,6 +70,8 @@ usage(const char* argv0)
         "$LNB_SVC_QUEUE_DEPTH or 256)\n"
         "  --tenants=N          synthetic tenant count (default: 2)\n"
         "  --scale=N            kernel dataset divisor\n"
+        "  --stats-port=N       serve Prometheus /metrics + /healthz on "
+        "127.0.0.1:N while the load runs (0 = ephemeral)\n"
         "  --list-kernels       print the workload registry and exit\n",
         argv0);
 }
@@ -134,6 +139,12 @@ parseArgs(int argc, char** argv, CliOptions& opts)
             opts.tenants = std::atoi(v);
         } else if (const char* v = value("--scale=")) {
             opts.scale = std::atoi(v);
+        } else if (const char* v = value("--stats-port=")) {
+            opts.statsPort = std::atoi(v);
+            if (opts.statsPort < 0 || opts.statsPort > 65535) {
+                std::fprintf(stderr, "--stats-port out of range\n");
+                return false;
+            }
         } else {
             std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
             usage(argv[0]);
@@ -232,6 +243,18 @@ main(int argc, char** argv)
     if (harness::quickMode() && opts.seconds > 1.0)
         opts.seconds = 1.0;
 
+    svc::StatsServer stats_server;
+    if (opts.statsPort >= 0) {
+        Status status = stats_server.start(uint16_t(opts.statsPort));
+        if (!status.isOk()) {
+            std::fprintf(stderr, "stats server: %s\n",
+                         status.toString().c_str());
+            return 1;
+        }
+        std::printf("stats: http://127.0.0.1:%u/metrics (and /healthz)\n",
+                    unsigned(stats_server.port()));
+    }
+
     harness::printBanner("lnb_svc: multi-tenant serving load",
                          "serving extension of the paper's per-task "
                          "isolation scenario (DESIGN.md §9)");
@@ -267,8 +290,10 @@ main(int argc, char** argv)
         auto module = loaded.takeValue();
 
         obs::MetricsSnapshot before = obs::snapshotMetrics();
+        obs::ProfileSnapshot prof_before = obs::snapshotProfile();
         LoadResult load = runLoad(service, module, opts);
         obs::MetricsSnapshot after = obs::snapshotMetrics();
+        obs::ProfileSnapshot prof_after = obs::snapshotProfile();
 
         auto histMeanDelta = [&](const char* name) {
             const obs::HistogramSnapshot* b = before.histogram(name);
@@ -310,6 +335,7 @@ main(int argc, char** argv)
         harness::BenchResult result;
         result.ok = load.trapped == 0;
         result.wallSeconds = load.wallSeconds;
+        result.profile = obs::profileDelta(prof_before, prof_after);
         result.medianIterationSeconds =
             percentileOf(load.latencySeconds, 50);
         if (module->config().tiered) {

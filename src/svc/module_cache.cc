@@ -85,6 +85,7 @@ ModuleCache::evictLocked()
         lru_.pop_back();
         stats_.evictions++;
         cacheMetrics().evictions.add();
+        obs::recordInstantEvent("svc.cache_evict");
     }
 }
 
@@ -104,6 +105,7 @@ ModuleCache::getOrCompile(const std::vector<uint8_t>& bytes,
         if (it->second.module != nullptr) {
             stats_.hits++;
             cacheMetrics().hits.add();
+            obs::recordInstantEvent("svc.cache_hit");
             touchLocked(it->second, key);
             if (was_hit != nullptr)
                 *was_hit = true;
@@ -120,6 +122,7 @@ ModuleCache::getOrCompile(const std::vector<uint8_t>& bytes,
     // the lock so unrelated lookups proceed.
     stats_.misses++;
     cacheMetrics().misses.add();
+    obs::recordInstantEvent("svc.cache_miss");
     if (was_hit != nullptr)
         *was_hit = false;
     entries_.emplace(key, Entry{});

@@ -1,9 +1,13 @@
 #include "svc/service.h"
 
+#include <atomic>
+
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "support/clock.h"
 #include "support/env.h"
+#include "support/log.h"
 #include "support/sysinfo.h"
 
 namespace lnb::svc {
@@ -20,10 +24,18 @@ struct SvcMetrics
     obs::Counter completed = obs::registerCounter(
         "svc.requests_completed");
     obs::Counter trapped = obs::registerCounter("svc.requests_trapped");
+    obs::Counter slow = obs::registerCounter("svc.requests_slow");
     obs::Histogram queueWait = obs::registerHistogram(
         "svc.queue_wait_ns");
     obs::Histogram requestLatency = obs::registerHistogram(
         "svc.request_ns");
+    /** Per-phase latency split of the worker-side request lifecycle. */
+    obs::Histogram phaseAcquire = obs::registerHistogram(
+        "svc.phase_acquire_ns");
+    obs::Histogram phaseExec = obs::registerHistogram(
+        "svc.phase_exec_ns");
+    obs::Histogram phaseRespond = obs::registerHistogram(
+        "svc.phase_respond_ns");
 };
 
 SvcMetrics&
@@ -38,6 +50,16 @@ tenantKey(const Request& request)
 {
     static const std::string kDefault = "default";
     return request.tenant.empty() ? kDefault : request.tenant;
+}
+
+/** Span ids are process-unique so concurrent requests never collide in
+ * the Chrome-trace async-span id space. Starts at 1: 0 means "no span"
+ * (rejected before admission). */
+uint64_t
+mintSpanId()
+{
+    static std::atomic<uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
 }
 
 } // namespace
@@ -56,6 +78,8 @@ svcConfigFromEnv()
         size_t(envInt("LNB_SVC_CACHE_CAP", 64, 1, 1 << 16));
     config.tenantQuota =
         size_t(envInt("LNB_SVC_TENANT_QUOTA", 0, 0, 1 << 20));
+    config.slowMillis =
+        uint64_t(envInt("LNB_SVC_SLOW_MS", 0, 0, 1000 * 60 * 60));
     return config;
 }
 
@@ -115,6 +139,7 @@ ExecutionService::submit(Request request)
     Job job;
     job.request = std::move(request);
     job.enqueueNanos = monotonicNanos();
+    job.spanId = mintSpanId();
     std::future<Response> future = job.promise.get_future();
 
     if (!queue_.tryPush(std::move(job))) {
@@ -169,6 +194,10 @@ ExecutionService::workerLoop(int worker_idx)
         if (!job.has_value())
             return; // closed and drained
         LNB_TRACE_SCOPE("svc.request");
+        // Samples taken while this worker runs service plumbing (queue
+        // bookkeeping, pool management, promise fulfilment) land in the
+        // svc category; wasm execution below re-declares its own.
+        obs::ProfCategoryScope prof_cat(obs::ProfCategory::svc);
         uint64_t picked_up = monotonicNanos();
         {
             // The request left the queue: release its quota slot.
@@ -177,11 +206,18 @@ ExecutionService::workerLoop(int worker_idx)
         }
 
         Response response;
+        response.spanId = job->spanId;
         response.queueNanos = picked_up - job->enqueueNanos;
         svcMetrics().queueWait.record(response.queueNanos);
+        obs::recordAsyncSpan("svc.queue", job->spanId, job->enqueueNanos,
+                             response.queueNanos);
 
         InstancePool& pool = poolFor(job->request.module);
         Result<PooledInstance> lease = pool.acquire();
+        uint64_t acquired = monotonicNanos();
+        svcMetrics().phaseAcquire.record(acquired - picked_up);
+        obs::recordAsyncSpan("svc.acquire", job->spanId, picked_up,
+                             acquired - picked_up);
         if (!lease.isOk()) {
             // Instantiation failure surfaces as a host trap so every
             // response carries a CallOutcome.
@@ -193,13 +229,33 @@ ExecutionService::workerLoop(int worker_idx)
                 job->request.exportName, job->request.args);
             // Lease destructor releases (recycle + park) here.
         }
+        uint64_t executed = monotonicNanos();
+        svcMetrics().phaseExec.record(executed - acquired);
+        obs::recordAsyncSpan("svc.exec", job->spanId, acquired,
+                             executed - acquired);
 
-        response.execNanos = monotonicNanos() - picked_up;
-        svcMetrics().requestLatency.record(monotonicNanos() -
-                                           job->enqueueNanos);
+        response.execNanos = executed - picked_up;
+        uint64_t total = executed - job->enqueueNanos;
+        svcMetrics().requestLatency.record(total);
         svcMetrics().completed.add();
         if (!response.outcome.ok())
             svcMetrics().trapped.add();
+        if (config_.slowMillis > 0 &&
+            total > config_.slowMillis * 1000000ull) {
+            svcMetrics().slow.add();
+            LNB_WARN("slow svc request: span=%llu tenant=%s export=%s "
+                     "total=%llums (queue=%lluus acquire=%lluus "
+                     "exec=%lluus)",
+                     (unsigned long long)job->spanId,
+                     tenantKey(job->request).c_str(),
+                     job->request.exportName.c_str(),
+                     (unsigned long long)(total / 1000000ull),
+                     (unsigned long long)(response.queueNanos / 1000ull),
+                     (unsigned long long)((acquired - picked_up) /
+                                          1000ull),
+                     (unsigned long long)((executed - acquired) /
+                                          1000ull));
+        }
         {
             std::lock_guard<std::mutex> lock(tenantsMutex_);
             TenantStats& tenant = tenants_[tenantKey(job->request)];
@@ -208,6 +264,10 @@ ExecutionService::workerLoop(int worker_idx)
                 tenant.trapped++;
         }
         job->promise.set_value(std::move(response));
+        uint64_t responded = monotonicNanos();
+        svcMetrics().phaseRespond.record(responded - executed);
+        obs::recordAsyncSpan("svc.respond", job->spanId, executed,
+                             responded - executed);
     }
 }
 

@@ -19,6 +19,8 @@
  *   LNB_SVC_CACHE_CAP   compiled-module cache capacity (default: 64)
  *   LNB_SVC_TENANT_QUOTA max queued requests per tenant (default: 0 =
  *                        unlimited; only the global queue bound applies)
+ *   LNB_SVC_SLOW_MS     slow-request log threshold in ms (default: 0 =
+ *                       disabled)
  */
 #ifndef LNB_SVC_SERVICE_H
 #define LNB_SVC_SERVICE_H
@@ -51,6 +53,13 @@ struct SvcConfig
      * one bursting tenant cannot starve the rest. 0 disables the quota.
      */
     size_t tenantQuota = 0;
+    /**
+     * Slow-request threshold in milliseconds: a request whose total
+     * latency (submit to response) exceeds this is logged at warn level
+     * with its per-phase breakdown and counted in svc.requests_slow.
+     * 0 disables the slow log.
+     */
+    uint64_t slowMillis = 0;
     /** Pin workers to cores (§3.5 harness protocol). */
     bool pinWorkers = true;
 };
@@ -76,6 +85,13 @@ struct Response
     bool warmInstance = false;
     uint64_t queueNanos = 0; ///< submit -> worker pickup
     uint64_t execNanos = 0;  ///< instance lease + call + release
+    /**
+     * Request-scoped span id, minted at admission and threaded through
+     * every trace event this request emitted (svc.queue / svc.acquire /
+     * svc.exec / svc.respond async spans share it as their Chrome-trace
+     * `id`). Never 0 for an admitted request.
+     */
+    uint64_t spanId = 0;
 };
 
 /** Per-tenant accounting. */
@@ -134,6 +150,7 @@ class ExecutionService
         Request request;
         std::promise<Response> promise;
         uint64_t enqueueNanos = 0;
+        uint64_t spanId = 0;
     };
 
     InstancePool& poolFor(

@@ -1,0 +1,181 @@
+#include "svc/stats_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "obs/metrics.h"
+#include "support/log.h"
+
+namespace lnb::svc {
+
+namespace {
+
+/** Best-effort full write; client disconnects are not errors worth
+ * propagating from a diagnostics endpoint. */
+void
+writeAll(int fd, const std::string& data)
+{
+    size_t off = 0;
+    while (off < data.size()) {
+        ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return;
+        }
+        off += size_t(n);
+    }
+}
+
+std::string
+httpResponse(const char* status, const char* content_type,
+             const std::string& body)
+{
+    std::string out;
+    out.reserve(body.size() + 128);
+    out += "HTTP/1.1 ";
+    out += status;
+    out += "\r\nContent-Type: ";
+    out += content_type;
+    out += "\r\nContent-Length: ";
+    out += std::to_string(body.size());
+    out += "\r\nConnection: close\r\n\r\n";
+    out += body;
+    return out;
+}
+
+/** First request line up to CRLF: "GET /path HTTP/1.1". Returns the path
+ * or empty on a malformed request. */
+std::string
+requestPath(const std::string& request)
+{
+    size_t sp1 = request.find(' ');
+    if (sp1 == std::string::npos)
+        return {};
+    size_t sp2 = request.find(' ', sp1 + 1);
+    if (sp2 == std::string::npos)
+        return {};
+    return request.substr(sp1 + 1, sp2 - sp1 - 1);
+}
+
+void
+handleConnection(int fd)
+{
+    // One short read is enough for the GET request line; scrapers send
+    // the whole header block in one segment.
+    char buf[2048];
+    ssize_t n = ::read(fd, buf, sizeof buf - 1);
+    if (n <= 0)
+        return;
+    buf[n] = '\0';
+    std::string path = requestPath(buf);
+
+    if (path == "/metrics" || path == "/metrics/") {
+        writeAll(fd,
+                 httpResponse("200 OK",
+                              "text/plain; version=0.0.4; charset=utf-8",
+                              obs::metricsToPrometheus(
+                                  obs::snapshotMetrics())));
+    } else if (path == "/healthz") {
+        writeAll(fd, httpResponse("200 OK", "text/plain", "ok\n"));
+    } else {
+        writeAll(fd, httpResponse("404 Not Found", "text/plain",
+                                  "not found\n"));
+    }
+}
+
+} // namespace
+
+Status
+StatsServer::start(uint16_t port)
+{
+    if (listenFd_ >= 0)
+        return errInvalid("stats server already running");
+
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return errInternal(std::string("stats socket: ") +
+                           std::strerror(errno));
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof addr);
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+        Status status = errInternal(std::string("stats bind: ") +
+                                    std::strerror(errno));
+        ::close(fd);
+        return status;
+    }
+    if (::listen(fd, 16) < 0) {
+        Status status = errInternal(std::string("stats listen: ") +
+                                    std::strerror(errno));
+        ::close(fd);
+        return status;
+    }
+
+    // Resolve the ephemeral port before the caller can race a scrape.
+    socklen_t len = sizeof addr;
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+        Status status = errInternal(std::string("stats getsockname: ") +
+                                    std::strerror(errno));
+        ::close(fd);
+        return status;
+    }
+    port_ = ntohs(addr.sin_port);
+    listenFd_ = fd;
+    stop_.store(false, std::memory_order_relaxed);
+    thread_ = std::thread([this] { serveLoop(); });
+    return Status::ok();
+}
+
+void
+StatsServer::stop()
+{
+    if (listenFd_ < 0)
+        return;
+    stop_.store(true, std::memory_order_relaxed);
+    if (thread_.joinable())
+        thread_.join();
+    ::close(listenFd_);
+    listenFd_ = -1;
+}
+
+void
+StatsServer::serveLoop()
+{
+    for (;;) {
+        if (stop_.load(std::memory_order_relaxed))
+            return;
+        pollfd pfd;
+        pfd.fd = listenFd_;
+        pfd.events = POLLIN;
+        pfd.revents = 0;
+        // Short tick so stop() is honored promptly without a wakeup fd.
+        int ready = ::poll(&pfd, 1, 100);
+        if (ready <= 0)
+            continue;
+        int client = ::accept(listenFd_, nullptr, nullptr);
+        if (client < 0) {
+            if (errno == EINTR || errno == EAGAIN)
+                continue;
+            LNB_WARN("stats accept failed: %s", std::strerror(errno));
+            continue;
+        }
+        handleConnection(client);
+        ::close(client);
+    }
+}
+
+} // namespace lnb::svc

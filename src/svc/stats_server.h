@@ -1,0 +1,61 @@
+/**
+ * @file
+ * StatsServer — a minimal embedded HTTP endpoint exposing the process's
+ * observability state while a serving workload runs:
+ *
+ *   GET /metrics  Prometheus text exposition of every registered counter
+ *                 and histogram (obs::metricsToPrometheus);
+ *   GET /healthz  liveness probe, returns "ok".
+ *
+ * Plain POSIX sockets, one background thread, blocking-free shutdown via
+ * poll() with a short tick. Intended for scrape-under-load tests and the
+ * lnb_svc --stats-port flag, not as a production-grade HTTP stack: it
+ * parses only the request line and answers one request per connection
+ * (Connection: close).
+ */
+#ifndef LNB_SVC_STATS_SERVER_H
+#define LNB_SVC_STATS_SERVER_H
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "support/status.h"
+
+namespace lnb::svc {
+
+class StatsServer
+{
+  public:
+    StatsServer() = default;
+    ~StatsServer() { stop(); }
+
+    StatsServer(const StatsServer&) = delete;
+    StatsServer& operator=(const StatsServer&) = delete;
+
+    /**
+     * Bind 127.0.0.1:@p port, listen, and start the serving thread.
+     * @p port 0 picks an ephemeral port; read it back via port().
+     */
+    Status start(uint16_t port);
+
+    /** Joins the serving thread; idempotent. */
+    void stop();
+
+    /** The bound port (resolved after start() with port 0). */
+    uint16_t port() const { return port_; }
+
+    bool running() const { return listenFd_ >= 0; }
+
+  private:
+    void serveLoop();
+
+    int listenFd_ = -1;
+    uint16_t port_ = 0;
+    std::atomic<bool> stop_{false};
+    std::thread thread_;
+};
+
+} // namespace lnb::svc
+
+#endif // LNB_SVC_STATS_SERVER_H

@@ -589,6 +589,11 @@ planHoists(const LoweredFunc& func, const Cfg& cfg)
             enum Kind { copy, constant, other } kind = other;
             uint32_t src = 0;
             uint64_t val = 0;
+            /** PC of the defining instruction; chain resolution only
+             * follows defs strictly older than the point being
+             * resolved, which also guarantees termination on cyclic
+             * copy chains (swap patterns). */
+            uint32_t pc = 0;
         };
         std::unordered_map<uint32_t, Def> defs;
         // Per-loop merged checks: cell-relative (cell -> max limit) and
@@ -602,8 +607,15 @@ planHoists(const LoweredFunc& func, const Cfg& cfg)
                 (isLoadOp(inst.wasmOp()) || isStoreOp(inst.wasmOp()))) {
                 Op op = inst.wasmOp();
                 uint64_t limit = inst.imm + memAccessSize(op);
-                // Resolve the address cell through in-block copies.
+                // Resolve the address cell through in-block copies. The
+                // map holds each cell's LATEST in-block def, so a copy
+                // may only be followed to a source def recorded before
+                // the copy itself: a later redefinition of the source
+                // (swap patterns) means the value the copy read is gone.
+                // as_of strictly decreases, so the walk terminates even
+                // on cyclic copy chains.
                 uint32_t cur = inst.a;
+                uint32_t as_of = pc;
                 const Def* def;
                 bool is_const = false;
                 uint64_t const_val = 0;
@@ -612,7 +624,12 @@ planHoists(const LoweredFunc& func, const Cfg& cfg)
                     if (it == defs.end())
                         break; // live-in to the header: stable name
                     def = &it->second;
+                    if (def->pc >= as_of) {
+                        cur = UINT32_MAX; // redefined since; unknown
+                        break;
+                    }
                     if (def->kind == Def::copy) {
+                        as_of = def->pc;
                         cur = def->src;
                         continue;
                     }
@@ -645,16 +662,16 @@ planHoists(const LoweredFunc& func, const Cfg& cfg)
                 Op op = inst.wasmOp();
                 if (op == Op::i32_const || op == Op::i64_const ||
                     op == Op::f32_const || op == Op::f64_const) {
-                    defs[inst.a] = {Def::constant, 0, inst.imm};
+                    defs[inst.a] = {Def::constant, 0, inst.imm, pc};
                     continue;
                 }
             } else if (inst.lop() == LOp::copy) {
-                defs[inst.b] = {Def::copy, inst.a, 0};
+                defs[inst.b] = {Def::copy, inst.a, 0, pc};
                 continue;
             }
             uint32_t written;
             if (writesCell(inst, written))
-                defs[written] = {Def::other, 0, 0};
+                defs[written] = {Def::other, 0, 0, pc};
         }
 
         for (const auto& [cell, limit] : cellChecks) {
