@@ -39,7 +39,15 @@ regionInfoFor(const void* pc, uintptr_t* region_base)
 {
     auto p = reinterpret_cast<uintptr_t>(pc);
     for (CodeRegionRegistry::Region& slot : g_regions) {
-        const uint8_t* base = slot.base.load(std::memory_order_acquire);
+        // Seq_cst, not acquire: this load must participate in the
+        // single total order with the gate increment that precedes it
+        // and remove()'s null-store/gate-drain pair, or (portably, off
+        // TSO hardware) it could observe a stale non-null base after
+        // remove() already saw the gate at zero and let the owner free
+        // the JitCodeInfo. On x86-64 the lock-prefixed gate fetch_add
+        // is a full fence either way; this makes the protocol correct
+        // under the C++ memory model, not just on TSO.
+        const uint8_t* base = slot.base.load(std::memory_order_seq_cst);
         if (base == nullptr)
             continue;
         auto b = reinterpret_cast<uintptr_t>(base);

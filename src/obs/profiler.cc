@@ -149,6 +149,19 @@ struct ProfThreadState
     StackSample ring[kStackRing];
     std::atomic<uint32_t> ringNext{0};
     std::atomic<uint64_t> ringRecorded{0};
+    /**
+     * Fold gate for the non-atomic ring entries, same Dekker-style
+     * store-load protocol as CodeRegionRegistry's lookup gate: the
+     * handler increments ringWriters (seq_cst) and then checks
+     * ringFolding — if a cross-thread fold is in progress it skips the
+     * ring write entirely (category/function counters above are atomic
+     * and still counted; only the flamegraph sample is dropped). A
+     * folder raises ringFolding (seq_cst) and spins until ringWriters
+     * drains, so it never reads a half-written StackSample or resets
+     * the cursors under a concurrently running handler.
+     */
+    std::atomic<uint32_t> ringWriters{0};
+    std::atomic<bool> ringFolding{false};
 
     timer_t timer{};
     bool timerArmed = false;
@@ -281,31 +294,38 @@ sigprofHandler(int, siginfo_t*, void* ucontext)
 
     // Raw stack capture for folded output: walk the marker chain
     // (bounded, monotonicity-checked — the chain lives on this thread's
-    // stack and grows toward higher addresses as frames unwind).
-    uint32_t slot_idx =
-        s->ringNext.load(std::memory_order_relaxed) % kStackRing;
-    StackSample& sample = s->ring[slot_idx];
-    int depth = 0;
-    if (in_jit && jit.funcIdx != prof::JitPcSample::kNoFunc) {
-        sample.frames[depth++] =
-            jit.funcIdx | (uint64_t(jit.tier) << 32);
+    // stack and grows toward higher addresses as frames unwind). The
+    // ring entries are non-atomic, so the write is guarded by the fold
+    // gate: while another thread folds this ring the sample is dropped
+    // from the flamegraph (counters above already recorded it).
+    s->ringWriters.fetch_add(1, std::memory_order_seq_cst);
+    if (!s->ringFolding.load(std::memory_order_seq_cst)) {
+        uint32_t slot_idx =
+            s->ringNext.load(std::memory_order_relaxed) % kStackRing;
+        StackSample& sample = s->ring[slot_idx];
+        int depth = 0;
+        if (in_jit && jit.funcIdx != prof::JitPcSample::kNoFunc) {
+            sample.frames[depth++] =
+                jit.funcIdx | (uint64_t(jit.tier) << 32);
+        }
+        uintptr_t prev_addr = 0;
+        for (ProfFrame* f = top; f != nullptr && depth < kMaxStackDepth;
+             f = f->prev) {
+            auto addr = reinterpret_cast<uintptr_t>(f);
+            if (prev_addr != 0 &&
+                (addr <= prev_addr || addr - prev_addr > (64u << 20)))
+                break; // chain corrupt (should not happen); stop walking
+            sample.frames[depth++] =
+                f->funcIdx | (uint64_t(f->tier) << 32);
+            prev_addr = addr;
+        }
+        sample.depth = uint8_t(depth);
+        sample.category = category;
+        s->ringNext.store((slot_idx + 1) % kStackRing,
+                          std::memory_order_relaxed);
+        s->ringRecorded.fetch_add(1, std::memory_order_relaxed);
     }
-    uintptr_t prev_addr = 0;
-    for (ProfFrame* f = top; f != nullptr && depth < kMaxStackDepth;
-         f = f->prev) {
-        auto addr = reinterpret_cast<uintptr_t>(f);
-        if (prev_addr != 0 &&
-            (addr <= prev_addr || addr - prev_addr > (64u << 20)))
-            break; // chain corrupt (should not happen); stop walking
-        sample.frames[depth++] =
-            f->funcIdx | (uint64_t(f->tier) << 32);
-        prev_addr = addr;
-    }
-    sample.depth = uint8_t(depth);
-    sample.category = category;
-    s->ringNext.store((slot_idx + 1) % kStackRing,
-                      std::memory_order_relaxed);
-    s->ringRecorded.fetch_add(1, std::memory_order_relaxed);
+    s->ringWriters.fetch_sub(1, std::memory_order_release);
 
     errno = saved_errno;
 }
@@ -466,6 +486,18 @@ void
 foldRingLocked(ProfThreadState& state,
                std::unordered_map<std::string, uint64_t>& out)
 {
+    // Quiesce the owning thread's SIGPROF handler before reading the
+    // non-atomic ring entries or resetting the cursors: raise the fold
+    // flag, then drain in-flight ring writers (the handler's ring
+    // section is a bounded copy, so this spin is nanosecond-scale).
+    // Seq_cst on both sides guarantees a handler either sees the flag
+    // and skips the ring, or is seen here and waited out. Safe when the
+    // owning thread calls this on itself (unregisterProfThread blocks
+    // SIGPROF first, so no handler can be in flight).
+    state.ringFolding.store(true, std::memory_order_seq_cst);
+    while (state.ringWriters.load(std::memory_order_seq_cst) != 0) {
+        // spin; the holder is a signal handler on another thread
+    }
     uint64_t recorded =
         state.ringRecorded.load(std::memory_order_relaxed);
     uint64_t count = std::min<uint64_t>(recorded, kStackRing);
@@ -499,6 +531,7 @@ foldRingLocked(ProfThreadState& state,
     }
     state.ringRecorded.store(0, std::memory_order_relaxed);
     state.ringNext.store(0, std::memory_order_relaxed);
+    state.ringFolding.store(false, std::memory_order_release);
 }
 
 } // namespace

@@ -5,6 +5,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -19,13 +20,16 @@ namespace lnb::svc {
 namespace {
 
 /** Best-effort full write; client disconnects are not errors worth
- * propagating from a diagnostics endpoint. */
+ * propagating from a diagnostics endpoint. MSG_NOSIGNAL: a scraper that
+ * hangs up mid-response must yield EPIPE here, not SIGPIPE (default
+ * disposition would kill the serving process). */
 void
 writeAll(int fd, const std::string& data)
 {
     size_t off = 0;
     while (off < data.size()) {
-        ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+        ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                           MSG_NOSIGNAL);
         if (n <= 0) {
             if (n < 0 && errno == EINTR)
                 continue;
@@ -66,9 +70,36 @@ requestPath(const std::string& request)
     return request.substr(sp1 + 1, sp2 - sp1 - 1);
 }
 
-void
-handleConnection(int fd)
+/**
+ * Wait for @p fd to become readable, ticking so a stop request is
+ * honored. A client that connects and sends nothing (port scan, hung
+ * scraper) must not wedge the single serving thread — give up after
+ * ~2s, and sooner if @p stop is raised.
+ */
+bool
+waitReadable(int fd, const std::atomic<bool>& stop)
 {
+    for (int tick = 0; tick < 20; tick++) {
+        if (stop.load(std::memory_order_relaxed))
+            return false;
+        pollfd pfd;
+        pfd.fd = fd;
+        pfd.events = POLLIN;
+        pfd.revents = 0;
+        int ready = ::poll(&pfd, 1, 100);
+        if (ready > 0)
+            return (pfd.revents & (POLLIN | POLLHUP)) != 0;
+        if (ready < 0 && errno != EINTR)
+            return false;
+    }
+    return false;
+}
+
+void
+handleConnection(int fd, const std::atomic<bool>& stop)
+{
+    if (!waitReadable(fd, stop))
+        return;
     // One short read is enough for the GET request line; scrapers send
     // the whole header block in one segment.
     char buf[2048];
@@ -173,7 +204,14 @@ StatsServer::serveLoop()
             LNB_WARN("stats accept failed: %s", std::strerror(errno));
             continue;
         }
-        handleConnection(client);
+        // Bound the response write too: a client that stops reading must
+        // not pin the serving thread past a couple of seconds.
+        timeval snd_timeout;
+        snd_timeout.tv_sec = 2;
+        snd_timeout.tv_usec = 0;
+        ::setsockopt(client, SOL_SOCKET, SO_SNDTIMEO, &snd_timeout,
+                     sizeof snd_timeout);
+        handleConnection(client, stop_);
         ::close(client);
     }
 }

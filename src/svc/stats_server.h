@@ -8,7 +8,11 @@
  *   GET /healthz  liveness probe, returns "ok".
  *
  * Plain POSIX sockets, one background thread, blocking-free shutdown via
- * poll() with a short tick. Intended for scrape-under-load tests and the
+ * poll() with a short tick. Client I/O is bounded: requests are read
+ * behind a stop-aware poll() timeout, responses are written with
+ * MSG_NOSIGNAL under SO_SNDTIMEO, so a hung or vanished scraper can
+ * neither wedge the serving thread nor SIGPIPE the process. Intended
+ * for scrape-under-load tests and the
  * lnb_svc --stats-port flag, not as a production-grade HTTP stack: it
  * parses only the request line and answers one request per connection
  * (Connection: close).

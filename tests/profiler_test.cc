@@ -10,9 +10,11 @@
  */
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "mem/code_registry.h"
 #include "obs/metrics.h"
@@ -442,6 +444,45 @@ TEST(ProfilerFoldedStacks, InterpRunYieldsSymbolizedStacks)
     }
     EXPECT_GT(lines, 0u);
     std::remove(path.c_str());
+}
+
+/**
+ * Mid-run folds must coexist with live SIGPROF handlers: a worker
+ * thread samples at high rate while this thread repeatedly collects
+ * folded stacks. The fold gate (ProfThreadState::ringFolding/
+ * ringWriters) is what keeps the non-atomic ring entries tear-free —
+ * this is the TSAN regression for folding a live thread's ring.
+ */
+TEST(ProfilerFoldedStacks, ConcurrentCollectWhileSamplingIsTearFree)
+{
+    ProfilerGuard guard(4000);
+    EngineConfig config;
+    config.kind = EngineKind::interp_threaded;
+    config.strategy = BoundsStrategy::clamp;
+    auto instance = makeInstance(churnModule(), config);
+    ASSERT_NE(instance, nullptr);
+
+    std::atomic<bool> done{false};
+    std::thread worker([&] {
+        while (!done.load(std::memory_order_relaxed))
+            callChurn(*instance, 4000);
+    });
+
+    uint64_t total = 0;
+    uint64_t start = monotonicNanos();
+    while (monotonicNanos() - start < 300'000'000) {
+        for (const auto& [stack, count] : obs::collectFoldedStacks()) {
+            EXPECT_FALSE(stack.empty());
+            EXPECT_GT(count, 0u);
+            total += count;
+        }
+    }
+    done.store(true, std::memory_order_relaxed);
+    worker.join();
+
+    // The collects raced a live handler; across 300ms at 4kHz some of
+    // them must have drained real samples.
+    EXPECT_GT(total, 0u);
 }
 
 // ------------------------------------------------- prometheus encoding

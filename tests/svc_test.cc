@@ -786,6 +786,55 @@ TEST(StatsServer, ServesPrometheusMetricsAndHealth)
     EXPECT_FALSE(server.running());
 }
 
+/**
+ * Misbehaving clients must neither wedge the single serving thread nor
+ * kill the process: a connection that never sends a request (port scan,
+ * hung scraper) is timed out so later scrapes still answer and stop()
+ * completes, and clients that hang up before reading the response
+ * (curl timeout, health-checker disconnect) must not SIGPIPE the
+ * process mid-write.
+ */
+TEST(StatsServer, SurvivesHungAndDisconnectingClients)
+{
+    svc::StatsServer server;
+    ASSERT_TRUE(server.start(0).isOk());
+
+    // A client that connects and sends nothing occupies the serving
+    // thread until its read times out (~2s).
+    int idle = socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(idle, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server.port());
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ASSERT_EQ(connect(idle, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)),
+              0);
+
+    // Clients that fire a request and immediately hang up: close() with
+    // the response unread sends RST, so the server's in-flight writes
+    // see EPIPE/ECONNRESET — which must stay an errno, not a SIGPIPE.
+    for (int i = 0; i < 8; i++) {
+        int fd = socket(AF_INET, SOCK_STREAM, 0);
+        ASSERT_GE(fd, 0);
+        if (connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                    sizeof(addr)) == 0) {
+            const char request[] = "GET /metrics HTTP/1.1\r\n\r\n";
+            (void)send(fd, request, sizeof request - 1, 0);
+        }
+        close(fd);
+    }
+
+    // Despite the still-idle connection and the disconnects, a proper
+    // scrape gets through once the idle client times out.
+    std::string health = httpGet(server.port(), "/healthz");
+    EXPECT_NE(health.find("HTTP/1.1 200 OK"), std::string::npos);
+
+    close(idle);
+    server.stop(); // must not hang on a blocked client read
+    EXPECT_FALSE(server.running());
+}
+
 // ------------------------------------------------------------------ env
 
 TEST(SvcConfig, StrictEnvParsingFallsBackOnGarbage)
