@@ -57,7 +57,9 @@ def check_metrics(report_dir):
     counters = doc.get("counters")
     if not isinstance(counters, dict):
         fail("metrics dump has no counters object")
-    # BM_MemoryGrow + BM_InstanceChurn must have driven all of these.
+    # BM_MemoryGrow + BM_InstanceChurn must have driven all of these,
+    # and the BM_LoopVersioning / BM_IpoElision ablations the opt.*
+    # check-elimination counters.
     required = [
         "mem.memories_created",
         "mem.mmap_calls",
@@ -65,11 +67,17 @@ def check_metrics(report_dir):
         "mem.resize_syscalls",
         "rt.instances_created",
         "jit.modules_compiled",
+        "opt.loops_versioned",
+        "opt.checks_elided_ipo",
     ]
     for name in required:
         value = counters.get(name)
         if not isinstance(value, (int, float)) or value <= 0:
             fail(f"counter {name} missing or zero: {value!r}")
+    # Registered by the runtime even when no guard ever fails; the smoke
+    # kernels stay in bounds, so only presence is required.
+    if "opt.guard_fallbacks" not in counters:
+        fail("counter opt.guard_fallbacks not registered")
 
     histograms = doc.get("histograms")
     if not isinstance(histograms, dict):
@@ -240,8 +248,72 @@ def run_svc(lnb_svc, profiled=False):
             fail(f"reports cover {seen}, expected {strategies}")
     mode = "profiled svc" if profiled else "svc"
     print(f"check_report: {mode} OK ({len(reports)} strategy reports)")
+    if profiled:
+        run_svc_versioning_ablation(lnb_svc)
     run_svc_tiered(lnb_svc)
     print("check_report: PASS")
+
+
+def run_svc_versioning_ablation(lnb_svc):
+    """Profiled jit-opt x trap load with loop versioning off, then on:
+    the versioned fast paths must show up as a lower (ideally zero)
+    profile.boundsCheckPct, and the opt.* counters must record the
+    versioned loops."""
+    prof_hz = 997
+    results = {}
+    for versioning in (0, 1):
+        with tempfile.TemporaryDirectory(
+                prefix=f"lnb_check_vers{versioning}_") as tmp:
+            env = dict(os.environ)
+            env["LNB_JSON_DIR"] = tmp
+            env["LNB_PROF_HZ"] = str(prof_hz)
+            env["LNB_OPT_VERSIONING"] = str(versioning)
+            cmd = [
+                lnb_svc,
+                "--engine=jit-opt",
+                "--strategies=trap",
+                "--rate=300",
+                "--seconds=2",
+                "--workers=2",
+                "--queue-depth=64",
+            ]
+            proc = subprocess.run(cmd, env=env, capture_output=True,
+                                  text=True)
+            if proc.returncode != 0:
+                sys.stderr.write(proc.stdout)
+                sys.stderr.write(proc.stderr)
+                fail(f"{' '.join(cmd)} exited with {proc.returncode}")
+            reports = [
+                name
+                for name in os.listdir(tmp)
+                if name.endswith(".json")
+                and not name.startswith("metrics_")
+            ]
+            if len(reports) != 1:
+                fail(f"expected one trap report, got {reports}")
+            path = os.path.join(tmp, reports[0])
+            doc = load_json(path)
+            check_svc_report(doc, path, ["trap"])
+            check_profile_block(doc, path, prof_hz)
+            results[versioning] = doc
+
+    counters = results[1].get("counters", {})
+    if counters.get("opt.loops_versioned", 0) <= 0:
+        fail("versioned run recorded no opt.loops_versioned")
+    if "opt.guard_fallbacks" not in counters:
+        fail("counter opt.guard_fallbacks not registered")
+    pct_off = results[0]["profile"]["boundsCheckPct"]
+    pct_on = results[1]["profile"]["boundsCheckPct"]
+    if pct_on > pct_off:
+        fail(f"boundsCheckPct rose with versioning: "
+             f"off={pct_off:.2f} on={pct_on:.2f}")
+    # Only demand a strict drop when the baseline spent visible time in
+    # checks; below ~1% the comparison is sampling noise.
+    if pct_off >= 1.0 and not pct_on < pct_off:
+        fail(f"boundsCheckPct did not drop with versioning: "
+             f"off={pct_off:.2f} on={pct_on:.2f}")
+    print(f"check_report: versioning ablation OK "
+          f"(boundsCheckPct {pct_off:.2f} -> {pct_on:.2f})")
 
 
 def run_svc_tiered(lnb_svc):
@@ -322,8 +394,17 @@ def main():
             fail(f"not executable: {lnb_svc}")
         run_svc(lnb_svc, profiled=sys.argv[1] == "--svc-profiled")
         return
+    if len(sys.argv) == 3 and sys.argv[1] == "--ablation":
+        # Standalone entry for the CI tier-2 sweep: just the loop
+        # versioning off/on profiled comparison, no other svc checks.
+        lnb_svc = sys.argv[2]
+        if not os.access(lnb_svc, os.X_OK):
+            fail(f"not executable: {lnb_svc}")
+        run_svc_versioning_ablation(lnb_svc)
+        print("check_report: PASS")
+        return
     if len(sys.argv) != 2:
-        fail(f"usage: {sys.argv[0]} [--svc|--svc-profiled] "
+        fail(f"usage: {sys.argv[0]} [--svc|--svc-profiled|--ablation] "
              f"<path-to-binary>")
     micro_bounds = sys.argv[1]
     if not os.access(micro_bounds, os.X_OK):
@@ -336,7 +417,8 @@ def main():
         env["LNB_TRACE_FILE"] = trace_path
         cmd = [
             micro_bounds,
-            "--benchmark_filter=BM_MemoryGrow|BM_InstanceChurn",
+            "--benchmark_filter=BM_MemoryGrow|BM_InstanceChurn"
+            "|BM_LoopVersioning|BM_IpoElision",
             "--benchmark_min_time=0.01",
         ]
         proc = subprocess.run(cmd, env=env, capture_output=True, text=True)

@@ -147,6 +147,18 @@ struct InstanceContext
     /** Runtime blocking-event counter (paper Fig. 5 substitute): grows,
      * host calls that may block, trap recoveries. */
     uint64_t blockingEvents = 0;
+    /**
+     * Dynamically retired bounds checks (trap/clamp strategies): every
+     * software range compare actually executed, whether inline in a
+     * memory access, a hoisted check_bounds, or a versioning guard term.
+     * Interpreters always count; the JIT emits increments only under
+     * EngineConfig.countRetiredChecks (the ablation knob) since the
+     * read-modify-write would pollute steady-state measurements.
+     */
+    uint64_t checksRetired = 0;
+    /** Times a versioned loop's preheader guard failed and execution fell
+     * back to the checked slow-path clone (LOp::count_fallback). */
+    uint64_t guardFallbacks = 0;
 
     // ----- tiering (cold; null/zero when profiling is off) -----
     /**

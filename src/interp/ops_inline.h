@@ -53,9 +53,11 @@ memAddr(InstanceContext* ctx, uint32_t addr, uint64_t offset, unsigned size)
 {
     uint64_t ea = uint64_t(addr) + offset;
     if constexpr (M == CheckMode::clamp) {
+        ctx->checksRetired++;
         if (ea + size > ctx->memSize)
             ea = ctx->clampOffset;
     } else if constexpr (M == CheckMode::trap) {
+        ctx->checksRetired++;
         if (ea + size > ctx->memSize)
             trap(TrapKind::out_of_bounds_memory);
     }
@@ -715,6 +717,7 @@ semCheckBounds(InstanceContext* ctx, Value* f, const LInst& inst)
     if constexpr (M == CheckMode::trap) {
         uint64_t limit =
             inst.aux == 0 ? uint64_t(f[inst.a].i32) + inst.imm : inst.imm;
+        ctx->checksRetired++;
         if (limit > ctx->memSize)
             trap(TrapKind::out_of_bounds_memory);
     } else {

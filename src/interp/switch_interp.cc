@@ -128,6 +128,10 @@ runSwitch(InstanceContext* ctx, const LoweredFunc& func, Value* frame)
             sem::semFusedLoadBinop<M>(ctx, frame, inst);
             break;
 
+          case LOp::count_fallback:
+            ctx->guardFallbacks++;
+            break;
+
           default:
             sem::execWasmOp<M>(ctx, frame, inst);
             break;

@@ -39,6 +39,7 @@ runThreaded(InstanceContext* ctx, const LoweredFunc& func, Value* frame)
         &&L_calli,     &&L_trap,    &&L_check_bounds,
         &&L_fused_const_binop,      &&L_fused_cmp_jump,
         &&L_fused_copy_binop,       &&L_fused_load_binop,
+        &&L_count_fallback,
     };
     static_assert(sizeof(kLabels) / sizeof(kLabels[0]) == wasm::kLOpCount,
                   "handler table must cover every lowered opcode");
@@ -150,6 +151,10 @@ L_fused_copy_binop:
 L_fused_load_binop:
     sem::semFusedLoadPart<M>(ctx, frame, *inst);
     goto* kLabels[inst->aux];
+
+L_count_fallback:
+    ctx->guardFallbacks++;
+    NEXT();
 
 #undef NEXT
 #undef JUMP_TO

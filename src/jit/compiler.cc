@@ -421,7 +421,123 @@ class FunctionCompiler
 
     // ----- bounds-check cache (opt tier) -----
     void invalidate(uint32_t cell) { checkedLimit_.erase(cell); }
-    void invalidateAllChecks() { checkedLimit_.clear(); }
+    void
+    invalidateAllChecks()
+    {
+        checkedLimit_.clear();
+        checkedConstLimit_ = 0;
+    }
+
+    /** The check caches are live (trap strategy, optimizing tier). */
+    bool
+    checkCacheActive() const
+    {
+        return opts_.optimize && opts_.strategy == BoundsStrategy::trap;
+    }
+
+    /** Interprocedural summaries were computed for this module. */
+    bool
+    haveSummaries() const
+    {
+        return checkCacheActive() && !mod_.funcSummaries.empty();
+    }
+
+    /** Re-seed the caches with facts the opt pass proved to hold on
+     * every path into @p pc (block entries and the function entry). */
+    void
+    seedFactsAt(uint32_t pc)
+    {
+        if (!checkCacheActive())
+            return;
+        auto it = factRanges_.find(pc);
+        if (it == factRanges_.end())
+            return;
+        for (uint32_t i = it->second.first; i < it->second.second; i++) {
+            const auto& fact = func_.entryCheckFacts[i];
+            if (fact.cell == wasm::kCheckFactConstCell)
+                checkedConstLimit_ =
+                    std::max(checkedConstLimit_, fact.limit);
+            else
+                checkedLimit_[fact.cell] = fact.limit;
+        }
+    }
+
+    /** Forget cell facts at and above @p arg_base (what a wasm callee
+     * can clobber: frames overlap, the callee's frame starts there). */
+    void
+    eraseCheckedFrom(uint32_t arg_base)
+    {
+        for (auto it = checkedLimit_.begin();
+             it != checkedLimit_.end();) {
+            if (it->first >= arg_base)
+                it = checkedLimit_.erase(it);
+            else
+                ++it;
+        }
+    }
+
+    /**
+     * Update the caches after a direct call to module-wide function
+     * index @p callee_idx with the argument frame at @p arg_base. With
+     * summaries, a grow-free callee invalidates only cells it can write;
+     * any wasm callee leaves the constant fact alive (memSize is
+     * monotone) and contributes its own entry-checked constant limit.
+     */
+    void
+    noteDirectCall(uint32_t callee_idx, uint32_t arg_base)
+    {
+        if (!haveSummaries()) {
+            invalidateAllChecks();
+            return;
+        }
+        const wasm::FuncSummary& s =
+            mod_.funcSummaries[callee_idx -
+                               mod_.module.numImportedFuncs()];
+        eraseCheckedFrom(s.growFree ? arg_base : 0);
+        checkedConstLimit_ =
+            std::max(checkedConstLimit_, s.maxConstCheckLimit);
+    }
+
+    /** Caches after call_indirect or memory.grow: no callee identity,
+     * but memSize monotonicity keeps the constant fact alive. */
+    void
+    noteOpaqueMemClobber()
+    {
+        if (!haveSummaries()) {
+            invalidateAllChecks();
+            return;
+        }
+        eraseCheckedFrom(0);
+    }
+
+    /** Propagate the source cell's checked limit through a copy (the
+     * address value moved, so its passed check moved with it). */
+    void
+    propagateCheckOnCopy(const LInst& inst)
+    {
+        if (!checkCacheActive()) {
+            invalidate(inst.b);
+            return;
+        }
+        auto it = checkedLimit_.find(inst.a);
+        if (it != checkedLimit_.end())
+            checkedLimit_[inst.b] = it->second;
+        else
+            checkedLimit_.erase(inst.b);
+    }
+
+    /** ctx->checksRetired++ (mov/lea/mov: no flags touched). Emitted in
+     * front of a software check when the counting knob is on. Clobbers
+     * rcx only. */
+    void
+    emitCountRetired()
+    {
+        if (!opts_.countChecks)
+            return;
+        as_.movRM64(rcx, CTX_FIELD(checksRetired));
+        as_.lea(rcx, Mem{rcx, 1});
+        as_.movMR64(CTX_FIELD(checksRetired), rcx);
+    }
 
     /** Record [check_begin, current) as a bounds-check PC range for the
      * profiler code map. Emission is monotonic, so ranges arrive sorted
@@ -482,6 +598,7 @@ class FunctionCompiler
             jitMetrics().boundsChecksElided.add();
         } else {
             jitMetrics().boundsChecksEmitted.add();
+            emitCountRetired();
             uint32_t check_begin = uint32_t(as_.size());
             // rcx = ea + size; compare against the live memory size.
             as_.lea(rcx, Mem{rax, int32_t(access_size)});
@@ -558,6 +675,10 @@ class FunctionCompiler
     std::unordered_map<uint8_t, Label> trapLabels_;
     /** addr cell -> highest offset+size already checked (trap mode). */
     std::unordered_map<uint32_t, uint64_t> checkedLimit_;
+    /** Constant limit known to satisfy memSize >= limit here (from a
+     * check_bounds aux == 1, a callee summary, or the initial-memory
+     * entry fact). Survives calls and grows: memSize is monotone. */
+    uint64_t checkedConstLimit_ = 0;
     /** pc currently being emitted (for elision-hint lookups). */
     uint32_t curPc_ = 0;
     /** Accesses the opt pass proved covered by an earlier check. */
@@ -654,24 +775,18 @@ FunctionCompiler::compile()
         pcLabels_[pc] = as_.newLabel();
 
     emitPrologue();
+    // Facts that hold at any entry into the function (the IPO pass's
+    // initial-memory-size constant fact) seed the caches at pc 0.
+    seedFactsAt(0);
 
     for (uint32_t pc = 0; pc < func_.code.size(); pc++) {
         if (jumpTargets_.count(pc)) {
             as_.bind(pcLabels_[pc]);
             invalidateAllChecks();
-            // Re-seed the cache with facts the opt pass proved to hold
+            // Re-seed the caches with facts the opt pass proved to hold
             // on every path into this label, so elision keeps working
             // across block boundaries and around loop back edges.
-            if (opts_.optimize && opts_.strategy == BoundsStrategy::trap) {
-                auto it = factRanges_.find(pc);
-                if (it != factRanges_.end()) {
-                    for (uint32_t i = it->second.first;
-                         i < it->second.second; i++) {
-                        const auto& fact = func_.entryCheckFacts[i];
-                        checkedLimit_[fact.cell] = fact.limit;
-                    }
-                }
-            }
+            seedFactsAt(pc);
         }
         curPc_ = pc;
         emitInstr(func_.code[pc]);
@@ -738,12 +853,13 @@ FunctionCompiler::emitInstr(const LInst& inst)
                 else
                     goto copy_generic;
             }
-            invalidate(inst.b);
+            propagateCheckOnCopy(inst);
             return;
         }
       copy_generic:
         loadBits64(rax, inst.a, rc);
-        storeBits64(inst.b, rax, rc);
+        storeBits64(inst.b, rax, rc); // invalidates b; re-derive below
+        propagateCheckOnCopy(inst);
         return;
       }
 
@@ -776,7 +892,22 @@ FunctionCompiler::emitInstr(const LInst& inst)
         // other strategies it is dead weight the pass never inserts).
         if (opts_.strategy != BoundsStrategy::trap)
             return;
+        // A covered check cannot trap (an equal-or-stronger compare
+        // already passed on every path here), so it can be skipped.
+        if (checkCacheActive()) {
+            if (inst.aux == 0) {
+                auto it = checkedLimit_.find(inst.a);
+                if (it != checkedLimit_.end() && it->second >= inst.imm) {
+                    jitMetrics().boundsChecksElided.add();
+                    return;
+                }
+            } else if (checkedConstLimit_ >= inst.imm) {
+                jitMetrics().boundsChecksElided.add();
+                return;
+            }
+        }
         jitMetrics().boundsChecksEmitted.add();
+        emitCountRetired();
         uint32_t check_begin = uint32_t(as_.size());
         if (inst.aux == 0) {
             loadGpr32(rax, inst.a);
@@ -792,10 +923,21 @@ FunctionCompiler::emitInstr(const LInst& inst)
             as_.movRI64(rax, inst.imm);
             as_.cmpRM64(rax, CTX_FIELD(memSize));
             as_.jcc(Cond::a, trapLabel(TrapKind::out_of_bounds_memory));
+            if (opts_.optimize)
+                checkedConstLimit_ =
+                    std::max(checkedConstLimit_, inst.imm);
         }
         recordCheckRange(check_begin);
         return;
       }
+
+      case LOp::count_fallback:
+        // Versioned-loop guard failure: bump the fallback counter. A
+        // plain mov/lea/mov so no live register or flag is disturbed.
+        as_.movRM64(rax, CTX_FIELD(guardFallbacks));
+        as_.lea(rax, Mem{rax, 1});
+        as_.movMR64(CTX_FIELD(guardFallbacks), rax);
+        return;
 
       // The engine only enables fusion for the interpreter tiers, but
       // keep the JIT total over the IR by decomposing fused forms back
@@ -877,7 +1019,7 @@ FunctionCompiler::emitCall(const LInst& inst)
     reloadFloatMask(inst.aux);
     if (!callee.results.empty())
         fillCell(inst.b, classOf(callee.results[0]));
-    invalidateAllChecks(); // the callee may have grown memory
+    noteDirectCall(inst.a, inst.b);
 }
 
 void
@@ -951,7 +1093,7 @@ FunctionCompiler::emitCallIndirect(const LInst& inst)
     reloadFloatMask(inst.aux);
     if (!callee.results.empty())
         fillCell(arg_base, classOf(callee.results[0]));
-    invalidateAllChecks();
+    noteOpaqueMemClobber();
 }
 
 void
@@ -1749,7 +1891,7 @@ FunctionCompiler::emitWasmOp(const LInst& inst)
         as_.callImm(reinterpret_cast<const void*>(&exec::lnbJitMemoryGrow));
         reloadFloatMask(inst.aux);
         storeGpr32(inst.a, rax);
-        invalidateAllChecks();
+        noteOpaqueMemClobber();
         return;
       case Op::memory_copy:
         spillFloatMask(inst.aux);

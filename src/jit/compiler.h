@@ -40,6 +40,14 @@ struct JitOptions
      * stack checks among the safety costs; disable for ablation only). */
     bool stackChecks = true;
     /**
+     * Emit an InstanceContext::checksRetired increment in front of every
+     * software bounds check (trap compare or clamp redirect) so retired
+     * dynamic check counts can be compared across optimization ablations.
+     * The interpreters always count; the JIT only under this knob, since
+     * the extra load/store pollutes steady-state timings.
+     */
+    bool countChecks = false;
+    /**
      * Per-function code table for cross-tier calls. When set, callf and
      * call_indirect are emitted as indirect calls through the table
      * (load the callee's current entry, pass the function index in edx),

@@ -138,6 +138,26 @@ class Kb
     {
         f.i32Const(lo);
         f.localSet(var);
+        if (lo >= 0 && lo < hi) {
+            // Constant non-empty range: emit the counted bottom-test
+            // form (do { body; var++ } while (var <u hi)) the affine
+            // loop versioner recognizes. Identical trip sequence — var
+            // never leaves [lo, hi) so signed and unsigned compare
+            // agree — with one branch per iteration instead of two.
+            auto head = f.loop();
+            body();
+            f.localGet(var);
+            f.i32Const(1);
+            f.emit(Op::i32_add);
+            f.localTee(var);
+            f.i32Const(hi);
+            f.emit(Op::i32_lt_u);
+            f.brIf(head);
+            f.end();
+            return;
+        }
+        if (lo >= hi)
+            return; // constant-empty: the loop body can never run
         auto exit = f.block();
         auto head = f.loop();
         f.localGet(var);

@@ -80,6 +80,16 @@ Engine::compile(wasm::Module module) const
         envInt("LNB_TIER_THRESHOLD", config.tierThreshold, 1, 1u << 30));
     config.tierCompileThreads = uint32_t(envInt(
         "LNB_TIER_COMPILE_THREADS", config.tierCompileThreads, 1, 256));
+    // Tri-state opt kill-switches: unset keeps the config value, 0/1
+    // forces; anything else warns (strict parsing) and keeps the config.
+    config.optVersioning =
+        envInt("LNB_OPT_VERSIONING", config.optVersioning ? 1 : 0, 0, 1) !=
+        0;
+    config.optIpoSummaries =
+        envInt("LNB_OPT_IPO", config.optIpoSummaries ? 1 : 0, 0, 1) != 0;
+    config.countRetiredChecks =
+        envInt("LNB_COUNT_CHECKS", config.countRetiredChecks ? 1 : 0, 0,
+               1) != 0;
     if (config.tiered &&
         (envFlag("LNB_TIER_DISABLED") || !jit::jitSupported())) {
         // Kill switch: the module stays in the base tier, not whatever
@@ -115,6 +125,8 @@ Engine::compile(wasm::Module module) const
         opt.analyzeChecks = top_is_opt_jit &&
                             config.strategy == mem::BoundsStrategy::trap;
         opt.hoistChecks = opt.analyzeChecks;
+        opt.versionLoops = opt.analyzeChecks && config.optVersioning;
+        opt.ipoSummaries = opt.analyzeChecks && config.optIpoSummaries;
         if (opt.fuse || opt.analyzeChecks) {
             LNB_TRACE_SCOPE("rt.opt");
             ScopedTimer timer(cm->stats_.optSeconds);
@@ -143,6 +155,7 @@ Engine::compile(wasm::Module module) const
         options.strategy = config.strategy;
         options.optimize = config.kind == EngineKind::jit_opt;
         options.stackChecks = config.stackChecks;
+        options.countChecks = config.countRetiredChecks;
         if (!config.directJitCalls)
             options.codeTable = cm->funcCode_.get();
         ScopedTimer timer(cm->stats_.codegenSeconds);
@@ -173,6 +186,7 @@ Engine::compile(wasm::Module module) const
             options.strategy = config.strategy;
             options.optimize = true;
             options.stackChecks = config.stackChecks;
+            options.countChecks = config.countRetiredChecks;
             options.codeTable = cm->funcCode_.get();
             cm->tierController_ = std::make_unique<TierController>(
                 &cm->lowered_, cm->funcCode_.get(), options,

@@ -70,6 +70,28 @@ struct EngineConfig
      */
     bool optimizeLoweredIR = true;
     /**
+     * Affine loop versioning (wasm/opt.*): clone counted loops with
+     * in-loop bounds checks behind a preheader range guard so the fast
+     * path runs check-free; the guard falls back to the fully-checked
+     * clone. Effective only where check analysis runs (jit_opt or tiered,
+     * trap strategy, optimizeLoweredIR on). LNB_OPT_VERSIONING=0/1
+     * overrides.
+     */
+    bool optVersioning = true;
+    /**
+     * Interprocedural check summaries (wasm/opt.*): bottom-up grow-free
+     * and entry-checked-limit facts let bounds-check elision survive
+     * calls. Same gating as optVersioning; LNB_OPT_IPO=0/1 overrides.
+     */
+    bool optIpoSummaries = true;
+    /**
+     * Count dynamically retired software bounds checks in JIT code
+     * (InstanceContext::checksRetired; the interpreters always count).
+     * Measurement-only knob — the increments pollute steady-state
+     * timings. LNB_COUNT_CHECKS=0/1 overrides.
+     */
+    bool countRetiredChecks = false;
+    /**
      * Per-function tiered execution: every function starts in the
      * profiled threaded interpreter and is recompiled with the jit_opt
      * pipeline in the background once its hotness (function entries +

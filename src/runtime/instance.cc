@@ -30,6 +30,11 @@ struct RtMetrics
     obs::Counter callsInterp = obs::registerCounter("tier.calls_interp");
     obs::Counter callsJit = obs::registerCounter("tier.calls_jit");
     obs::Counter callsHost = obs::registerCounter("tier.calls_host");
+    /** Versioned-loop guard failures, folded in from the per-instance
+     * context after each top-level call (runtime-side counterpart of the
+     * compile-time opt.* counters in wasm/opt.cc). */
+    obs::Counter guardFallbacks = obs::registerCounter(
+        "opt.guard_fallbacks");
 };
 
 RtMetrics&
@@ -207,6 +212,8 @@ Instance::initMutableState()
     ctx_.vstackTop = vstack_.get();
     ctx_.callDepth = 0;
     ctx_.blockingEvents = 0;
+    ctx_.checksRetired = 0;
+    ctx_.guardFallbacks = 0;
     // Fresh profile: a recycled instance must neither inherit hotness
     // toward a spurious tier-up nor suppress one it would have earned.
     if (funcHotness_ != nullptr) {
@@ -276,12 +283,16 @@ Instance::call(uint32_t func_idx, const std::vector<wasm::Value>& args)
       case exec::Tier::jit: rtMetrics().callsJit.add(); break;
       default: rtMetrics().callsInterp.add(); break;
     }
+    uint64_t fallbacks_before = ctx_.guardFallbacks;
     outcome.trap = mem::TrapManager::protect([&] {
         fc.entry.load(std::memory_order_acquire)(&ctx_, frame, func_idx);
     });
 
     ctx_.callDepth = saved_depth;
     ctx_.vstackTop = saved_top;
+    if (ctx_.guardFallbacks != fallbacks_before)
+        rtMetrics().guardFallbacks.add(ctx_.guardFallbacks -
+                                       fallbacks_before);
 
     if (!outcome.ok())
         rtMetrics().trapsReturned.add();

@@ -110,6 +110,13 @@ class Instance
     /** Runtime blocking events (paper Fig. 5 substitute). */
     uint64_t blockingEvents() const { return ctx_.blockingEvents; }
 
+    /** Dynamically retired software bounds checks. Interpreters always
+     * count; JIT code only under EngineConfig::countRetiredChecks. */
+    uint64_t checksRetired() const { return ctx_.checksRetired; }
+
+    /** Versioned-loop guard failures (slow-path clone entries). */
+    uint64_t guardFallbacks() const { return ctx_.guardFallbacks; }
+
   private:
     Instance() = default;
     Status initialize(ImportMap imports);

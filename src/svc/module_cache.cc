@@ -49,7 +49,13 @@ engineConfigFingerprint(const rt::EngineConfig& config)
                       (uint64_t(config.stackChecks) << 17) |
                       (uint64_t(config.optimizeLoweredIR) << 18) |
                       (uint64_t(config.tiered) << 19) |
-                      (uint64_t(config.directJitCalls) << 20);
+                      (uint64_t(config.directJitCalls) << 20) |
+                      // The opt knobs change codegen identity (versioned
+                      // clones, elision patterns, counting instructions):
+                      // artifacts must not be shared across settings.
+                      (uint64_t(config.optVersioning) << 21) |
+                      (uint64_t(config.optIpoSummaries) << 22) |
+                      (uint64_t(config.countRetiredChecks) << 23);
     uint64_t hash = fnv1a64(&packed, sizeof packed);
     hash = fnv1a64(&config.valueStackCells, sizeof config.valueStackCells,
                    hash);

@@ -667,6 +667,7 @@ lopName(uint16_t op)
       case LOp::fused_cmp_jump: return "fused.cmp.jump";
       case LOp::fused_copy_binop: return "fused.copy.binop";
       case LOp::fused_load_binop: return "fused.load.binop";
+      case LOp::count_fallback: return "count.fallback";
       default: return "?";
     }
 }

@@ -25,6 +25,8 @@ struct OptCounters
     obs::Counter hoisted;
     obs::Counter elided;
     obs::Counter fused;
+    obs::Counter versioned;
+    obs::Counter elidedIpo;
 };
 
 OptCounters&
@@ -34,6 +36,8 @@ optCounters()
         obs::registerCounter("opt.checks_hoisted"),
         obs::registerCounter("opt.checks_elided_crossblock"),
         obs::registerCounter("opt.insts_fused"),
+        obs::registerCounter("opt.loops_versioned"),
+        obs::registerCounter("opt.checks_elided_ipo"),
     };
     return counters;
 }
@@ -560,8 +564,12 @@ struct HoistResult
     uint64_t hoisted = 0;
 };
 
+/** @p skip (optional, pc-indexed) marks accesses whose check is already
+ * elidable (e.g. on a versioned fast path); hoisting leaves them alone
+ * rather than inserting a redundant preheader check. */
 HoistResult
-planHoists(const LoweredFunc& func, const Cfg& cfg)
+planHoists(const LoweredFunc& func, const Cfg& cfg,
+           const std::vector<uint8_t>* skip = nullptr)
 {
     HoistResult result;
     std::vector<Loop> loops = findNaturalLoops(cfg);
@@ -603,7 +611,7 @@ planHoists(const LoweredFunc& func, const Cfg& cfg)
         uint64_t constLimit = 0;
         for (uint32_t pc = header.begin; pc < header.end; pc++) {
             const LInst& inst = func.code[pc];
-            if (inst.isWasmOp() &&
+            if (inst.isWasmOp() && (!skip || !(*skip)[pc]) &&
                 (isLoadOp(inst.wasmOp()) || isStoreOp(inst.wasmOp()))) {
                 Op op = inst.wasmOp();
                 uint64_t limit = inst.imm + memAccessSize(op);
@@ -694,16 +702,502 @@ planHoists(const LoweredFunc& func, const Cfg& cfg)
 }
 
 // ---------------------------------------------------------------------
+// Affine loop versioning (trap strategy only)
+// ---------------------------------------------------------------------
+//
+// For a single-block bottom-test loop whose exit condition is an unsigned
+// compare of the (post-increment) induction variable against a
+// loop-invariant bound N, recognize accesses whose address is affine in
+// the IV: k_iv*iv + k_base*base + const. The loop body stays in place as
+// the fast path with every qualifying check marked elidable; a cloned,
+// fully-checked copy is appended, and preheader guards — evaluated in
+// 64-bit arithmetic, so they also rule out u32 wraparound of the in-loop
+// address computation — branch to the clone when they fail.
+//
+// Soundness of the guard bound: in a bottom-test loop, iteration j >= 1
+// only runs because the previous iteration's compare saw iv < N — and the
+// compare reads the *wrapped* u32 value, so iv_start(j) < N holds as an
+// integer regardless of wraparound. Iteration 0 starts from the entry
+// value. Hence M = max(iv_entry, N-1) bounds iv at the top of every
+// iteration. If every affine term, evaluated without wrapping at
+// coefficient*M + base-coefficient*base + const + access-limit, fits
+// under memSize, then each partial sum of the in-loop u32 arithmetic is
+// bounded by that total < 2^32 (all terms are non-negative), so the u32
+// computation never wraps, computes the true affine value, and every
+// access check on the fast path provably passes. N == 0 makes N-1
+// underflow to 2^64-1, M >= 2^32 is separately guarded, and the loop
+// falls back to the checked clone — degenerate bounds are never fast.
+
+/** Cap on affine coefficients so coef*M (M < 2^32) stays < 2^48 and the
+ * guard's u64 sums cannot overflow. */
+constexpr uint64_t kMaxAffineCoef = uint64_t(1) << 16;
+/** Cap on the additive constant (offsets accumulated across adds). */
+constexpr uint64_t kMaxAffineConst = uint64_t(1) << 34;
+
+/** Affine form of a cell's value inside one loop iteration:
+ * sum(coef * value-at-iteration-entry(cell)) + k, tracked in exact
+ * (non-wrapping) u64 arithmetic over zero-extended i32 inputs. */
+struct Affine
+{
+    bool top = true;
+    std::map<uint32_t, uint64_t> terms; ///< cell -> coefficient
+    uint64_t k = 0;
+
+    static Affine identity(uint32_t cell)
+    {
+        Affine a;
+        a.top = false;
+        a.terms[cell] = 1;
+        return a;
+    }
+    static Affine constant(uint64_t v)
+    {
+        Affine a;
+        a.top = false;
+        a.k = v;
+        return a;
+    }
+    bool isConst() const { return !top && terms.empty(); }
+    bool operator==(const Affine& o) const
+    {
+        return top == o.top && terms == o.terms && k == o.k;
+    }
+};
+
+Affine
+affAdd(const Affine& x, const Affine& y)
+{
+    Affine r;
+    if (x.top || y.top)
+        return r;
+    r.top = false;
+    r.terms = x.terms;
+    for (const auto& [cell, coef] : y.terms) {
+        uint64_t& c = r.terms[cell];
+        c += coef;
+        if (c > kMaxAffineCoef)
+            return Affine{};
+    }
+    r.k = x.k + y.k;
+    if (r.k > kMaxAffineConst || r.terms.size() > 2)
+        return Affine{};
+    return r;
+}
+
+Affine
+affScale(const Affine& x, uint64_t s)
+{
+    Affine r;
+    if (x.top || s > kMaxAffineCoef)
+        return r;
+    r.top = false;
+    for (const auto& [cell, coef] : x.terms) {
+        uint64_t c = coef * s;
+        if (c > kMaxAffineCoef)
+            return Affine{};
+        r.terms[cell] = c;
+    }
+    r.k = x.k * s;
+    if (r.k > kMaxAffineConst)
+        return Affine{};
+    return r;
+}
+
+/** One range-check term of a loop guard: worst-case exclusive end address
+ * kIv*M + kBase*base + kConst must fit under memSize. */
+struct GuardTerm
+{
+    uint64_t kIv = 0;
+    bool hasBase = false;
+    uint32_t baseCell = 0;
+    uint64_t kBase = 0;
+    uint64_t kConst = 0;
+};
+
+struct LoopVersionPlan
+{
+    uint32_t headerBegin = 0;
+    uint32_t headerEnd = 0; ///< one past the back-edge terminator
+    uint32_t ivCell = 0;
+    bool boundIsConst = false;
+    uint32_t boundCell = 0;
+    uint64_t boundConst = 0;
+    std::vector<GuardTerm> terms;
+    std::vector<uint32_t> elidePcs; ///< fast-path accesses made elidable
+};
+
+/**
+ * Analyze one single-block loop for versioning eligibility. Returns true
+ * and fills @p plan if the loop has a recognizable counted form and at
+ * least one IV-dependent affine access.
+ */
+bool
+planLoopVersion(const LoweredFunc& func, const Cfg& cfg, const Loop& loop,
+                LoopVersionPlan& plan)
+{
+    // Exactly one block in the body, and a fallthrough-only entry (every
+    // jump to the header pc must be the back edge), mirroring hoisting.
+    uint32_t nbody = 0;
+    for (uint8_t in : loop.body)
+        nbody += in;
+    if (nbody != 1)
+        return false;
+    const Block& header = cfg.blocks[loop.header];
+    uint32_t h = header.begin;
+    for (uint32_t p : header.preds) {
+        if (!loop.body[p] && blockJumpsTo(func, cfg.blocks[p], h))
+            return false;
+    }
+    if (header.end - header.begin < 2)
+        return false;
+    const LInst& term = func.code[header.end - 1];
+    if (term.isWasmOp() ||
+        (term.lop() != LOp::jump_if && term.lop() != LOp::jump_if_zero) ||
+        term.a != h)
+        return false;
+
+    // Abstract-interpret the body once: affine state per cell, snapshots
+    // of compare operands, and the address expression at each access.
+    std::map<uint32_t, Affine> state;
+    auto exprOf = [&](uint32_t cell) -> Affine {
+        auto it = state.find(cell);
+        return it != state.end() ? it->second : Affine::identity(cell);
+    };
+    struct AccessRec
+    {
+        uint32_t pc;
+        Affine addr;
+        uint64_t limit;
+    };
+    std::vector<AccessRec> accesses;
+    struct CmpRec
+    {
+        Affine lhs, rhs;
+    };
+    std::map<uint32_t, CmpRec> cmps;     // pc -> operand snapshot
+    std::map<uint32_t, uint32_t> lastDef; // cell -> defining pc
+
+    for (uint32_t pc = header.begin; pc + 1 < header.end; pc++) {
+        const LInst& inst = func.code[pc];
+        if (!inst.isWasmOp()) {
+            switch (inst.lop()) {
+              case LOp::copy:
+                state[inst.b] = exprOf(inst.a);
+                lastDef[inst.b] = pc;
+                continue;
+              case LOp::callf:
+              case LOp::call_host:
+              case LOp::calli:
+                return false; // calls may grow memory or clobber cells
+              default:
+                break;
+            }
+            uint32_t w;
+            if (writesCell(inst, w)) {
+                state[w] = Affine{};
+                lastDef[w] = pc;
+            }
+            continue;
+        }
+        Op op = inst.wasmOp();
+        if (op == Op::memory_grow)
+            return false; // memSize may change mid-loop
+        if (isLoadOp(op) || isStoreOp(op)) {
+            accesses.push_back(
+                {pc, exprOf(inst.a), inst.imm + memAccessSize(op)});
+            if (isLoadOp(op)) {
+                state[inst.a] = Affine{};
+                lastDef[inst.a] = pc;
+            }
+            continue;
+        }
+        switch (op) {
+          case Op::i32_const:
+            state[inst.a] = Affine::constant(uint32_t(inst.imm));
+            lastDef[inst.a] = pc;
+            continue;
+          case Op::i32_add:
+            state[inst.a] = affAdd(exprOf(inst.a), exprOf(inst.b));
+            lastDef[inst.a] = pc;
+            continue;
+          case Op::i32_mul: {
+            Affine lhs = exprOf(inst.a), rhs = exprOf(inst.b);
+            if (rhs.isConst())
+                state[inst.a] = affScale(lhs, rhs.k);
+            else if (lhs.isConst())
+                state[inst.a] = affScale(rhs, lhs.k);
+            else
+                state[inst.a] = Affine{};
+            lastDef[inst.a] = pc;
+            continue;
+          }
+          case Op::i32_shl: {
+            Affine rhs = exprOf(inst.b);
+            if (rhs.isConst() && (rhs.k & 31) < 17)
+                state[inst.a] =
+                    affScale(exprOf(inst.a), uint64_t(1) << (rhs.k & 31));
+            else
+                state[inst.a] = Affine{};
+            lastDef[inst.a] = pc;
+            continue;
+          }
+          case Op::i32_lt_u:
+          case Op::i32_gt_u:
+          case Op::i32_ge_u:
+          case Op::i32_le_u:
+            cmps[pc] = {exprOf(inst.a), exprOf(inst.b)};
+            state[inst.a] = Affine{};
+            lastDef[inst.a] = pc;
+            continue;
+          default:
+            break;
+        }
+        uint32_t w;
+        if (writesCell(inst, w)) {
+            state[w] = Affine{};
+            lastDef[w] = pc;
+        }
+    }
+
+    // Resolve the exit condition: the branch cell's last def must be one
+    // of the four continue-iff-(iv' < N) unsigned compare forms, with the
+    // IV side exactly iv + step (step >= 1).
+    auto ld = lastDef.find(term.b);
+    if (ld == lastDef.end())
+        return false;
+    auto cm = cmps.find(ld->second);
+    if (cm == cmps.end() || func.code[ld->second].a != term.b)
+        return false;
+    Op cmpOp = func.code[ld->second].wasmOp();
+    bool zero = term.lop() == LOp::jump_if_zero;
+    // continue == branch taken (jump_if) / not taken (jump_if_zero).
+    Affine ivSide, boundSide;
+    if ((!zero && cmpOp == Op::i32_lt_u) || (zero && cmpOp == Op::i32_ge_u)) {
+        ivSide = cm->second.lhs;
+        boundSide = cm->second.rhs;
+    } else if ((!zero && cmpOp == Op::i32_gt_u) ||
+               (zero && cmpOp == Op::i32_le_u)) {
+        ivSide = cm->second.rhs;
+        boundSide = cm->second.lhs;
+    } else {
+        return false;
+    }
+    if (ivSide.top || ivSide.terms.size() != 1 ||
+        ivSide.terms.begin()->second != 1 || ivSide.k < 1)
+        return false;
+    plan.ivCell = ivSide.terms.begin()->first;
+    // The IV cell itself must end the iteration at exactly iv + step.
+    Affine ivEnd = exprOf(plan.ivCell);
+    if (!(ivEnd == ivSide))
+        return false;
+    auto invariant = [&](uint32_t cell) {
+        auto it = state.find(cell);
+        return it == state.end() || it->second == Affine::identity(cell);
+    };
+    if (boundSide.isConst()) {
+        if (boundSide.k == 0)
+            return false; // guard would always fail; keep the plain loop
+        plan.boundIsConst = true;
+        plan.boundConst = boundSide.k;
+    } else if (!boundSide.top && boundSide.terms.size() == 1 &&
+               boundSide.terms.begin()->second == 1 && boundSide.k == 0 &&
+               boundSide.terms.begin()->first != plan.ivCell &&
+               invariant(boundSide.terms.begin()->first)) {
+        plan.boundCell = boundSide.terms.begin()->first;
+    } else {
+        return false;
+    }
+
+    // Qualify accesses: affine in at most {iv, one invariant base}.
+    std::map<std::tuple<uint64_t, uint32_t, uint64_t>, uint64_t> merged;
+    bool anyIvAccess = false;
+    for (const AccessRec& acc : accesses) {
+        if (acc.addr.top)
+            continue;
+        uint64_t kiv = 0, kbase = 0;
+        bool hasBase = false;
+        uint32_t baseCell = 0;
+        bool ok = true;
+        for (const auto& [cell, coef] : acc.addr.terms) {
+            if (cell == plan.ivCell) {
+                kiv = coef;
+            } else if (!hasBase && invariant(cell)) {
+                hasBase = true;
+                baseCell = cell;
+                kbase = coef;
+            } else {
+                ok = false;
+                break;
+            }
+        }
+        uint64_t kconst = acc.addr.k + acc.limit;
+        if (!ok || kconst > kMaxAffineConst)
+            continue;
+        if (kiv > 0)
+            anyIvAccess = true;
+        uint64_t& worst =
+            merged[{kiv, hasBase ? baseCell + 1 : 0, kbase}];
+        worst = std::max(worst, kconst);
+        plan.elidePcs.push_back(acc.pc);
+    }
+    if (!anyIvAccess || plan.elidePcs.empty())
+        return false;
+    for (const auto& [key, kconst] : merged) {
+        GuardTerm t;
+        t.kIv = std::get<0>(key);
+        t.hasBase = std::get<1>(key) != 0;
+        t.baseCell = t.hasBase ? std::get<1>(key) - 1 : 0;
+        t.kBase = std::get<2>(key);
+        t.kConst = kconst;
+        plan.terms.push_back(t);
+    }
+    plan.headerBegin = h;
+    plan.headerEnd = header.end;
+    return true;
+}
+
+LInst
+makeInst(uint16_t op, uint16_t aux, uint32_t a, uint32_t b, uint64_t imm)
+{
+    LInst i;
+    i.op = op;
+    i.aux = aux;
+    i.a = a;
+    i.b = b;
+    i.imm = imm;
+    return i;
+}
+
+struct VersionResult
+{
+    uint64_t loopsVersioned = 0;
+    uint64_t checksVersioned = 0;
+};
+
+/**
+ * Version every eligible loop of @p func in place: append checked slow
+ * clones, insert preheader guards, and mark fast-path accesses elidable
+ * (appended to func.elidableCheckPcs, remapped with the insertions).
+ */
+VersionResult
+versionLoops(LoweredFunc& func)
+{
+    VersionResult result;
+    Cfg cfg = buildCfg(func);
+    std::vector<Loop> loops = findNaturalLoops(cfg);
+    std::vector<LoopVersionPlan> plans;
+    for (const Loop& loop : loops) {
+        LoopVersionPlan plan;
+        if (planLoopVersion(func, cfg, loop, plan))
+            plans.push_back(std::move(plan));
+    }
+    if (plans.empty())
+        return result;
+
+    // Five scratch cells, shared by all guards in the function:
+    //   S0 = memSize in bytes, S1 = M (then per-term work in S2..S4).
+    const uint32_t S0 = func.numCells;
+    const uint32_t S1 = S0 + 1, S2 = S0 + 2, S3 = S0 + 3, S4 = S0 + 4;
+    func.numCells += 5;
+    const uint16_t kCopy = uint16_t(LOp::copy);
+    const uint16_t kI32 = uint16_t(ValType::i32);
+    const uint16_t kI64 = uint16_t(ValType::i64);
+
+    std::vector<std::pair<uint32_t, LInst>> inserts;
+    for (const LoopVersionPlan& plan : plans) {
+        // Append the checked slow-path clone first, while original pcs
+        // are still valid: count_fallback, the body, then a jump to the
+        // loop exit. The back edge re-targets the first body copy so the
+        // fallback counter bumps once per guard failure, not per
+        // iteration.
+        const uint32_t cloneStart = uint32_t(func.code.size());
+        func.code.push_back(
+            makeInst(uint16_t(LOp::count_fallback), 0, 0, 0, 0));
+        for (uint32_t pc = plan.headerBegin; pc < plan.headerEnd; pc++)
+            func.code.push_back(func.code[pc]);
+        LInst& cloneTerm = func.code.back();
+        cloneTerm.a = cloneStart + 1;
+        func.code.push_back(
+            makeInst(uint16_t(LOp::jump), 0, plan.headerEnd, 0, 0));
+
+        // Guard prelude: S0 = memSize bytes, S1 = M = max(iv, N-1).
+        const uint32_t h = plan.headerBegin;
+        auto ins = [&](LInst i) { inserts.emplace_back(h, i); };
+        ins(makeInst(uint16_t(Op::memory_size), 0, S0, 0, 0));
+        ins(makeInst(uint16_t(Op::i64_extend_i32_u), 0, S0, 0, 0));
+        ins(makeInst(uint16_t(Op::i64_const), 0, S1, 0, 16));
+        ins(makeInst(uint16_t(Op::i64_shl), 0, S0, S1, 0));
+        ins(makeInst(kCopy, kI32, plan.ivCell, S1, 0));
+        ins(makeInst(uint16_t(Op::i64_extend_i32_u), 0, S1, 0, 0));
+        if (plan.boundIsConst) {
+            ins(makeInst(uint16_t(Op::i64_const), 0, S2, 0,
+                         plan.boundConst - 1));
+        } else {
+            ins(makeInst(kCopy, kI32, plan.boundCell, S2, 0));
+            ins(makeInst(uint16_t(Op::i64_extend_i32_u), 0, S2, 0, 0));
+            ins(makeInst(uint16_t(Op::i64_const), 0, S3, 0, 1));
+            ins(makeInst(uint16_t(Op::i64_sub), 0, S2, S3, 0));
+        }
+        // S1 = max(S1, S2) via select: cond S3 = (S2 < S1) picks S1.
+        ins(makeInst(kCopy, kI64, S2, S3, 0));
+        ins(makeInst(uint16_t(Op::i64_lt_u), 0, S3, S1, 0));
+        ins(makeInst(uint16_t(Op::select), 0, S1, 0, 0));
+        if (!plan.boundIsConst) {
+            // Variable bound: N == 0 underflows N-1 to 2^64-1; require
+            // M < 2^32 so coef*M below cannot overflow u64.
+            ins(makeInst(kCopy, kI64, S1, S2, 0));
+            ins(makeInst(uint16_t(Op::i64_const), 0, S3, 0,
+                         uint64_t(1) << 32));
+            ins(makeInst(uint16_t(Op::i64_ge_u), 0, S2, S3, 0));
+            ins(makeInst(uint16_t(LOp::jump_if), 0, cloneStart, S2, 0));
+        }
+        // One range check per distinct (kIv, base, kBase) group.
+        for (const GuardTerm& t : plan.terms) {
+            ins(makeInst(kCopy, kI64, S1, S2, 0));
+            ins(makeInst(uint16_t(Op::i64_const), 0, S3, 0, t.kIv));
+            ins(makeInst(uint16_t(Op::i64_mul), 0, S2, S3, 0));
+            if (t.hasBase) {
+                ins(makeInst(kCopy, kI32, t.baseCell, S3, 0));
+                ins(makeInst(uint16_t(Op::i64_extend_i32_u), 0, S3, 0, 0));
+                ins(makeInst(uint16_t(Op::i64_const), 0, S4, 0, t.kBase));
+                ins(makeInst(uint16_t(Op::i64_mul), 0, S3, S4, 0));
+                ins(makeInst(uint16_t(Op::i64_add), 0, S2, S3, 0));
+            }
+            ins(makeInst(uint16_t(Op::i64_const), 0, S3, 0, t.kConst));
+            ins(makeInst(uint16_t(Op::i64_add), 0, S2, S3, 0));
+            ins(makeInst(uint16_t(Op::i64_gt_u), 0, S2, S0, 0));
+            ins(makeInst(uint16_t(LOp::jump_if), 0, cloneStart, S2, 0));
+        }
+
+        for (uint32_t pc : plan.elidePcs)
+            func.elidableCheckPcs.push_back(pc);
+        result.loopsVersioned++;
+        result.checksVersioned += plan.elidePcs.size();
+    }
+
+    // One remap pass: jumps targeting the header land after the guard
+    // (back edges skip it), fallthrough entry executes it; clone-internal
+    // and guard-fail targets shift with everything else.
+    applyInsertions(func, std::move(inserts));
+    return result;
+}
+
+// ---------------------------------------------------------------------
 // Redundant-check analysis (value numbering + forward dataflow)
 // ---------------------------------------------------------------------
 
 constexpr uint32_t kNoVn = 0;
 
-/** Per-block value numbering of cell contents; marks accesses whose
- * check is covered by an earlier check of the same address value. */
+/**
+ * Per-block value numbering of cell contents; marks accesses whose
+ * check is covered by an earlier check of the same address value.
+ * Under @p ipo, callf/calli only forget cell names at and above the
+ * argument base: frames overlap, so a wasm callee cannot write caller
+ * cells below it (host calls stay conservative).
+ */
 uint64_t
 markVnElidableChecks(const LoweredFunc& func, const Cfg& cfg,
-                     std::vector<uint8_t>& hinted)
+                     std::vector<uint8_t>& hinted, bool ipo)
 {
     uint64_t marked = 0;
     std::vector<uint32_t> cellVn(func.numCells, kNoVn);
@@ -739,10 +1233,16 @@ markVnElidableChecks(const LoweredFunc& func, const Cfg& cfg,
                     }
                     break;
                   case LOp::callf:
-                  case LOp::call_host:
                   case LOp::calli:
                     // Callee overlap clobbers cells; values already
                     // checked stay checked, so `avail` survives.
+                    if (ipo) {
+                        std::fill(cellVn.begin() + inst.b, cellVn.end(),
+                                  kNoVn);
+                        break;
+                    }
+                    [[fallthrough]];
+                  case LOp::call_host:
                     std::fill(cellVn.begin(), cellVn.end(), kNoVn);
                     break;
                   default:
@@ -810,6 +1310,7 @@ markVnElidableChecks(const LoweredFunc& func, const Cfg& cfg,
 }
 
 using Facts = std::map<uint32_t, uint64_t>; // address cell -> checked limit
+// (the pseudo-cell kCheckFactConstCell carries "memSize >= limit")
 
 /** Intersect @p into with @p other, keeping the smaller limit. */
 void
@@ -826,33 +1327,98 @@ meetFacts(Facts& into, const Facts& other)
     }
 }
 
+/** Interprocedural context threaded through the dataflow when summaries
+ * are enabled; null pointers select the old intraprocedural behavior. */
+struct IpoView
+{
+    const LoweredModule* mod = nullptr;
+    const std::vector<FuncSummary>* summaries = nullptr;
+
+    const FuncSummary* summaryFor(uint32_t module_func_idx) const
+    {
+        if (!mod || !summaries)
+            return nullptr;
+        uint32_t d = module_func_idx - mod->module.numImportedFuncs();
+        return d < summaries->size() ? &(*summaries)[d] : nullptr;
+    }
+};
+
+/** Drop facts a call with argument base @p arg_base can invalidate: the
+ * callee frame overlaps the caller's from arg_base up, so only cells
+ * there are clobbered; the const pseudo-fact survives (memSize is
+ * monotone). */
+void
+killFactsFromCall(Facts& facts, uint32_t arg_base)
+{
+    for (auto it = facts.lower_bound(arg_base); it != facts.end();) {
+        if (it->first == kCheckFactConstCell)
+            ++it;
+        else
+            it = facts.erase(it);
+    }
+}
+
 /**
  * Transfer function modeling the JIT's dynamic per-cell check cache:
  * facts are generated where the JIT emits (and caches) a check, and
  * killed where the address cell is rewritten or a call clobbers the
  * frame. Accesses already hinted as elidable generate nothing (the JIT
- * will not emit a check there).
+ * will not emit a check there). Under @p ipo: facts follow values
+ * through copies, calls into grow-free callees keep facts below the
+ * argument base, completed calls establish the callee's constant-limit
+ * fact, and the const pseudo-fact survives calls and memory.grow.
  */
 void
 applyTransfer(const LoweredFunc& func, const Block& block,
-              const std::vector<uint8_t>& hinted, Facts& facts)
+              const std::vector<uint8_t>& hinted, const IpoView* ipo,
+              Facts& facts)
 {
     for (uint32_t pc = block.begin; pc < block.end; pc++) {
         const LInst& inst = func.code[pc];
         if (!inst.isWasmOp()) {
             switch (inst.lop()) {
               case LOp::copy:
-                facts.erase(inst.b);
+                if (ipo) {
+                    auto it = facts.find(inst.a);
+                    if (it != facts.end())
+                        facts[inst.b] = it->second;
+                    else
+                        facts.erase(inst.b);
+                } else {
+                    facts.erase(inst.b);
+                }
                 break;
               case LOp::check_bounds:
                 if (inst.aux == 0) {
                     uint64_t& limit = facts[inst.a];
                     limit = std::max(limit, inst.imm);
+                } else if (ipo) {
+                    uint64_t& limit = facts[kCheckFactConstCell];
+                    limit = std::max(limit, inst.imm);
                 }
                 break;
-              case LOp::callf:
-              case LOp::call_host:
+              case LOp::callf: {
+                const FuncSummary* s =
+                    ipo ? ipo->summaryFor(inst.a) : nullptr;
+                if (s && s->growFree)
+                    killFactsFromCall(facts, inst.b);
+                else if (ipo)
+                    killFactsFromCall(facts, 0);
+                else
+                    facts.clear();
+                if (s && s->maxConstCheckLimit > 0) {
+                    uint64_t& limit = facts[kCheckFactConstCell];
+                    limit = std::max(limit, s->maxConstCheckLimit);
+                }
+                break;
+              }
               case LOp::calli:
+                if (ipo)
+                    killFactsFromCall(facts, 0);
+                else
+                    facts.clear();
+                break;
+              case LOp::call_host:
                 facts.clear();
                 break;
               default:
@@ -871,7 +1437,13 @@ applyTransfer(const LoweredFunc& func, const Block& block,
             continue;
         }
         if (op == Op::memory_grow) {
-            facts.clear(); // mirror the JIT's conservative invalidation
+            // Mirror the JIT: cell facts dropped; under IPO the const
+            // pseudo-fact survives (growing never shrinks memSize).
+            if (ipo)
+                killFactsFromCall(facts, 0);
+            else
+                facts.clear();
+            facts.erase(inst.a); // grow writes its result cell
             continue;
         }
         uint32_t written;
@@ -886,9 +1458,19 @@ struct DataflowResult
     uint64_t crossBlockCovered = 0;
 };
 
+/**
+ * Forward available-checks dataflow. @p entry_seed (may be null) holds
+ * facts proven to hold at *any* entry into the function (currently the
+ * initial-memory-size const pseudo-fact — sound no matter how the
+ * function is reached, including direct Instance::call invocations);
+ * they join the entry block's in-state and, when non-empty, are
+ * republished as pc-0 entryFacts so the JIT can seed its cache before
+ * the first label.
+ */
 DataflowResult
 runCheckDataflow(const LoweredFunc& func, const Cfg& cfg,
-                 const std::vector<uint8_t>& hinted)
+                 const std::vector<uint8_t>& hinted, const IpoView* ipo,
+                 const Facts* entry_seed)
 {
     DataflowResult result;
     const size_t nb = cfg.blocks.size();
@@ -900,22 +1482,31 @@ runCheckDataflow(const LoweredFunc& func, const Cfg& cfg,
         for (uint32_t b : cfg.rpo) {
             Facts merged;
             bool first = true;
-            if (b != 0) {
-                for (uint32_t p : cfg.blocks[b].preds) {
-                    if (!cfg.reachable[p] || !computed[p])
-                        continue;
-                    if (first) {
-                        merged = out[p];
-                        first = false;
-                    } else {
-                        meetFacts(merged, out[p]);
-                    }
+            if (b == 0 && entry_seed) {
+                // Function entry contributes the interprocedural seed;
+                // back edges into pc 0 (if any) still meet below.
+                merged = *entry_seed;
+                first = false;
+            }
+            for (uint32_t p : cfg.blocks[b].preds) {
+                if (!cfg.reachable[p] || !computed[p])
+                    continue;
+                if (first) {
+                    merged = out[p];
+                    first = false;
+                } else {
+                    meetFacts(merged, out[p]);
                 }
             }
-            // Entry starts with an empty cache; a block with no computed
-            // predecessor yet keeps the optimistic (empty-meet) state.
+            if (b == 0 && !entry_seed) {
+                // Entry starts with an empty cache regardless of back
+                // edges (the JIT begins each function cold).
+                merged.clear();
+            }
+            // A block with no computed predecessor yet keeps the
+            // optimistic (empty-meet) state.
             Facts next = merged;
-            applyTransfer(func, cfg.blocks[b], hinted, next);
+            applyTransfer(func, cfg.blocks[b], hinted, ipo, next);
             if (!computed[b] || next != out[b] || merged != in[b]) {
                 in[b] = std::move(merged);
                 out[b] = std::move(next);
@@ -927,7 +1518,8 @@ runCheckDataflow(const LoweredFunc& func, const Cfg& cfg,
 
     for (uint32_t b : cfg.rpo) {
         const Block& block = cfg.blocks[b];
-        if (!cfg.jumpTarget[block.begin])
+        bool seeded_entry = b == 0 && !in[b].empty();
+        if (!cfg.jumpTarget[block.begin] && !seeded_entry)
             continue;
         for (const auto& [cell, limit] : in[b]) {
             result.entryFacts.push_back({block.begin, cell, limit});
@@ -946,18 +1538,44 @@ runCheckDataflow(const LoweredFunc& func, const Cfg& cfg,
                         result.crossBlockCovered++;
                 }
             }
+            if (!inst.isWasmOp() && inst.lop() == LOp::callf) {
+                const FuncSummary* s =
+                    ipo ? ipo->summaryFor(inst.a) : nullptr;
+                if (s && s->growFree)
+                    killFactsFromCall(fromEntry, inst.b);
+                else if (ipo)
+                    killFactsFromCall(fromEntry, 0);
+                else
+                    fromEntry.clear();
+                continue;
+            }
             if (!inst.isWasmOp() &&
-                (inst.lop() == LOp::callf || inst.lop() == LOp::calli ||
+                (inst.lop() == LOp::calli ||
                  inst.lop() == LOp::call_host)) {
-                fromEntry.clear();
+                if (ipo && inst.lop() == LOp::calli)
+                    killFactsFromCall(fromEntry, 0);
+                else
+                    fromEntry.clear();
                 continue;
             }
             if (inst.isWasmOp() && inst.wasmOp() == Op::memory_grow) {
-                fromEntry.clear();
+                if (ipo)
+                    killFactsFromCall(fromEntry, 0);
+                else
+                    fromEntry.clear();
+                fromEntry.erase(inst.a);
                 continue;
             }
             if (!inst.isWasmOp() && inst.lop() == LOp::copy) {
-                fromEntry.erase(inst.b);
+                if (ipo) {
+                    auto it = fromEntry.find(inst.a);
+                    if (it != fromEntry.end())
+                        fromEntry[inst.b] = it->second;
+                    else
+                        fromEntry.erase(inst.b);
+                } else {
+                    fromEntry.erase(inst.b);
+                }
                 continue;
             }
             uint32_t written;
@@ -971,6 +1589,214 @@ runCheckDataflow(const LoweredFunc& func, const Cfg& cfg,
                   return x.pc < y.pc || (x.pc == y.pc && x.cell < y.cell);
               });
     return result;
+}
+
+// ---------------------------------------------------------------------
+// Interprocedural summaries (bottom-up, SCC-aware over the callf graph)
+// ---------------------------------------------------------------------
+
+/**
+ * Largest constant limit the function provably checks against memSize
+ * before it can return normally: constant-address accesses and
+ * check_bounds instructions in the straight-line entry region (pc 0 up
+ * to the first terminator) all retire — or trap, in which case the
+ * caller never resumes — so "memSize >= limit" holds after any
+ * completed call. Calls inside the region are scanned through (they
+ * too must have returned normally) but clobber tracked defs.
+ */
+uint64_t
+entryConstCheckLimit(const LoweredFunc& func)
+{
+    struct EDef
+    {
+        enum Kind { copy, constant, other } kind = other;
+        uint32_t src = 0;
+        uint64_t val = 0;
+        uint32_t pc = 0;
+    };
+    std::unordered_map<uint32_t, EDef> defs;
+    // Same strictly-decreasing as_of discipline as planHoists: a copy is
+    // only followed to a source def recorded before the copy itself.
+    auto resolveConst = [&defs](uint32_t cell, uint32_t as_of,
+                                uint64_t& val) {
+        uint32_t cur = cell;
+        for (;;) {
+            auto it = defs.find(cur);
+            if (it == defs.end())
+                return false;
+            const EDef& d = it->second;
+            if (d.pc >= as_of)
+                return false;
+            if (d.kind == EDef::copy) {
+                as_of = d.pc;
+                cur = d.src;
+                continue;
+            }
+            if (d.kind == EDef::constant) {
+                val = d.val;
+                return true;
+            }
+            return false;
+        }
+    };
+    uint64_t best = 0;
+    for (uint32_t pc = 0; pc < func.code.size(); pc++) {
+        const LInst& inst = func.code[pc];
+        if (isTerminator(inst))
+            break;
+        if (inst.isWasmOp()) {
+            Op op = inst.wasmOp();
+            if (isLoadOp(op) || isStoreOp(op)) {
+                uint64_t v;
+                if (resolveConst(inst.a, pc, v))
+                    best = std::max(best, uint64_t(uint32_t(v)) +
+                                              inst.imm + memAccessSize(op));
+                if (isLoadOp(op))
+                    defs[inst.a] = {EDef::other, 0, 0, pc};
+                continue;
+            }
+            if (op == Op::i32_const) {
+                defs[inst.a] = {EDef::constant, 0, inst.imm, pc};
+                continue;
+            }
+            uint32_t w;
+            if (writesCell(inst, w))
+                defs[w] = {EDef::other, 0, 0, pc};
+            continue;
+        }
+        switch (inst.lop()) {
+          case LOp::copy:
+            defs[inst.b] = {EDef::copy, inst.a, 0, pc};
+            continue;
+          case LOp::check_bounds: {
+            uint64_t v;
+            if (inst.aux == 1)
+                best = std::max(best, inst.imm);
+            else if (resolveConst(inst.a, pc, v))
+                best = std::max(best, uint64_t(uint32_t(v)) + inst.imm);
+            continue;
+          }
+          case LOp::callf:
+          case LOp::call_host:
+          case LOp::calli:
+            defs.clear(); // callee may clobber cells; keep scanning
+            continue;
+          default:
+            continue;
+        }
+    }
+    return best;
+}
+
+/** Tarjan SCCs (iterative) over the defined-function callf graph, in
+ * completion order — every SCC precedes the SCCs that call into it is
+ * false; completion order lists callees before their callers. */
+std::vector<std::vector<uint32_t>>
+tarjanSccs(const std::vector<std::vector<uint32_t>>& adj)
+{
+    const uint32_t n = uint32_t(adj.size());
+    std::vector<uint32_t> index(n, UINT32_MAX), low(n, 0);
+    std::vector<uint8_t> onStack(n, 0);
+    std::vector<uint32_t> stack;
+    std::vector<std::vector<uint32_t>> sccs;
+    uint32_t next = 0;
+    struct Frame
+    {
+        uint32_t v;
+        size_t child;
+    };
+    std::vector<Frame> dfs;
+    for (uint32_t root = 0; root < n; root++) {
+        if (index[root] != UINT32_MAX)
+            continue;
+        index[root] = low[root] = next++;
+        stack.push_back(root);
+        onStack[root] = 1;
+        dfs.push_back({root, 0});
+        while (!dfs.empty()) {
+            Frame& f = dfs.back();
+            if (f.child < adj[f.v].size()) {
+                uint32_t w = adj[f.v][f.child++];
+                if (index[w] == UINT32_MAX) {
+                    index[w] = low[w] = next++;
+                    stack.push_back(w);
+                    onStack[w] = 1;
+                    dfs.push_back({w, 0});
+                } else if (onStack[w]) {
+                    low[f.v] = std::min(low[f.v], index[w]);
+                }
+            } else {
+                uint32_t v = f.v;
+                dfs.pop_back();
+                if (!dfs.empty())
+                    low[dfs.back().v] = std::min(low[dfs.back().v], low[v]);
+                if (low[v] == index[v]) {
+                    std::vector<uint32_t> scc;
+                    for (;;) {
+                        uint32_t w = stack.back();
+                        stack.pop_back();
+                        onStack[w] = 0;
+                        scc.push_back(w);
+                        if (w == v)
+                            break;
+                    }
+                    sccs.push_back(std::move(scc));
+                }
+            }
+        }
+    }
+    return sccs;
+}
+
+/** Compute module.funcSummaries: bottom-up grow-freedom over the callf
+ * graph (SCC members — mutual or self recursion — degrade to not
+ * grow-free) plus the per-function entry constant-check limit. */
+void
+computeFuncSummaries(LoweredModule& module)
+{
+    const uint32_t n = uint32_t(module.funcs.size());
+    const uint32_t imported = module.module.numImportedFuncs();
+    module.funcSummaries.assign(n, FuncSummary{});
+    std::vector<std::vector<uint32_t>> callees(n);
+    std::vector<uint8_t> localBar(n, 0); // grows, host or indirect calls
+    for (uint32_t i = 0; i < n; i++) {
+        const LoweredFunc& func = module.funcs[i];
+        for (const LInst& inst : func.code) {
+            if (inst.isWasmOp()) {
+                if (inst.wasmOp() == Op::memory_grow)
+                    localBar[i] = 1;
+                continue;
+            }
+            switch (inst.lop()) {
+              case LOp::callf:
+                callees[i].push_back(inst.a - imported);
+                break;
+              case LOp::call_host:
+              case LOp::calli:
+                localBar[i] = 1;
+                break;
+              default:
+                break;
+            }
+        }
+        std::sort(callees[i].begin(), callees[i].end());
+        callees[i].erase(
+            std::unique(callees[i].begin(), callees[i].end()),
+            callees[i].end());
+        module.funcSummaries[i].maxConstCheckLimit =
+            entryConstCheckLimit(func);
+    }
+    for (const std::vector<uint32_t>& scc : tarjanSccs(callees)) {
+        if (scc.size() != 1)
+            continue; // mutual recursion: conservatively not grow-free
+        uint32_t v = scc[0];
+        if (std::binary_search(callees[v].begin(), callees[v].end(), v))
+            continue; // self recursion
+        bool ok = !localBar[v];
+        for (uint32_t w : callees[v])
+            ok = ok && module.funcSummaries[w].growFree;
+        module.funcSummaries[v].growFree = ok;
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -1079,8 +1905,11 @@ fuseSuperinstructions(LoweredFunc& func)
 // Entry points
 // ---------------------------------------------------------------------
 
+/** Per-function pipeline. @p ipo / @p entry_seed are null outside
+ * module-level IPO runs. */
 OptStats
-optimizeLoweredFunc(LoweredFunc& func, const OptOptions& opts)
+optimizeFuncInternal(LoweredFunc& func, const OptOptions& opts,
+                     const IpoView* ipo, const Facts* entry_seed)
 {
     OptStats stats;
     stats.instsBefore = func.code.size();
@@ -1091,13 +1920,26 @@ optimizeLoweredFunc(LoweredFunc& func, const OptOptions& opts)
         return stats;
     }
 
+    // Versioning runs first: it appends clones and marks fast-path
+    // accesses elidable; hoisting and the analyses below then see (and
+    // skip) those marks.
+    if (opts.versionLoops) {
+        VersionResult versioned = versionLoops(func);
+        stats.loopsVersioned = versioned.loopsVersioned;
+        stats.checksVersioned = versioned.checksVersioned;
+    }
+
     if (opts.hoistChecks) {
         Cfg cfg = buildCfg(func);
-        HoistResult hoists = planHoists(func, cfg);
+        std::vector<uint8_t> skip(func.code.size(), 0);
+        for (uint32_t pc : func.elidableCheckPcs)
+            skip[pc] = 1;
+        HoistResult hoists = planHoists(func, cfg, &skip);
         if (!hoists.inserts.empty()) {
-            // Record elide pcs through the insertion remap: store them
-            // on the function first so applyInsertions remaps them.
-            func.elidableCheckPcs = std::move(hoists.elidePcs);
+            // Merge elide pcs before applyInsertions so the remap covers
+            // both the hoisted and the versioned marks.
+            for (uint32_t pc : hoists.elidePcs)
+                func.elidableCheckPcs.push_back(pc);
             applyInsertions(func, std::move(hoists.inserts));
             stats.checksHoisted = hoists.hoisted;
         }
@@ -1108,15 +1950,45 @@ optimizeLoweredFunc(LoweredFunc& func, const OptOptions& opts)
         std::vector<uint8_t> hinted(func.code.size(), 0);
         for (uint32_t pc : func.elidableCheckPcs)
             hinted[pc] = 1;
-        stats.checksElided = markVnElidableChecks(func, cfg, hinted);
-        DataflowResult flow = runCheckDataflow(func, cfg, hinted);
-        stats.checksElided += flow.crossBlockCovered;
-        func.entryCheckFacts = std::move(flow.entryFacts);
+        uint64_t covered = 0;
+        if (ipo != nullptr) {
+            // Baseline run with the old clear-at-call semantics so the
+            // IPO contribution can be attributed (opt.checks_elided_ipo).
+            std::vector<uint8_t> base_hinted = hinted;
+            uint64_t base = markVnElidableChecks(func, cfg, base_hinted,
+                                                 /*ipo=*/false);
+            DataflowResult base_flow = runCheckDataflow(
+                func, cfg, base_hinted, nullptr, nullptr);
+            base += base_flow.crossBlockCovered;
+            covered = markVnElidableChecks(func, cfg, hinted, /*ipo=*/true);
+            DataflowResult flow =
+                runCheckDataflow(func, cfg, hinted, ipo, entry_seed);
+            covered += flow.crossBlockCovered;
+            if (covered > base)
+                stats.checksElidedIpo = covered - base;
+            func.entryCheckFacts = std::move(flow.entryFacts);
+        } else {
+            covered = markVnElidableChecks(func, cfg, hinted, /*ipo=*/false);
+            DataflowResult flow =
+                runCheckDataflow(func, cfg, hinted, nullptr, nullptr);
+            covered += flow.crossBlockCovered;
+            func.entryCheckFacts = std::move(flow.entryFacts);
+        }
+        stats.checksElided = covered;
         func.elidableCheckPcs.clear();
         for (uint32_t pc = 0; pc < hinted.size(); pc++) {
             if (hinted[pc])
                 func.elidableCheckPcs.push_back(pc);
         }
+    } else if (opts.versionLoops || opts.hoistChecks) {
+        // The executors binary-search elidableCheckPcs; keep it sorted
+        // even when the analysis pass did not rebuild it.
+        std::sort(func.elidableCheckPcs.begin(),
+                  func.elidableCheckPcs.end());
+        func.elidableCheckPcs.erase(
+            std::unique(func.elidableCheckPcs.begin(),
+                        func.elidableCheckPcs.end()),
+            func.elidableCheckPcs.end());
     }
 
     if (opts.fuse) {
@@ -1138,14 +2010,43 @@ optimizeLoweredFunc(LoweredFunc& func, const OptOptions& opts)
 }
 
 OptStats
+optimizeLoweredFunc(LoweredFunc& func, const OptOptions& opts)
+{
+    return optimizeFuncInternal(func, opts, nullptr, nullptr);
+}
+
+OptStats
 optimizeLoweredModule(LoweredModule& module, const OptOptions& opts)
 {
     OptStats total;
+    module.funcSummaries.clear();
+    IpoView view;
+    Facts seed;
+    const IpoView* ipo = nullptr;
+    const Facts* entry_seed = nullptr;
+    if (opts.ipoSummaries && opts.analyzeChecks) {
+        computeFuncSummaries(module);
+        view.mod = &module;
+        view.summaries = &module.funcSummaries;
+        ipo = &view;
+        // Sound at *any* entry — including direct Instance::call into an
+        // arbitrary function index: memories never shrink below their
+        // initial size, so memSize >= min pages holds unconditionally.
+        if (!module.module.memories.empty() &&
+            module.module.memories[0].min > 0) {
+            seed[kCheckFactConstCell] =
+                uint64_t(module.module.memories[0].min) * kPageSize;
+            entry_seed = &seed;
+        }
+    }
     for (LoweredFunc& func : module.funcs) {
-        OptStats s = optimizeLoweredFunc(func, opts);
+        OptStats s = optimizeFuncInternal(func, opts, ipo, entry_seed);
         total.checksHoisted += s.checksHoisted;
         total.checksElided += s.checksElided;
         total.instsFused += s.instsFused;
+        total.loopsVersioned += s.loopsVersioned;
+        total.checksVersioned += s.checksVersioned;
+        total.checksElidedIpo += s.checksElidedIpo;
         total.instsBefore += s.instsBefore;
         total.instsAfter += s.instsAfter;
     }
@@ -1153,6 +2054,8 @@ optimizeLoweredModule(LoweredModule& module, const OptOptions& opts)
     counters.hoisted.add(total.checksHoisted);
     counters.elided.add(total.checksElided);
     counters.fused.add(total.instsFused);
+    counters.versioned.add(total.loopsVersioned);
+    counters.elidedIpo.add(total.checksElidedIpo);
     return total;
 }
 

@@ -1,8 +1,8 @@
 /**
  * @file
  * Optimization pass over the lowered slot-machine IR, shared by the
- * interpreter and JIT tiers. Three independent transforms, selected per
- * engine configuration:
+ * interpreter and JIT tiers. Five transforms, selected per engine
+ * configuration:
  *
  *  - Bounds-check analysis (trap strategy only): rediscovers basic
  *    blocks, dominators, and natural loops from the resolved-jump CFG,
@@ -23,6 +23,26 @@
  *    hoisted check raises the same out-of-bounds trap the first
  *    iteration would have raised.
  *
+ *  - Affine loop versioning (trap strategy only): for single-block
+ *    bottom-test counted loops whose memory accesses are affine in the
+ *    induction variable (`k_iv*i + k_base*base + const`), the loop body
+ *    is cloned; the original becomes a fast path whose accesses are all
+ *    marked elidable, guarded by preheader range checks — evaluated in
+ *    64-bit arithmetic over the maximum IV extent, which also rules out
+ *    u32 wraparound of the in-loop address arithmetic — that jump to the
+ *    fully-checked clone when they fail. The only sound way to remove
+ *    variable-index checks, which hoisting can never touch.
+ *
+ *  - Interprocedural check summaries: a bottom-up, SCC-aware pass over
+ *    the callf graph computes per-function `FuncSummary` facts
+ *    (grow-free? max constant limit checked on entry?) so the dataflow
+ *    stops killing facts at calls into grow-free callees (frames
+ *    overlap: a call clobbers only cells >= the arg base), propagates
+ *    facts through copies, and seeds callee entry facts (pc 0) from the
+ *    meet over all analyzed call sites for internally-reachable
+ *    functions. call_indirect, host calls and SCC cycles degrade to the
+ *    old clear-at-call behavior.
+ *
  *  - Superinstruction fusion (interpreter tiers): adjacent
  *    const+binop, compare+branch, copy+binop, and load+binop pairs are
  *    rewritten into single fused pseudo-instructions, halving dispatch
@@ -30,8 +50,10 @@
  *    original two instructions through the shared semantic functions, so
  *    results (including NaN payloads and trap order) stay bit-exact.
  *
- * The pass reports opt.checks_hoisted, opt.checks_elided_crossblock and
- * opt.insts_fused through the obs registry.
+ * The pass reports opt.checks_hoisted, opt.checks_elided_crossblock,
+ * opt.loops_versioned, opt.checks_elided_ipo and opt.insts_fused through
+ * the obs registry (opt.guard_fallbacks is a runtime counter fed from
+ * InstanceContext::guardFallbacks).
  */
 #ifndef LNB_WASM_OPT_H
 #define LNB_WASM_OPT_H
@@ -42,14 +64,17 @@
 
 namespace lnb::wasm {
 
-/** Which transforms to run. Check analysis and hoisting are only sound
- * when the executor traps (never clamps) on out-of-bounds accesses; the
- * caller is responsible for enabling them only under that strategy. */
+/** Which transforms to run. Check analysis, hoisting, versioning and IPO
+ * summaries are only sound when the executor traps (never clamps) on
+ * out-of-bounds accesses; the caller is responsible for enabling them
+ * only under that strategy. */
 struct OptOptions
 {
     bool fuse = false;          ///< superinstruction fusion
     bool analyzeChecks = false; ///< VN elision hints + cross-block facts
     bool hoistChecks = false;   ///< loop-invariant check hoisting
+    bool versionLoops = false;  ///< affine loop versioning (guard + clone)
+    bool ipoSummaries = false;  ///< interprocedural check summaries
 };
 
 /** What the pass did, accumulated over all functions of a module. */
@@ -58,16 +83,27 @@ struct OptStats
     uint64_t checksHoisted = 0;
     uint64_t checksElided = 0;
     uint64_t instsFused = 0;
-    /** Lowered instruction counts before/after (fusion shrinks code). */
+    /** Loops that received a guarded fast-path clone. */
+    uint64_t loopsVersioned = 0;
+    /** Accesses on versioned fast paths whose checks became elidable. */
+    uint64_t checksVersioned = 0;
+    /** Extra covered checks attributable to interprocedural summaries
+     * (facts surviving calls, callee entry seeding) vs. the same
+     * dataflow with the old clear-at-call behavior. */
+    uint64_t checksElidedIpo = 0;
+    /** Lowered instruction counts before/after (fusion shrinks code,
+     * versioning and hoisting grow it). */
     uint64_t instsBefore = 0;
     uint64_t instsAfter = 0;
 };
 
-/** Optimize one lowered function in place. */
+/** Optimize one lowered function in place (no interprocedural context:
+ * ipoSummaries is ignored at this granularity). */
 OptStats optimizeLoweredFunc(LoweredFunc& func, const OptOptions& opts);
 
-/** Optimize every function of @p module in place and bump the obs
- * counters by the module-wide totals. */
+/** Optimize every function of @p module in place — in call-graph
+ * top-down order with summaries when ipoSummaries is set — and bump the
+ * obs counters by the module-wide totals. */
 OptStats optimizeLoweredModule(LoweredModule& module, const OptOptions& opts);
 
 } // namespace lnb::wasm

@@ -134,7 +134,7 @@ class ProgramGenerator
     void
     emitStatement()
     {
-        switch (rng_.nextBelow(7)) {
+        switch (rng_.nextBelow(8)) {
           case 0: { // i32 assignment
             emitI32(3);
             f_.localSet(pick(i32Locals_));
@@ -188,6 +188,41 @@ class ProgramGenerator
             f_.localSet(counter);
             f_.br(head);
             f_.end();
+            f_.end();
+            break;
+          }
+          case 6: { // counted affine memory loop (loop-versioning shape)
+            // do { mem[base + i*8] ^= k; i++ } while (i < trips), with
+            // an unsigned bottom-test — the exact form the versioner
+            // recognizes, so the versioning sweep axis exercises both
+            // the guarded fast path and the original loop.
+            uint32_t i = f_.addLocal(ValType::i32);
+            uint32_t base = uint32_t(rng_.nextBelow(256)) * 8;
+            uint32_t trips = 1 + uint32_t(rng_.nextBelow(8));
+            f_.i32Const(0);
+            f_.localSet(i);
+            auto head = f_.loop();
+            f_.i32Const(int32_t(base));
+            f_.localGet(i);
+            f_.i32Const(3);
+            f_.emit(Op::i32_shl);
+            f_.emit(Op::i32_add);
+            f_.i32Const(int32_t(base));
+            f_.localGet(i);
+            f_.i32Const(3);
+            f_.emit(Op::i32_shl);
+            f_.emit(Op::i32_add);
+            f_.memOp(Op::i64_load);
+            f_.localGet(pick(i64Locals_));
+            f_.emit(Op::i64_xor);
+            f_.memOp(Op::i64_store);
+            f_.localGet(i);
+            f_.i32Const(1);
+            f_.emit(Op::i32_add);
+            f_.localTee(i);
+            f_.i32Const(int32_t(trips));
+            f_.emit(Op::i32_lt_u);
+            f_.brIf(head);
             f_.end();
             break;
           }
@@ -456,18 +491,37 @@ TEST_P(DifferentialFuzz, AllEnginesAgree)
     uint64_t reference = 0;
     std::string reference_config;
 
-    for (int engine = 0; engine < rt::kNumEngineKinds; engine++) {
+    // The fixed engines plus a fifth pseudo-engine: the tiered pipeline
+    // (interp_threaded below, jit_opt above, eager tier-up).
+    for (int engine = 0; engine <= rt::kNumEngineKinds; engine++) {
+        const bool tiered = engine == rt::kNumEngineKinds;
         for (auto strategy :
              {mem::BoundsStrategy::none, mem::BoundsStrategy::clamp,
-              mem::BoundsStrategy::trap, mem::BoundsStrategy::uffd}) {
-            // Sweep the lowered-IR optimization pass on and off: fusion
-            // and check elimination must be bit-invisible (results, NaN
-            // payloads, trap behavior) on every engine x strategy.
-            for (bool opt : {true, false}) {
+              mem::BoundsStrategy::trap, mem::BoundsStrategy::mprotect,
+              mem::BoundsStrategy::uffd}) {
+            // Sweep the lowered-IR optimization pass off/on, and — where
+            // the check pipeline is live — loop versioning off/on within
+            // the opt configuration: fusion, check elimination and the
+            // versioned fast/slow split must all be bit-invisible
+            // (results, NaN payloads, trap behavior).
+            for (int mode = 0; mode < 3; mode++) {
+                const bool opt = mode > 0;
+                const bool versioning = mode == 2;
+                // versioning-off only differs from -on where the check
+                // analysis runs; skip the redundant configuration.
+                if (mode == 1 &&
+                    !((tiered ||
+                       rt::EngineKind(engine) == rt::EngineKind::jit_opt) &&
+                      strategy == mem::BoundsStrategy::trap))
+                    continue;
                 rt::EngineConfig config;
-                config.kind = rt::EngineKind(engine);
+                config.kind = tiered ? rt::EngineKind::jit_opt
+                                     : rt::EngineKind(engine);
+                config.tiered = tiered;
+                config.tierThreshold = 1;
                 config.strategy = strategy;
                 config.optimizeLoweredIR = opt;
+                config.optVersioning = versioning;
                 rt::Engine eng(config);
                 wasm::Module copy = module;
                 auto compiled = eng.compile(std::move(copy));
@@ -491,9 +545,12 @@ TEST_P(DifferentialFuzz, AllEnginesAgree)
                 } else {
                     ASSERT_EQ(result, reference)
                         << "seed " << GetParam() << ": "
-                        << engineKindName(config.kind) << "/"
-                        << boundsStrategyName(strategy)
-                        << (opt ? " (opt)" : " (no-opt)")
+                        << (tiered ? "tiered"
+                                   : engineKindName(config.kind))
+                        << "/" << boundsStrategyName(strategy)
+                        << (mode == 0        ? " (no-opt)"
+                            : versioning     ? " (opt+versioning)"
+                                             : " (opt, no versioning)")
                         << " disagrees with " << reference_config;
                 }
             }

@@ -348,8 +348,467 @@ TEST(Criterion, EmittedChecksDropAtLeast30PercentOnRmwKernel)
 #endif // LNB_OBS_DISABLED
 
 // ---------------------------------------------------------------------
+// Affine loop versioning
+// ---------------------------------------------------------------------
+
+/**
+ * sum += mem[base + i*4] for i in [0, n), as a bottom-test counted loop
+ * with an unsigned exit compare — the exact shape the versioner's
+ * planner recognizes (affine address {base:1, i:4}, invariant bound).
+ */
+Module
+affineSumModule()
+{
+    ModuleBuilder mb;
+    mb.addMemory(1, 1);
+    uint32_t t = mb.addType({ValType::i32, ValType::i32}, {ValType::i32});
+    auto& f = mb.addFunction(t); // params: base, n
+    f.addLocal(ValType::i32); // local 2: i
+    f.addLocal(ValType::i32); // local 3: sum
+    auto exit = f.block();
+    f.localGet(1);
+    f.emit(Op::i32_eqz);
+    f.brIf(exit);
+    auto head = f.loop();
+    f.localGet(0);
+    f.localGet(2);
+    f.i32Const(2);
+    f.emit(Op::i32_shl); // i * 4
+    f.emit(Op::i32_add);
+    f.memOp(Op::i32_load, 0);
+    f.localGet(3);
+    f.emit(Op::i32_add);
+    f.localSet(3);
+    f.localGet(2);
+    f.i32Const(1);
+    f.emit(Op::i32_add);
+    f.localTee(2);
+    f.localGet(1);
+    f.emit(Op::i32_lt_u);
+    f.brIf(head);
+    f.end(); // loop
+    f.end(); // block
+    f.localGet(3);
+    uint32_t idx = f.finish();
+    mb.exportFunc("run", idx);
+    return mb.build();
+}
+
+/** mem[base + i*4] = i + 1 for i in [0, n), plus a "peek" accessor so a
+ * test can observe which stores retired before a trap. */
+Module
+affineStoreModule()
+{
+    ModuleBuilder mb;
+    mb.addMemory(1, 1);
+    uint32_t t = mb.addType({ValType::i32, ValType::i32}, {});
+    auto& f = mb.addFunction(t); // params: base, n
+    f.addLocal(ValType::i32); // local 2: i
+    auto exit = f.block();
+    f.localGet(1);
+    f.emit(Op::i32_eqz);
+    f.brIf(exit);
+    auto head = f.loop();
+    f.localGet(0);
+    f.localGet(2);
+    f.i32Const(2);
+    f.emit(Op::i32_shl);
+    f.emit(Op::i32_add);
+    f.localGet(2);
+    f.i32Const(1);
+    f.emit(Op::i32_add);
+    f.memOp(Op::i32_store, 0);
+    f.localGet(2);
+    f.i32Const(1);
+    f.emit(Op::i32_add);
+    f.localTee(2);
+    f.localGet(1);
+    f.emit(Op::i32_lt_u);
+    f.brIf(head);
+    f.end(); // loop
+    f.end(); // block
+    uint32_t run = f.finish();
+    uint32_t pt = mb.addType({ValType::i32}, {ValType::i32});
+    auto& p = mb.addFunction(pt);
+    p.localGet(0);
+    p.memOp(Op::i32_load, 0);
+    uint32_t peek = p.finish();
+    mb.exportFunc("run", run);
+    mb.exportFunc("peek", peek);
+    return mb.build();
+}
+
+/** The affine sum loop with a versioning blocker in the body: either a
+ * memory.grow or a call (both may move/extend memory mid-loop). */
+Module
+blockedLoopModule(bool use_grow)
+{
+    ModuleBuilder mb;
+    mb.addMemory(1, 4);
+    uint32_t helper_t = mb.addType({}, {});
+    auto& h = mb.addFunction(helper_t);
+    uint32_t helper = h.finish();
+    uint32_t t = mb.addType({ValType::i32, ValType::i32}, {ValType::i32});
+    auto& f = mb.addFunction(t); // params: base, n
+    f.addLocal(ValType::i32);
+    f.addLocal(ValType::i32);
+    auto exit = f.block();
+    f.localGet(1);
+    f.emit(Op::i32_eqz);
+    f.brIf(exit);
+    auto head = f.loop();
+    f.localGet(0);
+    f.localGet(2);
+    f.i32Const(2);
+    f.emit(Op::i32_shl);
+    f.emit(Op::i32_add);
+    f.memOp(Op::i32_load, 0);
+    f.localGet(3);
+    f.emit(Op::i32_add);
+    f.localSet(3);
+    if (use_grow) {
+        f.i32Const(0);
+        f.memoryGrow();
+        f.drop();
+    } else {
+        f.call(helper);
+    }
+    f.localGet(2);
+    f.i32Const(1);
+    f.emit(Op::i32_add);
+    f.localTee(2);
+    f.localGet(1);
+    f.emit(Op::i32_lt_u);
+    f.brIf(head);
+    f.end();
+    f.end();
+    f.localGet(3);
+    uint32_t idx = f.finish();
+    mb.exportFunc("run", idx);
+    return mb.build();
+}
+
+/** Optimize one module with the full check pipeline (analysis, hoisting,
+ * versioning, IPO summaries) as the engine would configure it. */
+OptStats
+optimizeWithVersioning(LoweredModule& lm, bool versioning = true,
+                       bool ipo = true)
+{
+    OptOptions opts;
+    opts.analyzeChecks = true;
+    opts.hoistChecks = true;
+    opts.versionLoops = versioning;
+    opts.ipoSummaries = ipo;
+    return optimizeLoweredModule(lm, opts);
+}
+
+TEST(Versioning, AffineLoopGetsVersionedClone)
+{
+    auto lowered = lowerModule(affineSumModule());
+    ASSERT_TRUE(lowered.isOk());
+    LoweredModule lm = lowered.takeValue();
+
+    OptStats stats = optimizeWithVersioning(lm);
+    EXPECT_GE(stats.loopsVersioned, 1u);
+    EXPECT_GE(stats.checksVersioned, 1u);
+
+    // The rewritten function carries a fallback-counting slow clone and
+    // fast-path accesses marked elidable for the JIT.
+    const LoweredFunc& func = lm.funcs[0];
+    bool has_fallback_marker = false;
+    for (const LInst& inst : func.code) {
+        if (!inst.isWasmOp() && inst.lop() == LOp::count_fallback)
+            has_fallback_marker = true;
+    }
+    EXPECT_TRUE(has_fallback_marker);
+    EXPECT_FALSE(func.elidableCheckPcs.empty());
+    for (uint32_t pc : func.elidableCheckPcs)
+        EXPECT_LT(pc, func.code.size());
+}
+
+TEST(Versioning, GrowOrCallInBodyPreventsVersioning)
+{
+    for (bool use_grow : {true, false}) {
+        auto lowered = lowerModule(blockedLoopModule(use_grow));
+        ASSERT_TRUE(lowered.isOk());
+        LoweredModule lm = lowered.takeValue();
+        OptStats stats = optimizeWithVersioning(lm);
+        EXPECT_EQ(stats.loopsVersioned, 0u)
+            << (use_grow ? "memory.grow" : "call") << " in the body";
+    }
+}
+
+TEST(Versioning, FastPathMatchesInterpreterAndSkipsFallback)
+{
+    if (!jit::jitSupported())
+        GTEST_SKIP() << "JIT unsupported on this CPU";
+    // Reference: unoptimized switch interpreter.
+    uint32_t expected;
+    {
+        EngineConfig config;
+        config.kind = EngineKind::interp_switch;
+        config.strategy = BoundsStrategy::trap;
+        config.optimizeLoweredIR = false;
+        Engine engine(config);
+        auto compiled = engine.compile(affineSumModule());
+        ASSERT_TRUE(compiled.isOk());
+        auto inst = Instance::create(compiled.takeValue());
+        ASSERT_TRUE(inst.isOk());
+        auto out = inst.value()->callExport(
+            "run", {Value::fromI32(64), Value::fromI32(1000)});
+        ASSERT_TRUE(out.ok());
+        expected = out.results[0].i32;
+    }
+    EngineConfig config;
+    config.kind = EngineKind::jit_opt;
+    config.strategy = BoundsStrategy::trap;
+    Engine engine(config);
+    auto compiled = engine.compile(affineSumModule());
+    ASSERT_TRUE(compiled.isOk());
+    EXPECT_GE(compiled.value()->optStats().loopsVersioned, 1u);
+    auto inst = Instance::create(compiled.takeValue());
+    ASSERT_TRUE(inst.isOk());
+    auto out = inst.value()->callExport(
+        "run", {Value::fromI32(64), Value::fromI32(1000)});
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out.results[0].i32, expected);
+    // Every access fits in one page, so the guard passes and the
+    // fallback clone never runs.
+    EXPECT_EQ(inst.value()->guardFallbacks(), 0u);
+}
+
+TEST(Versioning, GuardFallbackPreservesTrapOrderAndSideEffects)
+{
+    if (!jit::jitSupported())
+        GTEST_SKIP() << "JIT unsupported on this CPU";
+    for (bool versioning : {false, true}) {
+        EngineConfig config;
+        config.kind = EngineKind::jit_opt;
+        config.strategy = BoundsStrategy::trap;
+        config.optVersioning = versioning;
+        Engine engine(config);
+        auto compiled = engine.compile(affineStoreModule());
+        ASSERT_TRUE(compiled.isOk());
+        auto inst = Instance::create(compiled.takeValue());
+        ASSERT_TRUE(inst.isOk());
+
+        // Exact fit: stores at 65528 and 65532 (+4 == memSize) succeed.
+        auto ok = inst.value()->callExport(
+            "run", {Value::fromI32(65528), Value::fromI32(2)});
+        EXPECT_TRUE(ok.ok());
+        uint64_t fallbacks_ok = inst.value()->guardFallbacks();
+
+        // One more iteration runs past the page: the guard must reject,
+        // and the checked clone must retire the two in-bounds stores
+        // before trapping on the third — same order as unoptimized.
+        auto trap = inst.value()->callExport(
+            "run", {Value::fromI32(65528), Value::fromI32(3)});
+        EXPECT_EQ(trap.trap, TrapKind::out_of_bounds_memory);
+        auto peek0 =
+            inst.value()->callExport("peek", {Value::fromI32(65528)});
+        auto peek1 =
+            inst.value()->callExport("peek", {Value::fromI32(65532)});
+        ASSERT_TRUE(peek0.ok() && peek1.ok());
+        EXPECT_EQ(peek0.results[0].i32, 1);
+        EXPECT_EQ(peek1.results[0].i32, 2);
+        if (versioning) {
+            EXPECT_EQ(fallbacks_ok, 0u) << "exact fit must stay fast";
+            EXPECT_GE(inst.value()->guardFallbacks(), 1u)
+                << "the trapping run must take the checked clone";
+        } else {
+            EXPECT_EQ(inst.value()->guardFallbacks(), 0u);
+        }
+    }
+}
+
+TEST(Versioning, U32WraparoundFallsBackSoundly)
+{
+    if (!jit::jitSupported())
+        GTEST_SKIP() << "JIT unsupported on this CPU";
+    // base + i*4 wraps u32 between iterations. The guard evaluates the
+    // worst-case extent in u64 (no wrap), so it must reject and leave the
+    // wrap semantics — including the first-iteration trap — to the
+    // checked clone.
+    for (bool versioning : {false, true}) {
+        EngineConfig config;
+        config.kind = EngineKind::jit_opt;
+        config.strategy = BoundsStrategy::trap;
+        config.optVersioning = versioning;
+        Engine engine(config);
+        auto compiled = engine.compile(affineSumModule());
+        ASSERT_TRUE(compiled.isOk());
+        auto inst = Instance::create(compiled.takeValue());
+        ASSERT_TRUE(inst.isOk());
+        auto out = inst.value()->callExport(
+            "run",
+            {Value::fromI32(int32_t(0xFFFFFFFCu)), Value::fromI32(2)});
+        EXPECT_EQ(out.trap, TrapKind::out_of_bounds_memory);
+        if (versioning) {
+            EXPECT_GE(inst.value()->guardFallbacks(), 1u);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Interprocedural check summaries
+// ---------------------------------------------------------------------
+
+/**
+ * callee: grow-free leaf returning mem[8]. caller: mem[addr] + callee()
+ * + mem[addr] — without summaries the call kills the first check's fact,
+ * with summaries the grow-free callee (whose frame sits above the
+ * caller's cells) preserves it for the second load.
+ */
+Module
+ipoCallModule(bool callee_grows)
+{
+    ModuleBuilder mb;
+    mb.addMemory(1, 4);
+    uint32_t leaf_t = mb.addType({ValType::i32}, {ValType::i32});
+    auto& leaf = mb.addFunction(leaf_t); // param: addr
+    if (callee_grows) {
+        leaf.i32Const(0);
+        leaf.memoryGrow();
+        leaf.drop();
+    }
+    leaf.localGet(0);
+    leaf.memOp(Op::i32_load, 0);
+    uint32_t callee = leaf.finish();
+
+    uint32_t t = mb.addType({ValType::i32}, {ValType::i32});
+    auto& f = mb.addFunction(t); // param: addr
+    f.localGet(0);
+    f.memOp(Op::i32_load, 0);
+    f.i32Const(8);
+    f.call(callee);
+    f.emit(Op::i32_add);
+    f.localGet(0);
+    f.memOp(Op::i32_load, 0);
+    f.emit(Op::i32_add);
+    uint32_t idx = f.finish();
+    mb.exportFunc("run", idx);
+    return mb.build();
+}
+
+TEST(Ipo, GrowFreeCalleeKeepsCallerFacts)
+{
+    auto lowered = lowerModule(ipoCallModule(false));
+    ASSERT_TRUE(lowered.isOk());
+    LoweredModule lm = lowered.takeValue();
+
+    OptStats stats = optimizeWithVersioning(lm);
+    ASSERT_EQ(lm.funcSummaries.size(), 2u);
+    EXPECT_TRUE(lm.funcSummaries[0].growFree);
+    EXPECT_TRUE(lm.funcSummaries[1].growFree);
+    // The caller's second mem[addr] check is elidable only because the
+    // summary proves the call cannot shrink facts below its arg base.
+    EXPECT_GE(stats.checksElidedIpo, 1u);
+}
+
+TEST(Ipo, GrowingCalleeLosesGrowFreeBit)
+{
+    auto lowered = lowerModule(ipoCallModule(true));
+    ASSERT_TRUE(lowered.isOk());
+    LoweredModule lm = lowered.takeValue();
+
+    OptStats stats = optimizeWithVersioning(lm);
+    ASSERT_EQ(lm.funcSummaries.size(), 2u);
+    // The callee's grow poisons it and (bottom-up) its caller.
+    EXPECT_FALSE(lm.funcSummaries[0].growFree);
+    EXPECT_FALSE(lm.funcSummaries[1].growFree);
+    // Same-VALUE re-checks stay elidable even across a growing callee:
+    // memSize is monotone, so a passed check for a value holds forever.
+    // growFree only widens what survives in the cell-fact cache.
+    EXPECT_GE(stats.checksElidedIpo, 1u);
+}
+
+TEST(Ipo, ResultsMatchWithSummariesOnAndOff)
+{
+    for (EngineKind kind :
+         {EngineKind::interp_threaded, EngineKind::jit_opt}) {
+        if (kind == EngineKind::jit_opt && !jit::jitSupported())
+            continue;
+        std::vector<uint32_t> sums;
+        for (bool ipo : {false, true}) {
+            EngineConfig config;
+            config.kind = kind;
+            config.strategy = BoundsStrategy::trap;
+            config.optIpoSummaries = ipo;
+            Engine engine(config);
+            auto compiled = engine.compile(ipoCallModule(false));
+            ASSERT_TRUE(compiled.isOk());
+            auto inst = Instance::create(compiled.takeValue());
+            ASSERT_TRUE(inst.isOk());
+            auto out =
+                inst.value()->callExport("run", {Value::fromI32(16)});
+            ASSERT_TRUE(out.ok());
+            sums.push_back(out.results[0].i32);
+        }
+        EXPECT_EQ(sums[0], sums[1]);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Headline criterion: >= 60% fewer retired checks on the affine kernel
+// ---------------------------------------------------------------------
+
+TEST(Criterion, RetiredChecksDropAtLeast60PercentOnAffineKernel)
+{
+    if (!jit::jitSupported())
+        GTEST_SKIP() << "JIT unsupported on this CPU";
+    constexpr uint32_t kTrips = 5000;
+    uint64_t retired[2];
+    for (bool opt : {false, true}) {
+        EngineConfig config;
+        config.kind = EngineKind::jit_opt;
+        config.strategy = BoundsStrategy::trap;
+        config.optimizeLoweredIR = opt;
+        config.countRetiredChecks = true;
+        Engine engine(config);
+        auto compiled = engine.compile(affineSumModule());
+        ASSERT_TRUE(compiled.isOk());
+        auto inst = Instance::create(compiled.takeValue());
+        ASSERT_TRUE(inst.isOk());
+        auto out = inst.value()->callExport(
+            "run", {Value::fromI32(0), Value::fromI32(int32_t(kTrips))});
+        ASSERT_TRUE(out.ok());
+        retired[opt] = inst.value()->checksRetired();
+    }
+    // Unoptimized code retires one check per iteration.
+    ASSERT_GE(retired[0], uint64_t(kTrips));
+    EXPECT_LE(retired[1] * 10, retired[0] * 4)
+        << "opt-off retired " << retired[0] << ", opt-on retired "
+        << retired[1];
+}
+
+// ---------------------------------------------------------------------
 // Toggles
 // ---------------------------------------------------------------------
+
+TEST(Toggles, VersioningAndIpoConfigKnobs)
+{
+    auto stats_with = [](bool versioning, bool ipo) {
+        auto lowered = lowerModule(affineSumModule());
+        LoweredModule lm = lowered.takeValue();
+        return optimizeWithVersioning(lm, versioning, ipo);
+    };
+    EXPECT_GE(stats_with(true, true).loopsVersioned, 1u);
+    EXPECT_EQ(stats_with(false, true).loopsVersioned, 0u);
+    // The engine-level kill switch takes the same path.
+    if (jit::jitSupported()) {
+        EngineConfig config;
+        config.kind = EngineKind::jit_opt;
+        config.strategy = BoundsStrategy::trap;
+        config.optVersioning = false;
+        config.optIpoSummaries = false;
+        Engine engine(config);
+        auto compiled = engine.compile(affineSumModule());
+        ASSERT_TRUE(compiled.isOk());
+        EXPECT_EQ(compiled.value()->optStats().loopsVersioned, 0u);
+        EXPECT_EQ(compiled.value()->optStats().checksElidedIpo, 0u);
+        EXPECT_TRUE(compiled.value()->lowered().funcSummaries.empty());
+    }
+}
 
 TEST(Toggles, DisabledConfigSkipsThePass)
 {
