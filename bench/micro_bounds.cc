@@ -375,6 +375,7 @@ BM_IpoElision(benchmark::State& state)
     config.strategy = BoundsStrategy::trap;
     config.optVersioning = false;
     config.optIpoSummaries = ipo;
+    config.optIpoStats = true; // attribute checks_elided_ipo (diag run)
     config.countRetiredChecks = true;
     wasm::OptStats opt_stats;
     auto inst = makeInstanceCfg(config, ipoLoopModule(kCount), &opt_stats);

@@ -87,6 +87,8 @@ Engine::compile(wasm::Module module) const
         0;
     config.optIpoSummaries =
         envInt("LNB_OPT_IPO", config.optIpoSummaries ? 1 : 0, 0, 1) != 0;
+    config.optIpoStats =
+        envInt("LNB_OPT_IPO_STATS", config.optIpoStats ? 1 : 0, 0, 1) != 0;
     config.countRetiredChecks =
         envInt("LNB_COUNT_CHECKS", config.countRetiredChecks ? 1 : 0, 0,
                1) != 0;
@@ -127,6 +129,7 @@ Engine::compile(wasm::Module module) const
         opt.hoistChecks = opt.analyzeChecks;
         opt.versionLoops = opt.analyzeChecks && config.optVersioning;
         opt.ipoSummaries = opt.analyzeChecks && config.optIpoSummaries;
+        opt.ipoStats = opt.ipoSummaries && config.optIpoStats;
         if (opt.fuse || opt.analyzeChecks) {
             LNB_TRACE_SCOPE("rt.opt");
             ScopedTimer timer(cm->stats_.optSeconds);

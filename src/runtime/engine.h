@@ -85,6 +85,14 @@ struct EngineConfig
      */
     bool optIpoSummaries = true;
     /**
+     * Attribute the IPO contribution to check elision
+     * (opt.checks_elided_ipo) by re-running the check analysis with the
+     * old clear-at-call semantics as a baseline. Diagnostics-only knob —
+     * emitted code is identical — that roughly doubles check-analysis
+     * compile time, so it defaults off. LNB_OPT_IPO_STATS=0/1 overrides.
+     */
+    bool optIpoStats = false;
+    /**
      * Count dynamically retired software bounds checks in JIT code
      * (InstanceContext::checksRetired; the interpreters always count).
      * Measurement-only knob — the increments pollute steady-state

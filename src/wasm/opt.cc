@@ -1191,9 +1191,12 @@ constexpr uint32_t kNoVn = 0;
 /**
  * Per-block value numbering of cell contents; marks accesses whose
  * check is covered by an earlier check of the same address value.
- * Under @p ipo, callf/calli only forget cell names at and above the
- * argument base: frames overlap, so a wasm callee cannot write caller
- * cells below it (host calls stay conservative).
+ * Under @p ipo, callf only forgets cell names at and above its
+ * argument base (inst.b): frames overlap, so a wasm callee cannot
+ * write caller cells below it. calli stays fully conservative — its
+ * inst.b is the table-index cell, not the arg base, so the real base
+ * (inst.b - nargs, which needs the callee type) is unknown here — as
+ * do host calls.
  */
 uint64_t
 markVnElidableChecks(const LoweredFunc& func, const Cfg& cfg,
@@ -1233,15 +1236,17 @@ markVnElidableChecks(const LoweredFunc& func, const Cfg& cfg,
                     }
                     break;
                   case LOp::callf:
-                  case LOp::calli:
-                    // Callee overlap clobbers cells; values already
-                    // checked stay checked, so `avail` survives.
+                    // Callee overlap clobbers cells from the arg base
+                    // up; values already checked stay checked, so
+                    // `avail` survives.
                     if (ipo) {
                         std::fill(cellVn.begin() + inst.b, cellVn.end(),
                                   kNoVn);
                         break;
                     }
                     [[fallthrough]];
+                  case LOp::calli: // inst.b is the table index, not the
+                                   // arg base: forget every cell name
                   case LOp::call_host:
                     std::fill(cellVn.begin(), cellVn.end(), kNoVn);
                     break;
@@ -1952,21 +1957,33 @@ optimizeFuncInternal(LoweredFunc& func, const OptOptions& opts,
             hinted[pc] = 1;
         uint64_t covered = 0;
         if (ipo != nullptr) {
-            // Baseline run with the old clear-at-call semantics so the
-            // IPO contribution can be attributed (opt.checks_elided_ipo).
-            std::vector<uint8_t> base_hinted = hinted;
-            uint64_t base = markVnElidableChecks(func, cfg, base_hinted,
-                                                 /*ipo=*/false);
-            DataflowResult base_flow = runCheckDataflow(
-                func, cfg, base_hinted, nullptr, nullptr);
-            base += base_flow.crossBlockCovered;
-            covered = markVnElidableChecks(func, cfg, hinted, /*ipo=*/true);
-            DataflowResult flow =
-                runCheckDataflow(func, cfg, hinted, ipo, entry_seed);
-            covered += flow.crossBlockCovered;
-            if (covered > base)
-                stats.checksElidedIpo = covered - base;
-            func.entryCheckFacts = std::move(flow.entryFacts);
+            if (opts.ipoStats) {
+                // Diagnostics-only baseline run with the old
+                // clear-at-call semantics so the IPO contribution can
+                // be attributed (opt.checks_elided_ipo). Its hint marks
+                // are discarded; only the covered count is kept.
+                std::vector<uint8_t> base_hinted = hinted;
+                uint64_t base = markVnElidableChecks(
+                    func, cfg, base_hinted, /*ipo=*/false);
+                DataflowResult base_flow = runCheckDataflow(
+                    func, cfg, base_hinted, nullptr, nullptr);
+                base += base_flow.crossBlockCovered;
+                covered =
+                    markVnElidableChecks(func, cfg, hinted, /*ipo=*/true);
+                DataflowResult flow =
+                    runCheckDataflow(func, cfg, hinted, ipo, entry_seed);
+                covered += flow.crossBlockCovered;
+                if (covered > base)
+                    stats.checksElidedIpo = covered - base;
+                func.entryCheckFacts = std::move(flow.entryFacts);
+            } else {
+                covered =
+                    markVnElidableChecks(func, cfg, hinted, /*ipo=*/true);
+                DataflowResult flow =
+                    runCheckDataflow(func, cfg, hinted, ipo, entry_seed);
+                covered += flow.crossBlockCovered;
+                func.entryCheckFacts = std::move(flow.entryFacts);
+            }
         } else {
             covered = markVnElidableChecks(func, cfg, hinted, /*ipo=*/false);
             DataflowResult flow =

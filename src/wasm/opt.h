@@ -37,10 +37,11 @@
  *    the callf graph computes per-function `FuncSummary` facts
  *    (grow-free? max constant limit checked on entry?) so the dataflow
  *    stops killing facts at calls into grow-free callees (frames
- *    overlap: a call clobbers only cells >= the arg base), propagates
- *    facts through copies, and seeds callee entry facts (pc 0) from the
- *    meet over all analyzed call sites for internally-reachable
- *    functions. call_indirect, host calls and SCC cycles degrade to the
+ *    overlap: a direct call clobbers only cells >= the arg base),
+ *    propagates facts through copies, and seeds every function's entry
+ *    facts (pc 0) with the unconditional initial-memory-size fact
+ *    (memSize >= min pages, sound at any entry because memories never
+ *    shrink). call_indirect, host calls and SCC cycles degrade to the
  *    old clear-at-call behavior.
  *
  *  - Superinstruction fusion (interpreter tiers): adjacent
@@ -53,7 +54,8 @@
  * The pass reports opt.checks_hoisted, opt.checks_elided_crossblock,
  * opt.loops_versioned, opt.checks_elided_ipo and opt.insts_fused through
  * the obs registry (opt.guard_fallbacks is a runtime counter fed from
- * InstanceContext::guardFallbacks).
+ * InstanceContext::guardFallbacks; opt.checks_elided_ipo only advances
+ * when the diagnostics-only OptOptions::ipoStats attribution is on).
  */
 #ifndef LNB_WASM_OPT_H
 #define LNB_WASM_OPT_H
@@ -75,6 +77,12 @@ struct OptOptions
     bool hoistChecks = false;   ///< loop-invariant check hoisting
     bool versionLoops = false;  ///< affine loop versioning (guard + clone)
     bool ipoSummaries = false;  ///< interprocedural check summaries
+    /** Attribute the IPO contribution (opt.checks_elided_ipo /
+     * OptStats::checksElidedIpo) by re-running the check analysis with
+     * the old clear-at-call semantics as a baseline. Diagnostics only —
+     * the emitted code is identical either way — and roughly doubles
+     * check-analysis compile time, so it defaults off. */
+    bool ipoStats = false;
 };
 
 /** What the pass did, accumulated over all functions of a module. */
@@ -89,7 +97,8 @@ struct OptStats
     uint64_t checksVersioned = 0;
     /** Extra covered checks attributable to interprocedural summaries
      * (facts surviving calls, callee entry seeding) vs. the same
-     * dataflow with the old clear-at-call behavior. */
+     * dataflow with the old clear-at-call behavior. Only computed when
+     * OptOptions::ipoStats is set; 0 otherwise. */
     uint64_t checksElidedIpo = 0;
     /** Lowered instruction counts before/after (fusion shrinks code,
      * versioning and hoisting grow it). */

@@ -499,6 +499,7 @@ optimizeWithVersioning(LoweredModule& lm, bool versioning = true,
     opts.hoistChecks = true;
     opts.versionLoops = versioning;
     opts.ipoSummaries = ipo;
+    opts.ipoStats = ipo; // tests assert the attributed counter
     return optimizeLoweredModule(lm, opts);
 }
 
@@ -720,6 +721,88 @@ TEST(Ipo, GrowingCalleeLosesGrowFreeBit)
     // memSize is monotone, so a passed check for a value holds forever.
     // growFree only widens what survives in the cell-fact cache.
     EXPECT_GE(stats.checksElidedIpo, 1u);
+}
+
+/**
+ * caller: check mem[addr], then table[0](addr) via call_indirect, then
+ * load through the callee-returned value. calli's inst.b is the
+ * table-index cell, not the arg base, so the result cell (arg base =
+ * inst.b - nargs) sits *below* inst.b — an IPO value-numbering clear
+ * that starts at inst.b would leave it holding addr's (checked) value
+ * number while the callee wrote an arbitrary address into it.
+ */
+Module
+indirectResultModule()
+{
+    ModuleBuilder mb;
+    mb.addMemory(1, 1);
+    mb.addTable(1, 1);
+    uint32_t leaf_t = mb.addType({ValType::i32}, {ValType::i32});
+    auto& leaf = mb.addFunction(leaf_t); // param ignored
+    leaf.i32Const(70000); // callee-controlled, beyond the single page
+    uint32_t leaf_idx = leaf.finish();
+    mb.addElem(0, {leaf_idx});
+
+    uint32_t t = mb.addType({ValType::i32}, {ValType::i32});
+    auto& f = mb.addFunction(t); // param: addr
+    f.localGet(0);
+    f.memOp(Op::i32_load, 0); // checks addr's value
+    f.drop();
+    f.localGet(0); // arg cell: carries addr's value number
+    f.i32Const(0); // table index
+    f.callIndirect(leaf_t); // result overwrites the arg cell
+    f.memOp(Op::i32_load, 0); // address is the callee's result
+    uint32_t idx = f.finish();
+    mb.exportFunc("run", idx);
+    return mb.build();
+}
+
+TEST(Ipo, IndirectCallResultKeepsItsCheck)
+{
+    auto lowered = lowerModule(indirectResultModule());
+    ASSERT_TRUE(lowered.isOk());
+    LoweredModule lm = lowered.takeValue();
+    optimizeWithVersioning(lm);
+
+    // The load after the calli must not be hinted elidable: no summary
+    // covers an indirect callee, and its result is a fresh value.
+    const LoweredFunc& caller = lm.funcs[1];
+    bool saw_calli = false;
+    bool checked_post_call_load = false;
+    for (uint32_t pc = 0; pc < caller.code.size(); pc++) {
+        const LInst& inst = caller.code[pc];
+        if (!inst.isWasmOp() && inst.lop() == LOp::calli) {
+            saw_calli = true;
+            continue;
+        }
+        if (saw_calli && inst.isWasmOp() && isLoadOp(inst.wasmOp())) {
+            for (uint32_t hinted : caller.elidableCheckPcs)
+                EXPECT_NE(hinted, pc);
+            checked_post_call_load = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(saw_calli);
+    EXPECT_TRUE(checked_post_call_load);
+}
+
+TEST(Ipo, IndirectCallResultTrapsOutOfBounds)
+{
+    if (!jit::jitSupported())
+        GTEST_SKIP() << "JIT unsupported on this CPU";
+    // End-to-end: with the full opt pipeline on, the load through the
+    // indirect call's out-of-range result must still trap.
+    EngineConfig config;
+    config.kind = EngineKind::jit_opt;
+    config.strategy = BoundsStrategy::trap;
+    Engine engine(config);
+    auto compiled = engine.compile(indirectResultModule());
+    ASSERT_TRUE(compiled.isOk());
+    auto inst = Instance::create(compiled.takeValue());
+    ASSERT_TRUE(inst.isOk());
+    auto out = inst.value()->callExport("run", {Value::fromI32(0)});
+    EXPECT_EQ(out.trap, TrapKind::out_of_bounds_memory)
+        << trapKindName(out.trap);
 }
 
 TEST(Ipo, ResultsMatchWithSummariesOnAndOff)
