@@ -16,8 +16,15 @@ counters bumped by the exercised paths. It then repeats the load with
 --engine=tiered and validates the tier.* metrics and the report's tier
 block (requests/ups, the time-to-peak curve).
 
+--threads mode runs the fig3 shared-memory mode (N threads x 5 bounds
+strategies hammering one growable shared linear memory) and validates
+the per-(strategy, threads) reports: the bench's own bit-exact checksum
+verdict (exit code), and the threads.* / mem.shared_grow_* counters in
+every lnb.bench_result.v1 document.
+
 Usage: check_report.py <path-to-micro_bounds>
        check_report.py --svc <path-to-lnb_svc>
+       check_report.py --threads <path-to-fig3_thread_scaling>
 """
 
 import json
@@ -387,6 +394,94 @@ def run_svc_tiered(lnb_svc):
     print("check_report: tiered svc OK (tier-up observed under load)")
 
 
+def run_threads_scaling(fig3):
+    """Run the fig3 shared-memory mode and validate its reports. The
+    bench itself verifies the cross-strategy checksums (nonzero exit on
+    mismatch); this validates the emitted lnb.bench_result.v1 docs."""
+    strategies = ["none", "clamp", "trap", "mprotect", "uffd"]
+    thread_counts = [1, 2, 4, 8]
+    with tempfile.TemporaryDirectory(prefix="lnb_check_threads_") as tmp:
+        env = dict(os.environ)
+        env["LNB_JSON_DIR"] = tmp
+        env["LNB_QUICK"] = "1"
+        cmd = [fig3, "--shared"]
+        proc = subprocess.run(cmd, env=env, capture_output=True, text=True)
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stdout)
+            sys.stderr.write(proc.stderr)
+            fail(f"{' '.join(cmd)} exited with {proc.returncode} "
+                 f"(checksum mismatch or failed run)")
+
+        reports = sorted(
+            name
+            for name in os.listdir(tmp)
+            if name.endswith(".json") and not name.startswith("metrics_")
+        )
+        expected = len(strategies) * len(thread_counts)
+        if len(reports) != expected:
+            fail(f"expected {expected} shared-memory reports, "
+                 f"got {reports}")
+        seen = set()
+        for name in reports:
+            path = os.path.join(tmp, name)
+            doc = load_json(path)
+            if doc.get("schema") != "lnb.bench_result.v1":
+                fail(f"{path}: bad schema: {doc.get('schema')!r}")
+            if not doc.get("ok"):
+                fail(f"{path}: run not ok: {doc.get('error')!r}")
+            config = doc.get("config", {})
+            strategy = config.get("strategy")
+            threads = config.get("numThreads")
+            if strategy not in strategies:
+                fail(f"{path}: unexpected strategy {strategy!r}")
+            if threads not in thread_counts:
+                fail(f"{path}: unexpected thread count {threads!r}")
+            if config.get("engine") != "shared-threads":
+                fail(f"{path}: engine label {config.get('engine')!r}, "
+                     f"expected 'shared-threads'")
+            seen.add((strategy, threads))
+
+            counters = doc.get("counters")
+            if not isinstance(counters, dict):
+                fail(f"{path}: no counters object")
+            # Process-lifetime totals: the spawn path and thread 0's
+            # periodic grows must have run by the first report.
+            for cname in ("threads.spawns", "threads.threads_run",
+                          "mem.shared_grow_calls"):
+                value = counters.get(cname)
+                if not isinstance(value, (int, float)) or value <= 0:
+                    fail(f"{path}: counter {cname} missing or zero: "
+                         f"{value!r}")
+            # Registered by the exercised subsystems even when the bench
+            # never parks a waiter; only presence is required.
+            for cname in ("threads.waits", "threads.wakes",
+                          "threads.notifies", "threads.wait_timeouts",
+                          "mem.shared_grow_contended"):
+                if cname not in counters:
+                    fail(f"{path}: counter {cname} not registered")
+
+            per_thread = doc.get("perThread")
+            if not isinstance(per_thread, list) or \
+                    len(per_thread) != threads:
+                fail(f"{path}: perThread has "
+                     f"{len(per_thread or [])} entries, "
+                     f"expected {threads}")
+            # Per-run deltas: every mprotect grow re-protects the guard
+            # region; every uffd run faults its touched pages in.
+            if strategy == "mprotect" and \
+                    doc.get("resizeSyscalls", 0) <= 0:
+                fail(f"{path}: mprotect run recorded no resize "
+                     f"syscalls")
+            if strategy == "uffd" and doc.get("faultsHandled", 0) <= 0:
+                fail(f"{path}: uffd run handled no faults")
+        if len(seen) != expected:
+            fail(f"reports cover {sorted(seen)}, expected every "
+                 f"strategy x thread count")
+    print(f"check_report: threads scaling OK ({expected} reports, "
+          f"checksums bit-exact)")
+    print("check_report: PASS")
+
+
 def main():
     if len(sys.argv) == 3 and sys.argv[1] in ("--svc", "--svc-profiled"):
         lnb_svc = sys.argv[2]
@@ -403,8 +498,15 @@ def main():
         run_svc_versioning_ablation(lnb_svc)
         print("check_report: PASS")
         return
+    if len(sys.argv) == 3 and sys.argv[1] == "--threads":
+        fig3 = sys.argv[2]
+        if not os.access(fig3, os.X_OK):
+            fail(f"not executable: {fig3}")
+        run_threads_scaling(fig3)
+        return
     if len(sys.argv) != 2:
-        fail(f"usage: {sys.argv[0]} [--svc|--svc-profiled|--ablation] "
+        fail(f"usage: {sys.argv[0]} "
+             f"[--svc|--svc-profiled|--ablation|--threads] "
              f"<path-to-binary>")
     micro_bounds = sys.argv[1]
     if not os.access(micro_bounds, os.X_OK):

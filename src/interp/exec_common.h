@@ -159,6 +159,18 @@ struct InstanceContext
     /** Times a versioned loop's preheader guard failed and execution fell
      * back to the checked slow-path clone (LOp::count_fallback). */
     uint64_t guardFallbacks = 0;
+    /**
+     * True when `memory` is shared between several instances running on
+     * different threads. `memSize` is then a per-thread mirror of the
+     * memory's authoritative atomic size word, refreshed at every
+     * synchronization point (atomic accesses, wait/notify, memory.size,
+     * memory.grow) and in the failed-bounds-check slow paths. Sound
+     * because linear memories never shrink: a stale mirror only
+     * under-approximates the true size, and an access racing a concurrent
+     * grow without synchronization is allowed to trap by the threads
+     * memory model.
+     */
+    bool sharedMem = false;
 
     // ----- tiering (cold; null/zero when profiling is off) -----
     /**
@@ -219,6 +231,61 @@ checkModeFor(mem::BoundsStrategy strategy)
     }
 }
 
+/** Refresh the context's memory-size mirror from the authoritative size
+ * word of a shared memory (no-op for unshared instances). Called at every
+ * synchronization point; see InstanceContext::sharedMem. */
+inline void
+syncSharedSize(InstanceContext* ctx)
+{
+    if (ctx->sharedMem)
+        ctx->memSize = ctx->memory->sizeBytes();
+}
+
+/**
+ * The atomic operation selectors shared by the interpreters and the JIT's
+ * native-call glue (lnbJitAtomic). Packed into the glue's op_mode argument
+ * as: bits 0..7 = AtomicOp, bit 8 = 64-bit access, bits 16.. = CheckMode.
+ */
+enum class AtomicOp : uint8_t {
+    load = 0,
+    store,
+    add,
+    sub,
+    and_,
+    or_,
+    xor_,
+    xchg,
+    cmpxchg,
+    notify,
+    wait,
+};
+
+/** Pack lnbJitAtomic's op_mode argument. */
+inline uint32_t
+atomicOpMode(AtomicOp op, bool is64, CheckMode mode)
+{
+    return uint32_t(op) | (is64 ? 0x100u : 0u) | (uint32_t(mode) << 16);
+}
+
+/**
+ * memory.atomic.wait32/64: validate alignment and bounds against the
+ * refreshed authoritative size, trap on non-shared memories, then park the
+ * thread on the process-wide waiter list unless *addr != expected.
+ * Returns 0 (woken), 1 (value mismatch) or 2 (timed out); timeout_ns < 0
+ * waits forever. CheckMode-independent: waits always bounds-check
+ * explicitly, before any lock is taken, so a guard-page trap cannot
+ * unwind while holding a waiter-bucket mutex.
+ */
+uint32_t execAtomicWait(InstanceContext* ctx, uint32_t addr,
+                        uint64_t expected, int64_t timeout_ns, bool is64,
+                        uint64_t offset);
+
+/** memory.atomic.notify: wake up to @p count waiters parked on the
+ * address. Bounds/alignment-checked like a 4-byte atomic; on non-shared
+ * memories returns 0 after the checks (nothing can be waiting). */
+uint32_t execAtomicNotify(InstanceContext* ctx, uint32_t addr,
+                          uint32_t count, uint64_t offset);
+
 /**
  * memory.grow entry point shared by all executors: grows the backing
  * memory, refreshes the context mirrors, and returns the old page count or
@@ -241,6 +308,10 @@ extern "C" void lnbJitHostCall(InstanceContext* ctx, wasm::Value* args,
 extern "C" int32_t lnbJitMemoryGrow(InstanceContext* ctx,
                                     uint32_t delta_pages);
 
+/** memory.size glue for shared-memory modules: refreshes the size mirror
+ * (a synchronization point) before converting to pages. */
+extern "C" uint32_t lnbJitMemorySize(InstanceContext* ctx);
+
 /** memory.copy glue: bounds-checked memmove; traps on OOB. */
 extern "C" void lnbJitMemoryCopy(InstanceContext* ctx, uint32_t dst,
                                  uint32_t src, uint32_t len);
@@ -248,6 +319,21 @@ extern "C" void lnbJitMemoryCopy(InstanceContext* ctx, uint32_t dst,
 /** memory.fill glue: bounds-checked memset; traps on OOB. */
 extern "C" void lnbJitMemoryFill(InstanceContext* ctx, uint32_t dst,
                                  uint32_t value, uint32_t len);
+
+/**
+ * One glue entry for every atomic instruction the JIT compiles: the
+ * assembler has no lock-prefixed encodings, so atomics become native
+ * calls into the same seq_cst semantics the interpreters execute
+ * (sem::atomicRmw), keeping all tiers bit-exact and TSAN-visible.
+ * @p op_mode packs (AtomicOp, is64, CheckMode) via atomicOpMode().
+ * v1/v2 carry the operands: store/rmw value, cmpxchg (expected,
+ * replacement), notify (count), wait (expected, timeout_ns). Returns the
+ * zero-extended result (loads/rmw old value, cmpxchg observed value,
+ * notify woken count, wait outcome); stores return 0.
+ */
+extern "C" uint64_t lnbJitAtomic(InstanceContext* ctx, uint32_t addr,
+                                 uint64_t v1, uint64_t v2, uint64_t offset,
+                                 uint32_t op_mode);
 
 } // namespace lnb::exec
 

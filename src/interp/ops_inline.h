@@ -54,12 +54,20 @@ memAddr(InstanceContext* ctx, uint32_t addr, uint64_t offset, unsigned size)
     uint64_t ea = uint64_t(addr) + offset;
     if constexpr (M == CheckMode::clamp) {
         ctx->checksRetired++;
-        if (ea + size > ctx->memSize)
-            ea = ctx->clampOffset;
+        if (ea + size > ctx->memSize) {
+            // Failed-check slow path: on a shared memory another thread
+            // may have grown since the mirror was last refreshed.
+            syncSharedSize(ctx);
+            if (ea + size > ctx->memSize)
+                ea = ctx->clampOffset;
+        }
     } else if constexpr (M == CheckMode::trap) {
         ctx->checksRetired++;
-        if (ea + size > ctx->memSize)
-            trap(TrapKind::out_of_bounds_memory);
+        if (ea + size > ctx->memSize) {
+            syncSharedSize(ctx);
+            if (ea + size > ctx->memSize)
+                trap(TrapKind::out_of_bounds_memory);
+        }
     }
     // CheckMode::raw: the guard pages (or the flat mapping) police this.
     return ctx->memBase + ea;
@@ -398,8 +406,11 @@ memoryCopyImpl(InstanceContext* ctx, Value* f, const LInst& inst)
     uint64_t n = f[inst.a + 2].i32;
     // Bulk ops always bounds-check per spec, regardless of strategy: guard
     // pages would catch them too, but memmove would partially copy first.
-    if (d + n > ctx->memSize || s + n > ctx->memSize)
-        trap(TrapKind::out_of_bounds_memory);
+    if (d + n > ctx->memSize || s + n > ctx->memSize) {
+        syncSharedSize(ctx);
+        if (d + n > ctx->memSize || s + n > ctx->memSize)
+            trap(TrapKind::out_of_bounds_memory);
+    }
     std::memmove(ctx->memBase + d, ctx->memBase + s, n);
 }
 
@@ -410,9 +421,127 @@ memoryFillImpl(InstanceContext* ctx, Value* f, const LInst& inst)
     uint64_t d = f[inst.a].i32;
     uint8_t v = uint8_t(f[inst.a + 1].i32);
     uint64_t n = f[inst.a + 2].i32;
-    if (d + n > ctx->memSize)
-        trap(TrapKind::out_of_bounds_memory);
+    if (d + n > ctx->memSize) {
+        syncSharedSize(ctx);
+        if (d + n > ctx->memSize)
+            trap(TrapKind::out_of_bounds_memory);
+    }
     std::memset(ctx->memBase + d, v, n);
+}
+
+// ---------------------------------------------------------------------
+// Atomics (threads proposal)
+// ---------------------------------------------------------------------
+
+#if defined(__SANITIZE_THREAD__)
+#define LNB_TSAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define LNB_TSAN_BUILD 1
+#endif
+#endif
+#ifndef LNB_TSAN_BUILD
+#define LNB_TSAN_BUILD 0
+#endif
+
+/**
+ * Resolve the effective address of an atomic access: natural alignment is
+ * a runtime requirement (unaligned_atomic trap), the shared-size mirror
+ * is refreshed first (every atomic is a synchronization point), and
+ * out-of-bounds traps under BOTH software-check modes — the threads
+ * spec has no clamping atomics, and redirecting an atomic into the red
+ * zone would invent a spurious synchronization address. Raw mode defers
+ * to the guard pages as usual — except under TSAN, where the __atomic op
+ * runs inside the sanitizer runtime holding its per-address sync-object
+ * lock; a guard-page fault there would siglongjmp past that lock and
+ * deadlock the process, so raw mode pre-checks with the same trap the
+ * guard fault would raise. (Populate faults are fine either way: their
+ * handler returns normally and the access resumes.)
+ */
+template <CheckMode M>
+inline uint8_t*
+atomicAddr(InstanceContext* ctx, uint32_t addr, uint64_t offset,
+           unsigned size)
+{
+    uint64_t ea = uint64_t(addr) + offset;
+    if ((ea & (size - 1)) != 0)
+        trap(TrapKind::unaligned_atomic);
+    syncSharedSize(ctx);
+    if constexpr (M != CheckMode::raw) {
+        ctx->checksRetired++;
+        if (ea + size > ctx->memSize)
+            trap(TrapKind::out_of_bounds_memory);
+    } else if constexpr (LNB_TSAN_BUILD) {
+        if (ea + size > ctx->memSize)
+            trap(TrapKind::out_of_bounds_memory);
+    }
+    return ctx->memBase + ea;
+}
+
+/**
+ * The one seq_cst lowering shared by every tier: interpreters call this
+ * from the sem_* handlers and the JIT through the lnbJitAtomic glue, so
+ * all tiers execute the identical (and TSAN-instrumented) atomic
+ * operation. Returns the old value for rmw, the observed value for
+ * cmpxchg (v1 = expected, v2 = replacement), the loaded value for load,
+ * 0 for store.
+ */
+template <typename T>
+inline T
+atomicRmw(AtomicOp op, T* p, T v1, T v2)
+{
+    switch (op) {
+      case AtomicOp::load:
+        return __atomic_load_n(p, __ATOMIC_SEQ_CST);
+      case AtomicOp::store:
+        __atomic_store_n(p, v1, __ATOMIC_SEQ_CST);
+        return 0;
+      case AtomicOp::add:
+        return __atomic_fetch_add(p, v1, __ATOMIC_SEQ_CST);
+      case AtomicOp::sub:
+        return __atomic_fetch_sub(p, v1, __ATOMIC_SEQ_CST);
+      case AtomicOp::and_:
+        return __atomic_fetch_and(p, v1, __ATOMIC_SEQ_CST);
+      case AtomicOp::or_:
+        return __atomic_fetch_or(p, v1, __ATOMIC_SEQ_CST);
+      case AtomicOp::xor_:
+        return __atomic_fetch_xor(p, v1, __ATOMIC_SEQ_CST);
+      case AtomicOp::xchg:
+        return __atomic_exchange_n(p, v1, __ATOMIC_SEQ_CST);
+      case AtomicOp::cmpxchg: {
+        T expected = v1;
+        __atomic_compare_exchange_n(p, &expected, v2, false,
+                                    __ATOMIC_SEQ_CST, __ATOMIC_SEQ_CST);
+        return expected; // the observed value, per wasm cmpxchg semantics
+      }
+      default:
+        trap(TrapKind::host_error); // notify/wait never reach here
+    }
+}
+
+/** 32-bit atomic with a 2-operand shape (store/rmw): addr at f[a],
+ * operand at f[b]; rmw result overwrites f[a] zero-extended so the full
+ * cell matches the JIT's 64-bit store of the glue's return value. */
+template <CheckMode M>
+inline void
+atomic32(InstanceContext* ctx, Value* f, const LInst& inst, AtomicOp op)
+{
+    auto* p = reinterpret_cast<uint32_t*>(
+        atomicAddr<M>(ctx, f[inst.a].i32, inst.imm, 4));
+    uint32_t r = atomicRmw<uint32_t>(op, p, f[inst.b].i32, 0);
+    if (op != AtomicOp::store)
+        f[inst.a].i64 = r;
+}
+
+template <CheckMode M>
+inline void
+atomic64(InstanceContext* ctx, Value* f, const LInst& inst, AtomicOp op)
+{
+    auto* p = reinterpret_cast<uint64_t*>(
+        atomicAddr<M>(ctx, f[inst.a].i32, inst.imm, 8));
+    uint64_t r = atomicRmw<uint64_t>(op, p, f[inst.b].i64, 0);
+    if (op != AtomicOp::store)
+        f[inst.a].i64 = r;
 }
 
 // ---------------------------------------------------------------------
@@ -485,6 +614,53 @@ LNB_SEM(memory_grow,
         f[inst.a].i32 = uint32_t(execMemoryGrow(ctx, f[inst.a].i32));)
 LNB_SEM(memory_copy, memoryCopyImpl<M>(ctx, f, inst);)
 LNB_SEM(memory_fill, memoryFillImpl<M>(ctx, f, inst);)
+
+// ----- atomics (threads proposal) -----
+// Results are written as full zero-extended 64-bit cells so every tier
+// (and the differential sweep) observes identical cell bits.
+LNB_SEM(memory_atomic_notify,
+        f[inst.a].i64 = execAtomicNotify(ctx, f[inst.a].i32,
+                                         f[inst.b].i32, inst.imm);)
+LNB_SEM(memory_atomic_wait32,
+        f[inst.a].i64 = execAtomicWait(ctx, f[inst.a].i32,
+                                       f[inst.a + 1].i32,
+                                       int64_t(f[inst.a + 2].i64), false,
+                                       inst.imm);)
+LNB_SEM(memory_atomic_wait64,
+        f[inst.a].i64 = execAtomicWait(ctx, f[inst.a].i32,
+                                       f[inst.a + 1].i64,
+                                       int64_t(f[inst.a + 2].i64), true,
+                                       inst.imm);)
+LNB_SEM(i32_atomic_load, atomic32<M>(ctx, f, inst, AtomicOp::load);)
+LNB_SEM(i64_atomic_load, atomic64<M>(ctx, f, inst, AtomicOp::load);)
+LNB_SEM(i32_atomic_store, atomic32<M>(ctx, f, inst, AtomicOp::store);)
+LNB_SEM(i64_atomic_store, atomic64<M>(ctx, f, inst, AtomicOp::store);)
+LNB_SEM(i32_atomic_rmw_add, atomic32<M>(ctx, f, inst, AtomicOp::add);)
+LNB_SEM(i64_atomic_rmw_add, atomic64<M>(ctx, f, inst, AtomicOp::add);)
+LNB_SEM(i32_atomic_rmw_sub, atomic32<M>(ctx, f, inst, AtomicOp::sub);)
+LNB_SEM(i64_atomic_rmw_sub, atomic64<M>(ctx, f, inst, AtomicOp::sub);)
+LNB_SEM(i32_atomic_rmw_and, atomic32<M>(ctx, f, inst, AtomicOp::and_);)
+LNB_SEM(i64_atomic_rmw_and, atomic64<M>(ctx, f, inst, AtomicOp::and_);)
+LNB_SEM(i32_atomic_rmw_or, atomic32<M>(ctx, f, inst, AtomicOp::or_);)
+LNB_SEM(i64_atomic_rmw_or, atomic64<M>(ctx, f, inst, AtomicOp::or_);)
+LNB_SEM(i32_atomic_rmw_xor, atomic32<M>(ctx, f, inst, AtomicOp::xor_);)
+LNB_SEM(i64_atomic_rmw_xor, atomic64<M>(ctx, f, inst, AtomicOp::xor_);)
+LNB_SEM(i32_atomic_rmw_xchg, atomic32<M>(ctx, f, inst, AtomicOp::xchg);)
+LNB_SEM(i64_atomic_rmw_xchg, atomic64<M>(ctx, f, inst, AtomicOp::xchg);)
+LNB_SEM(i32_atomic_rmw_cmpxchg, {
+    auto* p = reinterpret_cast<uint32_t*>(
+        atomicAddr<M>(ctx, f[inst.a].i32, inst.imm, 4));
+    f[inst.a].i64 = atomicRmw<uint32_t>(AtomicOp::cmpxchg, p,
+                                        f[inst.a + 1].i32,
+                                        f[inst.a + 2].i32);
+})
+LNB_SEM(i64_atomic_rmw_cmpxchg, {
+    auto* p = reinterpret_cast<uint64_t*>(
+        atomicAddr<M>(ctx, f[inst.a].i32, inst.imm, 8));
+    f[inst.a].i64 = atomicRmw<uint64_t>(AtomicOp::cmpxchg, p,
+                                        f[inst.a + 1].i64,
+                                        f[inst.a + 2].i64);
+})
 
 // ----- constants -----
 LNB_SEM(i32_const, f[inst.a].i64 = inst.imm;)

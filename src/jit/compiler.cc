@@ -627,6 +627,7 @@ class FunctionCompiler
     void emitWasmOp(const LInst& inst);
     void emitLoad(const LInst& inst);
     void emitStore(const LInst& inst);
+    void emitAtomic(const LInst& inst);
     void emitIntDivRem(const LInst& inst);
     void emitFloatMinMax(const LInst& inst);
     void emitFloatCompare(const LInst& inst);
@@ -1249,6 +1250,90 @@ FunctionCompiler::emitStore(const LInst& inst)
     }
 }
 
+/**
+ * Atomics compile to calls into the lnbJitAtomic glue: the assembler has
+ * no lock-prefixed encodings, and funneling every tier through the one
+ * sem::atomicRmw seq_cst lowering keeps interp/jit/tiered executions
+ * bit-exact and TSAN-instrumented. Alignment and bounds checks (atomics
+ * trap, never clamp) happen inside the glue against the refreshed
+ * shared-size mirror.
+ */
+void
+FunctionCompiler::emitAtomic(const LInst& inst)
+{
+    Op op = Op(inst.op);
+    const bool is64 = wasm::memAccessSize(op) == 8 &&
+                      op != Op::memory_atomic_notify;
+    exec::AtomicOp aop;
+    // Operand shape: how many cells the op consumed (arg-base layout for
+    // 3, top-two layout for 2; see lowerSigOp).
+    unsigned shape;
+    switch (op) {
+      case Op::memory_atomic_notify: aop = exec::AtomicOp::notify; shape = 2; break;
+      case Op::memory_atomic_wait32:
+      case Op::memory_atomic_wait64: aop = exec::AtomicOp::wait; shape = 3; break;
+      case Op::i32_atomic_load:
+      case Op::i64_atomic_load: aop = exec::AtomicOp::load; shape = 1; break;
+      case Op::i32_atomic_store:
+      case Op::i64_atomic_store: aop = exec::AtomicOp::store; shape = 2; break;
+      case Op::i32_atomic_rmw_add:
+      case Op::i64_atomic_rmw_add: aop = exec::AtomicOp::add; shape = 2; break;
+      case Op::i32_atomic_rmw_sub:
+      case Op::i64_atomic_rmw_sub: aop = exec::AtomicOp::sub; shape = 2; break;
+      case Op::i32_atomic_rmw_and:
+      case Op::i64_atomic_rmw_and: aop = exec::AtomicOp::and_; shape = 2; break;
+      case Op::i32_atomic_rmw_or:
+      case Op::i64_atomic_rmw_or: aop = exec::AtomicOp::or_; shape = 2; break;
+      case Op::i32_atomic_rmw_xor:
+      case Op::i64_atomic_rmw_xor: aop = exec::AtomicOp::xor_; shape = 2; break;
+      case Op::i32_atomic_rmw_xchg:
+      case Op::i64_atomic_rmw_xchg: aop = exec::AtomicOp::xchg; shape = 2; break;
+      case Op::i32_atomic_rmw_cmpxchg:
+      case Op::i64_atomic_rmw_cmpxchg:
+        aop = exec::AtomicOp::cmpxchg;
+        shape = 3;
+        break;
+      default:
+        assert(false);
+        return;
+    }
+
+    spillFloatMask(inst.aux);
+    as_.movRR64(rdi, kCtxReg);
+    loadGpr32(rsi, inst.a); // linear address
+    if (shape == 2) {
+        // Value/count at the top-of-stack cell.
+        if (is64)
+            loadGpr64(rdx, inst.b);
+        else
+            loadGpr32(rdx, inst.b);
+    } else if (shape == 3) {
+        // Arg-base layout: operands at a+1 (expected) and a+2
+        // (replacement / timeout_ns).
+        if (is64)
+            loadGpr64(rdx, inst.a + 1);
+        else
+            loadGpr32(rdx, inst.a + 1);
+        if (aop == exec::AtomicOp::wait)
+            loadGpr64(rcx, inst.a + 2); // timeout_ns is always i64
+        else if (is64)
+            loadGpr64(rcx, inst.a + 2);
+        else
+            loadGpr32(rcx, inst.a + 2);
+    }
+    if (inst.imm <= UINT32_MAX)
+        as_.movRI32(r8, uint32_t(inst.imm));
+    else
+        as_.movRI64(r8, inst.imm);
+    as_.movRI32(r9, exec::atomicOpMode(
+                        aop, is64, exec::checkModeFor(opts_.strategy)));
+    as_.callImm(reinterpret_cast<const void*>(&exec::lnbJitAtomic));
+    reloadFloatMask(inst.aux);
+    if (aop != exec::AtomicOp::store)
+        storeGpr64(inst.a, rax); // glue returns zero-extended results
+    noteOpaqueMemClobber();
+}
+
 void
 FunctionCompiler::emitIntDivRem(const LInst& inst)
 {
@@ -1841,6 +1926,10 @@ FunctionCompiler::emitWasmOp(const LInst& inst)
         emitStore(inst);
         return;
     }
+    if (wasm::isAtomicOp(op)) {
+        emitAtomic(inst);
+        return;
+    }
 
     switch (op) {
       // ----- constants -----
@@ -1880,6 +1969,18 @@ FunctionCompiler::emitWasmOp(const LInst& inst)
 
       // ----- memory management -----
       case Op::memory_size:
+        if (opts_.sharedMemory) {
+            // Synchronization point on shared memories: the glue
+            // refreshes ctx->memSize from the authoritative size word.
+            spillFloatMask(inst.aux);
+            as_.movRR64(rdi, kCtxReg);
+            as_.callImm(
+                reinterpret_cast<const void*>(&exec::lnbJitMemorySize));
+            reloadFloatMask(inst.aux);
+            storeGpr32(inst.a, rax);
+            noteOpaqueMemClobber();
+            return;
+        }
         as_.movRM64(rax, CTX_FIELD(memSize));
         as_.shiftImm64(5, rax, 16); // bytes -> 64 KiB pages
         storeGpr32(inst.a, rax);

@@ -57,6 +57,13 @@ struct JitOptions
      * call_indirect (compileFunction() requires a table).
      */
     exec::FuncCode* codeTable = nullptr;
+    /**
+     * The module executes against a shared linear memory: memory.size
+     * becomes a native call that refreshes the context's size mirror from
+     * the memory's authoritative atomic size word (a synchronization
+     * point, like the atomic ops, which always refresh via their glue).
+     */
+    bool sharedMemory = false;
 };
 
 /** The executable artifact for one module. Immutable and thread-shareable:

@@ -38,6 +38,11 @@ struct MemMetrics
     obs::Counter resetCalls = obs::registerCounter("mem.reset_calls");
     obs::Counter resetSyscalls = obs::registerCounter(
         "mem.reset_syscalls");
+    /** Shared-memory grow traffic (threads subsystem, DESIGN.md §12). */
+    obs::Counter sharedGrowCalls = obs::registerCounter(
+        "mem.shared_grow_calls");
+    obs::Counter sharedGrowContended = obs::registerCounter(
+        "mem.shared_grow_contended");
     obs::Histogram growLatency = obs::registerHistogram(
         "mem.grow_ns");
     obs::Histogram resetLatency = obs::registerHistogram(
@@ -128,13 +133,27 @@ LinearMemory::create(const wasm::Limits& limits, const MemoryConfig& config)
                         : wasm::kMaxPages;
     if (limits.min > mem->maxPages_)
         return errInvalid("memory minimum exceeds maximum");
+    if (config.shared && !limits.hasMax())
+        return errInvalid("shared memory requires a declared maximum");
     uint64_t initial_bytes = uint64_t(limits.min) * wasm::kPageSize;
+
+    // Shared memories use MAP_SHARED shmem mappings for the flat and guard
+    // backings: genuinely process-shared pages with the kernel's shmem VMA
+    // accounting, the configuration whose mprotect-on-grow contention the
+    // thread-scaling benchmark measures. The uffd backings stay on
+    // MAP_PRIVATE — userfaultfd MISSING registration on shmem needs an
+    // extra feature flag on older kernels, and private anonymous pages are
+    // already visible to every thread of the process, which is the only
+    // sharing the spawn API creates.
+    const int vis_flags =
+        config.shared ? MAP_SHARED | MAP_ANONYMOUS | MAP_NORESERVE
+                      : MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE;
 
     switch (config.strategy) {
       case BoundsStrategy::none: {
         // Entire addressable window read-write mapped; no checks anywhere.
         void* p = mmap(nullptr, kGuardReserveBytes, PROT_READ | PROT_WRITE,
-                       MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+                       vis_flags, -1, 0);
         if (p == MAP_FAILED)
             return errResource("mmap of flat reservation failed");
         mem->base_ = static_cast<uint8_t*>(p);
@@ -151,7 +170,7 @@ LinearMemory::create(const wasm::Limits& limits, const MemoryConfig& config)
         uint64_t max_bytes = uint64_t(mem->maxPages_) * wasm::kPageSize;
         uint64_t reserve = max_bytes + wasm::kPageSize;
         void* p = mmap(nullptr, reserve, PROT_READ | PROT_WRITE,
-                       MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+                       vis_flags, -1, 0);
         if (p == MAP_FAILED)
             return errResource("mmap of software-check memory failed");
         mem->base_ = static_cast<uint8_t*>(p);
@@ -163,7 +182,7 @@ LinearMemory::create(const wasm::Limits& limits, const MemoryConfig& config)
 
       case BoundsStrategy::mprotect: {
         void* p = mmap(nullptr, kGuardReserveBytes, PROT_NONE,
-                       MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+                       vis_flags, -1, 0);
         if (p == MAP_FAILED)
             return errResource("mmap of guard reservation failed");
         // From here the reservation belongs to `mem`: any later failure
@@ -262,7 +281,21 @@ LinearMemory::grow(uint32_t delta_pages)
 {
     obs::ScopedLatency latency(memMetrics().growLatency);
     memMetrics().growCalls.add();
-    std::lock_guard<std::mutex> lock(growMutex_);
+    // Concurrent growers on a shared memory serialize here; count how
+    // often a grower actually waited (the re-protect contention the
+    // thread-scaling benchmark reports as mem.shared_grow_contended).
+    std::unique_lock<std::mutex> lock(growMutex_, std::defer_lock);
+    if (config_.shared) {
+        sharedGrowCalls_.fetch_add(1, std::memory_order_relaxed);
+        memMetrics().sharedGrowCalls.add();
+        if (!lock.try_lock()) {
+            sharedGrowContended_.fetch_add(1, std::memory_order_relaxed);
+            memMetrics().sharedGrowContended.add();
+            lock.lock();
+        }
+    } else {
+        lock.lock();
+    }
     uint64_t old_bytes = sizeBytes_.load(std::memory_order_relaxed);
     uint64_t old_pages = old_bytes / wasm::kPageSize;
     uint64_t new_pages = old_pages + delta_pages;
@@ -288,6 +321,12 @@ LinearMemory::grow(uint32_t delta_pages)
     // uffd / none / software strategies: the bounds word is the only state
     // that changes — no syscall on the grow path.
 
+    // Publication order matters for shared memories: the pages are made
+    // accessible (mprotect above / fault-handler grants) BEFORE the bounds
+    // words advance, so an in-flight guard fault on another thread always
+    // classifies against a bounds value whose range is already mapped —
+    // it can spuriously trap on a racing unsynchronized access (allowed
+    // by the threads memory model) but never fault on a "valid" address.
     if (arena_ != nullptr)
         arena_->bounds.store(new_bytes, std::memory_order_release);
     sizeBytes_.store(new_bytes, std::memory_order_release);
@@ -300,6 +339,12 @@ Status
 LinearMemory::reset()
 {
     LNB_TRACE_SCOPE("mem.reset");
+    if (config_.shared) {
+        // MADV_DONTNEED does not zero MAP_SHARED shmem pages, and the
+        // reset contract (no thread executing against the memory) cannot
+        // be asserted for a memory whose whole point is concurrent use.
+        return errUnsupported("shared memories cannot be reset");
+    }
     obs::ScopedLatency latency(memMetrics().resetLatency);
     memMetrics().resetCalls.add();
     std::lock_guard<std::mutex> lock(growMutex_);

@@ -75,6 +75,16 @@ struct MemoryConfig
     /** Force the uffd emulation even if real userfaultfd is available
      * (makes tests deterministic across kernels). */
     bool forceUffdEmulation = false;
+    /**
+     * Shared linear memory (threads proposal): several instances on
+     * different threads execute against one memory. The flat and guard
+     * backings switch to MAP_SHARED shmem mappings, `grow` becomes safe
+     * against concurrent growers and in-flight accesses (guard/uffd
+     * re-protection completes before the bounds word is published), and
+     * `reset` is refused — MADV_DONTNEED does not zero shmem and pools
+     * never recycle shared memories. Requires limits with a maximum.
+     */
+    bool shared = false;
 };
 
 /** True if this kernel supports userfaultfd with SIGBUS delivery. */
@@ -109,6 +119,8 @@ class LinearMemory
     }
     uint32_t maxPages() const { return maxPages_; }
     BoundsStrategy strategy() const { return config_.strategy; }
+    /** True for shared (multi-thread) memories; see MemoryConfig::shared. */
+    bool shared() const { return config_.shared; }
 
     /** Kind actually in use (distinguishes real uffd from emulation). */
     ArenaKind arenaKind() const { return arenaKind_; }
@@ -158,6 +170,17 @@ class LinearMemory
     uint64_t faultsHandled() const;
     /** Faults converted into wasm traps. */
     uint64_t faultsTrapped() const;
+    /** grow() calls on this shared memory (0 for unshared). */
+    uint64_t sharedGrowCalls() const
+    {
+        return sharedGrowCalls_.load(std::memory_order_relaxed);
+    }
+    /** grow() calls that found the grow mutex held by another thread —
+     * the direct measure of grow/re-protect serialization contention. */
+    uint64_t sharedGrowContended() const
+    {
+        return sharedGrowContended_.load(std::memory_order_relaxed);
+    }
 
   private:
     LinearMemory() = default;
@@ -178,6 +201,8 @@ class LinearMemory
     int uffdFd_ = -1;
     std::mutex growMutex_;
     std::atomic<uint64_t> resizeSyscalls_{0};
+    std::atomic<uint64_t> sharedGrowCalls_{0};
+    std::atomic<uint64_t> sharedGrowContended_{0};
 };
 
 } // namespace lnb::mem

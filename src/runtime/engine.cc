@@ -92,6 +92,8 @@ Engine::compile(wasm::Module module) const
     config.countRetiredChecks =
         envInt("LNB_COUNT_CHECKS", config.countRetiredChecks ? 1 : 0, 0,
                1) != 0;
+    config.sharedMemory =
+        envInt("LNB_SHARED_MEM", config.sharedMemory ? 1 : 0, 0, 1) != 0;
     if (config.tiered &&
         (envFlag("LNB_TIER_DISABLED") || !jit::jitSupported())) {
         // Kill switch: the module stays in the base tier, not whatever
@@ -111,6 +113,29 @@ Engine::compile(wasm::Module module) const
                              wasm::lowerModule(std::move(module)));
     }
 
+    // A module that declares a shared memory (limits flag 0x03) is
+    // compiled shared regardless of the config/env resolution above.
+    for (const wasm::Limits& mem_limits : cm->lowered_.module.memories) {
+        if (mem_limits.shared)
+            config.sharedMemory = true;
+    }
+    // Loop versioning on a shared memory is only kept for grow-free
+    // modules: the versioned fast path elides checks against a size
+    // guard, and while growth is monotone, the conservative contract
+    // (ISSUE: versioner rejects shared-memory loops unless grow-free)
+    // keeps concurrent-grow reasoning out of the versioner entirely.
+    bool grow_free = true;
+    if (config.sharedMemory) {
+        for (const wasm::LoweredFunc& f : cm->lowered_.funcs) {
+            for (const wasm::LInst& inst : f.code) {
+                if (inst.isWasmOp() &&
+                    inst.wasmOp() == wasm::Op::memory_grow) {
+                    grow_free = false;
+                }
+            }
+        }
+    }
+
     if (config.optimizeLoweredIR && !optDisabledByEnv()) {
         // Strategy-aware transform selection: interpreters get
         // superinstruction fusion; the optimizing JIT under the trap
@@ -127,7 +152,8 @@ Engine::compile(wasm::Module module) const
         opt.analyzeChecks = top_is_opt_jit &&
                             config.strategy == mem::BoundsStrategy::trap;
         opt.hoistChecks = opt.analyzeChecks;
-        opt.versionLoops = opt.analyzeChecks && config.optVersioning;
+        opt.versionLoops =
+            opt.analyzeChecks && config.optVersioning && grow_free;
         opt.ipoSummaries = opt.analyzeChecks && config.optIpoSummaries;
         opt.ipoStats = opt.ipoSummaries && config.optIpoStats;
         if (opt.fuse || opt.analyzeChecks) {
@@ -159,6 +185,7 @@ Engine::compile(wasm::Module module) const
         options.optimize = config.kind == EngineKind::jit_opt;
         options.stackChecks = config.stackChecks;
         options.countChecks = config.countRetiredChecks;
+        options.sharedMemory = config.sharedMemory;
         if (!config.directJitCalls)
             options.codeTable = cm->funcCode_.get();
         ScopedTimer timer(cm->stats_.codegenSeconds);
@@ -190,6 +217,7 @@ Engine::compile(wasm::Module module) const
             options.optimize = true;
             options.stackChecks = config.stackChecks;
             options.countChecks = config.countRetiredChecks;
+            options.sharedMemory = config.sharedMemory;
             options.codeTable = cm->funcCode_.get();
             cm->tierController_ = std::make_unique<TierController>(
                 &cm->lowered_, cm->funcCode_.get(), options,

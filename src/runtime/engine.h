@@ -124,6 +124,17 @@ struct EngineConfig
      * with tiered.
      */
     bool directJitCalls = false;
+    /**
+     * Compile for a shared (multi-thread) linear memory even when the
+     * module's memory section does not carry the shared flag: instances
+     * get a process-shared mapping with an atomic size word, the JIT
+     * lowers memory.size as a synchronizing native call, and loop
+     * versioning is disabled unless the module is grow-free (another
+     * thread's memory.grow must not invalidate a versioned fast path).
+     * Forced on automatically when the module declares a shared memory.
+     * LNB_SHARED_MEM=0/1 overrides (strict parse).
+     */
+    bool sharedMemory = false;
 };
 
 /** Wall-clock cost of each compilation stage (micro_pipeline bench). */

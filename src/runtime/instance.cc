@@ -84,18 +84,21 @@ ImportMap::find(const std::string& module, const std::string& name) const
 
 Result<std::unique_ptr<Instance>>
 Instance::create(std::shared_ptr<const CompiledModule> module,
-                 ImportMap imports)
+                 ImportMap imports,
+                 std::shared_ptr<mem::LinearMemory> shared_memory)
 {
     auto inst = std::unique_ptr<Instance>(new Instance());
     inst->module_ = std::move(module);
-    LNB_RETURN_IF_ERROR(inst->initialize(std::move(imports)));
+    LNB_RETURN_IF_ERROR(
+        inst->initialize(std::move(imports), std::move(shared_memory)));
     return inst;
 }
 
 Instance::~Instance() = default;
 
 Status
-Instance::initialize(ImportMap imports)
+Instance::initialize(ImportMap imports,
+                     std::shared_ptr<mem::LinearMemory> shared_memory)
 {
     LNB_TRACE_SCOPE("rt.instantiate");
     rtMetrics().instancesCreated.add();
@@ -107,15 +110,31 @@ Instance::initialize(ImportMap imports)
 
     // ----- linear memory -----
     if (!m.memories.empty()) {
-        mem::MemoryConfig mc;
-        mc.strategy = config.strategy;
-        mc.forceUffdEmulation = config.forceUffdEmulation;
-        LNB_ASSIGN_OR_RETURN(memory_,
-                             mem::LinearMemory::create(m.memories[0], mc));
+        if (shared_memory != nullptr) {
+            // Sibling-agent path: adopt an existing shared memory.
+            if (!shared_memory->shared())
+                return errInvalid("instance memory must be shared");
+            if (shared_memory->strategy() != config.strategy) {
+                return errInvalid(
+                    "shared memory bounds strategy mismatch");
+            }
+            memory_ = std::move(shared_memory);
+            externalMemory_ = true;
+        } else {
+            mem::MemoryConfig mc;
+            mc.strategy = config.strategy;
+            mc.forceUffdEmulation = config.forceUffdEmulation;
+            mc.shared = config.sharedMemory || m.memories[0].shared;
+            LNB_ASSIGN_OR_RETURN(
+                memory_, mem::LinearMemory::create(m.memories[0], mc));
+        }
         ctx_.memBase = memory_->base();
         ctx_.memSize = memory_->sizeBytes();
         ctx_.clampOffset = memory_->clampOffset();
         ctx_.memory = memory_.get();
+        ctx_.sharedMem = memory_->shared();
+    } else if (shared_memory != nullptr) {
+        return errInvalid("module has no memory to run against");
     }
 
     // ----- globals (storage; values set in initMutableState) -----
@@ -200,12 +219,17 @@ Instance::initMutableState()
     }
 
     // ----- data segments -----
-    for (const wasm::DataSegment& seg : m.datas) {
-        if (memory_ == nullptr)
-            return errValidation("data segment without memory");
-        LNB_RETURN_IF_ERROR(memory_->initData(seg.offset.constValue().i32,
-                                              seg.bytes.data(),
-                                              seg.bytes.size()));
+    // Skipped for an adopted shared memory: the creating instance
+    // applied them, and re-applying would clobber bytes sibling threads
+    // may already be mutating concurrently.
+    if (!externalMemory_) {
+        for (const wasm::DataSegment& seg : m.datas) {
+            if (memory_ == nullptr)
+                return errValidation("data segment without memory");
+            LNB_RETURN_IF_ERROR(memory_->initData(
+                seg.offset.constValue().i32, seg.bytes.data(),
+                seg.bytes.size()));
+        }
     }
 
     // ----- execution state -----
@@ -236,6 +260,11 @@ Instance::recycle()
 {
     LNB_TRACE_SCOPE("rt.recycle");
     rtMetrics().instancesRecycled.add();
+    if (memory_ != nullptr && memory_->shared()) {
+        // reset() would refuse anyway (MADV_DONTNEED does not zero a
+        // shared mapping); refuse up front with the real reason.
+        return errUnsupported("shared-memory instances cannot be recycled");
+    }
     if (memory_ != nullptr) {
         LNB_RETURN_IF_ERROR(memory_->reset());
         // memBase is stable across reset (same reservation); only the

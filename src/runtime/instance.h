@@ -69,10 +69,19 @@ class Instance
     /**
      * Instantiate @p module: allocate memory/table/globals, bind imports,
      * apply element and data segments, and run the start function.
+     *
+     * When @p shared_memory is non-null the instance executes against
+     * that existing (shared) memory instead of allocating its own — the
+     * wasm-threads sibling-agent path (runtime/threads.h): globals and
+     * tables are still per-instance, but data segments are NOT re-applied
+     * (the memory's creating instance did; re-applying would clobber
+     * state siblings may already be mutating). The memory must be shared
+     * and use the engine's bounds strategy.
      */
     static Result<std::unique_ptr<Instance>>
     create(std::shared_ptr<const CompiledModule> module,
-           ImportMap imports = {});
+           ImportMap imports = {},
+           std::shared_ptr<mem::LinearMemory> shared_memory = nullptr);
 
     ~Instance();
     Instance(const Instance&) = delete;
@@ -104,8 +113,19 @@ class Instance
     Result<uint32_t> exportedFunc(const std::string& name) const;
 
     const CompiledModule& module() const { return *module_; }
+    /** Co-owning handle to the module, for instantiating siblings. */
+    std::shared_ptr<const CompiledModule> moduleShared() const
+    {
+        return module_;
+    }
     exec::InstanceContext& context() { return ctx_; }
     mem::LinearMemory* memory() { return memory_.get(); }
+    /** Co-owning handle to the linear memory, for sharing with sibling
+     * instances (see the shared_memory parameter of create()). */
+    std::shared_ptr<mem::LinearMemory> memoryShared() const
+    {
+        return memory_;
+    }
 
     /** Runtime blocking events (paper Fig. 5 substitute). */
     uint64_t blockingEvents() const { return ctx_.blockingEvents; }
@@ -119,13 +139,17 @@ class Instance
 
   private:
     Instance() = default;
-    Status initialize(ImportMap imports);
+    Status initialize(ImportMap imports,
+                      std::shared_ptr<mem::LinearMemory> shared_memory);
     /** Shared by initialize()/recycle(): globals, element and data
      * segments, value-stack reset, start function. */
     Status initMutableState();
 
     std::shared_ptr<const CompiledModule> module_;
-    std::unique_ptr<mem::LinearMemory> memory_;
+    std::shared_ptr<mem::LinearMemory> memory_;
+    /** Memory was adopted from a sibling (create() shared_memory path):
+     * data segments are skipped and recycling is refused. */
+    bool externalMemory_ = false;
     std::vector<wasm::Value> globals_;
     std::vector<exec::TableEntry> table_;
     std::vector<exec::HostFuncBinding> hostBindings_;

@@ -1,0 +1,77 @@
+#include "runtime/threads.h"
+
+#include <thread>
+
+#include "obs/metrics.h"
+#include "support/env.h"
+
+namespace lnb::rt {
+
+namespace {
+
+struct ThreadMetrics
+{
+    obs::Counter spawns = obs::registerCounter("threads.spawns");
+    obs::Counter threadsRun = obs::registerCounter("threads.threads_run");
+};
+
+ThreadMetrics&
+threadMetrics()
+{
+    static ThreadMetrics m;
+    return m;
+}
+
+} // namespace
+
+uint32_t
+defaultThreadCount()
+{
+    return uint32_t(envInt("LNB_THREADS", 4, 1, 256));
+}
+
+Result<std::vector<CallOutcome>>
+spawnThreads(Instance& primary, const std::string& export_name,
+             uint32_t num_threads, const SpawnArgsFn& make_args,
+             ImportMap imports)
+{
+    if (num_threads == 0)
+        return errInvalid("spawnThreads needs at least one thread");
+    std::shared_ptr<mem::LinearMemory> memory = primary.memoryShared();
+    if (memory == nullptr || !memory->shared())
+        return errInvalid("spawnThreads requires a shared linear memory");
+    LNB_ASSIGN_OR_RETURN(uint32_t func_idx,
+                         primary.exportedFunc(export_name));
+
+    // Create every sibling before starting any thread: instantiation can
+    // fail (imports, limits), and failing fast beats tearing down a
+    // half-started fork. Sibling creation skips data segments but does
+    // run element segments and the start function on this thread.
+    std::vector<std::unique_ptr<Instance>> siblings;
+    siblings.reserve(num_threads);
+    for (uint32_t i = 0; i < num_threads; i++) {
+        LNB_ASSIGN_OR_RETURN(
+            auto sibling,
+            Instance::create(primary.moduleShared(), imports, memory));
+        siblings.push_back(std::move(sibling));
+    }
+
+    threadMetrics().spawns.add();
+    threadMetrics().threadsRun.add(num_threads);
+
+    std::vector<CallOutcome> outcomes(num_threads);
+    std::vector<std::thread> threads;
+    threads.reserve(num_threads);
+    for (uint32_t i = 0; i < num_threads; i++) {
+        threads.emplace_back([&, i] {
+            std::vector<wasm::Value> args =
+                make_args ? make_args(i) : std::vector<wasm::Value>{};
+            outcomes[i] = siblings[i]->call(func_idx, args);
+        });
+    }
+    for (std::thread& t : threads)
+        t.join();
+    return outcomes;
+}
+
+} // namespace lnb::rt

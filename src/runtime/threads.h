@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The wasm-threads host API: run one module on N OS threads against one
+ * shared linear memory.
+ *
+ * The unit of spawning is the *sibling instance* (the spec's "agent"):
+ * each thread gets its own Instance — private globals, table, value
+ * stack, call depth — created against the primary instance's shared
+ * LinearMemory. This mirrors how web engines instantiate a module per
+ * worker with an imported SharedArrayBuffer memory: only the memory (and
+ * the module's immutable code) is shared; everything mutable-per-agent is
+ * not.
+ *
+ * Data segments are applied exactly once, by the primary instance;
+ * siblings skip them (Instance::create's shared_memory path), so spawning
+ * never clobbers bytes a running thread already owns.
+ *
+ * Coordination between the threads happens inside wasm via the atomic
+ * opcode subset and memory.atomic.wait/notify (runtime/waitlist.h); the
+ * host-side API is deliberately fork/join only.
+ */
+#ifndef LNB_RUNTIME_THREADS_H
+#define LNB_RUNTIME_THREADS_H
+
+#include <functional>
+#include <vector>
+
+#include "runtime/instance.h"
+
+namespace lnb::rt {
+
+/** Per-thread argument builder: thread index -> call arguments. */
+using SpawnArgsFn = std::function<std::vector<wasm::Value>(uint32_t)>;
+
+/**
+ * Default spawn width: LNB_THREADS (strict parse, 1..256), falling back
+ * to 4. Read per call so tests can vary it.
+ */
+uint32_t defaultThreadCount();
+
+/**
+ * Run @p export_name on @p num_threads freshly created sibling instances
+ * of @p primary's module, all sharing @p primary's linear memory, one OS
+ * thread per sibling. Thread i calls with make_args(i) (no arguments if
+ * @p make_args is null). Joins every thread before returning; outcome i
+ * is thread i's CallOutcome (a trap on one thread does not cancel the
+ * others — they run to completion).
+ *
+ * Requirements: the primary was instantiated with a shared memory
+ * (EngineConfig::sharedMemory, LNB_SHARED_MEM=1, or a module-declared
+ * shared memory) and the export exists. @p imports is re-bound per
+ * sibling, so host functions must be thread-safe if stateful.
+ */
+Result<std::vector<CallOutcome>>
+spawnThreads(Instance& primary, const std::string& export_name,
+             uint32_t num_threads, const SpawnArgsFn& make_args = nullptr,
+             ImportMap imports = {});
+
+} // namespace lnb::rt
+
+#endif // LNB_RUNTIME_THREADS_H

@@ -1,0 +1,191 @@
+#include "runtime/waitlist.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include "support/env.h"
+
+namespace lnb::rt {
+
+namespace {
+
+/** One parked thread. Stack-allocated by waitListWait and linked into its
+ * bucket's intrusive list; `woken` is written under the bucket mutex. */
+struct Waiter
+{
+    const void* addr = nullptr;
+    bool woken = false;
+    std::condition_variable cv;
+    Waiter* prev = nullptr;
+    Waiter* next = nullptr;
+};
+
+struct Bucket
+{
+    std::mutex mu;
+    /** Intrusive doubly-linked list, FIFO: enqueue at tail, notify from
+     * head so the longest-parked waiter wakes first. */
+    Waiter* head = nullptr;
+    Waiter* tail = nullptr;
+
+    void enqueue(Waiter* w)
+    {
+        w->prev = tail;
+        w->next = nullptr;
+        if (tail != nullptr)
+            tail->next = w;
+        else
+            head = w;
+        tail = w;
+    }
+
+    void remove(Waiter* w)
+    {
+        if (w->prev != nullptr)
+            w->prev->next = w->next;
+        else
+            head = w->next;
+        if (w->next != nullptr)
+            w->next->prev = w->prev;
+        else
+            tail = w->prev;
+        w->prev = w->next = nullptr;
+    }
+};
+
+struct Totals
+{
+    std::atomic<uint64_t> waits{0};
+    std::atomic<uint64_t> wakes{0};
+    std::atomic<uint64_t> timeouts{0};
+    std::atomic<uint64_t> mismatches{0};
+    std::atomic<uint64_t> notifies{0};
+};
+
+struct WaitList
+{
+    uint32_t numBuckets;
+    std::vector<Bucket> buckets;
+    Totals totals;
+
+    WaitList()
+        : numBuckets(uint32_t(envInt("LNB_WAIT_BUCKETS", 64, 1, 1 << 16))),
+          buckets(numBuckets)
+    {}
+
+    Bucket& bucketFor(const void* addr)
+    {
+        // Fibonacci hash over the address, shifted past the alignment
+        // zeros (waits are 4/8-byte aligned).
+        uint64_t h = (uint64_t(uintptr_t(addr)) >> 2) *
+                     0x9E3779B97F4A7C15ull;
+        return buckets[uint32_t(h >> 32) % numBuckets];
+    }
+};
+
+WaitList&
+waitList()
+{
+    // Leaked singleton: waiters may still be parked at exit.
+    static WaitList* wl = new WaitList();
+    return *wl;
+}
+
+} // namespace
+
+WaitResult
+waitListWait(const void* addr, uint64_t expected, bool is64,
+             int64_t timeout_ns)
+{
+    WaitList& wl = waitList();
+    Bucket& b = wl.bucketFor(addr);
+    std::unique_lock<std::mutex> lock(b.mu);
+
+    // The expected-value load happens under the bucket lock: a notifying
+    // store followed by waitListNotify cannot slip between this load and
+    // the enqueue, because the notify blocks on the same mutex.
+    uint64_t current;
+    if (is64) {
+        current = __atomic_load_n(
+            static_cast<const uint64_t*>(addr), __ATOMIC_SEQ_CST);
+    } else {
+        current = __atomic_load_n(
+            static_cast<const uint32_t*>(addr), __ATOMIC_SEQ_CST);
+    }
+    if (current != expected) {
+        wl.totals.mismatches.fetch_add(1, std::memory_order_relaxed);
+        return WaitResult::not_equal;
+    }
+
+    Waiter self;
+    self.addr = addr;
+    b.enqueue(&self);
+    wl.totals.waits.fetch_add(1, std::memory_order_relaxed);
+
+    if (timeout_ns < 0) {
+        self.cv.wait(lock, [&] { return self.woken; });
+        return WaitResult::ok;
+    }
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::nanoseconds(timeout_ns);
+    bool woken = self.cv.wait_until(lock, deadline,
+                                    [&] { return self.woken; });
+    if (woken)
+        return WaitResult::ok;
+    // Timed out while still enqueued; unlink under the lock we hold.
+    b.remove(&self);
+    wl.totals.timeouts.fetch_add(1, std::memory_order_relaxed);
+    return WaitResult::timed_out;
+}
+
+uint32_t
+waitListNotify(const void* addr, uint32_t count)
+{
+    WaitList& wl = waitList();
+    wl.totals.notifies.fetch_add(1, std::memory_order_relaxed);
+    if (count == 0)
+        return 0;
+    Bucket& b = wl.bucketFor(addr);
+    std::lock_guard<std::mutex> lock(b.mu);
+    uint32_t woken = 0;
+    Waiter* w = b.head;
+    while (w != nullptr && woken < count) {
+        Waiter* next = w->next;
+        if (w->addr == addr) {
+            b.remove(w);
+            w->woken = true;
+            // The waiter's stack frame stays alive until it reacquires
+            // the bucket mutex we hold, so signaling after remove() is
+            // safe.
+            w->cv.notify_one();
+            woken++;
+        }
+        w = next;
+    }
+    wl.totals.wakes.fetch_add(woken, std::memory_order_relaxed);
+    return woken;
+}
+
+WaitListStats
+waitListStats()
+{
+    const Totals& t = waitList().totals;
+    WaitListStats out;
+    out.waits = t.waits.load(std::memory_order_relaxed);
+    out.wakes = t.wakes.load(std::memory_order_relaxed);
+    out.timeouts = t.timeouts.load(std::memory_order_relaxed);
+    out.mismatches = t.mismatches.load(std::memory_order_relaxed);
+    out.notifies = t.notifies.load(std::memory_order_relaxed);
+    return out;
+}
+
+uint32_t
+waitListBuckets()
+{
+    return waitList().numBuckets;
+}
+
+} // namespace lnb::rt

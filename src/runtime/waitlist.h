@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The process-wide waiter list behind `memory.atomic.wait32/64` and
+ * `memory.atomic.notify` — a user-space futex keyed by absolute host
+ * address, in the style of toywasm's waiter-list module: a fixed array of
+ * address-hashed buckets, each a mutex plus an intrusive list of parked
+ * waiters, with a per-waiter condition variable so notify can wake
+ * exactly the requested count.
+ *
+ * The expected-value comparison happens under the bucket lock with a
+ * seq_cst atomic load, and notifiers take the same lock before scanning,
+ * so there is no lost-wakeup window: any store that should wake a waiter
+ * either happens before the waiter's load (wait returns "not-equal") or
+ * the matching notify blocks on the bucket mutex until the waiter is
+ * enqueued.
+ *
+ * Keyed by host address rather than (memory, offset): one shared memory
+ * mapped at one base per process makes the two equivalent, and the hash
+ * stays a single multiply. The bucket count comes from the strict
+ * LNB_WAIT_BUCKETS env knob, read once at first use.
+ */
+#ifndef LNB_RUNTIME_WAITLIST_H
+#define LNB_RUNTIME_WAITLIST_H
+
+#include <cstdint>
+
+namespace lnb::rt {
+
+/** Outcomes of a wait, per the wasm threads spec `memory.atomic.wait*`. */
+enum class WaitResult : uint32_t {
+    ok = 0,        ///< woken by a notify
+    not_equal = 1, ///< *addr != expected at enqueue time
+    timed_out = 2, ///< the relative timeout expired
+};
+
+/**
+ * Park the calling thread on @p addr until a notify or the timeout.
+ * Atomically (w.r.t. notifiers) loads 32 or 64 bits at @p addr seq_cst
+ * and returns not_equal without blocking if the value differs from
+ * @p expected. @p timeout_ns < 0 waits forever. The caller must have
+ * bounds- and alignment-checked @p addr already.
+ */
+WaitResult waitListWait(const void* addr, uint64_t expected, bool is64,
+                        int64_t timeout_ns);
+
+/** Wake up to @p count waiters parked on @p addr; returns how many. */
+uint32_t waitListNotify(const void* addr, uint32_t count);
+
+/** Monotonic process-wide totals (threads.* report counters). */
+struct WaitListStats
+{
+    uint64_t waits = 0;      ///< calls that enqueued a waiter
+    uint64_t wakes = 0;      ///< waiters woken by a notify
+    uint64_t timeouts = 0;   ///< waits that expired
+    uint64_t mismatches = 0; ///< waits returning not_equal immediately
+    uint64_t notifies = 0;   ///< notify calls
+};
+
+WaitListStats waitListStats();
+
+/** Effective bucket count (LNB_WAIT_BUCKETS; default 64). */
+uint32_t waitListBuckets();
+
+} // namespace lnb::rt
+
+#endif // LNB_RUNTIME_WAITLIST_H

@@ -55,7 +55,11 @@ engineConfigFingerprint(const rt::EngineConfig& config)
                       // artifacts must not be shared across settings.
                       (uint64_t(config.optVersioning) << 21) |
                       (uint64_t(config.optIpoSummaries) << 22) |
-                      (uint64_t(config.countRetiredChecks) << 23);
+                      (uint64_t(config.countRetiredChecks) << 23) |
+                      // Shared memory changes codegen (synchronizing
+                      // memory.size, versioning gate) and instance
+                      // memory flavor.
+                      (uint64_t(config.sharedMemory) << 24);
     uint64_t hash = fnv1a64(&packed, sizeof packed);
     hash = fnv1a64(&config.valueStackCells, sizeof config.valueStackCells,
                    hash);

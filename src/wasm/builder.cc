@@ -129,10 +129,13 @@ ModuleBuilder::addFunction(uint32_t type_idx)
 }
 
 void
-ModuleBuilder::addMemory(uint32_t min_pages, uint32_t max_pages)
+ModuleBuilder::addMemory(uint32_t min_pages, uint32_t max_pages,
+                         bool shared)
 {
     assert(module_.memories.empty() && "at most one memory");
-    module_.memories.push_back(Limits{min_pages, max_pages});
+    Limits limits{min_pages, max_pages};
+    limits.shared = shared;
+    module_.memories.push_back(limits);
 }
 
 void

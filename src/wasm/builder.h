@@ -160,8 +160,10 @@ class ModuleBuilder
      */
     FunctionBuilder& addFunction(uint32_t type_idx);
 
-    /** Declare the module's linear memory (at most one). */
-    void addMemory(uint32_t min_pages, uint32_t max_pages = UINT32_MAX);
+    /** Declare the module's linear memory (at most one). A shared memory
+     * (threads proposal, limits flag 0x03) must declare a maximum. */
+    void addMemory(uint32_t min_pages, uint32_t max_pages = UINT32_MAX,
+                   bool shared = false);
 
     /** Declare a funcref table (at most one). */
     void addTable(uint32_t min_elems, uint32_t max_elems = UINT32_MAX);

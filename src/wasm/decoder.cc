@@ -57,10 +57,13 @@ Decoder::readLimits()
 {
     LNB_ASSIGN_OR_RETURN(uint8_t flags, r_.readByte());
     Limits limits;
-    if (flags > 1)
+    // 0x00 = min only, 0x01 = min+max, 0x03 = shared min+max (threads
+    // proposal; shared memories must declare a maximum).
+    if (flags != 0 && flags != 1 && flags != 3)
         return errMalformed("invalid limits flags");
+    limits.shared = flags == 3;
     LNB_ASSIGN_OR_RETURN(limits.min, r_.readVarU32());
-    if (flags == 1) {
+    if (flags != 0) {
         LNB_ASSIGN_OR_RETURN(limits.max, r_.readVarU32());
         if (limits.max < limits.min)
             return errMalformed("limits maximum below minimum");
@@ -120,11 +123,11 @@ Decoder::readInstr(FuncBody& body)
 {
     LNB_ASSIGN_OR_RETURN(uint8_t first, r_.readByte());
     uint32_t encoding = first;
-    if (first == 0xFC) {
+    if (first == 0xFC || first == 0xFE) {
         LNB_ASSIGN_OR_RETURN(uint32_t sub, r_.readVarU32());
         if (sub > 0xFF)
-            return errMalformed("0xFC sub-opcode out of range");
-        encoding = 0xFC00 | sub;
+            return errMalformed("prefixed sub-opcode out of range");
+        encoding = uint32_t(first) << 8 | sub;
     }
     Op op;
     if (!opFromEncoding(encoding, op))

@@ -35,7 +35,11 @@ writeName(ByteWriter& w, const std::string& s)
 void
 writeLimits(ByteWriter& w, const Limits& limits)
 {
-    if (limits.hasMax()) {
+    if (limits.shared) {
+        w.writeByte(0x03); // threads proposal: shared, max required
+        w.writeVarU32(limits.min);
+        w.writeVarU32(limits.max);
+    } else if (limits.hasMax()) {
         w.writeByte(0x01);
         w.writeVarU32(limits.min);
         w.writeVarU32(limits.max);
@@ -70,8 +74,8 @@ encodeInstr(ByteWriter& w, const Instr& instr,
 {
     const OpInfo& info = opInfo(instr.op);
     if (info.encoding > 0xFF) {
-        assert((info.encoding >> 8) == 0xFC);
-        w.writeByte(0xFC);
+        assert((info.encoding >> 8) == 0xFC || (info.encoding >> 8) == 0xFE);
+        w.writeByte(uint8_t(info.encoding >> 8));
         w.writeVarU32(info.encoding & 0xFF);
     } else {
         w.writeByte(uint8_t(info.encoding));

@@ -243,7 +243,8 @@ FuncLowerer::lowerSigOp(const Instr& instr, const char* sig)
     // Ops the JIT turns into native calls carry the caller's float-slot
     // live mask.
     if (instr.op == Op::memory_grow || instr.op == Op::memory_copy ||
-        instr.op == Op::memory_fill) {
+        instr.op == Op::memory_fill || instr.op == Op::memory_size ||
+        isAtomicOp(instr.op)) {
         inst.aux = floatLiveMask(pops);
     }
 

@@ -60,6 +60,12 @@ isStoreOp(Op op)
     return op >= Op::i32_store && op <= Op::i64_store32;
 }
 
+bool
+isAtomicOp(Op op)
+{
+    return op >= Op::memory_atomic_notify && op <= Op::i64_atomic_rmw_cmpxchg;
+}
+
 unsigned
 memAccessSize(Op op)
 {
@@ -86,10 +92,32 @@ memAccessSize(Op op)
       case Op::f32_store:
       case Op::i64_store32:
         return 4;
+      case Op::memory_atomic_notify:
+      case Op::memory_atomic_wait32:
+      case Op::i32_atomic_load:
+      case Op::i32_atomic_store:
+      case Op::i32_atomic_rmw_add:
+      case Op::i32_atomic_rmw_sub:
+      case Op::i32_atomic_rmw_and:
+      case Op::i32_atomic_rmw_or:
+      case Op::i32_atomic_rmw_xor:
+      case Op::i32_atomic_rmw_xchg:
+      case Op::i32_atomic_rmw_cmpxchg:
+        return 4;
       case Op::i64_load:
       case Op::f64_load:
       case Op::i64_store:
       case Op::f64_store:
+      case Op::memory_atomic_wait64:
+      case Op::i64_atomic_load:
+      case Op::i64_atomic_store:
+      case Op::i64_atomic_rmw_add:
+      case Op::i64_atomic_rmw_sub:
+      case Op::i64_atomic_rmw_and:
+      case Op::i64_atomic_rmw_or:
+      case Op::i64_atomic_rmw_xor:
+      case Op::i64_atomic_rmw_xchg:
+      case Op::i64_atomic_rmw_cmpxchg:
         return 8;
       default:
         assert(false && "not a memory access op");

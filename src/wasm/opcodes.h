@@ -252,7 +252,33 @@ enum class ImmKind : uint8_t {
     V(i64_trunc_sat_f64_u,"i64.trunc_sat_f64_u", 0xFC07, none,        "F:I")  \
     /* ----- bulk memory (0xFC prefix) ----- */                               \
     V(memory_copy,        "memory.copy",         0xFC0A, mem_copy,    "iii:") \
-    V(memory_fill,        "memory.fill",         0xFC0B, mem_idx,     "iii:")
+    V(memory_fill,        "memory.fill",         0xFC0B, mem_idx,     "iii:") \
+    /* ----- threads: wait/notify (0xFE prefix) ----- */                      \
+    V(memory_atomic_notify, "memory.atomic.notify", 0xFE00, mem_arg,  "ii:i") \
+    V(memory_atomic_wait32, "memory.atomic.wait32", 0xFE01, mem_arg, "iiI:i") \
+    V(memory_atomic_wait64, "memory.atomic.wait64", 0xFE02, mem_arg, "iII:i") \
+    /* ----- threads: atomic loads/stores (0xFE prefix) ----- */              \
+    V(i32_atomic_load,    "i32.atomic.load",     0xFE10, mem_arg,     "i:i")  \
+    V(i64_atomic_load,    "i64.atomic.load",     0xFE11, mem_arg,     "i:I")  \
+    V(i32_atomic_store,   "i32.atomic.store",    0xFE17, mem_arg,     "ii:")  \
+    V(i64_atomic_store,   "i64.atomic.store",    0xFE18, mem_arg,     "iI:")  \
+    /* ----- threads: atomic read-modify-write (0xFE prefix) ----- */         \
+    V(i32_atomic_rmw_add, "i32.atomic.rmw.add",  0xFE1E, mem_arg,     "ii:i") \
+    V(i64_atomic_rmw_add, "i64.atomic.rmw.add",  0xFE1F, mem_arg,     "iI:I") \
+    V(i32_atomic_rmw_sub, "i32.atomic.rmw.sub",  0xFE25, mem_arg,     "ii:i") \
+    V(i64_atomic_rmw_sub, "i64.atomic.rmw.sub",  0xFE26, mem_arg,     "iI:I") \
+    V(i32_atomic_rmw_and, "i32.atomic.rmw.and",  0xFE2C, mem_arg,     "ii:i") \
+    V(i64_atomic_rmw_and, "i64.atomic.rmw.and",  0xFE2D, mem_arg,     "iI:I") \
+    V(i32_atomic_rmw_or,  "i32.atomic.rmw.or",   0xFE33, mem_arg,     "ii:i") \
+    V(i64_atomic_rmw_or,  "i64.atomic.rmw.or",   0xFE34, mem_arg,     "iI:I") \
+    V(i32_atomic_rmw_xor, "i32.atomic.rmw.xor",  0xFE3A, mem_arg,     "ii:i") \
+    V(i64_atomic_rmw_xor, "i64.atomic.rmw.xor",  0xFE3B, mem_arg,     "iI:I") \
+    V(i32_atomic_rmw_xchg,"i32.atomic.rmw.xchg", 0xFE41, mem_arg,     "ii:i") \
+    V(i64_atomic_rmw_xchg,"i64.atomic.rmw.xchg", 0xFE42, mem_arg,     "iI:I") \
+    V(i32_atomic_rmw_cmpxchg, "i32.atomic.rmw.cmpxchg", 0xFE48, mem_arg,      \
+      "iii:i")                                                                \
+    V(i64_atomic_rmw_cmpxchg, "i64.atomic.rmw.cmpxchg", 0xFE49, mem_arg,      \
+      "iII:I")
 // clang-format on
 
 /** Dense instruction enumeration (not the binary encoding). */
@@ -291,9 +317,16 @@ bool opFromEncoding(uint32_t encoding, Op& out);
 bool isLoadOp(Op op);
 /** True for the memory store instructions (0x36..0x3E). */
 bool isStoreOp(Op op);
-/** Byte width accessed by a load/store instruction (1, 2, 4 or 8). */
+/** True for every 0xFE-prefixed threads instruction: atomic
+ * loads/stores/rmw plus memory.atomic.{notify,wait32,wait64}. All are
+ * sequentially-consistent synchronization points that may observe a
+ * concurrent memory.grow, so the opt pass treats them as barriers. */
+bool isAtomicOp(Op op);
+/** Byte width accessed by a load/store/atomic instruction (1, 2, 4, 8). */
 unsigned memAccessSize(Op op);
-/** Natural alignment exponent for a load/store (log2 of access size). */
+/** Natural alignment exponent for a memory access (log2 of access size).
+ * Atomic instructions require exactly this alignment; plain accesses may
+ * declare anything up to it. */
 unsigned memNaturalAlignExp(Op op);
 
 } // namespace lnb::wasm

@@ -479,6 +479,8 @@ isHoistSafePrefix(const LInst& inst)
     if (!inst.isWasmOp())
         return inst.lop() == LOp::copy || inst.lop() == LOp::check_bounds;
     Op op = inst.wasmOp();
+    if (isAtomicOp(op))
+        return false; // synchronization points: writes, waits, wakes
     if (isStoreOp(op))
         return false;
     if (isLoadOp(op))
@@ -902,6 +904,8 @@ planLoopVersion(const LoweredFunc& func, const Cfg& cfg, const Loop& loop,
         Op op = inst.wasmOp();
         if (op == Op::memory_grow)
             return false; // memSize may change mid-loop
+        if (isAtomicOp(op))
+            return false; // may observe a concurrent grow (shared memory)
         if (isLoadOp(op) || isStoreOp(op)) {
             accesses.push_back(
                 {pc, exprOf(inst.a), inst.imm + memAccessSize(op)});
@@ -1273,6 +1277,17 @@ markVnElidableChecks(const LoweredFunc& func, const Cfg& cfg,
                     cellVn[inst.a] = next++; // loaded value: fresh
                 continue;
             }
+            if (isAtomicOp(op)) {
+                // Synchronization point: on shared memories a concurrent
+                // grow becomes observable here, so no check availability
+                // crosses it. Results are never value-numbered — two
+                // identical rmw ops legitimately return different values.
+                avail.clear();
+                uint32_t written;
+                if (writesCell(inst, written))
+                    cellVn[written] = next++;
+                continue;
+            }
             switch (op) {
               case Op::i32_const:
               case Op::i64_const:
@@ -1439,6 +1454,14 @@ applyTransfer(const LoweredFunc& func, const Block& block,
             }
             if (isLoadOp(op))
                 facts.erase(inst.a); // the load overwrites its cell
+            continue;
+        }
+        if (isAtomicOp(op)) {
+            // Synchronization point: a grow performed by another thread
+            // becomes observable here, so no cached check (including the
+            // const pseudo-fact, whose limit was proven against a size
+            // this thread read) may be carried across it.
+            facts.clear();
             continue;
         }
         if (op == Op::memory_grow) {
@@ -1814,7 +1837,7 @@ isFusableBinop(const LInst& inst)
     if (!inst.isWasmOp())
         return false;
     Op op = inst.wasmOp();
-    if (isLoadOp(op) || isStoreOp(op))
+    if (isLoadOp(op) || isStoreOp(op) || isAtomicOp(op))
         return false; // their imm (offset) is live; cannot be repurposed
     if (opInfo(op).sig[0] == '*')
         return false;

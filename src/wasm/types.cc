@@ -76,6 +76,9 @@ trapKindName(TrapKind kind)
       case TrapKind::stack_overflow: return "call stack exhausted";
       case TrapKind::memory_growth_failed: return "memory growth failed";
       case TrapKind::host_error: return "host error";
+      case TrapKind::unaligned_atomic: return "unaligned atomic";
+      case TrapKind::atomic_wait_unshared:
+        return "expected shared memory";
     }
     return "?";
 }

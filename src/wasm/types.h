@@ -116,6 +116,9 @@ struct Limits
     uint32_t min = 0;
     /** UINT32_MAX encodes "no declared maximum". */
     uint32_t max = UINT32_MAX;
+    /** Threads proposal: the memory may be accessed by several agents at
+     * once. Shared limits must declare a maximum (binary flags 0x03). */
+    bool shared = false;
 
     bool hasMax() const { return max != UINT32_MAX; }
     bool operator==(const Limits&) const = default;
@@ -145,6 +148,8 @@ enum class TrapKind : uint8_t {
     memory_growth_failed,  ///< not a trap per spec (grow returns -1); used
                            ///< internally when a backend cannot grow
     host_error,
+    unaligned_atomic,      ///< atomic access not naturally aligned
+    atomic_wait_unshared,  ///< memory.atomic.wait* on a non-shared memory
 };
 
 /** Human-readable trap description. */

@@ -224,8 +224,15 @@ FuncValidator::step(const Instr& instr)
         if (info.imm == ImmKind::mem_arg) {
             if (m_.memories.empty())
                 return fail("memory instruction without memory");
-            if (instr.a > memNaturalAlignExp(instr.op))
+            if (isAtomicOp(instr.op)) {
+                // Threads proposal: atomics declare exactly their natural
+                // alignment; anything else is a validation error.
+                if (instr.a != memNaturalAlignExp(instr.op))
+                    return fail("atomic alignment must equal natural "
+                                "alignment");
+            } else if (instr.a > memNaturalAlignExp(instr.op)) {
                 return fail("alignment exceeds natural alignment");
+            }
         } else if (info.imm == ImmKind::mem_idx ||
                    info.imm == ImmKind::mem_copy) {
             if (m_.memories.empty())
@@ -512,6 +519,11 @@ validateModule(const Module& m, const ValidationLimits& limits)
             if (f >= m.numTotalFuncs())
                 return errValidation("element function out of range");
         }
+    }
+
+    for (const Limits& mem : m.memories) {
+        if (mem.shared && !mem.hasMax())
+            return errValidation("shared memory must declare a maximum");
     }
 
     for (const DataSegment& seg : m.datas) {

@@ -477,16 +477,135 @@ generateProgram(uint64_t seed)
     return mb.build();
 }
 
-class DifferentialFuzz : public testing::TestWithParam<uint64_t>
-{};
-
-TEST_P(DifferentialFuzz, AllEnginesAgree)
+/**
+ * Deterministic single-threaded atomic-op program over a SHARED linear
+ * memory: a random sequence of atomic loads/stores/RMWs/cmpxchgs at
+ * aligned addresses, closed out with the deterministic wait/notify
+ * outcomes (notify with no waiters -> 0, value-mismatch wait -> 1,
+ * zero-timeout wait -> 2) and one memory.grow. Every result folds into
+ * the returned i64, so the sweep proves the seq_cst atomic lowering is
+ * bit-exact across both interpreters, both JIT tiers, the tiered
+ * pipeline, all five bounds strategies and all opt modes.
+ */
+wasm::Module
+generateAtomicsProgram(uint64_t seed)
 {
-    wasm::Module module = generateProgram(GetParam());
-    ASSERT_TRUE(wasm::validateModule(module).isOk())
-        << "seed " << GetParam() << ": "
-        << wasm::validateModule(module).toString();
+    Rng rng(seed);
+    ModuleBuilder mb;
+    mb.addMemory(1, 2, /*shared=*/true);
+    uint32_t type = mb.addType({}, {ValType::i64});
+    auto& f = mb.addFunction(type);
+    uint32_t acc = f.addLocal(ValType::i64);
 
+    // stack holds an i64 result r: acc = acc*131 + r
+    auto fold64 = [&] {
+        f.localGet(acc);
+        f.i64Const(131);
+        f.emit(Op::i64_mul);
+        f.emit(Op::i64_add);
+        f.localSet(acc);
+    };
+    auto fold32 = [&] {
+        f.emit(Op::i64_extend_i32_u);
+        fold64();
+    };
+
+    static constexpr Op kRmw32[] = {
+        Op::i32_atomic_rmw_add, Op::i32_atomic_rmw_sub,
+        Op::i32_atomic_rmw_and, Op::i32_atomic_rmw_or,
+        Op::i32_atomic_rmw_xor, Op::i32_atomic_rmw_xchg};
+    static constexpr Op kRmw64[] = {
+        Op::i64_atomic_rmw_add, Op::i64_atomic_rmw_sub,
+        Op::i64_atomic_rmw_and, Op::i64_atomic_rmw_or,
+        Op::i64_atomic_rmw_xor, Op::i64_atomic_rmw_xchg};
+
+    int ops = 24 + int(rng.nextBelow(24));
+    for (int s = 0; s < ops; s++) {
+        bool is64 = rng.chance(0.5);
+        uint32_t size = is64 ? 8 : 4;
+        uint32_t addr = uint32_t(rng.nextBelow(512)) * size;
+        uint32_t offset = uint32_t(rng.nextBelow(16)) * size;
+        f.i32Const(int32_t(addr));
+        switch (rng.nextBelow(10)) {
+          case 0: // load
+            f.memOp(is64 ? Op::i64_atomic_load : Op::i32_atomic_load,
+                    offset);
+            is64 ? fold64() : fold32();
+            break;
+          case 1: // store
+            if (is64)
+                f.i64Const(int64_t(rng.next()));
+            else
+                f.i32Const(int32_t(rng.next()));
+            f.memOp(is64 ? Op::i64_atomic_store : Op::i32_atomic_store,
+                    offset);
+            break;
+          case 2: // cmpxchg (expected only occasionally matches)
+            if (is64) {
+                f.i64Const(rng.chance(0.3) ? 0 : int64_t(rng.next()));
+                f.i64Const(int64_t(rng.next()));
+                f.memOp(Op::i64_atomic_rmw_cmpxchg, offset);
+                fold64();
+            } else {
+                f.i32Const(rng.chance(0.3) ? 0 : int32_t(rng.next()));
+                f.i32Const(int32_t(rng.next()));
+                f.memOp(Op::i32_atomic_rmw_cmpxchg, offset);
+                fold32();
+            }
+            break;
+          default: // rmw returns the old value
+            if (is64) {
+                f.i64Const(int64_t(rng.next()));
+                f.memOp(kRmw64[rng.nextBelow(6)], offset);
+                fold64();
+            } else {
+                f.i32Const(int32_t(rng.next()));
+                f.memOp(kRmw32[rng.nextBelow(6)], offset);
+                fold32();
+            }
+            break;
+        }
+    }
+
+    // notify with no waiters -> woken count 0
+    f.i32Const(64);
+    f.i32Const(int32_t(rng.nextBelow(5)));
+    f.memOp(Op::memory_atomic_notify);
+    fold32();
+    // wait32 with a mismatching expected value -> not-equal (1)
+    f.i32Const(64);
+    f.i32Const(64);
+    f.memOp(Op::i32_atomic_load);
+    f.i32Const(1);
+    f.emit(Op::i32_add);
+    f.i64Const(0);
+    f.memOp(Op::memory_atomic_wait32);
+    fold32();
+    // wait64 with the matching value but a zero timeout -> timed-out (2)
+    f.i32Const(72);
+    f.i32Const(72);
+    f.memOp(Op::i64_atomic_load);
+    f.i64Const(0);
+    f.memOp(Op::memory_atomic_wait64);
+    fold32();
+    // one in-limits shared grow (1 -> 2 pages); folds the old size
+    f.i32Const(1);
+    f.memoryGrow();
+    fold32();
+
+    f.localGet(acc);
+    mb.exportFunc("run", f.finish());
+    return mb.build();
+}
+
+/**
+ * Run @p module on every engine (plus the tiered pipeline) x every
+ * bounds strategy x opt modes; every configuration must return the same
+ * i64 bit pattern and none may trap.
+ */
+void
+sweepAllEngines(const wasm::Module& module, uint64_t seed)
+{
     bool have_reference = false;
     uint64_t reference = 0;
     std::string reference_config;
@@ -531,7 +650,7 @@ TEST_P(DifferentialFuzz, AllEnginesAgree)
                 ASSERT_TRUE(inst.isOk()) << inst.status().toString();
                 rt::CallOutcome out = inst.value()->callExport("run", {});
                 ASSERT_TRUE(out.ok())
-                    << "seed " << GetParam() << " trapped on "
+                    << "seed " << seed << " trapped on "
                     << engineKindName(config.kind) << "/"
                     << boundsStrategyName(strategy) << ": "
                     << trapKindName(out.trap);
@@ -544,7 +663,7 @@ TEST_P(DifferentialFuzz, AllEnginesAgree)
                         boundsStrategyName(strategy);
                 } else {
                     ASSERT_EQ(result, reference)
-                        << "seed " << GetParam() << ": "
+                        << "seed " << seed << ": "
                         << (tiered ? "tiered"
                                    : engineKindName(config.kind))
                         << "/" << boundsStrategyName(strategy)
@@ -558,6 +677,18 @@ TEST_P(DifferentialFuzz, AllEnginesAgree)
     }
 }
 
+class DifferentialFuzz : public testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(DifferentialFuzz, AllEnginesAgree)
+{
+    wasm::Module module = generateProgram(GetParam());
+    ASSERT_TRUE(wasm::validateModule(module).isOk())
+        << "seed " << GetParam() << ": "
+        << wasm::validateModule(module).toString();
+    sweepAllEngines(module, GetParam());
+}
+
 std::vector<uint64_t>
 fuzzSeeds()
 {
@@ -569,6 +700,30 @@ fuzzSeeds()
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzz,
                          testing::ValuesIn(fuzzSeeds()));
+
+class AtomicsDifferentialFuzz : public testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(AtomicsDifferentialFuzz, AllEnginesAgree)
+{
+    wasm::Module module = generateAtomicsProgram(GetParam());
+    ASSERT_TRUE(wasm::validateModule(module).isOk())
+        << "seed " << GetParam() << ": "
+        << wasm::validateModule(module).toString();
+    sweepAllEngines(module, GetParam());
+}
+
+std::vector<uint64_t>
+atomicsSeeds()
+{
+    std::vector<uint64_t> seeds;
+    for (uint64_t i = 0; i < 20; i++)
+        seeds.push_back(0xA7031C00 + i);
+    return seeds;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AtomicsDifferentialFuzz,
+                         testing::ValuesIn(atomicsSeeds()));
 
 } // namespace
 } // namespace lnb
