@@ -306,6 +306,39 @@ BM_LoopVersioning(benchmark::State& state)
 }
 BENCHMARK(BM_LoopVersioning)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
 
+/**
+ * Epoch-check ablation on the affine RMW kernel, jit-opt x trap: arg 0
+ * compiles the interrupt polls out (LNB_EPOCH_CHECKS=0), arg 1 leaves
+ * them in (a flag load + never-taken branch per loop back edge and
+ * function entry). The wall-time delta is the whole price of making
+ * every request killable; the acceptance criterion is < 2% on the
+ * tightest loop the JIT emits, which this kernel is — real kernels with
+ * more work per iteration amortize it further.
+ */
+void
+BM_EpochChecks(benchmark::State& state)
+{
+    bool epoch = state.range(0) != 0;
+    constexpr int kCount = 1 << 13; // 8192 f64 == one 64 KiB page
+    rt::EngineConfig config;
+    config.kind = EngineKind::jit_opt;
+    config.strategy = BoundsStrategy::trap;
+    config.epochChecks = epoch;
+    auto inst =
+        makeInstanceCfg(config, affineRmwModule(kCount), nullptr);
+    if (!inst) {
+        state.SkipWithError("instance creation failed");
+        return;
+    }
+    for (auto _ : state) {
+        rt::CallOutcome out = inst->callExport("run", {});
+        benchmark::DoNotOptimize(out.results);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) * kCount);
+    state.SetLabel(epoch ? "epoch checks on" : "epoch checks off");
+}
+BENCHMARK(BM_EpochChecks)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
 /** Caller loop re-touching mem[64] around a call into a grow-free leaf:
  * the second check survives the call only with summaries on. */
 wasm::Module

@@ -25,10 +25,15 @@
  */
 #include "bench/bench_common.h"
 
+#include <algorithm>
+#include <future>
+
 #include "obs/metrics.h"
 #include "support/clock.h"
 #include "svc/instance_pool.h"
 #include "svc/module_cache.h"
+#include "svc/service.h"
+#include "wasm/builder.h"
 #include "wasm/encoder.h"
 
 using namespace lnb;
@@ -93,6 +98,99 @@ measureAcquire(const std::shared_ptr<const rt::CompiledModule>& module,
             return out;
     }
     out.warmMeanSeconds = warm_total / iterations;
+    out.ok = true;
+    return out;
+}
+
+/** run() spins for @p iterations with a store per round (the adversary's
+ * worker-hogging payload and the victim's quick request, sized apart). */
+wasm::Module
+spinModule(int32_t iterations)
+{
+    wasm::ModuleBuilder mb;
+    mb.addMemory(1, 1);
+    auto& f = mb.addFunction(mb.addType({}, {wasm::ValType::i32}));
+    uint32_t i = f.addLocal(wasm::ValType::i32);
+    auto loop = f.loop();
+    f.i32Const(0);
+    f.localGet(i);
+    f.memOp(wasm::Op::i32_store);
+    f.localGet(i);
+    f.i32Const(1);
+    f.emit(wasm::Op::i32_add);
+    f.localSet(i);
+    f.localGet(i);
+    f.i32Const(iterations);
+    f.emit(wasm::Op::i32_lt_s);
+    f.brIf(loop);
+    f.end();
+    f.localGet(i);
+    mb.exportFunc("run", f.finish());
+    return mb.build();
+}
+
+struct AblationRun
+{
+    bool ok = false;
+    double victimP99Seconds = 0;
+    uint64_t killed = 0;
+};
+
+/**
+ * One adversarial-tenant run: 2 workers, an adversary submitting slow
+ * spins interleaved 1:3 with a victim's quick spins. Returns the victim
+ * p99 and the deadline-kill count. The victim tenant is exempt from the
+ * deadline, so the comparison isolates queue/worker contention.
+ */
+AblationRun
+runDeadlineAblation(uint64_t deadline_ms, int requests)
+{
+    AblationRun out;
+    svc::SvcConfig config;
+    config.workers = 2;
+    config.queueDepth = size_t(requests) + 1;
+    config.pinWorkers = false;
+    config.deadlineMillis = deadline_ms;
+    config.tenantDeadlineMillis["victim"] = 0;
+    svc::ExecutionService service(config);
+
+    rt::EngineConfig engine_config;
+    engine_config.kind = EngineKind::jit_base;
+    engine_config.strategy = BoundsStrategy::trap;
+    auto adversary = service.loadModule(
+        wasm::encodeModule(spinModule(40'000'000)), engine_config);
+    auto victim = service.loadModule(
+        wasm::encodeModule(spinModule(100'000)), engine_config);
+    if (!adversary.isOk() || !victim.isOk())
+        return out;
+
+    std::vector<std::future<svc::Response>> futures;
+    std::vector<bool> is_victim;
+    for (int i = 0; i < requests; i++) {
+        bool victim_req = i % 4 != 0;
+        svc::Request request;
+        request.tenant = victim_req ? "victim" : "adversary";
+        request.module = victim_req ? victim.value() : adversary.value();
+        auto submitted = service.submit(std::move(request));
+        if (!submitted.isOk())
+            return out;
+        futures.push_back(submitted.takeValue());
+        is_victim.push_back(victim_req);
+    }
+    std::vector<double> victim_latency;
+    for (size_t i = 0; i < futures.size(); i++) {
+        svc::Response response = futures[i].get();
+        if (response.outcome.trap == wasm::TrapKind::deadline_exceeded)
+            out.killed++;
+        else if (!response.outcome.ok())
+            return out;
+        if (is_victim[i])
+            victim_latency.push_back(
+                double(response.queueNanos + response.execNanos) * 1e-9);
+    }
+    std::sort(victim_latency.begin(), victim_latency.end());
+    out.victimP99Seconds =
+        victim_latency[size_t(0.99 * double(victim_latency.size() - 1))];
     out.ok = true;
     return out;
 }
@@ -261,6 +359,41 @@ main()
         std::printf("\n[tiered time-to-peak, reused instance]\n");
         std::fputs(tier_table.toString().c_str(), stdout);
         tier_table.maybeWriteCsv("svc_load_tier");
+    }
+
+    // --- 4. adversarial tenant: deadlines restore the victim p99 ------
+    // The unbounded-request hole in one table: without deadlines every
+    // adversary spin holds a worker to completion and the victim queues
+    // behind it; with a short deadline the reaper reclaims the worker
+    // and the victim p99 collapses back to its own service time.
+    {
+        int requests = harness::quickMode() ? 32 : 96;
+        AblationRun off = runDeadlineAblation(0, requests);
+        AblationRun on = runDeadlineAblation(10, requests);
+        if (!off.ok || !on.ok) {
+            std::fprintf(stderr, "deadline ablation run failed\n");
+            failures++;
+        } else {
+            Table dl_table({"deadline", "victim p99 ms", "killed"});
+            dl_table.addRow({"off", cell("%.2f",
+                                         off.victimP99Seconds * 1e3),
+                             cell("%llu",
+                                  (unsigned long long)off.killed)});
+            dl_table.addRow({"10 ms", cell("%.2f",
+                                           on.victimP99Seconds * 1e3),
+                             cell("%llu",
+                                  (unsigned long long)on.killed)});
+            std::printf("\n[adversarial tenant, deadline ablation, "
+                        "%d requests]\n",
+                        requests);
+            std::fputs(dl_table.toString().c_str(), stdout);
+            dl_table.maybeWriteCsv("svc_load_deadline");
+            if (on.killed == 0) {
+                std::fprintf(stderr, "FAIL: deadline run killed "
+                                     "nothing\n");
+                failures++;
+            }
+        }
     }
 
     if (!mprotect_demonstrated) {

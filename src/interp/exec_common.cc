@@ -27,6 +27,9 @@ struct ExecMetrics
         "threads.wait_timeouts");
     obs::Counter atomicNotifies = obs::registerCounter(
         "threads.notifies");
+    /** Waits that returned because the instance was interrupted. */
+    obs::Counter atomicWaitInterrupts = obs::registerCounter(
+        "threads.wait_interrupts");
 };
 
 ExecMetrics&
@@ -37,6 +40,29 @@ execMetrics()
 }
 
 } // namespace
+
+void
+epochInterruptCheck(InstanceContext* ctx)
+{
+    uint32_t interval = ctx->epochInterval;
+    // Re-arm first: when checks are disabled (interval 0) park the
+    // countdown as far away as possible so the wrap path stays cold.
+    ctx->epochCountdown = interval != 0 ? interval : ~0u;
+    if (interval == 0)
+        return;
+    uint32_t kind = ctx->interruptFlag.load(std::memory_order_relaxed);
+    if (kind != 0)
+        mem::TrapManager::raiseTrap(wasm::TrapKind(kind));
+}
+
+extern "C" void
+lnbJitInterrupt(InstanceContext* ctx)
+{
+    uint32_t kind = ctx->interruptFlag.load(std::memory_order_relaxed);
+    if (kind == 0)
+        kind = uint32_t(wasm::TrapKind::interrupted);
+    mem::TrapManager::raiseTrap(wasm::TrapKind(kind));
+}
 
 const char*
 tierName(Tier tier)
@@ -98,12 +124,22 @@ execAtomicWait(InstanceContext* ctx, uint32_t addr, uint64_t expected,
     }
     ctx->blockingEvents++;
     execMetrics().atomicWaits.add();
-    rt::WaitResult r =
-        rt::waitListWait(ctx->memBase + ea, expected, is64, timeout_ns);
+    rt::WaitResult r = rt::waitListWait(ctx->memBase + ea, expected, is64,
+                                        timeout_ns, &ctx->interruptFlag);
     if (r == rt::WaitResult::ok)
         execMetrics().atomicWakes.add();
     else if (r == rt::WaitResult::timed_out)
         execMetrics().atomicTimeouts.add();
+    else if (r == rt::WaitResult::interrupted) {
+        // The interrupt becomes a trap before wasm can observe the wait
+        // result; the bucket lock is already released, so the clean-unwind
+        // invariant (no locks held across siglongjmp) holds.
+        execMetrics().atomicWaitInterrupts.add();
+        uint32_t kind = ctx->interruptFlag.load(std::memory_order_relaxed);
+        if (kind == 0)
+            kind = uint32_t(wasm::TrapKind::interrupted);
+        mem::TrapManager::raiseTrap(wasm::TrapKind(kind));
+    }
     return uint32_t(r);
 }
 

@@ -172,6 +172,27 @@ struct InstanceContext
      */
     bool sharedMem = false;
 
+    // ----- preemption (cold struct-wise; the JIT loads interruptFlag at
+    // every loop back edge, but it is only ever nonzero on the kill path)
+    /**
+     * Cross-thread interrupt request: 0 when idle, else the wasm::TrapKind
+     * (interrupted / deadline_exceeded) the next epoch check must raise.
+     * Written by Instance::interrupt() from reaper/killer threads; read by
+     * generated code as a plain 32-bit load (x86 aligned loads are atomic,
+     * and the interpreters load it relaxed). Cleared by the owning thread
+     * when the trap is delivered and on instance (re)initialization.
+     */
+    std::atomic<uint32_t> interruptFlag{0};
+    /**
+     * Interpreter poll divisor: the countdown is decremented at every
+     * function entry and loop back edge, and only hitting zero pays the
+     * atomic flag load (epochInterruptCheck). Reloaded from epochInterval.
+     * 0 disables the countdown entirely (epochChecks off).
+     */
+    uint32_t epochCountdown = 0;
+    /** LNB_EPOCH_INTERVAL (default 128); 0 when epoch checks are off. */
+    uint32_t epochInterval = 0;
+
     // ----- tiering (cold; null/zero when profiling is off) -----
     /**
      * Per-instance hotness accumulators, module-wide index space. Plain
@@ -211,6 +232,26 @@ recordHotness(InstanceContext* ctx, uint32_t func_idx, uint32_t amount)
                                               std::memory_order_relaxed);
     if (ctx->tierRequest != nullptr)
         ctx->tierRequest(ctx->tierCtl, func_idx);
+}
+
+/**
+ * Epoch slow path: reload the countdown and raise the requested trap if
+ * the interrupt flag is set. [[noreturn]] only when it traps.
+ */
+void epochInterruptCheck(InstanceContext* ctx);
+
+/**
+ * Interpreter epoch poll, placed at function entries and loop back edges
+ * (the same sites the tiering profiler instruments). The fast path is a
+ * plain decrement-and-test of a non-atomic cell; every epochInterval-th
+ * poll pays the atomic interrupt-flag load. An unsigned wrap when the
+ * countdown was left at 0 is harmless: the slow path re-arms it.
+ */
+inline void
+epochPoll(InstanceContext* ctx)
+{
+    if (--ctx->epochCountdown == 0)
+        epochInterruptCheck(ctx);
 }
 
 /** Bounds-check flavours executors specialize on. */
@@ -334,6 +375,15 @@ extern "C" void lnbJitMemoryFill(InstanceContext* ctx, uint32_t dst,
 extern "C" uint64_t lnbJitAtomic(InstanceContext* ctx, uint32_t addr,
                                  uint64_t v1, uint64_t v2, uint64_t offset,
                                  uint32_t op_mode);
+
+/**
+ * Epoch-interrupt island target for JIT code: generated polls load
+ * ctx->interruptFlag and branch here when it is nonzero. Noreturn — it
+ * raises the requested trap via siglongjmp, which is also why calling
+ * native code from the island is safe despite JIT locals living in
+ * caller-saved XMM registers: nothing after the call ever executes.
+ */
+extern "C" [[noreturn]] void lnbJitInterrupt(InstanceContext* ctx);
 
 } // namespace lnb::exec
 

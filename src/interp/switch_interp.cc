@@ -34,11 +34,14 @@ runSwitch(InstanceContext* ctx, const LoweredFunc& func, Value* frame)
     uint32_t pc = 0;
 
     // Loop back edges (jumps to an earlier or the current pc) feed the
-    // hotness counter in the profiled variant.
+    // hotness counter in the profiled variant and are the epoch poll
+    // sites in every variant: a spinning loop must observe a pending
+    // interrupt within epochInterval back edges.
     auto profile_jump = [&](uint32_t target) {
-        if constexpr (Profile) {
-            if (target <= pc)
+        if (target <= pc) {
+            if constexpr (Profile)
                 recordHotness(ctx, func.funcIdx, 1);
+            epochPoll(ctx);
         }
     };
 
@@ -147,6 +150,9 @@ switchEntry(InstanceContext* ctx, Value* frame, uint32_t func_idx)
 {
     if constexpr (Profile)
         recordHotness(ctx, func_idx, kEntryHotness);
+    // Function entries are the second epoch poll site, so deep
+    // call-chain recursion without loops is still preemptible.
+    epochPoll(ctx);
     // Sampler frame marker: one relaxed load + branch when profiling is
     // off, declared-interp category + chain link when on.
     obs::ProfFrameScope prof_frame(func_idx, obs::kProfTierInterp);

@@ -56,12 +56,15 @@ runThreaded(InstanceContext* ctx, const LoweredFunc& func, Value* frame)
         goto* kLabels[inst->op];                                             \
     } while (0)
 // Jumps to an earlier or the current instruction are loop back edges; the
-// profiled variant credits them to the function's hotness counter.
+// profiled variant credits them to the function's hotness counter, and
+// every variant polls the epoch countdown there so a spinning loop stays
+// preemptible.
 #define JUMP_TO(target)                                                      \
     do {                                                                     \
-        if constexpr (Profile) {                                             \
-            if (code + (target) <= inst)                                     \
+        if (code + (target) <= inst) {                                       \
+            if constexpr (Profile)                                           \
                 recordHotness(ctx, func.funcIdx, 1);                         \
+            epochPoll(ctx);                                                  \
         }                                                                    \
         inst = code + (target);                                              \
         goto* kLabels[inst->op];                                             \
@@ -167,6 +170,8 @@ threadedEntry(InstanceContext* ctx, Value* frame, uint32_t func_idx)
 {
     if constexpr (Profile)
         recordHotness(ctx, func_idx, kEntryHotness);
+    // Function-entry epoch poll (see switch_interp.cc).
+    epochPoll(ctx);
     // Sampler frame marker (see switch_interp.cc).
     obs::ProfFrameScope prof_frame(func_idx, obs::kProfTierInterp);
     runThreaded<M, Profile>(ctx, ctx->lowered->funcByIndex(func_idx),

@@ -419,6 +419,38 @@ class FunctionCompiler
         }
     }
 
+    // ----- epoch interrupt polls -----
+    Label
+    interruptIsland()
+    {
+        if (interruptLabel_.id < 0)
+            interruptLabel_ = as_.newLabel();
+        return interruptLabel_;
+    }
+    /** Load+test+branch on the instance interrupt flag. rax is dead at
+     * instruction boundaries, so nothing is saved; an aligned 32-bit
+     * load is atomic on x86, pairing with the killer thread's store. */
+    void
+    emitEpochPoll()
+    {
+        as_.movRM32(rax, CTX_FIELD(interruptFlag));
+        as_.testRR32(rax, rax);
+        as_.jcc(Cond::ne, interruptIsland());
+    }
+    /** The poll's cold target: hand the context to the noreturn
+     * lnbJitInterrupt glue, which raises the requested trap via
+     * siglongjmp. Because nothing returns here, the call is safe even
+     * though XMM-homed locals are caller-saved. */
+    void
+    emitInterruptIsland()
+    {
+        if (interruptLabel_.id < 0)
+            return;
+        as_.bind(interruptLabel_);
+        as_.movRR64(rdi, kCtxReg);
+        as_.callImm(reinterpret_cast<const void*>(&exec::lnbJitInterrupt));
+    }
+
     // ----- bounds-check cache (opt tier) -----
     void invalidate(uint32_t cell) { checkedLimit_.erase(cell); }
     void
@@ -673,7 +705,13 @@ class FunctionCompiler
     std::vector<int8_t> localHome_;
     std::vector<Label> pcLabels_;
     std::unordered_set<uint32_t> jumpTargets_;
+    /** Targets of at least one backward jump (loop headers): the epoch
+     * poll sites. Subset of jumpTargets_. */
+    std::unordered_set<uint32_t> backEdgeTargets_;
     std::unordered_map<uint8_t, Label> trapLabels_;
+    /** Per-function epoch-interrupt island (lazily created; id -1 when no
+     * poll was emitted). */
+    Label interruptLabel_;
     /** addr cell -> highest offset+size already checked (trap mode). */
     std::unordered_map<uint32_t, uint64_t> checkedLimit_;
     /** Constant limit known to satisfy memSize >= limit here (from a
@@ -732,6 +770,11 @@ FunctionCompiler::emitPrologue()
             as_.movMI64(cellMem(i), 0);
         }
     }
+
+    // Function-entry epoch poll: recursion without loops must still be
+    // preemptible, and entries are where the interpreters poll too.
+    if (opts_.epochChecks)
+        emitEpochPoll();
 }
 
 void
@@ -753,20 +796,25 @@ FunctionCompiler::compile()
     // Pre-scan for jump targets so the bounds-check cache resets at basic
     // block boundaries and labels exist before backward jumps bind.
     pcLabels_.resize(func_.code.size());
-    auto mark = [&](uint32_t pc) {
+    // A target at or before its jump is a loop back edge: those labels
+    // additionally get an epoch poll (the JIT's preemption sites).
+    auto mark = [&](uint32_t pc, uint32_t from) {
         jumpTargets_.insert(pc);
+        if (pc <= from)
+            backEdgeTargets_.insert(pc);
     };
-    for (const LInst& inst : func_.code) {
+    for (uint32_t pc = 0; pc < func_.code.size(); pc++) {
+        const LInst& inst = func_.code[pc];
         switch (LOp(inst.op)) {
           case LOp::jump:
           case LOp::jump_if:
           case LOp::jump_if_zero:
           case LOp::fused_cmp_jump:
-            mark(inst.a);
+            mark(inst.a, pc);
             break;
           case LOp::jump_table:
             for (uint32_t i = 0; i <= inst.aux; i++)
-                mark(func_.tablePool[inst.a + i]);
+                mark(func_.tablePool[inst.a + i], pc);
             break;
           default:
             break;
@@ -788,12 +836,19 @@ FunctionCompiler::compile()
             // on every path into this label, so elision keeps working
             // across block boundaries and around loop back edges.
             seedFactsAt(pc);
+            // Loop headers poll the interrupt flag: every back edge runs
+            // through here, so a spinning loop is preempted within one
+            // iteration. The poll has no memory-state effect, so the
+            // check caches seeded above stay valid.
+            if (opts_.epochChecks && backEdgeTargets_.count(pc))
+                emitEpochPoll();
         }
         curPc_ = pc;
         emitInstr(func_.code[pc]);
     }
 
     emitTrapIslands();
+    emitInterruptIsland();
 }
 
 void

@@ -64,6 +64,15 @@ struct JitOptions
      * point, like the atomic ops, which always refresh via their glue).
      */
     bool sharedMemory = false;
+    /**
+     * Emit epoch interrupt polls: a 32-bit load of
+     * InstanceContext::interruptFlag plus a test/jcc to a per-function
+     * interrupt island, at the function entry and at every label that is
+     * the target of a backward jump (loop headers). The island calls the
+     * noreturn lnbJitInterrupt glue, which raises the requested
+     * clean-unwind trap — no register state needs preserving past it.
+     */
+    bool epochChecks = true;
 };
 
 /** The executable artifact for one module. Immutable and thread-shareable:

@@ -94,6 +94,8 @@ Engine::compile(wasm::Module module) const
                1) != 0;
     config.sharedMemory =
         envInt("LNB_SHARED_MEM", config.sharedMemory ? 1 : 0, 0, 1) != 0;
+    config.epochChecks =
+        envInt("LNB_EPOCH_CHECKS", config.epochChecks ? 1 : 0, 0, 1) != 0;
     if (config.tiered &&
         (envFlag("LNB_TIER_DISABLED") || !jit::jitSupported())) {
         // Kill switch: the module stays in the base tier, not whatever
@@ -186,6 +188,7 @@ Engine::compile(wasm::Module module) const
         options.stackChecks = config.stackChecks;
         options.countChecks = config.countRetiredChecks;
         options.sharedMemory = config.sharedMemory;
+        options.epochChecks = config.epochChecks;
         if (!config.directJitCalls)
             options.codeTable = cm->funcCode_.get();
         ScopedTimer timer(cm->stats_.codegenSeconds);
@@ -218,6 +221,7 @@ Engine::compile(wasm::Module module) const
             options.stackChecks = config.stackChecks;
             options.countChecks = config.countRetiredChecks;
             options.sharedMemory = config.sharedMemory;
+            options.epochChecks = config.epochChecks;
             options.codeTable = cm->funcCode_.get();
             cm->tierController_ = std::make_unique<TierController>(
                 &cm->lowered_, cm->funcCode_.get(), options,

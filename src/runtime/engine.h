@@ -135,6 +135,17 @@ struct EngineConfig
      * LNB_SHARED_MEM=0/1 overrides (strict parse).
      */
     bool sharedMemory = false;
+    /**
+     * Compile epoch interrupt checks into all tiers: a load+branch on the
+     * instance's interrupt flag at loop back edges and function entries
+     * (the same sites the tiering profiler instruments), raising the
+     * clean-unwind traps `interrupted`/`deadline_exceeded`. This is what
+     * makes requests killable — deadlines, Service::stop(), and waking
+     * parked memory.atomic.wait all depend on it — so it defaults on;
+     * LNB_EPOCH_CHECKS=0/1 overrides (strict parse), and
+     * LNB_EPOCH_INTERVAL tunes the interpreter poll divisor.
+     */
+    bool epochChecks = true;
 };
 
 /** Wall-clock cost of each compilation stage (micro_pipeline bench). */

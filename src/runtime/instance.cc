@@ -9,6 +9,8 @@
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/trace.h"
+#include "runtime/waitlist.h"
+#include "support/env.h"
 
 namespace lnb::rt {
 
@@ -35,6 +37,14 @@ struct RtMetrics
      * compile-time opt.* counters in wasm/opt.cc). */
     obs::Counter guardFallbacks = obs::registerCounter(
         "opt.guard_fallbacks");
+    /** Preemption: interrupt() calls, traps actually delivered by an
+     * epoch check / wait wake, and parked waiters woken by a kill. */
+    obs::Counter interruptsRequested = obs::registerCounter(
+        "rt.interrupts_requested");
+    obs::Counter interruptsDelivered = obs::registerCounter(
+        "rt.interrupts_delivered");
+    obs::Counter interruptWaitWakes = obs::registerCounter(
+        "rt.interrupts_wait_wakes");
 };
 
 RtMetrics&
@@ -176,6 +186,17 @@ Instance::initialize(ImportMap imports,
     ctx_.maxCallDepth = config.maxCallDepth;
     ctx_.lowered = &module_->lowered();
 
+    // ----- preemption -----
+    // Epoch checks are on by default (the serving kill path depends on
+    // them); LNB_EPOCH_INTERVAL tunes how many interpreter entries/back
+    // edges elapse between atomic flag loads. JIT code polls the flag
+    // directly at every back edge, so the interval only shapes
+    // interpreter overhead.
+    ctx_.epochInterval =
+        config.epochChecks
+            ? uint32_t(envInt("LNB_EPOCH_INTERVAL", 128, 1, 1 << 20))
+            : 0;
+
     // ----- per-function code table + tier profiling -----
     ctx_.funcCode = module_->funcCode();
     if (config.tiered) {
@@ -233,6 +254,12 @@ Instance::initMutableState()
     }
 
     // ----- execution state -----
+    // A pending-but-undelivered interrupt dies with the request it
+    // targeted: the flag clears before the start function runs so a
+    // recycled instance is indistinguishable from a fresh one.
+    ctx_.interruptFlag.store(0, std::memory_order_relaxed);
+    ctx_.epochCountdown = ctx_.epochInterval != 0 ? ctx_.epochInterval
+                                                  : ~0u;
     ctx_.vstackTop = vstack_.get();
     ctx_.callDepth = 0;
     ctx_.blockingEvents = 0;
@@ -272,6 +299,54 @@ Instance::recycle()
         ctx_.memSize = memory_->sizeBytes();
     }
     return initMutableState();
+}
+
+void
+Instance::interrupt(wasm::TrapKind kind)
+{
+    if (kind == wasm::TrapKind::none)
+        kind = wasm::TrapKind::interrupted;
+    rtMetrics().interruptsRequested.add();
+    // First request wins: a CAS so a racing second kill cannot change the
+    // kind mid-delivery. seq_cst so a parked waiter's check under its
+    // bucket lock is ordered against the waitListInterrupt scan below.
+    uint32_t expected = 0;
+    ctx_.interruptFlag.compare_exchange_strong(expected, uint32_t(kind),
+                                               std::memory_order_seq_cst);
+    // Wake a thread parked in memory.atomic.wait: the flag is visible
+    // before the scan, so a waiter either sees it pre-park or is found
+    // parked here.
+    uint32_t woken = rt::waitListInterrupt(&ctx_.interruptFlag);
+    if (woken != 0)
+        rtMetrics().interruptWaitWakes.add(woken);
+    std::lock_guard<std::mutex> lock(childrenMutex_);
+    for (Instance* child : children_)
+        child->interrupt(kind);
+}
+
+void
+Instance::addChild(Instance* child)
+{
+    bool pending;
+    {
+        std::lock_guard<std::mutex> lock(childrenMutex_);
+        children_.push_back(child);
+        pending =
+            ctx_.interruptFlag.load(std::memory_order_seq_cst) != 0;
+    }
+    if (pending) {
+        child->interrupt(wasm::TrapKind(
+            ctx_.interruptFlag.load(std::memory_order_relaxed)));
+    }
+}
+
+void
+Instance::removeChild(Instance* child)
+{
+    std::lock_guard<std::mutex> lock(childrenMutex_);
+    children_.erase(
+        std::remove(children_.begin(), children_.end(), child),
+        children_.end());
 }
 
 CallOutcome
@@ -323,6 +398,16 @@ Instance::call(uint32_t func_idx, const std::vector<wasm::Value>& args)
         rtMetrics().guardFallbacks.add(ctx_.guardFallbacks -
                                        fallbacks_before);
 
+    if (outcome.trap == wasm::TrapKind::interrupted ||
+        outcome.trap == wasm::TrapKind::deadline_exceeded) {
+        // Delivered: the kill consumed its request. Re-arm so the next
+        // call on this (possibly pooled) instance starts clean even if
+        // the caller skips a recycle.
+        rtMetrics().interruptsDelivered.add();
+        ctx_.interruptFlag.store(0, std::memory_order_relaxed);
+        ctx_.epochCountdown = ctx_.epochInterval != 0 ? ctx_.epochInterval
+                                                      : ~0u;
+    }
     if (!outcome.ok())
         rtMetrics().trapsReturned.add();
     if (outcome.ok()) {

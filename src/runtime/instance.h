@@ -17,6 +17,7 @@
 #define LNB_RUNTIME_INSTANCE_H
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -101,6 +102,30 @@ class Instance
      */
     Status recycle();
 
+    /**
+     * Ask the instance to stop: the next epoch check (loop back edge or
+     * function entry, interpreted or JIT) raises @p kind as a clean-unwind
+     * trap, and a thread parked in `memory.atomic.wait` is woken to do the
+     * same. Safe to call from any thread while another thread executes in
+     * the instance — this is the deadline-reaper / shutdown kill path.
+     * One-shot: the first request wins until the trap is delivered (or the
+     * instance is recycled), so a delivered `deadline_exceeded` cannot be
+     * overwritten into a plain `interrupted` mid-unwind. Propagates to
+     * registered children (spawnThreads siblings). Idle instances simply
+     * deliver the trap on their next call's first epoch check — callers
+     * that hand an instance back to a pool clear the request by recycling.
+     */
+    void interrupt(wasm::TrapKind kind = wasm::TrapKind::interrupted);
+
+    /**
+     * Register/unregister a child instance (a spawnThreads sibling
+     * executing on another thread) so interrupt() fans out to it. If an
+     * interrupt is already pending at registration it propagates
+     * immediately — a kill racing sibling creation cannot be lost.
+     */
+    void addChild(Instance* child);
+    void removeChild(Instance* child);
+
     /** Invoke any function by index (defined or imported). */
     CallOutcome call(uint32_t func_idx,
                      const std::vector<wasm::Value>& args);
@@ -159,6 +184,10 @@ class Instance
      * previous tenant's profile. */
     std::unique_ptr<uint32_t[]> funcHotness_;
     ImportMap imports_;
+    /** spawnThreads siblings interrupt() fans out to; guarded by
+     * childrenMutex_ (interrupt() may run on any thread). */
+    std::mutex childrenMutex_;
+    std::vector<Instance*> children_;
     exec::InstanceContext ctx_;
 };
 

@@ -1,5 +1,6 @@
 #include "runtime/threads.h"
 
+#include <atomic>
 #include <thread>
 
 #include "obs/metrics.h"
@@ -59,6 +60,17 @@ spawnThreads(Instance& primary, const std::string& export_name,
     threadMetrics().spawns.add();
     threadMetrics().threadsRun.add(num_threads);
 
+    // Register every sibling as a child of the primary before any thread
+    // starts: a host interrupt on the primary (deadline kill, shutdown)
+    // fans out to all of them, so a fork with a parked sibling cannot
+    // outlive its killer.
+    for (auto& sibling : siblings)
+        primary.addChild(sibling.get());
+
+    // First sibling to trap interrupts the rest. Without this, a sibling
+    // parked in memory.atomic.wait whose only notifier just trapped would
+    // never wake, and the join below would hang the host forever.
+    std::atomic<bool> first_trap{false};
     std::vector<CallOutcome> outcomes(num_threads);
     std::vector<std::thread> threads;
     threads.reserve(num_threads);
@@ -67,10 +79,25 @@ spawnThreads(Instance& primary, const std::string& export_name,
             std::vector<wasm::Value> args =
                 make_args ? make_args(i) : std::vector<wasm::Value>{};
             outcomes[i] = siblings[i]->call(func_idx, args);
+            // Host-kill traps don't cascade: the kill already fanned out
+            // to every sibling (this very path, or the primary's child
+            // fan-out), and re-interrupting would race it with a
+            // different kind.
+            if (!outcomes[i].ok() &&
+                outcomes[i].trap != wasm::TrapKind::interrupted &&
+                outcomes[i].trap != wasm::TrapKind::deadline_exceeded &&
+                !first_trap.exchange(true)) {
+                for (uint32_t j = 0; j < num_threads; j++) {
+                    if (j != i)
+                        siblings[j]->interrupt(wasm::TrapKind::interrupted);
+                }
+            }
         });
     }
     for (std::thread& t : threads)
         t.join();
+    for (auto& sibling : siblings)
+        primary.removeChild(sibling.get());
     return outcomes;
 }
 

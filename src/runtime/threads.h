@@ -43,8 +43,14 @@ uint32_t defaultThreadCount();
  * of @p primary's module, all sharing @p primary's linear memory, one OS
  * thread per sibling. Thread i calls with make_args(i) (no arguments if
  * @p make_args is null). Joins every thread before returning; outcome i
- * is thread i's CallOutcome (a trap on one thread does not cancel the
- * others — they run to completion).
+ * is thread i's CallOutcome.
+ *
+ * Cancellation: the first sibling to trap interrupts the remaining
+ * siblings (their outcomes report TrapKind::interrupted), so a fork
+ * whose notifier trapped cannot leave a `memory.atomic.wait`-parked
+ * sibling wedging the join. Siblings are registered as children of
+ * @p primary for the duration of the fork: Instance::interrupt() on the
+ * primary (deadline reaper, Service::stop()) cancels the whole fork.
  *
  * Requirements: the primary was instantiated with a shared memory
  * (EngineConfig::sharedMemory, LNB_SHARED_MEM=1, or a module-declared

@@ -18,6 +18,10 @@ struct Waiter
 {
     const void* addr = nullptr;
     bool woken = false;
+    bool interrupted = false;
+    /** The owning instance's interrupt flag, or null. waitListInterrupt
+     * matches waiters by this pointer. */
+    const std::atomic<uint32_t>* interrupt = nullptr;
     std::condition_variable cv;
     Waiter* prev = nullptr;
     Waiter* next = nullptr;
@@ -63,6 +67,7 @@ struct Totals
     std::atomic<uint64_t> timeouts{0};
     std::atomic<uint64_t> mismatches{0};
     std::atomic<uint64_t> notifies{0};
+    std::atomic<uint64_t> interrupts{0};
 };
 
 struct WaitList
@@ -98,7 +103,7 @@ waitList()
 
 WaitResult
 waitListWait(const void* addr, uint64_t expected, bool is64,
-             int64_t timeout_ns)
+             int64_t timeout_ns, const std::atomic<uint32_t>* interrupt)
 {
     WaitList& wl = waitList();
     Bucket& b = wl.bucketFor(addr);
@@ -120,21 +125,51 @@ waitListWait(const void* addr, uint64_t expected, bool is64,
         return WaitResult::not_equal;
     }
 
+    // Interrupt check under the same lock: an interrupter stores the flag
+    // first and then scans buckets, so either we see the flag here or our
+    // enqueued waiter is visible to its scan.
+    if (interrupt != nullptr &&
+        interrupt->load(std::memory_order_seq_cst) != 0) {
+        wl.totals.interrupts.fetch_add(1, std::memory_order_relaxed);
+        return WaitResult::interrupted;
+    }
+
     Waiter self;
     self.addr = addr;
+    self.interrupt = interrupt;
     b.enqueue(&self);
     wl.totals.waits.fetch_add(1, std::memory_order_relaxed);
 
-    if (timeout_ns < 0) {
-        self.cv.wait(lock, [&] { return self.woken; });
-        return WaitResult::ok;
+    auto finish = [&](WaitResult r) {
+        if (r == WaitResult::interrupted)
+            wl.totals.interrupts.fetch_add(1, std::memory_order_relaxed);
+        return r;
+    };
+
+    // A timeout so large that now + timeout would overflow the deadline
+    // time_point (INT64_MAX ns is legal wasm and ~292 years out) takes
+    // the infinite-wait path instead of wrapping into the past.
+    bool infinite = timeout_ns < 0;
+    if (!infinite) {
+        auto now = std::chrono::steady_clock::now();
+        int64_t headroom =
+            (std::chrono::steady_clock::time_point::max() - now).count();
+        if (timeout_ns >= headroom)
+            infinite = true;
+    }
+
+    if (infinite) {
+        self.cv.wait(lock, [&] { return self.woken || self.interrupted; });
+        return finish(self.interrupted ? WaitResult::interrupted
+                                       : WaitResult::ok);
     }
     auto deadline = std::chrono::steady_clock::now() +
                     std::chrono::nanoseconds(timeout_ns);
-    bool woken = self.cv.wait_until(lock, deadline,
-                                    [&] { return self.woken; });
+    bool woken = self.cv.wait_until(
+        lock, deadline, [&] { return self.woken || self.interrupted; });
     if (woken)
-        return WaitResult::ok;
+        return finish(self.interrupted ? WaitResult::interrupted
+                                       : WaitResult::ok);
     // Timed out while still enqueued; unlink under the lock we hold.
     b.remove(&self);
     wl.totals.timeouts.fetch_add(1, std::memory_order_relaxed);
@@ -169,6 +204,33 @@ waitListNotify(const void* addr, uint32_t count)
     return woken;
 }
 
+uint32_t
+waitListInterrupt(const std::atomic<uint32_t>* interrupt)
+{
+    if (interrupt == nullptr)
+        return 0;
+    WaitList& wl = waitList();
+    uint32_t woken = 0;
+    // An instance parks at most a handful of waiters, but they can hash
+    // anywhere: scan every bucket. Interrupts are kill-path rare, so the
+    // full sweep is fine.
+    for (Bucket& b : wl.buckets) {
+        std::lock_guard<std::mutex> lock(b.mu);
+        Waiter* w = b.head;
+        while (w != nullptr) {
+            Waiter* next = w->next;
+            if (w->interrupt == interrupt) {
+                b.remove(w);
+                w->interrupted = true;
+                w->cv.notify_one();
+                woken++;
+            }
+            w = next;
+        }
+    }
+    return woken;
+}
+
 WaitListStats
 waitListStats()
 {
@@ -179,6 +241,7 @@ waitListStats()
     out.timeouts = t.timeouts.load(std::memory_order_relaxed);
     out.mismatches = t.mismatches.load(std::memory_order_relaxed);
     out.notifies = t.notifies.load(std::memory_order_relaxed);
+    out.interrupts = t.interrupts.load(std::memory_order_relaxed);
     return out;
 }
 

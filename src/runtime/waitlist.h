@@ -22,29 +22,53 @@
 #ifndef LNB_RUNTIME_WAITLIST_H
 #define LNB_RUNTIME_WAITLIST_H
 
+#include <atomic>
 #include <cstdint>
 
 namespace lnb::rt {
 
-/** Outcomes of a wait, per the wasm threads spec `memory.atomic.wait*`. */
+/** Outcomes of a wait, per the wasm threads spec `memory.atomic.wait*`,
+ * plus the host-side interrupt wake reason (not spec-visible: the engine
+ * turns it into a trap before wasm can observe it). */
 enum class WaitResult : uint32_t {
-    ok = 0,        ///< woken by a notify
-    not_equal = 1, ///< *addr != expected at enqueue time
-    timed_out = 2, ///< the relative timeout expired
+    ok = 0,          ///< woken by a notify
+    not_equal = 1,   ///< *addr != expected at enqueue time
+    timed_out = 2,   ///< the relative timeout expired
+    interrupted = 3, ///< woken by waitListInterrupt (host kill)
 };
 
 /**
- * Park the calling thread on @p addr until a notify or the timeout.
- * Atomically (w.r.t. notifiers) loads 32 or 64 bits at @p addr seq_cst
- * and returns not_equal without blocking if the value differs from
- * @p expected. @p timeout_ns < 0 waits forever. The caller must have
+ * Park the calling thread on @p addr until a notify, the timeout, or an
+ * interrupt. Atomically (w.r.t. notifiers) loads 32 or 64 bits at
+ * @p addr seq_cst and returns not_equal without blocking if the value
+ * differs from @p expected. @p timeout_ns < 0 waits forever; timeouts so
+ * large that `now + timeout` would overflow the clock's time_point are
+ * clamped to the infinite-wait path (wasm allows `INT64_MAX` ns, which
+ * is ~292 years — indistinguishable from forever). The caller must have
  * bounds- and alignment-checked @p addr already.
+ *
+ * @p interrupt, when non-null, names the owning instance's interrupt
+ * flag: if it is already nonzero the wait returns `interrupted` without
+ * parking, and a later waitListInterrupt(@p interrupt) wakes the parked
+ * waiter with the same result. The flag is checked under the bucket
+ * lock, so an interrupt that stores the flag and then calls
+ * waitListInterrupt cannot be lost.
  */
 WaitResult waitListWait(const void* addr, uint64_t expected, bool is64,
-                        int64_t timeout_ns);
+                        int64_t timeout_ns,
+                        const std::atomic<uint32_t>* interrupt = nullptr);
 
 /** Wake up to @p count waiters parked on @p addr; returns how many. */
 uint32_t waitListNotify(const void* addr, uint32_t count);
+
+/**
+ * Wake every waiter that registered @p interrupt as its interrupt token
+ * (all addresses, all buckets); each returns WaitResult::interrupted.
+ * The caller must have stored a nonzero value into the flag first so
+ * that not-yet-parked waiters observe it under the bucket lock. Returns
+ * how many parked waiters were woken.
+ */
+uint32_t waitListInterrupt(const std::atomic<uint32_t>* interrupt);
 
 /** Monotonic process-wide totals (threads.* report counters). */
 struct WaitListStats
@@ -54,6 +78,7 @@ struct WaitListStats
     uint64_t timeouts = 0;   ///< waits that expired
     uint64_t mismatches = 0; ///< waits returning not_equal immediately
     uint64_t notifies = 0;   ///< notify calls
+    uint64_t interrupts = 0; ///< waiters woken by waitListInterrupt
 };
 
 WaitListStats waitListStats();

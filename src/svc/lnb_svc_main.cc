@@ -28,6 +28,7 @@
 #include "support/clock.h"
 #include "svc/service.h"
 #include "svc/stats_server.h"
+#include "wasm/builder.h"
 #include "wasm/encoder.h"
 
 using namespace lnb;
@@ -49,6 +50,16 @@ struct CliOptions
     int scale = 0; ///< 0 = harness::benchScale()
     /** -1 = no stats endpoint; 0 = ephemeral port (printed at start). */
     int statsPort = -1;
+    /**
+     * Adversarial-tenant mode: every 4th request is a deliberately slow
+     * spin from tenant "adversary"; the rest run the kernel as tenant
+     * "victim" (exempt from the deadline so the comparison isolates
+     * queue/worker contention). Reported latencies are victim-only, so
+     * the JSON report's latency.p99Seconds is the victim p99 — run once
+     * without and once with --deadline-ms to measure how much of the
+     * adversary's damage deadlines claw back.
+     */
+    bool adversarial = false;
     svc::SvcConfig svcConfig = svc::svcConfigFromEnv();
 };
 
@@ -72,6 +83,10 @@ usage(const char* argv0)
         "  --scale=N            kernel dataset divisor\n"
         "  --stats-port=N       serve Prometheus /metrics + /healthz on "
         "127.0.0.1:N while the load runs (0 = ephemeral)\n"
+        "  --deadline-ms=N      per-request execution deadline "
+        "(default: $LNB_SVC_DEADLINE_MS or 0 = unkillable)\n"
+        "  --adversarial        mix in a slow-spinning 'adversary' "
+        "tenant; report victim-only latencies\n"
         "  --list-kernels       print the workload registry and exit\n",
         argv0);
 }
@@ -139,6 +154,10 @@ parseArgs(int argc, char** argv, CliOptions& opts)
             opts.tenants = std::atoi(v);
         } else if (const char* v = value("--scale=")) {
             opts.scale = std::atoi(v);
+        } else if (arg == "--adversarial") {
+            opts.adversarial = true;
+        } else if (const char* v = value("--deadline-ms=")) {
+            opts.svcConfig.deadlineMillis = uint64_t(std::atoll(v));
         } else if (const char* v = value("--stats-port=")) {
             opts.statsPort = std::atoi(v);
             if (opts.statsPort < 0 || opts.statsPort > 65535) {
@@ -165,21 +184,60 @@ struct LoadResult
     uint64_t submitted = 0;
     uint64_t rejected = 0;
     uint64_t completed = 0;
+    /** Non-deadline traps — genuine failures. */
     uint64_t trapped = 0;
+    /** Requests interrupted by the deadline reaper (expected under
+     * --deadline-ms, never a failure). */
+    uint64_t killed = 0;
     uint64_t warm = 0;
     double wallSeconds = 0;
-    std::vector<double> latencySeconds; ///< submit -> completion
+    /** submit -> completion; victim-only in adversarial mode. */
+    std::vector<double> latencySeconds;
 };
+
+/**
+ * The adversary's payload: a finite but deliberately slow store loop
+ * (~tens of ms under the JITs). Finite, so the deadline-OFF ablation
+ * run still terminates; slow, so every adversary request monopolizes a
+ * worker long enough to wreck the victim's p99 when nothing kills it.
+ */
+wasm::Module
+adversaryModule()
+{
+    wasm::ModuleBuilder mb;
+    mb.addMemory(1, 1);
+    auto& f = mb.addFunction(mb.addType({}, {wasm::ValType::i32}));
+    uint32_t i = f.addLocal(wasm::ValType::i32);
+    auto loop = f.loop();
+    f.i32Const(0);
+    f.localGet(i);
+    f.memOp(wasm::Op::i32_store);
+    f.localGet(i);
+    f.i32Const(1);
+    f.emit(wasm::Op::i32_add);
+    f.localSet(i);
+    f.localGet(i);
+    f.i32Const(60'000'000);
+    f.emit(wasm::Op::i32_lt_s);
+    f.brIf(loop);
+    f.end();
+    f.localGet(i);
+    mb.exportFunc("run", f.finish());
+    return mb.build();
+}
 
 LoadResult
 runLoad(svc::ExecutionService& service,
         const std::shared_ptr<const rt::CompiledModule>& module,
+        const std::shared_ptr<const rt::CompiledModule>& adversary,
         const CliOptions& opts)
 {
     LoadResult out;
     std::vector<std::future<svc::Response>> futures;
+    std::vector<bool> is_victim;
     uint64_t total = uint64_t(opts.rate * opts.seconds);
     futures.reserve(total);
+    is_victim.reserve(total);
 
     uint64_t interval = uint64_t(1e9 / opts.rate);
     uint64_t start = monotonicNanos();
@@ -190,25 +248,43 @@ runLoad(svc::ExecutionService& service,
             sleepNanos(scheduled - now);
 
         svc::Request request;
-        request.tenant =
-            "tenant-" + std::to_string(i % uint64_t(opts.tenants));
-        request.module = module;
+        bool victim = true;
+        if (adversary != nullptr) {
+            victim = i % 4 != 0;
+            request.tenant = victim ? "victim" : "adversary";
+            request.module = victim ? module : adversary;
+        } else {
+            request.tenant =
+                "tenant-" + std::to_string(i % uint64_t(opts.tenants));
+            request.module = module;
+        }
         auto submitted = service.submit(std::move(request));
         out.submitted++;
-        if (submitted.isOk())
+        if (submitted.isOk()) {
             futures.push_back(submitted.takeValue());
-        else
+            is_victim.push_back(victim);
+        } else {
             out.rejected++;
+        }
     }
-    for (std::future<svc::Response>& future : futures) {
-        svc::Response response = future.get();
+    for (size_t i = 0; i < futures.size(); i++) {
+        svc::Response response = futures[i].get();
         out.completed++;
-        if (!response.outcome.ok())
-            out.trapped++;
+        if (!response.outcome.ok()) {
+            if (response.outcome.trap ==
+                wasm::TrapKind::deadline_exceeded)
+                out.killed++;
+            else
+                out.trapped++;
+        }
         if (response.warmInstance)
             out.warm++;
-        out.latencySeconds.push_back(
-            double(response.queueNanos + response.execNanos) * 1e-9);
+        // Adversarial mode reports the victim's latency distribution:
+        // the adversary's own (killed or slow) completions would bury
+        // the isolation signal the ablation measures.
+        if (adversary == nullptr || is_victim[i])
+            out.latencySeconds.push_back(
+                double(response.queueNanos + response.execNanos) * 1e-9);
     }
     out.wallSeconds = double(monotonicNanos() - start) * 1e-9;
     return out;
@@ -260,16 +336,25 @@ main(int argc, char** argv)
                          "isolation scenario (DESIGN.md §9)");
     std::vector<uint8_t> bytes =
         wasm::encodeModule(kernel->buildModule(scale));
+    std::vector<uint8_t> adversary_bytes;
+    if (opts.adversarial) {
+        adversary_bytes = wasm::encodeModule(adversaryModule());
+        // The ablation isolates queue/worker contention: only the
+        // adversary is killable, the victim always runs to completion.
+        opts.svcConfig.tenantDeadlineMillis["victim"] = 0;
+    }
     std::printf("kernel=%s engine=%s scale=%d rate=%.0f/s "
-                "seconds=%.1f tenants=%d\n\n",
+                "seconds=%.1f tenants=%d deadline=%llums%s\n\n",
                 kernel->name.c_str(),
                 opts.tiered ? "tiered"
                             : rt::engineKindName(opts.engine),
-                scale, opts.rate, opts.seconds, opts.tenants);
+                scale, opts.rate, opts.seconds, opts.tenants,
+                (unsigned long long)opts.svcConfig.deadlineMillis,
+                opts.adversarial ? " adversarial" : "");
 
     harness::Table table({"strategy", "submitted", "rejected", "completed",
-                          "trapped", "req/s", "p50 ms", "p99 ms", "warm%",
-                          "cold us", "warm us"});
+                          "trapped", "killed", "req/s", "p50 ms", "p99 ms",
+                          "warm%", "cold us", "warm us"});
     int failures = 0;
     for (mem::BoundsStrategy strategy : opts.strategies) {
         rt::EngineConfig engine_config;
@@ -288,10 +373,23 @@ main(int argc, char** argv)
             continue;
         }
         auto module = loaded.takeValue();
+        std::shared_ptr<const rt::CompiledModule> adversary;
+        if (opts.adversarial) {
+            auto adv =
+                service.loadModule(adversary_bytes, engine_config);
+            if (!adv.isOk()) {
+                std::fprintf(stderr, "[%s] adversary compile failed: %s\n",
+                             mem::boundsStrategyName(strategy),
+                             adv.status().toString().c_str());
+                failures++;
+                continue;
+            }
+            adversary = adv.takeValue();
+        }
 
         obs::MetricsSnapshot before = obs::snapshotMetrics();
         obs::ProfileSnapshot prof_before = obs::snapshotProfile();
-        LoadResult load = runLoad(service, module, opts);
+        LoadResult load = runLoad(service, module, adversary, opts);
         obs::MetricsSnapshot after = obs::snapshotMetrics();
         obs::ProfileSnapshot prof_after = obs::snapshotProfile();
 
@@ -316,6 +414,7 @@ main(int argc, char** argv)
              harness::cell("%llu", (unsigned long long)load.rejected),
              harness::cell("%llu", (unsigned long long)load.completed),
              harness::cell("%llu", (unsigned long long)load.trapped),
+             harness::cell("%llu", (unsigned long long)load.killed),
              harness::cell("%.0f",
                            double(load.completed) / load.wallSeconds),
              harness::cell("%.3f",

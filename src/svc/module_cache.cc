@@ -59,7 +59,9 @@ engineConfigFingerprint(const rt::EngineConfig& config)
                       // Shared memory changes codegen (synchronizing
                       // memory.size, versioning gate) and instance
                       // memory flavor.
-                      (uint64_t(config.sharedMemory) << 24);
+                      (uint64_t(config.sharedMemory) << 24) |
+                      // Epoch polls change the emitted code.
+                      (uint64_t(config.epochChecks) << 25);
     uint64_t hash = fnv1a64(&packed, sizeof packed);
     hash = fnv1a64(&config.valueStackCells, sizeof config.valueStackCells,
                    hash);

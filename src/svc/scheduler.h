@@ -1,67 +1,123 @@
 /**
  * @file
- * Bounded MPMC submission queue for the execution service.
+ * Bounded weighted-fair submission queue for the execution service.
  *
  * Admission control is the producer side: tryPush() never blocks — when
- * the queue is at depth it returns false and the service rejects the
- * request with a status instead of building an unbounded backlog (the
- * reject-don't-queue backpressure policy, DESIGN.md §9). The consumer
- * side (pinned worker threads) blocks on pop() until work or shutdown.
+ * the queue is at total depth it returns false and the service rejects
+ * the request with a status instead of building an unbounded backlog
+ * (the reject-don't-queue backpressure policy, DESIGN.md §9). The
+ * consumer side (pinned worker threads) blocks on pop() until work or
+ * shutdown.
+ *
+ * Dequeue order is deficit round-robin over per-tenant sub-queues with
+ * unit item cost: each tenant visit at the head of the active ring is
+ * granted `weight` credits and serves up to that many consecutive items
+ * before rotating to the tail. This replaces the earlier global FIFO,
+ * where a quota-sized burst from one tenant added its full length to
+ * every other tenant's head-of-line latency; under DRR a tenant's wait
+ * for its next service is bounded by the sum of the other active
+ * tenants' weights, not by their backlog. With one active tenant DRR
+ * degenerates to FIFO, and per-tenant order is always FIFO.
  */
 #ifndef LNB_SVC_SCHEDULER_H
 #define LNB_SVC_SCHEDULER_H
 
 #include <condition_variable>
 #include <deque>
+#include <map>
 #include <mutex>
 #include <optional>
+#include <string>
+#include <vector>
 
 namespace lnb::svc {
 
 template <typename T>
-class BoundedQueue
+class FairQueue
 {
   public:
-    explicit BoundedQueue(size_t depth) : depth_(depth < 1 ? 1 : depth) {}
+    explicit FairQueue(size_t depth) : depth_(depth < 1 ? 1 : depth) {}
 
-    BoundedQueue(const BoundedQueue&) = delete;
-    BoundedQueue& operator=(const BoundedQueue&) = delete;
+    FairQueue(const FairQueue&) = delete;
+    FairQueue& operator=(const FairQueue&) = delete;
 
     /**
-     * Enqueue without blocking. Returns false (leaving @p item intact)
-     * when the queue is full or closed.
+     * Set a tenant's DRR weight (credits granted per ring visit; default
+     * 1, clamped to >= 1). Weights are normally configured up front
+     * (LNB_SVC_TENANT_WEIGHTS) but may change at any time; the new
+     * weight applies from the tenant's next visit.
+     */
+    void
+    setWeight(const std::string& tenant, uint32_t weight)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        tenants_[tenant].weight = weight < 1 ? 1 : weight;
+    }
+
+    /**
+     * Enqueue on @p tenant's sub-queue without blocking. Returns false
+     * (leaving @p item intact) when the queue is at total depth or
+     * closed.
      */
     bool
-    tryPush(T&& item)
+    tryPush(const std::string& tenant, T&& item)
     {
         {
             std::lock_guard<std::mutex> lock(mutex_);
-            if (closed_ || items_.size() >= depth_)
+            if (closed_ || total_ >= depth_)
                 return false;
-            items_.push_back(std::move(item));
+            SubQueue& q = tenants_[tenant];
+            q.items.push_back(std::move(item));
+            if (!q.inRing) {
+                q.inRing = true;
+                // A tenant (re)entering the ring starts a fresh visit.
+                q.credits = 0;
+                ring_.push_back(tenant);
+            }
+            total_++;
         }
         consumerCv_.notify_one();
         return true;
     }
 
     /**
-     * Dequeue; blocks until an item arrives. Returns nullopt once the
-     * queue is closed AND drained (pending items are always delivered).
+     * Dequeue the next item in DRR order; blocks until an item arrives.
+     * Returns nullopt once the queue is closed AND drained (pending
+     * items are always delivered — use closeAndDrain() to cancel them
+     * instead).
      */
     std::optional<T>
     pop()
     {
         std::unique_lock<std::mutex> lock(mutex_);
-        consumerCv_.wait(lock,
-                         [this] { return closed_ || !items_.empty(); });
-        if (items_.empty())
+        consumerCv_.wait(lock, [this] { return closed_ || total_ > 0; });
+        if (total_ == 0)
             return std::nullopt;
-        T item = std::move(items_.front());
-        items_.pop_front();
+        // The ring front always names a tenant with pending items.
+        const std::string name = ring_.front();
+        SubQueue& q = tenants_[name];
+        if (q.credits == 0)
+            q.credits = q.weight; // fresh visit: grant the quantum
+        T item = std::move(q.items.front());
+        q.items.pop_front();
+        q.credits--;
+        total_--;
+        if (q.items.empty()) {
+            // Leaving the ring forfeits leftover credits (classic DRR:
+            // an idle flow accrues no deficit).
+            ring_.pop_front();
+            q.inRing = false;
+            q.credits = 0;
+        } else if (q.credits == 0) {
+            // Quantum exhausted: rotate to the tail.
+            ring_.pop_front();
+            ring_.push_back(name);
+        }
         return item;
     }
 
-    /** Stop admitting work and wake idle consumers. */
+    /** Stop admitting work and wake idle consumers; pending items are
+     * still delivered to pop(). */
     void
     close()
     {
@@ -72,20 +128,62 @@ class BoundedQueue
         consumerCv_.notify_all();
     }
 
+    /**
+     * Close and return every pending item instead of delivering them —
+     * the shutdown-cancellation path (Service::stop() fails the queued
+     * requests itself rather than executing them).
+     */
+    std::vector<T>
+    closeAndDrain()
+    {
+        std::vector<T> out;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+            for (const std::string& name : ring_) {
+                SubQueue& q = tenants_[name];
+                for (T& item : q.items)
+                    out.push_back(std::move(item));
+                q.items.clear();
+                q.inRing = false;
+                q.credits = 0;
+            }
+            ring_.clear();
+            total_ = 0;
+        }
+        consumerCv_.notify_all();
+        return out;
+    }
+
     size_t
     size() const
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        return items_.size();
+        return total_;
     }
 
     size_t depth() const { return depth_; }
 
   private:
+    struct SubQueue
+    {
+        std::deque<T> items;
+        uint32_t weight = 1;
+        /** Remaining credits of the current ring visit; 0 means the next
+         * service grants a fresh quantum. */
+        uint32_t credits = 0;
+        bool inRing = false;
+    };
+
     const size_t depth_;
     mutable std::mutex mutex_;
     std::condition_variable consumerCv_;
-    std::deque<T> items_;
+    /** Sub-queues keyed by tenant; entries persist once created (weights
+     * outlive bursts). */
+    std::map<std::string, SubQueue> tenants_;
+    /** Round-robin ring of tenants with pending items. */
+    std::deque<std::string> ring_;
+    size_t total_ = 0;
     bool closed_ = false;
 };
 

@@ -1,6 +1,8 @@
 #include "svc/service.h"
 
 #include <atomic>
+#include <cstdlib>
+#include <cstring>
 
 #include "obs/metrics.h"
 #include "obs/profiler.h"
@@ -24,6 +26,12 @@ struct SvcMetrics
     obs::Counter completed = obs::registerCounter(
         "svc.requests_completed");
     obs::Counter trapped = obs::registerCounter("svc.requests_trapped");
+    /** Subset of trapped: killed by the deadline reaper. */
+    obs::Counter deadlineKilled = obs::registerCounter(
+        "svc.requests_deadline_killed");
+    /** Queued requests cancelled by stop() before they ran. */
+    obs::Counter cancelled = obs::registerCounter(
+        "svc.requests_cancelled");
     obs::Counter slow = obs::registerCounter("svc.requests_slow");
     obs::Histogram queueWait = obs::registerHistogram(
         "svc.queue_wait_ns");
@@ -62,6 +70,57 @@ mintSpanId()
     return next.fetch_add(1, std::memory_order_relaxed);
 }
 
+/**
+ * Parse a "name=value,name=value" tenant-map env knob (strict: a
+ * malformed entry logs one warning and is skipped). Values are
+ * non-negative integers bounded by @p max.
+ */
+std::map<std::string, uint64_t>
+envTenantMap(const char* name, uint64_t max)
+{
+    std::map<std::string, uint64_t> out;
+    const char* raw = std::getenv(name);
+    if (raw == nullptr || *raw == '\0')
+        return out;
+    std::string spec(raw);
+    size_t pos = 0;
+    while (pos <= spec.size()) {
+        size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string entry = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (entry.empty())
+            continue;
+        size_t eq = entry.find('=');
+        bool ok = eq != std::string::npos && eq > 0 &&
+                  eq + 1 < entry.size();
+        uint64_t value = 0;
+        if (ok) {
+            const std::string digits = entry.substr(eq + 1);
+            for (char c : digits) {
+                if (c < '0' || c > '9') {
+                    ok = false;
+                    break;
+                }
+                value = value * 10 + uint64_t(c - '0');
+                if (value > max) {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if (!ok) {
+            LNB_WARN("%s: malformed entry '%s' ignored "
+                     "(want tenant=integer in [0, %llu])",
+                     name, entry.c_str(), (unsigned long long)max);
+            continue;
+        }
+        out[entry.substr(0, eq)] = value;
+    }
+    return out;
+}
+
 } // namespace
 
 SvcConfig
@@ -80,6 +139,15 @@ svcConfigFromEnv()
         size_t(envInt("LNB_SVC_TENANT_QUOTA", 0, 0, 1 << 20));
     config.slowMillis =
         uint64_t(envInt("LNB_SVC_SLOW_MS", 0, 0, 1000 * 60 * 60));
+    config.deadlineMillis =
+        uint64_t(envInt("LNB_SVC_DEADLINE_MS", 0, 0, 1000 * 60 * 60));
+    config.tenantDeadlineMillis =
+        envTenantMap("LNB_SVC_TENANT_DEADLINES", 1000ull * 60 * 60);
+    for (const auto& [tenant, weight] :
+         envTenantMap("LNB_SVC_TENANT_WEIGHTS", 1u << 20)) {
+        config.tenantWeights[tenant] =
+            uint32_t(weight < 1 ? 1 : weight);
+    }
     return config;
 }
 
@@ -91,16 +159,74 @@ ExecutionService::ExecutionService(const SvcConfig& config)
     if (workers < 1)
         workers = 1;
     config_.workers = workers;
+    for (const auto& [tenant, weight] : config_.tenantWeights)
+        queue_.setWeight(tenant, weight);
+    inflight_.resize(size_t(workers));
     workers_.reserve(size_t(workers));
     for (int i = 0; i < workers; i++)
         workers_.emplace_back([this, i] { workerLoop(i); });
+    // The reaper always runs: deadlines can arrive per request even when
+    // the global default is 0, and an idle reaper just sleeps on the
+    // condvar.
+    reaper_ = std::thread([this] { reaperLoop(); });
 }
 
 ExecutionService::~ExecutionService()
 {
+    if (stopped_.load(std::memory_order_acquire)) {
+        // stop() already cancelled, interrupted and joined everything.
+        return;
+    }
+    // Legacy drain semantics: deliver every admitted request, then shut
+    // down. The reaper stays alive until the workers finish so deadlines
+    // keep firing during the drain.
     queue_.close();
     for (std::thread& worker : workers_)
         worker.join();
+    {
+        std::lock_guard<std::mutex> lock(inflightMutex_);
+        stopping_ = true;
+    }
+    reaperCv_.notify_all();
+    reaper_.join();
+}
+
+void
+ExecutionService::stop()
+{
+    bool expected = false;
+    if (!stopped_.compare_exchange_strong(expected, true))
+        return;
+    // Fail the queued-but-not-started requests: they never execute, so
+    // their quota slots are released here and their futures complete
+    // with an interrupted outcome.
+    std::vector<Job> pending = queue_.closeAndDrain();
+    for (Job& job : pending) {
+        {
+            std::lock_guard<std::mutex> lock(tenantsMutex_);
+            tenants_[tenantKey(job.request)].queued--;
+        }
+        svcMetrics().cancelled.add();
+        Response response;
+        response.spanId = job.spanId;
+        response.outcome.trap = wasm::TrapKind::interrupted;
+        job.promise.set_value(std::move(response));
+    }
+    // Interrupt whatever is executing right now. stopping_ is set under
+    // the in-flight mutex, so a worker between pop and arm observes it
+    // and skips execution instead of starting an unkillable run.
+    {
+        std::lock_guard<std::mutex> lock(inflightMutex_);
+        stopping_ = true;
+        for (InflightSlot& slot : inflight_) {
+            if (slot.armed && slot.instance != nullptr)
+                slot.instance->interrupt(wasm::TrapKind::interrupted);
+        }
+    }
+    reaperCv_.notify_all();
+    for (std::thread& worker : workers_)
+        worker.join();
+    reaper_.join();
 }
 
 Result<std::shared_ptr<const rt::CompiledModule>>
@@ -142,7 +268,7 @@ ExecutionService::submit(Request request)
     job.spanId = mintSpanId();
     std::future<Response> future = job.promise.get_future();
 
-    if (!queue_.tryPush(std::move(job))) {
+    if (!queue_.tryPush(tenant, std::move(job))) {
         svcMetrics().rejected.add();
         std::lock_guard<std::mutex> lock(tenantsMutex_);
         TenantStats& stats = tenants_[tenant];
@@ -225,8 +351,45 @@ ExecutionService::workerLoop(int worker_idx)
         } else {
             PooledInstance instance = lease.takeValue();
             response.warmInstance = instance.warm();
-            response.outcome = instance->callExport(
-                job->request.exportName, job->request.args);
+            // Arm this worker's in-flight slot for the reaper (deadline
+            // kills) and stop() (shutdown kills). Armed even without a
+            // deadline so stop() can always interrupt; skipped entirely
+            // when stop() already ran — the request is cancelled rather
+            // than started unkillable.
+            uint64_t deadline_ms =
+                effectiveDeadlineMillis(job->request);
+            bool cancelled = false;
+            {
+                std::lock_guard<std::mutex> lock(inflightMutex_);
+                if (stopping_) {
+                    cancelled = true;
+                } else {
+                    InflightSlot& slot = inflight_[size_t(worker_idx)];
+                    slot.instance = instance.get();
+                    slot.deadlineNanos =
+                        deadline_ms > 0
+                            ? picked_up + deadline_ms * 1000000ull
+                            : 0;
+                    slot.fired = false;
+                    slot.armed = true;
+                }
+            }
+            if (cancelled) {
+                response.outcome.trap = wasm::TrapKind::interrupted;
+            } else {
+                if (deadline_ms > 0)
+                    reaperCv_.notify_all();
+                response.outcome = instance->callExport(
+                    job->request.exportName, job->request.args);
+                // Disarm before the lease releases: the reaper
+                // interrupts under this mutex, so after the disarm no
+                // kill can reach the (about to be recycled) instance.
+                std::lock_guard<std::mutex> lock(inflightMutex_);
+                InflightSlot& slot = inflight_[size_t(worker_idx)];
+                slot.armed = false;
+                slot.instance = nullptr;
+                slot.deadlineNanos = 0;
+            }
             // Lease destructor releases (recycle + park) here.
         }
         uint64_t executed = monotonicNanos();
@@ -238,17 +401,22 @@ ExecutionService::workerLoop(int worker_idx)
         uint64_t total = executed - job->enqueueNanos;
         svcMetrics().requestLatency.record(total);
         svcMetrics().completed.add();
+        bool deadline_killed =
+            response.outcome.trap == wasm::TrapKind::deadline_exceeded;
         if (!response.outcome.ok())
             svcMetrics().trapped.add();
+        if (deadline_killed)
+            svcMetrics().deadlineKilled.add();
         if (config_.slowMillis > 0 &&
             total > config_.slowMillis * 1000000ull) {
             svcMetrics().slow.add();
             LNB_WARN("slow svc request: span=%llu tenant=%s export=%s "
-                     "total=%llums (queue=%lluus acquire=%lluus "
-                     "exec=%lluus)",
+                     "reason=%s total=%llums (queue=%lluus "
+                     "acquire=%lluus exec=%lluus)",
                      (unsigned long long)job->spanId,
                      tenantKey(job->request).c_str(),
                      job->request.exportName.c_str(),
+                     deadline_killed ? "deadline" : "latency",
                      (unsigned long long)(total / 1000000ull),
                      (unsigned long long)(response.queueNanos / 1000ull),
                      (unsigned long long)((acquired - picked_up) /
@@ -262,12 +430,67 @@ ExecutionService::workerLoop(int worker_idx)
             tenant.completed++;
             if (!response.outcome.ok())
                 tenant.trapped++;
+            if (deadline_killed)
+                tenant.deadlineKilled++;
         }
         job->promise.set_value(std::move(response));
         uint64_t responded = monotonicNanos();
         svcMetrics().phaseRespond.record(responded - executed);
         obs::recordAsyncSpan("svc.respond", job->spanId, executed,
                              responded - executed);
+    }
+}
+
+uint64_t
+ExecutionService::effectiveDeadlineMillis(const Request& request) const
+{
+    // Priority: per-request > per-tenant override > global default. An
+    // explicit tenant override of 0 exempts the tenant.
+    if (request.deadlineMillis > 0)
+        return request.deadlineMillis;
+    auto it = config_.tenantDeadlineMillis.find(tenantKey(request));
+    if (it != config_.tenantDeadlineMillis.end())
+        return it->second;
+    return config_.deadlineMillis;
+}
+
+void
+ExecutionService::reaperLoop()
+{
+    std::unique_lock<std::mutex> lock(inflightMutex_);
+    while (!stopping_) {
+        // Earliest pending deadline across the armed slots.
+        uint64_t next = 0;
+        for (const InflightSlot& slot : inflight_) {
+            if (slot.armed && !slot.fired && slot.deadlineNanos != 0 &&
+                (next == 0 || slot.deadlineNanos < next)) {
+                next = slot.deadlineNanos;
+            }
+        }
+        if (next == 0) {
+            // Nothing to watch; a worker arming a deadline (or stop())
+            // wakes us.
+            reaperCv_.wait(lock);
+            continue;
+        }
+        uint64_t now = monotonicNanos();
+        if (now < next) {
+            reaperCv_.wait_for(lock,
+                               std::chrono::nanoseconds(next - now));
+            continue; // re-derive: slots may have re-armed meanwhile
+        }
+        // Fire every expired slot. The interrupt happens while we hold
+        // inflightMutex_: the worker's disarm blocks on the same mutex,
+        // so the kill cannot land after the instance was recycled and
+        // re-leased to a different request.
+        for (InflightSlot& slot : inflight_) {
+            if (slot.armed && !slot.fired && slot.deadlineNanos != 0 &&
+                slot.deadlineNanos <= now && slot.instance != nullptr) {
+                slot.fired = true;
+                slot.instance->interrupt(
+                    wasm::TrapKind::deadline_exceeded);
+            }
+        }
     }
 }
 

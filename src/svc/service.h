@@ -21,10 +21,19 @@
  *                        unlimited; only the global queue bound applies)
  *   LNB_SVC_SLOW_MS     slow-request log threshold in ms (default: 0 =
  *                       disabled)
+ *   LNB_SVC_DEADLINE_MS default per-request execution deadline in ms
+ *                       (default: 0 = unkillable); the reaper thread
+ *                       interrupts an in-flight request that exceeds it
+ *                       and the response reports deadline_exceeded
+ *   LNB_SVC_TENANT_DEADLINES per-tenant deadline overrides,
+ *                       "tenantA=10,tenantB=0" (0 = no deadline)
+ *   LNB_SVC_TENANT_WEIGHTS  DRR dequeue weights, "tenantA=4,tenantB=1"
+ *                       (unlisted tenants weigh 1)
  */
 #ifndef LNB_SVC_SERVICE_H
 #define LNB_SVC_SERVICE_H
 
+#include <atomic>
 #include <future>
 #include <map>
 #include <memory>
@@ -60,6 +69,20 @@ struct SvcConfig
      * 0 disables the slow log.
      */
     uint64_t slowMillis = 0;
+    /**
+     * Default execution deadline in milliseconds, measured from worker
+     * pickup: when exceeded, the reaper thread interrupts the instance
+     * and the request completes with TrapKind::deadline_exceeded. The
+     * worker and its pooled instance are reused afterward (the kill is a
+     * clean-unwind trap; the pool recycle restores freshness). 0 means
+     * requests run unkillable, except by stop().
+     */
+    uint64_t deadlineMillis = 0;
+    /** Per-tenant deadline overrides (ms; an explicit 0 exempts the
+     * tenant from the global deadline). */
+    std::map<std::string, uint64_t> tenantDeadlineMillis;
+    /** Per-tenant DRR dequeue weights (see FairQueue; default 1). */
+    std::map<std::string, uint32_t> tenantWeights;
     /** Pin workers to cores (§3.5 harness protocol). */
     bool pinWorkers = true;
 };
@@ -75,6 +98,9 @@ struct Request
     std::shared_ptr<const rt::CompiledModule> module;
     std::string exportName = "run";
     std::vector<wasm::Value> args;
+    /** Per-request deadline override in ms; 0 inherits the tenant
+     * override, then the global SvcConfig::deadlineMillis. */
+    uint64_t deadlineMillis = 0;
 };
 
 /** Completed request. */
@@ -104,6 +130,8 @@ struct TenantStats
     uint64_t quotaRejected = 0;
     uint64_t completed = 0;
     uint64_t trapped = 0;
+    /** Subset of trapped: interrupted by the deadline reaper. */
+    uint64_t deadlineKilled = 0;
     /** Requests currently waiting in the submission queue. */
     uint64_t queued = 0;
 };
@@ -112,7 +140,8 @@ class ExecutionService
 {
   public:
     explicit ExecutionService(const SvcConfig& config = svcConfigFromEnv());
-    /** Drains already-admitted requests, then joins the workers. */
+    /** Drains already-admitted requests, then joins the workers (call
+     * stop() first for a bounded shutdown that cancels instead). */
     ~ExecutionService();
 
     ExecutionService(const ExecutionService&) = delete;
@@ -132,6 +161,17 @@ class ExecutionService
 
     /** submit() + wait. */
     Result<Response> call(Request request);
+
+    /**
+     * Bounded shutdown: stop admitting, fail every still-queued request
+     * with TrapKind::interrupted, interrupt every in-flight instance
+     * (the epoch check unwinds it within one poll interval — even out of
+     * a parked memory.atomic.wait), then join workers and reaper.
+     * Idempotent; the destructor becomes a no-op afterward. Unlike plain
+     * destruction, stop() returns promptly even when a tenant is wedged
+     * in an infinite loop.
+     */
+    void stop();
 
     /** Instances parked across all pools plus current queue depth
      * (diagnostics). */
@@ -153,19 +193,44 @@ class ExecutionService
         uint64_t spanId = 0;
     };
 
+    /**
+     * One worker's armed in-flight request, read by the deadline reaper.
+     * Guarded by inflightMutex_; the reaper interrupts while holding the
+     * mutex, so a worker's disarm (also under the mutex) strictly orders
+     * kill-vs-recycle: an interrupt can never land on an instance that
+     * was already released back to its pool and re-leased.
+     */
+    struct InflightSlot
+    {
+        rt::Instance* instance = nullptr;
+        /** Absolute monotonicNanos() kill time; 0 = no deadline (armed
+         * only so stop() can interrupt it). */
+        uint64_t deadlineNanos = 0;
+        bool armed = false;
+        bool fired = false;
+    };
+
     InstancePool& poolFor(
         const std::shared_ptr<const rt::CompiledModule>& module);
     void workerLoop(int worker_idx);
+    void reaperLoop();
+    uint64_t effectiveDeadlineMillis(const Request& request) const;
 
     SvcConfig config_;
     ModuleCache cache_;
-    BoundedQueue<Job> queue_;
+    FairQueue<Job> queue_;
     mutable std::mutex poolsMutex_;
     std::map<const rt::CompiledModule*, std::unique_ptr<InstancePool>>
         pools_;
     mutable std::mutex tenantsMutex_;
     std::map<std::string, TenantStats> tenants_;
+    std::mutex inflightMutex_;
+    std::condition_variable reaperCv_;
+    std::vector<InflightSlot> inflight_;
+    bool stopping_ = false;
+    std::atomic<bool> stopped_{false};
     std::vector<std::thread> workers_;
+    std::thread reaper_;
 };
 
 } // namespace lnb::svc

@@ -79,6 +79,8 @@ trapKindName(TrapKind kind)
       case TrapKind::unaligned_atomic: return "unaligned atomic";
       case TrapKind::atomic_wait_unshared:
         return "expected shared memory";
+      case TrapKind::interrupted: return "interrupted";
+      case TrapKind::deadline_exceeded: return "deadline exceeded";
     }
     return "?";
 }

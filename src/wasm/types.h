@@ -150,6 +150,8 @@ enum class TrapKind : uint8_t {
     host_error,
     unaligned_atomic,      ///< atomic access not naturally aligned
     atomic_wait_unshared,  ///< memory.atomic.wait* on a non-shared memory
+    interrupted,           ///< host asked the instance to stop (epoch check)
+    deadline_exceeded,     ///< request deadline fired (epoch check)
 };
 
 /** Human-readable trap description. */
