@@ -26,6 +26,8 @@
 #include "bench/bench_common.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <future>
 
 #include "obs/metrics.h"
@@ -393,6 +395,125 @@ main()
                                      "nothing\n");
                 failures++;
             }
+        }
+    }
+
+    // --- 5. cold-start anatomy: compile vs disk-warm vs restore -------
+    // The three ways a request can come to own runnable code+state,
+    // slowest to fastest: a cold compile (full pipeline), a disk-warm
+    // load (fresh process, persisted artifact under LNB_CODE_CACHE_DIR),
+    // and a snapshot-restore acquire (pooled instance remapped onto the
+    // post-start memory template). The restore column must be >= 10x
+    // cheaper than cold Instance::create on both a flat arena (trap) and
+    // the guard arena (mprotect) — the PR's headline number.
+    {
+        char dir_template[] = "/tmp/lnb_svc_load_cache_XXXXXX";
+        const char* cache_dir = mkdtemp(dir_template);
+        if (cache_dir == nullptr) {
+            std::fprintf(stderr, "mkdtemp failed for cache dir\n");
+            failures++;
+        }
+        const char* snap_env = std::getenv("LNB_SNAPSHOT");
+        bool snapshot_on =
+            snap_env == nullptr || std::strcmp(snap_env, "0") != 0;
+        int load_samples = harness::quickMode() ? 5 : 20;
+        Table cs_table({"strategy", "compile us", "disk load us",
+                        "cold create us", "restore us", "restore speedup"});
+        for (BoundsStrategy strategy :
+             {BoundsStrategy::trap, BoundsStrategy::mprotect}) {
+            const char* name = mem::boundsStrategyName(strategy);
+            rt::EngineConfig config;
+            config.kind = EngineKind::jit_base;
+            config.strategy = strategy;
+
+            // Cold compile: nothing cached anywhere.
+            uint64_t start = monotonicNanos();
+            auto compiled = rt::Engine(config).compileBytes(bytes);
+            double compile_us =
+                double(monotonicNanos() - start) * 1e-3;
+            if (!compiled.isOk()) {
+                std::fprintf(stderr, "[%s] compile failed: %s\n", name,
+                             compiled.status().toString().c_str());
+                failures++;
+                continue;
+            }
+            auto module = compiled.takeValue();
+
+            // Disk-warm: each iteration stands in for a new process — a
+            // fresh ModuleCache whose only help is the persisted file.
+            double disk_us = 0;
+            bool disk_ok = cache_dir != nullptr;
+            if (disk_ok) {
+                svc::ModuleCache seed(8, cache_dir);
+                disk_ok = seed.getOrCompile(bytes, config).isOk();
+            }
+            if (disk_ok) {
+                for (int i = 0; i < load_samples && disk_ok; i++) {
+                    svc::ModuleCache fresh(8, cache_dir);
+                    start = monotonicNanos();
+                    auto ld = fresh.getOrCompile(bytes, config);
+                    disk_us += double(monotonicNanos() - start) * 1e-3;
+                    disk_ok = ld.isOk() &&
+                              fresh.stats().persistHits == 1;
+                }
+                disk_us /= load_samples;
+            }
+            if (!disk_ok) {
+                std::fprintf(stderr,
+                             "[%s] disk-warm cache load failed\n", name);
+                failures++;
+            }
+
+            // Cold create vs snapshot-restore acquire: same pools as
+            // section 1; the rt.snapshot_restores delta proves the warm
+            // acquires went through template restore, not legacy
+            // re-initialization.
+            obs::MetricsSnapshot before = obs::snapshotMetrics();
+            AcquireCosts costs = measureAcquire(module, iterations);
+            obs::MetricsSnapshot after = obs::snapshotMetrics();
+            uint64_t restores = after.counter("rt.snapshot_restores") -
+                                before.counter("rt.snapshot_restores");
+            if (!costs.ok) {
+                std::fprintf(stderr, "[%s] acquire bench failed\n",
+                             name);
+                failures++;
+                continue;
+            }
+            double speedup =
+                costs.warmMeanSeconds > 0
+                    ? costs.coldMeanSeconds / costs.warmMeanSeconds
+                    : 0;
+            cs_table.addRow({name, cell("%.1f", compile_us),
+                             cell("%.1f", disk_us),
+                             cell("%.2f", costs.coldMeanSeconds * 1e6),
+                             cell("%.2f", costs.warmMeanSeconds * 1e6),
+                             cell("%.1fx", speedup)});
+            if (snapshot_on && restores == 0) {
+                std::fprintf(stderr,
+                             "FAIL: [%s] warm acquires did not use the "
+                             "snapshot-restore path\n",
+                             name);
+                failures++;
+            }
+            if (speedup < 10) {
+                std::fprintf(stderr,
+                             "FAIL: [%s] snapshot-restore acquire was "
+                             "only %.1fx cheaper than cold create "
+                             "(need >= 10x)\n",
+                             name, speedup);
+                failures++;
+            }
+        }
+        std::printf("\n[cold-start anatomy, %d create pairs/strategy]\n",
+                    iterations);
+        std::fputs(cs_table.toString().c_str(), stdout);
+        cs_table.maybeWriteCsv("svc_load_coldstart");
+        if (cache_dir != nullptr) {
+            std::string cleanup = "rm -rf ";
+            cleanup += cache_dir;
+            if (std::system(cleanup.c_str()) != 0)
+                std::fprintf(stderr, "warning: failed to clean %s\n",
+                             cache_dir);
         }
     }
 

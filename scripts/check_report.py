@@ -27,10 +27,17 @@ twice, deadlines off then on, and validates the deadline-kill counters
 (svc.requests_deadline_killed, rt.interrupts_*) plus the victim-tenant
 p99 the deadlines must restore.
 
+--coldstart mode runs two lnb_svc processes sharing a persistent
+LNB_CODE_CACHE_DIR: the second process must skip compilation entirely
+(0 compile scopes in its trace; the artifact deserialized from disk,
+pooled instances restored from the snapshot template) and its
+first-request module-acquire latency must drop >= 5x.
+
 Usage: check_report.py <path-to-micro_bounds>
        check_report.py --svc <path-to-lnb_svc>
        check_report.py --deadline <path-to-lnb_svc>
        check_report.py --threads <path-to-fig3_thread_scaling>
+       check_report.py --coldstart <path-to-lnb_svc>
 """
 
 import json
@@ -157,23 +164,35 @@ def check_svc_report(doc, path, strategies):
         "svc.pool_cold_acquires",
         "svc.pool_warm_acquires",
         "rt.instances_recycled",
-        "mem.reset_calls",
     ]
     for name in required:
         value = counters.get(name)
         if not isinstance(value, (int, float)) or value <= 0:
             fail(f"{path}: counter {name} missing or zero: {value!r}")
+    # Recycling goes through the snapshot-restore fast path when a
+    # template was captured (the default) and the legacy madvise-zap
+    # reset otherwise (LNB_SNAPSHOT=0, uffd emulation): one of the two
+    # must have fired.
+    if (counters.get("mem.reset_calls", 0) <= 0 and
+            counters.get("mem.restore_calls", 0) <= 0):
+        fail(f"{path}: neither mem.reset_calls nor mem.restore_calls "
+             f"is positive")
     if counters.get("svc.requests_trapped", 0) > 0:
         fail(f"{path}: requests trapped during smoke load")
 
     histograms = doc.get("histograms", {})
     for name in ("svc.request_ns", "svc.queue_wait_ns",
-                 "svc.acquire_warm_ns", "mem.reset_ns",
+                 "svc.acquire_warm_ns",
                  "svc.phase_acquire_ns", "svc.phase_exec_ns",
                  "svc.phase_respond_ns"):
         hist = histograms.get(name)
         if not hist or hist.get("count", 0) <= 0:
             fail(f"{path}: histogram {name} missing or empty: {hist!r}")
+    reset_hist = histograms.get("mem.reset_ns") or {}
+    restore_hist = histograms.get("mem.restore_ns") or {}
+    if (reset_hist.get("count", 0) <= 0 and
+            restore_hist.get("count", 0) <= 0):
+        fail(f"{path}: neither mem.reset_ns nor mem.restore_ns recorded")
     return config.get("strategy")
 
 
@@ -570,6 +589,129 @@ def run_threads_scaling(fig3):
     print("check_report: PASS")
 
 
+def coldstart_run(lnb_svc, cache_dir, json_dir, trace_path=None):
+    """One lnb_svc process against the shared code-cache dir; returns
+    (report doc, report path)."""
+    os.makedirs(json_dir)
+    env = dict(os.environ)
+    env["LNB_CODE_CACHE_DIR"] = cache_dir
+    env["LNB_SNAPSHOT"] = "1"
+    env["LNB_JSON_DIR"] = json_dir
+    if trace_path is not None:
+        env["LNB_TRACE_FILE"] = trace_path
+    cmd = [
+        lnb_svc,
+        "--kernel=3mm",
+        "--engine=jit-opt",
+        "--strategies=trap",
+        "--scale=2",
+        "--rate=50",
+        "--seconds=0.3",
+        "--workers=1",
+        "--queue-depth=64",
+    ]
+    proc = subprocess.run(cmd, env=env, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout)
+        sys.stderr.write(proc.stderr)
+        fail(f"{' '.join(cmd)} exited with {proc.returncode}")
+    reports = [
+        name
+        for name in os.listdir(json_dir)
+        if name.endswith(".json") and not name.startswith("metrics_")
+    ]
+    if len(reports) != 1:
+        fail(f"expected 1 coldstart report, got {reports}")
+    path = os.path.join(json_dir, reports[0])
+    return load_json(path), path
+
+
+# Trace scopes that mark a trip through the compilation pipeline. The
+# second (disk-warm) coldstart process must emit none of them.
+COMPILE_SCOPES = ("rt.compile", "jit.compile", "svc.cache_compile")
+
+
+def coldstart_attempt(lnb_svc, attempt):
+    """One cold-vs-warm process pair sharing LNB_CODE_CACHE_DIR.
+
+    The structural invariants (second process compiles nothing, serves
+    the artifact from disk, and restores pooled instances from the
+    snapshot template) are deterministic and fail the check outright.
+    Returns the first-request speedup ratio, which is timing and left
+    to the caller's retry policy.
+    """
+    with tempfile.TemporaryDirectory(prefix="lnb_coldstart_") as tmp:
+        cache_dir = os.path.join(tmp, "cache")
+        os.makedirs(cache_dir)
+        trace_path = os.path.join(tmp, "trace2.json")
+        cold, cold_path = coldstart_run(
+            lnb_svc, cache_dir, os.path.join(tmp, "run1"))
+        warm, warm_path = coldstart_run(
+            lnb_svc, cache_dir, os.path.join(tmp, "run2"), trace_path)
+
+        cold_counters = cold.get("counters", {})
+        warm_counters = warm.get("counters", {})
+        if cold_counters.get("svc.cache_persist_misses", 0) < 1:
+            fail(f"{cold_path}: cold run recorded no persist miss")
+        if cold_counters.get("jit.modules_compiled", 0) < 1:
+            fail(f"{cold_path}: cold run compiled no module")
+        if warm_counters.get("svc.cache_persist_hits", 0) < 1:
+            fail(f"{warm_path}: warm run served no persisted artifact")
+        if warm_counters.get("svc.cache_persist_misses", 0) != 0:
+            fail(f"{warm_path}: warm run missed the disk cache")
+        if warm_counters.get("jit.modules_compiled", 0) != 0:
+            fail(f"{warm_path}: warm run recompiled the module")
+        if warm_counters.get("rt.snapshot_restores", 0) <= 0:
+            fail(f"{warm_path}: warm run restored no snapshot instances")
+
+        # The warm process must not enter the compilation pipeline at
+        # all: zero compile scopes in its trace (the load path is
+        # traced as svc.cache_load instead).
+        trace = load_json(trace_path)
+        events = trace.get("traceEvents")
+        if not isinstance(events, list) or not events:
+            fail(f"{trace_path}: warm run produced no trace events")
+        compiles = [e for e in events if e.get("name") in COMPILE_SCOPES]
+        if compiles:
+            fail(f"{trace_path}: warm run emitted compile scopes: "
+                 f"{sorted({e['name'] for e in compiles})}")
+        names = {e.get("name") for e in events}
+        if "svc.cache_load" not in names:
+            fail(f"{trace_path}: warm run has no svc.cache_load scope")
+
+        cold_first = cold.get("compileSeconds", 0.0)
+        warm_first = warm.get("compileSeconds", 0.0)
+        if cold_first <= 0 or warm_first <= 0:
+            fail(f"coldstart reports lack compileSeconds "
+                 f"(cold={cold_first}, warm={warm_first})")
+        ratio = cold_first / warm_first
+        print(f"check_report: coldstart attempt {attempt}: first request "
+              f"{cold_first * 1e6:.0f} us cold vs {warm_first * 1e6:.0f} us "
+              f"disk-warm ({ratio:.1f}x)")
+        return ratio
+
+
+def run_coldstart(lnb_svc):
+    """Two lnb_svc processes sharing a persistent code cache: the second
+    must skip compilation entirely (0 compile scopes in its trace, the
+    artifact served from disk, pooled instances restored from the
+    snapshot template) and its first request must be >= 5x faster. The
+    structural checks are exact on every attempt; the timing ratio is
+    retried against scheduler noise."""
+    attempts = 3
+    ratios = []
+    for attempt in range(1, attempts + 1):
+        ratio = coldstart_attempt(lnb_svc, attempt)
+        ratios.append(ratio)
+        if ratio >= 5.0:
+            print(f"check_report: coldstart OK ({ratio:.1f}x first-request "
+                  f"speedup, 0 compile scopes in the warm process)")
+            print("check_report: PASS")
+            return
+    fail(f"warm-cache first-request speedup below 5x on all "
+         f"{attempts} attempts: {', '.join(f'{r:.1f}x' for r in ratios)}")
+
+
 def main():
     if len(sys.argv) == 3 and sys.argv[1] in ("--svc", "--svc-profiled"):
         lnb_svc = sys.argv[2]
@@ -598,10 +740,16 @@ def main():
             fail(f"not executable: {fig3}")
         run_threads_scaling(fig3)
         return
+    if len(sys.argv) == 3 and sys.argv[1] == "--coldstart":
+        lnb_svc = sys.argv[2]
+        if not os.access(lnb_svc, os.X_OK):
+            fail(f"not executable: {lnb_svc}")
+        run_coldstart(lnb_svc)
+        return
     if len(sys.argv) != 2:
         fail(f"usage: {sys.argv[0]} "
-             f"[--svc|--svc-profiled|--ablation|--deadline|--threads] "
-             f"<path-to-binary>")
+             f"[--svc|--svc-profiled|--ablation|--deadline|--threads"
+             f"|--coldstart] <path-to-binary>")
     micro_bounds = sys.argv[1]
     if not os.access(micro_bounds, os.X_OK):
         fail(f"not executable: {micro_bounds}")

@@ -687,6 +687,21 @@ Assembler::callImm(const void* target)
     callReg(r11);
 }
 
+void
+Assembler::callImmReloc(const void* target, RelocKind kind, uint64_t addend)
+{
+    movRI64Reloc(r11, uint64_t(target), kind, addend);
+    callReg(r11);
+}
+
+void
+Assembler::movRI64Reloc(Reg dst, uint64_t imm, RelocKind kind,
+                        uint64_t addend)
+{
+    movRI64(dst, imm);
+    recordReloc(kind, addend);
+}
+
 void Assembler::ret() { byte(0xC3); }
 
 void
@@ -728,6 +743,10 @@ Assembler::absq(Label label)
         state.abs64Fixups.push_back(pos_);
         u64(0);
     }
+    // The slot holds a pointer into this very buffer once the label
+    // binds; the serializer recovers the base-relative addend from the
+    // patched bytes.
+    recordReloc(RelocKind::codeAbs, 0);
 }
 
 void

@@ -69,6 +69,38 @@ struct Label
 };
 
 /**
+ * Kind of an absolute 64-bit address embedded in emitted code. rel32
+ * branches are position-independent and need no fixup when code moves;
+ * these three are the only patterns that pin the code to one process
+ * image, so recording them at emit time is what makes a finished code
+ * buffer serializable (DESIGN.md §14).
+ */
+enum class RelocKind : uint8_t {
+    /** Address of a process-local runtime glue symbol (host-call /
+     * interrupt / atomic / bulk-memory helpers). addend = GlueSym id
+     * (see jit/compiler.h); re-resolved from the loader's own symbol
+     * table. */
+    glue,
+    /** Address inside the module's exec::FuncCode entry table. addend =
+     * byte offset from the table base; re-based onto the loading
+     * module's freshly allocated table. */
+    codeTable,
+    /** Address inside this code buffer itself (jump-table slots,
+     * movabs-materialized label addresses). addend = byte offset from
+     * the buffer base; re-based onto the mapped-in copy. */
+    codeAbs,
+};
+
+/** One recorded absolute-address site: the imm64 field lives at byte
+ * `offset` in the finished code. */
+struct Reloc
+{
+    uint32_t offset = 0;
+    RelocKind kind = RelocKind::glue;
+    uint64_t addend = 0;
+};
+
+/**
  * Emits into an external byte buffer (the executable CodeBuffer, still RW
  * while compiling). The assembler never reallocates the buffer; the caller
  * guarantees capacity and checks overflow() at the end.
@@ -194,6 +226,8 @@ class Assembler
     void callLabel(Label target);
     void callReg(Reg target);
     void callImm(const void* target); ///< via movabs r11 + call r11
+    /** callImm that records a relocation for the movabs imm64. */
+    void callImmReloc(const void* target, RelocKind kind, uint64_t addend);
     void ret();
     void ud2();
     void int3();
@@ -205,8 +239,22 @@ class Assembler
      * label when it binds (jump tables). */
     void absq(Label label);
 
-    /** movabs reg, &label — materialize a label's absolute address. */
+    /** movabs reg, &label — materialize a label's absolute address.
+     * Records a codeAbs relocation for the slot automatically. */
     void movRI64Label(Reg dst, Label label);
+
+    /** movRI64 that records a relocation for the imm64 field. */
+    void movRI64Reloc(Reg dst, uint64_t imm, RelocKind kind,
+                      uint64_t addend);
+
+    /**
+     * Every absolute-address site recorded while emitting. codeAbs
+     * entries carry addend 0 here; the serializer recovers the real
+     * buffer-relative addend by subtracting bufferBase() from the
+     * patched imm64 (labels bind after the site is recorded).
+     */
+    const std::vector<Reloc>& relocs() const { return relocs_; }
+    std::vector<Reloc> takeRelocs() { return std::move(relocs_); }
 
     // ----- SSE scalar -----
     void movssRM(Xmm dst, Mem src);
@@ -298,11 +346,19 @@ class Assembler
         std::vector<size_t> abs64Fixups;
     };
 
+    /** Record a reloc whose imm64 field ends at the current position. */
+    void recordReloc(RelocKind kind, uint64_t addend)
+    {
+        if (!overflow_ && pos_ >= 8)
+            relocs_.push_back({uint32_t(pos_ - 8), kind, addend});
+    }
+
     uint8_t* buf_;
     size_t cap_;
     size_t pos_ = 0;
     bool overflow_ = false;
     std::vector<LabelState> labels_;
+    std::vector<Reloc> relocs_;
 };
 
 } // namespace lnb::jit

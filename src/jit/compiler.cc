@@ -4,11 +4,13 @@
 #include <cpuid.h>
 #include <cstddef>
 #include <cstdio>
+#include <cstring>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "jit/assembler.h"
 #include "jit/code_buffer.h"
+#include "wasm/serialize.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/trace.h"
@@ -41,6 +43,47 @@ jitMetrics()
 {
     static JitMetrics m;
     return m;
+}
+
+/**
+ * Stable ids for the runtime glue symbols generated code calls through
+ * movabs (RelocKind::glue addends). The ids go to disk inside serialized
+ * artifacts, so the numbering must never be reordered — append only.
+ */
+enum GlueSym : uint64_t {
+    kGlueHostCall = 0,
+    kGlueInterrupt = 1,
+    kGlueAtomic = 2,
+    kGlueMemSize = 3,
+    kGlueMemGrow = 4,
+    kGlueMemCopy = 5,
+    kGlueMemFill = 6,
+    kGlueCount = 7,
+};
+
+/** Current process address of glue symbol @p id; null for unknown ids
+ * (an artifact written by a newer build — the caller rejects it). */
+const void*
+glueSymAddress(uint64_t id)
+{
+    switch (id) {
+      case kGlueHostCall:
+        return reinterpret_cast<const void*>(&exec::lnbJitHostCall);
+      case kGlueInterrupt:
+        return reinterpret_cast<const void*>(&exec::lnbJitInterrupt);
+      case kGlueAtomic:
+        return reinterpret_cast<const void*>(&exec::lnbJitAtomic);
+      case kGlueMemSize:
+        return reinterpret_cast<const void*>(&exec::lnbJitMemorySize);
+      case kGlueMemGrow:
+        return reinterpret_cast<const void*>(&exec::lnbJitMemoryGrow);
+      case kGlueMemCopy:
+        return reinterpret_cast<const void*>(&exec::lnbJitMemoryCopy);
+      case kGlueMemFill:
+        return reinterpret_cast<const void*>(&exec::lnbJitMemoryFill);
+      default:
+        return nullptr;
+    }
 }
 
 using exec::InstanceContext;
@@ -448,7 +491,8 @@ class FunctionCompiler
             return;
         as_.bind(interruptLabel_);
         as_.movRR64(rdi, kCtxReg);
-        as_.callImm(reinterpret_cast<const void*>(&exec::lnbJitInterrupt));
+        as_.callImmReloc(reinterpret_cast<const void*>(&exec::lnbJitInterrupt),
+                         RelocKind::glue, kGlueInterrupt);
     }
 
     // ----- bounds-check cache (opt tier) -----
@@ -1063,7 +1107,9 @@ FunctionCompiler::emitCall(const LInst& inst)
         // release store on the compiler thread, and x86-TSO makes the
         // dependent call see the published code). edx carries the
         // function index for interpreter entries.
-        as_.movRI64(rax, uint64_t(&opts_.codeTable[inst.a].entry));
+        as_.movRI64Reloc(rax, uint64_t(&opts_.codeTable[inst.a].entry),
+                         RelocKind::codeTable,
+                         uint64_t(inst.a) * sizeof(exec::FuncCode));
         as_.movRM64(rax, Mem{rax, 0});
         as_.movRI32(rdx, inst.a);
         as_.callReg(rax);
@@ -1089,7 +1135,8 @@ FunctionCompiler::emitCallHost(const LInst& inst)
     as_.movRR64(rdi, kCtxReg);
     as_.lea(rsi, cellMem(inst.b));
     as_.movRI32(rdx, inst.a);
-    as_.callImm(reinterpret_cast<const void*>(&exec::lnbJitHostCall));
+    as_.callImmReloc(reinterpret_cast<const void*>(&exec::lnbJitHostCall),
+                     RelocKind::glue, kGlueHostCall);
 
     reloadFloatMask(inst.aux);
     if (!callee.results.empty())
@@ -1135,7 +1182,8 @@ FunctionCompiler::emitCallIndirect(const LInst& inst)
                                                    funcIdx))});
         as_.movRR64(rax, rdx);
         as_.shiftImm64(4, rax, 4); // * sizeof(FuncCode) == 16
-        as_.movRI64(r11, uint64_t(opts_.codeTable));
+        as_.movRI64Reloc(r11, uint64_t(opts_.codeTable),
+                         RelocKind::codeTable, 0);
         as_.addRR64(rax, r11);
         as_.movRM64(rax, Mem{rax, 0});
     } else {
@@ -1382,7 +1430,8 @@ FunctionCompiler::emitAtomic(const LInst& inst)
         as_.movRI64(r8, inst.imm);
     as_.movRI32(r9, exec::atomicOpMode(
                         aop, is64, exec::checkModeFor(opts_.strategy)));
-    as_.callImm(reinterpret_cast<const void*>(&exec::lnbJitAtomic));
+    as_.callImmReloc(reinterpret_cast<const void*>(&exec::lnbJitAtomic),
+                     RelocKind::glue, kGlueAtomic);
     reloadFloatMask(inst.aux);
     if (aop != exec::AtomicOp::store)
         storeGpr64(inst.a, rax); // glue returns zero-extended results
@@ -2029,8 +2078,9 @@ FunctionCompiler::emitWasmOp(const LInst& inst)
             // refreshes ctx->memSize from the authoritative size word.
             spillFloatMask(inst.aux);
             as_.movRR64(rdi, kCtxReg);
-            as_.callImm(
-                reinterpret_cast<const void*>(&exec::lnbJitMemorySize));
+            as_.callImmReloc(
+                reinterpret_cast<const void*>(&exec::lnbJitMemorySize),
+                RelocKind::glue, kGlueMemSize);
             reloadFloatMask(inst.aux);
             storeGpr32(inst.a, rax);
             noteOpaqueMemClobber();
@@ -2044,7 +2094,9 @@ FunctionCompiler::emitWasmOp(const LInst& inst)
         spillFloatMask(inst.aux);
         as_.movRR64(rdi, kCtxReg);
         loadGpr32(rsi, inst.a);
-        as_.callImm(reinterpret_cast<const void*>(&exec::lnbJitMemoryGrow));
+        as_.callImmReloc(
+            reinterpret_cast<const void*>(&exec::lnbJitMemoryGrow),
+            RelocKind::glue, kGlueMemGrow);
         reloadFloatMask(inst.aux);
         storeGpr32(inst.a, rax);
         noteOpaqueMemClobber();
@@ -2055,7 +2107,9 @@ FunctionCompiler::emitWasmOp(const LInst& inst)
         loadGpr32(rsi, inst.a);
         loadGpr32(rdx, inst.a + 1);
         loadGpr32(rcx, inst.a + 2);
-        as_.callImm(reinterpret_cast<const void*>(&exec::lnbJitMemoryCopy));
+        as_.callImmReloc(
+            reinterpret_cast<const void*>(&exec::lnbJitMemoryCopy),
+            RelocKind::glue, kGlueMemCopy);
         reloadFloatMask(inst.aux);
         return;
       case Op::memory_fill:
@@ -2064,7 +2118,9 @@ FunctionCompiler::emitWasmOp(const LInst& inst)
         loadGpr32(rsi, inst.a);
         loadGpr32(rdx, inst.a + 1);
         loadGpr32(rcx, inst.a + 2);
-        as_.callImm(reinterpret_cast<const void*>(&exec::lnbJitMemoryFill));
+        as_.callImmReloc(
+            reinterpret_cast<const void*>(&exec::lnbJitMemoryFill),
+            RelocKind::glue, kGlueMemFill);
         reloadFloatMask(inst.aux);
         return;
 
@@ -2590,6 +2646,9 @@ class ModuleArtifact : public CompiledCode
     /** First defined-function index covered by entryOffsets_ (non-zero
      * for single-function tier-up artifacts). */
     uint32_t firstDefined_ = 0;
+    /** Absolute-address sites recorded at emit time; everything a
+     * serialized copy of the code must re-patch (DESIGN.md §14). */
+    std::vector<Reloc> relocs_;
 
     /** Fill codeInfo_ from the collected offsets + check ranges. */
     void
@@ -2655,9 +2714,10 @@ compileModule(const LoweredModule& module, const JitOptions& options)
     for (uint32_t i = 0; i < artifact->numImports_; i++) {
         artifact->thunkOffsets_.push_back(as.size());
         as.movRI32(rdx, i);
-        as.movRI64(r11,
-                   uint64_t(reinterpret_cast<const void*>(
-                       &exec::lnbJitHostCall)));
+        as.movRI64Reloc(r11,
+                        uint64_t(reinterpret_cast<const void*>(
+                            &exec::lnbJitHostCall)),
+                        RelocKind::glue, kGlueHostCall);
         as.jmpReg(r11);
     }
 
@@ -2684,6 +2744,7 @@ compileModule(const LoweredModule& module, const JitOptions& options)
     jitMetrics().modulesCompiled.add();
     jitMetrics().functionsCompiled.add(module.funcs.size());
     jitMetrics().codeBytes.add(as.size());
+    artifact->relocs_ = as.takeRelocs();
     artifact->buffer_ = std::move(buffer);
     return std::unique_ptr<CompiledCode>(std::move(artifact));
 }
@@ -2722,6 +2783,126 @@ compileFunction(const LoweredModule& module, uint32_t func_idx,
     LNB_RETURN_IF_ERROR(buffer->finalize(as.size(), &artifact->codeInfo_));
     jitMetrics().functionsCompiled.add();
     jitMetrics().codeBytes.add(as.size());
+    artifact->relocs_ = as.takeRelocs();
+    artifact->buffer_ = std::move(buffer);
+    return std::unique_ptr<CompiledCode>(std::move(artifact));
+}
+
+// ---------------------------------------------------------------------
+// Artifact serialization (the persistent code cache, DESIGN.md §14)
+// ---------------------------------------------------------------------
+
+void
+serializeCode(const CompiledCode& code, wasm::ByteWriter& w)
+{
+    const auto& art = static_cast<const ModuleArtifact&>(code);
+    const uint8_t* base = art.buffer_->data();
+
+    w.u32(art.numImports_);
+    w.u32(art.firstDefined_);
+    w.u64(art.buffer_->used());
+    w.u64(art.entryOffsets_.size());
+    for (size_t off : art.entryOffsets_)
+        w.u64(off);
+    w.u64(art.thunkOffsets_.size());
+    for (size_t off : art.thunkOffsets_)
+        w.u64(off);
+
+    w.u8(art.codeInfo_.tier);
+    w.podVec(art.codeInfo_.funcStarts);
+    w.podVec(art.codeInfo_.funcIndices);
+    w.podVec(art.codeInfo_.checkStarts);
+    w.podVec(art.codeInfo_.checkEnds);
+
+    w.u64(art.relocs_.size());
+    for (const Reloc& reloc : art.relocs_) {
+        // codeAbs sites were recorded before their labels bound, so the
+        // vector holds addend 0; the finished code holds the absolute
+        // patched address — recover the base-relative addend here.
+        uint64_t addend = reloc.addend;
+        if (reloc.kind == RelocKind::codeAbs) {
+            uint64_t absolute;
+            std::memcpy(&absolute, base + reloc.offset, sizeof absolute);
+            addend = absolute - uint64_t(reinterpret_cast<uintptr_t>(base));
+        }
+        w.u32(reloc.offset);
+        w.u8(uint8_t(reloc.kind));
+        w.u64(addend);
+    }
+
+    w.raw(base, art.buffer_->used());
+}
+
+Result<std::unique_ptr<CompiledCode>>
+deserializeCode(wasm::ByteReader& r, exec::FuncCode* code_table)
+{
+    auto artifact = std::make_unique<ModuleArtifact>();
+    artifact->numImports_ = r.u32();
+    artifact->firstDefined_ = r.u32();
+    uint64_t used = r.u64();
+
+    uint64_t n = r.u64();
+    for (uint64_t i = 0; i < n && r.ok(); i++)
+        artifact->entryOffsets_.push_back(size_t(r.u64()));
+    n = r.u64();
+    for (uint64_t i = 0; i < n && r.ok(); i++)
+        artifact->thunkOffsets_.push_back(size_t(r.u64()));
+
+    artifact->codeInfo_.tier = r.u8();
+    artifact->codeInfo_.funcStarts = r.podVec<uint32_t>();
+    artifact->codeInfo_.funcIndices = r.podVec<uint32_t>();
+    artifact->codeInfo_.checkStarts = r.podVec<uint32_t>();
+    artifact->codeInfo_.checkEnds = r.podVec<uint32_t>();
+
+    n = r.u64();
+    for (uint64_t i = 0; i < n && r.ok(); i++) {
+        Reloc reloc;
+        reloc.offset = r.u32();
+        reloc.kind = RelocKind(r.u8());
+        reloc.addend = r.u64();
+        artifact->relocs_.push_back(reloc);
+    }
+
+    const uint8_t* code = r.rawBytes(size_t(used));
+    if (!r.ok() || code == nullptr)
+        return errInvalid("truncated serialized code artifact");
+
+    LNB_ASSIGN_OR_RETURN(auto buffer, CodeBuffer::allocate(size_t(used)));
+    std::memcpy(buffer->data(), code, size_t(used));
+
+    // Patch every absolute-address site against this process's symbols
+    // and allocations while the buffer is still RW.
+    for (const Reloc& reloc : artifact->relocs_) {
+        if (reloc.offset + 8 > used)
+            return errInvalid("relocation outside serialized code");
+        uint64_t value;
+        switch (reloc.kind) {
+          case RelocKind::glue: {
+            const void* sym = glueSymAddress(reloc.addend);
+            if (sym == nullptr)
+                return errInvalid("unknown glue symbol in artifact");
+            value = uint64_t(reinterpret_cast<uintptr_t>(sym));
+            break;
+          }
+          case RelocKind::codeTable:
+            if (code_table == nullptr)
+                return errInvalid("artifact needs a code table");
+            value = uint64_t(reinterpret_cast<uintptr_t>(code_table)) +
+                    reloc.addend;
+            break;
+          case RelocKind::codeAbs:
+            value = uint64_t(reinterpret_cast<uintptr_t>(buffer->data())) +
+                    reloc.addend;
+            break;
+          default:
+            return errInvalid("unknown relocation kind in artifact");
+        }
+        std::memcpy(buffer->data() + reloc.offset, &value, sizeof value);
+    }
+
+    LNB_RETURN_IF_ERROR(
+        buffer->finalize(size_t(used), &artifact->codeInfo_));
+    jitMetrics().codeBytes.add(used);
     artifact->buffer_ = std::move(buffer);
     return std::unique_ptr<CompiledCode>(std::move(artifact));
 }

@@ -22,6 +22,7 @@
 #include "mem/linear_memory.h"
 #include "support/status.h"
 #include "wasm/lower.h"
+#include "wasm/serialize.h"
 
 namespace lnb::jit {
 
@@ -123,6 +124,25 @@ compileFunction(const wasm::LoweredModule& module, uint32_t func_idx,
 /** True if this CPU supports the instruction set the JIT emits
  * (x86-64 with SSE4.1). */
 bool jitSupported();
+
+/**
+ * Serialize a finished artifact (module- or function-granular) into @p w:
+ * entry/thunk offset tables, the profiler symbolization side table, the
+ * relocation table recorded at emit time, and the raw code bytes. The
+ * result is position- and process-independent — every absolute address
+ * the code embeds is covered by a relocation (DESIGN.md §14).
+ */
+void serializeCode(const CompiledCode& code, wasm::ByteWriter& w);
+
+/**
+ * Rebuild an artifact in this process: map fresh executable memory, copy
+ * the code, patch the relocation sites against this process's glue
+ * symbols / @p code_table / the new buffer base, flip to RX and
+ * re-register with the code registry. @p code_table may be null only for
+ * artifacts that recorded no codeTable relocations (directJitCalls).
+ */
+Result<std::unique_ptr<CompiledCode>>
+deserializeCode(wasm::ByteReader& r, exec::FuncCode* code_table);
 
 } // namespace lnb::jit
 

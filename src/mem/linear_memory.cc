@@ -47,6 +47,15 @@ struct MemMetrics
         "mem.grow_ns");
     obs::Histogram resetLatency = obs::registerHistogram(
         "mem.reset_ns");
+    /** Snapshot/restore protocol traffic (DESIGN.md §14). */
+    obs::Counter snapshotCaptures = obs::registerCounter(
+        "mem.snapshot_captures");
+    obs::Counter snapshotAdopts = obs::registerCounter(
+        "mem.snapshot_adopts");
+    obs::Counter restoreCalls = obs::registerCounter(
+        "mem.restore_calls");
+    obs::Histogram restoreLatency = obs::registerHistogram(
+        "mem.restore_ns");
 };
 
 MemMetrics&
@@ -116,6 +125,12 @@ realUffdAvailable()
 {
     static const bool available = probeRealUffd();
     return available;
+}
+
+MemorySnapshot::~MemorySnapshot()
+{
+    if (fd_ >= 0)
+        close(fd_);
 }
 
 Result<std::unique_ptr<LinearMemory>>
@@ -408,6 +423,157 @@ LinearMemory::reset()
         arena_->bounds.store(initialBytes_, std::memory_order_release);
     sizeBytes_.store(initialBytes_, std::memory_order_release);
     highWaterBytes_ = initialBytes_;
+    memMetrics().resetSyscalls.add(syscalls);
+    return Status::ok();
+}
+
+Result<std::shared_ptr<MemorySnapshot>>
+LinearMemory::snapshot()
+{
+    LNB_TRACE_SCOPE("mem.snapshot");
+    if (config_.shared)
+        return errUnsupported("shared memories cannot be snapshotted");
+    if (arenaKind_ == ArenaKind::uffd_emu) {
+        // The emulation grants access with page-granular mprotect calls
+        // that would not survive (or compose with) a file-backed
+        // MAP_FIXED replacement mapping.
+        return errUnsupported(
+            "uffd emulation cannot back a CoW template");
+    }
+    uint64_t size = sizeBytes_.load(std::memory_order_acquire);
+    if (size == 0)
+        return errUnsupported("empty memory has nothing to snapshot");
+
+    int fd = int(memfd_create("lnb-mem-template", MFD_CLOEXEC));
+    if (fd < 0)
+        return errResource("memfd_create failed");
+    auto snap =
+        std::shared_ptr<MemorySnapshot>(new MemorySnapshot(fd, size));
+    if (ftruncate(fd, off_t(size)) != 0)
+        return errResource("snapshot ftruncate failed");
+    // For uffd_real, fault-populate every page below bounds from user
+    // space before the pwrite: kernel-side access (copy_from_user)
+    // reports EFAULT for missing registered pages instead of raising
+    // the SIGBUS the fault handler resolves.
+    if (arenaKind_ == ArenaKind::uffd_real) {
+        for (uint64_t o = 0; o < size; o += wasm::kPageSize) {
+            volatile uint8_t byte = base_[o];
+            (void)byte;
+        }
+    }
+    uint64_t off = 0;
+    while (off < size) {
+        ssize_t n =
+            pwrite(fd, base_ + off, size_t(size - off), off_t(off));
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            return errResource("snapshot pwrite failed");
+        off += uint64_t(n);
+    }
+    memMetrics().snapshotCaptures.add();
+    return snap;
+}
+
+Status
+LinearMemory::adoptSnapshot(std::shared_ptr<MemorySnapshot> snap)
+{
+    if (snap == nullptr)
+        return errInvalid("null snapshot");
+    if (config_.shared)
+        return errUnsupported("shared memories cannot adopt a template");
+    if (arenaKind_ == ArenaKind::uffd_emu)
+        return errUnsupported("uffd emulation cannot adopt a template");
+    uint64_t tmpl = snap->sizeBytes();
+    if (tmpl == 0 || tmpl > reserveBytes_ ||
+        tmpl > uint64_t(maxPages_) * wasm::kPageSize) {
+        return errInvalid("template does not fit this memory");
+    }
+    std::lock_guard<std::mutex> lock(growMutex_);
+    // One MAP_FIXED | MAP_PRIVATE mapping of the template file replaces
+    // the anonymous pages of [0, tmpl) in place. For uffd_real the kernel
+    // splits the VMA and drops the MISSING registration on exactly the
+    // replaced range — intended: every template byte is below the new
+    // bounds word and must never fault.
+    void* p = mmap(base_, size_t(tmpl), PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_FIXED | MAP_NORESERVE, snap->fd(), 0);
+    if (p == MAP_FAILED)
+        return errResource("template mmap failed");
+    memMetrics().mmapCalls.add();
+    // If this memory had grown past the template before adopting it,
+    // bring the tail back to the freshly-restored contract.
+    uint64_t high = highWaterBytes_;
+    if (high > tmpl) {
+        if (arenaKind_ == ArenaKind::guard &&
+            mprotect(base_ + tmpl, high - tmpl, PROT_NONE) != 0) {
+            return errResource("template re-protect failed");
+        }
+        if (madvise(base_ + tmpl, high - tmpl, MADV_DONTNEED) != 0)
+            return errResource("template madvise failed");
+    }
+    if (arena_ != nullptr)
+        arena_->bounds.store(tmpl, std::memory_order_release);
+    sizeBytes_.store(tmpl, std::memory_order_release);
+    highWaterBytes_ = tmpl;
+    snapshot_ = std::move(snap);
+    memMetrics().snapshotAdopts.add();
+    return Status::ok();
+}
+
+Status
+LinearMemory::restoreFromSnapshot(bool* grew_past_template)
+{
+    LNB_TRACE_SCOPE("mem.restore");
+    if (grew_past_template != nullptr)
+        *grew_past_template = false;
+    if (snapshot_ == nullptr)
+        return errInvalid("no template adopted");
+    obs::ScopedLatency latency(memMetrics().restoreLatency);
+    memMetrics().restoreCalls.add();
+    std::lock_guard<std::mutex> lock(growMutex_);
+    uint64_t tmpl = snapshot_->sizeBytes();
+    uint64_t high = highWaterBytes_;
+    uint64_t syscalls = 1;
+
+    // Revert every page dirtied since the last restore: MADV_DONTNEED on
+    // a MAP_PRIVATE file-backed mapping drops the CoW copies, so the next
+    // access reads the template again. Cost scales with dirtied pages,
+    // not the template size — this is the whole point of the protocol.
+    if (madvise(base_, size_t(tmpl), MADV_DONTNEED) != 0)
+        return errResource("restore madvise failed");
+
+    if (high > tmpl) {
+        // The instance grew past the template; the extra range is
+        // anonymous memory that must read as zero (and, for guard, trap)
+        // after restore. Callers surface this as rt.snapshot_invalidations.
+        if (grew_past_template != nullptr)
+            *grew_past_template = true;
+        if (arenaKind_ == ArenaKind::guard) {
+            if (mprotect(base_ + tmpl, high - tmpl, PROT_NONE) != 0)
+                return errResource("restore re-protect failed");
+            syscalls++;
+        }
+        if (madvise(base_ + tmpl, high - tmpl, MADV_DONTNEED) != 0)
+            return errResource("restore madvise failed");
+        syscalls++;
+    }
+    // clamp redirects out-of-bounds stores into the red-zone page past
+    // the max size; re-zero it so a recycled instance cannot observe a
+    // predecessor's clamped stores. (Under `none`, residue elsewhere in
+    // the flat reservation is explicitly out of contract — the absence
+    // of isolation is that strategy's defining property.)
+    if (config_.strategy == BoundsStrategy::clamp) {
+        if (madvise(base_ + clampOffset_, wasm::kPageSize,
+                    MADV_DONTNEED) != 0) {
+            return errResource("restore red-zone madvise failed");
+        }
+        syscalls++;
+    }
+
+    if (arena_ != nullptr)
+        arena_->bounds.store(tmpl, std::memory_order_release);
+    sizeBytes_.store(tmpl, std::memory_order_release);
+    highWaterBytes_ = tmpl;
     memMetrics().resetSyscalls.add(syscalls);
     return Status::ok();
 }

@@ -91,6 +91,37 @@ struct MemoryConfig
 bool realUffdAvailable();
 
 /**
+ * An immutable copy-on-write template of an initialized linear memory:
+ * a sealed memfd holding the bytes as they were after the module's
+ * `start` function ran (DESIGN.md §14). Mapping it MAP_PRIVATE over an
+ * instance's reservation makes instantiation O(page-table ops), and
+ * MADV_DONTNEED over the mapped range reverts every dirtied page to the
+ * template contents — the restore path recycle() uses. Shareable across
+ * every instance of the (module, strategy) that captured it; the kernel
+ * shares the clean pages.
+ */
+class MemorySnapshot
+{
+  public:
+    ~MemorySnapshot();
+    MemorySnapshot(const MemorySnapshot&) = delete;
+    MemorySnapshot& operator=(const MemorySnapshot&) = delete;
+
+    /** Template length in bytes (the memory's size at capture). */
+    uint64_t sizeBytes() const { return sizeBytes_; }
+    int fd() const { return fd_; }
+
+  private:
+    friend class LinearMemory;
+    MemorySnapshot(int fd, uint64_t size_bytes)
+        : fd_(fd), sizeBytes_(size_bytes)
+    {}
+
+    int fd_ = -1;
+    uint64_t sizeBytes_ = 0;
+};
+
+/**
  * One instance's linear memory. Thread-compatible: the executing thread
  * owns it; the atomic bounds word is shared with signal handlers.
  */
@@ -154,6 +185,50 @@ class LinearMemory
      */
     Status reset();
 
+    // ----- snapshot/restore protocol (DESIGN.md §14) -----
+    /**
+     * Capture the current contents [0, sizeBytes) as a CoW template.
+     * Refused (errUnsupported) for shared memories (another thread may
+     * be writing), the uffd emulation (its page-granular mprotect
+     * grants don't compose with a file-backed mapping), and empty
+     * memories. The capture reads every page below the bounds word —
+     * for uffd backings that populates them through the fault handler,
+     * which is exactly the state the template should hold.
+     */
+    Result<std::shared_ptr<MemorySnapshot>> snapshot();
+
+    /**
+     * Install @p snap as this memory's restore template: one
+     * MAP_FIXED | MAP_PRIVATE mapping of the template file over
+     * [0, snap->sizeBytes()), after which the memory's contents and
+     * size equal the captured post-`start` state — data segments and
+     * `start` effects included, without running either. guard keeps its
+     * PROT_NONE tail beyond the template; uffd keeps its MISSING
+     * registration there (the replaced range needs no faults — every
+     * template byte is below bounds by construction).
+     */
+    Status adoptSnapshot(std::shared_ptr<MemorySnapshot> snap);
+
+    /**
+     * Recycle fast path once a template is adopted: revert every page
+     * dirtied since the last restore to the template contents with one
+     * MADV_DONTNEED over the template range — O(dirtied pages), no
+     * re-run of data segments. Pages beyond the template (the instance
+     * grew past it) are zapped and re-protected per backing kind;
+     * @p grew_past_template (optional) reports that the extra work
+     * happened (surfaced as rt.snapshot_invalidations). The clamp red
+     * zone is re-zeroed; under `none`, out-of-bounds residue elsewhere
+     * in the flat reservation is explicitly out of contract (that
+     * strategy's defining property is the absence of isolation).
+     */
+    Status restoreFromSnapshot(bool* grew_past_template = nullptr);
+
+    bool hasSnapshot() const { return snapshot_ != nullptr; }
+    const std::shared_ptr<MemorySnapshot>& adoptedSnapshot() const
+    {
+        return snapshot_;
+    }
+
     /** Byte offset of the always-mapped red zone (clamp strategy target). */
     uint64_t clampOffset() const { return clampOffset_; }
 
@@ -199,6 +274,8 @@ class LinearMemory
     ArenaKind arenaKind_ = ArenaKind::flat;
     ArenaInfo* arena_ = nullptr;
     int uffdFd_ = -1;
+    /** Adopted restore template; null until adoptSnapshot(). */
+    std::shared_ptr<MemorySnapshot> snapshot_;
     std::mutex growMutex_;
     std::atomic<uint64_t> resizeSyscalls_{0};
     std::atomic<uint64_t> sharedGrowCalls_{0};

@@ -138,6 +138,14 @@ ensureObsInit()
         int expected = 0;
         g_traceState.compare_exchange_strong(expected, state);
         std::atexit(flushObservability);
+        // With tracing armed, construct this thread's ring now rather
+        // than lazily at the first recorded event: zeroing the
+        // multi-page ring costs tens of microseconds, which would
+        // otherwise land inside whatever latency-sensitive window
+        // happens to emit the thread's first span (the cold-start
+        // module-load path is exactly such a window).
+        if (g_traceState.load(std::memory_order_relaxed) == 2)
+            threadRing();
     });
 }
 

@@ -16,8 +16,11 @@
 #ifndef LNB_RUNTIME_ENGINE_H
 #define LNB_RUNTIME_ENGINE_H
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "interp/interpreter.h"
 #include "jit/compiler.h"
@@ -148,6 +151,30 @@ struct EngineConfig
     bool epochChecks = true;
 };
 
+/**
+ * Resolve the LNB_* environment overrides into @p config, exactly as
+ * Engine::compile does before compiling (tier knobs, opt kill-switches,
+ * shared-memory/epoch forcing, the tiered+LNB_TIER_DISABLED fallback).
+ * Cache keys must fingerprint the *resolved* config: two processes with
+ * different environments would otherwise produce differently-shaped code
+ * under one key, and a persisted artifact could be loaded into a process
+ * whose env demands different codegen.
+ */
+EngineConfig resolveEngineConfig(EngineConfig config);
+
+/**
+ * Post-`start` instance state captured once per module and restored
+ * wholesale into every later instance (DESIGN.md §14): the initialized
+ * linear memory as a CoW template, plus value copies of the mutable
+ * globals and the funcref table. Immutable after publication.
+ */
+struct SnapshotState
+{
+    std::shared_ptr<mem::MemorySnapshot> memory;
+    std::vector<wasm::Value> globals;
+    std::vector<exec::TableEntry> table;
+};
+
 /** Wall-clock cost of each compilation stage (micro_pipeline bench). */
 struct CompileStats
 {
@@ -214,8 +241,49 @@ class CompiledModule
             tierController_->drain();
     }
 
+    // ----- instance snapshot slot (DESIGN.md §14) -----
+    /**
+     * The module's start function performs no host calls (directly or
+     * transitively) and no indirect calls that could reach one, so its
+     * effects are fully described by the memory/global/table state it
+     * leaves behind — the precondition for snapshot capture. Modules
+     * with an impure start never snapshot: replaying the template would
+     * skip the host side effects.
+     */
+    bool startIsPure() const { return startIsPure_; }
+    /** Published snapshot, or null while none has been captured. Stable
+     * once non-null; owned by this module. */
+    const SnapshotState* snapshot() const
+    {
+        return snapshot_.load(std::memory_order_acquire);
+    }
+    /** Publish a captured snapshot; first caller wins, later copies are
+     * discarded (capture races are benign — any post-start state is
+     * equivalent for a deterministic start). */
+    void publishSnapshot(std::unique_ptr<const SnapshotState> snap) const
+    {
+        std::lock_guard<std::mutex> lock(snapMutex_);
+        if (snapshot_.load(std::memory_order_relaxed) == nullptr) {
+            snapshotStorage_ = std::move(snap);
+            snapshot_.store(snapshotStorage_.get(),
+                            std::memory_order_release);
+        }
+    }
+    /** Capture failed structurally (shared memory, uffd-emu arena, no
+     * memory, impure start) — stop re-trying on every instance. */
+    bool snapshotRefused() const
+    {
+        return snapshotRefused_.load(std::memory_order_relaxed);
+    }
+    void markSnapshotRefused() const
+    {
+        snapshotRefused_.store(true, std::memory_order_relaxed);
+    }
+
   private:
     friend class Engine;
+    friend Result<std::shared_ptr<const CompiledModule>>
+    deserializeCompiledModule(const uint8_t* data, size_t size);
     wasm::LoweredModule lowered_;
     EngineConfig config_;
     std::unique_ptr<jit::CompiledCode> jitCode_;
@@ -226,7 +294,25 @@ class CompiledModule
     std::unique_ptr<TierController> tierController_;
     CompileStats stats_;
     wasm::OptStats optStats_;
+    bool startIsPure_ = false;
+    mutable std::mutex snapMutex_;
+    mutable std::atomic<const SnapshotState*> snapshot_{nullptr};
+    mutable std::unique_ptr<const SnapshotState> snapshotStorage_;
+    mutable std::atomic<bool> snapshotRefused_{false};
 };
+
+/**
+ * Serialize a compiled module for the persistent code cache: the
+ * resolved config, pipeline stats, the full lowered IR, and (for JIT
+ * kinds) the relocatable code artifact. The inverse rebuilds the module
+ * in any later process of the same build without recompiling — the
+ * caller (svc/module_cache.*) guards the payload with a fingerprinted
+ * header and rejects stale or corrupt bytes before calling deserialize.
+ */
+std::vector<uint8_t> serializeCompiledModule(const CompiledModule& cm);
+
+Result<std::shared_ptr<const CompiledModule>>
+deserializeCompiledModule(const uint8_t* data, size_t size);
 
 /** A compilation pipeline for one engine configuration. */
 class Engine

@@ -45,6 +45,13 @@ struct RtMetrics
         "rt.interrupts_delivered");
     obs::Counter interruptWaitWakes = obs::registerCounter(
         "rt.interrupts_wait_wakes");
+    /** Snapshot/restore instantiation (DESIGN.md §14): instances stamped
+     * out from a CoW template, and restores that had to zap pages the
+     * instance grew past the template. */
+    obs::Counter snapshotRestores = obs::registerCounter(
+        "rt.snapshot_restores");
+    obs::Counter snapshotInvalidations = obs::registerCounter(
+        "rt.snapshot_invalidations");
 };
 
 RtMetrics&
@@ -78,6 +85,16 @@ threadStackLimit()
         return uint64_t(&probe) - (6u << 20);
     }();
     return cached;
+}
+
+/** LNB_SNAPSHOT=0 disables the snapshot/restore instantiation path and
+ * keeps the legacy madvise-zap + re-run-segments recycle. Not part of
+ * the code-cache fingerprint: it changes instantiation, not codegen. */
+bool
+snapshotEnabled()
+{
+    static const bool enabled = envInt("LNB_SNAPSHOT", 1, 0, 1) != 0;
+    return enabled;
 }
 
 } // namespace
@@ -209,7 +226,29 @@ Instance::initialize(ImportMap imports,
         }
     }
 
-    return initMutableState();
+    // ----- snapshot/restore instantiation (DESIGN.md §14) -----
+    // Eligible when the module's start is pure (its effects are fully
+    // captured by memory + globals + table), the memory is private to
+    // this instance, and nothing has refused capture before. The restore
+    // path maps the module's CoW template over the fresh reservation and
+    // copies globals/table wholesale — no data segments, no start run.
+    bool want_snapshot = snapshotEnabled() && memory_ != nullptr &&
+                         !externalMemory_ && !ctx_.sharedMem &&
+                         module_->startIsPure() &&
+                         !module_->snapshotRefused();
+    if (want_snapshot) {
+        if (const SnapshotState* snap = module_->snapshot()) {
+            LNB_RETURN_IF_ERROR(memory_->adoptSnapshot(snap->memory));
+            ctx_.memSize = memory_->sizeBytes();
+            LNB_RETURN_IF_ERROR(applySnapshotState(*snap));
+            rtMetrics().snapshotRestores.add();
+            return Status::ok();
+        }
+    }
+    LNB_RETURN_IF_ERROR(initMutableState());
+    if (want_snapshot)
+        captureSnapshot();
+    return Status::ok();
 }
 
 Status
@@ -254,6 +293,22 @@ Instance::initMutableState()
     }
 
     // ----- execution state -----
+    resetExecState();
+
+    // ----- start function -----
+    if (m.start.has_value()) {
+        CallOutcome outcome = call(*m.start, {});
+        if (!outcome.ok()) {
+            return errInvalid(std::string("start function trapped: ") +
+                              wasm::trapKindName(outcome.trap));
+        }
+    }
+    return Status::ok();
+}
+
+void
+Instance::resetExecState()
+{
     // A pending-but-undelivered interrupt dies with the request it
     // targeted: the flag clears before the start function runs so a
     // recycled instance is indistinguishable from a fresh one.
@@ -270,16 +325,45 @@ Instance::initMutableState()
     if (funcHotness_ != nullptr) {
         std::fill_n(funcHotness_.get(), module_->numFuncs(), 0u);
     }
+}
 
-    // ----- start function -----
-    if (m.start.has_value()) {
-        CallOutcome outcome = call(*m.start, {});
-        if (!outcome.ok()) {
-            return errInvalid(std::string("start function trapped: ") +
-                              wasm::trapKindName(outcome.trap));
-        }
+Status
+Instance::applySnapshotState(const SnapshotState& snap)
+{
+    // Copy into the existing vectors — ctx_.globals / ctx_.table point at
+    // their storage, so reassignment would dangle those mirrors.
+    if (snap.globals.size() != globals_.size() ||
+        snap.table.size() != table_.size()) {
+        return errInternal("snapshot shape does not match module");
     }
+    std::copy(snap.globals.begin(), snap.globals.end(), globals_.begin());
+    std::copy(snap.table.begin(), snap.table.end(), table_.begin());
+    resetExecState();
     return Status::ok();
+}
+
+void
+Instance::captureSnapshot()
+{
+    auto captured = memory_->snapshot();
+    if (!captured.isOk()) {
+        // Unsupported backing (uffd emulation, empty memory): remember
+        // the refusal so later instances skip the attempt; transient
+        // resource failures just retry on the next instantiation.
+        if (captured.status().code() == StatusCode::unsupported)
+            module_->markSnapshotRefused();
+        return;
+    }
+    auto state = std::make_unique<SnapshotState>();
+    state->memory = captured.takeValue();
+    state->globals = globals_;
+    state->table = table_;
+    module_->publishSnapshot(std::move(state));
+    // Adopt whatever the module published (ours, or a racing winner's) so
+    // this instance's recycle() takes the restore path too. Best-effort:
+    // on failure the legacy reset path still works.
+    if (const SnapshotState* snap = module_->snapshot())
+        (void)memory_->adoptSnapshot(snap->memory);
 }
 
 Status
@@ -292,10 +376,25 @@ Instance::recycle()
         // shared mapping); refuse up front with the real reason.
         return errUnsupported("shared-memory instances cannot be recycled");
     }
+    // Snapshot fast path: one MADV_DONTNEED reverts dirtied pages to the
+    // template, then globals/table are copied back — no data segments,
+    // no start re-run (DESIGN.md §14).
+    if (snapshotEnabled() && memory_ != nullptr && memory_->hasSnapshot()) {
+        if (const SnapshotState* snap = module_->snapshot()) {
+            bool grew = false;
+            LNB_RETURN_IF_ERROR(memory_->restoreFromSnapshot(&grew));
+            if (grew)
+                rtMetrics().snapshotInvalidations.add();
+            // memBase is stable (same reservation); only the size mirror
+            // changes.
+            ctx_.memSize = memory_->sizeBytes();
+            LNB_RETURN_IF_ERROR(applySnapshotState(*snap));
+            rtMetrics().snapshotRestores.add();
+            return Status::ok();
+        }
+    }
     if (memory_ != nullptr) {
         LNB_RETURN_IF_ERROR(memory_->reset());
-        // memBase is stable across reset (same reservation); only the
-        // size mirror changes.
         ctx_.memSize = memory_->sizeBytes();
     }
     return initMutableState();

@@ -169,6 +169,20 @@ class Instance
     /** Shared by initialize()/recycle(): globals, element and data
      * segments, value-stack reset, start function. */
     Status initMutableState();
+    /** Reset the per-call execution state (interrupt flag, value-stack
+     * top, counters, hotness) — the tail both initMutableState() and the
+     * snapshot-restore path run. */
+    void resetExecState();
+    /** Copy a published SnapshotState's globals/table into this
+     * instance's existing storage (ctx_ pointers stay valid) and reset
+     * execution state. The memory template must already be adopted /
+     * restored by the caller. */
+    Status applySnapshotState(const SnapshotState& snap);
+    /** Capture this freshly initialized instance's state as the module's
+     * snapshot template (first caller wins) and adopt it so recycle()
+     * takes the restore path. Refusals are recorded on the module and
+     * are not errors. */
+    void captureSnapshot();
 
     std::shared_ptr<const CompiledModule> module_;
     std::shared_ptr<mem::LinearMemory> memory_;

@@ -30,13 +30,26 @@
 
 namespace lnb::svc {
 
-/** FNV-1a 64-bit hash (content addressing for module bytes). */
-uint64_t fnv1a64(const void* data, size_t len,
-                 uint64_t seed = 0xcbf29ce484222325ull);
+/**
+ * 64-bit content hash (content addressing for module bytes, payload
+ * integrity for persisted artifacts). FNV-1a's xor-multiply round
+ * applied to 8-byte lanes — each round is a bijection of the running
+ * hash, so any single-lane change always changes the result — with a
+ * final avalanche so all input positions diffuse into the low bits.
+ * ~8x fewer multiply-chain rounds than byte-wise FNV-1a, which matters
+ * on the cold-start path where megabytes of module and artifact bytes
+ * are hashed per load.
+ */
+uint64_t contentHash64(const void* data, size_t len,
+                       uint64_t seed = 0xcbf29ce484222325ull);
 
 /** Exact fingerprint of every config field that affects compilation or
  * execution. Distinct configs never share a cache entry. */
 uint64_t engineConfigFingerprint(const rt::EngineConfig& config);
+
+/** Build identity stamped into persisted cache files (tests use it to
+ * forge same-build / cross-build headers). */
+uint64_t moduleCacheBuildId();
 
 /** Cache key: content hash × config fingerprint. */
 struct ModuleKey
@@ -68,15 +81,36 @@ struct ModuleCacheStats
     uint64_t evictions = 0;
     /** Requests that waited for another thread's in-flight compile. */
     uint64_t inflightWaits = 0;
+    /** Disk tier (LNB_CODE_CACHE_DIR): in-memory misses served from a
+     * persisted artifact / that fell through to a compile / that found a
+     * file but rejected it as corrupt, truncated or stale. */
+    uint64_t persistHits = 0;
+    uint64_t persistMisses = 0;
+    uint64_t persistRejects = 0;
     size_t entries = 0;
 };
 
 class ModuleCache
 {
   public:
-    /** @p capacity is the maximum number of resident compiled modules;
-     * least-recently-used entries are evicted beyond it. */
-    explicit ModuleCache(size_t capacity = 64);
+    /**
+     * @p capacity is the maximum number of resident compiled modules;
+     * least-recently-used entries are evicted beyond it.
+     *
+     * When @p persist_dir (default: the LNB_CODE_CACHE_DIR environment
+     * variable; empty = disabled) names a directory, the cache adds a
+     * persistent disk tier: every compiled artifact is serialized to
+     * `<dir>/<bytesHash>-<configHash>.lnbc` (written to a temp file and
+     * atomically renamed), and an in-memory miss first tries to
+     * deserialize a persisted artifact before compiling — a warm second
+     * process skips the decode/validate/lower/opt/codegen pipeline
+     * entirely. Files are guarded by a versioned header (format version,
+     * build id, full resolved-EngineConfig fingerprint, payload hash);
+     * anything corrupt, truncated or stale is rejected, recompiled and
+     * overwritten (DESIGN.md §14).
+     */
+    explicit ModuleCache(size_t capacity = 64,
+                         const char* persist_dir = nullptr);
 
     ModuleCache(const ModuleCache&) = delete;
     ModuleCache& operator=(const ModuleCache&) = delete;
@@ -99,6 +133,8 @@ class ModuleCache
 
     ModuleCacheStats stats() const;
     size_t capacity() const { return capacity_; }
+    /** Directory of the disk tier; empty when persistence is disabled. */
+    const std::string& persistDir() const { return persistDir_; }
 
   private:
     struct Entry
@@ -109,10 +145,21 @@ class ModuleCache
         std::list<ModuleKey>::iterator lruIt;
     };
 
+    enum class PersistOutcome { loaded, miss, reject };
+
     void touchLocked(Entry& entry, const ModuleKey& key);
     void evictLocked();
+    std::string persistPath(const ModuleKey& key) const;
+    /** Try the disk tier for @p key; called outside the lock while the
+     * in-flight marker is held. */
+    PersistOutcome
+    tryLoadPersisted(const ModuleKey& key,
+                     std::shared_ptr<const rt::CompiledModule>& out) const;
+    /** Best-effort write-through of a fresh compile (temp + rename). */
+    void persist(const ModuleKey& key, const rt::CompiledModule& cm) const;
 
     const size_t capacity_;
+    std::string persistDir_;
     mutable std::mutex mutex_;
     std::condition_variable inflightCv_;
     std::unordered_map<ModuleKey, Entry, ModuleKeyHasher> entries_;
